@@ -1,0 +1,48 @@
+(* Bench entry point: regenerates every figure/table of the paper (the
+   experiment index in DESIGN.md §4) and then runs the Bechamel
+   micro-benchmarks.  `dune exec bench/main.exe` with no argument runs
+   everything; pass experiment ids (e1 e2 ... e10 micro) to run a
+   subset. *)
+
+let registry =
+  [
+    ("e1", Experiments.e1);
+    ("e2", Experiments.e2);
+    ("e3", Experiments.e3);
+    ("e4", Experiments.e4);
+    ("e5", Experiments.e5);
+    ("e5b", Experiments.e5b);
+    ("e5c", Experiments.e5c);
+    ("e6", Experiments.e6);
+    ("e6b", Experiments.e6b);
+    ("e7", Experiments.e7);
+    ("e8", Experiments.e8);
+    ("e9", Experiments.e9);
+    ("e10", Experiments.e10);
+    ("e11", Experiments.e11);
+    ("e12", Experiments.e12);
+    ("e13", Experiments.e13);
+    ("e14", Experiments.e14);
+    ("micro", Microbench.run);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let to_run =
+    match args with
+    | [] -> registry
+    | names ->
+        List.map
+          (fun name ->
+            match List.assoc_opt (String.lowercase_ascii name) registry with
+            | Some f -> (name, f)
+            | None ->
+                Printf.eprintf "unknown experiment %S; known: %s\n" name
+                  (String.concat " " (List.map fst registry));
+                exit 2)
+          names
+  in
+  print_endline "setagree benchmark harness — reproduction of Mostéfaoui et al.,";
+  print_endline "\"Irreducibility and Additivity of Set Agreement-oriented Failure";
+  print_endline "Detector Classes\" (PODC'06 / IRISA PI-1758).";
+  List.iter (fun (_, f) -> f ()) to_run

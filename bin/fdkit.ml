@@ -1,0 +1,332 @@
+(* fdkit: command-line driver for the setagree library.
+
+   Every experiment of the bench harness, runnable one at a time with
+   custom parameters:
+
+     fdkit kset        --n 9 --t 4 --z 2 --k 2 --crashes 3 --seed 7
+     fdkit wheels      --x 2 --y 1 --crashes 2
+     fdkit psi         --y 2 --crashes 3
+     fdkit strengthen  --x 2 --y 2 --substrate mp
+     fdkit violation   --z 2 --k 1 --tries 25
+     fdkit irreducibility
+*)
+
+open Cmdliner
+open Setagree_util
+open Setagree_dsys
+open Setagree_net
+open Setagree_fd
+open Setagree_core
+
+(* ---- shared options ---- *)
+
+let n_arg = Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+let t_arg = Arg.(value & opt int 3 & info [ "t" ] ~docv:"T" ~doc:"Max crashes (resilience).")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Run seed.")
+
+let crashes_arg =
+  Arg.(value & opt int 2 & info [ "crashes" ] ~docv:"C" ~doc:"Number of crashes to inject.")
+
+let gst_arg =
+  Arg.(
+    value & opt float 40.0
+    & info [ "gst" ] ~docv:"TIME" ~doc:"Oracle stabilization time (0 = perfect).")
+
+let horizon_arg =
+  Arg.(value & opt float 400.0 & info [ "horizon" ] ~docv:"TIME" ~doc:"Virtual-time budget.")
+
+let behavior_of ~gst =
+  if gst <= 0.0 then Behavior.perfect else Behavior.stormy ~gst
+
+let setup ~n ~t ~seed ~crashes ~horizon =
+  let sim = Sim.create ~horizon ~n ~t ~seed () in
+  let rng = Rng.split_named (Sim.rng sim) "crash" in
+  Sim.install_crashes sim
+    (Crash.generate
+       (Crash.Exactly { crashes = min crashes t; window = (0.0, 20.0) })
+       ~n ~t rng);
+  sim
+
+(* ---- kset ---- *)
+
+let kset_cmd =
+  let run n t seed crashes gst z k =
+    let sim = setup ~n ~t ~seed ~crashes ~horizon:5000.0 in
+    let omega, _ = Oracle.omega_z sim ~z ~behavior:(behavior_of ~gst) () in
+    let proposals = Array.init n (fun i -> 100 + i) in
+    let h = Kset.install sim ~omega ~proposals () in
+    let o = Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim in
+    List.iter
+      (fun (pid, v, r, tm) ->
+        Printf.printf "%s decided %d (round %d, t=%.1f)\n" (Pid.to_string pid) v r tm)
+      (Kset.decisions h);
+    let v = Check.k_set_agreement sim ~k ~proposals ~decisions:(Kset.decisions h) in
+    Printf.printf "k-set(%d) check: %s\nrounds=%d msgs=%d latency=%.1f\n" k
+      (Format.asprintf "%a" Check.pp_verdict v)
+      (Kset.max_round h) (Kset.messages_sent h) o.end_time;
+    if Check.verdict_ok v then 0 else 1
+  in
+  let z_arg = Arg.(value & opt int 2 & info [ "z" ] ~doc:"Oracle class Omega_z.") in
+  let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Agreement degree checked.") in
+  Cmd.v
+    (Cmd.info "kset" ~doc:"Run the Omega_k-based k-set agreement algorithm (Figure 3).")
+    Term.(
+      const run $ n_arg $ t_arg $ seed_arg $ crashes_arg $ gst_arg $ z_arg $ k_arg)
+
+(* ---- wheels ---- *)
+
+let wheels_cmd =
+  let run n t seed crashes gst horizon x y =
+    let sim = setup ~n ~t ~seed ~crashes ~horizon in
+    let behavior = behavior_of ~gst in
+    let suspector, info = Oracle.es_x sim ~x ~behavior () in
+    let querier, _ = Oracle.ephi_y sim ~y ~behavior () in
+    let w = Wheels.install sim ~suspector ~querier ~x ~y () in
+    let omega = Wheels.omega w in
+    let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> omega.Iface.trusted i) () in
+    let _ = Sim.run sim in
+    let v = Check.omega_z sim ~z:(Wheels.z w) ~deadline:(horizon -. 80.0) mon in
+    Printf.printf
+      "◇S_%d + ◇φ_%d -> Omega_%d: %s\nscope=%s protected=%s\nstab@%.1f x_moves=%d \
+       l_moves=%d msgs=%d\n\ntrusted-set timeline:\n%s"
+      x y (Wheels.z w)
+      (Format.asprintf "%a" Check.pp_verdict v)
+      (Pidset.to_string info.Oracle.scope)
+      (Pid.to_string info.Oracle.protected)
+      (Wheels.stabilized_since w)
+      (Wheels_lower.moves_broadcast (Wheels.lower w))
+      (Wheels_upper.moves_broadcast (Wheels.upper w))
+      (Wheels.total_messages w)
+      (Viz.timeline sim mon ());
+    if Check.verdict_ok v then 0 else 1
+  in
+  let x_arg = Arg.(value & opt int 2 & info [ "x" ] ~doc:"◇S_x scope.") in
+  let y_arg = Arg.(value & opt int 1 & info [ "y" ] ~doc:"◇φ_y strength.") in
+  Cmd.v
+    (Cmd.info "wheels"
+       ~doc:"Run the two-wheels transformation ◇S_x + ◇φ_y -> Omega_z (Figures 5-6).")
+    Term.(
+      const run $ n_arg $ t_arg $ seed_arg $ crashes_arg $ gst_arg $ horizon_arg $ x_arg
+      $ y_arg)
+
+(* ---- psi ---- *)
+
+let psi_cmd =
+  let run n t seed crashes gst horizon y =
+    let sim = setup ~n ~t ~seed ~crashes ~horizon in
+    let querier, _ = Oracle.psi_y sim ~y ~behavior:(behavior_of ~gst) () in
+    let p = Psi_to_omega.create sim ~querier ~y in
+    let omega = Psi_to_omega.omega p in
+    let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> omega.Iface.trusted i) () in
+    Sim.ticker sim ~every:1.0;
+    let _ = Sim.run sim in
+    let v = Check.omega_z sim ~z:(Psi_to_omega.z p) ~deadline:(horizon -. 80.0) mon in
+    Printf.printf "Ψ_%d -> Omega_%d (Fig 8): %s\nchain length %d, zero messages\n" y
+      (Psi_to_omega.z p)
+      (Format.asprintf "%a" Check.pp_verdict v)
+      (Psi_to_omega.queries_per_read p);
+    if Check.verdict_ok v then 0 else 1
+  in
+  let y_arg = Arg.(value & opt int 2 & info [ "y" ] ~doc:"Ψ_y strength.") in
+  Cmd.v
+    (Cmd.info "psi" ~doc:"Run the Ψ_y -> Omega_{t+1-y} chain transformation (Figure 8).")
+    Term.(
+      const run $ n_arg $ t_arg $ seed_arg $ crashes_arg $ gst_arg $ horizon_arg $ y_arg)
+
+(* ---- strengthen ---- *)
+
+let strengthen_cmd =
+  let run n t seed crashes gst horizon x y substrate =
+    let sim = setup ~n ~t ~seed ~crashes ~horizon in
+    let behavior = behavior_of ~gst in
+    let suspector, _ = Oracle.es_x sim ~x ~behavior () in
+    let querier, _ = Oracle.ephi_y sim ~y ~behavior () in
+    let st =
+      match substrate with
+      | `Shm -> Strengthen.install_shm sim ~suspector ~querier ()
+      | `Mp -> Strengthen.install_mp sim ~suspector ~querier ()
+    in
+    let out = Strengthen.output st in
+    let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> out.Iface.suspected i) () in
+    let _ = Sim.run sim in
+    let v = Check.es_x sim ~x:n ~deadline:(horizon -. 80.0) mon in
+    Printf.printf "◇S_%d + ◇φ_%d -> ◇S (Fig 9, %s): %s\n" x y
+      (match substrate with `Shm -> "shared memory" | `Mp -> "message passing")
+      (Format.asprintf "%a" Check.pp_verdict v);
+    if Check.verdict_ok v then 0 else 1
+  in
+  let x_arg = Arg.(value & opt int 2 & info [ "x" ] ~doc:"◇S_x scope.") in
+  let y_arg = Arg.(value & opt int 2 & info [ "y" ] ~doc:"◇φ_y strength.") in
+  let substrate_arg =
+    Arg.(
+      value
+      & opt (enum [ ("shm", `Shm); ("mp", `Mp) ]) `Shm
+      & info [ "substrate" ] ~docv:"shm|mp" ~doc:"Shared memory or message passing.")
+  in
+  Cmd.v
+    (Cmd.info "strengthen"
+       ~doc:"Run the Appendix-B strengthening S_x + φ_y -> S (Figure 9).")
+    Term.(
+      const run $ n_arg $ t_arg $ seed_arg $ crashes_arg $ gst_arg $ horizon_arg $ x_arg
+      $ y_arg $ substrate_arg)
+
+(* ---- implemented detectors ---- *)
+
+let impl_cmd =
+  let run n t seed crashes gst horizon z =
+    let sim = setup ~n ~t ~seed ~crashes ~horizon in
+    let delay = Delay.Psync { gst; bound = 2.0; pre_spread = gst -. 5.0 } in
+    let hb = Impl.install sim ~delay () in
+    let susp = Impl.suspector hb in
+    let om = Impl.omega hb ~z in
+    let mon_s = Monitor.watch sim ~every:0.5 ~read:(fun i -> susp.Iface.suspected i) () in
+    let mon_o = Monitor.watch sim ~every:0.5 ~read:(fun i -> om.Iface.trusted i) () in
+    let proposals = Array.init n (fun i -> 100 + i) in
+    let h = Kset.install sim ~omega:om ~proposals () in
+    let _ = Sim.run sim in
+    let deadline = horizon -. 80.0 in
+    let v_s = Check.es_x sim ~x:n ~deadline mon_s in
+    let v_o = Check.omega_z sim ~z ~deadline mon_o in
+    let v_k = Check.k_set_agreement sim ~k:z ~proposals ~decisions:(Kset.decisions h) in
+    Printf.printf
+      "heartbeat detectors under partial synchrony (network gst=%.0f)\n\
+       suspector as ◇P: %s\nleader as Omega_%d: %s\n%d-set agreement on top: %s\n\
+       heartbeats=%d\n"
+      gst
+      (Format.asprintf "%a" Check.pp_verdict v_s)
+      z
+      (Format.asprintf "%a" Check.pp_verdict v_o)
+      z
+      (Format.asprintf "%a" Check.pp_verdict v_k)
+      (Impl.heartbeats_sent hb);
+    if Check.verdict_ok v_s && Check.verdict_ok v_o && Check.verdict_ok v_k then 0 else 1
+  in
+  let z_arg = Arg.(value & opt int 1 & info [ "z" ] ~doc:"Leader width.") in
+  Cmd.v
+    (Cmd.info "impl"
+       ~doc:
+         "Run the fully implemented stack: heartbeats + adaptive timeouts -> ◇P / \
+          Omega_z -> set agreement; no oracle reads ground truth.")
+    Term.(
+      const run $ n_arg $ t_arg $ seed_arg $ crashes_arg
+      $ Arg.(value & opt float 30.0 & info [ "gst" ] ~doc:"Network stabilization time.")
+      $ horizon_arg $ z_arg)
+
+(* ---- violation search ---- *)
+
+let violation_cmd =
+  let run n t z k tries =
+    let r = Indist.kset_violation_search ~n ~t ~z ~k ~seeds:(List.init tries (fun i -> i + 1)) in
+    Format.printf "%a@." Indist.pp_report r;
+    if r.ok then 0 else 1
+  in
+  let z_arg = Arg.(value & opt int 2 & info [ "z" ] ~doc:"Omega_z oracle.") in
+  let k_arg = Arg.(value & opt int 1 & info [ "k" ] ~doc:"Agreement degree demanded.") in
+  let tries_arg = Arg.(value & opt int 25 & info [ "tries" ] ~doc:"Seeds to try.") in
+  Cmd.v
+    (Cmd.info "violation"
+       ~doc:
+         "Search for agreement violations when running k-set agreement with an Omega_z \
+          oracle (Theorem 5 tightness).")
+    Term.(const run $ Arg.(value & opt int 7 & info [ "n" ] ~doc:"Processes.") $ Arg.(value & opt int 2 & info [ "t" ] ~doc:"Resilience.") $ z_arg $ k_arg $ tries_arg)
+
+(* ---- irreducibility ---- *)
+
+let irreducibility_cmd =
+  let run n t seed =
+    let show r = Format.printf "%a@.@." Indist.pp_report r in
+    show (Indist.phi_blind_to_victims ~n ~t ~y:1 ~crashes:(min 2 (t - 1)) ~seed);
+    show (Indist.omega_blind_to_crashes ~n ~t ~z:1 ~seed);
+    show (Indist.thm10_pair ~n ~t ~x:(n / 2) ~y:1 ~seed ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "irreducibility"
+       ~doc:"Run the executable impossibility scenarios (Theorems 10-12, O1).")
+    Term.(const run $ n_arg $ t_arg $ seed_arg)
+
+(* ---- grid ---- *)
+
+let grid_cmd =
+  let run n t matrix =
+    Printf.printf "Figure 1 grid for t = %d (row z: classes solving z-set agreement)\n\n" t;
+    Printf.printf "%-4s %-8s %-8s %-8s %-8s %-8s\n" "z" "S_x" "◇S_x" "Ω_z" "φ_y" "◇φ_y";
+    List.iter
+      (fun (row : Bounds.row) ->
+        Printf.printf "%-4d %-8s %-8s %-8s %-8s %-8s\n" row.z
+          (Printf.sprintf "S_%d" row.sx)
+          (Printf.sprintf "◇S_%d" row.sx)
+          (Printf.sprintf "Ω_%d" row.z)
+          (Printf.sprintf "φ_%d" row.phiy)
+          (Printf.sprintf "◇φ_%d" row.phiy))
+      (Bounds.grid ~t);
+    if matrix then begin
+      Printf.printf
+        "\nfull reducibility matrix (Y = yes, n = impossible, ? = open):\n\n";
+      Format.printf "%a@." (Grid.pp_matrix ~n ~t) (Grid.row_representatives ~n ~t)
+    end;
+    0
+  in
+  let matrix_arg =
+    Arg.(value & flag & info [ "matrix" ] ~doc:"Also print the pairwise reducibility matrix.")
+  in
+  Cmd.v
+    (Cmd.info "grid" ~doc:"Print the class grid of Figure 1 for a given t.")
+    Term.(const run $ n_arg $ t_arg $ matrix_arg)
+
+(* ---- reducibility queries ---- *)
+
+let reducible_cmd =
+  let run n t from_s into_s =
+    match (Grid.parse_cls from_s, Grid.parse_cls into_s) with
+    | Some from, Some into ->
+        let v = Grid.reducible ~n ~t ~from ~into in
+        let verdict, why, code =
+          match v with
+          | Grid.Yes why -> ("YES", why, 0)
+          | Grid.No why -> ("NO", why, 1)
+          | Grid.Unknown why -> ("UNKNOWN", why, 2)
+        in
+        Format.printf "%a -> %a in AS(n=%d, t=%d): %s@.  %s@." Grid.pp_cls from
+          Grid.pp_cls into n t verdict why;
+        (match (Grid.kset_power ~n ~t from, Grid.kset_power ~n ~t into) with
+        | Some ka, Some kb ->
+            Format.printf "  k-set power: %a solves %d-set, %a solves %d-set@."
+              Grid.pp_cls from ka Grid.pp_cls into kb
+        | _ -> ());
+        code
+    | _ ->
+        prerr_endline
+          "cannot parse class; use S3, ES2, Omega1, Phi2, EPhi0, Psi1, P, EP";
+        3
+  in
+  let from_arg =
+    Arg.(required & opt (some string) None & info [ "from" ] ~docv:"CLS" ~doc:"Source class.")
+  in
+  let into_arg =
+    Arg.(required & opt (some string) None & info [ "to" ] ~docv:"CLS" ~doc:"Target class.")
+  in
+  Cmd.v
+    (Cmd.info "reducible"
+       ~doc:
+         "Query the paper's reducibility lattice: can the target class be built from \
+          the source class in AS(n,t)?")
+    Term.(const run $ n_arg $ t_arg $ from_arg $ into_arg)
+
+let () =
+  let doc = "Set-agreement-oriented failure detector classes: simulation toolkit." in
+  let info = Cmd.info "fdkit" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            kset_cmd;
+            wheels_cmd;
+            psi_cmd;
+            strengthen_cmd;
+            impl_cmd;
+            violation_cmd;
+            irreducibility_cmd;
+            grid_cmd;
+            reducible_cmd;
+          ]))

@@ -1,0 +1,57 @@
+(* k-set agreement under crash storms.
+
+   A sweep over the agreement degree k and the number of crashes, with a
+   hostile Ω_k oracle (noisy until its stabilization time, slander after).
+   Shows the shape of Figure 3's behaviour: decisions come right after
+   oracle stabilization whatever the crash pressure, never more than k
+   distinct values are decided, and the fast path (perfect oracle) decides
+   in one round.
+
+   Run with:  dune exec examples/kset_demo.exe *)
+
+open Setagree_util
+open Setagree_dsys
+open Setagree_fd
+open Setagree_core
+
+let n = 9
+let t = 4
+
+let run ~k ~crashes ~gst ~seed =
+  let sim = Sim.create ~horizon:3000.0 ~n ~t ~seed () in
+  let rng = Rng.split_named (Sim.rng sim) "crash" in
+  Sim.install_crashes sim
+    (Crash.generate (Crash.Exactly { crashes; window = (0.0, gst) }) ~n ~t rng);
+  let behavior =
+    if gst = 0.0 then Behavior.perfect else Behavior.make ~noise:0.4 ~slander:0.3 ~gst ()
+  in
+  let omega, _ = Oracle.omega_z sim ~z:k ~behavior () in
+  let proposals = Array.init n (fun i -> 1000 + i) in
+  let h = Kset.install sim ~omega ~proposals () in
+  let o = Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim in
+  let distinct =
+    List.length
+      (List.sort_uniq Int.compare (List.map (fun (_, v, _, _) -> v) (Kset.decisions h)))
+  in
+  let verdict = Check.k_set_agreement sim ~k ~proposals ~decisions:(Kset.decisions h) in
+  Printf.printf "%-3d %-8d %-6.0f  %-7d %-9d %-9.1f %-9d %-6s\n" k crashes gst
+    (Kset.max_round h) distinct o.end_time (Kset.messages_sent h)
+    (if Check.verdict_ok verdict then "OK" else "FAIL")
+
+let () =
+  Printf.printf "k-set agreement under crash storms (n=%d, t=%d)\n\n" n t;
+  Printf.printf "%-3s %-8s %-6s  %-7s %-9s %-9s %-9s %-6s\n" "k" "crashes" "gst" "rounds"
+    "distinct" "latency" "msgs" "k-set";
+  List.iter
+    (fun k ->
+      List.iter
+        (fun crashes ->
+          run ~k ~crashes ~gst:50.0 ~seed:((k * 100) + crashes);
+          run ~k ~crashes ~gst:0.0 ~seed:((k * 100) + crashes + 7))
+        [ 0; 2; t ])
+    [ 1; 2; 4 ];
+  print_newline ();
+  Printf.printf
+    "Reading the shape: with a perfect oracle (gst=0) one round suffices even\n\
+     under t crashes (zero degradation); with a hostile oracle, decisions land\n\
+     just after stabilization, and 'distinct' never exceeds k.\n"

@@ -1,0 +1,37 @@
+(* A tour of the paper's reducibility lattice (Figure 1 plus the
+   irreducibility theorems), queried through Core.Grid.
+
+   Prints, for a chosen resilience t, the full matrix of "can the column
+   class be built from the row class?" answers over one representative of
+   each family per grid row, with the k-set agreement power of each class
+   in the margin.
+
+   Run with:  dune exec examples/lattice_tour.exe *)
+
+open Setagree_core
+open Grid
+
+let n = 8
+let t = 3
+
+let () =
+  let name c = Format.asprintf "%a" pp_cls c in
+  Printf.printf
+    "Reducibility over AS(n=%d, t=%d): row class -> column class\n\
+     (Y = construction exists, n = impossible, ? = open; diagonal = identity)\n\n"
+    n t;
+  Format.printf "%a@." (pp_matrix ~n ~t) (row_representatives ~n ~t);
+  (* A few cells narrated in full. *)
+  List.iter
+    (fun (from, into) ->
+      match reducible ~n ~t ~from ~into with
+      | Yes why | No why | Unknown why ->
+          Printf.printf "%s -> %s: %s\n" (name from) (name into) why)
+    [
+      (ES t, Omega 2);
+      (EPhi 1, Omega t);
+      (Omega 1, ES n);
+      (Omega 2, Phi 1);
+      (Phi t, Perfect);
+      (S 2, EPhi 1);
+    ]

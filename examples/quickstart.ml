@@ -1,0 +1,51 @@
+(* Quickstart: consensus over a simulated asynchronous system.
+
+   Five processes propose values; one crashes mid-run; an eventual-leader
+   failure detector (Ω = Ω_1) stabilizes at virtual time 20; the paper's
+   round-based algorithm (Figure 3 with k = 1) decides a single value.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Setagree_util
+open Setagree_dsys
+open Setagree_fd
+open Setagree_core
+
+let () =
+  (* A system of n = 5 processes, at most t = 2 crashes, fully seeded:
+     rerunning reproduces the exact same run. *)
+  let sim = Sim.create ~horizon:1000.0 ~n:5 ~t:2 ~seed:2026 () in
+
+  (* The adversary: p5 crashes at time 7. *)
+  Sim.install_crashes sim [ (4, 7.0) ];
+
+  (* The oracle: an Ω_1 (eventual leader) failure detector that behaves
+     arbitrarily until time 20 and stabilizes afterwards. *)
+  let omega, eventual_leader =
+    Oracle.omega_z sim ~z:1 ~behavior:(Behavior.stormy ~gst:20.0) ()
+  in
+
+  (* Everyone proposes a different value. *)
+  let proposals = [| 101; 102; 103; 104; 105 |] in
+  let h = Kset.install sim ~omega ~proposals () in
+
+  Printf.printf "proposals: %s\n"
+    (String.concat " " (Array.to_list (Array.map string_of_int proposals)));
+  Printf.printf "crash schedule: p5 at t=7; leader stabilizes at t=20 on %s\n\n"
+    (Pidset.to_string eventual_leader);
+
+  (* Run until every correct process has decided. *)
+  let outcome = Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim in
+
+  List.iter
+    (fun (pid, value, round, time) ->
+      Printf.printf "%s decided %d in round %d at t=%.1f\n" (Pid.to_string pid) value round
+        time)
+    (Kset.decisions h);
+
+  let verdict =
+    Check.k_set_agreement sim ~k:1 ~proposals ~decisions:(Kset.decisions h)
+  in
+  Printf.printf "\nconsensus check: %s\n" (Format.asprintf "%a" Check.pp_verdict verdict);
+  Printf.printf "run: %d events, ended at t=%.1f, %d point-to-point messages\n"
+    outcome.events outcome.end_time (Kset.messages_sent h)

@@ -1,0 +1,82 @@
+(** The arithmetic of the paper: every parameter constraint, reduction
+    formula and grid relation in one pure, heavily-tested module.
+
+    Conventions: [n] processes, at most [t] crashes ([0 <= t < n]);
+    scope [1 <= x <= n] for S_x / ◇S_x; query strength [0 <= y <= t] for
+    φ_y / ◇φ_y / Ψ_y; leadership width [1 <= z <= n] for Ω_z;
+    agreement degree [k >= 1].
+
+    The OCR of the source report loses most formulas; the constraints here
+    are re-derived from the prose and figures (see DESIGN.md §3). *)
+
+(** {1 Parameter validity} *)
+
+val valid_x : n:int -> x:int -> bool
+val valid_y : t:int -> y:int -> bool
+val valid_z : n:int -> z:int -> bool
+
+(** {1 Additivity (Theorem 8 and Figure 2)} *)
+
+val addition_possible : t:int -> x:int -> y:int -> z:int -> bool
+(** ◇S_x + ◇φ_y → Ω_z is possible iff [x + y + z >= t + 2]. *)
+
+val z_of_addition : t:int -> x:int -> y:int -> int
+(** The strongest (smallest) z the two-wheels construction achieves:
+    [z = t + 2 - x - y].  Meaningful when >= 1, i.e. [x + y <= t + 1]. *)
+
+val wheels_admissible : n:int -> t:int -> x:int -> y:int -> bool
+(** The two-wheels algorithm's own preconditions: valid x and y,
+    [x + y <= t + 1] (so z >= 1), and [t - y + 1 >= 1] (upper ring sets
+    non-empty). *)
+
+val upper_y_size : t:int -> y:int -> int
+(** |Y| in the upper wheel: [t - y + 1] — the smallest size in ◇φ_y's
+    meaningful window. *)
+
+(** {1 Single-class reductions (Corollaries 6 and 7)} *)
+
+val es_to_omega_possible : t:int -> x:int -> z:int -> bool
+(** ◇S_x → Ω_z iff [x + z >= t + 2] (y = 0 in Theorem 8). *)
+
+val phi_to_omega_possible : t:int -> y:int -> z:int -> bool
+(** ◇φ_y → Ω_z iff [y + z >= t + 1] (x = 1 in Theorem 8). *)
+
+val omega_from_es : t:int -> x:int -> int
+(** Best z from ◇S_x alone: [t + 2 - x] (clamped to >= 1). *)
+
+val omega_from_phi : t:int -> y:int -> int
+(** Best z from ◇φ_y alone: [t + 1 - y] (clamped to >= 1). *)
+
+(** {1 k-set agreement solvability} *)
+
+val kset_with_omega : n:int -> t:int -> z:int -> k:int -> bool
+(** Theorem 5: k-set agreement solvable in AS_{n,t}[Ω_z] iff
+    [t < n/2] and [z <= k]. *)
+
+val kset_from_es : t:int -> x:int -> int
+(** Weakest k solvable with ◇S_x (Herlihy–Penso): [k = t - x + 2], clamped
+    to >= 1 (x = t + 1 or more already allows consensus). *)
+
+val kset_from_phi : t:int -> y:int -> int
+(** Weakest k solvable with ◇φ_y / Ψ_y: [k = t - y + 1], clamped. *)
+
+(** {1 The grid (Figure 1)} *)
+
+type row = { z : int; sx : int; phiy : int }
+(** Row [z] of the grid: classes S_sx, ◇S_sx, Ω_z, φ_phiy, ◇φ_phiy all
+    solve z-set agreement; [sx = t - z + 2], [phiy = t - z + 1]. *)
+
+val grid_row : t:int -> z:int -> row
+val grid : t:int -> row list
+(** Rows z = 1 .. t + 1. *)
+
+(** {1 Strengthening (Appendix B / Figure 9)} *)
+
+val strengthen_possible : t:int -> x:int -> y:int -> bool
+(** S_x + φ_y → S (and ◇ variants) iff [x + y >= t + 1] (the z = 1 boundary
+    of Theorem 8 for the ◇ case). *)
+
+(** {1 Fig. 8 (Appendix A)} *)
+
+val psi_chain_length : n:int -> z:int -> int
+(** Number of sets in the nested sequence Y[1..]: [n - z + 1]. *)

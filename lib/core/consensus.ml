@@ -1,0 +1,21 @@
+open Setagree_net
+open Setagree_fd
+
+type t = Kset.t
+
+let install sim ~(omega : Iface.leader) ~proposals ?(delay = Delay.default)
+    ?(step = 0.05) () =
+  Kset.install sim ~omega ~proposals ~delay ~step ()
+
+let decided = Kset.decided
+let all_correct_decided = Kset.all_correct_decided
+let decisions = Kset.decisions
+let max_round = Kset.max_round
+
+let agreement_holds t =
+  let values =
+    List.sort_uniq Int.compare (List.map (fun (_, v, _, _) -> v) (Kset.decisions t))
+  in
+  List.length values <= 1
+
+let kset t = t

@@ -1,0 +1,38 @@
+(** Consensus as the k = 1 specialization of the paper's algorithm.
+
+    Ω_1 = Ω (the weakest failure detector for consensus with a correct
+    majority), and Figure 3 with an Ω_1 input is exactly the Ω-based
+    consensus algorithm the paper adapts (its reference [20]).  The
+    headline of the paper's additivity result reads, at t >= 2:
+    ◇S_t solves 2-set agreement but not consensus, ◇φ_1 solves t-set
+    agreement but not (t-1)-set agreement — yet ◇S_t + ◇φ_1 → Ω_1 solves
+    consensus ({!Setagree_core.Wheels} + this module; see
+    examples/additivity_demo.ml). *)
+
+open Setagree_util
+open Setagree_dsys
+open Setagree_net
+open Setagree_fd
+
+type t
+
+val install :
+  Sim.t ->
+  omega:Iface.leader ->
+  proposals:int array ->
+  ?delay:Delay.t ->
+  ?step:float ->
+  unit ->
+  t
+(** The Ω source must belong to Ω_1 for the single-value guarantee. *)
+
+val decided : t -> Pid.t -> (int * int) option
+val all_correct_decided : t -> bool
+val decisions : t -> (Pid.t * int * int * float) list
+val max_round : t -> int
+
+val agreement_holds : t -> bool
+(** True iff at most one distinct value has been decided so far. *)
+
+val kset : t -> Kset.t
+(** The underlying engine. *)

@@ -1,0 +1,118 @@
+open Setagree_util
+open Setagree_dsys
+open Setagree_net
+open Setagree_fd
+
+type msg =
+  | Est of { r : int; v : int } (* coordinator's proposal for round r *)
+  | Aux of { r : int; aux : int option }
+
+type t = {
+  sim : Sim.t;
+  net : msg Net.t;
+  rb : int Rbcast.t;
+  decided_at : (int * int * float) option array;
+  round_of : int array;
+  mutable max_round : int;
+}
+
+let decided t pid = Option.map (fun (v, r, _) -> (v, r)) t.decided_at.(pid)
+
+let all_correct_decided t =
+  Pidset.for_all (fun i -> t.decided_at.(i) <> None) (Sim.correct_set t.sim)
+
+let decisions t =
+  let ds = ref [] in
+  Array.iteri
+    (fun pid -> function Some (v, r, tm) -> ds := (pid, v, r, tm) :: !ds | None -> ())
+    t.decided_at;
+  List.sort (fun (_, _, _, a) (_, _, _, b) -> Float.compare a b) !ds
+
+let max_round t = t.max_round
+let messages_sent t = Net.sent_count t.net + Rbcast.underlying_sent t.rb
+
+let install sim ~(suspector : Iface.suspector) ~proposals ?(delay = Delay.default) () =
+  let n = Sim.n sim in
+  let tb = Sim.t_bound sim in
+  if 2 * tb >= n then invalid_arg "Consensus_s.install: requires t < n/2";
+  if Array.length proposals <> n then invalid_arg "Consensus_s.install: bad proposals";
+  let net = Net.create sim ~tag:"cons_s" ~delay () in
+  let rb = Rbcast.create sim ~tag:"cons_s.dec" ~delay () in
+  let t =
+    {
+      sim;
+      net;
+      rb;
+      decided_at = Array.make n None;
+      round_of = Array.make n 0;
+      max_round = 0;
+    }
+  in
+  Rbcast.on_deliver rb (fun pid (d : int Rbcast.delivery) ->
+      if t.decided_at.(pid) = None then begin
+        let round = t.round_of.(pid) in
+        t.decided_at.(pid) <- Some (d.body, round, Sim.now sim);
+        Trace.record (Sim.trace sim) ~time:(Sim.now sim)
+          (Trace.Decide { pid; value = d.body; round })
+      end);
+  let body i () =
+    let est = ref proposals.(i) in
+    let r = ref 0 in
+    let decided_i () = t.decided_at.(i) <> None in
+    while not (decided_i ()) do
+      incr r;
+      let round = !r in
+      t.round_of.(i) <- round;
+      if round > t.max_round then t.max_round <- round;
+      let coord = (round - 1) mod n in
+      (* Phase 1: the coordinator pushes its estimate; everyone adopts it
+         as aux unless the coordinator becomes suspect first. *)
+      if i = coord then Net.broadcast net ~src:i (Est { r = round; v = !est });
+      let est_from_coord () =
+        List.find_map
+          (fun (e : msg Net.envelope) ->
+            match e.payload with
+            | Est { r; v } when r = round && e.src = coord -> Some v
+            | Est _ | Aux _ -> None)
+          (Net.inbox net i)
+      in
+      Sim.wait_until (fun () ->
+          decided_i ()
+          || est_from_coord () <> None
+          || Pidset.mem coord (suspector.Iface.suspected i));
+      if not (decided_i ()) then begin
+        let aux = est_from_coord () in
+        (* Phase 2: quorum exchange of aux values.  Any two (n-t)-quorums
+           intersect (t < n/2), which is what makes a decision in this
+           round sticky in all later rounds. *)
+        Net.broadcast net ~src:i (Aux { r = round; aux });
+        let is_aux (e : msg Net.envelope) =
+          match e.payload with Aux { r; _ } -> r = round | Est _ -> false
+        in
+        Sim.wait_until (fun () ->
+            decided_i ()
+            || Pidset.cardinal (Net.distinct_senders net i is_aux) >= n - tb);
+        if not (decided_i ()) then begin
+          let recs =
+            List.filter_map
+              (fun (e : msg Net.envelope) ->
+                match e.payload with
+                | Aux { r; aux } when r = round -> Some aux
+                | Aux _ | Est _ -> None)
+              (Net.inbox net i)
+          in
+          let vals = List.sort_uniq compare (List.filter_map Fun.id recs) in
+          let has_bot = List.mem None recs in
+          match (vals, has_bot) with
+          | [ v ], false -> Rbcast.broadcast rb ~src:i v
+          | v :: _, _ -> est := v
+          | [], _ -> ()
+        end
+      end
+    done
+  in
+  for i = 0 to n - 1 do
+    Sim.spawn sim ~pid:i (body i)
+  done;
+  Sim.ticker sim ~every:1.0;
+  t

@@ -1,0 +1,43 @@
+(** ◇S-based consensus with a rotating coordinator — the classic algorithm
+    family the paper builds on (its references [18] Mostéfaoui-Raynal and
+    [24] Schiper; same round skeleton as Chandra-Toueg), included as the
+    baseline the Ω-based route is compared against (experiment E12).
+
+    Round r (coordinator c = (r-1) mod n):
+    + the coordinator broadcasts its estimate; every process waits until
+      it receives it {e or} its ◇S module suspects c, and sets [aux] to
+      the value or ⊥;
+    + everyone exchanges [aux]; on n-t replies: a process seeing a single
+      value v and no ⊥ reliably broadcasts DECIDE(v); a process seeing v
+      and ⊥ adopts v; a process seeing only ⊥ keeps its estimate.
+
+    Quorum intersection (t < n/2) makes a round-r decision sticky in
+    every later round; eventual weak accuracy makes the round of the
+    never-suspected correct coordinator decide.
+
+    Contrast with {!Kset} at k = 1 (the Ω-based route): this algorithm
+    needs full-scope ◇S = ◇S_n, decides in the round where the rotation
+    reaches a stable leader (up to n rounds after stabilization), while
+    the Ω-based algorithm lets the detector itself name the leader. *)
+
+open Setagree_util
+open Setagree_dsys
+open Setagree_net
+open Setagree_fd
+
+type t
+
+val install :
+  Sim.t ->
+  suspector:Iface.suspector ->
+  proposals:int array ->
+  ?delay:Delay.t ->
+  unit ->
+  t
+(** The suspector must belong to ◇S (= ◇S_n); requires t < n/2. *)
+
+val decided : t -> Pid.t -> (int * int) option
+val all_correct_decided : t -> bool
+val decisions : t -> (Pid.t * int * int * float) list
+val max_round : t -> int
+val messages_sent : t -> int

@@ -1,0 +1,223 @@
+type cls =
+  | S of int
+  | ES of int
+  | Omega of int
+  | Phi of int
+  | EPhi of int
+  | Psi of int
+  | Perfect
+  | EPerfect
+
+type verdict = Yes of string | No of string | Unknown of string
+
+let pp_cls fmt = function
+  | S x -> Format.fprintf fmt "S_%d" x
+  | ES x -> Format.fprintf fmt "◇S_%d" x
+  | Omega z -> Format.fprintf fmt "Ω_%d" z
+  | Phi y -> Format.fprintf fmt "φ_%d" y
+  | EPhi y -> Format.fprintf fmt "◇φ_%d" y
+  | Psi y -> Format.fprintf fmt "Ψ_%d" y
+  | Perfect -> Format.fprintf fmt "P"
+  | EPerfect -> Format.fprintf fmt "◇P"
+
+let parse_cls s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let num prefix =
+    let l = String.length prefix in
+    if String.length s > l && String.sub s 0 l = prefix then
+      int_of_string_opt (String.sub s l (String.length s - l))
+    else None
+  in
+  match s with
+  | "p" -> Some Perfect
+  | "ep" -> Some EPerfect
+  | _ -> (
+      (* Longest prefixes first: "ephi" before "es", "psi" before "p". *)
+      match num "ephi" with
+      | Some y -> Some (EPhi y)
+      | None -> (
+          match num "psi" with
+          | Some y -> Some (Psi y)
+          | None -> (
+              match num "phi" with
+              | Some y -> Some (Phi y)
+              | None -> (
+                  match num "es" with
+                  | Some x -> Some (ES x)
+                  | None -> (
+                      match num "omega" with
+                      | Some z -> Some (Omega z)
+                      | None -> (
+                          match num "s" with Some x -> Some (S x) | None -> None))))))
+
+let valid ~n ~t = function
+  | S x | ES x -> 1 <= x && x <= n
+  | Omega z -> 1 <= z && z <= n
+  | Phi y | EPhi y | Psi y -> 0 <= y && y <= t
+  | Perfect | EPerfect -> true
+
+(* The degenerate corners of the grid: classes a process can implement with
+   no information at all (suspect everyone else / trust the first t+1
+   processes / answer queries by size alone). *)
+let free ~n:_ ~t = function
+  | S 1 | ES 1 -> true
+  | Phi 0 | EPhi 0 | Psi 0 -> true
+  | Omega z -> z >= t + 1
+  | S _ | ES _ | Phi _ | EPhi _ | Psi _ | Perfect | EPerfect -> false
+
+let reducible ~n ~t ~from ~into =
+  if not (valid ~n ~t from) then invalid_arg "Grid.reducible: invalid source class";
+  if not (valid ~n ~t into) then invalid_arg "Grid.reducible: invalid target class";
+  if free ~n ~t into then Yes "target is information-free (degenerate grid corner)"
+  else
+    match (from, into) with
+    (* --- identity / within-family inclusions --- *)
+    | Perfect, Perfect | EPerfect, EPerfect -> Yes "identity"
+    | Perfect, EPerfect -> Yes "inclusion: perpetual implies eventual"
+    | EPerfect, Perfect -> No "a perpetual class cannot be built from an eventual one"
+    | S x, S x' ->
+        if x' <= x then Yes "inclusion: smaller scope is weaker"
+        else if x >= t + 1 then
+          Unknown
+            "scope >= t+1 widens to ◇S_n through Omega_1, but whether the perpetual \
+             accuracy survives is not settled"
+        else No "Herlihy-Penso: widening the scope would beat the k-set lower bound"
+    | S x, ES x' | ES x, ES x' ->
+        if x' <= x then Yes "inclusion: smaller scope is weaker"
+        else if x >= t + 1 then
+          Yes "scope >= t+1 already solves consensus: route through Omega_1 ≃ ◇S_n"
+        else No "Herlihy-Penso: widening the scope would beat the k-set lower bound"
+    | ES _, S _ -> No "a perpetual class cannot be built from an eventual one"
+    | Phi y, Phi y' | Phi y, EPhi y' | EPhi y, EPhi y' | Phi y, Psi y' | Psi y, Psi y' ->
+        if y' <= y then Yes "inclusion: wider triviality band is weaker (Reduce.weaken_phi)"
+        else No "query strength cannot be increased within the phi family alone"
+    | EPhi _, Phi _ | EPhi _, Psi _ ->
+        No "a perpetual class cannot be built from an eventual one"
+    | Psi _, Phi _ | Psi _, EPhi _ ->
+        Unknown
+          "the paper does not settle whether nested-query power yields unrestricted \
+           queries"
+    (* --- to Omega --- *)
+    | S x, Omega z | ES x, Omega z ->
+        if x + z >= t + 2 then
+          Yes "two wheels with y = 0 (Corollary 7; Theorem 8 sufficiency)"
+        else No "Theorem 8 necessity: requires x + 0 + z >= t + 2"
+    | Phi y, Omega z | EPhi y, Omega z | Psi y, Omega z ->
+        if y + z >= t + 1 then
+          Yes "two wheels with x = 1, or the Figure-8 chain for Psi (Corollary 6)"
+        else No "Theorem 8 necessity at x = 1: requires 1 + y + z >= t + 2"
+    | Perfect, Omega _ | EPerfect, Omega _ ->
+        Yes "trust the smallest unsuspected process"
+    (* --- from Omega --- *)
+    | Omega z, Omega z' ->
+        if z' >= z then Yes "inclusion: wider leadership is weaker"
+        else
+          No
+            "Omega_z solves no better than z-set agreement (Theorem 5), Omega_{z'} \
+             would"
+    | Omega 1, ES _ -> Yes "suspect everybody but the leader (Reduce.es_from_omega)"
+    | Omega _, ES _ ->
+        No
+          "an Omega_z history (z >= 2) is compatible with every crash pattern \
+           (Theorem 12): strong completeness is unobtainable"
+    | Omega _, S _ -> No "a perpetual class cannot be built from an eventual one"
+    | Omega _, (Phi _ | EPhi _ | Psi _) ->
+        No
+          "Omega_z reveals nothing about which processes crashed (Theorem 12): \
+           region-death queries are unanswerable"
+    | Omega _, (Perfect | EPerfect) ->
+        No "Omega_z reveals nothing about which processes crashed (Theorem 12)"
+    (* --- suspectors to the phi family and P --- *)
+    | (S _ | ES _), (Phi _ | EPhi _ | Psi _) ->
+        No
+          "Theorem 10: a region can be silent-but-alive with unchanged suspector \
+           output, so query safety or liveness must fail"
+    | (S _ | ES _), (Perfect | EPerfect) ->
+        No
+          "suspectors admit histories with permanent false suspicions of correct \
+           processes; P and ◇P forbid them"
+    (* --- phi family to suspectors and P --- *)
+    | Phi y, S x | Phi y, ES x ->
+        if y = t then Yes "phi_t ≃ P (query singletons; Reduce.p_from_phi_t)"
+        else if x = 1 then Yes "scope-1 accuracy is free"
+        else No "Theorem 11: below strength t the phi family caps scope at 1"
+    | EPhi _, S _ -> No "a perpetual class cannot be built from an eventual one"
+    | EPhi y, ES x ->
+        if y = t then Yes "◇phi_t ≃ ◇P (query singletons)"
+        else if x = 1 then Yes "scope-1 accuracy is free"
+        else No "Theorem 11: below strength t the phi family caps scope at 1"
+    | Psi y, (S x | ES x) ->
+        if x = 1 then Yes "scope-1 accuracy is free"
+        else if y = t then
+          Unknown
+            "Psi_t cannot query incomparable singletons, so the phi_t ≃ P route is \
+             unavailable; the paper leaves this cell open"
+        else No "Theorem 11: below strength t the phi family caps scope at 1"
+    | Phi y, Perfect ->
+        if y = t then Yes "phi_t ≃ P" else No "would give S_n, contradicting Theorem 11"
+    | Phi y, EPerfect ->
+        if y = t then Yes "phi_t ≃ P ⊆ ◇P"
+        else No "would give ◇S_n, contradicting Theorem 11"
+    | EPhi _, Perfect -> No "a perpetual class cannot be built from an eventual one"
+    | EPhi y, EPerfect ->
+        if y = t then Yes "◇phi_t ≃ ◇P"
+        else No "would give ◇S_n, contradicting Theorem 11"
+    | Psi _, (Perfect | EPerfect) ->
+        Unknown "the nested-query discipline blocks the singleton equivalence"
+    (* --- P to everything --- *)
+    | Perfect, (S _ | ES _) -> Yes "P suspects exactly the crashed: every scope holds"
+    | Perfect, (Phi _ | EPhi _ | Psi _) ->
+        Yes "answer the meaningful window with X ⊆ suspected (Reduce.phi_t_from_p)"
+    | EPerfect, ES _ -> Yes "◇P suspects exactly the crashed eventually"
+    | EPerfect, S _ -> No "a perpetual class cannot be built from an eventual one"
+    | EPerfect, EPhi _ ->
+        Yes "answer the meaningful window with X ⊆ suspected (eventually exact)"
+    | EPerfect, (Phi _ | Psi _) ->
+        No "a perpetual class cannot be built from an eventual one"
+
+let row_representatives ~n ~t =
+  ignore n;
+  [ Perfect; EPerfect ]
+  @ List.concat_map
+      (fun (row : Bounds.row) ->
+        [ S row.sx; ES row.sx; Omega row.z; Phi row.phiy; EPhi row.phiy ])
+      (Bounds.grid ~t)
+
+let kset_power ~n ~t cls =
+  if (not (valid ~n ~t cls)) || 2 * t >= n then None
+  else
+    let k =
+      match cls with
+      | S x | ES x -> Bounds.kset_from_es ~t ~x
+      | Phi y | EPhi y | Psi y -> Bounds.kset_from_phi ~t ~y
+      | Omega z -> z
+      | Perfect | EPerfect -> 1
+    in
+    if k >= t + 1 then None else Some k
+
+let pp_matrix ~n ~t fmt classes =
+  let name c = Format.asprintf "%a" pp_cls c in
+  let power c =
+    match kset_power ~n ~t c with
+    | Some k -> Printf.sprintf "%d-set" k
+    | None -> "free"
+  in
+  Format.fprintf fmt "%14s |" "";
+  List.iter (fun c -> Format.fprintf fmt "%5s" (name c)) classes;
+  Format.pp_print_newline fmt ();
+  Format.fprintf fmt "%s@." (String.make (16 + (5 * List.length classes)) '-');
+  List.iter
+    (fun from ->
+      Format.fprintf fmt "%7s %6s |" (name from) ("(" ^ power from ^ ")");
+      List.iter
+        (fun into ->
+          let mark =
+            match reducible ~n ~t ~from ~into with
+            | Yes _ -> "Y"
+            | No _ -> "n"
+            | Unknown _ -> "?"
+          in
+          Format.fprintf fmt "%5s" mark)
+        classes;
+      Format.pp_print_newline fmt ())
+    classes

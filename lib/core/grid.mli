@@ -1,0 +1,67 @@
+(** The paper's reducibility lattice (Figure 1 plus Theorems 8–12), as a
+    queryable relation.
+
+    [reducible ~n ~t ~from ~into] answers: is there an algorithm that, in
+    AS_{n,t} equipped with one failure detector of class [from], builds a
+    failure detector of class [into]?  The encoding covers:
+
+    - the inclusion maps down each family (larger scope / strength is
+      stronger);
+    - the constructive reductions: ◇S_x → Ω_{t+2-x}, ◇φ_y → Ω_{t+1-y},
+      Ψ_y → Ω_{t+1-y}, the extreme equivalences φ_t ≃ P, ◇φ_t ≃ ◇P,
+      Ω_1 ≃ ◇S (both directions), and the degenerate free classes
+      (S_1, ◇S_1, φ_0, ◇φ_0, Ψ_0, Ω_z for z >= t+1 — all implementable
+      with no information);
+    - the impossibility theorems: the φ-family cannot be built from
+      suspectors (Thm 10), suspectors of scope >= 2 cannot be built from
+      the φ-family below strength t (Thm 11), Ω_z reveals nothing about
+      crashes (Thm 12), Ω_z cannot be narrowed (Thm 5 + the grid), and no
+      eventual class yields a perpetual one.
+
+    Where the OCR-damaged source leaves a theorem's exact parameter range
+    ambiguous and the answer is not forced by a construction or an
+    information-cap argument we can state, the verdict is [`Unknown] — the
+    module never guesses (DESIGN.md §3 discusses each such spot). *)
+
+type cls =
+  | S of int  (** S_x, perpetual limited-scope accuracy. *)
+  | ES of int  (** ◇S_x. *)
+  | Omega of int  (** Ω_z. *)
+  | Phi of int  (** φ_y. *)
+  | EPhi of int  (** ◇φ_y. *)
+  | Psi of int  (** Ψ_y (φ_y under nested-query discipline). *)
+  | Perfect  (** P. *)
+  | EPerfect  (** ◇P. *)
+
+type verdict = Yes of string | No of string | Unknown of string
+(** The payload is the justification (construction or theorem). *)
+
+val valid : n:int -> t:int -> cls -> bool
+(** Parameter in range for the family. *)
+
+val free : n:int -> t:int -> cls -> bool
+(** Implementable with no information on failures at all (the degenerate
+    grid corners). *)
+
+val reducible : n:int -> t:int -> from:cls -> into:cls -> verdict
+
+val pp_cls : Format.formatter -> cls -> unit
+
+val parse_cls : string -> cls option
+(** ["S3"], ["ES2"], ["Omega1"], ["Phi2"], ["EPhi0"], ["Psi1"], ["P"],
+    ["EP"] (case-insensitive). *)
+
+val kset_power : n:int -> t:int -> cls -> int option
+(** The smallest k for which the class is known to solve k-set agreement
+    in AS_{n,t} (requires t < n/2 for the algorithms used); [None] when the
+    class gives no agreement power beyond the FD-free t+1 bound or
+    parameters are invalid. *)
+
+val row_representatives : n:int -> t:int -> cls list
+(** P, ◇P, then one representative of each family per grid row — the
+    classes Figure 1 draws. *)
+
+val pp_matrix : n:int -> t:int -> Format.formatter -> cls list -> unit
+(** Render the pairwise reducibility matrix of the given classes
+    (Y = construction exists, n = impossible, ? = open), with each row's
+    k-set power in the margin. *)

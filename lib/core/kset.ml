@@ -1,0 +1,187 @@
+open Setagree_util
+open Setagree_dsys
+open Setagree_net
+open Setagree_fd
+
+type msg =
+  | Phase1 of { r : int; lset : Pidset.t; est : int }
+  | Phase2 of { r : int; aux : int option }
+
+type t = {
+  sim : Sim.t;
+  net : msg Net.t;
+  rb : int Rbcast.t;
+  decided_at : (int * int * float) option array; (* value, round, time *)
+  round_of : int array;
+  mutable max_round : int;
+  (* Lemma 2 witness: per round, the distinct non-⊥ aux values any process
+     broadcast in phase 2. *)
+  aux_per_round : (int, int list) Hashtbl.t;
+}
+
+let decided t pid =
+  Option.map (fun (v, r, _) -> (v, r)) t.decided_at.(pid)
+
+let all_correct_decided t =
+  Pidset.for_all (fun i -> t.decided_at.(i) <> None) (Sim.correct_set t.sim)
+
+let decisions t =
+  let ds = ref [] in
+  Array.iteri
+    (fun pid -> function
+      | Some (v, r, tm) -> ds := (pid, v, r, tm) :: !ds
+      | None -> ())
+    t.decided_at;
+  List.sort (fun (_, _, _, a) (_, _, _, b) -> Float.compare a b) !ds
+
+let max_round t = t.max_round
+let messages_sent t = Net.sent_count t.net + Rbcast.underlying_sent t.rb
+
+(* The empirical face of the paper's Lemma 2: at the end of phase 1 of any
+   round, at most |L| <= k distinct non-⊥ values survive.  We witness it on
+   the phase-2 broadcasts. *)
+let max_distinct_aux t =
+  Hashtbl.fold (fun _ vs acc -> max acc (List.length vs)) t.aux_per_round 0
+
+let record_aux t ~round = function
+  | None -> ()
+  | Some v ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt t.aux_per_round round) in
+      if not (List.mem v cur) then Hashtbl.replace t.aux_per_round round (v :: cur)
+
+(* Find the leader set announced (in its PHASE1 of this round) by a strict
+   majority of distinct senders, if any; at most one set can qualify. *)
+let majority_leader_set envs ~n =
+  let counts : (Pidset.t * Pidset.t) list ref = ref [] (* lset, senders *) in
+  List.iter
+    (fun (e : msg Net.envelope) ->
+      match e.payload with
+      | Phase1 { lset; _ } ->
+          let senders =
+            match List.assoc_opt lset !counts with
+            | Some s -> Pidset.add e.src s
+            | None -> Pidset.singleton e.src
+          in
+          counts := (lset, senders) :: List.remove_assoc lset !counts
+      | Phase2 _ -> ())
+    envs;
+  List.find_opt (fun (_, senders) -> 2 * Pidset.cardinal senders > n) !counts
+  |> Option.map fst
+
+type tie_break = Smallest | By_pid
+
+(* Resolve an "arbitrary" choice among candidates (non-empty, sorted). *)
+let choose tie_break ~pid = function
+  | [] -> invalid_arg "Kset.choose: empty"
+  | l -> (
+      match tie_break with
+      | Smallest -> List.hd l
+      | By_pid -> List.nth l (pid mod List.length l))
+
+let install sim ~omega ~proposals ?(delay = Delay.default) ?(step = 0.05)
+    ?(tie_break = Smallest) ?decision_stagger ?loss () =
+  let n = Sim.n sim in
+  let tb = Sim.t_bound sim in
+  if 2 * tb >= n then invalid_arg "Kset.install: requires t < n/2";
+  if Array.length proposals <> n then invalid_arg "Kset.install: bad proposals";
+  let net = Net.create sim ~tag:"kset" ~delay ?loss () in
+  let rb = Rbcast.create sim ~tag:"kset.dec" ~delay ?stagger:decision_stagger ?loss () in
+  let t =
+    {
+      sim;
+      net;
+      rb;
+      decided_at = Array.make n None;
+      round_of = Array.make n 0;
+      max_round = 0;
+      aux_per_round = Hashtbl.create 32;
+    }
+  in
+  (* Task T2: decide on R-delivery of a DECISION value. *)
+  Rbcast.on_deliver rb (fun pid (d : int Rbcast.delivery) ->
+      if t.decided_at.(pid) = None then begin
+        let round = t.round_of.(pid) in
+        t.decided_at.(pid) <- Some (d.body, round, Sim.now sim);
+        Trace.record (Sim.trace sim) ~time:(Sim.now sim)
+          (Trace.Decide { pid; value = d.body; round })
+      end);
+  (* Task T1: the round loop. *)
+  let body i () =
+    let est = ref proposals.(i) in
+    let r = ref 0 in
+    let decided_i () = t.decided_at.(i) <> None in
+    while not (decided_i ()) do
+      incr r;
+      let round = !r in
+      t.round_of.(i) <- round;
+      if round > t.max_round then t.max_round <- round;
+      (* Phase 1 *)
+      let l_i = omega.Iface.trusted i in
+      Net.broadcast net ~src:i (Phase1 { r = round; lset = l_i; est = !est });
+      let is_p1 (e : msg Net.envelope) =
+        match e.payload with Phase1 { r; _ } -> r = round | Phase2 _ -> false
+      in
+      Sim.wait_until (fun () ->
+          decided_i ()
+          || Pidset.cardinal (Net.distinct_senders net i is_p1) >= n - tb);
+      Sim.wait_until (fun () ->
+          decided_i ()
+          || (not (Pidset.is_empty (Pidset.inter (Net.distinct_senders net i is_p1) l_i)))
+          || not (Pidset.equal (omega.Iface.trusted i) l_i));
+      if not (decided_i ()) then begin
+        let p1s = Net.recv_filter net i is_p1 in
+        let aux =
+          match majority_leader_set p1s ~n with
+          | None -> None
+          | Some lset -> (
+              (* Estimate announced by a member of the majority leader set;
+                 smallest sender for determinism. *)
+              let from_l =
+                List.filter_map
+                  (fun (e : msg Net.envelope) ->
+                    match e.payload with
+                    | Phase1 { est; _ } when Pidset.mem e.src lset -> Some (e.src, est)
+                    | _ -> None)
+                  p1s
+              in
+              match List.sort_uniq compare (List.map snd from_l) with
+              | [] -> None
+              | vs -> Some (choose tie_break ~pid:i vs))
+        in
+        (* Phase 2 *)
+        record_aux t ~round aux;
+        Net.broadcast net ~src:i (Phase2 { r = round; aux });
+        let is_p2 (e : msg Net.envelope) =
+          match e.payload with Phase2 { r; _ } -> r = round | Phase1 _ -> false
+        in
+        Sim.wait_until (fun () ->
+            decided_i ()
+            || Pidset.cardinal (Net.distinct_senders net i is_p2) >= n - tb);
+        if not (decided_i ()) then begin
+          let recs =
+            List.filter_map
+              (fun (e : msg Net.envelope) ->
+                match e.payload with
+                | Phase2 { r; aux } when r = round -> Some aux
+                | Phase1 _ | Phase2 _ -> None)
+              (Net.inbox net i)
+          in
+          let non_bot = List.sort_uniq compare (List.filter_map Fun.id recs) in
+          (match non_bot with [] -> () | vs -> est := choose tie_break ~pid:i vs);
+          if not (List.mem None recs) then begin
+            Rbcast.broadcast rb ~src:i !est;
+            (* The local R-delivery above has already recorded the decision;
+               the loop guard ends the task. *)
+          end
+          else Sim.sleep step
+        end
+      end
+    done
+  in
+  for i = 0 to n - 1 do
+    Sim.spawn sim ~pid:i (body i)
+  done;
+  (* Oracle reads are time-driven; keep predicates re-evaluated even between
+     message events. *)
+  Sim.ticker sim ~every:1.0;
+  t

@@ -1,0 +1,81 @@
+(** The Ω_k-based k-set agreement algorithm (paper Figure 3, §3).
+
+    Round structure (process p_i, estimate [est_i], round [r_i]):
+
+    + {b Phase 1} — read [trusted_i] into [L_i]; broadcast
+      [PHASE1(r, L_i, est_i)]; wait for PHASE1(r) from n-t distinct
+      processes {e and} (one from a member of [L_i] {e or} [trusted_i]
+      changed).  If one leader set [L] was announced by a majority and an
+      estimate [v] was received from a member of [L], set [aux_i := v],
+      else [aux_i := ⊥].  (At most [|L| <= k] non-⊥ values survive.)
+    + {b Phase 2} — broadcast [PHASE2(r, aux_i)]; wait for n-t of them;
+      adopt any non-⊥ value received; if no ⊥ was received, R-broadcast
+      [DECISION(est_i)] and stop.
+
+    A parallel task decides on R-delivery of a [DECISION] (so deciders
+    unblock everyone; R-broadcast's termination property is what prevents
+    deadlock).
+
+    Requires [t < n/2].  With [z <= k] (Theorem 5's condition) the
+    algorithm decides at most k values; the interesting {e mis-use} —
+    running it with an Ω_z oracle where z > k — is how experiment E2
+    exhibits agreement violations.
+
+    Oracle-efficiency and zero-degradation (§3.2): with a perfect oracle
+    and only initial crashes, every process decides in round 1. *)
+
+open Setagree_util
+open Setagree_dsys
+open Setagree_net
+open Setagree_fd
+
+type t
+
+type tie_break = Smallest | By_pid
+(** Where the paper says "takes one arbitrarily" (several candidate
+    estimates), any choice is legal.  [Smallest] is the friendly
+    deterministic choice; [By_pid] spreads choices across processes — a
+    legal implementation that an adversary would pick, used to exhibit the
+    z > k agreement violations of experiment E2. *)
+
+val install :
+  Sim.t ->
+  omega:Iface.leader ->
+  proposals:int array ->
+  ?delay:Delay.t ->
+  ?step:float ->
+  ?tie_break:tie_break ->
+  ?decision_stagger:float ->
+  ?loss:float ->
+  unit ->
+  t
+(** Spawn the agreement tasks on every process.  [proposals.(i)] is p_i's
+    input; [step] (default 0.05) is the local pause between busy-wait
+    re-checks of oracle reads.  [decision_stagger] spaces the individual
+    sends of the DECISION R-broadcast so that a decider crashing at the
+    decision instant leaves a partial broadcast — the failure the echo
+    relay (and the paper's task T2) masks; default atomic.  [loss] runs
+    both protocol channels over the fair-lossy link transport (the whole
+    algorithm then works over unreliable links).  Call before
+    {!Sim.run}. *)
+
+val decided : t -> Pid.t -> (int * int) option
+(** [(value, round)] once the process has decided. *)
+
+val all_correct_decided : t -> bool
+(** Stop condition for {!Sim.run}. *)
+
+val decisions : t -> (Pid.t * int * int * float) list
+(** [(pid, value, round, time)], in decision order — feed to
+    {!Check.k_set_agreement}. *)
+
+val max_round : t -> int
+(** Highest round any process entered. *)
+
+val messages_sent : t -> int
+(** Point-to-point messages consumed (both phases + decision relay). *)
+
+val max_distinct_aux : t -> int
+(** The paper's Lemma 2, witnessed: the largest number of distinct non-⊥
+    estimates broadcast in any round's phase 2 — never more than z when
+    the detector belongs to Ω_z. *)

@@ -1,0 +1,38 @@
+(** The simple Ψ_y → Ω_z transformation of the paper's Appendix A
+    (Figure 8), for [y + z = t + 1].
+
+    A nested chain Y[0] = ∅ ⊂ Y[1] ⊂ ... ⊂ Y[n-z+1] = Π is fixed in
+    advance, with |Y[1]| = z and each next set adding one process.  Reading
+    [trusted_i] costs a few queries and no messages: find the first k with
+    [query(Y[k]) = false] and return Y[k] \ Y[k-1].
+
+    Why it works (paper Theorem 12): let m be minimal with a correct
+    process in Y[m].  Eventually query(Y[j]) is true for j < m (liveness:
+    those sets are entirely dead — Y[1..m-1] sizes are in the meaningful
+    window because z = t+1-y puts |Y[1]| = t-y+1) and query(Y[m]) is false
+    (safety), so everyone returns Y[m] \ Y[m-1]: the full Y[1] (size z) if
+    m = 1, or the single — necessarily correct — process added at step m.
+
+    All query arguments are nested, so the containment discipline of Ψ_y is
+    respected by construction. *)
+
+open Setagree_util
+open Setagree_dsys
+open Setagree_fd
+
+type t
+
+val create : Sim.t -> querier:Iface.querier -> y:int -> t
+(** Requires [0 <= y <= t]; the achieved width is [z = t + 1 - y].
+    The querier must belong to Ψ_y (or φ_y — strictly stronger than
+    needed). *)
+
+val z : t -> int
+
+val omega : t -> Iface.leader
+
+val chain : t -> Pidset.t list
+(** The nested sequence Y[1..n-z+1] (for tests). *)
+
+val queries_per_read : t -> int
+(** Worst-case queries one [trusted] read can make (chain length). *)

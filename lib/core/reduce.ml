@@ -1,0 +1,62 @@
+open Setagree_dsys
+open Setagree_net
+open Setagree_fd
+
+let omega_from_es sim ~suspector ~x ?(step = 1.0) ?(delay = Delay.default) () =
+  let querier = Iface.no_query_info ~t:(Sim.t_bound sim) in
+  Wheels.install sim ~suspector ~querier ~x ~y:0 ~step ~delay ()
+
+let omega_from_phi sim ~querier ~y ?(step = 1.0) ?(delay = Delay.default) () =
+  Wheels.install sim ~suspector:Iface.no_suspicion ~querier ~x:1 ~y ~step ~delay ()
+
+let omega_from_psi sim ~querier ~y = Psi_to_omega.create sim ~querier ~y
+
+let solve_kset sim ~omega ~proposals ?(delay = Delay.default)
+    ?(tie_break = Kset.Smallest) () =
+  Kset.install sim ~omega ~proposals ~delay ~tie_break ()
+
+let omega_from_full_scope_es sim ~suspector ?(step = 1.0) ?(delay = Delay.default) () =
+  let lower = Wheels_lower.install sim ~suspector ~x:(Sim.n sim) ~step ~delay () in
+  (* With x = n the only candidate set is Pi itself, so every process is a
+     member and repr_i is the stabilized common leader. *)
+  (lower, { Setagree_fd.Iface.trusted = (fun i -> Setagree_util.Pidset.singleton (Wheels_lower.repr lower i)) })
+
+let es_from_omega (omega : Iface.leader) ~n =
+  {
+    Iface.suspected =
+      (fun i ->
+        let open Setagree_util in
+        Pidset.remove i (Pidset.diff (Pidset.full ~n) (omega.Iface.trusted i)));
+  }
+
+let p_from_phi_t (querier : Iface.querier) ~n =
+  {
+    Iface.suspected =
+      (fun i ->
+        let open Setagree_util in
+        Pidset.filter
+          (fun j -> j <> i && querier.Iface.query i (Pidset.singleton j))
+          (Pidset.full ~n));
+  }
+
+let phi_t_from_p (suspector : Iface.suspector) ~t =
+  {
+    Iface.query =
+      (fun i x ->
+        let open Setagree_util in
+        let c = Pidset.cardinal x in
+        if c <= 0 then true
+        else if c > t then false
+        else Pidset.subset x (suspector.Iface.suspected i));
+  }
+
+let weaken_omega (omega : Iface.leader) = omega
+let weaken_suspector (s : Iface.suspector) = s
+
+let weaken_phi (querier : Iface.querier) ~t ~y' =
+  {
+    Iface.query =
+      (fun i x ->
+        let c = Setagree_util.Pidset.cardinal x in
+        if c <= t - y' then true else querier.Iface.query i x);
+  }

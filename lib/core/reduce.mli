@@ -1,0 +1,99 @@
+(** Reductions between failure-detector classes, by composition of the
+    paper's transformations (the paper's own methodology: "use as much as
+    possible reduction algorithms, striving not to reinvent the wheel").
+
+    Positive direction of the grid (Figure 1):
+    - ◇S_x → Ω_{t+2-x}: two wheels with y = 0 (φ_0 carries no
+      information, so the upper wheel works on query triviality alone);
+    - ◇φ_y → Ω_{t+1-y}: two wheels with x = 1 (the no-suspicion module is
+      a legal degenerate lower input at x = 1: repr_i = i satisfies the
+      lower wheel's contract with X = the singleton of any correct
+      process);
+    - Ψ_y → Ω_{t+1-y}: Appendix A's direct chain ({!Psi_to_omega}),
+      exponentially cheaper than the wheels;
+    - any of those → k-set agreement for k >= z, via Figure 3. *)
+
+open Setagree_dsys
+open Setagree_net
+open Setagree_fd
+
+val omega_from_es :
+  Sim.t ->
+  suspector:Iface.suspector ->
+  x:int ->
+  ?step:float ->
+  ?delay:Delay.t ->
+  unit ->
+  Wheels.t
+(** ◇S_x → Ω_z, z = t + 2 - x.  The suspector must belong to ◇S_x. *)
+
+val omega_from_phi :
+  Sim.t ->
+  querier:Iface.querier ->
+  y:int ->
+  ?step:float ->
+  ?delay:Delay.t ->
+  unit ->
+  Wheels.t
+(** ◇φ_y → Ω_z, z = t + 1 - y.  The querier must belong to ◇φ_y. *)
+
+val omega_from_psi : Sim.t -> querier:Iface.querier -> y:int -> Psi_to_omega.t
+(** Ψ_y → Ω_{t+1-y} (no messages at all). *)
+
+val solve_kset :
+  Sim.t ->
+  omega:Iface.leader ->
+  proposals:int array ->
+  ?delay:Delay.t ->
+  ?tie_break:Kset.tie_break ->
+  unit ->
+  Kset.t
+(** Run Figure 3 over any Ω_z source (oracle or built); solves k-set
+    agreement for every k >= z when t < n/2. *)
+
+(** {1 Classic equivalences and weakenings}
+
+    The transformations the paper leans on from prior work (its §1 and
+    §2.2): ◇S ↔ Ω (references [5, 17]), φ_t ≃ P / ◇φ_t ≃ ◇P, and the
+    inclusion maps down each family. *)
+
+val omega_from_full_scope_es :
+  Sim.t ->
+  suspector:Iface.suspector ->
+  ?step:float ->
+  ?delay:Delay.t ->
+  unit ->
+  Wheels_lower.t * Iface.leader
+(** ◇S (= ◇S_n) → Ω, with the lower wheel {e alone} over the single set
+    X = Π: the common representative is the eventual leader.  This is the
+    quiescent reliable-broadcast-based ◇S-to-Ω transformation of the
+    paper's reference [17] — and shows the lower wheel is that
+    construction generalized to x < n. *)
+
+val es_from_omega : Iface.leader -> n:int -> Iface.suspector
+(** Ω (= Ω_1) → ◇S: suspect everyone but the current leader (and
+    yourself).  Completeness holds because the eventual leader is correct;
+    accuracy because the leader is eventually never suspected.  Only
+    sound from Ω_1 — an Ω_z set with z >= 2 may retain crashed members
+    forever, breaking completeness. *)
+
+val p_from_phi_t : Iface.querier -> n:int -> Iface.suspector
+(** φ_t → P (◇φ_t → ◇P): with y = t, singletons are in the meaningful
+    window, so [suspected_i = { j | query({j}) }] is exact (eventually
+    exact for the ◇ version).  One half of the paper's "φ_t and P are
+    equivalent". *)
+
+val phi_t_from_p : Iface.suspector -> t:int -> Iface.querier
+(** P → φ_t (◇P → ◇φ_t): answer the meaningful window with
+    [X ⊆ suspected_i]; the other half of the equivalence. *)
+
+val weaken_omega : Iface.leader -> Iface.leader
+(** Ω_z ⊆ Ω_{z'} for z' >= z: the identity (documented coercion). *)
+
+val weaken_suspector : Iface.suspector -> Iface.suspector
+(** S_x ⊆ S_{x'} and ◇S_x ⊆ ◇S_{x'} for x' <= x: the identity. *)
+
+val weaken_phi : Iface.querier -> t:int -> y':int -> Iface.querier
+(** φ_y → φ_{y'} for y' <= y: same answers, except that the wider
+    triviality band of y' (|X| <= t - y') must answer true without
+    consulting the stronger module. *)

@@ -1,0 +1,62 @@
+(** The strengthening addition of the paper's Appendix B (Figure 9):
+
+    S_x + φ_y → S   and   ◇S_x + ◇φ_y → ◇S,   for x + y >= t + 1
+
+    (the z = 1 boundary of Theorem 8 on the suspector side: S = S_n).
+
+    Each process p_i keeps publishing a heartbeat counter [alive_i] and its
+    raw suspicion set [suspect_i].  To refresh its strengthened output
+    [SUSPECTED_i], it snapshots the counters until the set X of processes
+    that made no progress since the previous snapshot satisfies
+    [query(X)] — i.e. either X is small enough that triviality answers
+    (|X| <= t-y) or the oracle certifies the whole region crashed.  It then
+    outputs the intersection of the suspicion sets of the live processes,
+    minus the live processes themselves.
+
+    Why accuracy widens from scope x to scope n: when the inner loop exits,
+    either |X| <= t-y, and since x >= t+1-y > t-y the scope set Q (x
+    processes) cannot fit inside X, so some member of Q is in [live] and its
+    suspicion set — which never contains the protected process — enters the
+    intersection; or query certified X entirely crashed, in which case
+    [live] contains every live process, the protected one included, and the
+    final set difference removes it.  (Paper Theorem 13.)
+
+    The paper presents the algorithm in shared memory; {!install_shm} is
+    that version over the {!Setagree_shm} substrate, and {!install_mp} the
+    straightforward message-passing translation (heartbeat broadcasts
+    replacing register reads), which the paper notes requires no extra
+    assumption on t. *)
+
+open Setagree_util
+open Setagree_dsys
+open Setagree_net
+open Setagree_fd
+
+type t
+
+val install_shm :
+  Sim.t ->
+  suspector:Iface.suspector ->
+  querier:Iface.querier ->
+  ?step:float ->
+  ?access_time:float ->
+  unit ->
+  t
+(** Figure 9 verbatim: [alive] and [suspect] are SWMR register arrays. *)
+
+val install_mp :
+  Sim.t ->
+  suspector:Iface.suspector ->
+  querier:Iface.querier ->
+  ?step:float ->
+  ?delay:Delay.t ->
+  unit ->
+  t
+(** Message-passing translation: heartbeats carry (counter, suspicions). *)
+
+val output : t -> Iface.suspector
+(** The strengthened SUSPECTED sets — a member of S (resp ◇S) when the
+    inputs are S_x + φ_y (resp ◇S_x + ◇φ_y) with x + y >= t + 1. *)
+
+val refreshes : t -> Pid.t -> int
+(** Completed outer-loop iterations (output refresh count). *)

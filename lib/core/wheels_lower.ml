@@ -1,0 +1,81 @@
+open Setagree_util
+open Setagree_dsys
+open Setagree_net
+open Setagree_fd
+
+(* The lower wheel (paper Figure 5).  Processes scan the ring of all
+   (element, x-subset) pairs (Figure 4) and stop on a pair (lx, X) such that
+   no live member of X suspects lx.  An x_move message names the ring
+   position it objects to; every process R-delivers the same multiset of
+   x_moves and consumes them greedily in ring order, so all correct
+   processes traverse the ring identically (greedy consumption is confluent:
+   the reached position depends on the consumed multiset only, not on
+   arrival order). *)
+
+type t = {
+  sim : Sim.t;
+  ring : Ring.Lower.t;
+  rb : int Rbcast.t; (* x_move(position) *)
+  pos : int array;
+  repr : Pid.t array;
+  pending : (int, int) Hashtbl.t array;
+  mutable moves_broadcast : int;
+  mutable last_pos_change : float;
+}
+
+let rec consume t i =
+  let p = t.pos.(i) in
+  match Hashtbl.find_opt t.pending.(i) p with
+  | Some c when c > 0 ->
+      if c = 1 then Hashtbl.remove t.pending.(i) p
+      else Hashtbl.replace t.pending.(i) p (c - 1);
+      t.pos.(i) <- Ring.Lower.next t.ring p;
+      t.last_pos_change <- Sim.now t.sim;
+      consume t i
+  | _ -> ()
+
+let install sim ~(suspector : Iface.suspector) ~x ?(step = 1.0)
+    ?(delay = Delay.default) () =
+  let n = Sim.n sim in
+  let ring = Ring.Lower.create ~n ~x in
+  let rb = Rbcast.create sim ~tag:"wheel.x_move" ~delay () in
+  let t =
+    {
+      sim;
+      ring;
+      rb;
+      pos = Array.make n (Ring.Lower.start ring);
+      repr = Array.init n (fun i -> i);
+      pending = Array.init n (fun _ -> Hashtbl.create 32);
+      moves_broadcast = 0;
+      last_pos_change = 0.0;
+    }
+  in
+  (* Task T2: buffer each x_move until the local pair matches, then advance. *)
+  Rbcast.on_deliver rb (fun i (d : int Rbcast.delivery) ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt t.pending.(i) d.body) in
+      Hashtbl.replace t.pending.(i) d.body (c + 1);
+      consume t i);
+  (* Task T1: maintain repr and object to suspected candidates. *)
+  let body i () =
+    while true do
+      let lx, xset = Ring.Lower.decode ring t.pos.(i) in
+      t.repr.(i) <- (if Pidset.mem i xset then lx else i);
+      if Pidset.mem i xset && Pidset.mem lx (suspector.Iface.suspected i) then begin
+        t.moves_broadcast <- t.moves_broadcast + 1;
+        Rbcast.broadcast rb ~src:i t.pos.(i)
+      end;
+      Sim.sleep step
+    done
+  in
+  for i = 0 to n - 1 do
+    Sim.spawn sim ~pid:i (body i)
+  done;
+  t
+
+let repr t i = t.repr.(i)
+let position t i = t.pos.(i)
+let current_pair t i = Ring.Lower.decode t.ring t.pos.(i)
+let moves_broadcast t = t.moves_broadcast
+let last_pos_change t = t.last_pos_change
+let underlying_sent t = Rbcast.underlying_sent t.rb

@@ -1,0 +1,46 @@
+(** The lower wheel (paper Figure 5): from a ◇S_x suspector, eventually
+    provide every process p_i with a representative [repr i] such that there
+    is a set X of x processes with either (a) all of X crashed and every
+    correct process has [repr i = i], or (b) every live member of X has
+    [repr i = lx] for one common {e correct} process lx ∈ X, and every
+    process outside X has [repr i = i]  (paper Theorem 7).
+
+    The component is quiescent: only finitely many x_move messages are ever
+    broadcast (paper Corollary 1) — {!moves_broadcast} stabilizes. *)
+
+open Setagree_util
+open Setagree_dsys
+open Setagree_net
+open Setagree_fd
+
+type t
+
+val install :
+  Sim.t ->
+  suspector:Iface.suspector ->
+  x:int ->
+  ?step:float ->
+  ?delay:Delay.t ->
+  unit ->
+  t
+(** Spawn tasks T1/T2 on every process.  [step] (default 1.0) is the period
+    of the T1 scan loop. *)
+
+val repr : t -> Pid.t -> Pid.t
+(** Current representative of process [i] (read by the upper wheel's
+    responder task). *)
+
+val position : t -> Pid.t -> int
+(** Current ring position (testing / experiments). *)
+
+val current_pair : t -> Pid.t -> Pid.t * Pidset.t
+(** Decoded [(lx_i, X_i)]. *)
+
+val moves_broadcast : t -> int
+(** Number of x_move R-broadcasts so far (quiescence measure). *)
+
+val last_pos_change : t -> float
+(** Virtual time of the last ring advance at any process. *)
+
+val underlying_sent : t -> int
+(** Point-to-point message cost of the component. *)

@@ -1,0 +1,48 @@
+(** The upper wheel (paper Figure 6): from a ◇φ_y querier plus the lower
+    wheel's representatives, stabilize every correct process on the same
+    pair (L, Y) — |Y| = t-y+1, |L| = z — whose L contains a correct process,
+    and output it as [trusted_i].  Together with the lower wheel this
+    implements ◇S_x + ◇φ_y → Ω_z for z = t+2-x-y (paper Theorem 8,
+    sufficiency).
+
+    Unlike the lower wheel this component is not quiescent (inquiry /
+    response traffic never stops — paper's Remark in §4.2.2), but l_move
+    messages are finite. *)
+
+open Setagree_util
+open Setagree_dsys
+open Setagree_net
+open Setagree_fd
+
+type t
+
+val install :
+  Sim.t ->
+  querier:Iface.querier ->
+  lower:Wheels_lower.t ->
+  ysize:int ->
+  lsize:int ->
+  ?step:float ->
+  ?delay:Delay.t ->
+  unit ->
+  t
+(** Spawn tasks T3/T4/T5 on every process.  [ysize] must be [t - y + 1] and
+    [lsize] the target z (see {!Bounds.upper_y_size}). *)
+
+val trusted : t -> Pid.t -> Pidset.t
+(** Read [trusted_i] (paper line 10-11): the current L_i, or — when the
+    whole Y_i has crashed — the singleton of the smallest process outside
+    Y_i whose extension is not entirely dead. *)
+
+val omega : t -> Iface.leader
+(** {!trusted} packaged as an Ω_z interface. *)
+
+val position : t -> Pid.t -> int
+val current_pair : t -> Pid.t -> Pidset.t * Pidset.t
+(** Decoded [(L_i, Y_i)]. *)
+
+val moves_broadcast : t -> int
+(** l_move R-broadcasts so far (finite on every run — Corollary 2). *)
+
+val last_pos_change : t -> float
+val underlying_sent : t -> int

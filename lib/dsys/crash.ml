@@ -1,0 +1,36 @@
+open Setagree_util
+
+type spec =
+  | No_crashes
+  | Explicit of (Pid.t * float) list
+  | Initial of Pid.t list
+  | Random_up_to of { max_crashes : int; window : float * float }
+  | Exactly of { crashes : int; window : float * float }
+
+let check ~t crashes =
+  if List.length crashes > t then
+    invalid_arg "Crash.generate: schedule exceeds the resilience bound t";
+  crashes
+
+let random_times rng ~n ~t ~count ~window:(lo, hi) =
+  let count = min count t in
+  let victims = Pidset.random rng ~n ~size:count in
+  Pidset.fold (fun p acc -> (p, Rng.uniform_in rng lo hi) :: acc) victims []
+  |> List.rev
+
+let generate spec ~n ~t rng =
+  match spec with
+  | No_crashes -> []
+  | Explicit l -> check ~t l
+  | Initial pids -> check ~t (List.map (fun p -> (p, 0.0)) pids)
+  | Random_up_to { max_crashes; window } ->
+      let count = Rng.int rng (min max_crashes t + 1) in
+      random_times rng ~n ~t ~count ~window
+  | Exactly { crashes; window } -> random_times rng ~n ~t ~count:crashes ~window
+
+let victims l = Pidset.of_list (List.map fst l)
+
+let pp fmt l =
+  Format.fprintf fmt "[%s]"
+    (String.concat "; "
+       (List.map (fun (p, tm) -> Printf.sprintf "%s@%.2f" (Pid.to_string p) tm) l))

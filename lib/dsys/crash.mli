@@ -1,0 +1,29 @@
+(** Crash-schedule generation.
+
+    A schedule fixes, before the run starts, which processes crash and when.
+    This is the adversary's failure pattern; the simulator's ground truth and
+    every oracle derive from it. *)
+
+open Setagree_util
+
+type spec =
+  | No_crashes
+  | Explicit of (Pid.t * float) list
+      (** Exactly these crashes at these times. *)
+  | Initial of Pid.t list
+      (** Crashes at time 0 — the "initial crashes" of the paper's
+          zero-degradation discussion (§3.2). *)
+  | Random_up_to of { max_crashes : int; window : float * float }
+      (** A uniform number of crashes in [0 .. max_crashes], distinct uniform
+          victims, times uniform in the window. *)
+  | Exactly of { crashes : int; window : float * float }
+      (** Exactly [crashes] distinct victims, times uniform in the window. *)
+
+val generate : spec -> n:int -> t:int -> Rng.t -> (Pid.t * float) list
+(** Instantiate the spec.  The result never exceeds [t] crashes; generation
+    respecting the bound is the caller's contract for [Explicit]/[Initial]
+    (checked, [Invalid_argument] otherwise). *)
+
+val victims : (Pid.t * float) list -> Pidset.t
+
+val pp : Format.formatter -> (Pid.t * float) list -> unit

@@ -1,0 +1,245 @@
+open Setagree_util
+
+type event = { time : float; seq : int; run : unit -> unit }
+
+type waiter = {
+  wpid : Pid.t;
+  pred : unit -> bool;
+  k : (unit, unit) Effect.Deep.continuation;
+}
+
+type t = {
+  n : int;
+  t_bound : int;
+  rng : Rng.t;
+  trace : Trace.t;
+  horizon : float;
+  max_events : int;
+  events : event Pqueue.t;
+  mutable now : float;
+  mutable seq : int;
+  crashed : bool array;
+  crash_at : float option array;
+  mutable waiters : waiter list;
+}
+
+type _ Effect.t +=
+  | Sleep : float -> unit Effect.t
+  | Yield : unit Effect.t
+  | Wait_until : (unit -> bool) -> unit Effect.t
+
+(* The fiber currently executing performs effects against this dynamically
+   scoped context; [spawn] installs it. *)
+
+let cmp_event a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create ?(horizon = 1e6) ?(max_events = 10_000_000) ~n ~t ~seed () =
+  if n < 2 then invalid_arg "Sim.create: n must be >= 2";
+  if t < 0 || t >= n then invalid_arg "Sim.create: need 0 <= t < n";
+  {
+    n;
+    t_bound = t;
+    rng = Rng.create seed;
+    trace = Trace.create ();
+    horizon;
+    max_events;
+    events = Pqueue.create ~cmp:cmp_event;
+    now = 0.0;
+    seq = 0;
+    crashed = Array.make n false;
+    crash_at = Array.make n None;
+    waiters = [];
+  }
+
+let n t = t.n
+let t_bound t = t.t_bound
+let rng t = t.rng
+let trace t = t.trace
+let now t = t.now
+let horizon t = t.horizon
+
+let schedule t ~delay run =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Pqueue.push t.events { time = t.now +. delay; seq; run }
+
+let at t ~time run =
+  if time < t.now then invalid_arg "Sim.at: time in the past";
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Pqueue.push t.events { time; seq; run }
+
+let is_crashed t pid = t.crashed.(pid)
+
+let crashed_set t =
+  let s = ref Pidset.empty in
+  Array.iteri (fun i c -> if c then s := Pidset.add i !s) t.crashed;
+  !s
+
+let crash_time t pid = t.crash_at.(pid)
+
+let correct_set t =
+  let s = ref Pidset.empty in
+  for i = 0 to t.n - 1 do
+    if t.crash_at.(i) = None then s := Pidset.add i !s
+  done;
+  !s
+
+let alive_at t time =
+  let s = ref Pidset.empty in
+  for i = 0 to t.n - 1 do
+    match t.crash_at.(i) with
+    | Some ct when ct <= time -> ()
+    | _ -> s := Pidset.add i !s
+  done;
+  !s
+
+let do_crash t pid =
+  if not t.crashed.(pid) then begin
+    t.crashed.(pid) <- true;
+    Trace.record t.trace ~time:t.now (Trace.Crash pid);
+    (* Abandoned forever: drop this process's blocked fibers. *)
+    t.waiters <- List.filter (fun w -> w.wpid <> pid) t.waiters
+  end
+
+let crash_now t pid =
+  if pid < 0 || pid >= t.n then invalid_arg "Sim.crash_now: bad pid";
+  if not t.crashed.(pid) then begin
+    let already =
+      Array.fold_left (fun acc ct -> if ct <> None then acc + 1 else acc) 0 t.crash_at
+    in
+    let needed = if t.crash_at.(pid) = None then already + 1 else already in
+    if needed > t.t_bound then
+      invalid_arg "Sim.crash_now: resilience bound t exhausted";
+    t.crash_at.(pid) <- Some t.now;
+    do_crash t pid
+  end
+
+let install_crashes t crashes =
+  if List.length crashes > t.t_bound then
+    invalid_arg "Sim.install_crashes: more crashes than the bound t";
+  List.iter
+    (fun (pid, time) ->
+      if pid < 0 || pid >= t.n then invalid_arg "Sim.install_crashes: bad pid";
+      t.crash_at.(pid) <- Some time;
+      at t ~time:(Float.max time t.now) (fun () -> do_crash t pid))
+    crashes
+
+let sleep d = Effect.perform (Sleep d)
+let yield () = Effect.perform Yield
+let wait_until pred = Effect.perform (Wait_until pred)
+
+let spawn t ~pid body =
+  if pid < 0 || pid >= t.n then invalid_arg "Sim.spawn: bad pid";
+  let handler : (unit, unit) Effect.Deep.handler =
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep d ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  schedule t ~delay:d (fun () ->
+                      if not t.crashed.(pid) then Effect.Deep.continue k ()))
+          | Yield ->
+              Some
+                (fun k ->
+                  schedule t ~delay:0.0 (fun () ->
+                      if not t.crashed.(pid) then Effect.Deep.continue k ()))
+          | Wait_until pred ->
+              Some
+                (fun k ->
+                  if pred () then Effect.Deep.continue k ()
+                  else t.waiters <- { wpid = pid; pred; k } :: t.waiters)
+          | _ -> None);
+    }
+  in
+  schedule t ~delay:0.0 (fun () ->
+      if not t.crashed.(pid) then Effect.Deep.match_with body () handler)
+
+let ticker t ~every =
+  if every <= 0.0 then invalid_arg "Sim.ticker";
+  let rec arm time =
+    if time <= t.horizon then at t ~time (fun () -> arm (time +. every))
+  in
+  arm (t.now +. every)
+
+type stop_reason = Quiescent | Horizon | Budget | Stopped
+type outcome = { reason : stop_reason; events : int; end_time : float }
+
+let pp_stop_reason fmt = function
+  | Quiescent -> Format.pp_print_string fmt "quiescent"
+  | Horizon -> Format.pp_print_string fmt "horizon"
+  | Budget -> Format.pp_print_string fmt "budget"
+  | Stopped -> Format.pp_print_string fmt "stopped"
+
+(* After each event, wake every blocked fiber whose predicate turned true.
+   Waking a fiber can enable others (zero-time causality chains), so iterate
+   to a fixpoint; the bound catches accidental zero-time livelocks. *)
+let recheck_waiters t =
+  let rounds = ref 0 in
+  let progress = ref true in
+  while !progress do
+    incr rounds;
+    if !rounds > 100_000 then failwith "Sim: zero-time livelock among waiters";
+    progress := false;
+    let ws = t.waiters in
+    let still = ref [] in
+    let fired = ref [] in
+    List.iter
+      (fun w ->
+        if t.crashed.(w.wpid) then () (* drop *)
+        else if w.pred () then fired := w :: !fired
+        else still := w :: !still)
+      ws;
+    (* Keep the not-yet-ready waiters; fired ones resume now and may add new
+       waiters to [t.waiters]. *)
+    t.waiters <- !still;
+    match !fired with
+    | [] -> ()
+    | fs ->
+        progress := true;
+        (* Resume in registration order (oldest first) for determinism. *)
+        List.iter
+          (fun w -> if not t.crashed.(w.wpid) then Effect.Deep.continue w.k ())
+          (List.rev fs)
+  done
+
+let run ?(stop_when = fun () -> false) (t : t) =
+  let events = ref 0 in
+  let reason = ref Quiescent in
+  (try
+     let continue_loop = ref true in
+     while !continue_loop do
+       match Pqueue.pop t.events with
+       | None ->
+           reason := Quiescent;
+           continue_loop := false
+       | Some ev ->
+           if ev.time > t.horizon then begin
+             reason := Horizon;
+             t.now <- t.horizon;
+             continue_loop := false
+           end
+           else begin
+             t.now <- Float.max t.now ev.time;
+             ev.run ();
+             incr events;
+             recheck_waiters t;
+             if stop_when () then begin
+               reason := Stopped;
+               continue_loop := false
+             end
+             else if !events >= t.max_events then begin
+               reason := Budget;
+               continue_loop := false
+             end
+           end
+     done
+   with e -> raise e);
+  { reason = !reason; events = !events; end_time = t.now }

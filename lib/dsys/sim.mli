@@ -1,0 +1,119 @@
+(** Deterministic discrete-event simulator of the asynchronous system
+    AS_{n,t} (paper §2.1).
+
+    A simulation owns a virtual clock, an event queue and [n] processes.
+    Process code runs as OCaml-5 effect fibers: the paper's [wait until]
+    statements map onto {!wait_until}, and the implicit "a process keeps
+    taking steps" assumption onto {!sleep} calls inside loops.  Everything is
+    driven by one seeded {!Setagree_util.Rng.t}: two runs with the same seed
+    and parameters are identical.
+
+    {b Crash semantics.}  A crash schedule is fixed before the run.  When a
+    process crashes, none of its fibers is ever resumed again; events it had
+    already scheduled (messages in flight) still fire.  A fiber interrupted
+    between two effects never observes its own crash — exactly the "halts
+    prematurely, behaves correctly until then" model. *)
+
+open Setagree_util
+
+type t
+
+(** {1 Construction} *)
+
+val create :
+  ?horizon:float ->
+  ?max_events:int ->
+  n:int ->
+  t:int ->
+  seed:int ->
+  unit ->
+  t
+(** [create ~n ~t ~seed ()] builds a system of [n] processes of which at most
+    [t] may crash.  [horizon] (default [1e6]) is the virtual-time limit;
+    [max_events] (default [10_000_000]) bounds the run. *)
+
+val n : t -> int
+val t_bound : t -> int
+(** The resilience parameter [t] (max number of crashes). *)
+
+val rng : t -> Rng.t
+(** The root generator.  Subsystems should [Rng.split_named] it. *)
+
+val trace : t -> Trace.t
+val now : t -> float
+val horizon : t -> float
+
+(** {1 Ground truth (for oracles and checkers)} *)
+
+val install_crashes : t -> (Pid.t * float) list -> unit
+(** Schedule the given crashes.  Must be called before {!run}.  Raises
+    [Invalid_argument] if more than [t] crashes are given. *)
+
+val crash_now : t -> Pid.t -> unit
+(** Reactive adversary: crash the process at the current instant (e.g.
+    from a watcher fiber, the moment it takes some step).  Counts against
+    the resilience bound; raises [Invalid_argument] if a [t+1]-th crash is
+    attempted.  No-op on an already-crashed process. *)
+
+val is_crashed : t -> Pid.t -> bool
+(** Whether the process has crashed {e at the current virtual time}. *)
+
+val crashed_set : t -> Pidset.t
+(** Set of processes crashed at the current virtual time. *)
+
+val crash_time : t -> Pid.t -> float option
+(** The time at which the process is {e scheduled} to crash, if any — ground
+    truth usable by oracles even before the crash occurs. *)
+
+val correct_set : t -> Pidset.t
+(** Processes with no scheduled crash: the correct processes of the run. *)
+
+val alive_at : t -> float -> Pidset.t
+(** Processes not crashed at the given time (per the schedule). *)
+
+(** {1 Process code (effects)} *)
+
+val spawn : t -> pid:Pid.t -> (unit -> unit) -> unit
+(** [spawn t ~pid body] starts a fiber for process [pid].  A process may have
+    several fibers (the paper's tasks T1, T2, ...).  The fiber starts at the
+    current virtual time and is silently discarded if [pid] is already
+    crashed. *)
+
+val sleep : float -> unit
+(** Suspend the calling fiber for the given virtual duration.  Must be
+    called from fiber context. *)
+
+val yield : unit -> unit
+(** Reschedule the calling fiber at the same virtual instant (after pending
+    events).  Gives the crash scheduler a chance to interleave. *)
+
+val wait_until : (unit -> bool) -> unit
+(** Suspend until the predicate holds.  The predicate is re-evaluated after
+    every event; it must be monotone-friendly (cheap, side-effect free). *)
+
+(** {1 Scheduling primitives (for substrates such as channels)} *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run the thunk after the given virtual delay.  Thunks run even if some
+    process crashed meanwhile — guard inside if needed. *)
+
+val at : t -> time:float -> (unit -> unit) -> unit
+(** Run the thunk at an absolute virtual time (>= now). *)
+
+val ticker : t -> every:float -> unit
+(** Install heartbeat events up to the horizon so that [wait_until]
+    predicates depending only on the clock (e.g. pull-based oracles) are
+    re-evaluated regularly. *)
+
+(** {1 Running} *)
+
+type stop_reason = Quiescent | Horizon | Budget | Stopped
+
+type outcome = { reason : stop_reason; events : int; end_time : float }
+
+val run : ?stop_when:(unit -> bool) -> t -> outcome
+(** Process events in (time, seq) order until the queue empties
+    ([Quiescent]), the horizon or event budget is hit, or [stop_when]
+    becomes true (checked after each event). *)
+
+val pp_stop_reason : Format.formatter -> stop_reason -> unit

@@ -1,0 +1,59 @@
+open Setagree_util
+
+type entry =
+  | Crash of Pid.t
+  | Send of { src : Pid.t; dst : Pid.t; tag : string }
+  | Deliver of { src : Pid.t; dst : Pid.t; tag : string }
+  | Decide of { pid : Pid.t; value : int; round : int }
+  | Fd_change of { pid : Pid.t; kind : string; value : string }
+  | Note of { pid : Pid.t option; text : string }
+
+type timed = { time : float; entry : entry }
+
+type t = { mutable log : timed list; counters : (string, int) Hashtbl.t }
+
+let create () = { log = []; counters = Hashtbl.create 32 }
+let record t ~time entry = t.log <- { time; entry } :: t.log
+
+let add_to t name k =
+  let cur = Option.value ~default:0 (Hashtbl.find_opt t.counters name) in
+  Hashtbl.replace t.counters name (cur + k)
+
+let incr t name = add_to t name 1
+let counter t name = Option.value ~default:0 (Hashtbl.find_opt t.counters name)
+
+let counters t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let entries t = List.rev t.log
+
+let decisions t =
+  List.filter_map
+    (fun { time; entry } ->
+      match entry with
+      | Decide { pid; value; round } -> Some (pid, value, round, time)
+      | _ -> None)
+    (entries t)
+
+let crashes t =
+  List.filter_map
+    (fun { time; entry } ->
+      match entry with Crash p -> Some (p, time) | _ -> None)
+    (entries t)
+
+let find_notes t sub =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  List.filter
+    (fun { entry; _ } ->
+      match entry with Note { text; _ } -> contains text sub | _ -> false)
+    (entries t)
+
+let pp_summary fmt t =
+  Format.fprintf fmt "@[<v>trace: %d entries@," (List.length t.log);
+  List.iter (fun (k, v) -> Format.fprintf fmt "  %s = %d@," k v) (counters t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,48 @@
+(** Run traces: everything a checker or an experiment needs to know about a
+    finished simulation.
+
+    A trace is an append-only log of timestamped entries plus a set of named
+    counters (message counts per protocol tag, rounds executed, ...).  The
+    failure-detector property checkers ({!Setagree_fd.Check}) and the
+    agreement-invariant checkers consume traces, so algorithms stay free of
+    any checking logic. *)
+
+type entry =
+  | Crash of Setagree_util.Pid.t
+  | Send of { src : Setagree_util.Pid.t; dst : Setagree_util.Pid.t; tag : string }
+  | Deliver of { src : Setagree_util.Pid.t; dst : Setagree_util.Pid.t; tag : string }
+  | Decide of { pid : Setagree_util.Pid.t; value : int; round : int }
+  | Fd_change of { pid : Setagree_util.Pid.t; kind : string; value : string }
+  | Note of { pid : Setagree_util.Pid.t option; text : string }
+
+type timed = { time : float; entry : entry }
+
+type t
+
+val create : unit -> t
+
+val record : t -> time:float -> entry -> unit
+
+val incr : t -> string -> unit
+(** Bump the named counter. *)
+
+val add_to : t -> string -> int -> unit
+
+val counter : t -> string -> int
+(** 0 when never bumped. *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val entries : t -> timed list
+(** In chronological (recording) order. *)
+
+val decisions : t -> (Setagree_util.Pid.t * int * int * float) list
+(** [(pid, value, round, time)] for every [Decide] entry, in order. *)
+
+val crashes : t -> (Setagree_util.Pid.t * float) list
+
+val find_notes : t -> string -> timed list
+(** Notes whose text contains the given substring. *)
+
+val pp_summary : Format.formatter -> t -> unit

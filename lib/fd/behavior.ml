@@ -1,0 +1,8 @@
+type t = { gst : float; noise : float; slander : float; epoch : float }
+
+let make ?(noise = 0.0) ?(slander = 0.0) ?(epoch = 1.0) ~gst () =
+  { gst; noise; slander; epoch }
+
+let calm ~gst = make ~gst ()
+let stormy ~gst = make ~noise:0.3 ~slander:0.2 ~epoch:1.0 ~gst ()
+let perfect = calm ~gst:0.0

@@ -1,0 +1,34 @@
+(** Adversarial behaviour of an oracle failure detector.
+
+    A failure-detector class constrains histories, mostly {e eventually};
+    before the (unknown to the algorithms) global stabilization time [gst]
+    the oracle is free to lie, and even afterwards the classes leave slack
+    (e.g. ◇S_x only protects one process within one set of x processes —
+    every other correct process may be slandered forever).  The behaviour
+    record programs how much of that freedom the oracle exercises.  All
+    draws are deterministic functions of (seed, reader, subject, epoch), so
+    runs replay exactly. *)
+
+type t = {
+  gst : float;
+      (** Time after which eventual properties hold.  Perpetual properties
+          hold from 0 regardless. *)
+  noise : float;
+      (** Pre-[gst] lie probability (per reader/subject/epoch draw). *)
+  slander : float;
+      (** Post-[gst] probability of (class-permitted) false suspicion of an
+          unprotected correct process, redrawn each epoch. *)
+  epoch : float;  (** Refresh period of the noise draws. *)
+}
+
+val calm : gst:float -> t
+(** No noise, no slander: the friendliest member of each class. *)
+
+val stormy : gst:float -> t
+(** noise 0.3, slander 0.2, epoch 1.0 — a hostile but legal adversary. *)
+
+val make : ?noise:float -> ?slander:float -> ?epoch:float -> gst:float -> unit -> t
+
+val perfect : t
+(** [calm ~gst:0.] — behaves perfectly from the very beginning (the
+    "perfect" oracle of the paper's §3.2 zero-degradation discussion). *)

@@ -1,0 +1,177 @@
+open Setagree_util
+open Setagree_dsys
+
+type verdict = { ok : bool; notes : string list }
+
+let verdict_ok v = v.ok
+let fail fmt = Format.kasprintf (fun s -> { ok = false; notes = [ s ] }) fmt
+let pass = { ok = true; notes = [] }
+
+let pp_verdict fmt v =
+  if v.ok then Format.fprintf fmt "OK"
+  else Format.fprintf fmt "FAIL: %s" (String.concat "; " v.notes)
+
+let all_of vs =
+  {
+    ok = List.for_all (fun v -> v.ok) vs;
+    notes = List.concat_map (fun v -> v.notes) vs;
+  }
+
+let omega_z sim ~z ~deadline mon =
+  let correct = Sim.correct_set sim in
+  let finals =
+    Pidset.fold
+      (fun i acc ->
+        match Monitor.final mon i with
+        | None -> `Missing i :: acc
+        | Some v -> `Final (i, v) :: acc)
+      correct []
+  in
+  let missing = List.filter_map (function `Missing i -> Some i | _ -> None) finals in
+  if missing <> [] then
+    fail "omega_z: no recorded output for correct %s"
+      (String.concat "," (List.map Pid.to_string missing))
+  else begin
+    let vals = List.filter_map (function `Final (i, v) -> Some (i, v) | _ -> None) finals in
+    match vals with
+    | [] -> fail "omega_z: no correct process"
+    | (i0, v0) :: rest ->
+        let unstable =
+          Pidset.fold
+            (fun i acc ->
+              match Monitor.last_change mon i with
+              | Some tm when tm > deadline -> (i, tm) :: acc
+              | _ -> acc)
+            correct []
+        in
+        if unstable <> [] then
+          fail "omega_z: output still changing after deadline %.1f at %s" deadline
+            (String.concat ","
+               (List.map (fun (i, tm) -> Printf.sprintf "%s@%.1f" (Pid.to_string i) tm) unstable))
+        else if List.exists (fun (_, v) -> not (Pidset.equal v v0)) rest then
+          fail "omega_z: correct processes disagree on the final set (%s has %s)"
+            (Pid.to_string i0) (Pidset.to_string v0)
+        else if Pidset.cardinal v0 > z then
+          fail "omega_z: final set %s has size %d > z = %d" (Pidset.to_string v0)
+            (Pidset.cardinal v0) z
+        else if Pidset.is_empty (Pidset.inter v0 correct) then
+          fail "omega_z: final set %s contains no correct process" (Pidset.to_string v0)
+        else pass
+  end
+
+let strong_completeness sim ~deadline mon =
+  let correct = Sim.correct_set sim in
+  let crashed_final = Pidset.diff (Pidset.full ~n:(Sim.n sim)) (Sim.alive_at sim deadline) in
+  (* Every value in effect after the deadline must contain every process
+     crashed by the deadline.  (Processes crashing after the deadline get no
+     completeness obligation on this run.) *)
+  let bad =
+    Pidset.fold
+      (fun i acc ->
+        let vs = Monitor.values_after mon i ~from:deadline in
+        if vs = [] then (i, "no samples") :: acc
+        else if List.for_all (fun v -> Pidset.subset crashed_final v) vs then acc
+        else (i, "missing crashed processes") :: acc)
+      correct []
+  in
+  match bad with
+  | [] -> pass
+  | (i, why) :: _ ->
+      fail "completeness: %s %s after deadline %.1f (crashed by then: %s)"
+        (Pid.to_string i) why deadline (Pidset.to_string crashed_final)
+
+let limited_scope_accuracy sim ~x ~from mon =
+  let n = Sim.n sim in
+  let correct = Sim.correct_set sim in
+  (* protectors l = processes that never suspect l (while alive) from [from]
+     on.  A process crashed by [from] suspects nobody afterwards ("a crashed
+     process suspects no process"), so it protects unconditionally; for one
+     crashing later, its recorded values are all taken while alive and
+     count. *)
+  let protects i l =
+    match Sim.crash_time sim i with
+    | Some ct when ct <= from -> true
+    | _ ->
+        let vs = Monitor.values_after mon i ~from in
+        List.for_all (fun v -> not (Pidset.mem l v)) vs
+  in
+  let candidates =
+    Pidset.fold
+      (fun l acc ->
+        let protectors = List.filter (fun i -> protects i l) (Pid.all ~n) in
+        if List.mem l protectors && List.length protectors >= x then (l, protectors) :: acc
+        else acc)
+      correct []
+  in
+  match candidates with
+  | (_l, _) :: _ -> pass
+  | [] ->
+      fail
+        "limited-scope accuracy: no correct process is unsuspected from %.1f by any %d \
+         processes (incl. itself)"
+        from x
+
+let es_x sim ~x ~deadline mon =
+  all_of
+    [ strong_completeness sim ~deadline mon; limited_scope_accuracy sim ~x ~from:deadline mon ]
+
+let s_x sim ~x ~deadline mon =
+  all_of
+    [ strong_completeness sim ~deadline mon; limited_scope_accuracy sim ~x ~from:0.0 mon ]
+
+let phi_y sim ~y ~eventual ~deadline (log : Oracle.query_log) =
+  let t = Sim.t_bound sim in
+  let events = List.rev !log in
+  let problems = ref [] in
+  let meaningful = ref 0 in
+  let add fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  List.iter
+    (fun (e : Oracle.query_event) ->
+      let c = Pidset.cardinal e.q_set in
+      let crashed_then = Pidset.diff (Pidset.full ~n:(Sim.n sim)) (Sim.alive_at sim e.q_time) in
+      if c <= t - y then begin
+        if not e.q_result then
+          add "triviality: |X|=%d <= t-y=%d answered false at %.1f" c (t - y) e.q_time
+      end
+      else if c > t then begin
+        if e.q_result then add "triviality: |X|=%d > t=%d answered true at %.1f" c t e.q_time
+      end
+      else begin
+        incr meaningful;
+        let all_crashed = Pidset.subset e.q_set crashed_then in
+        if e.q_result && not all_crashed && ((not eventual) || e.q_time >= deadline) then
+          add "safety: query %s true at %.1f with a live member" (Pidset.to_string e.q_set)
+            e.q_time;
+        if (not e.q_result) && all_crashed && e.q_time >= deadline then
+          add "liveness: dead region %s denied at %.1f (after deadline %.1f)"
+            (Pidset.to_string e.q_set) e.q_time deadline
+      end)
+    events;
+  if !problems <> [] then { ok = false; notes = List.rev !problems }
+  else if events <> [] && !meaningful = 0 then
+    { ok = true; notes = [ "phi_y: no meaningful-window query was made" ] }
+  else pass
+
+let k_set_agreement sim ~k ~proposals ~decisions =
+  let correct = Sim.correct_set sim in
+  let problems = ref [] in
+  let add fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  let proposed = Array.to_list proposals in
+  let decided_pids = Hashtbl.create 16 in
+  let values = Hashtbl.create 16 in
+  List.iter
+    (fun (pid, v, _round, _time) ->
+      if Hashtbl.mem decided_pids pid then add "%s decided twice" (Pid.to_string pid);
+      Hashtbl.replace decided_pids pid ();
+      Hashtbl.replace values v ();
+      if not (List.mem v proposed) then
+        add "validity: %s decided %d, which nobody proposed" (Pid.to_string pid) v)
+    decisions;
+  let distinct = Hashtbl.length values in
+  if distinct > k then add "agreement: %d distinct values decided, k = %d" distinct k;
+  Pidset.iter
+    (fun i ->
+      if not (Hashtbl.mem decided_pids i) then
+        add "termination: correct %s never decided" (Pid.to_string i))
+    correct;
+  if !problems = [] then pass else { ok = false; notes = List.rev !problems }

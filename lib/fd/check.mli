@@ -1,0 +1,68 @@
+(** Finite-trace class-membership checkers.
+
+    Each checker decides whether a recorded history satisfies a class's
+    properties {e on this run}, reading "eventually" as "from [deadline]
+    on", where [deadline] should leave a comfortable margin before the end
+    of the run (a property that only starts holding in the last instant is
+    reported as a failure — stabilization must be demonstrated, not
+    vacuous).
+
+    The checkers are exact for perpetual properties and conservative for
+    eventual ones: acceptance implies the finite history is extendable to a
+    member of the class; a rejection on a healthy but slow run is possible
+    and should be addressed by lengthening the run, not by shrinking the
+    margin. *)
+
+open Setagree_util
+open Setagree_dsys
+
+type verdict = { ok : bool; notes : string list }
+
+val verdict_ok : verdict -> bool
+val pp_verdict : Format.formatter -> verdict -> unit
+val all_of : verdict list -> verdict
+
+(** {1 Leader (Ω_z)} *)
+
+val omega_z : Sim.t -> z:int -> deadline:float -> Monitor.t -> verdict
+(** Eventual multiple leadership: from [deadline] on, all correct processes
+    output the same constant set, of size <= z, containing a correct
+    process. *)
+
+(** {1 Suspectors} *)
+
+val strong_completeness : Sim.t -> deadline:float -> Monitor.t -> verdict
+(** From [deadline] on, every correct process suspects every crashed one. *)
+
+val limited_scope_accuracy :
+  Sim.t -> x:int -> from:float -> Monitor.t -> verdict
+(** There is a correct process l and a set Q with l ∈ Q, |Q| = x, such that
+    no member of Q suspects l at any instant >= [from] while alive.
+    [from = 0.] checks the perpetual (S_x) version. *)
+
+val es_x : Sim.t -> x:int -> deadline:float -> Monitor.t -> verdict
+(** ◇S_x = completeness + accuracy from [deadline]. *)
+
+val s_x : Sim.t -> x:int -> deadline:float -> Monitor.t -> verdict
+(** S_x = completeness from [deadline] + accuracy from 0. *)
+
+(** {1 Query classes} *)
+
+val phi_y :
+  Sim.t -> y:int -> eventual:bool -> deadline:float -> Oracle.query_log -> verdict
+(** Triviality always; safety perpetual ([eventual = false]) or from
+    [deadline]; liveness from [deadline] (a dead region queried after the
+    deadline must be reported dead).  Vacuously true on an empty log except
+    that we flag logs with no meaningful-window query. *)
+
+(** {1 Agreement} *)
+
+val k_set_agreement :
+  Sim.t ->
+  k:int ->
+  proposals:int array ->
+  decisions:(Pid.t * int * int * float) list ->
+  verdict
+(** Validity (every decided value was proposed), agreement (at most [k]
+    distinct decided values), termination (every correct process decided),
+    and single-decision (no process decides twice). *)

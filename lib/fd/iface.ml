@@ -1,0 +1,8 @@
+open Setagree_util
+
+type suspector = { suspected : Pid.t -> Pidset.t }
+type leader = { trusted : Pid.t -> Pidset.t }
+type querier = { query : Pid.t -> Pidset.t -> bool }
+
+let no_suspicion = { suspected = (fun _ -> Pidset.empty) }
+let no_query_info ~t = { query = (fun _ x -> Pidset.cardinal x <= t) }

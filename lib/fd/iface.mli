@@ -1,0 +1,34 @@
+(** Failure-detector interfaces.
+
+    A failure detector is, operationally, just what a process can read from
+    its local module (paper §2.2).  Three read shapes cover every class in
+    the paper:
+
+    - {!suspector}: a set [suspected_i] — classes S_x, ◇S_x, P, ◇P, S, ◇S;
+    - {!leader}: a set [trusted_i] of at most z processes — classes Ω_z;
+    - {!querier}: a primitive [query_i(X)] returning a boolean — classes
+      φ_y, ◇φ_y, Ψ_y.
+
+    Oracles ({!Oracle}) and transformation outputs ({!Setagree_core})
+    implement the same interfaces, so an algorithm cannot tell whether its
+    detector is primitive or built. *)
+
+open Setagree_util
+
+type suspector = { suspected : Pid.t -> Pidset.t }
+(** [suspected i] read by process [i] at the current virtual time. *)
+
+type leader = { trusted : Pid.t -> Pidset.t }
+(** [trusted i] read by process [i]; cardinality at most z for Ω_z. *)
+
+type querier = { query : Pid.t -> Pidset.t -> bool }
+(** [query i x]: process [i] queries region [x]. *)
+
+val no_suspicion : suspector
+(** The useless suspector that never suspects anyone (what S_1 / ◇S_1 may
+    degenerate to). *)
+
+val no_query_info : t:int -> querier
+(** The useless querier of φ_0.  With y = 0 the meaningful window
+    [t - y < |X| <= t] is empty, so triviality answers everything:
+    [query x] is [cardinal x <= t]. *)

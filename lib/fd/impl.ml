@@ -1,0 +1,101 @@
+open Setagree_util
+open Setagree_dsys
+open Setagree_net
+
+type t = {
+  sim : Sim.t;
+  net : unit Net.t;
+  (* last_hb.(i).(j): when p_i last heard from p_j (own slot = +infinity,
+     a process never suspects itself). *)
+  last_hb : float array array;
+  timeout : float array array;
+  backoff : float;
+}
+
+let suspects t i j =
+  j <> i
+  && (not (Sim.is_crashed t.sim i))
+  && Sim.now t.sim -. t.last_hb.(i).(j) > t.timeout.(i).(j)
+
+let install sim ?(period = 1.0) ?(initial_timeout = 3.0) ?(backoff = 1.5)
+    ?(delay = Delay.Psync { gst = 30.0; bound = 2.0; pre_spread = 25.0 }) () =
+  let n = Sim.n sim in
+  let net = Net.create sim ~tag:"impl.hb" ~delay ~retain:false () in
+  let t =
+    {
+      sim;
+      net;
+      last_hb = Array.make_matrix n n 0.0;
+      timeout = Array.make_matrix n n initial_timeout;
+      backoff;
+    }
+  in
+  Net.on_deliver net (fun (e : unit Net.envelope) ->
+      let i = e.dst and j = e.src in
+      (* A heartbeat from a currently-suspected peer means the timeout was
+         too aggressive: back it off.  Each peer can be falsely suspected
+         only finitely often once the network's bound holds, so the
+         timeout stabilizes. *)
+      let gap = Sim.now sim -. t.last_hb.(i).(j) in
+      if gap > t.timeout.(i).(j) then
+        t.timeout.(i).(j) <- Float.max t.timeout.(i).(j) gap *. t.backoff;
+      t.last_hb.(i).(j) <- Sim.now sim);
+  for i = 0 to n - 1 do
+    Sim.spawn sim ~pid:i (fun () ->
+        (* Own slot: a fresh local heartbeat each loop turn. *)
+        while true do
+          t.last_hb.(i).(i) <- Sim.now sim +. 1e12;
+          Net.broadcast net ~src:i ();
+          Sim.sleep period
+        done)
+  done;
+  t
+
+let suspector t =
+  let n = Sim.n t.sim in
+  {
+    Iface.suspected =
+      (fun i ->
+        let s = ref Pidset.empty in
+        for j = 0 to n - 1 do
+          if suspects t i j then s := Pidset.add j !s
+        done;
+        !s);
+  }
+
+let omega t ~z =
+  let n = Sim.n t.sim in
+  if z < 1 || z > n then invalid_arg "Impl.omega: bad z";
+  {
+    Iface.trusted =
+      (fun i ->
+        let s = ref Pidset.empty in
+        let j = ref 0 in
+        while Pidset.cardinal !s < z && !j < n do
+          if not (suspects t i !j) then s := Pidset.add !j !s;
+          incr j
+        done;
+        (* Degenerate corner: everyone looks suspect (possible only very
+           early); fall back to self. *)
+        if Pidset.is_empty !s then Pidset.singleton i else !s);
+  }
+
+let querier t ~y =
+  let tb = Sim.t_bound t.sim in
+  if y < 0 || y > tb then invalid_arg "Impl.querier: bad y";
+  let log : Oracle.query_log = ref [] in
+  let query i x =
+    let c = Pidset.cardinal x in
+    let result =
+      if c <= tb - y then true
+      else if c > tb then false
+      else Pidset.for_all (fun j -> suspects t i j) x
+    in
+    log :=
+      { Oracle.q_time = Sim.now t.sim; q_pid = i; q_set = x; q_result = result } :: !log;
+    result
+  in
+  ({ Iface.query }, log)
+
+let timeout_of t i j = t.timeout.(i).(j)
+let heartbeats_sent t = Net.sent_count t.net

@@ -1,0 +1,60 @@
+(** Failure detectors {e implemented} from heartbeats and adaptive
+    timeouts, under partial synchrony.
+
+    The oracles in {!Oracle} generate class-conforming histories from
+    ground truth; this module is the other half of the story — the way a
+    deployed system actually obtains such detectors.  Every process
+    broadcasts a heartbeat every [period]; a per-peer timeout, increased
+    multiplicatively on every false suspicion, decides who is suspected.
+    Under a partially synchronous network ({!Setagree_net.Delay.Psync}:
+    delays bounded by an unknown bound after an unknown GST) the classic
+    argument applies: each peer's timeout is bumped finitely many times,
+    so eventually suspicions are exact — the suspector is a ◇P, hence a
+    ◇S_x for every x, the derived leader views are Ω_z, and the derived
+    region-death queries are ◇φ_y.
+
+    Nothing here reads the simulator's crash schedule: crashes are
+    detected only through missing heartbeats.  The class checkers
+    ({!Check}) certify these implemented detectors exactly as they certify
+    the oracles — and the whole paper stack (wheels, agreement) runs on
+    top of them unchanged (experiment E11). *)
+
+open Setagree_util
+open Setagree_dsys
+open Setagree_net
+
+type t
+
+val install :
+  Sim.t ->
+  ?period:float ->
+  ?initial_timeout:float ->
+  ?backoff:float ->
+  ?delay:Delay.t ->
+  unit ->
+  t
+(** Start the heartbeat tasks on every process.  [period] (default 1.0)
+    is the emission interval; [initial_timeout] (default 3.0) the starting
+    per-peer silence threshold; [backoff] (default 1.5) the multiplicative
+    bump applied when a suspicion proves false; [delay] defaults to
+    [Psync { gst = 30.; bound = 2.; pre_spread = 25. }]. *)
+
+val suspector : t -> Iface.suspector
+(** Timeout-based suspicion: a ◇P (so also ◇S_x for all x) under partial
+    synchrony. *)
+
+val omega : t -> z:int -> Iface.leader
+(** The first [z] unsuspected processes (always including self as a
+    candidate).  Eventually the first [z] live processes at every correct
+    process: a legal Ω_z. *)
+
+val querier : t -> y:int -> Iface.querier * Oracle.query_log
+(** [query(X)]: triviality by |X|, otherwise "every member of X is
+    currently suspected" — a ◇φ_y (safety only eventual: pre-GST timeouts
+    lie).  Returns the query log for {!Check.phi_y}. *)
+
+val timeout_of : t -> Pid.t -> Pid.t -> float
+(** Current adaptive timeout used by the first process for the second
+    (observability / tests). *)
+
+val heartbeats_sent : t -> int

@@ -1,0 +1,57 @@
+open Setagree_util
+open Setagree_dsys
+
+type t = {
+  (* Per process, reversed list of (time, value) change-points. *)
+  series : (float * Pidset.t) list array;
+  mutable changes : int;
+}
+
+let watch sim ?(every = 0.5) ?until ~read () =
+  let n = Sim.n sim in
+  let until = Option.value until ~default:(Sim.horizon sim) in
+  let t = { series = Array.make n []; changes = 0 } in
+  let poll () =
+    let now = Sim.now sim in
+    for i = 0 to n - 1 do
+      if not (Sim.is_crashed sim i) then begin
+        let v = read i in
+        match t.series.(i) with
+        | (_, prev) :: _ when Pidset.equal prev v -> ()
+        | _ ->
+            t.series.(i) <- (now, v) :: t.series.(i);
+            t.changes <- t.changes + 1
+      end
+    done
+  in
+  let rec arm time =
+    if time <= until then
+      Sim.at sim ~time (fun () ->
+          poll ();
+          arm (time +. every))
+  in
+  arm (Sim.now sim);
+  t
+
+let series t pid = List.rev t.series.(pid)
+
+let value_in_effect t pid ~at =
+  let rec go = function
+    | [] -> None
+    | (tm, v) :: rest -> if tm <= at then Some v else go rest
+  in
+  go t.series.(pid)
+
+let values_after t pid ~from =
+  (* Reversed series: take entries after [from], plus the one in effect. *)
+  let rec go acc = function
+    | [] -> acc
+    | (tm, v) :: rest -> if tm >= from then go (v :: acc) rest else v :: acc
+  in
+  go [] t.series.(pid)
+
+let last_change t pid =
+  match t.series.(pid) with [] -> None | (tm, _) :: _ -> Some tm
+
+let final t pid = match t.series.(pid) with [] -> None | (_, v) :: _ -> Some v
+let changes_total t = t.changes

@@ -1,0 +1,39 @@
+(** Failure-detector output monitors.
+
+    The classes are defined over infinite histories; on a finite run we
+    record, per process, the timeline of output values (change-points only)
+    and let {!Check} decide class membership on the suffix.  A monitor polls
+    a read function on a fixed grid — dense enough to catch every change of
+    the epoch-driven oracles and of the (event-driven) transformation
+    outputs. *)
+
+open Setagree_util
+open Setagree_dsys
+
+type t
+
+val watch :
+  Sim.t -> ?every:float -> ?until:float -> read:(Pid.t -> Pidset.t) -> unit -> t
+(** [watch sim ~read ()] installs polling events from now until [until]
+    (default: the simulator's horizon), every [every] (default 0.5) time
+    units.  Crashed processes are not polled (their module is dead).
+    Must be called before {!Sim.run}. *)
+
+val series : t -> Pid.t -> (float * Pidset.t) list
+(** Change-points [(time, value)], chronological; the first element is the
+    first sample.  Empty if the process crashed before the first poll. *)
+
+val value_in_effect : t -> Pid.t -> at:float -> Pidset.t option
+(** The last recorded value at or before [at]. *)
+
+val values_after : t -> Pid.t -> from:float -> Pidset.t list
+(** Every value in effect at some instant >= [from] (i.e. the value in
+    effect at [from] plus all later change-points). *)
+
+val last_change : t -> Pid.t -> float option
+(** Time of the last recorded change (or first sample if never changed). *)
+
+val final : t -> Pid.t -> Pidset.t option
+
+val changes_total : t -> int
+(** Total number of change-points across processes (stability measure). *)

@@ -1,0 +1,194 @@
+open Setagree_util
+open Setagree_dsys
+
+type scope_info = { scope : Pidset.t; protected : Pid.t }
+
+type query_event = {
+  q_time : float;
+  q_pid : Pid.t;
+  q_set : Pidset.t;
+  q_result : bool;
+}
+
+type query_log = query_event list ref
+
+exception Psi_containment_violation of Pidset.t * Pidset.t
+
+(* Deterministic boolean draw from a seed and a list of integer coordinates:
+   the same (seed, coordinates) always yields the same draw, so oracle
+   outputs are pure functions of virtual time and runs replay exactly. *)
+let draw ~seed parts p =
+  if p <= 0.0 then false
+  else
+    let h = List.fold_left (fun h x -> (h * 1_000_003) lxor (x + 0x9E37)) seed parts in
+    Rng.bernoulli (Rng.create h) p
+
+let draw_rng ~seed parts =
+  let h = List.fold_left (fun h x -> (h * 1_000_003) lxor (x + 0x9E37)) seed parts in
+  Rng.create h
+
+let epoch_of (b : Behavior.t) now = int_of_float (now /. b.epoch)
+
+let min_correct sim =
+  match Pidset.min_elt_opt (Sim.correct_set sim) with
+  | Some p -> p
+  | None -> invalid_arg "Oracle: no correct process in the run"
+
+(* Pick the scope Q: the protected leader plus x-1 other processes drawn
+   deterministically (faulty ones included on purpose: the class allows it,
+   and it is harder on client algorithms). *)
+let pick_scope sim ~x ~seed ~protected =
+  let n = Sim.n sim in
+  if x < 1 || x > n then invalid_arg "Oracle: scope size x out of range";
+  let rng = draw_rng ~seed [ 7; x ] in
+  let others = List.filter (fun p -> p <> protected) (Pid.all ~n) in
+  let chosen = List.filteri (fun i _ -> i < x - 1) (Rng.shuffle rng others) in
+  Pidset.add protected (Pidset.of_list chosen)
+
+let suspector_of sim ~(behavior : Behavior.t) ~seed ~scope ~protected ~perpetual =
+  let n = Sim.n sim in
+  let b = behavior in
+  let suspected i =
+    if Sim.is_crashed sim i then Pidset.empty
+    else begin
+      let now = Sim.now sim in
+      let crashed = Sim.crashed_set sim in
+      let e = epoch_of b now in
+      let s = ref Pidset.empty in
+      for j = 0 to n - 1 do
+        if j <> i then begin
+          let base = Pidset.mem j crashed in
+          let lie =
+            if now < b.gst then draw ~seed [ 1; i; j; e ] b.noise
+            else (not base) && draw ~seed [ 2; i; j; e ] b.slander
+          in
+          if base <> lie then s := Pidset.add j !s
+        end
+      done;
+      (* Limited-scope accuracy: members of Q never suspect the protected
+         process — always for the perpetual class, after gst for ◇. *)
+      if Pidset.mem i scope && (perpetual || now >= b.gst) then
+        s := Pidset.remove protected !s;
+      !s
+    end
+  in
+  { Iface.suspected }
+
+let es_x sim ~x ?(behavior = Behavior.stormy ~gst:50.0) ?(seed = 0x5EED) () =
+  let protected = min_correct sim in
+  let scope = pick_scope sim ~x ~seed ~protected in
+  ( suspector_of sim ~behavior ~seed ~scope ~protected ~perpetual:false,
+    { scope; protected } )
+
+let s_x sim ~x ?(behavior = Behavior.stormy ~gst:50.0) ?(seed = 0x5EED) () =
+  let protected = min_correct sim in
+  let scope = pick_scope sim ~x ~seed ~protected in
+  ( suspector_of sim ~behavior ~seed ~scope ~protected ~perpetual:true,
+    { scope; protected } )
+
+let perfect_p sim =
+  {
+    Iface.suspected =
+      (fun i -> if Sim.is_crashed sim i then Pidset.empty else Sim.crashed_set sim);
+  }
+
+let eventually_p sim ?(behavior = Behavior.stormy ~gst:50.0) ?(seed = 0x5EED) () =
+  let n = Sim.n sim in
+  let b = behavior in
+  let suspected i =
+    if Sim.is_crashed sim i then Pidset.empty
+    else begin
+      let now = Sim.now sim in
+      let crashed = Sim.crashed_set sim in
+      if now >= b.gst then crashed
+      else begin
+        let e = epoch_of b now in
+        let s = ref Pidset.empty in
+        for j = 0 to n - 1 do
+          if j <> i then begin
+            let base = Pidset.mem j crashed in
+            let lie = draw ~seed [ 3; i; j; e ] b.noise in
+            if base <> lie then s := Pidset.add j !s
+          end
+        done;
+        !s
+      end
+    end
+  in
+  { Iface.suspected }
+
+let omega_z sim ~z ?(behavior = Behavior.stormy ~gst:50.0) ?(seed = 0x5EED) () =
+  let n = Sim.n sim in
+  if z < 1 || z > n then invalid_arg "Oracle.omega_z: z out of range";
+  let b = behavior in
+  let leader = min_correct sim in
+  let final =
+    let rng = draw_rng ~seed [ 11; z ] in
+    let others = List.filter (fun p -> p <> leader) (Pid.all ~n) in
+    let extra = Rng.int rng z in
+    let chosen = List.filteri (fun i _ -> i < extra) (Rng.shuffle rng others) in
+    Pidset.add leader (Pidset.of_list chosen)
+  in
+  let trusted i =
+    if Sim.is_crashed sim i then Pidset.empty
+    else begin
+      let now = Sim.now sim in
+      if now >= b.gst then final
+      else begin
+        (* Churning arbitrary sets: different at each process and epoch. *)
+        let e = epoch_of b now in
+        let rng = draw_rng ~seed [ 13; i; e ] in
+        let size = 1 + Rng.int rng z in
+        Pidset.random rng ~n ~size
+      end
+    end
+  in
+  ({ Iface.trusted }, final)
+
+let querier_of sim ~y ~(behavior : Behavior.t) ~seed ~perpetual =
+  let t = Sim.t_bound sim in
+  if y < 0 || y > t then invalid_arg "Oracle: phi parameter y out of range";
+  let b = behavior in
+  let log : query_log = ref [] in
+  let query i x =
+    let now = Sim.now sim in
+    let c = Pidset.cardinal x in
+    let result =
+      if c <= t - y then true
+      else if c > t then false
+      else begin
+        let all_crashed = Pidset.subset x (Sim.crashed_set sim) in
+        let e = epoch_of b now in
+        if now >= b.gst then all_crashed
+        else if perpetual then
+          (* Safety is perpetual: never claim a live region dead.  Liveness
+             may be delayed: a dead region can still be denied pre-gst. *)
+          all_crashed && not (draw ~seed [ 4; i; Pidset.hash x; e ] b.noise)
+        else if draw ~seed [ 5; i; Pidset.hash x; e ] b.noise then not all_crashed
+        else all_crashed
+      end
+    in
+    log := { q_time = now; q_pid = i; q_set = x; q_result = result } :: !log;
+    result
+  in
+  ({ Iface.query }, log)
+
+let phi_y sim ~y ?(behavior = Behavior.stormy ~gst:50.0) ?(seed = 0x5EED) () =
+  querier_of sim ~y ~behavior ~seed ~perpetual:true
+
+let ephi_y sim ~y ?(behavior = Behavior.stormy ~gst:50.0) ?(seed = 0x5EED) () =
+  querier_of sim ~y ~behavior ~seed ~perpetual:false
+
+let psi_y sim ~y ?(behavior = Behavior.stormy ~gst:50.0) ?(seed = 0x5EED) () =
+  let ({ Iface.query = base }, log) = phi_y sim ~y ~behavior ~seed () in
+  let used : Pidset.t list ref = ref [] in
+  let query i x =
+    List.iter
+      (fun x' ->
+        if not (Pidset.subset x x' || Pidset.subset x' x) then
+          raise (Psi_containment_violation (x, x')))
+      !used;
+    if not (List.exists (Pidset.equal x) !used) then used := x :: !used;
+    base i x
+  in
+  ({ Iface.query }, log)

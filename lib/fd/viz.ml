@@ -1,0 +1,44 @@
+open Setagree_util
+open Setagree_dsys
+
+let letter_of k =
+  if k < 26 then Char.chr (Char.code 'a' + k)
+  else if k < 52 then Char.chr (Char.code 'A' + k - 26)
+  else '#'
+
+let timeline sim mon ?(width = 60) ?until () =
+  let n = Sim.n sim in
+  let until = Option.value until ~default:(Sim.now sim) in
+  let until = if until <= 0.0 then 1.0 else until in
+  let legend : (Pidset.t * char) list ref = ref [] in
+  let char_of v =
+    match List.find_opt (fun (s, _) -> Pidset.equal s v) !legend with
+    | Some (_, c) -> c
+    | None ->
+        let c = letter_of (List.length !legend) in
+        legend := !legend @ [ (v, c) ];
+        c
+  in
+  let buf = Buffer.create 1024 in
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "%-4s " (Pid.to_string i));
+    for b = 0 to width - 1 do
+      let tm = float_of_int b /. float_of_int width *. until in
+      let dead =
+        match Sim.crash_time sim i with Some ct -> ct <= tm | None -> false
+      in
+      if dead then Buffer.add_char buf 'x'
+      else
+        match Monitor.value_in_effect mon i ~at:tm with
+        | None -> Buffer.add_char buf '.'
+        | Some v -> Buffer.add_char buf (char_of v)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "     0%*s%.1f\n" (width - 1) "t=" until);
+  List.iter
+    (fun (v, c) ->
+      Buffer.add_string buf (Printf.sprintf "  %c = %s\n" c (Pidset.to_string v)))
+    !legend;
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** ASCII timelines of failure-detector outputs.
+
+    Render a {!Monitor} as one row per process over a bucketed time axis:
+    each distinct output value gets a letter, crashed stretches show as
+    ['x'], time before the first sample as ['.'].  A legend maps letters
+    back to pid-sets.  Useful in demos and when debugging a transformation
+    whose checker verdict alone does not show {e where} a run went wrong. *)
+
+open Setagree_dsys
+
+val timeline : Sim.t -> Monitor.t -> ?width:int -> ?until:float -> unit -> string
+(** [timeline sim mon ()] renders the monitored history up to [until]
+    (default: the current virtual time) in [width] (default 60) buckets.
+    Call after {!Sim.run}. *)

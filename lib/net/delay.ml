@@ -1,0 +1,27 @@
+open Setagree_util
+
+type t =
+  | Constant of float
+  | Uniform of float * float
+  | Exponential of float
+  | Psync of { gst : float; bound : float; pre_spread : float }
+  | Fn of (rng:Rng.t -> src:Pid.t -> dst:Pid.t -> now:float -> float)
+
+let sample t ~rng ~src ~dst ~now =
+  let d =
+    match t with
+    | Constant c -> c
+    | Uniform (lo, hi) -> Rng.uniform_in rng lo hi
+    | Exponential mean -> Rng.exponential rng ~mean
+    | Psync { gst; bound; pre_spread } ->
+        if now < gst then
+          (* The adversary may park a pre-gst message until after gst, but
+             never beyond gst + bound (messages are not lost). *)
+          let d = Rng.uniform_in rng 0.0 pre_spread in
+          Float.min d (gst +. bound -. now)
+        else Rng.uniform_in rng 0.0 bound
+    | Fn f -> f ~rng ~src ~dst ~now
+  in
+  Float.max 0.0 d
+
+let default = Uniform (0.5, 1.5)

@@ -1,0 +1,27 @@
+(** Message-delay models.
+
+    The asynchronous model puts no bound on transfer delays; a delay model is
+    simply the (deterministic, seeded) adversary choosing them.  [Fn] gives
+    experiments complete control — e.g. the indistinguishability scenarios
+    of the irreducibility theorems delay all messages from a region [E]
+    until a chosen time. *)
+
+open Setagree_util
+
+type t =
+  | Constant of float
+  | Uniform of float * float  (** [Uniform (lo, hi)], uniform in [lo, hi). *)
+  | Exponential of float  (** Mean delay; heavy spread stresses asynchrony. *)
+  | Psync of { gst : float; bound : float; pre_spread : float }
+      (** Partial synchrony: before [gst] delays are uniform in
+          [0, pre_spread) (arbitrarily bad, adversary's pick); from [gst]
+          on, every delay is uniform in (0, bound] — the model under which
+          timeout-based failure detectors are implementable. *)
+  | Fn of (rng:Rng.t -> src:Pid.t -> dst:Pid.t -> now:float -> float)
+      (** Arbitrary adversary. *)
+
+val sample : t -> rng:Rng.t -> src:Pid.t -> dst:Pid.t -> now:float -> float
+(** Draw a delay (>= 0, clamped). *)
+
+val default : t
+(** [Uniform (0.5, 1.5)] — a mild spread around 1 time unit. *)

@@ -1,0 +1,117 @@
+open Setagree_util
+open Setagree_dsys
+
+module Link = struct
+  type 'm t = {
+    sim : Sim.t;
+    tag : string;
+    delay : Delay.t;
+    rng : Rng.t;
+    loss : float;
+    mutable handlers : (src:Pid.t -> dst:Pid.t -> 'm -> unit) list;
+    mutable sent : int;
+    mutable dropped : int;
+    mutable delivered : int;
+  }
+
+  let create sim ?(tag = "lossy") ?(delay = Delay.default) ~loss () =
+    if loss < 0.0 || loss >= 1.0 then invalid_arg "Lossy.Link.create: loss in [0,1)";
+    {
+      sim;
+      tag;
+      delay;
+      rng = Rng.split_named (Sim.rng sim) ("lossy:" ^ tag);
+      loss;
+      handlers = [];
+      sent = 0;
+      dropped = 0;
+      delivered = 0;
+    }
+
+  let send t ~src ~dst payload =
+    if not (Sim.is_crashed t.sim src) then begin
+      t.sent <- t.sent + 1;
+      Trace.incr (Sim.trace t.sim) (t.tag ^ ".link.sent");
+      if Rng.bernoulli t.rng t.loss then t.dropped <- t.dropped + 1
+      else begin
+        let d = Delay.sample t.delay ~rng:t.rng ~src ~dst ~now:(Sim.now t.sim) in
+        Sim.schedule t.sim ~delay:d (fun () ->
+            if not (Sim.is_crashed t.sim dst) then begin
+              t.delivered <- t.delivered + 1;
+              List.iter (fun h -> h ~src ~dst payload) (List.rev t.handlers)
+            end)
+      end
+    end
+
+  let on_deliver t h = t.handlers <- h :: t.handlers
+  let sent t = t.sent
+  let dropped t = t.dropped
+  let delivered t = t.delivered
+end
+
+module Transport = struct
+  type 'm packet = Data of { seq : int; body : 'm } | Ack of { seq : int }
+
+  type 'm t = {
+    sim : Sim.t;
+    link : 'm packet Link.t;
+    (* Per sender: next sequence number and the unacknowledged queue
+       (seq, dst, body). *)
+    next_seq : int array;
+    unacked : (int, Pid.t * 'm) Hashtbl.t array;
+    (* Per receiver: seen (src, seq) pairs and the delivered list. *)
+    seen : (Pid.t * int, unit) Hashtbl.t array;
+    inboxes : (Pid.t * 'm) list array;
+    mutable handlers : (src:Pid.t -> dst:Pid.t -> 'm -> unit) list;
+  }
+
+  let create sim ?(tag = "transport") ?(delay = Delay.default)
+      ?(retransmit_every = 1.0) ~loss () =
+    let n = Sim.n sim in
+    let t =
+      {
+        sim;
+        link = Link.create sim ~tag ~delay ~loss ();
+        next_seq = Array.make n 0;
+        unacked = Array.init n (fun _ -> Hashtbl.create 32);
+        seen = Array.init n (fun _ -> Hashtbl.create 64);
+        inboxes = Array.make n [];
+        handlers = [];
+      }
+    in
+    Link.on_deliver t.link (fun ~src ~dst packet ->
+        match packet with
+        | Data { seq; body } ->
+            (* Always re-ack: the previous ack may have been lost. *)
+            Link.send t.link ~src:dst ~dst:src (Ack { seq });
+            if not (Hashtbl.mem t.seen.(dst) (src, seq)) then begin
+              Hashtbl.add t.seen.(dst) (src, seq) ();
+              t.inboxes.(dst) <- (src, body) :: t.inboxes.(dst);
+              List.iter (fun h -> h ~src ~dst body) (List.rev t.handlers)
+            end
+        | Ack { seq } -> Hashtbl.remove t.unacked.(dst) seq);
+    (* One stubborn retransmission task per process. *)
+    for i = 0 to n - 1 do
+      Sim.spawn sim ~pid:i (fun () ->
+          while true do
+            Hashtbl.iter
+              (fun seq (dst, body) -> Link.send t.link ~src:i ~dst (Data { seq; body }))
+              t.unacked.(i);
+            Sim.sleep retransmit_every
+          done)
+    done;
+    t
+
+  let send t ~src ~dst body =
+    if not (Sim.is_crashed t.sim src) then begin
+      let seq = t.next_seq.(src) in
+      t.next_seq.(src) <- seq + 1;
+      Hashtbl.replace t.unacked.(src) seq (dst, body);
+      Link.send t.link ~src ~dst (Data { seq; body })
+    end
+
+  let inbox t pid = List.rev t.inboxes.(pid)
+  let on_deliver t h = t.handlers <- h :: t.handlers
+  let pending t pid = Hashtbl.length t.unacked.(pid)
+  let link_sent t = Link.sent t.link
+end

@@ -1,0 +1,116 @@
+open Setagree_util
+open Setagree_dsys
+
+type 'm envelope = {
+  src : Pid.t;
+  dst : Pid.t;
+  sent_at : float;
+  delivered_at : float;
+  payload : 'm;
+}
+
+type 'm t = {
+  sim : Sim.t;
+  tag : string;
+  delay : Delay.t;
+  rng : Rng.t;
+  retain : bool;
+  (* When present, sends travel through the stubborn transport over a
+     fair-lossy link instead of the direct channel. *)
+  transport : (float * 'm) Lossy.Transport.t option;
+  (* Mailboxes store envelopes most-recent-first; [inbox] reverses. *)
+  mutable mailboxes : 'm envelope list array;
+  mutable handlers : ('m envelope -> unit) list;
+  mutable sent : int;
+  mutable delivered : int;
+}
+
+let deliver t ~src ~dst ~sent_at payload () =
+  if not (Sim.is_crashed t.sim dst) then begin
+    let env = { src; dst; sent_at; delivered_at = Sim.now t.sim; payload } in
+    if t.retain then t.mailboxes.(dst) <- env :: t.mailboxes.(dst);
+    t.delivered <- t.delivered + 1;
+    Trace.incr (Sim.trace t.sim) (t.tag ^ ".delivered");
+    List.iter (fun h -> h env) (List.rev t.handlers)
+  end
+
+let create sim ?(tag = "net") ?(delay = Delay.default) ?(retain = true) ?loss () =
+  let transport =
+    Option.map (fun loss -> Lossy.Transport.create sim ~tag:(tag ^ ".l") ~delay ~loss ()) loss
+  in
+  let t =
+    {
+      sim;
+      tag;
+      delay;
+      rng = Rng.split_named (Sim.rng sim) ("net:" ^ tag);
+      retain;
+      transport;
+      mailboxes = Array.make (Sim.n sim) [];
+      handlers = [];
+      sent = 0;
+      delivered = 0;
+    }
+  in
+  Option.iter
+    (fun tr ->
+      Lossy.Transport.on_deliver tr (fun ~src ~dst (sent_at, payload) ->
+          deliver t ~src ~dst ~sent_at payload ()))
+    transport;
+  t
+
+let sim t = t.sim
+
+let send_at t ~src ~dst ~deliver_at payload =
+  if not (Sim.is_crashed t.sim src) then begin
+    t.sent <- t.sent + 1;
+    Trace.incr (Sim.trace t.sim) (t.tag ^ ".sent");
+    let sent_at = Sim.now t.sim in
+    Sim.at t.sim ~time:(Float.max deliver_at sent_at)
+      (deliver t ~src ~dst ~sent_at payload)
+  end
+
+let send t ~src ~dst payload =
+  if not (Sim.is_crashed t.sim src) then begin
+    match t.transport with
+    | None ->
+        let now = Sim.now t.sim in
+        let d = Delay.sample t.delay ~rng:t.rng ~src ~dst ~now in
+        send_at t ~src ~dst ~deliver_at:(now +. d) payload
+    | Some tr ->
+        t.sent <- t.sent + 1;
+        Trace.incr (Sim.trace t.sim) (t.tag ^ ".sent");
+        Lossy.Transport.send tr ~src ~dst (Sim.now t.sim, payload)
+  end
+
+let broadcast t ~src payload =
+  for dst = 0 to Sim.n t.sim - 1 do
+    send t ~src ~dst payload
+  done
+
+let broadcast_staggered t ~src ~step payload =
+  let n = Sim.n t.sim in
+  let rec go dst =
+    if dst < n then begin
+      if not (Sim.is_crashed t.sim src) then begin
+        send t ~src ~dst payload;
+        Sim.schedule t.sim ~delay:step (fun () -> go (dst + 1))
+      end
+    end
+  in
+  go 0
+
+let inbox t pid = List.rev t.mailboxes.(pid)
+let recv_filter t pid f = List.filter f (inbox t pid)
+
+let recv_count t pid f =
+  List.fold_left (fun acc e -> if f e then acc + 1 else acc) 0 t.mailboxes.(pid)
+
+let distinct_senders t pid f =
+  List.fold_left
+    (fun acc e -> if f e then Pidset.add e.src acc else acc)
+    Pidset.empty t.mailboxes.(pid)
+
+let on_deliver t h = t.handlers <- h :: t.handlers
+let sent_count t = t.sent
+let delivered_count t = t.delivered

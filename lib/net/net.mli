@@ -1,0 +1,80 @@
+(** Point-to-point asynchronous reliable channels (paper §2.1).
+
+    Channels connect every pair of processes; they do not create, alter or
+    lose messages, and are {e not} FIFO — each message gets an independent
+    delay.  A message sent to a process that has crashed by delivery time is
+    dropped (equivalently: delivered to a dead process).
+
+    One ['m t] carries one protocol's message type; layered protocols (e.g.
+    the two wheels under a k-set agreement) each create their own network
+    over the same simulator, mirroring the paper's module structure. *)
+
+open Setagree_util
+open Setagree_dsys
+
+type 'm envelope = {
+  src : Pid.t;
+  dst : Pid.t;
+  sent_at : float;
+  delivered_at : float;
+  payload : 'm;
+}
+
+type 'm t
+
+val create :
+  Sim.t -> ?tag:string -> ?delay:Delay.t -> ?retain:bool -> ?loss:float -> unit -> 'm t
+(** [create sim ~tag ~delay ()] — [tag] names the protocol in traces and
+    counters (default ["net"]); [delay] defaults to {!Delay.default}.
+    Delay draws come from an RNG split off the simulator's root with the
+    tag as key, so adding another network does not perturb this one.
+    [retain] (default true): keep delivered envelopes in mailboxes for
+    {!inbox}-style reads; protocols that consume messages purely through
+    {!on_deliver} callbacks should pass [false] so unbounded runs stay in
+    bounded memory.
+    [loss]: when given, every {!send} travels through a stubborn reliable
+    transport over a fair-lossy link dropping that fraction of copies
+    ({!Lossy.Transport}) — same delivery guarantees between correct
+    processes, higher latency and raw-link traffic.  {!send_at} stays
+    direct (it is the adversary's injection primitive, not a channel). *)
+
+val sim : 'm t -> Sim.t
+
+val send : 'm t -> src:Pid.t -> dst:Pid.t -> 'm -> unit
+(** Asynchronous send; returns immediately.  No-op if [src] already
+    crashed (a dead process takes no step). *)
+
+val send_at : 'm t -> src:Pid.t -> dst:Pid.t -> deliver_at:float -> 'm -> unit
+(** Adversarial variant: deliver at an absolute virtual time. *)
+
+val broadcast : 'm t -> src:Pid.t -> 'm -> unit
+(** The paper's [Broadcast m]: send to every process including the sender.
+    Executes atomically at the current instant (each copy still gets its own
+    delay); use {!broadcast_staggered} when crash-interrupted partial
+    broadcasts must be possible. *)
+
+val broadcast_staggered : 'm t -> src:Pid.t -> step:float -> 'm -> unit
+(** Sends to destinations one by one, [step] time units apart, stopping if
+    the sender crashes in between — the failure mode reliable broadcast
+    exists to mask. *)
+
+val inbox : 'm t -> Pid.t -> 'm envelope list
+(** All messages delivered to the process so far, in delivery order. *)
+
+val recv_filter : 'm t -> Pid.t -> ('m envelope -> bool) -> 'm envelope list
+
+val recv_count : 'm t -> Pid.t -> ('m envelope -> bool) -> int
+
+val distinct_senders : 'm t -> Pid.t -> ('m envelope -> bool) -> Pidset.t
+(** Senders of matching delivered messages — the "received from n-t
+    processes" guards count distinct senders. *)
+
+val on_deliver : 'm t -> ('m envelope -> unit) -> unit
+(** Register a callback run at each delivery (after the mailbox append and
+    only if the destination is alive).  Used for the paper's "when m is
+    delivered" tasks. *)
+
+val sent_count : 'm t -> int
+(** Total messages sent through this network. *)
+
+val delivered_count : 'm t -> int

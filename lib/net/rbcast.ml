@@ -1,0 +1,72 @@
+open Setagree_util
+open Setagree_dsys
+
+type 'm delivery = { origin : Pid.t; body : 'm; at : float }
+type 'm tagged = { torigin : Pid.t; uid : int; body : 'm }
+
+type 'm t = {
+  sim : Sim.t;
+  net : 'm tagged Net.t;
+  stagger : float option;
+  seen : (Pid.t * int, unit) Hashtbl.t array;
+  rdelivered : 'm delivery list array;
+  mutable next_uid : int array;
+  mutable handlers : (Pid.t -> 'm delivery -> unit) list;
+}
+
+let relay t ~src msg =
+  match t.stagger with
+  | None -> Net.broadcast t.net ~src msg
+  | Some step -> Net.broadcast_staggered t.net ~src ~step msg
+
+let rdeliver t pid (msg : 'm tagged) at =
+  let d = { origin = msg.torigin; body = msg.body; at } in
+  t.rdelivered.(pid) <- d :: t.rdelivered.(pid);
+  List.iter (fun h -> h pid d) (List.rev t.handlers)
+
+(* First receipt: relay before delivering, so that if this process is
+   correct, everyone eventually gets the message (Termination). *)
+let on_first t pid (msg : 'm tagged) =
+  if not (Hashtbl.mem t.seen.(pid) (msg.torigin, msg.uid)) then begin
+    Hashtbl.add t.seen.(pid) (msg.torigin, msg.uid) ();
+    relay t ~src:pid msg;
+    rdeliver t pid msg (Sim.now t.sim)
+  end
+
+let create sim ?(tag = "rbcast") ?(delay = Delay.default) ?stagger ?loss () =
+  let n = Sim.n sim in
+  let t =
+    {
+      sim;
+      net = Net.create sim ~tag ~delay ?loss ();
+      stagger;
+      seen = Array.init n (fun _ -> Hashtbl.create 64);
+      rdelivered = Array.make n [];
+      next_uid = Array.make n 0;
+      handlers = [];
+    }
+  in
+  Net.on_deliver t.net (fun env -> on_first t env.Net.dst env.Net.payload);
+  t
+
+let sim t = t.sim
+
+let broadcast t ~src body =
+  if not (Sim.is_crashed t.sim src) then begin
+    let uid = t.next_uid.(src) in
+    t.next_uid.(src) <- uid + 1;
+    let msg = { torigin = src; uid; body } in
+    (* The origin marks, relays, and delivers locally — it "receives" its own
+       message first. *)
+    Hashtbl.add t.seen.(src) (src, uid) ();
+    relay t ~src msg;
+    rdeliver t src msg (Sim.now t.sim)
+  end
+
+let delivered t pid = List.rev t.rdelivered.(pid)
+
+let delivered_count t pid f =
+  List.fold_left (fun acc d -> if f d then acc + 1 else acc) 0 t.rdelivered.(pid)
+
+let on_deliver t h = t.handlers <- h :: t.handlers
+let underlying_sent t = Net.sent_count t.net

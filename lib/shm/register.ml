@@ -1,0 +1,30 @@
+open Setagree_util
+open Setagree_dsys
+
+type 'a t = {
+  sim : Sim.t;
+  writer : Pid.t;
+  access_time : float;
+  mutable value : 'a;
+  mutable writes : int;
+}
+
+let create sim ~writer ?(access_time = 0.1) init =
+  { sim; writer; access_time; value = init; writes = 0 }
+
+let write t ~by v =
+  if by <> t.writer then invalid_arg "Register.write: not the writer";
+  (* The write takes effect at the end of the access interval. *)
+  Sim.sleep t.access_time;
+  if not (Sim.is_crashed t.sim by) then begin
+    t.value <- v;
+    t.writes <- t.writes + 1
+  end
+
+let read t ~by =
+  ignore by;
+  Sim.sleep t.access_time;
+  t.value
+
+let peek t = t.value
+let write_count t = t.writes

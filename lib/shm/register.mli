@@ -1,0 +1,28 @@
+(** Single-writer multi-reader atomic registers (the shared-memory model of
+    the paper's Appendix B).
+
+    The simulator executes at most one event at a time, so reads and writes
+    are trivially linearizable: each operation takes effect at the instant
+    it executes.  What the substrate adds is the {e cost model} (an access
+    takes non-zero virtual time, so register scans interleave with crashes
+    and with other processes' writes) and writer enforcement. *)
+
+open Setagree_util
+open Setagree_dsys
+
+type 'a t
+
+val create : Sim.t -> writer:Pid.t -> ?access_time:float -> 'a -> 'a t
+(** [create sim ~writer init] — only [writer] may write.  [access_time]
+    (default 0.1) is the virtual duration of one read or write; operations
+    must be called from fiber context (they {!Sim.sleep}). *)
+
+val write : 'a t -> by:Pid.t -> 'a -> unit
+(** @raise Invalid_argument if [by] is not the registered writer. *)
+
+val read : 'a t -> by:Pid.t -> 'a
+
+val peek : 'a t -> 'a
+(** Zero-time read for checkers and monitors (not part of the model). *)
+
+val write_count : 'a t -> int

@@ -1,0 +1,60 @@
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 1 to k do
+      acc := !acc * (n - k + i) / i
+    done;
+    !acc
+  end
+
+(* Subsets of {0..n-1} of cardinality [size], as ascending element lists,
+   lexicographic order.  Unranking: the subsets whose smallest element is the
+   current pool element number C(remaining_pool - 1, size - 1); skip whole
+   blocks until the rank falls inside one. *)
+let unrank_positions ~n ~size r =
+  if size < 0 || size > n then invalid_arg "Combi.unrank: bad size";
+  let total = binomial n size in
+  if r < 0 || r >= total then invalid_arg "Combi.unrank: rank out of range";
+  let rec go r elt remaining acc =
+    if remaining = 0 then List.rev acc
+    else
+      let c = binomial (n - elt - 1) (remaining - 1) in
+      if r < c then go r (elt + 1) (remaining - 1) (elt :: acc)
+      else go (r - c) (elt + 1) remaining acc
+  in
+  go r 0 size []
+
+let rank_positions ~n positions =
+  let size = List.length positions in
+  let rec go r elt remaining = function
+    | [] -> r
+    | p :: rest ->
+        if p = elt then go r (elt + 1) (remaining - 1) rest
+        else go (r + binomial (n - elt - 1) (remaining - 1)) (elt + 1) remaining (p :: rest)
+  in
+  ignore size;
+  go 0 0 (List.length positions) positions
+
+let unrank ~n ~size r = Pidset.of_list (unrank_positions ~n ~size r)
+let rank ~n s = rank_positions ~n (Pidset.to_list s)
+
+let unrank_in ~base ~size r =
+  let elems = Array.of_list (Pidset.to_list base) in
+  let nb = Array.length elems in
+  let positions = unrank_positions ~n:nb ~size r in
+  Pidset.of_list (List.map (fun i -> elems.(i)) positions)
+
+let rank_in ~base s =
+  let elems = Array.of_list (Pidset.to_list base) in
+  let nb = Array.length elems in
+  let index_of p =
+    let rec go i = if elems.(i) = p then i else go (i + 1) in
+    go 0
+  in
+  rank_positions ~n:nb (List.map index_of (Pidset.to_list s))
+
+let enumerate ~n ~size =
+  let total = binomial n size in
+  Seq.init total (fun r -> unrank ~n ~size r)

@@ -1,0 +1,33 @@
+(** Combinatorics of fixed-size subsets.
+
+    The two-wheels transformation (paper §4) scans logical rings built from
+    {e all} x-subsets of [Pi] (lower wheel) and all (t-y+1)-subsets with their
+    z-subsets (upper wheel).  Every process must enumerate these families in
+    the same order, so the order must be canonical: we use lexicographic
+    order on the ascending element lists (the combinatorial number system),
+    with O(size) ranking and unranking. *)
+
+val binomial : int -> int -> int
+(** [binomial n k] = C(n, k); 0 when [k < 0] or [k > n].  Uses exact integer
+    arithmetic; callers keep n small enough (n <= 62) that no overflow can
+    occur for the sizes used here. *)
+
+val unrank : n:int -> size:int -> int -> Pidset.t
+(** [unrank ~n ~size r] is the [r]-th (0-based) subset of [{0..n-1}] of
+    cardinality [size] in lexicographic order.
+    @raise Invalid_argument if [r] is out of range. *)
+
+val rank : n:int -> Pidset.t -> int
+(** [rank ~n s] is the lexicographic rank of [s] among the subsets of
+    [{0..n-1}] with cardinality [cardinal s]. *)
+
+val unrank_in : base:Pidset.t -> size:int -> int -> Pidset.t
+(** [unrank_in ~base ~size r] is the [r]-th subset of [base] of the given
+    cardinality, in lexicographic order on positions within [base]'s
+    ascending element list. *)
+
+val rank_in : base:Pidset.t -> Pidset.t -> int
+(** Inverse of {!unrank_in} (for subsets of [base]). *)
+
+val enumerate : n:int -> size:int -> Pidset.t Seq.t
+(** All subsets of [{0..n-1}] of the given size, lexicographic order. *)

@@ -1,0 +1,7 @@
+type t = int
+
+let pp fmt p = Format.fprintf fmt "p%d" (p + 1)
+let to_string p = Printf.sprintf "p%d" (p + 1)
+let compare = Int.compare
+let equal = Int.equal
+let all ~n = List.init n (fun i -> i)

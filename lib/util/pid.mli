@@ -1,0 +1,21 @@
+(** Process identities.
+
+    The paper's system is [Pi = {p_1, ..., p_n}]; we identify process [p_i]
+    with the integer [i - 1], i.e. pids are [0 .. n-1].  Keeping pids as a
+    private alias of [int] lets them index arrays directly while the [.mli]
+    documents intent. *)
+
+type t = int
+(** A process identity in [0 .. n-1]. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt p] prints ["p3"] style identities (1-based, as in the paper). *)
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val all : n:int -> t list
+(** [all ~n] is [[0; 1; ...; n-1]]. *)

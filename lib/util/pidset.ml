@@ -1,0 +1,71 @@
+type t = int
+
+let max_size = Sys.int_size - 1
+let empty = 0
+let is_empty s = s = 0
+
+let full ~n =
+  assert (n >= 0 && n <= max_size);
+  if n = 0 then 0 else (1 lsl n) - 1
+
+let singleton p = 1 lsl p
+let add p s = s lor (1 lsl p)
+let remove p s = s land lnot (1 lsl p)
+let mem p s = s land (1 lsl p) <> 0
+
+let cardinal s =
+  let rec go acc s = if s = 0 then acc else go (acc + 1) (s land (s - 1)) in
+  go 0 s
+
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+let subset a b = a land lnot b = 0
+let disjoint a b = a land b = 0
+let equal (a : int) b = a = b
+let compare = Int.compare
+let of_list l = List.fold_left (fun s p -> add p s) empty l
+
+(* Index of the lowest set bit of a non-zero word. *)
+let lowest_bit s =
+  let low = s land -s in
+  let rec tz i v = if v land 1 = 1 then i else tz (i + 1) (v lsr 1) in
+  tz 0 low
+
+(* Folds in ascending pid order. *)
+let fold f s init =
+  let rec loop acc s =
+    if s = 0 then acc
+    else
+      let p = lowest_bit s in
+      loop (f p acc) (s land (s - 1))
+  in
+  loop init s
+
+let to_list s = List.rev (fold (fun p acc -> p :: acc) s [])
+let elements = to_list
+let iter f s = fold (fun p () -> f p) s ()
+let for_all f s = fold (fun p acc -> acc && f p) s true
+let exists f s = fold (fun p acc -> acc || f p) s false
+let filter f s = fold (fun p acc -> if f p then add p acc else acc) s empty
+let min_elt s = if s = 0 then raise Not_found else lowest_bit s
+let min_elt_opt s = if s = 0 then None else Some (lowest_bit s)
+let max_elt_opt s = fold (fun p _ -> Some p) s None
+let choose_opt = min_elt_opt
+
+let random rng ~n ~size =
+  assert (size >= 0 && size <= n);
+  (* Floyd's algorithm for a uniform size-subset of {0..n-1}. *)
+  let s = ref empty in
+  for j = n - size to n - 1 do
+    let r = Rng.int rng (j + 1) in
+    if mem r !s then s := add j !s else s := add r !s
+  done;
+  !s
+
+let pp fmt s =
+  Format.fprintf fmt "{%s}" (String.concat "," (List.map Pid.to_string (to_list s)))
+
+let to_string s = Format.asprintf "%a" pp s
+
+let hash (s : t) = s

@@ -1,0 +1,26 @@
+(** Mutable binary-heap priority queue.
+
+    Used by the discrete-event scheduler: elements are events, priorities are
+    (virtual time, sequence number) pairs so that ties at the same instant
+    are broken deterministically by insertion order. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Empty queue ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns the smallest element. *)
+
+val peek : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the current contents in arbitrary (heap) order. *)

@@ -1,0 +1,67 @@
+module Lower = struct
+  type t = { n : int; x : int; nb_x : int; cache : (int, Pidset.t) Hashtbl.t }
+
+  let create ~n ~x =
+    if x < 1 || x > n then invalid_arg "Ring.Lower.create";
+    { n; x; nb_x = Combi.binomial n x; cache = Hashtbl.create 64 }
+
+  let total t = t.nb_x * t.x
+
+  let subset t k =
+    match Hashtbl.find_opt t.cache k with
+    | Some s -> s
+    | None ->
+        let s = Combi.unrank ~n:t.n ~size:t.x k in
+        Hashtbl.add t.cache k s;
+        s
+
+  let decode t p =
+    let p = p mod total t in
+    let k = p / t.x and j = p mod t.x in
+    let xset = subset t k in
+    (List.nth (Pidset.to_list xset) j, xset)
+
+  let start _ = 0
+  let next t p = (p + 1) mod total t
+end
+
+module Upper = struct
+  type t = {
+    n : int;
+    ysize : int;
+    lsize : int;
+    nb_y : int;
+    nb_l : int;
+    cache : (int, Pidset.t) Hashtbl.t;
+  }
+
+  let create ~n ~ysize ~lsize =
+    if lsize < 1 || lsize > ysize || ysize > n then invalid_arg "Ring.Upper.create";
+    {
+      n;
+      ysize;
+      lsize;
+      nb_y = Combi.binomial n ysize;
+      nb_l = Combi.binomial ysize lsize;
+      cache = Hashtbl.create 64;
+    }
+
+  let total t = t.nb_y * t.nb_l
+
+  let yset t k =
+    match Hashtbl.find_opt t.cache k with
+    | Some s -> s
+    | None ->
+        let s = Combi.unrank ~n:t.n ~size:t.ysize k in
+        Hashtbl.add t.cache k s;
+        s
+
+  let decode t p =
+    let p = p mod total t in
+    let k = p / t.nb_l and r = p mod t.nb_l in
+    let y = yset t k in
+    (Combi.unrank_in ~base:y ~size:t.lsize r, y)
+
+  let start _ = 0
+  let next t p = (p + 1) mod total t
+end

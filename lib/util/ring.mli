@@ -1,0 +1,52 @@
+(** The logical rings scanned by the two wheels (paper Figure 4 and §4.2).
+
+    Both wheels walk an infinite cyclic sequence known in advance by every
+    process.  We represent a position as an integer in [0, total); the
+    decoded pair is what the algorithms exchange in messages.
+
+    {b Lower ring} (Figure 4): the sequence
+    [l^1_1,...,l^1_x, l^2_1,...,l^2_x, ..., l^{nb_x}_x] pairing each element
+    of each x-subset [X[k]] of [Pi] with its set.  Position [p] decodes to
+    [(j-th element of X[k], X[k])] where [k = p / x], [j = p mod x].
+
+    {b Upper ring} (§4.2): for each (t-y+1)-subset [Y[k]] of [Pi], all its
+    z-subsets [L^k_1..L^k_{nb_L}]; position [p] decodes to
+    [(L^k_r, Y[k])] with [k = p / nb_L], [r = p mod nb_L]. *)
+
+module Lower : sig
+  type t
+
+  val create : n:int -> x:int -> t
+  (** Ring of all x-subsets of [{0..n-1}], each unrolled element by element.
+      Requires [1 <= x <= n]. *)
+
+  val total : t -> int
+  (** Ring length: [C(n,x) * x]. *)
+
+  val decode : t -> int -> Pid.t * Pidset.t
+  (** [decode t p] is the pair [(lx, X)] at position [p mod total]. *)
+
+  val start : t -> int
+  (** Initial position 0, i.e. the pair [(l^1_1, X[1])]. *)
+
+  val next : t -> int -> int
+  (** Successor position (wraps). *)
+end
+
+module Upper : sig
+  type t
+
+  val create : n:int -> ysize:int -> lsize:int -> t
+  (** Ring of all [ysize]-subsets of [{0..n-1}], each unrolled into its
+      [lsize]-subsets.  Requires [1 <= lsize <= ysize <= n]. *)
+
+  val total : t -> int
+  (** Ring length: [C(n,ysize) * C(ysize,lsize)]. *)
+
+  val decode : t -> int -> Pidset.t * Pidset.t
+  (** [decode t p] is the pair [(L, Y)] at position [p mod total]. *)
+
+  val start : t -> int
+
+  val next : t -> int -> int
+end

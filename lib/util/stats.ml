@@ -1,0 +1,54 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] -> invalid_arg "Stats.stddev: empty"
+  | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+        /. float_of_int (List.length xs - 1)
+      in
+      sqrt var
+
+let percentile xs p =
+  match List.sort Float.compare xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | sorted ->
+      let n = List.length sorted in
+      let rank = int_of_float (ceil (p *. float_of_int n)) in
+      let idx = max 0 (min (n - 1) (rank - 1)) in
+      List.nth sorted idx
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+      let sorted = List.sort Float.compare xs in
+      {
+        count = List.length xs;
+        mean = mean xs;
+        stddev = stddev xs;
+        min = List.hd sorted;
+        p50 = percentile xs 0.5;
+        p95 = percentile xs 0.95;
+        max = List.nth sorted (List.length sorted - 1);
+      }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "mean %.1f ± %.1f (p50 %.1f, p95 %.1f, range %.1f-%.1f, n=%d)"
+    s.mean s.stddev s.p50 s.p95 s.min s.max s.count

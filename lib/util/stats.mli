@@ -1,0 +1,25 @@
+(** Descriptive statistics for experiment harnesses (means, spread,
+    percentiles over per-seed measurements). *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on the empty list. *)
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0, 1]: nearest-rank on the sorted
+    sample. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val pp_summary : Format.formatter -> summary -> unit
+(** ["mean 42.1 ± 3.2 (p50 41.8, p95 48.0, range 37.2-49.9, n=30)"]. *)

@@ -1,0 +1,155 @@
+(* Tests for the paper's parameter arithmetic (Core.Bounds): unit values
+   straight from the paper's statements plus qcheck invariants tying the
+   formulas together. *)
+
+open Setagree_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_validity_ranges () =
+  check "x=1 ok" true (Bounds.valid_x ~n:5 ~x:1);
+  check "x=n ok" true (Bounds.valid_x ~n:5 ~x:5);
+  check "x=0 bad" false (Bounds.valid_x ~n:5 ~x:0);
+  check "x=n+1 bad" false (Bounds.valid_x ~n:5 ~x:6);
+  check "y=0 ok" true (Bounds.valid_y ~t:3 ~y:0);
+  check "y=t ok" true (Bounds.valid_y ~t:3 ~y:3);
+  check "y=t+1 bad" false (Bounds.valid_y ~t:3 ~y:4);
+  check "z=1 ok" true (Bounds.valid_z ~n:5 ~z:1);
+  check "z=0 bad" false (Bounds.valid_z ~n:5 ~z:0)
+
+let test_addition_theorem8 () =
+  (* x + y + z >= t + 2 *)
+  check "boundary holds" true (Bounds.addition_possible ~t:3 ~x:2 ~y:1 ~z:2);
+  check "below boundary" false (Bounds.addition_possible ~t:3 ~x:2 ~y:1 ~z:1);
+  check "slack holds" true (Bounds.addition_possible ~t:3 ~x:4 ~y:3 ~z:3)
+
+let test_z_of_addition_values () =
+  (* Figure 2: z = (t+1-(x-1)) - y. *)
+  check_int "t=3 x=2 y=1" 2 (Bounds.z_of_addition ~t:3 ~x:2 ~y:1);
+  check_int "headline: x=t y=1 -> consensus" 1 (Bounds.z_of_addition ~t:3 ~x:3 ~y:1);
+  check_int "clamped at 1" 1 (Bounds.z_of_addition ~t:2 ~x:3 ~y:3)
+
+let test_headline_example () =
+  (* ◇S_t solves 2-set not consensus; ◇φ_1 solves t-set not (t-1)-set; their
+     addition solves consensus. *)
+  let t = 4 in
+  check_int "◇S_t -> 2-set" 2 (Bounds.kset_from_es ~t ~x:t);
+  check_int "◇φ_1 -> t-set" t (Bounds.kset_from_phi ~t ~y:1);
+  check_int "addition -> consensus" 1 (Bounds.z_of_addition ~t ~x:t ~y:1)
+
+let test_single_class_reductions () =
+  (* Corollaries: ◇φ_y -> Ω_z iff y+z >= t+1; ◇S_x -> Ω_z iff x+z >= t+2. *)
+  check "phi boundary" true (Bounds.phi_to_omega_possible ~t:3 ~y:2 ~z:2);
+  check "phi below" false (Bounds.phi_to_omega_possible ~t:3 ~y:2 ~z:1);
+  check "es boundary" true (Bounds.es_to_omega_possible ~t:3 ~x:3 ~z:2);
+  check "es below" false (Bounds.es_to_omega_possible ~t:3 ~x:3 ~z:1);
+  check_int "omega_from_es" 2 (Bounds.omega_from_es ~t:3 ~x:3);
+  check_int "omega_from_phi" 2 (Bounds.omega_from_phi ~t:3 ~y:2)
+
+let test_kset_with_omega_theorem5 () =
+  (* t < n/2 and z <= k. *)
+  check "ok" true (Bounds.kset_with_omega ~n:7 ~t:3 ~z:2 ~k:2);
+  check "z > k" false (Bounds.kset_with_omega ~n:7 ~t:3 ~z:3 ~k:2);
+  check "t = n/2 fails" false (Bounds.kset_with_omega ~n:6 ~t:3 ~z:1 ~k:1);
+  check "k > z ok" true (Bounds.kset_with_omega ~n:9 ~t:4 ~z:1 ~k:3)
+
+let test_grid_figure1 () =
+  (* Row z of the grid: S_{t-z+2}, Ω_z, φ_{t-z+1}. *)
+  let t = 3 in
+  let top = Bounds.grid_row ~t ~z:1 in
+  check_int "z=1 sx = t+1" (t + 1) top.sx;
+  check_int "z=1 phiy = t" t top.phiy;
+  let bottom = Bounds.grid_row ~t ~z:(t + 1) in
+  check_int "z=t+1 sx = 1 (no info)" 1 bottom.sx;
+  check_int "z=t+1 phiy = 0 (no info)" 0 bottom.phiy;
+  check_int "grid has t+1 rows" (t + 1) (List.length (Bounds.grid ~t))
+
+let test_grid_rows_consistent_with_kset () =
+  (* Every class in row z solves z-set agreement: the per-class k formulas
+     evaluated at the row's parameters give exactly z. *)
+  let t = 5 in
+  List.iter
+    (fun (row : Bounds.row) ->
+      check_int "es class solves z-set" row.z (Bounds.kset_from_es ~t ~x:row.sx);
+      check_int "phi class solves z-set" row.z (Bounds.kset_from_phi ~t ~y:row.phiy))
+    (Bounds.grid ~t)
+
+let test_wheels_admissible () =
+  check "typical" true (Bounds.wheels_admissible ~n:7 ~t:3 ~x:2 ~y:1);
+  check "x+y = t+1 boundary" true (Bounds.wheels_admissible ~n:7 ~t:3 ~x:3 ~y:1);
+  check "x+y > t+1" false (Bounds.wheels_admissible ~n:7 ~t:3 ~x:3 ~y:2);
+  check "y > t" false (Bounds.wheels_admissible ~n:7 ~t:3 ~x:1 ~y:4);
+  check "x = 0" false (Bounds.wheels_admissible ~n:7 ~t:3 ~x:0 ~y:1)
+
+let test_upper_y_size () =
+  check_int "t=3 y=1 -> 3" 3 (Bounds.upper_y_size ~t:3 ~y:1);
+  check_int "y=0 -> t+1" 4 (Bounds.upper_y_size ~t:3 ~y:0)
+
+let test_strengthen_boundary () =
+  check "x+y = t+1" true (Bounds.strengthen_possible ~t:3 ~x:2 ~y:2);
+  check "x+y = t" false (Bounds.strengthen_possible ~t:3 ~x:2 ~y:1)
+
+let test_psi_chain_length () =
+  check_int "n=7 z=3" 5 (Bounds.psi_chain_length ~n:7 ~z:3);
+  check_int "z=n" 1 (Bounds.psi_chain_length ~n:7 ~z:7)
+
+let qcheck_props =
+  let gen_params =
+    QCheck.Gen.(
+      let* t = int_range 1 8 in
+      let* x = int_range 1 (t + 2) in
+      let* y = int_range 0 t in
+      let* z = int_range 1 (t + 2) in
+      return (t, x, y, z))
+  in
+  let arb = QCheck.make ~print:(fun (t, x, y, z) -> Printf.sprintf "t=%d x=%d y=%d z=%d" t x y z) gen_params in
+  [
+    QCheck.Test.make ~name:"constructive z satisfies theorem 8" ~count:500 arb
+      (fun (t, x, y, _) ->
+        let z = Bounds.z_of_addition ~t ~x ~y in
+        (* Clamping may push above the theoretical best but never below. *)
+        Bounds.addition_possible ~t ~x ~y ~z || x + y > t + 1);
+    QCheck.Test.make ~name:"addition monotone in z" ~count:500 arb (fun (t, x, y, z) ->
+        (not (Bounds.addition_possible ~t ~x ~y ~z))
+        || Bounds.addition_possible ~t ~x ~y ~z:(z + 1));
+    QCheck.Test.make ~name:"grid row round-trips z" ~count:500
+      (QCheck.make QCheck.Gen.(pair (int_range 1 8) (int_range 1 8)))
+      (fun (t, z0) ->
+        let z = 1 + (z0 mod (t + 1)) in
+        let row = Bounds.grid_row ~t ~z in
+        row.sx + z = t + 2 && row.phiy + z = t + 1);
+    QCheck.Test.make ~name:"single-class formulas = theorem 8 specializations" ~count:500
+      arb (fun (t, x, y, z) ->
+        Bool.equal
+          (Bounds.es_to_omega_possible ~t ~x ~z)
+          (Bounds.addition_possible ~t ~x ~y:0 ~z)
+        && Bool.equal
+             (Bounds.phi_to_omega_possible ~t ~y ~z)
+             (Bounds.addition_possible ~t ~x:1 ~y ~z));
+    QCheck.Test.make ~name:"kset formulas consistent with omega widths" ~count:500 arb
+      (fun (t, x, y, _) ->
+        Bounds.kset_from_es ~t ~x = Bounds.omega_from_es ~t ~x
+        && Bounds.kset_from_phi ~t ~y = Bounds.omega_from_phi ~t ~y);
+  ]
+
+let () =
+  Alcotest.run "bounds"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "validity ranges" `Quick test_validity_ranges;
+          Alcotest.test_case "theorem 8" `Quick test_addition_theorem8;
+          Alcotest.test_case "z of addition" `Quick test_z_of_addition_values;
+          Alcotest.test_case "headline example" `Quick test_headline_example;
+          Alcotest.test_case "single-class reductions" `Quick test_single_class_reductions;
+          Alcotest.test_case "theorem 5" `Quick test_kset_with_omega_theorem5;
+          Alcotest.test_case "grid figure 1" `Quick test_grid_figure1;
+          Alcotest.test_case "grid rows solve z-set" `Quick test_grid_rows_consistent_with_kset;
+          Alcotest.test_case "wheels admissible" `Quick test_wheels_admissible;
+          Alcotest.test_case "upper Y size" `Quick test_upper_y_size;
+          Alcotest.test_case "strengthen boundary" `Quick test_strengthen_boundary;
+          Alcotest.test_case "psi chain length" `Quick test_psi_chain_length;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |])) qcheck_props);
+    ]

@@ -1,0 +1,309 @@
+(* Tests for the executable reducibility lattice (Core.Grid): the paper's
+   explicit claims cell by cell, plus global soundness properties
+   (reflexivity, composition-consistency, agreement-power monotonicity)
+   checked exhaustively over all class pairs/triples at (n, t) = (8, 3). *)
+
+open Setagree_core
+open Grid
+
+let check = Alcotest.(check bool)
+let n = 8
+let t = 3
+
+let all_classes =
+  List.concat
+    [
+      List.init n (fun i -> S (i + 1));
+      List.init n (fun i -> ES (i + 1));
+      List.init n (fun i -> Omega (i + 1));
+      List.init (t + 1) (fun y -> Phi y);
+      List.init (t + 1) (fun y -> EPhi y);
+      List.init (t + 1) (fun y -> Psi y);
+      [ Perfect; EPerfect ];
+    ]
+
+let is_yes = function Yes _ -> true | No _ | Unknown _ -> false
+let is_no = function No _ -> true | Yes _ | Unknown _ -> false
+
+let red from into = reducible ~n ~t ~from ~into
+
+let assert_yes from into =
+  if not (is_yes (red from into)) then
+    Alcotest.failf "expected %s -> %s reducible"
+      (Format.asprintf "%a" pp_cls from)
+      (Format.asprintf "%a" pp_cls into)
+
+let assert_no from into =
+  if not (is_no (red from into)) then
+    Alcotest.failf "expected %s -> %s irreducible"
+      (Format.asprintf "%a" pp_cls from)
+      (Format.asprintf "%a" pp_cls into)
+
+(* --- the paper's explicit positive cells --- *)
+
+let test_inclusions () =
+  assert_yes (S 4) (S 2);
+  assert_yes (S 4) (ES 4);
+  assert_yes (ES 4) (ES 1);
+  assert_yes (Phi 3) (Phi 1);
+  assert_yes (Phi 2) (EPhi 2);
+  assert_yes (Phi 2) (Psi 2);
+  assert_yes (Omega 1) (Omega 3);
+  assert_yes Perfect EPerfect
+
+let test_wheels_reductions () =
+  (* ◇S_x -> Omega_{t+2-x}; ◇φ_y -> Omega_{t+1-y}. *)
+  assert_yes (ES 4) (Omega 1);
+  assert_yes (ES 3) (Omega 2);
+  assert_yes (ES 2) (Omega 3);
+  assert_yes (EPhi 3) (Omega 1);
+  assert_yes (EPhi 1) (Omega 3);
+  assert_yes (Psi 2) (Omega 2);
+  (* And the boundary fails. *)
+  assert_no (ES 3) (Omega 1);
+  assert_no (EPhi 2) (Omega 1);
+  assert_no (Psi 1) (Omega 2)
+
+let test_classic_equivalences () =
+  (* Omega_1 ≃ ◇S. *)
+  assert_yes (ES n) (Omega 1);
+  assert_yes (Omega 1) (ES n);
+  (* phi_t ≃ P, ◇phi_t ≃ ◇P. *)
+  assert_yes (Phi t) Perfect;
+  assert_yes Perfect (Phi t);
+  assert_yes (EPhi t) EPerfect;
+  assert_yes EPerfect (EPhi t);
+  assert_yes (Phi t) (S n);
+  assert_yes (EPhi t) (ES n)
+
+let test_free_targets () =
+  List.iter
+    (fun into -> assert_yes (Omega (t + 1)) into)
+    [ S 1; ES 1; Phi 0; EPhi 0; Psi 0; Omega (t + 1); Omega n ];
+  check "free classes recognized" true
+    (List.for_all (free ~n ~t) [ S 1; ES 1; Phi 0; EPhi 0; Psi 0; Omega (t + 1) ]);
+  check "non-free recognized" true
+    (not (List.exists (free ~n ~t) [ S 2; ES 2; Phi 1; Omega t; Perfect; EPerfect ]))
+
+let test_perfection_sources () =
+  assert_yes Perfect (S n);
+  assert_yes Perfect (Phi 2);
+  assert_yes Perfect (Omega 1);
+  assert_yes EPerfect (ES n);
+  assert_yes EPerfect (EPhi 2);
+  assert_yes EPerfect (Omega 1);
+  assert_no EPerfect (S 2);
+  assert_no EPerfect (Phi 1);
+  assert_no EPerfect Perfect
+
+(* --- the paper's explicit negative cells --- *)
+
+let test_thm10_suspectors_cannot_query () =
+  assert_no (S 4) (EPhi 1);
+  assert_no (S n) (Phi 1);
+  assert_no (ES n) (EPhi 3);
+  assert_no (ES 2) (Psi 1)
+
+let test_thm11_phi_caps_scope () =
+  assert_no (Phi 1) (ES 2);
+  assert_no (Phi 2) (S 3);
+  assert_no (EPhi 2) (ES 2);
+  assert_no (EPhi 1) Perfect;
+  (* but scope 1 is free and y = t escapes via P *)
+  assert_yes (Phi 1) (ES 1);
+  assert_yes (Phi t) (S 4)
+
+let test_thm12_omega_blind () =
+  assert_no (Omega 1) (Phi 1);
+  assert_no (Omega 1) (EPhi 1);
+  assert_no (Omega 2) (ES 2);
+  assert_no (Omega 2) (Psi 1);
+  assert_no (Omega 1) Perfect;
+  assert_no (Omega 1) EPerfect
+
+let test_omega_cannot_narrow () =
+  assert_no (Omega 2) (Omega 1);
+  assert_no (Omega 3) (Omega 2)
+
+let test_eventual_cannot_give_perpetual () =
+  assert_no (ES 4) (S 2);
+  assert_no (EPhi 2) (Phi 1);
+  assert_no (Omega 1) (S 2);
+  assert_no EPerfect (Phi 3)
+
+let test_invalid_params_rejected () =
+  check "bad source" true
+    (try
+       ignore (reducible ~n ~t ~from:(S 0) ~into:(S 1));
+       false
+     with Invalid_argument _ -> true);
+  check "bad target" true
+    (try
+       ignore (reducible ~n ~t ~from:(S 1) ~into:(Phi (t + 1)));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- parser / printer --- *)
+
+let test_parse () =
+  let cases =
+    [
+      ("S3", Some (S 3));
+      ("es2", Some (ES 2));
+      ("Omega1", Some (Omega 1));
+      ("phi2", Some (Phi 2));
+      ("EPhi0", Some (EPhi 0));
+      ("psi1", Some (Psi 1));
+      ("P", Some Perfect);
+      ("ep", Some EPerfect);
+      ("nonsense", None);
+      ("S", None);
+    ]
+  in
+  List.iter
+    (fun (s, expected) ->
+      check (Printf.sprintf "parse %S" s) true (parse_cls s = expected))
+    cases
+
+let test_parse_pp_roundtrip () =
+  (* pp uses unicode glyphs, so round-trip through a manual encode. *)
+  let encode = function
+    | S x -> Printf.sprintf "S%d" x
+    | ES x -> Printf.sprintf "ES%d" x
+    | Omega z -> Printf.sprintf "Omega%d" z
+    | Phi y -> Printf.sprintf "Phi%d" y
+    | EPhi y -> Printf.sprintf "EPhi%d" y
+    | Psi y -> Printf.sprintf "Psi%d" y
+    | Perfect -> "P"
+    | EPerfect -> "EP"
+  in
+  List.iter
+    (fun c -> check "roundtrip" true (parse_cls (encode c) = Some c))
+    all_classes
+
+(* --- global soundness properties (exhaustive) --- *)
+
+let test_reflexive () =
+  List.iter (fun c -> assert_yes c c) all_classes
+
+let classes_for ~n ~t =
+  List.concat
+    [
+      List.init n (fun i -> S (i + 1));
+      List.init n (fun i -> ES (i + 1));
+      List.init n (fun i -> Omega (i + 1));
+      List.init (t + 1) (fun y -> Phi y);
+      List.init (t + 1) (fun y -> EPhi y);
+      List.init (t + 1) (fun y -> Psi y);
+      [ Perfect; EPerfect ];
+    ]
+
+let check_composition ~n ~t =
+  let cs = classes_for ~n ~t in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if is_yes (reducible ~n ~t ~from:a ~into:b) then
+            List.iter
+              (fun c ->
+                if
+                  is_yes (reducible ~n ~t ~from:b ~into:c)
+                  && is_no (reducible ~n ~t ~from:a ~into:c)
+                then
+                  Alcotest.failf
+                    "composition broken at (n=%d,t=%d): %s -> %s -> %s but %s -> %s = No"
+                    n t
+                    (Format.asprintf "%a" pp_cls a)
+                    (Format.asprintf "%a" pp_cls b)
+                    (Format.asprintf "%a" pp_cls c)
+                    (Format.asprintf "%a" pp_cls a)
+                    (Format.asprintf "%a" pp_cls c))
+              cs)
+        cs)
+    cs
+
+let test_composition_consistency () =
+  (* If a -> b and b -> c are both constructive, a -> c cannot be declared
+     impossible: compositions are algorithms too.  Exhaustive over several
+     system shapes. *)
+  check_composition ~n:8 ~t:3;
+  check_composition ~n:5 ~t:2;
+  check_composition ~n:9 ~t:4;
+  check_composition ~n:3 ~t:1
+
+let test_power_monotone_along_reductions () =
+  (* If a -> b then a can do whatever b does: k(a) <= k(b) whenever both
+     powers are known. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if is_yes (red a b) then
+            match (kset_power ~n ~t a, kset_power ~n ~t b) with
+            | Some ka, Some kb ->
+                if ka > kb then
+                  Alcotest.failf "power inversion: %s -> %s but k=%d > k=%d"
+                    (Format.asprintf "%a" pp_cls a)
+                    (Format.asprintf "%a" pp_cls b)
+                    ka kb
+            | _ -> ())
+        all_classes)
+    all_classes
+
+let test_kset_power_values () =
+  Alcotest.(check (option int)) "Omega_2" (Some 2) (kset_power ~n ~t (Omega 2));
+  Alcotest.(check (option int)) "◇S_3" (Some 2) (kset_power ~n ~t (ES 3));
+  Alcotest.(check (option int)) "φ_1" (Some 3) (kset_power ~n ~t (Phi 1));
+  Alcotest.(check (option int)) "P" (Some 1) (kset_power ~n ~t Perfect);
+  Alcotest.(check (option int)) "free class" None (kset_power ~n ~t (ES 1));
+  Alcotest.(check (option int)) "no majority" None (kset_power ~n:6 ~t:3 (Omega 1))
+
+let test_grid_rows_pairwise () =
+  (* Within one row of Figure 1: every non-Omega class reaches the row's
+     Omega_z; Omega_z reaches none of them back. *)
+  List.iter
+    (fun (row : Bounds.row) ->
+      if row.sx >= 2 && row.sx <= n then begin
+        assert_yes (ES row.sx) (Omega row.z);
+        (* The way back exists only on the consensus row (Omega_1 ≃ ◇S). *)
+        if row.z >= 2 && row.z <= t then assert_no (Omega row.z) (ES row.sx)
+        else if row.z = 1 then assert_yes (Omega row.z) (ES row.sx)
+      end;
+      if row.phiy >= 1 then begin
+        assert_yes (EPhi row.phiy) (Omega row.z);
+        assert_no (Omega row.z) (EPhi row.phiy)
+      end)
+    (Bounds.grid ~t)
+
+let () =
+  Alcotest.run "grid"
+    [
+      ( "paper-cells",
+        [
+          Alcotest.test_case "inclusions" `Quick test_inclusions;
+          Alcotest.test_case "wheels reductions" `Quick test_wheels_reductions;
+          Alcotest.test_case "classic equivalences" `Quick test_classic_equivalences;
+          Alcotest.test_case "free targets" `Quick test_free_targets;
+          Alcotest.test_case "perfection sources" `Quick test_perfection_sources;
+          Alcotest.test_case "thm 10" `Quick test_thm10_suspectors_cannot_query;
+          Alcotest.test_case "thm 11" `Quick test_thm11_phi_caps_scope;
+          Alcotest.test_case "thm 12" `Quick test_thm12_omega_blind;
+          Alcotest.test_case "omega cannot narrow" `Quick test_omega_cannot_narrow;
+          Alcotest.test_case "eventual vs perpetual" `Quick test_eventual_cannot_give_perpetual;
+          Alcotest.test_case "invalid params" `Quick test_invalid_params_rejected;
+        ] );
+      ( "interface",
+        [
+          Alcotest.test_case "parse" `Quick test_parse;
+          Alcotest.test_case "roundtrip" `Quick test_parse_pp_roundtrip;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "reflexive" `Quick test_reflexive;
+          Alcotest.test_case "composition consistent" `Quick test_composition_consistency;
+          Alcotest.test_case "power monotone" `Quick test_power_monotone_along_reductions;
+          Alcotest.test_case "kset power values" `Quick test_kset_power_values;
+          Alcotest.test_case "grid rows pairwise" `Quick test_grid_rows_pairwise;
+        ] );
+    ]

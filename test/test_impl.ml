@@ -1,0 +1,297 @@
+(* Tests for the heartbeat/timeout implemented detectors (Fd.Impl) under
+   partial synchrony, and for the classic reductions added in Core.Reduce
+   (◇S ↔ Ω, φ_t ≃ P, weakenings) plus the rotating-coordinator ◇S
+   consensus baseline. *)
+
+open Setagree_util
+open Setagree_dsys
+open Setagree_net
+open Setagree_fd
+open Setagree_core
+
+let check = Alcotest.(check bool)
+let horizon = 300.0
+let deadline = horizon -. 80.0
+
+let setup ?(n = 7) ?(t = 3) ?(crashes = []) ~seed () =
+  let sim = Sim.create ~horizon ~n ~t ~seed () in
+  Sim.install_crashes sim crashes;
+  sim
+
+let assert_ok label v =
+  if not (Check.verdict_ok v) then
+    Alcotest.failf "%s: %s" label (String.concat "; " v.Check.notes)
+
+(* --- Impl: heartbeat detectors --- *)
+
+let test_impl_suspector_is_ep () =
+  List.iter
+    (fun (seed, crashes) ->
+      let sim = setup ~seed ~crashes () in
+      let hb = Impl.install sim () in
+      let susp = Impl.suspector hb in
+      let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> susp.Iface.suspected i) () in
+      ignore (Sim.run sim);
+      assert_ok
+        (Printf.sprintf "seed %d" seed)
+        (Check.es_x sim ~x:(Sim.n sim) ~deadline mon))
+    [ (1, []); (2, [ (5, 10.0) ]); (3, [ (4, 5.0); (5, 35.0); (6, 60.0) ]) ]
+
+let test_impl_omega_all_z () =
+  List.iter
+    (fun z ->
+      let sim = setup ~seed:(10 + z) ~crashes:[ (0, 12.0); (6, 3.0) ] () in
+      let hb = Impl.install sim () in
+      let om = Impl.omega hb ~z in
+      let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> om.Iface.trusted i) () in
+      ignore (Sim.run sim);
+      assert_ok (Printf.sprintf "z=%d" z) (Check.omega_z sim ~z ~deadline mon))
+    [ 1; 2; 3 ]
+
+let test_impl_querier_is_ephi () =
+  List.iter
+    (fun y ->
+      let sim = setup ~seed:(20 + y) ~crashes:[ (5, 8.0); (6, 8.0) ] () in
+      let hb = Impl.install sim () in
+      let q, qlog = Impl.querier hb ~y in
+      Sim.spawn sim ~pid:0 (fun () ->
+          while true do
+            ignore (q.Iface.query 0 (Pidset.of_list [ 5; 6 ]));
+            ignore (q.Iface.query 0 (Pidset.of_list [ 0; 1 ]));
+            ignore (q.Iface.query 0 (Pidset.of_list [ 1; 5; 6 ]));
+            Sim.sleep 2.0
+          done);
+      ignore (Sim.run sim);
+      assert_ok
+        (Printf.sprintf "y=%d" y)
+        (Check.phi_y sim ~y ~eventual:true ~deadline qlog))
+    [ 1; 2; 3 ]
+
+let test_impl_timeouts_adapt_and_stabilize () =
+  let sim = setup ~seed:31 () in
+  let hb = Impl.install sim ~initial_timeout:0.5 () in
+  (* Absurdly aggressive initial timeout: pre-gst it must grow. *)
+  ignore (Sim.run sim);
+  let grew = ref false in
+  for i = 0 to 6 do
+    for j = 0 to 6 do
+      if i <> j && Impl.timeout_of hb i j > 0.5 then grew := true
+    done
+  done;
+  check "timeouts backed off" true !grew
+
+let test_impl_no_ground_truth_peek () =
+  (* A process that crashes after the network stabilizes is still detected
+     (through silence, not the schedule). *)
+  let sim = setup ~seed:32 ~crashes:[ (3, 80.0) ] () in
+  let hb = Impl.install sim () in
+  let susp = Impl.suspector hb in
+  let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> susp.Iface.suspected i) () in
+  ignore (Sim.run sim);
+  assert_ok "late crash detected" (Check.strong_completeness sim ~deadline mon)
+
+let test_impl_full_stack_consensus () =
+  (* Heartbeats -> implemented Omega -> Figure 3 -> consensus: not a single
+     oracle in the loop. *)
+  for seed = 41 to 44 do
+    let sim = setup ~seed ~crashes:[ (5, 7.0); (6, 22.0) ] () in
+    let hb = Impl.install sim () in
+    let om = Impl.omega hb ~z:1 in
+    let proposals = Array.init 7 (fun i -> 100 + i) in
+    let h = Kset.install sim ~omega:om ~proposals () in
+    ignore (Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim);
+    assert_ok
+      (Printf.sprintf "impl stack seed %d" seed)
+      (Check.k_set_agreement sim ~k:1 ~proposals ~decisions:(Kset.decisions h))
+  done
+
+let test_impl_wheels_on_implemented_classes () =
+  (* The paper's own transformation fed with implemented (not oracle)
+     inputs: implemented ◇P ⊆ ◇S_x + implemented ◇φ_y -> Omega_z. *)
+  let n = 6 and t = 2 in
+  let sim = Sim.create ~horizon:300.0 ~n ~t ~seed:51 () in
+  Sim.install_crashes sim [ (5, 9.0) ];
+  let hb = Impl.install sim () in
+  let suspector = Impl.suspector hb in
+  let querier, _ = Impl.querier hb ~y:1 in
+  let w = Wheels.install sim ~suspector ~querier ~x:2 ~y:1 () in
+  let om = Wheels.omega w in
+  let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> om.Iface.trusted i) () in
+  ignore (Sim.run sim);
+  assert_ok "wheels on implemented inputs" (Check.omega_z sim ~z:(Wheels.z w) ~deadline:220.0 mon)
+
+let test_impl_determinism () =
+  let observe () =
+    let sim = setup ~seed:61 ~crashes:[ (2, 15.0) ] () in
+    let hb = Impl.install sim () in
+    let susp = Impl.suspector hb in
+    let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> susp.Iface.suspected i) () in
+    ignore (Sim.run sim);
+    (Impl.heartbeats_sent hb, List.init 7 (fun i -> Monitor.final mon i))
+  in
+  check "replay identical" true (observe () = observe ())
+
+(* --- Consensus_s: rotating-coordinator baseline --- *)
+
+let run_cons_s ?(n = 7) ?(t = 3) ~crashes ~gst ~seed () =
+  let sim = Sim.create ~horizon:3000.0 ~n ~t ~seed () in
+  let rng = Rng.split_named (Sim.rng sim) "crash" in
+  Sim.install_crashes sim
+    (Crash.generate (Crash.Exactly { crashes; window = (0.0, 25.0) }) ~n ~t rng);
+  let behavior = if gst <= 0.0 then Behavior.perfect else Behavior.stormy ~gst in
+  let suspector, _ = Oracle.es_x sim ~x:n ~behavior () in
+  let proposals = Array.init n (fun i -> 100 + i) in
+  let h = Consensus_s.install sim ~suspector ~proposals () in
+  ignore (Sim.run ~stop_when:(fun () -> Consensus_s.all_correct_decided h) sim);
+  (sim, h, proposals)
+
+let test_cons_s_agreement_sweep () =
+  List.iter
+    (fun (crashes, gst, seed) ->
+      let sim, h, proposals = run_cons_s ~crashes ~gst ~seed () in
+      assert_ok
+        (Printf.sprintf "crashes=%d seed=%d" crashes seed)
+        (Check.k_set_agreement sim ~k:1 ~proposals ~decisions:(Consensus_s.decisions h)))
+    [ (0, 40.0, 1); (2, 40.0, 2); (3, 40.0, 3); (0, 0.0, 4); (3, 0.0, 5) ]
+
+let test_cons_s_requires_majority () =
+  let sim = Sim.create ~n:6 ~t:3 ~seed:1 () in
+  let suspector, _ = Oracle.es_x sim ~x:6 () in
+  check "t >= n/2 rejected" true
+    (try
+       ignore (Consensus_s.install sim ~suspector ~proposals:(Array.make 6 0) ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_cons_s_vs_omega_route () =
+  (* Both routes decide one value; the coordinator rotation typically costs
+     extra rounds relative to the Omega route when early coordinators are
+     crashed. *)
+  let sim, h, proposals = run_cons_s ~crashes:3 ~gst:40.0 ~seed:7 () in
+  assert_ok "baseline correct"
+    (Check.k_set_agreement sim ~k:1 ~proposals ~decisions:(Consensus_s.decisions h));
+  check "positive rounds" true (Consensus_s.max_round h >= 1)
+
+(* --- classic reductions --- *)
+
+let test_lower_wheel_full_scope_gives_omega () =
+  let n = 6 and t = 2 in
+  let sim = Sim.create ~horizon ~n ~t ~seed:71 () in
+  Sim.install_crashes sim [ (0, 5.0) ];
+  let suspector, _ = Oracle.es_x sim ~x:n ~behavior:(Behavior.stormy ~gst:30.0) () in
+  let _, om = Reduce.omega_from_full_scope_es sim ~suspector () in
+  let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> om.Iface.trusted i) () in
+  ignore (Sim.run sim);
+  assert_ok "◇S -> Omega via lower wheel" (Check.omega_z sim ~z:1 ~deadline mon)
+
+let test_es_from_omega () =
+  let n = 6 and t = 2 in
+  let sim = Sim.create ~horizon ~n ~t ~seed:72 () in
+  Sim.install_crashes sim [ (1, 5.0); (4, 18.0) ];
+  let om, _ = Oracle.omega_z sim ~z:1 ~behavior:(Behavior.stormy ~gst:30.0) () in
+  let s = Reduce.es_from_omega om ~n in
+  let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> s.Iface.suspected i) () in
+  Sim.ticker sim ~every:0.5;
+  ignore (Sim.run sim);
+  assert_ok "Omega -> ◇S" (Check.es_x sim ~x:n ~deadline mon)
+
+let test_phi_t_p_equivalence_roundtrip () =
+  let n = 6 and t = 2 in
+  (* P -> phi_t -> P: still perfect. *)
+  let sim = Sim.create ~horizon ~n ~t ~seed:73 () in
+  Sim.install_crashes sim [ (2, 7.0) ];
+  let p = Oracle.perfect_p sim in
+  let q = Reduce.phi_t_from_p p ~t in
+  let p' = Reduce.p_from_phi_t q ~n in
+  let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> p'.Iface.suspected i) () in
+  Sim.ticker sim ~every:0.5;
+  ignore (Sim.run sim);
+  assert_ok "roundtrip completeness" (Check.strong_completeness sim ~deadline mon);
+  assert_ok "roundtrip perpetual accuracy"
+    (Check.s_x sim ~x:n ~deadline mon)
+
+let test_phi_t_from_p_is_legal_phi () =
+  let n = 6 and t = 2 in
+  let sim = Sim.create ~horizon ~n ~t ~seed:74 () in
+  Sim.install_crashes sim [ (4, 6.0); (5, 9.0) ];
+  let p = Oracle.perfect_p sim in
+  let q = Reduce.phi_t_from_p p ~t in
+  (* Log queries manually to reuse the phi checker. *)
+  let log : Oracle.query_log = ref [] in
+  let logged i x =
+    let r = q.Iface.query i x in
+    log := { Oracle.q_time = Sim.now sim; q_pid = i; q_set = x; q_result = r } :: !log;
+    r
+  in
+  Sim.spawn sim ~pid:0 (fun () ->
+      while true do
+        ignore (logged 0 (Pidset.of_list [ 4; 5 ]));
+        ignore (logged 0 (Pidset.singleton 1));
+        ignore (logged 0 (Pidset.of_list [ 0; 1; 2; 3 ]));
+        Sim.sleep 2.0
+      done);
+  ignore (Sim.run sim);
+  assert_ok "phi_t membership" (Check.phi_y sim ~y:t ~eventual:false ~deadline log)
+
+let test_weaken_phi_triviality_band () =
+  let t = 3 in
+  (* The y module would answer the (t-y', t-y] sizes itself; the weakening
+     must answer them trivially true. *)
+  let never = { Iface.query = (fun _ _ -> false) } in
+  let weak = Reduce.weaken_phi never ~t ~y':1 in
+  check "size t-y' answers true" true (weak.Iface.query 0 (Pidset.of_list [ 0; 1 ]));
+  check "meaningful delegates" false (weak.Iface.query 0 (Pidset.of_list [ 0; 1; 2 ]))
+
+let test_weaken_identities () =
+  let om = { Iface.trusted = (fun _ -> Pidset.singleton 3) } in
+  check "omega weaken id" true
+    (Pidset.equal ((Reduce.weaken_omega om).Iface.trusted 0) (Pidset.singleton 3));
+  let s = { Iface.suspected = (fun _ -> Pidset.singleton 2) } in
+  check "suspector weaken id" true
+    (Pidset.equal ((Reduce.weaken_suspector s).Iface.suspected 0) (Pidset.singleton 2))
+
+let test_psync_delay_bounds () =
+  let rng = Rng.create 1 in
+  let d = Delay.Psync { gst = 10.0; bound = 2.0; pre_spread = 50.0 } in
+  for _ = 1 to 200 do
+    let post = Delay.sample d ~rng ~src:0 ~dst:1 ~now:15.0 in
+    check "bounded after gst" true (post >= 0.0 && post <= 2.0)
+  done;
+  for _ = 1 to 200 do
+    let pre = Delay.sample d ~rng ~src:0 ~dst:1 ~now:5.0 in
+    (* Pre-gst messages may be parked, but never beyond gst + bound. *)
+    check "pre-gst capped at gst+bound" true (5.0 +. pre <= 12.0 +. 1e-9)
+  done
+
+let () =
+  Alcotest.run "impl"
+    [
+      ( "heartbeat-detectors",
+        [
+          Alcotest.test_case "suspector is ◇P" `Quick test_impl_suspector_is_ep;
+          Alcotest.test_case "omega all z" `Quick test_impl_omega_all_z;
+          Alcotest.test_case "querier is ◇φ_y" `Quick test_impl_querier_is_ephi;
+          Alcotest.test_case "timeouts adapt" `Quick test_impl_timeouts_adapt_and_stabilize;
+          Alcotest.test_case "late crash detected" `Quick test_impl_no_ground_truth_peek;
+          Alcotest.test_case "full stack consensus" `Quick test_impl_full_stack_consensus;
+          Alcotest.test_case "wheels on implemented" `Quick test_impl_wheels_on_implemented_classes;
+          Alcotest.test_case "determinism" `Quick test_impl_determinism;
+          Alcotest.test_case "psync bounds" `Quick test_psync_delay_bounds;
+        ] );
+      ( "consensus-baseline",
+        [
+          Alcotest.test_case "agreement sweep" `Quick test_cons_s_agreement_sweep;
+          Alcotest.test_case "majority required" `Quick test_cons_s_requires_majority;
+          Alcotest.test_case "vs omega route" `Quick test_cons_s_vs_omega_route;
+        ] );
+      ( "classic-reductions",
+        [
+          Alcotest.test_case "◇S -> Omega (lower wheel)" `Quick
+            test_lower_wheel_full_scope_gives_omega;
+          Alcotest.test_case "Omega -> ◇S" `Quick test_es_from_omega;
+          Alcotest.test_case "P <-> φ_t roundtrip" `Quick test_phi_t_p_equivalence_roundtrip;
+          Alcotest.test_case "P -> φ_t membership" `Quick test_phi_t_from_p_is_legal_phi;
+          Alcotest.test_case "weaken_phi band" `Quick test_weaken_phi_triviality_band;
+          Alcotest.test_case "weaken identities" `Quick test_weaken_identities;
+        ] );
+    ]

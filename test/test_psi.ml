@@ -1,0 +1,183 @@
+(* Tests for the Appendix-A transformation Ψ_y → Ω_{t+1-y} (Figure 8):
+   chain structure, nestedness (Ψ-compatibility), Ω_z certification across
+   y / crash sweeps, behaviour of the fallback, comparison with the
+   two-wheels route, and composition with k-set agreement. *)
+
+open Setagree_util
+open Setagree_dsys
+open Setagree_fd
+open Setagree_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let gst = 30.0
+
+let setup ?(n = 7) ?(t = 3) ?(horizon = 200.0) ?(crashes = 0) ~seed () =
+  let sim = Sim.create ~horizon ~n ~t ~seed () in
+  let rng = Rng.split_named (Sim.rng sim) "crash" in
+  Sim.install_crashes sim
+    (Crash.generate (Crash.Exactly { crashes; window = (0.0, 15.0) }) ~n ~t rng);
+  sim
+
+let test_chain_structure () =
+  let sim = setup ~seed:1 () in
+  let querier, _ = Oracle.psi_y sim ~y:2 ~behavior:(Behavior.calm ~gst) () in
+  let p = Psi_to_omega.create sim ~querier ~y:2 in
+  check_int "z = t+1-y" 2 (Psi_to_omega.z p);
+  let chain = Psi_to_omega.chain p in
+  check_int "length n-z+1" (Bounds.psi_chain_length ~n:7 ~z:2) (List.length chain);
+  (* Nested, sizes z, z+1, ..., n. *)
+  let rec check_nested prev = function
+    | [] -> ()
+    | s :: rest ->
+        (match prev with
+        | Some p ->
+            check "nested" true (Pidset.subset p s);
+            check_int "grows by one" (Pidset.cardinal p + 1) (Pidset.cardinal s)
+        | None -> check_int "first has size z" 2 (Pidset.cardinal s));
+        check_nested (Some s) rest
+  in
+  check_nested None chain;
+  (match List.rev chain with
+  | last :: _ -> check "last is Pi" true (Pidset.equal last (Pidset.full ~n:7))
+  | [] -> Alcotest.fail "empty chain")
+
+let test_psi_compatible_queries () =
+  (* Reading trusted repeatedly must never trip Ψ's containment check. *)
+  let sim = setup ~crashes:2 ~seed:2 () in
+  let querier, _ = Oracle.psi_y sim ~y:2 ~behavior:(Behavior.stormy ~gst) () in
+  let p = Psi_to_omega.create sim ~querier ~y:2 in
+  let omega = Psi_to_omega.omega p in
+  Sim.ticker sim ~every:1.0;
+  for i = 0 to 6 do
+    Sim.spawn sim ~pid:i (fun () ->
+        while true do
+          ignore (omega.Iface.trusted i);
+          Sim.sleep 1.0
+        done)
+  done;
+  ignore (Sim.run sim);
+  check "no containment violation" true true
+
+let run_psi ?(n = 7) ?(t = 3) ?(horizon = 200.0) ~y ~crashes ~seed () =
+  let sim = setup ~n ~t ~horizon ~crashes ~seed () in
+  let querier, _ = Oracle.psi_y sim ~y ~behavior:(Behavior.stormy ~gst) () in
+  let p = Psi_to_omega.create sim ~querier ~y in
+  let omega = Psi_to_omega.omega p in
+  let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> omega.Iface.trusted i) () in
+  Sim.ticker sim ~every:1.0;
+  ignore (Sim.run sim);
+  (sim, p, mon)
+
+let test_certified_omega_sweep () =
+  List.iter
+    (fun (y, crashes, seed) ->
+      let sim, p, mon = run_psi ~y ~crashes ~seed () in
+      let v = Check.omega_z sim ~z:(Psi_to_omega.z p) ~deadline:140.0 mon in
+      if not (Check.verdict_ok v) then
+        Alcotest.failf "y=%d crashes=%d: %s" y crashes (String.concat "; " v.notes))
+    [ (0, 3, 1); (1, 2, 2); (2, 3, 3); (3, 1, 4); (3, 3, 5); (2, 0, 6) ]
+
+let test_prefix_crash_selects_added_process () =
+  (* Crash exactly the first z processes (Y[1]): the output must become the
+     singleton of the process added at the first live link — the smallest
+     correct one. *)
+  let n = 7 and t = 3 and y = 2 in
+  let sim = Sim.create ~horizon:200.0 ~n ~t ~seed:7 () in
+  Sim.install_crashes sim [ (0, 2.0); (1, 3.0) ];
+  (* z = 2, Y[1] = {p0, p1} all dead; Y[2] adds p2 (correct). *)
+  let querier, _ = Oracle.psi_y sim ~y ~behavior:(Behavior.calm ~gst) () in
+  let p = Psi_to_omega.create sim ~querier ~y in
+  let omega = Psi_to_omega.omega p in
+  Sim.ticker sim ~every:1.0;
+  ignore (Sim.run ~stop_when:(fun () -> Sim.now sim > gst +. 5.0) sim);
+  check "singleton of first live addition" true
+    (Pidset.equal (omega.Iface.trusted 2) (Pidset.singleton 2))
+
+let test_no_crash_outputs_first_link () =
+  let _sim, p, _ = run_psi ~y:2 ~crashes:0 ~seed:8 () in
+  let omega = Psi_to_omega.omega p in
+  check "Y[1] output" true
+    (Pidset.equal (omega.Iface.trusted 0) (List.hd (Psi_to_omega.chain p)))
+
+let test_cheaper_than_wheels () =
+  (* Same job (◇-class → Ω_2 with y=2, t=3): the psi route sends zero
+     messages, the wheels route sends thousands. *)
+  let n = 7 and t = 3 and y = 2 in
+  let sim = setup ~n ~t ~horizon:250.0 ~crashes:1 ~seed:9 () in
+  let behavior = Behavior.stormy ~gst in
+  let querier, _ = Oracle.ephi_y sim ~y ~behavior () in
+  let w = Reduce.omega_from_phi sim ~querier ~y () in
+  ignore (Sim.run sim);
+  check "wheels cost thousands of messages" true (Wheels.total_messages w > 1000);
+  (* psi sends none: there is no network to count — structural fact, but
+     assert the interface exists without a sim network. *)
+  let sim2 = setup ~n ~t ~horizon:250.0 ~crashes:1 ~seed:9 () in
+  let querier2, _ = Oracle.psi_y sim2 ~y ~behavior () in
+  let p = Psi_to_omega.create sim2 ~querier:querier2 ~y in
+  ignore p;
+  check "psi has no message counter at all" true true
+
+let test_composed_with_kset () =
+  let n = 7 and t = 3 and y = 2 in
+  let sim = setup ~n ~t ~horizon:2000.0 ~crashes:2 ~seed:10 () in
+  let querier, _ = Oracle.psi_y sim ~y ~behavior:(Behavior.stormy ~gst) () in
+  let p = Reduce.omega_from_psi sim ~querier ~y in
+  let proposals = Array.init n (fun i -> 10 * i) in
+  let h = Reduce.solve_kset sim ~omega:(Psi_to_omega.omega p) ~proposals () in
+  ignore (Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim);
+  let v =
+    Check.k_set_agreement sim ~k:(Psi_to_omega.z p) ~proposals
+      ~decisions:(Kset.decisions h)
+  in
+  if not (Check.verdict_ok v) then Alcotest.failf "psi+kset: %s" (String.concat "; " v.notes)
+
+let test_wheels_need_unrestricted_queries () =
+  (* Why Figure 8 exists: once the upper ring crosses from one Y to the
+     next (pre-stabilization churn guarantees it here — the ring has only
+     C(2,1) = 2 L-steps per Y, and stormy suspicions force more l_moves
+     than that), the wheels query pairwise-incomparable sets, which a Ψ
+     oracle rejects. *)
+  let sim = Sim.create ~horizon:250.0 ~n:6 ~t:2 ~seed:1 () in
+  let rng = Rng.split_named (Sim.rng sim) "crash" in
+  Sim.install_crashes sim
+    (Crash.generate (Crash.Exactly { crashes = 2; window = (0.0, 20.0) }) ~n:6 ~t:2 rng);
+  let behavior = Behavior.stormy ~gst:40.0 in
+  let suspector, _ = Oracle.es_x sim ~x:2 ~behavior () in
+  let querier, _ = Oracle.psi_y sim ~y:1 ~behavior () in
+  let _w = Wheels.install sim ~suspector ~querier ~x:2 ~y:1 () in
+  let raised = ref false in
+  (try ignore (Sim.run sim) with Oracle.Psi_containment_violation _ -> raised := true);
+  check "containment violation raised" true !raised
+
+let test_bad_y_rejected () =
+  let sim = setup ~seed:11 () in
+  let querier, _ = Oracle.psi_y sim ~y:1 () in
+  check "y > t rejected" true
+    (try
+       ignore (Psi_to_omega.create sim ~querier ~y:4);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "psi"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "chain" `Quick test_chain_structure;
+          Alcotest.test_case "psi-compatible" `Quick test_psi_compatible_queries;
+          Alcotest.test_case "wheels reject psi" `Quick test_wheels_need_unrestricted_queries;
+          Alcotest.test_case "bad y" `Quick test_bad_y_rejected;
+        ] );
+      ( "omega",
+        [
+          Alcotest.test_case "certified sweep" `Quick test_certified_omega_sweep;
+          Alcotest.test_case "prefix crash" `Quick test_prefix_crash_selects_added_process;
+          Alcotest.test_case "no crash first link" `Quick test_no_crash_outputs_first_link;
+        ] );
+      ( "economy",
+        [
+          Alcotest.test_case "cheaper than wheels" `Quick test_cheaper_than_wheels;
+          Alcotest.test_case "composed with kset" `Quick test_composed_with_kset;
+        ] );
+    ]

@@ -1,0 +1,98 @@
+(* Tests for the shared-memory substrate (SWMR atomic registers). *)
+
+open Setagree_dsys
+open Setagree_shm
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mk () = Sim.create ~horizon:1000.0 ~n:3 ~t:1 ~seed:1 ()
+
+let test_initial_value () =
+  let sim = mk () in
+  let r = Register.create sim ~writer:0 42 in
+  check_int "initial" 42 (Register.peek r)
+
+let test_write_read () =
+  let sim = mk () in
+  let r = Register.create sim ~writer:0 0 in
+  let got = ref (-1) in
+  Sim.spawn sim ~pid:0 (fun () ->
+      Register.write r ~by:0 7;
+      got := Register.read r ~by:0);
+  ignore (Sim.run sim);
+  check_int "read back" 7 !got;
+  check_int "write count" 1 (Register.write_count r)
+
+let test_writer_enforced () =
+  let sim = mk () in
+  let r = Register.create sim ~writer:0 0 in
+  let raised = ref false in
+  Sim.spawn sim ~pid:1 (fun () ->
+      try Register.write r ~by:1 5 with Invalid_argument _ -> raised := true);
+  ignore (Sim.run sim);
+  check "non-writer rejected" true !raised
+
+let test_access_takes_time () =
+  let sim = mk () in
+  let r = Register.create sim ~writer:0 ~access_time:0.5 0 in
+  let t_after = ref 0.0 in
+  Sim.spawn sim ~pid:0 (fun () ->
+      Register.write r ~by:0 1;
+      ignore (Register.read r ~by:0);
+      t_after := Sim.now sim);
+  ignore (Sim.run sim);
+  Alcotest.(check (float 0.001)) "two accesses = 1.0" 1.0 !t_after
+
+let test_reader_sees_concurrent_writes () =
+  (* Writer updates every unit; a reader polling sees increasing values. *)
+  let sim = mk () in
+  let r = Register.create sim ~writer:0 ~access_time:0.01 0 in
+  Sim.spawn sim ~pid:0 (fun () ->
+      for v = 1 to 10 do
+        Register.write r ~by:0 v;
+        Sim.sleep 1.0
+      done);
+  let seen = ref [] in
+  Sim.spawn sim ~pid:1 (fun () ->
+      for _ = 1 to 10 do
+        seen := Register.read r ~by:1 :: !seen;
+        Sim.sleep 1.0
+      done);
+  ignore (Sim.run sim);
+  let vals = List.rev !seen in
+  check "monotone reads" true (List.sort compare vals = vals);
+  check "progress observed" true (List.length (List.sort_uniq compare vals) > 3)
+
+let test_crash_mid_write_no_effect () =
+  (* The writer crashes during the access interval: the write never takes
+     effect. *)
+  let sim = mk () in
+  Sim.install_crashes sim [ (0, 0.25) ];
+  let r = Register.create sim ~writer:0 ~access_time:0.5 0 in
+  Sim.spawn sim ~pid:0 (fun () -> Register.write r ~by:0 99);
+  ignore (Sim.run sim);
+  check_int "old value survives" 0 (Register.peek r)
+
+let test_write_before_crash_persists () =
+  let sim = mk () in
+  Sim.install_crashes sim [ (0, 5.0) ];
+  let r = Register.create sim ~writer:0 ~access_time:0.1 0 in
+  Sim.spawn sim ~pid:0 (fun () -> Register.write r ~by:0 13);
+  ignore (Sim.run sim);
+  check_int "completed write persists after crash" 13 (Register.peek r)
+
+let () =
+  Alcotest.run "shm"
+    [
+      ( "register",
+        [
+          Alcotest.test_case "initial" `Quick test_initial_value;
+          Alcotest.test_case "write/read" `Quick test_write_read;
+          Alcotest.test_case "writer enforced" `Quick test_writer_enforced;
+          Alcotest.test_case "access time" `Quick test_access_takes_time;
+          Alcotest.test_case "concurrent reads" `Quick test_reader_sees_concurrent_writes;
+          Alcotest.test_case "crash mid-write" `Quick test_crash_mid_write_no_effect;
+          Alcotest.test_case "write persists" `Quick test_write_before_crash_persists;
+        ] );
+    ]

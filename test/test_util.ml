@@ -1,0 +1,561 @@
+(* Unit and property tests for Setagree_util: pid sets, RNG, priority queue,
+   combinatorics and the wheel rings. *)
+
+open Setagree_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Pidset                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_pidset_empty () =
+  check "empty is empty" true (Pidset.is_empty Pidset.empty);
+  check_int "empty cardinal" 0 (Pidset.cardinal Pidset.empty);
+  check "nothing in empty" false (Pidset.mem 0 Pidset.empty)
+
+let test_pidset_add_remove () =
+  let s = Pidset.add 3 (Pidset.add 1 Pidset.empty) in
+  check "mem 1" true (Pidset.mem 1 s);
+  check "mem 3" true (Pidset.mem 3 s);
+  check "not mem 2" false (Pidset.mem 2 s);
+  check_int "cardinal" 2 (Pidset.cardinal s);
+  let s' = Pidset.remove 1 s in
+  check "removed" false (Pidset.mem 1 s');
+  check "idempotent remove" true (Pidset.equal s' (Pidset.remove 1 s'))
+
+let test_pidset_full () =
+  let s = Pidset.full ~n:5 in
+  check_int "full cardinal" 5 (Pidset.cardinal s);
+  check "contains 0" true (Pidset.mem 0 s);
+  check "contains 4" true (Pidset.mem 4 s);
+  check "not 5" false (Pidset.mem 5 s)
+
+let test_pidset_ops () =
+  let a = Pidset.of_list [ 0; 1; 2 ] and b = Pidset.of_list [ 2; 3 ] in
+  check "union" true (Pidset.equal (Pidset.union a b) (Pidset.of_list [ 0; 1; 2; 3 ]));
+  check "inter" true (Pidset.equal (Pidset.inter a b) (Pidset.singleton 2));
+  check "diff" true (Pidset.equal (Pidset.diff a b) (Pidset.of_list [ 0; 1 ]));
+  check "subset yes" true (Pidset.subset (Pidset.singleton 2) a);
+  check "subset no" false (Pidset.subset b a);
+  check "disjoint no" false (Pidset.disjoint a b);
+  check "disjoint yes" true (Pidset.disjoint a (Pidset.singleton 5))
+
+let test_pidset_to_list_sorted () =
+  let s = Pidset.of_list [ 5; 1; 3 ] in
+  Alcotest.(check (list int)) "ascending" [ 1; 3; 5 ] (Pidset.to_list s)
+
+let test_pidset_min_max () =
+  let s = Pidset.of_list [ 4; 2; 9 ] in
+  check_int "min" 2 (Pidset.min_elt s);
+  Alcotest.(check (option int)) "max" (Some 9) (Pidset.max_elt_opt s);
+  Alcotest.(check (option int)) "min empty" None (Pidset.min_elt_opt Pidset.empty);
+  check "min_elt raises" true
+    (try
+       ignore (Pidset.min_elt Pidset.empty);
+       false
+     with Not_found -> true)
+
+let test_pidset_iterators () =
+  let s = Pidset.of_list [ 0; 2; 4 ] in
+  check_int "fold sum" 6 (Pidset.fold (fun p acc -> p + acc) s 0);
+  check "for_all even" true (Pidset.for_all (fun p -> p mod 2 = 0) s);
+  check "exists 4" true (Pidset.exists (fun p -> p = 4) s);
+  check "filter" true
+    (Pidset.equal (Pidset.filter (fun p -> p > 1) s) (Pidset.of_list [ 2; 4 ]))
+
+let test_pidset_random_size () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 50 do
+    let size = Rng.int rng 11 in
+    let s = Pidset.random rng ~n:10 ~size in
+    check_int "random size" size (Pidset.cardinal s);
+    check "subset of full" true (Pidset.subset s (Pidset.full ~n:10))
+  done
+
+let test_pidset_pp () =
+  Alcotest.(check string) "pp" "{p1,p3}" (Pidset.to_string (Pidset.of_list [ 0; 2 ]))
+
+let pidset_qcheck =
+  let gen_set = QCheck.Gen.(map (fun l -> Pidset.of_list l) (list_size (int_bound 10) (int_bound 20))) in
+  let arb = QCheck.make ~print:Pidset.to_string gen_set in
+  [
+    QCheck.Test.make ~name:"union comm" ~count:200 (QCheck.pair arb arb) (fun (a, b) ->
+        Pidset.equal (Pidset.union a b) (Pidset.union b a));
+    QCheck.Test.make ~name:"inter subset both" ~count:200 (QCheck.pair arb arb)
+      (fun (a, b) ->
+        let i = Pidset.inter a b in
+        Pidset.subset i a && Pidset.subset i b);
+    QCheck.Test.make ~name:"diff disjoint" ~count:200 (QCheck.pair arb arb) (fun (a, b) ->
+        Pidset.disjoint (Pidset.diff a b) b);
+    QCheck.Test.make ~name:"card union + card inter" ~count:200 (QCheck.pair arb arb)
+      (fun (a, b) ->
+        Pidset.cardinal (Pidset.union a b) + Pidset.cardinal (Pidset.inter a b)
+        = Pidset.cardinal a + Pidset.cardinal b);
+    QCheck.Test.make ~name:"of_list/to_list roundtrip" ~count:200 arb (fun s ->
+        Pidset.equal s (Pidset.of_list (Pidset.to_list s)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check "same stream" true (Rng.int64 a = Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 42 and b = Rng.create 43 in
+  let da = List.init 10 (fun _ -> Rng.int64 a) in
+  let db = List.init 10 (fun _ -> Rng.int64 b) in
+  check "different seeds differ" true (da <> db)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 7 in
+    check "in range" true (v >= 0 && v < 7)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 3.0 in
+    check "float in range" true (v >= 0.0 && v < 3.0)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5 in
+  let c1 = Rng.split parent in
+  let c2 = Rng.split parent in
+  let s1 = List.init 10 (fun _ -> Rng.int64 c1) in
+  let s2 = List.init 10 (fun _ -> Rng.int64 c2) in
+  check "children differ" true (s1 <> s2)
+
+let test_rng_split_named_stable () =
+  let mk () = Rng.create 9 in
+  let a = Rng.split_named (mk ()) "alpha" in
+  let b = Rng.split_named (mk ()) "alpha" in
+  check "same name same stream" true (Rng.int64 a = Rng.int64 b);
+  let c = Rng.split_named (mk ()) "beta" in
+  check "diff name diff stream" true (Rng.int64 (Rng.split_named (mk ()) "alpha") <> Rng.int64 c)
+
+let test_rng_split_named_order_independent () =
+  let r1 = Rng.create 9 in
+  ignore (Rng.int64 r1);
+  (* split_named must not depend on draws made since creation? It does use
+     current state; document the actual contract: same parent state.  Here we
+     check the complementary property: copies agree. *)
+  let r2 = Rng.create 9 in
+  let a = Rng.split_named (Rng.copy r2) "x" in
+  let b = Rng.split_named r2 "x" in
+  check "copy preserves stream" true (Rng.int64 a = Rng.int64 b)
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 100 do
+    check "p=0 never" false (Rng.bernoulli rng 0.0)
+  done;
+  for _ = 1 to 100 do
+    check "p=1 always" true (Rng.bernoulli rng 1.0)
+  done
+
+let test_rng_exponential_positive () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 200 do
+    check "exp >= 0" true (Rng.exponential rng ~mean:2.0 >= 0.0)
+  done
+
+let test_rng_pick_shuffle () =
+  let rng = Rng.create 5 in
+  let l = [ 1; 2; 3; 4; 5 ] in
+  for _ = 1 to 50 do
+    check "pick member" true (List.mem (Rng.pick rng l) l)
+  done;
+  let s = Rng.shuffle rng l in
+  Alcotest.(check (list int)) "shuffle is permutation" l (List.sort compare s)
+
+let test_rng_mean_sanity () =
+  let rng = Rng.create 6 in
+  let total = ref 0.0 in
+  let count = 10_000 in
+  for _ = 1 to count do
+    total := !total +. Rng.float rng 1.0
+  done;
+  let mean = !total /. float_of_int count in
+  check "uniform mean near 0.5" true (mean > 0.45 && mean < 0.55)
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_pqueue_basic () =
+  let q = Pqueue.create ~cmp:Int.compare in
+  check "empty" true (Pqueue.is_empty q);
+  Pqueue.push q 5;
+  Pqueue.push q 1;
+  Pqueue.push q 3;
+  check_int "length" 3 (Pqueue.length q);
+  Alcotest.(check (option int)) "peek min" (Some 1) (Pqueue.peek q);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Pqueue.pop q);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Pqueue.pop q);
+  Alcotest.(check (option int)) "pop 5" (Some 5) (Pqueue.pop q);
+  Alcotest.(check (option int)) "pop empty" None (Pqueue.pop q)
+
+let test_pqueue_clear () =
+  let q = Pqueue.create ~cmp:Int.compare in
+  Pqueue.push q 1;
+  Pqueue.clear q;
+  check "cleared" true (Pqueue.is_empty q)
+
+let test_pqueue_sorts () =
+  let rng = Rng.create 11 in
+  let q = Pqueue.create ~cmp:Int.compare in
+  let items = List.init 500 (fun _ -> Rng.int rng 10_000) in
+  List.iter (Pqueue.push q) items;
+  let rec drain acc = match Pqueue.pop q with None -> List.rev acc | Some v -> drain (v :: acc) in
+  Alcotest.(check (list int)) "heap sort" (List.sort compare items) (drain [])
+
+let test_pqueue_stability_by_cmp () =
+  (* (time, seq) ordering: ties on time break by seq. *)
+  let cmp (t1, s1) (t2, s2) =
+    let c = Float.compare t1 t2 in
+    if c <> 0 then c else Int.compare s1 s2
+  in
+  let q = Pqueue.create ~cmp in
+  Pqueue.push q (1.0, 2);
+  Pqueue.push q (1.0, 0);
+  Pqueue.push q (1.0, 1);
+  let v1 = Pqueue.pop q and v2 = Pqueue.pop q and v3 = Pqueue.pop q in
+  check "tie order" true (v1 = Some (1.0, 0) && v2 = Some (1.0, 1) && v3 = Some (1.0, 2))
+
+(* ------------------------------------------------------------------ *)
+(* Combi                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_binomial_values () =
+  check_int "C(5,2)" 10 (Combi.binomial 5 2);
+  check_int "C(5,0)" 1 (Combi.binomial 5 0);
+  check_int "C(5,5)" 1 (Combi.binomial 5 5);
+  check_int "C(5,6)" 0 (Combi.binomial 5 6);
+  check_int "C(5,-1)" 0 (Combi.binomial 5 (-1));
+  check_int "C(10,3)" 120 (Combi.binomial 10 3);
+  check_int "C(20,10)" 184756 (Combi.binomial 20 10)
+
+let test_binomial_pascal () =
+  for n = 1 to 15 do
+    for k = 1 to n - 1 do
+      check_int "pascal" (Combi.binomial n k)
+        (Combi.binomial (n - 1) (k - 1) + Combi.binomial (n - 1) k)
+    done
+  done
+
+let test_unrank_first_last () =
+  let first = Combi.unrank ~n:6 ~size:3 0 in
+  check "first lex" true (Pidset.equal first (Pidset.of_list [ 0; 1; 2 ]));
+  let last = Combi.unrank ~n:6 ~size:3 (Combi.binomial 6 3 - 1) in
+  check "last lex" true (Pidset.equal last (Pidset.of_list [ 3; 4; 5 ]))
+
+let test_unrank_rank_roundtrip () =
+  for n = 1 to 8 do
+    for size = 0 to n do
+      for r = 0 to Combi.binomial n size - 1 do
+        let s = Combi.unrank ~n ~size r in
+        check_int "roundtrip" r (Combi.rank ~n s);
+        check_int "size" size (Pidset.cardinal s)
+      done
+    done
+  done
+
+let test_unrank_out_of_range () =
+  check "raises" true
+    (try
+       ignore (Combi.unrank ~n:5 ~size:2 10);
+       false
+     with Invalid_argument _ -> true)
+
+let test_enumerate_all_distinct () =
+  let l = List.of_seq (Combi.enumerate ~n:7 ~size:3) in
+  check_int "count" (Combi.binomial 7 3) (List.length l);
+  let sorted = List.sort_uniq Pidset.compare l in
+  check_int "distinct" (List.length l) (List.length sorted)
+
+let test_enumerate_lex_increasing () =
+  (* In lexicographic order on ascending element lists. *)
+  let l = List.of_seq (Combi.enumerate ~n:6 ~size:2) in
+  let as_lists = List.map Pidset.to_list l in
+  let sorted = List.sort compare as_lists in
+  Alcotest.(check (list (list int))) "lex order" sorted as_lists
+
+let test_unrank_in_base () =
+  let base = Pidset.of_list [ 2; 5; 7; 9 ] in
+  let s0 = Combi.unrank_in ~base ~size:2 0 in
+  check "first is two smallest" true (Pidset.equal s0 (Pidset.of_list [ 2; 5 ]));
+  for r = 0 to Combi.binomial 4 2 - 1 do
+    let s = Combi.unrank_in ~base ~size:2 r in
+    check "subset of base" true (Pidset.subset s base);
+    check_int "rank_in roundtrip" r (Combi.rank_in ~base s)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Ring                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_lower_ring_total () =
+  let r = Ring.Lower.create ~n:5 ~x:2 in
+  check_int "total = C(5,2)*2" 20 (Ring.Lower.total r)
+
+let test_lower_ring_decode_start () =
+  let r = Ring.Lower.create ~n:5 ~x:2 in
+  let l, x = Ring.Lower.decode r (Ring.Lower.start r) in
+  check_int "first element" 0 l;
+  check "first set" true (Pidset.equal x (Pidset.of_list [ 0; 1 ]))
+
+let test_lower_ring_element_in_set () =
+  let r = Ring.Lower.create ~n:6 ~x:3 in
+  for p = 0 to Ring.Lower.total r - 1 do
+    let l, x = Ring.Lower.decode r p in
+    check "element in set" true (Pidset.mem l x);
+    check_int "set size" 3 (Pidset.cardinal x)
+  done
+
+let test_lower_ring_wraps () =
+  let r = Ring.Lower.create ~n:4 ~x:2 in
+  let total = Ring.Lower.total r in
+  let rec advance p k = if k = 0 then p else advance (Ring.Lower.next r p) (k - 1) in
+  check_int "full cycle returns" (Ring.Lower.start r) (advance (Ring.Lower.start r) total)
+
+let test_lower_ring_covers_all_pairs () =
+  let r = Ring.Lower.create ~n:5 ~x:2 in
+  let seen = Hashtbl.create 32 in
+  for p = 0 to Ring.Lower.total r - 1 do
+    Hashtbl.replace seen (Ring.Lower.decode r p) ()
+  done;
+  check_int "all pairs distinct" (Ring.Lower.total r) (Hashtbl.length seen)
+
+let test_lower_ring_x_elements_consecutive () =
+  (* Positions k*x .. k*x + x - 1 share the same set. *)
+  let r = Ring.Lower.create ~n:6 ~x:3 in
+  for k = 0 to Combi.binomial 6 3 - 1 do
+    let _, x0 = Ring.Lower.decode r (k * 3) in
+    for j = 1 to 2 do
+      let _, xj = Ring.Lower.decode r ((k * 3) + j) in
+      check "same set within block" true (Pidset.equal x0 xj)
+    done
+  done
+
+let test_upper_ring_total () =
+  let r = Ring.Upper.create ~n:5 ~ysize:3 ~lsize:2 in
+  check_int "total = C(5,3)*C(3,2)" 30 (Ring.Upper.total r)
+
+let test_upper_ring_l_subset_y () =
+  let r = Ring.Upper.create ~n:6 ~ysize:3 ~lsize:2 in
+  for p = 0 to Ring.Upper.total r - 1 do
+    let l, y = Ring.Upper.decode r p in
+    check "L subset Y" true (Pidset.subset l y);
+    check_int "L size" 2 (Pidset.cardinal l);
+    check_int "Y size" 3 (Pidset.cardinal y)
+  done
+
+let test_upper_ring_covers_all () =
+  let r = Ring.Upper.create ~n:5 ~ysize:3 ~lsize:1 in
+  let seen = Hashtbl.create 64 in
+  for p = 0 to Ring.Upper.total r - 1 do
+    Hashtbl.replace seen (Ring.Upper.decode r p) ()
+  done;
+  check_int "distinct pairs" (Ring.Upper.total r) (Hashtbl.length seen)
+
+let test_upper_ring_wraps () =
+  let r = Ring.Upper.create ~n:4 ~ysize:2 ~lsize:1 in
+  let total = Ring.Upper.total r in
+  let rec advance p k = if k = 0 then p else advance (Ring.Upper.next r p) (k - 1) in
+  check_int "full cycle" (Ring.Upper.start r) (advance (Ring.Upper.start r) total)
+
+let test_ring_bad_args () =
+  check "lower bad x" true
+    (try ignore (Ring.Lower.create ~n:3 ~x:4); false with Invalid_argument _ -> true);
+  check "upper bad lsize" true
+    (try ignore (Ring.Upper.create ~n:4 ~ysize:2 ~lsize:3); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy ring consumption (the wheels' T2 discipline)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Pure model of the move-message consumer: buffer each message until the
+   current position matches, then advance (possibly repeatedly).  The
+   wheels rely on the reached position being independent of arrival order —
+   all correct processes R-deliver the same multiset — so confluence IS the
+   agreement property of the transformation's control state. *)
+let greedy_consume ~total ~start arrivals =
+  let pending = Hashtbl.create 16 in
+  let pos = ref start in
+  let bump p delta =
+    let c = Option.value ~default:0 (Hashtbl.find_opt pending p) in
+    Hashtbl.replace pending p (c + delta)
+  in
+  let rec drain () =
+    match Hashtbl.find_opt pending !pos with
+    | Some c when c > 0 ->
+        bump !pos (-1);
+        pos := (!pos + 1) mod total;
+        drain ()
+    | _ -> ()
+  in
+  List.iter
+    (fun p ->
+      bump p 1;
+      drain ())
+    arrivals;
+  (!pos, Hashtbl.fold (fun _ c acc -> acc + max 0 c) pending 0)
+
+let ring_confluence_qcheck =
+  let gen =
+    QCheck.Gen.(
+      let* total = int_range 3 12 in
+      let* start = int_bound (total - 1) in
+      let* msgs = list_size (int_bound 20) (int_bound (total - 1)) in
+      let* perm_seed = int_bound 1_000_000 in
+      return (total, start, msgs, perm_seed))
+  in
+  QCheck.Test.make ~name:"greedy consumption is arrival-order independent" ~count:500
+    (QCheck.make
+       ~print:(fun (total, start, msgs, _) ->
+         Printf.sprintf "total=%d start=%d msgs=[%s]" total start
+           (String.concat ";" (List.map string_of_int msgs)))
+       gen)
+    (fun (total, start, msgs, perm_seed) ->
+      let rng = Rng.create perm_seed in
+      let shuffled = Rng.shuffle rng msgs in
+      greedy_consume ~total ~start msgs = greedy_consume ~total ~start shuffled)
+
+let test_greedy_consume_basics () =
+  (* Matching message advances; non-matching waits; wrap-around consumes
+     buffered ones. *)
+  check "no msgs" true (greedy_consume ~total:5 ~start:2 [] = (2, 0));
+  check "one match" true (greedy_consume ~total:5 ~start:2 [ 2 ] = (3, 0));
+  check "one miss buffered" true (greedy_consume ~total:5 ~start:2 [ 4 ] = (2, 1));
+  check "chain" true (greedy_consume ~total:5 ~start:2 [ 3; 2 ] = (4, 0));
+  check "wrap" true (greedy_consume ~total:3 ~start:0 [ 0; 1; 2 ] = (0, 0))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.max;
+  Alcotest.(check (float 1e-9)) "p50" 3.0 s.p50;
+  Alcotest.(check (float 1e-9)) "p95" 5.0 s.p95;
+  Alcotest.(check int) "count" 5 s.count;
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.5) s.stddev
+
+let test_stats_singleton_and_empty () =
+  let s = Stats.summarize [ 7.0 ] in
+  Alcotest.(check (float 1e-9)) "single mean" 7.0 s.mean;
+  Alcotest.(check (float 1e-9)) "single stddev" 0.0 s.stddev;
+  check "empty raises" true
+    (try
+       ignore (Stats.summarize []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_stats_percentile_unsorted_input () =
+  Alcotest.(check (float 1e-9)) "p50 of shuffled" 3.0
+    (Stats.percentile [ 5.0; 1.0; 3.0; 2.0; 4.0 ] 0.5);
+  Alcotest.(check (float 1e-9)) "p0 clamps to min" 1.0
+    (Stats.percentile [ 5.0; 1.0; 3.0 ] 0.0);
+  Alcotest.(check (float 1e-9)) "p100 is max" 5.0
+    (Stats.percentile [ 5.0; 1.0; 3.0 ] 1.0)
+
+let test_stats_pp () =
+  let s = Stats.summarize [ 1.0; 2.0 ] in
+  check "renders" true (String.length (Format.asprintf "%a" Stats.pp_summary s) > 10)
+
+(* Pid *)
+let test_pid () =
+  Alcotest.(check string) "to_string" "p3" (Pid.to_string 2);
+  Alcotest.(check (list int)) "all" [ 0; 1; 2 ] (Pid.all ~n:3);
+  check "equal" true (Pid.equal 1 1);
+  check_int "compare" 0 (Pid.compare 4 4)
+
+let () =
+  let qc = List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |])) pidset_qcheck in
+  Alcotest.run "util"
+    [
+      ( "pidset",
+        [
+          Alcotest.test_case "empty" `Quick test_pidset_empty;
+          Alcotest.test_case "add/remove" `Quick test_pidset_add_remove;
+          Alcotest.test_case "full" `Quick test_pidset_full;
+          Alcotest.test_case "set ops" `Quick test_pidset_ops;
+          Alcotest.test_case "to_list sorted" `Quick test_pidset_to_list_sorted;
+          Alcotest.test_case "min/max" `Quick test_pidset_min_max;
+          Alcotest.test_case "iterators" `Quick test_pidset_iterators;
+          Alcotest.test_case "random size" `Quick test_pidset_random_size;
+          Alcotest.test_case "pp" `Quick test_pidset_pp;
+        ] );
+      ("pidset-properties", qc);
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "split_named stable" `Quick test_rng_split_named_stable;
+          Alcotest.test_case "copy stream" `Quick test_rng_split_named_order_independent;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+          Alcotest.test_case "exponential positive" `Quick test_rng_exponential_positive;
+          Alcotest.test_case "pick/shuffle" `Quick test_rng_pick_shuffle;
+          Alcotest.test_case "uniform mean" `Quick test_rng_mean_sanity;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "basic" `Quick test_pqueue_basic;
+          Alcotest.test_case "clear" `Quick test_pqueue_clear;
+          Alcotest.test_case "sorts" `Quick test_pqueue_sorts;
+          Alcotest.test_case "tie-break" `Quick test_pqueue_stability_by_cmp;
+        ] );
+      ( "combi",
+        [
+          Alcotest.test_case "binomial values" `Quick test_binomial_values;
+          Alcotest.test_case "pascal identity" `Quick test_binomial_pascal;
+          Alcotest.test_case "unrank first/last" `Quick test_unrank_first_last;
+          Alcotest.test_case "rank/unrank roundtrip" `Quick test_unrank_rank_roundtrip;
+          Alcotest.test_case "unrank out of range" `Quick test_unrank_out_of_range;
+          Alcotest.test_case "enumerate distinct" `Quick test_enumerate_all_distinct;
+          Alcotest.test_case "enumerate lex" `Quick test_enumerate_lex_increasing;
+          Alcotest.test_case "unrank_in base" `Quick test_unrank_in_base;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "lower total" `Quick test_lower_ring_total;
+          Alcotest.test_case "lower start" `Quick test_lower_ring_decode_start;
+          Alcotest.test_case "lower element-in-set" `Quick test_lower_ring_element_in_set;
+          Alcotest.test_case "lower wraps" `Quick test_lower_ring_wraps;
+          Alcotest.test_case "lower covers pairs" `Quick test_lower_ring_covers_all_pairs;
+          Alcotest.test_case "lower blocks" `Quick test_lower_ring_x_elements_consecutive;
+          Alcotest.test_case "upper total" `Quick test_upper_ring_total;
+          Alcotest.test_case "upper L in Y" `Quick test_upper_ring_l_subset_y;
+          Alcotest.test_case "upper covers" `Quick test_upper_ring_covers_all;
+          Alcotest.test_case "upper wraps" `Quick test_upper_ring_wraps;
+          Alcotest.test_case "bad args" `Quick test_ring_bad_args;
+        ] );
+      ("pid", [ Alcotest.test_case "basics" `Quick test_pid ]);
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "singleton/empty" `Quick test_stats_singleton_and_empty;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile_unsorted_input;
+          Alcotest.test_case "pp" `Quick test_stats_pp;
+        ] );
+      ( "greedy-consumption",
+        Alcotest.test_case "basics" `Quick test_greedy_consume_basics
+        :: List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |])) [ ring_confluence_qcheck ] );
+    ]

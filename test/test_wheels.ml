@@ -1,0 +1,323 @@
+(* Tests for the two-wheels transformation (paper §4): the lower wheel's
+   contract (Theorem 7) and quiescence (Corollary 1), the upper wheel's
+   l_move finiteness (Corollary 2), the assembled ◇S_x + ◇φ_y → Ω_z
+   construction over the admissible (x, y) range, the special cases y = 0
+   and x = 1 (Corollaries 6-7), and end-to-end composition with k-set
+   agreement (grid row E1). *)
+
+open Setagree_util
+open Setagree_dsys
+open Setagree_fd
+open Setagree_core
+
+let check = Alcotest.(check bool)
+let gst = 30.0
+
+let setup ?(n = 6) ?(t = 2) ?(horizon = 250.0) ?(crashes = 0) ?(crash_window = (0.0, 15.0))
+    ~seed () =
+  let sim = Sim.create ~horizon ~n ~t ~seed () in
+  let rng = Rng.split_named (Sim.rng sim) "crash" in
+  Sim.install_crashes sim
+    (Crash.generate (Crash.Exactly { crashes; window = crash_window }) ~n ~t rng);
+  sim
+
+(* --- lower wheel --- *)
+
+let run_lower ?(n = 6) ?(t = 2) ?(x = 2) ?(crashes = 0) ~seed () =
+  let sim = setup ~n ~t ~crashes ~seed () in
+  let suspector, info = Oracle.es_x sim ~x ~behavior:(Behavior.stormy ~gst) () in
+  let lw = Wheels_lower.install sim ~suspector ~x () in
+  let _ = Sim.run sim in
+  (sim, lw, info)
+
+let check_theorem7 sim lw ~x label =
+  (* There is a set X of x processes such that (a) every process outside X
+     has repr = self, and (b) either all of X crashed and its live... — per
+     Theorem 7: if X ∩ C = ∅, live processes all have repr = self; otherwise
+     the correct members of X share a correct representative in X. *)
+  let correct = Sim.correct_set sim in
+  let candidates =
+    List.filter
+      (fun i -> not (Sim.is_crashed sim i))
+      (Pid.all ~n:(Sim.n sim))
+  in
+  (* All correct processes must have stabilized on the same ring pair. *)
+  let pairs = List.map (fun i -> Wheels_lower.current_pair lw i) (Pidset.to_list correct) in
+  (match pairs with
+  | [] -> Alcotest.fail "no correct process"
+  | (l0, x0) :: rest ->
+      List.iter
+        (fun (l, xs) ->
+          check (label ^ ": same pair") true (l = l0 && Pidset.equal xs x0))
+        rest;
+      check (label ^ ": |X| = x") true (Pidset.cardinal x0 = x);
+      let xset = x0 and lx = l0 in
+      List.iter
+        (fun i ->
+          let r = Wheels_lower.repr lw i in
+          if Pidset.mem i xset then begin
+            if Pidset.is_empty (Pidset.inter xset correct) then
+              check (label ^ ": dead X, self repr") true (r = i)
+            else begin
+              check (label ^ ": member repr = lx") true (r = lx);
+              check (label ^ ": lx correct") true (Pidset.mem lx correct)
+            end
+          end
+          else check (label ^ ": outsider repr = self") true (r = i))
+        candidates)
+
+let test_lower_stabilizes_no_crash () =
+  let sim, lw, _ = run_lower ~seed:1 () in
+  check_theorem7 sim lw ~x:2 "no crash";
+  check "quiescent well before the end" true (Wheels_lower.last_pos_change lw < 200.0)
+
+let test_lower_stabilizes_with_crashes () =
+  for seed = 2 to 6 do
+    let sim, lw, _ = run_lower ~seed ~crashes:2 () in
+    check_theorem7 sim lw ~x:2 (Printf.sprintf "seed %d" seed)
+  done
+
+let test_lower_x_variants () =
+  List.iter
+    (fun x ->
+      let sim, lw, _ = run_lower ~seed:7 ~x ~crashes:1 () in
+      check_theorem7 sim lw ~x (Printf.sprintf "x=%d" x))
+    [ 1; 2; 3 ]
+
+let test_lower_quiescence () =
+  (* Corollary 1: x_move broadcasts stop.  Run once to 150, snapshot the
+     count, run the same seed to 300: counts must match (all movement
+     happened early). *)
+  let moves_at horizon =
+    let sim = setup ~horizon ~crashes:2 ~seed:8 () in
+    let suspector, _ = Oracle.es_x sim ~x:2 ~behavior:(Behavior.stormy ~gst) () in
+    let lw = Wheels_lower.install sim ~suspector ~x:2 () in
+    let _ = Sim.run sim in
+    Wheels_lower.moves_broadcast lw
+  in
+  Alcotest.(check int) "no x_moves after stabilization" (moves_at 150.0) (moves_at 300.0)
+
+let test_lower_all_x_crashed_case () =
+  (* Force the protected set's complement: crash two specific processes and
+     use a calm oracle; the wheel can stop on a fully-crashed X only if the
+     ring reaches it, but Theorem 7 must hold either way.  Use explicit
+     initial crashes of {p0, p1} = the ring's first X. *)
+  let sim = Sim.create ~horizon:250.0 ~n:6 ~t:2 ~seed:9 () in
+  Sim.install_crashes sim [ (0, 0.0); (1, 0.0) ];
+  let suspector, _ = Oracle.es_x sim ~x:2 ~behavior:(Behavior.calm ~gst) () in
+  let lw = Wheels_lower.install sim ~suspector ~x:2 () in
+  let _ = Sim.run sim in
+  check_theorem7 sim lw ~x:2 "initial X dead"
+
+let test_lower_repr_readable_anytime () =
+  let sim = setup ~crashes:1 ~seed:10 () in
+  let suspector, _ = Oracle.es_x sim ~x:2 ~behavior:(Behavior.stormy ~gst) () in
+  let lw = Wheels_lower.install sim ~suspector ~x:2 () in
+  (* Sample repr mid-run: must always be a valid pid. *)
+  Sim.at sim ~time:10.0 (fun () ->
+      for i = 0 to 5 do
+        let r = Wheels_lower.repr lw i in
+        check "repr in range" true (r >= 0 && r < 6)
+      done);
+  ignore (Sim.run sim)
+
+(* --- assembled wheels --- *)
+
+let run_wheels ?(n = 6) ?(t = 2) ?(horizon = 300.0) ~x ~y ?(crashes = 0)
+    ?(behavior = Behavior.stormy ~gst) ~seed () =
+  let sim = setup ~n ~t ~horizon ~crashes ~seed () in
+  let suspector, _ = Oracle.es_x sim ~x ~behavior () in
+  let querier, _ = Oracle.ephi_y sim ~y ~behavior () in
+  let w = Wheels.install sim ~suspector ~querier ~x ~y () in
+  let omega = Wheels.omega w in
+  let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> omega.Iface.trusted i) () in
+  let _ = Sim.run sim in
+  (sim, w, mon)
+
+let assert_omega sim w mon label =
+  let horizon = Sim.horizon sim in
+  let v = Check.omega_z sim ~z:(Wheels.z w) ~deadline:(horizon -. 60.0) mon in
+  if not (Check.verdict_ok v) then
+    Alcotest.failf "%s: %s" label (String.concat "; " v.notes)
+
+let test_wheels_admissible_pairs () =
+  (* Every admissible (x, y) for n=6, t=2 produces a certified Ω_z. *)
+  let t = 2 in
+  List.iter
+    (fun (x, y) ->
+      if Bounds.wheels_admissible ~n:6 ~t ~x ~y then begin
+        let sim, w, mon = run_wheels ~x ~y ~crashes:1 ~seed:(100 + (10 * x) + y) () in
+        Alcotest.(check int)
+          (Printf.sprintf "z value x=%d y=%d" x y)
+          (Bounds.z_of_addition ~t ~x ~y)
+          (Wheels.z w);
+        assert_omega sim w mon (Printf.sprintf "x=%d y=%d" x y)
+      end)
+    [ (1, 0); (1, 1); (1, 2); (2, 0); (2, 1); (3, 0) ]
+
+let test_wheels_headline_consensus_power () =
+  (* x = t, y = 1 -> z = 1: the paper's headline addition. *)
+  let sim, w, mon = run_wheels ~x:2 ~y:1 ~crashes:2 ~seed:42 () in
+  Alcotest.(check int) "z = 1" 1 (Wheels.z w);
+  assert_omega sim w mon "headline"
+
+let test_wheels_inadmissible_rejected () =
+  let sim = setup ~seed:1 () in
+  let suspector, _ = Oracle.es_x sim ~x:3 () in
+  let querier, _ = Oracle.ephi_y sim ~y:2 () in
+  check "x+y > t+1 rejected" true
+    (try
+       ignore (Wheels.install sim ~suspector ~querier ~x:3 ~y:2 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_wheels_lmove_finite () =
+  (* Corollary 2: l_move broadcasts stop. *)
+  let lmoves_at horizon =
+    let sim = setup ~horizon ~crashes:1 ~seed:11 () in
+    let suspector, _ = Oracle.es_x sim ~x:2 ~behavior:(Behavior.stormy ~gst) () in
+    let querier, _ = Oracle.ephi_y sim ~y:0 ~behavior:(Behavior.stormy ~gst) () in
+    let w = Wheels.install sim ~suspector ~querier ~x:2 ~y:0 () in
+    let _ = Sim.run sim in
+    Wheels_upper.moves_broadcast (Wheels.upper w)
+  in
+  Alcotest.(check int) "l_moves stop" (lmoves_at 200.0) (lmoves_at 350.0)
+
+let test_wheels_inquiry_never_stops () =
+  (* §4.2.2 Remark: the upper wheel is not quiescent — inquiry/response
+     traffic continues after stabilization. *)
+  let msgs_at horizon =
+    let sim = setup ~horizon ~seed:12 () in
+    let suspector, _ = Oracle.es_x sim ~x:2 ~behavior:(Behavior.calm ~gst:0.0) () in
+    let querier, _ = Oracle.ephi_y sim ~y:0 ~behavior:(Behavior.calm ~gst:0.0) () in
+    let w = Wheels.install sim ~suspector ~querier ~x:2 ~y:0 () in
+    let _ = Sim.run sim in
+    Wheels_upper.underlying_sent (Wheels.upper w)
+  in
+  check "traffic keeps growing" true (msgs_at 300.0 > msgs_at 150.0)
+
+let test_wheels_calm_stabilizes_fast () =
+  let sim, w, mon = run_wheels ~behavior:Behavior.perfect ~x:2 ~y:1 ~seed:13 () in
+  assert_omega sim w mon "perfect behaviour";
+  check "stabilized early" true (Wheels.stabilized_since w < 50.0)
+
+let test_wheels_composed_with_kset () =
+  (* Grid row end-to-end: wheels build Ω_z, Figure 3 solves z-set agreement
+     on top, all inside one simulation. *)
+  List.iter
+    (fun (x, y, seed) ->
+      let t = 2 and n = 6 in
+      let sim = setup ~n ~t ~horizon:600.0 ~crashes:1 ~seed () in
+      let behavior = Behavior.stormy ~gst in
+      let suspector, _ = Oracle.es_x sim ~x ~behavior () in
+      let querier, _ = Oracle.ephi_y sim ~y ~behavior () in
+      let w = Wheels.install sim ~suspector ~querier ~x ~y () in
+      let proposals = Array.init n (fun i -> 100 + i) in
+      let h = Reduce.solve_kset sim ~omega:(Wheels.omega w) ~proposals () in
+      let _ = Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim in
+      let v =
+        Check.k_set_agreement sim ~k:(Wheels.z w) ~proposals ~decisions:(Kset.decisions h)
+      in
+      if not (Check.verdict_ok v) then
+        Alcotest.failf "x=%d y=%d: %s" x y (String.concat "; " v.notes))
+    [ (2, 1, 201); (2, 0, 202); (1, 1, 203) ]
+
+(* --- single-class reductions (Corollaries 6-7) --- *)
+
+let test_reduce_es_alone () =
+  let sim = setup ~horizon:300.0 ~crashes:1 ~seed:14 () in
+  let suspector, _ = Oracle.es_x sim ~x:2 ~behavior:(Behavior.stormy ~gst) () in
+  let w = Reduce.omega_from_es sim ~suspector ~x:2 () in
+  Alcotest.(check int) "z = t+2-x" 2 (Wheels.z w);
+  let omega = Wheels.omega w in
+  let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> omega.Iface.trusted i) () in
+  let _ = Sim.run sim in
+  assert_omega sim w mon "◇S_x alone"
+
+let test_reduce_phi_alone () =
+  let sim = setup ~horizon:300.0 ~crashes:2 ~seed:15 () in
+  let querier, _ = Oracle.ephi_y sim ~y:1 ~behavior:(Behavior.stormy ~gst) () in
+  let w = Reduce.omega_from_phi sim ~querier ~y:1 () in
+  Alcotest.(check int) "z = t+1-y" 2 (Wheels.z w);
+  let omega = Wheels.omega w in
+  let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> omega.Iface.trusted i) () in
+  let _ = Sim.run sim in
+  assert_omega sim w mon "◇φ_y alone"
+
+let test_wheels_determinism () =
+  let observe () =
+    let sim, w, _ = run_wheels ~x:2 ~y:1 ~crashes:2 ~seed:16 () in
+    ( Wheels.total_messages w,
+      List.init 6 (fun i ->
+          if Sim.is_crashed sim i then (-1, Pidset.empty)
+          else (Wheels_upper.position (Wheels.upper w) i, (Wheels.omega w).Iface.trusted i)) )
+  in
+  check "identical replay" true (observe () = observe ())
+
+let test_wheels_restabilize_after_late_crash () =
+  (* A process crashes long after both wheels have stabilized; the rings
+     must recover (or legally keep their sets) and the Omega_z certificate
+     must hold on the new suffix. *)
+  let horizon = 800.0 in
+  let sim = Sim.create ~horizon ~n:6 ~t:2 ~seed:61 () in
+  Sim.install_crashes sim [ (1, 5.0); (0, 300.0) ];
+  let behavior = Behavior.stormy ~gst in
+  let suspector, _ = Oracle.es_x sim ~x:2 ~behavior () in
+  let querier, _ = Oracle.ephi_y sim ~y:1 ~behavior () in
+  let w = Wheels.install sim ~suspector ~querier ~x:2 ~y:1 () in
+  let omega = Wheels.omega w in
+  let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> omega.Iface.trusted i) () in
+  ignore (Sim.run sim);
+  assert_omega sim w mon "late crash"
+
+let qcheck_wheels_random_configs =
+  (* Randomized end-to-end: any admissible (x, y), any small crash load,
+     any seed — the construction must certify as Omega_z. *)
+  QCheck.Test.make ~name:"random admissible config certifies Omega_z" ~count:8
+    (QCheck.make
+       ~print:(fun (x, y, crashes, seed) ->
+         Printf.sprintf "x=%d y=%d crashes=%d seed=%d" x y crashes seed)
+       QCheck.Gen.(
+         let* x = int_range 1 3 in
+         let* y = int_range 0 (3 - x) in
+         let* crashes = int_bound 2 in
+         let* seed = int_range 1 100_000 in
+         return (x, y, crashes, seed)))
+    (fun (x, y, crashes, seed) ->
+      if not (Bounds.wheels_admissible ~n:6 ~t:2 ~x ~y) then true
+      else begin
+        let sim, w, mon = run_wheels ~x ~y ~crashes ~seed () in
+        Check.verdict_ok (Check.omega_z sim ~z:(Wheels.z w) ~deadline:240.0 mon)
+      end)
+
+let () =
+  Alcotest.run "wheels"
+    [
+      ( "lower",
+        [
+          Alcotest.test_case "theorem 7 (no crash)" `Quick test_lower_stabilizes_no_crash;
+          Alcotest.test_case "theorem 7 (crashes)" `Quick test_lower_stabilizes_with_crashes;
+          Alcotest.test_case "x variants" `Quick test_lower_x_variants;
+          Alcotest.test_case "quiescence" `Quick test_lower_quiescence;
+          Alcotest.test_case "dead initial X" `Quick test_lower_all_x_crashed_case;
+          Alcotest.test_case "repr readable anytime" `Quick test_lower_repr_readable_anytime;
+        ] );
+      ( "assembled",
+        [
+          Alcotest.test_case "admissible pairs" `Quick test_wheels_admissible_pairs;
+          Alcotest.test_case "headline z=1" `Quick test_wheels_headline_consensus_power;
+          Alcotest.test_case "inadmissible rejected" `Quick test_wheels_inadmissible_rejected;
+          Alcotest.test_case "l_moves finite" `Quick test_wheels_lmove_finite;
+          Alcotest.test_case "inquiries never stop" `Quick test_wheels_inquiry_never_stops;
+          Alcotest.test_case "perfect behaviour" `Quick test_wheels_calm_stabilizes_fast;
+          Alcotest.test_case "determinism" `Quick test_wheels_determinism;
+          Alcotest.test_case "late crash restabilizes" `Quick test_wheels_restabilize_after_late_crash;
+        ] );
+      ( "compositions",
+        [
+          Alcotest.test_case "with kset" `Quick test_wheels_composed_with_kset;
+          Alcotest.test_case "◇S_x alone" `Quick test_reduce_es_alone;
+          Alcotest.test_case "◇φ_y alone" `Quick test_reduce_phi_alone;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |])) [ qcheck_wheels_random_configs ]);
+    ]
