@@ -7,6 +7,7 @@ open Setagree_util
 open Setagree_dsys
 open Setagree_fd
 open Setagree_core
+open Setagree_runner
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -14,6 +15,26 @@ let section title =
 let subsection title = Printf.printf "\n--- %s ---\n" title
 
 let ok_str v = if Check.verdict_ok v then "OK" else "FAIL"
+
+(* Seed sweeps go through the campaign engine: jobs run on
+   [Runner.default_jobs] domains (override with BENCH_JOBS), rows print
+   in canonical job order regardless of interleaving, and every
+   campaign lands in _results/BENCH_<exp>.json.  Failing jobs are
+   collected by [Bench_main] into _results/failures.json. *)
+let campaign ?header ~exp jobs =
+  let c = Runner.run ~exp jobs in
+  (match header with Some h -> print_endline h | None -> ());
+  List.iter print_endline (Runner.rows c);
+  let path = Runner.write_artifact c in
+  Printf.printf "[%s] %d jobs on %d domain(s): %d failed, %.2fs wall, %.1f jobs/s -> %s\n"
+    exp
+    (Array.length c.Runner.c_results)
+    c.Runner.c_workers
+    (List.length (Runner.failures c))
+    c.Runner.c_wall_s c.Runner.c_throughput path;
+  c
+
+let fdkit_replay fmt = Printf.ksprintf (fun s -> "dune exec bin/fdkit.exe -- " ^ s) fmt
 
 (* Common knobs: n = 8, t = 3 gives a 4-row grid and room for interesting
    (x, y) sweeps while keeping ring sizes small. *)
@@ -78,16 +99,43 @@ let e1_run_cell ~z ~source ~seed =
 
 let e1 () =
   section "E1  Figure 1 grid, positive half: row z solves z-set agreement (n=8, t=3)";
-  Printf.printf "%-3s  %-22s  %-8s  %-6s  %-8s\n" "z" "omega source" "z-set" "rounds" "msgs";
-  List.iter
-    (fun z ->
-      List.iter
-        (fun source ->
-          let r = e1_run_cell ~z ~source ~seed:(1000 + z) in
-          Printf.printf "%-3d  %-22s  %-8s  %-6d  %-8d\n" r.z r.source r.verdict r.rounds
-            r.msgs)
-        [ `Oracle; `Es; `Phi; `Psi ])
-    (List.init (t + 1) (fun i -> i + 1))
+  let jobs =
+    List.concat_map
+      (fun z ->
+        List.map
+          (fun source ->
+            let seed = 1000 + z in
+            let sname =
+              match source with
+              | `Oracle -> "oracle"
+              | `Es -> "es"
+              | `Phi -> "phi"
+              | `Psi -> "psi"
+            in
+            Runner.job ~exp:"e1" ~seed
+              ~label:(Printf.sprintf "z=%d source=%s" z sname)
+              ~params:[ ("z", Json.Int z); ("source", Json.String sname) ]
+              ~replay:
+                (fdkit_replay "kset -n %d -t %d -z %d -k %d --crashes %d --seed %d" n t
+                   z z (min 2 t) seed)
+              (fun () ->
+                let r = e1_run_cell ~z ~source ~seed in
+                Runner.body
+                  ~metrics:
+                    [ ("rounds", float_of_int r.rounds); ("msgs", float_of_int r.msgs) ]
+                  ~row:
+                    (Printf.sprintf "%-3d  %-22s  %-8s  %-6d  %-8d" r.z r.source r.verdict
+                       r.rounds r.msgs)
+                  (r.verdict = "OK")))
+          [ `Oracle; `Es; `Phi; `Psi ])
+      (List.init (t + 1) (fun i -> i + 1))
+  in
+  ignore
+    (campaign ~exp:"e1"
+       ~header:
+         (Printf.sprintf "%-3s  %-22s  %-8s  %-6s  %-8s" "z" "omega source" "z-set" "rounds"
+            "msgs")
+       jobs)
 
 (* ------------------------------------------------------------------ *)
 (* E2 — Figure 1, weakest of each row (Theorem 5 tightness): Ω_z fails
@@ -112,29 +160,66 @@ let e2 () =
 
 let e3 () =
   section "E3  Additivity sweep (Fig 2): ◇S_x + ◇φ_y -> Omega_{t+2-x-y} (n=8, t=3)";
-  Printf.printf "%-3s %-3s %-3s  %-10s  %-9s  %-8s %-8s %-9s\n" "x" "y" "z" "Omega_z?"
-    "stab@" "x_moves" "l_moves" "msgs";
-  for x = 1 to t + 1 do
-    for y = 0 to t do
-      if Bounds.wheels_admissible ~n ~t ~x ~y then begin
-        let horizon = 400.0 in
-        let sim = setup ~horizon ~crashes:2 ~seed:(2000 + (x * 10) + y) () in
-        let behavior = Behavior.stormy ~gst in
-        let suspector, _ = Oracle.es_x sim ~x ~behavior () in
-        let querier, _ = Oracle.ephi_y sim ~y ~behavior () in
-        let w = Wheels.install sim ~suspector ~querier ~x ~y () in
-        let omega = Wheels.omega w in
-        let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> omega.Iface.trusted i) () in
-        let _ = Sim.run sim in
-        let v = Check.omega_z sim ~z:(Wheels.z w) ~deadline:(horizon -. 80.0) mon in
-        Printf.printf "%-3d %-3d %-3d  %-10s  %-9.1f  %-8d %-8d %-9d\n" x y (Wheels.z w)
-          (ok_str v) (Wheels.stabilized_since w)
-          (Wheels_lower.moves_broadcast (Wheels.lower w))
-          (Wheels_upper.moves_broadcast (Wheels.upper w))
-          (Wheels.total_messages w)
-      end
-    done
-  done;
+  let jobs =
+    List.concat_map
+      (fun x ->
+        List.filter_map
+          (fun y ->
+            if not (Bounds.wheels_admissible ~n ~t ~x ~y) then None
+            else
+              let seed = 2000 + (x * 10) + y in
+              Some
+                (Runner.job ~exp:"e3" ~seed
+                   ~label:(Printf.sprintf "x=%d y=%d" x y)
+                   ~params:
+                     [
+                       ("x", Json.Int x);
+                       ("y", Json.Int y);
+                       ("z", Json.Int (Bounds.z_of_addition ~t ~x ~y));
+                     ]
+                   ~replay:
+                     (fdkit_replay "wheels -n %d -t %d -x %d -y %d --crashes 2 --seed %d"
+                        n t x y seed)
+                   (fun () ->
+                     let horizon = 400.0 in
+                     let sim = setup ~horizon ~crashes:2 ~seed () in
+                     let behavior = Behavior.stormy ~gst in
+                     let suspector, _ = Oracle.es_x sim ~x ~behavior () in
+                     let querier, _ = Oracle.ephi_y sim ~y ~behavior () in
+                     let w = Wheels.install sim ~suspector ~querier ~x ~y () in
+                     let omega = Wheels.omega w in
+                     let mon =
+                       Monitor.watch sim ~every:0.5 ~read:(fun i -> omega.Iface.trusted i) ()
+                     in
+                     let _ = Sim.run sim in
+                     let v = Check.omega_z sim ~z:(Wheels.z w) ~deadline:(horizon -. 80.0) mon in
+                     Runner.body
+                       ~notes:(if Check.verdict_ok v then [] else v.Check.notes)
+                       ~metrics:
+                         [
+                           ("stab", Wheels.stabilized_since w);
+                           ( "x_moves",
+                             float_of_int (Wheels_lower.moves_broadcast (Wheels.lower w)) );
+                           ( "l_moves",
+                             float_of_int (Wheels_upper.moves_broadcast (Wheels.upper w)) );
+                           ("msgs", float_of_int (Wheels.total_messages w));
+                         ]
+                       ~row:
+                         (Printf.sprintf "%-3d %-3d %-3d  %-10s  %-9.1f  %-8d %-8d %-9d" x y
+                            (Wheels.z w) (ok_str v) (Wheels.stabilized_since w)
+                            (Wheels_lower.moves_broadcast (Wheels.lower w))
+                            (Wheels_upper.moves_broadcast (Wheels.upper w))
+                            (Wheels.total_messages w))
+                       (Check.verdict_ok v))))
+          (List.init (t + 1) (fun y -> y)))
+      (List.init (t + 1) (fun i -> i + 1))
+  in
+  ignore
+    (campaign ~exp:"e3"
+       ~header:
+         (Printf.sprintf "%-3s %-3s %-3s  %-10s  %-9s  %-8s %-8s %-9s" "x" "y" "z" "Omega_z?"
+            "stab@" "x_moves" "l_moves" "msgs")
+       jobs);
   Printf.printf
     "\nheadline: x=%d (=t), y=1 gives z=1 — the addition solves consensus while\n\
      ◇S_t alone only reaches 2-set agreement and ◇φ_1 alone only t-set.\n"
@@ -208,28 +293,58 @@ let e4 () =
 
 let e5 () =
   section "E5  Figure 3 algorithm performance (n=8, t=3)";
-  Printf.printf "%-4s %-8s %-18s  %-7s %-8s %-10s %-6s\n" "k" "crashes" "oracle" "rounds"
-    "msgs" "latency" "k-set";
-  List.iter
-    (fun (k, crashes, (bname, behavior)) ->
-      let sim = setup ~horizon:3000.0 ~crashes ~seed:(4000 + k + crashes) () in
-      let omega, _ = Oracle.omega_z sim ~z:k ~behavior () in
-      let proposals = Array.init n (fun i -> 100 + i) in
-      let h = Kset.install sim ~omega ~proposals () in
-      let o = Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim in
-      let v = Check.k_set_agreement sim ~k ~proposals ~decisions:(Kset.decisions h) in
-      Printf.printf "%-4d %-8d %-18s  %-7d %-8d %-10.1f %-6s\n" k crashes bname
-        (Kset.max_round h) (Kset.messages_sent h) o.end_time (ok_str v))
-    (List.concat_map
-       (fun k ->
-         List.concat_map
-           (fun crashes ->
-             [
-               (k, crashes, ("perfect", Behavior.perfect));
-               (k, crashes, ("stormy gst=40", Behavior.stormy ~gst));
-             ])
-           [ 0; t ])
-       [ 1; 2; 3 ])
+  let jobs =
+    List.concat_map
+      (fun k ->
+        List.concat_map
+          (fun crashes ->
+            [
+              (k, crashes, ("perfect", Behavior.perfect));
+              (k, crashes, ("stormy gst=40", Behavior.stormy ~gst));
+            ])
+          [ 0; t ])
+      [ 1; 2; 3 ]
+    |> List.map (fun (k, crashes, (bname, behavior)) ->
+           let seed = 4000 + k + crashes in
+           Runner.job ~exp:"e5" ~seed
+             ~label:(Printf.sprintf "k=%d crashes=%d %s" k crashes bname)
+             ~params:
+               [
+                 ("k", Json.Int k);
+                 ("crashes", Json.Int crashes);
+                 ("oracle", Json.String bname);
+               ]
+             ~replay:
+               (fdkit_replay "kset -n %d -t %d -z %d -k %d --crashes %d --gst %g --seed %d"
+                  n t k k crashes
+                  (if bname = "perfect" then 0.0 else gst)
+                  seed)
+             (fun () ->
+               let sim = setup ~horizon:3000.0 ~crashes ~seed () in
+               let omega, _ = Oracle.omega_z sim ~z:k ~behavior () in
+               let proposals = Array.init n (fun i -> 100 + i) in
+               let h = Kset.install sim ~omega ~proposals () in
+               let o = Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim in
+               let v = Check.k_set_agreement sim ~k ~proposals ~decisions:(Kset.decisions h) in
+               Runner.body
+                 ~notes:(if Check.verdict_ok v then [] else v.Check.notes)
+                 ~metrics:
+                   [
+                     ("rounds", float_of_int (Kset.max_round h));
+                     ("msgs", float_of_int (Kset.messages_sent h));
+                     ("latency", o.end_time);
+                   ]
+                 ~row:
+                   (Printf.sprintf "%-4d %-8d %-18s  %-7d %-8d %-10.1f %-6s" k crashes bname
+                      (Kset.max_round h) (Kset.messages_sent h) o.end_time (ok_str v))
+                 (Check.verdict_ok v)))
+  in
+  ignore
+    (campaign ~exp:"e5"
+       ~header:
+         (Printf.sprintf "%-4s %-8s %-18s  %-7s %-8s %-10s %-6s" "k" "crashes" "oracle"
+            "rounds" "msgs" "latency" "k-set")
+       jobs)
 
 (* E5b — oracle efficiency and zero degradation *)
 
@@ -255,25 +370,54 @@ let e5b () =
 
 let e5c () =
   subsection "E5c  statistics over 30 seeds (k = 1, stormy gst = 40)";
+  let jobs =
+    List.concat_map
+      (fun crashes ->
+        List.init 30 (fun i ->
+            let seed = 4200 + i + 1 in
+            Runner.job ~exp:"e5c" ~seed
+              ~label:(Printf.sprintf "crashes=%d seed=%d" crashes seed)
+              ~params:[ ("crashes", Json.Int crashes) ]
+              ~replay:
+                (fdkit_replay "kset -n %d -t %d -z 1 -k 1 --crashes %d --seed %d" n t
+                   crashes seed)
+              (fun () ->
+                let sim = setup ~horizon:3000.0 ~crashes ~seed () in
+                let omega, _ = Oracle.omega_z sim ~z:1 ~behavior:(Behavior.stormy ~gst) () in
+                let proposals = Array.init n (fun i -> 100 + i) in
+                let h = Kset.install sim ~omega ~proposals () in
+                let o = Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim in
+                let v =
+                  Check.k_set_agreement sim ~k:1 ~proposals ~decisions:(Kset.decisions h)
+                in
+                Runner.body
+                  ~notes:(if Check.verdict_ok v then [] else v.Check.notes)
+                  ~metrics:
+                    [ ("latency", o.end_time); ("rounds", float_of_int (Kset.max_round h)) ]
+                  (Check.verdict_ok v))))
+      [ 0; t ]
+  in
+  let c = campaign ~exp:"e5c" jobs in
   Printf.printf "%-10s %-50s\n" "metric" "distribution";
+  let samples name crashes =
+    Array.to_list c.Runner.c_results
+    |> List.filter (fun r ->
+           List.assoc_opt "crashes" r.Runner.r_params = Some (Json.Int crashes))
+    |> List.filter_map (fun r -> List.assoc_opt name r.Runner.r_metrics)
+  in
   List.iter
     (fun crashes ->
-      let latencies = ref [] and rounds = ref [] in
-      for seed = 1 to 30 do
-        let sim = setup ~horizon:3000.0 ~crashes ~seed:(4200 + seed) () in
-        let omega, _ = Oracle.omega_z sim ~z:1 ~behavior:(Behavior.stormy ~gst) () in
-        let proposals = Array.init n (fun i -> 100 + i) in
-        let h = Kset.install sim ~omega ~proposals () in
-        let o = Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim in
-        latencies := o.end_time :: !latencies;
-        rounds := float_of_int (Kset.max_round h) :: !rounds
-      done;
-      Printf.printf "%-10s %-50s\n"
-        (Printf.sprintf "latency/%d" crashes)
-        (Format.asprintf "%a" Stats.pp_summary (Stats.summarize !latencies));
-      Printf.printf "%-10s %-50s\n"
-        (Printf.sprintf "rounds/%d" crashes)
-        (Format.asprintf "%a" Stats.pp_summary (Stats.summarize !rounds)))
+      List.iter
+        (fun name ->
+          (* summarize_opt: a sweep whose jobs all raised has no samples,
+             and the report must still come out. *)
+          match Stats.summarize_opt (samples name crashes) with
+          | Some s ->
+              Printf.printf "%-10s %-50s\n"
+                (Printf.sprintf "%s/%d" name crashes)
+                (Format.asprintf "%a" Stats.pp_summary s)
+          | None -> Printf.printf "%-10s no samples\n" (Printf.sprintf "%s/%d" name crashes))
+        [ "latency"; "rounds" ])
     [ 0; t ];
   Printf.printf "(metric/c = with c crashes; latency in virtual time units)\n"
 
@@ -281,48 +425,106 @@ let e5c () =
 (* E6 — Figures 5-6: wheels convergence vs n, x, y, crash pattern.     *)
 (* ------------------------------------------------------------------ *)
 
-let e6_row ~n:nn ~t:tt ~x ~y ~crashes ~label ~seed =
-  let horizon = 400.0 in
-  let sim = Sim.create ~horizon ~n:nn ~t:tt ~seed () in
-  let rng = Rng.split_named (Sim.rng sim) "crash" in
-  Sim.install_crashes sim
-    (Crash.generate (Crash.Exactly { crashes; window = (0.0, 20.0) }) ~n:nn ~t:tt rng);
-  let behavior = Behavior.stormy ~gst in
-  let suspector, _ = Oracle.es_x sim ~x ~behavior () in
-  let querier, _ = Oracle.ephi_y sim ~y ~behavior () in
-  let w = Wheels.install sim ~suspector ~querier ~x ~y () in
-  let _ = Sim.run sim in
-  Printf.printf "%-22s %-3d %-3d %-3d %-3d  %-9.1f %-8d %-8d %-9d\n" label nn x y
+let e6_render ~label ~n:nn ~x ~y w =
+  Printf.sprintf "%-22s %-3d %-3d %-3d %-3d  %-9.1f %-8d %-8d %-9d" label nn x y
     (Wheels.z w) (Wheels.stabilized_since w)
     (Wheels_lower.moves_broadcast (Wheels.lower w))
     (Wheels_upper.moves_broadcast (Wheels.upper w))
     (Wheels.total_messages w)
 
+let e6_metrics w =
+  [
+    ("stab", Wheels.stabilized_since w);
+    ("x_moves", float_of_int (Wheels_lower.moves_broadcast (Wheels.lower w)));
+    ("l_moves", float_of_int (Wheels_upper.moves_broadcast (Wheels.upper w)));
+    ("msgs", float_of_int (Wheels.total_messages w));
+  ]
+
+let e6_job ~n:nn ~t:tt ~x ~y ~crashes ~label ~seed =
+  Runner.job ~exp:"e6" ~seed
+    ~label:(Printf.sprintf "%s n=%d x=%d y=%d" label nn x y)
+    ~params:
+      [
+        ("scenario", Json.String label);
+        ("n", Json.Int nn);
+        ("t", Json.Int tt);
+        ("x", Json.Int x);
+        ("y", Json.Int y);
+        ("crashes", Json.Int crashes);
+      ]
+    ~replay:
+      (fdkit_replay "wheels -n %d -t %d -x %d -y %d --crashes %d --seed %d" nn tt x y
+         crashes seed)
+    (fun () ->
+      let horizon = 400.0 in
+      let sim = Sim.create ~horizon ~n:nn ~t:tt ~seed () in
+      let rng = Rng.split_named (Sim.rng sim) "crash" in
+      Sim.install_crashes sim
+        (Crash.generate (Crash.Exactly { crashes; window = (0.0, 20.0) }) ~n:nn ~t:tt rng);
+      let behavior = Behavior.stormy ~gst in
+      let suspector, _ = Oracle.es_x sim ~x ~behavior () in
+      let querier, _ = Oracle.ephi_y sim ~y ~behavior () in
+      let w = Wheels.install sim ~suspector ~querier ~x ~y () in
+      let _ = Sim.run sim in
+      (* Quiescence is the claim under test: the rings must stop moving
+         well before the horizon. *)
+      let quiesced = Wheels.stabilized_since w < horizon -. 80.0 in
+      Runner.body
+        ~notes:(if quiesced then [] else [ "rings still moving near the horizon" ])
+        ~metrics:(e6_metrics w)
+        ~row:(e6_render ~label ~n:nn ~x ~y w)
+        quiesced)
+
 let e6 () =
   section "E6  Wheels convergence (Figs 5-6): stabilization and quiescence";
-  Printf.printf "%-22s %-3s %-3s %-3s %-3s  %-9s %-8s %-8s %-9s\n" "scenario" "n" "x" "y"
-    "z" "stab@" "x_moves" "l_moves" "msgs";
-  List.iteri
-    (fun i nn -> e6_row ~n:nn ~t:2 ~x:2 ~y:1 ~crashes:1 ~label:"n sweep" ~seed:(5000 + i))
-    [ 5; 6; 7; 8 ];
-  List.iteri
-    (fun i x -> e6_row ~n:8 ~t:3 ~x ~y:0 ~crashes:2 ~label:"x sweep (y=0)" ~seed:(5100 + i))
-    [ 1; 2; 3; 4 ];
-  List.iteri
-    (fun i y -> e6_row ~n:8 ~t:3 ~x:1 ~y ~crashes:2 ~label:"y sweep (x=1)" ~seed:(5200 + i))
-    [ 0; 1; 2; 3 ];
-  (* The degenerate whole-X-dead case: crash the ring's first X = {p0,p1}. *)
-  let sim = Sim.create ~horizon:400.0 ~n:6 ~t:2 ~seed:5300 () in
-  Sim.install_crashes sim [ (0, 0.0); (1, 0.0) ];
-  let suspector, _ = Oracle.es_x sim ~x:2 ~behavior:(Behavior.calm ~gst) () in
-  let querier, _ = Oracle.ephi_y sim ~y:0 ~behavior:(Behavior.calm ~gst) () in
-  let w = Wheels.install sim ~suspector ~querier ~x:2 ~y:0 () in
-  let _ = Sim.run sim in
-  Printf.printf "%-22s %-3d %-3d %-3d %-3d  %-9.1f %-8d %-8d %-9d\n" "initial X all dead" 6 2
-    0 (Wheels.z w) (Wheels.stabilized_since w)
-    (Wheels_lower.moves_broadcast (Wheels.lower w))
-    (Wheels_upper.moves_broadcast (Wheels.upper w))
-    (Wheels.total_messages w)
+  let jobs =
+    List.concat
+      [
+        List.mapi
+          (fun i nn -> e6_job ~n:nn ~t:2 ~x:2 ~y:1 ~crashes:1 ~label:"n sweep" ~seed:(5000 + i))
+          [ 5; 6; 7; 8 ];
+        List.mapi
+          (fun i x ->
+            e6_job ~n:8 ~t:3 ~x ~y:0 ~crashes:2 ~label:"x sweep (y=0)" ~seed:(5100 + i))
+          [ 1; 2; 3; 4 ];
+        List.mapi
+          (fun i y ->
+            e6_job ~n:8 ~t:3 ~x:1 ~y ~crashes:2 ~label:"y sweep (x=1)" ~seed:(5200 + i))
+          [ 0; 1; 2; 3 ];
+        (* The degenerate whole-X-dead case: crash the ring's first X = {p0,p1}. *)
+        [
+          Runner.job ~exp:"e6" ~seed:5300 ~label:"initial X all dead"
+            ~params:
+              [
+                ("scenario", Json.String "initial X all dead");
+                ("n", Json.Int 6);
+                ("t", Json.Int 2);
+                ("x", Json.Int 2);
+                ("y", Json.Int 0);
+              ]
+            ~replay:(fdkit_replay "wheels -n 6 -t 2 -x 2 -y 0 --crashes 2 --seed 5300")
+            (fun () ->
+              let sim = Sim.create ~horizon:400.0 ~n:6 ~t:2 ~seed:5300 () in
+              Sim.install_crashes sim [ (0, 0.0); (1, 0.0) ];
+              let suspector, _ = Oracle.es_x sim ~x:2 ~behavior:(Behavior.calm ~gst) () in
+              let querier, _ = Oracle.ephi_y sim ~y:0 ~behavior:(Behavior.calm ~gst) () in
+              let w = Wheels.install sim ~suspector ~querier ~x:2 ~y:0 () in
+              let _ = Sim.run sim in
+              let quiesced = Wheels.stabilized_since w < 400.0 -. 80.0 in
+              Runner.body
+                ~notes:(if quiesced then [] else [ "rings still moving near the horizon" ])
+                ~metrics:(e6_metrics w)
+                ~row:(e6_render ~label:"initial X all dead" ~n:6 ~x:2 ~y:0 w)
+                quiesced);
+        ];
+      ]
+  in
+  ignore
+    (campaign ~exp:"e6"
+       ~header:
+         (Printf.sprintf "%-22s %-3s %-3s %-3s %-3s  %-9s %-8s %-8s %-9s" "scenario" "n" "x"
+            "y" "z" "stab@" "x_moves" "l_moves" "msgs")
+       jobs)
 
 (* E6b — ablation: the wheels' scan period (the paper's implicit "a
    process keeps taking steps" rate).  Finer steps buy faster ring
@@ -584,27 +786,53 @@ let e12 () =
 
 let e13 () =
   section "E13  Scalability of the Figure 3 algorithm (z = k = 1, 2 crashes, gst = 40)";
-  Printf.printf "%-5s %-5s  %-7s %-9s %-9s %-10s %-6s\n" "n" "t" "rounds" "msgs"
-    "latency" "msg/round" "k-set";
-  List.iter
-    (fun nn ->
-      let tt = (nn - 1) / 2 in
-      let sim = Sim.create ~horizon:3000.0 ~n:nn ~t:tt ~seed:(9500 + nn) () in
-      let rng = Rng.split_named (Sim.rng sim) "crash" in
-      Sim.install_crashes sim
-        (Crash.generate (Crash.Exactly { crashes = min 2 tt; window = (0.0, 20.0) }) ~n:nn
-           ~t:tt rng);
-      let omega, _ = Oracle.omega_z sim ~z:1 ~behavior:(Behavior.stormy ~gst) () in
-      let proposals = Array.init nn (fun i -> 100 + i) in
-      let h = Kset.install sim ~omega ~proposals () in
-      let o = Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim in
-      let v = Check.k_set_agreement sim ~k:1 ~proposals ~decisions:(Kset.decisions h) in
-      let rounds = Kset.max_round h in
-      Printf.printf "%-5d %-5d  %-7d %-9d %-9.1f %-10d %-6s\n" nn tt rounds
-        (Kset.messages_sent h) o.end_time
-        (Kset.messages_sent h / max 1 rounds)
-        (ok_str v))
-    [ 5; 9; 15; 21; 31; 41 ]
+  let jobs =
+    List.map
+      (fun nn ->
+        let tt = (nn - 1) / 2 in
+        let seed = 9500 + nn in
+        Runner.job ~exp:"e13" ~seed
+          ~label:(Printf.sprintf "n=%d" nn)
+          ~params:[ ("n", Json.Int nn); ("t", Json.Int tt) ]
+          ~replay:
+            (fdkit_replay "kset -n %d -t %d -z 1 -k 1 --crashes %d --seed %d" nn tt
+               (min 2 tt) seed)
+          (fun () ->
+            let sim = Sim.create ~horizon:3000.0 ~n:nn ~t:tt ~seed () in
+            let rng = Rng.split_named (Sim.rng sim) "crash" in
+            Sim.install_crashes sim
+              (Crash.generate
+                 (Crash.Exactly { crashes = min 2 tt; window = (0.0, 20.0) })
+                 ~n:nn ~t:tt rng);
+            let omega, _ = Oracle.omega_z sim ~z:1 ~behavior:(Behavior.stormy ~gst) () in
+            let proposals = Array.init nn (fun i -> 100 + i) in
+            let h = Kset.install sim ~omega ~proposals () in
+            let o = Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim in
+            let v = Check.k_set_agreement sim ~k:1 ~proposals ~decisions:(Kset.decisions h) in
+            let rounds = Kset.max_round h in
+            Runner.body
+              ~notes:(if Check.verdict_ok v then [] else v.Check.notes)
+              ~metrics:
+                [
+                  ("rounds", float_of_int rounds);
+                  ("msgs", float_of_int (Kset.messages_sent h));
+                  ("latency", o.end_time);
+                  ("msg_per_round", float_of_int (Kset.messages_sent h / max 1 rounds));
+                ]
+              ~row:
+                (Printf.sprintf "%-5d %-5d  %-7d %-9d %-9.1f %-10d %-6s" nn tt rounds
+                   (Kset.messages_sent h) o.end_time
+                   (Kset.messages_sent h / max 1 rounds)
+                   (ok_str v))
+              (Check.verdict_ok v)))
+      [ 5; 9; 15; 21; 31; 41 ]
+  in
+  ignore
+    (campaign ~exp:"e13"
+       ~header:
+         (Printf.sprintf "%-5s %-5s  %-7s %-9s %-9s %-10s %-6s" "n" "t" "rounds" "msgs"
+            "latency" "msg/round" "k-set")
+       jobs)
 
 (* ------------------------------------------------------------------ *)
 (* E14 — the reliable-channel assumption, implemented: consensus over

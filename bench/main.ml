@@ -45,4 +45,26 @@ let () =
   print_endline "setagree benchmark harness — reproduction of Mostéfaoui et al.,";
   print_endline "\"Irreducibility and Additivity of Set Agreement-oriented Failure";
   print_endline "Detector Classes\" (PODC'06 / IRISA PI-1758).";
-  List.iter (fun (_, f) -> f ()) to_run
+  Printf.printf "(campaign engine: %d domain(s); override with BENCH_JOBS)\n"
+    (Setagree_runner.Runner.default_jobs ());
+  let raised = ref [] in
+  let t_all = Unix.gettimeofday () in
+  List.iter
+    (fun (name, f) ->
+      let t0 = Unix.gettimeofday () in
+      (try f ()
+       with e ->
+         raised := name :: !raised;
+         Printf.printf "\n!! %s raised: %s\n" name (Printexc.to_string e));
+      Printf.printf "[%s: %.2fs]\n" name (Unix.gettimeofday () -. t0))
+    to_run;
+  Printf.printf "\ntotal: %.2fs across %d experiment(s)\n"
+    (Unix.gettimeofday () -. t_all)
+    (List.length to_run);
+  let failing = Setagree_runner.Runner.flush_failures () in
+  if failing > 0 then
+    Printf.printf "%d failing job(s) — triage records in _results/failures.json\n" failing;
+  (match List.rev !raised with
+  | [] -> ()
+  | l -> Printf.printf "experiments raised: %s\n" (String.concat " " l));
+  if !raised <> [] || failing > 0 then exit 1

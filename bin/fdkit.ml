@@ -3,12 +3,18 @@
    Every experiment of the bench harness, runnable one at a time with
    custom parameters:
 
-     fdkit kset        --n 9 --t 4 --z 2 --k 2 --crashes 3 --seed 7
-     fdkit wheels      --x 2 --y 1 --crashes 2
-     fdkit psi         --y 2 --crashes 3
-     fdkit strengthen  --x 2 --y 2 --substrate mp
-     fdkit violation   --z 2 --k 1 --tries 25
+     fdkit kset        -n 9 -t 4 -z 2 -k 2 --crashes 3 --seed 7
+     fdkit wheels      -x 2 -y 1 --crashes 2
+     fdkit psi         -y 2 --crashes 3
+     fdkit strengthen  -x 2 -y 2 --substrate mp
+     fdkit violation   -z 2 -k 1 --tries 25
      fdkit irreducibility
+
+   plus the multicore campaign engine: a seed sweep of any of the
+   kset / wheels / psi families, sharded across domains, with JSON
+   artifacts and failing-seed triage:
+
+     fdkit campaign --exp kset --jobs 4 --seeds 64 --out _results
 *)
 
 open Cmdliner
@@ -17,6 +23,7 @@ open Setagree_dsys
 open Setagree_net
 open Setagree_fd
 open Setagree_core
+open Setagree_runner
 
 (* ---- shared options ---- *)
 
@@ -245,6 +252,232 @@ let irreducibility_cmd =
        ~doc:"Run the executable impossibility scenarios (Theorems 10-12, O1).")
     Term.(const run $ n_arg $ t_arg $ seed_arg)
 
+(* ---- campaign ---- *)
+
+let campaign_cmd =
+  let run n t crashes gst horizon exp jobs seeds out compare x y z k =
+    let crashes = min crashes t in
+    (* One job per seed; each builds its own Sim from the seed, so jobs
+       are safe to run on any domain in any order. *)
+    let mk_kset seed =
+      Runner.job ~exp:"kset" ~seed
+        ~params:
+          [
+            ("n", Json.Int n);
+            ("t", Json.Int t);
+            ("z", Json.Int z);
+            ("k", Json.Int k);
+            ("crashes", Json.Int crashes);
+            ("gst", Json.Float gst);
+          ]
+        ~replay:
+          (Printf.sprintf
+             "dune exec bin/fdkit.exe -- kset -n %d -t %d -z %d -k %d --crashes %d \
+              --gst %g --seed %d"
+             n t z k crashes gst seed)
+        (fun () ->
+          let sim = setup ~n ~t ~seed ~crashes ~horizon:5000.0 in
+          let omega, _ = Oracle.omega_z sim ~z ~behavior:(behavior_of ~gst) () in
+          let proposals = Array.init n (fun i -> 100 + i) in
+          let h = Kset.install sim ~omega ~proposals () in
+          let o = Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim in
+          let v = Check.k_set_agreement sim ~k ~proposals ~decisions:(Kset.decisions h) in
+          Runner.body
+            ~notes:(if Check.verdict_ok v then [] else v.Check.notes)
+            ~metrics:
+              [
+                ("rounds", float_of_int (Kset.max_round h));
+                ("msgs", float_of_int (Kset.messages_sent h));
+                ("latency", o.end_time);
+              ]
+            (Check.verdict_ok v))
+    in
+    let mk_wheels seed =
+      Runner.job ~exp:"wheels" ~seed
+        ~params:
+          [
+            ("n", Json.Int n);
+            ("t", Json.Int t);
+            ("x", Json.Int x);
+            ("y", Json.Int y);
+            ("crashes", Json.Int crashes);
+            ("gst", Json.Float gst);
+            ("horizon", Json.Float horizon);
+          ]
+        ~replay:
+          (Printf.sprintf
+             "dune exec bin/fdkit.exe -- wheels -n %d -t %d -x %d -y %d --crashes %d \
+              --gst %g --horizon %g --seed %d"
+             n t x y crashes gst horizon seed)
+        (fun () ->
+          let sim = setup ~n ~t ~seed ~crashes ~horizon in
+          let behavior = behavior_of ~gst in
+          let suspector, _ = Oracle.es_x sim ~x ~behavior () in
+          let querier, _ = Oracle.ephi_y sim ~y ~behavior () in
+          let w = Wheels.install sim ~suspector ~querier ~x ~y () in
+          let omega = Wheels.omega w in
+          let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> omega.Iface.trusted i) () in
+          let _ = Sim.run sim in
+          let v = Check.omega_z sim ~z:(Wheels.z w) ~deadline:(horizon -. 80.0) mon in
+          Runner.body
+            ~notes:(if Check.verdict_ok v then [] else v.Check.notes)
+            ~metrics:
+              [
+                ("stab", Wheels.stabilized_since w);
+                ("msgs", float_of_int (Wheels.total_messages w));
+              ]
+            (Check.verdict_ok v))
+    in
+    let mk_psi seed =
+      Runner.job ~exp:"psi" ~seed
+        ~params:
+          [
+            ("n", Json.Int n);
+            ("t", Json.Int t);
+            ("y", Json.Int y);
+            ("crashes", Json.Int crashes);
+            ("gst", Json.Float gst);
+            ("horizon", Json.Float horizon);
+          ]
+        ~replay:
+          (Printf.sprintf
+             "dune exec bin/fdkit.exe -- psi -n %d -t %d -y %d --crashes %d --gst %g \
+              --horizon %g --seed %d"
+             n t y crashes gst horizon seed)
+        (fun () ->
+          let sim = setup ~n ~t ~seed ~crashes ~horizon in
+          let querier, _ = Oracle.psi_y sim ~y ~behavior:(behavior_of ~gst) () in
+          let p = Psi_to_omega.create sim ~querier ~y in
+          let omega = Psi_to_omega.omega p in
+          let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> omega.Iface.trusted i) () in
+          Sim.ticker sim ~every:1.0;
+          let _ = Sim.run sim in
+          let v = Check.omega_z sim ~z:(Psi_to_omega.z p) ~deadline:(horizon -. 80.0) mon in
+          Runner.body
+            ~notes:(if Check.verdict_ok v then [] else v.Check.notes)
+            ~metrics:[ ("queries_per_read", float_of_int (Psi_to_omega.queries_per_read p)) ]
+            (Check.verdict_ok v))
+    in
+    let mk = match exp with `Kset -> mk_kset | `Wheels -> mk_wheels | `Psi -> mk_psi in
+    let family = match exp with `Kset -> "kset" | `Wheels -> "wheels" | `Psi -> "psi" in
+    let joblist = List.init seeds (fun i -> mk (i + 1)) in
+    let describe tag c =
+      Printf.printf "%s: %d jobs on %d domain(s), %d failed, %.2fs wall, %.1f jobs/s\n" tag
+        (Array.length c.Runner.c_results)
+        c.Runner.c_workers
+        (List.length (Runner.failures c))
+        c.Runner.c_wall_s c.Runner.c_throughput
+    in
+    let c = Runner.run ~jobs ~exp:family joblist in
+    describe (Printf.sprintf "campaign %s -j %d" family jobs) c;
+    let path = Runner.write_artifact ~dir:out c in
+    Printf.printf "artifact: %s\n" path;
+    List.iter
+      (fun (name, s) ->
+        Printf.printf "  %-18s %s\n" name (Format.asprintf "%a" Stats.pp_summary s))
+      (Runner.metric_summaries c);
+    let seq =
+      if not compare then None
+      else begin
+        let c1 = Runner.run ~jobs:1 ~exp:family joblist in
+        describe (Printf.sprintf "baseline %s -j 1" family) c1;
+        Printf.printf "speedup: %.2fx; deterministic merge: %s\n"
+          (c.Runner.c_throughput /. Float.max c1.Runner.c_throughput 1e-9)
+          (if Runner.signature c = Runner.signature c1 then "yes" else "NO — BUG");
+        Some c1
+      end
+    in
+    let side tag c =
+      ( tag,
+        Json.Obj
+          [
+            ("workers", Json.Int c.Runner.c_workers);
+            ("wall_s", Json.Float c.Runner.c_wall_s);
+            ("throughput_jobs_per_s", Json.Float c.Runner.c_throughput);
+          ] )
+    in
+    Json.write_file
+      (Filename.concat out "campaign_summary.json")
+      (Json.Obj
+         ([
+            ("experiment", Json.String family);
+            ("seeds", Json.Int seeds);
+            ("failed", Json.Int (List.length (Runner.failures c)));
+            side "parallel" c;
+          ]
+         @ (match seq with
+           | None -> []
+           | Some c1 ->
+               [
+                 side "sequential" c1;
+                 ( "speedup",
+                   Json.Float (c.Runner.c_throughput /. Float.max c1.Runner.c_throughput 1e-9)
+                 );
+                 ("deterministic", Json.Bool (Runner.signature c = Runner.signature c1));
+               ])));
+    let nfail = Runner.flush_failures ~dir:out () in
+    (match seq with
+    | Some c1 when Runner.signature c <> Runner.signature c1 ->
+        prerr_endline "determinism violation: -j 1 and -j N merged outputs differ"
+    | _ -> ());
+    if nfail > 0 then begin
+      Printf.printf "%d failing seed(s) — triage records (with replay commands) in %s\n" nfail
+        (Filename.concat out "failures.json");
+      List.iter
+        (fun r ->
+          Printf.printf "  seed %d: %s\n    replay: %s\n" r.Runner.r_seed
+            (String.concat "; " r.Runner.r_notes)
+            (Option.value ~default:"-" r.Runner.r_replay))
+        (Runner.failures c)
+    end;
+    match seq with
+    | Some c1 when Runner.signature c <> Runner.signature c1 -> 2
+    | _ -> if nfail > 0 then 1 else 0
+  in
+  let exp_arg =
+    Arg.(
+      value
+      & opt (enum [ ("kset", `Kset); ("wheels", `Wheels); ("psi", `Psi) ]) `Kset
+      & info [ "exp" ] ~docv:"kset|wheels|psi" ~doc:"Experiment family to sweep.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int (Runner.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains (default: BENCH_JOBS or cores).")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 32 & info [ "seeds" ] ~docv:"S" ~doc:"Run seeds 1..S.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "_results"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Artifact directory (created if missing).")
+  in
+  let compare_arg =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "Also run the sweep on 1 domain: report speedup and verify the merged outputs \
+             are identical (exit 2 if not).")
+  in
+  let x_arg = Arg.(value & opt int 2 & info [ "x" ] ~doc:"◇S_x scope (wheels family).") in
+  let y_arg =
+    Arg.(value & opt int 1 & info [ "y" ] ~doc:"◇φ_y / Ψ_y strength (wheels, psi).")
+  in
+  let z_arg = Arg.(value & opt int 1 & info [ "z" ] ~doc:"Oracle class Ω_z (kset family).") in
+  let k_arg = Arg.(value & opt int 1 & info [ "k" ] ~doc:"Agreement degree (kset family).") in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Shard a seed sweep of an experiment family across domains; write \
+          BENCH_<family>.json, campaign_summary.json and failures.json (with replay \
+          commands for every failing seed); exit nonzero if any seed fails.")
+    Term.(
+      const run $ n_arg $ t_arg $ crashes_arg $ gst_arg $ horizon_arg $ exp_arg $ jobs_arg
+      $ seeds_arg $ out_arg $ compare_arg $ x_arg $ y_arg $ z_arg $ k_arg)
+
 (* ---- grid ---- *)
 
 let grid_cmd =
@@ -325,6 +558,7 @@ let () =
             psi_cmd;
             strengthen_cmd;
             impl_cmd;
+            campaign_cmd;
             violation_cmd;
             irreducibility_cmd;
             grid_cmd;

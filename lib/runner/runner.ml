@@ -1,0 +1,319 @@
+open Setagree_util
+
+type body = {
+  ok : bool;
+  notes : string list;
+  metrics : (string * float) list;
+  row : string;
+}
+
+type job = {
+  exp : string;
+  label : string;
+  params : (string * Json.t) list;
+  seed : int;
+  replay : string option;
+  run : unit -> body;
+}
+
+let job ?label ?(params = []) ?replay ~exp ~seed run =
+  let label = match label with Some l -> l | None -> Printf.sprintf "%s/seed=%d" exp seed in
+  { exp; label; params; seed; replay; run }
+
+let body ?(notes = []) ?(metrics = []) ?(row = "") ok = { ok; notes; metrics; row }
+
+type result = {
+  r_exp : string;
+  r_label : string;
+  r_params : (string * Json.t) list;
+  r_seed : int;
+  r_replay : string option;
+  r_ok : bool;
+  r_notes : string list;
+  r_metrics : (string * float) list;
+  r_row : string;
+  r_error : string option;
+  r_wall_s : float;
+}
+
+type campaign = {
+  c_exp : string;
+  c_workers : int;
+  c_results : result array;
+  c_wall_s : float;
+  c_throughput : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Bounded work queue (indices into the job array).  The producer (the
+   calling domain) blocks when the queue is full, workers block when it
+   is empty; [close] wakes everyone up for shutdown.                   *)
+(* ------------------------------------------------------------------ *)
+
+module Bqueue = struct
+  type 'a t = {
+    items : 'a Queue.t;
+    cap : int;
+    mutex : Mutex.t;
+    nonfull : Condition.t;
+    nonempty : Condition.t;
+    mutable closed : bool;
+  }
+
+  let create cap =
+    {
+      items = Queue.create ();
+      cap = max 1 cap;
+      mutex = Mutex.create ();
+      nonfull = Condition.create ();
+      nonempty = Condition.create ();
+      closed = false;
+    }
+
+  let push t v =
+    Mutex.lock t.mutex;
+    while Queue.length t.items >= t.cap && not t.closed do
+      Condition.wait t.nonfull t.mutex
+    done;
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Bqueue.push: closed"
+    end;
+    Queue.push v t.items;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex
+
+  let close t =
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Condition.broadcast t.nonfull;
+    Mutex.unlock t.mutex
+
+  (* [None] once the queue is closed and drained. *)
+  let pop t =
+    Mutex.lock t.mutex;
+    let rec loop () =
+      match Queue.take_opt t.items with
+      | Some v ->
+          Condition.signal t.nonfull;
+          Mutex.unlock t.mutex;
+          Some v
+      | None ->
+          if t.closed then begin
+            Mutex.unlock t.mutex;
+            None
+          end
+          else begin
+            Condition.wait t.nonempty t.mutex;
+            loop ()
+          end
+    in
+    loop ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let default_jobs () =
+  match Sys.getenv_opt "BENCH_JOBS" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some j -> max 1 j | None -> 1)
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+let run_job j =
+  let t0 = Unix.gettimeofday () in
+  let ok, notes, metrics, row, error =
+    match j.run () with
+    | b -> (b.ok, b.notes, b.metrics, b.row, None)
+    | exception e ->
+        let msg = Printexc.to_string e in
+        (false, [ "raised: " ^ msg ], [], j.label ^ "  RAISED " ^ msg, Some msg)
+  in
+  {
+    r_exp = j.exp;
+    r_label = j.label;
+    r_params = j.params;
+    r_seed = j.seed;
+    r_replay = j.replay;
+    r_ok = ok;
+    r_notes = notes;
+    r_metrics = metrics;
+    r_row = row;
+    r_error = error;
+    r_wall_s = Unix.gettimeofday () -. t0;
+  }
+
+let sink : campaign list ref = ref []
+let sink_mutex = Mutex.create ()
+
+let note_campaign c =
+  Mutex.lock sink_mutex;
+  sink := c :: !sink;
+  Mutex.unlock sink_mutex
+
+let noted_campaigns () =
+  Mutex.lock sink_mutex;
+  let l = List.rev !sink in
+  Mutex.unlock sink_mutex;
+  l
+
+let reset_sink () =
+  Mutex.lock sink_mutex;
+  sink := [];
+  Mutex.unlock sink_mutex
+
+let run ?jobs ~exp joblist =
+  let workers = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let jobs_a = Array.of_list joblist in
+  let total = Array.length jobs_a in
+  let workers = min workers (max 1 total) in
+  let out = Array.make total None in
+  let t0 = Unix.gettimeofday () in
+  if workers <= 1 then
+    Array.iteri (fun i j -> out.(i) <- Some (run_job j)) jobs_a
+  else begin
+    let q = Bqueue.create (2 * workers) in
+    let worker () =
+      let rec loop () =
+        match Bqueue.pop q with
+        | None -> ()
+        | Some i ->
+            (* Distinct slots per worker; the final read happens after
+               [Domain.join], which synchronizes. *)
+            out.(i) <- Some (run_job jobs_a.(i));
+            loop ()
+      in
+      loop ()
+    in
+    let domains = List.init workers (fun _ -> Domain.spawn worker) in
+    Array.iteri (fun i _ -> Bqueue.push q i) jobs_a;
+    Bqueue.close q;
+    List.iter Domain.join domains
+  end;
+  let wall = Unix.gettimeofday () -. t0 in
+  let c =
+    {
+      c_exp = exp;
+      c_workers = workers;
+      c_results = Array.map Option.get out;
+      c_wall_s = wall;
+      c_throughput = (float_of_int total /. Float.max wall 1e-9);
+    }
+  in
+  note_campaign c;
+  c
+
+let failures c = List.filter (fun r -> not r.r_ok) (Array.to_list c.c_results)
+
+let rows c =
+  Array.to_list c.c_results
+  |> List.filter_map (fun r -> if r.r_row = "" then None else Some r.r_row)
+
+let metric_summaries c =
+  let names = ref [] in
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun (k, _) -> if not (List.mem k !names) then names := k :: !names)
+        r.r_metrics)
+    c.c_results;
+  List.rev !names
+  |> List.filter_map (fun name ->
+         let samples =
+           Array.to_list c.c_results
+           |> List.filter_map (fun r -> List.assoc_opt name r.r_metrics)
+         in
+         Option.map (fun s -> (name, s)) (Stats.summarize_opt samples))
+
+(* ------------------------------------------------------------------ *)
+(* JSON artifacts                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let summary_json (s : Stats.summary) =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("mean", Json.Float s.mean);
+      ("stddev", Json.Float s.stddev);
+      ("min", Json.Float s.min);
+      ("p50", Json.Float s.p50);
+      ("p95", Json.Float s.p95);
+      ("max", Json.Float s.max);
+    ]
+
+let opt_string = function None -> Json.Null | Some s -> Json.String s
+
+let result_json ?(timing = true) r =
+  Json.Obj
+    ([
+       ("label", Json.String r.r_label);
+       ("seed", Json.Int r.r_seed);
+       ("params", Json.Obj r.r_params);
+       ("ok", Json.Bool r.r_ok);
+       ("notes", Json.List (List.map (fun n -> Json.String n) r.r_notes));
+       ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.r_metrics));
+       ("row", Json.String r.r_row);
+       ("error", opt_string r.r_error);
+       ("replay", opt_string r.r_replay);
+     ]
+    @ if timing then [ ("wall_s", Json.Float r.r_wall_s) ] else [])
+
+let campaign_json c =
+  Json.Obj
+    [
+      ("experiment", Json.String c.c_exp);
+      ("workers", Json.Int c.c_workers);
+      ("jobs", Json.Int (Array.length c.c_results));
+      ("failed", Json.Int (List.length (failures c)));
+      ("wall_s", Json.Float c.c_wall_s);
+      ("throughput_jobs_per_s", Json.Float c.c_throughput);
+      ( "aggregates",
+        Json.Obj (List.map (fun (k, s) -> (k, summary_json s)) (metric_summaries c)) );
+      ("results", Json.List (Array.to_list (Array.map result_json c.c_results)));
+    ]
+
+let signature c =
+  Json.to_string ~minify:true
+    (Json.Obj
+       [
+         ("experiment", Json.String c.c_exp);
+         ( "results",
+           Json.List
+             (Array.to_list (Array.map (fun r -> result_json ~timing:false r) c.c_results))
+         );
+       ])
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+
+let write_artifact ?(dir = "_results") c =
+  ensure_dir dir;
+  let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" c.c_exp) in
+  Json.write_file path (campaign_json c);
+  path
+
+let failure_json r =
+  Json.Obj
+    [
+      ("experiment", Json.String r.r_exp);
+      ("label", Json.String r.r_label);
+      ("seed", Json.Int r.r_seed);
+      ("params", Json.Obj r.r_params);
+      ("notes", Json.List (List.map (fun n -> Json.String n) r.r_notes));
+      ("error", opt_string r.r_error);
+      ("replay", opt_string r.r_replay);
+    ]
+
+let flush_failures ?(dir = "_results") () =
+  ensure_dir dir;
+  let all = List.concat_map failures (noted_campaigns ()) in
+  Json.write_file
+    (Filename.concat dir "failures.json")
+    (Json.Obj
+       [
+         ("failures", Json.Int (List.length all));
+         ("triage", Json.List (List.map failure_json all));
+       ]);
+  List.length all

@@ -1,0 +1,147 @@
+(** Multicore campaign engine for seeded simulator sweeps.
+
+    Every experiment of the bench harness (DESIGN.md §4) has the same
+    shape: a sweep of independent [(experiment, params, seed)] jobs,
+    each of which builds its own simulator from its seed, runs it, and
+    checks a class/agreement property.  This module shards such sweeps
+    across OCaml 5 [Domain]s through a bounded work queue while
+    preserving byte-for-byte determinism:
+
+    - a job closure must derive {e all} of its randomness from its own
+      seed (build a fresh [Rng]/[Sim.t] inside [run]; never read
+      ambient mutable state), and must not print — it returns a
+      pre-rendered [row] instead;
+    - results are merged into an array indexed by canonical job order
+      (the order of the submitted list), so the merged output is
+      independent of domain interleaving.  [signature] exposes exactly
+      the interleaving-independent part; the sequential-vs-parallel
+      equality test in [test/test_runner.ml] pins it down.
+
+    A campaign also emits structured JSON artifacts
+    ([_results/BENCH_<exp>.json]) so the perf trajectory accumulates
+    per PR, and turns every failing job into a {e triage record} —
+    seed, parameters and a ready-to-paste replay command — collected
+    into [_results/failures.json]. *)
+
+open Setagree_util
+
+(** {1 Jobs} *)
+
+type body = {
+  ok : bool;  (** the job's checker verdict *)
+  notes : string list;  (** checker notes shown in triage records *)
+  metrics : (string * float) list;
+      (** named samples (rounds, msgs, latency, ...) aggregated across
+          the campaign via [Util.Stats] *)
+  row : string;  (** pre-rendered table row, printed in canonical order *)
+}
+
+type job = {
+  exp : string;  (** experiment id, e.g. ["e5"] — names the artifact *)
+  label : string;  (** human-readable cell label *)
+  params : (string * Json.t) list;  (** parameters recorded in artifacts *)
+  seed : int;
+  replay : string option;  (** ready-to-paste [fdkit] command reproducing it *)
+  run : unit -> body;
+      (** must be self-contained and re-runnable: fresh [Sim.t] from
+          [seed] on every call *)
+}
+
+val job :
+  ?label:string ->
+  ?params:(string * Json.t) list ->
+  ?replay:string ->
+  exp:string ->
+  seed:int ->
+  (unit -> body) ->
+  job
+(** [label] defaults to ["<exp>/seed=<seed>"]. *)
+
+val body :
+  ?notes:string list -> ?metrics:(string * float) list -> ?row:string -> bool -> body
+
+(** {1 Results} *)
+
+type result = {
+  r_exp : string;
+  r_label : string;
+  r_params : (string * Json.t) list;
+  r_seed : int;
+  r_replay : string option;
+  r_ok : bool;
+  r_notes : string list;
+  r_metrics : (string * float) list;
+  r_row : string;
+  r_error : string option;  (** an escaped exception, if the job raised *)
+  r_wall_s : float;  (** per-job wall clock (timing-dependent!) *)
+}
+
+type campaign = {
+  c_exp : string;
+  c_workers : int;  (** domains actually used *)
+  c_results : result array;  (** canonical job order *)
+  c_wall_s : float;
+  c_throughput : float;  (** jobs per second of wall clock *)
+}
+
+(** {1 Running} *)
+
+val default_jobs : unit -> int
+(** [BENCH_JOBS] env var if set, else [Domain.recommended_domain_count].
+    Never below 1. *)
+
+val run : ?jobs:int -> exp:string -> job list -> campaign
+(** Execute every job and merge results in canonical order.  [jobs]
+    (default {!default_jobs}) is the worker-domain count; [jobs = 1]
+    runs inline on the calling domain.  A job that raises is captured
+    as a failed result ([r_error]), never aborting the campaign.  The
+    campaign is recorded in the process-wide triage sink (see
+    {!flush_failures}). *)
+
+val failures : campaign -> result list
+
+val signature : campaign -> string
+(** Canonical rendering of everything interleaving-independent (labels,
+    seeds, verdicts, notes, metrics, rows, errors — {e not} wall-clock
+    fields).  Equal signatures at [-j 1] and [-j N] is the determinism
+    contract. *)
+
+val rows : campaign -> string list
+(** The non-empty pre-rendered rows, in canonical order. *)
+
+val metric_summaries : campaign -> (string * Stats.summary) list
+(** Per-metric aggregates over all jobs that reported the metric, in
+    order of first appearance.  Metrics with zero samples are dropped
+    (via [Stats.summarize_opt]). *)
+
+(** {1 JSON artifacts} *)
+
+val campaign_json : campaign -> Json.t
+
+val write_artifact : ?dir:string -> campaign -> string
+(** Write [<dir>/BENCH_<exp>.json] (default dir [_results], created if
+    missing) and return the path. *)
+
+val failure_json : result -> Json.t
+(** The triage record: experiment, label, seed, params, notes, error,
+    and the replay command. *)
+
+(** {1 Triage sink}
+
+    [run] appends every campaign to a process-wide sink (guarded by a
+    mutex) so a multi-experiment harness can report all failing seeds
+    at the end without threading campaign values through each
+    experiment. *)
+
+val noted_campaigns : unit -> campaign list
+(** Campaigns recorded since start (or last [reset_sink]), in
+    completion order. *)
+
+val reset_sink : unit -> unit
+
+val flush_failures : ?dir:string -> unit -> int
+(** Write every failing job of every noted campaign to
+    [<dir>/failures.json] (default [_results]) as triage records and
+    return the failure count.  With zero failures the file is still
+    written (an empty list), so a previous run's failures never
+    linger. *)

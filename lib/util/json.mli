@@ -1,0 +1,52 @@
+(** Minimal dependency-free JSON, for the benchmark/campaign artifacts
+    ([_results/BENCH_<exp>.json], [_results/failures.json]).
+
+    The writer emits strict RFC-8259 JSON: strings are escaped, floats
+    are printed in shortest round-trip form (never ["3."], which OCaml's
+    [Float.to_string] would produce), and non-finite floats become
+    [null] (JSON has no representation for them).  The reader is a small
+    recursive-descent parser — enough to read our own artifacts back
+    (trend comparison, tests), not a general validator. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** {1 Writing} *)
+
+val to_string : ?minify:bool -> t -> string
+(** Render; 2-space indentation unless [minify] (default [false]). *)
+
+val to_channel : ?minify:bool -> out_channel -> t -> unit
+
+val write_file : string -> t -> unit
+(** Write the value (pretty, with a trailing newline) to the given
+    path, truncating any existing file. *)
+
+val escape : string -> string
+(** The writer's string escaping, without the surrounding quotes
+    (exposed for tests). *)
+
+(** {1 Reading} *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; [Error msg] carries an offset. *)
+
+val of_string_exn : string -> t
+(** @raise Invalid_argument on parse errors. *)
+
+(** {1 Accessors (for reading artifacts back)} *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on missing field or non-object. *)
+
+val to_float_opt : t -> float option
+(** [Int] and [Float] both convert. *)
+
+val equal : t -> t -> bool
+(** Structural equality, with [Int i] and [Float f] distinct. *)

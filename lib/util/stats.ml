@@ -49,6 +49,8 @@ let summarize xs =
         max = List.nth sorted (List.length sorted - 1);
       }
 
+let summarize_opt = function [] -> None | xs -> Some (summarize xs)
+
 let pp_summary fmt s =
   Format.fprintf fmt "mean %.1f ± %.1f (p50 %.1f, p95 %.1f, range %.1f-%.1f, n=%d)"
     s.mean s.stddev s.p50 s.p95 s.min s.max s.count

@@ -14,6 +14,11 @@ type summary = {
 val summarize : float list -> summary
 (** @raise Invalid_argument on the empty list. *)
 
+val summarize_opt : float list -> summary option
+(** Total version of {!summarize}: [None] on the empty list.  Use it
+    wherever a sweep can legitimately produce zero samples (all jobs
+    skipped or failed), so a campaign report never dies mid-print. *)
+
 val percentile : float list -> float -> float
 (** [percentile xs p] with [p] in [0, 1]: nearest-rank on the sorted
     sample. *)

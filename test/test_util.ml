@@ -477,6 +477,114 @@ let test_stats_pp () =
   let s = Stats.summarize [ 1.0; 2.0 ] in
   check "renders" true (String.length (Format.asprintf "%a" Stats.pp_summary s) > 10)
 
+let test_stats_summarize_opt () =
+  Alcotest.(check bool) "empty is None" true (Stats.summarize_opt [] = None);
+  match Stats.summarize_opt [ 2.0; 4.0 ] with
+  | None -> Alcotest.fail "non-empty must be Some"
+  | Some s ->
+      Alcotest.(check (float 1e-9)) "agrees with summarize" (Stats.summarize [ 2.0; 4.0 ]).mean s.mean;
+      Alcotest.(check int) "count" 2 s.count
+
+let stats_qcheck =
+  let samples =
+    QCheck.make
+      ~print:(fun l -> String.concat ";" (List.map string_of_float l))
+      QCheck.Gen.(list_size (int_range 1 40) (float_bound_inclusive 1000.0))
+  in
+  let p_gen = QCheck.make ~print:string_of_float QCheck.Gen.(float_bound_inclusive 1.0) in
+  [
+    QCheck.Test.make ~name:"percentile monotone in p" ~count:300
+      (QCheck.triple samples p_gen p_gen)
+      (fun (xs, p1, p2) ->
+        let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+        Stats.percentile xs lo <= Stats.percentile xs hi);
+    QCheck.Test.make ~name:"percentile bounded by min/max" ~count:300
+      (QCheck.pair samples p_gen)
+      (fun (xs, p) ->
+        let v = Stats.percentile xs p in
+        let lo = List.fold_left Float.min Float.infinity xs in
+        let hi = List.fold_left Float.max Float.neg_infinity xs in
+        lo <= v && v <= hi);
+    QCheck.Test.make ~name:"summarize_opt total on any list" ~count:300
+      (QCheck.make QCheck.Gen.(list_size (int_bound 10) (float_bound_inclusive 5.0)))
+      (fun xs ->
+        match Stats.summarize_opt xs with
+        | None -> xs = []
+        | Some s -> s.Stats.count = List.length xs);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_escaping () =
+  Alcotest.(check string) "quotes and backslash" {|"a\"b\\c"|}
+    (Json.to_string (Json.String {|a"b\c|}));
+  Alcotest.(check string) "newline tab" {|"x\ny\tz"|}
+    (Json.to_string (Json.String "x\ny\tz"));
+  Alcotest.(check string) "control char" {|"\u0001"|} (Json.to_string (Json.String "\x01"));
+  Alcotest.(check string) "escape exposed" {|\u0000|} (Json.escape "\x00")
+
+let test_json_floats () =
+  Alcotest.(check string) "whole float gets .0" "3.0" (Json.to_string (Json.Float 3.0));
+  Alcotest.(check string) "fraction" "0.1" (Json.to_string (Json.Float 0.1));
+  Alcotest.(check string) "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "inf is null" "null" (Json.to_string (Json.Float Float.infinity))
+
+let test_json_parse () =
+  let j = Json.of_string_exn {| {"a": [1, 2.5, true, null], "bA": "x\n"} |} in
+  check "member a" true
+    (Json.member "a" j
+    = Some (Json.List [ Json.Int 1; Json.Float 2.5; Json.Bool true; Json.Null ]));
+  check "unicode key" true (Json.member "bA" j = Some (Json.String "x\n"));
+  check "missing member" true (Json.member "zzz" j = None);
+  check "reject garbage" true
+    (match Json.of_string "{oops}" with Error _ -> true | Ok _ -> false);
+  check "reject trailing" true
+    (match Json.of_string "1 2" with Error _ -> true | Ok _ -> false)
+
+let test_json_to_float_opt () =
+  check "float" true (Json.to_float_opt (Json.Float 2.5) = Some 2.5);
+  check "int coerces" true (Json.to_float_opt (Json.Int 3) = Some 3.0);
+  check "string no" true (Json.to_float_opt (Json.String "3") = None)
+
+let json_qcheck =
+  (* Random finite Json values must survive print-then-parse, both pretty
+     and minified. *)
+  let gen_json =
+    QCheck.Gen.(
+      sized @@ fix (fun self n ->
+          let leaf =
+            oneof
+              [
+                return Json.Null;
+                map (fun b -> Json.Bool b) bool;
+                map (fun i -> Json.Int i) (int_range (-1_000_000) 1_000_000);
+                map (fun f -> Json.Float f) (float_range (-1e6) 1e6);
+                map (fun s -> Json.String s) (string_size ~gen:char (int_bound 12));
+              ]
+          in
+          if n <= 0 then leaf
+          else
+            frequency
+              [
+                (3, leaf);
+                (1, map (fun l -> Json.List l) (list_size (int_bound 4) (self (n / 2))));
+                ( 1,
+                  map
+                    (fun kvs -> Json.Obj kvs)
+                    (list_size (int_bound 4)
+                       (pair (string_size ~gen:printable (int_bound 6)) (self (n / 2)))) );
+              ]))
+  in
+  let arb = QCheck.make ~print:Json.to_string gen_json in
+  [
+    QCheck.Test.make ~name:"json pretty roundtrip" ~count:300 arb (fun j ->
+        Json.equal j (Json.of_string_exn (Json.to_string j)));
+    QCheck.Test.make ~name:"json minified roundtrip" ~count:300 arb (fun j ->
+        Json.equal j (Json.of_string_exn (Json.to_string ~minify:true j)));
+  ]
+
 (* Pid *)
 let test_pid () =
   Alcotest.(check string) "to_string" "p3" (Pid.to_string 2);
@@ -554,7 +662,19 @@ let () =
           Alcotest.test_case "singleton/empty" `Quick test_stats_singleton_and_empty;
           Alcotest.test_case "percentile" `Quick test_stats_percentile_unsorted_input;
           Alcotest.test_case "pp" `Quick test_stats_pp;
+          Alcotest.test_case "summarize_opt" `Quick test_stats_summarize_opt;
         ] );
+      ( "stats-properties",
+        List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |])) stats_qcheck );
+      ( "json",
+        [
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "floats" `Quick test_json_floats;
+          Alcotest.test_case "parse" `Quick test_json_parse;
+          Alcotest.test_case "to_float_opt" `Quick test_json_to_float_opt;
+        ] );
+      ( "json-properties",
+        List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |])) json_qcheck );
       ( "greedy-consumption",
         Alcotest.test_case "basics" `Quick test_greedy_consume_basics
         :: List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |])) [ ring_confluence_qcheck ] );
