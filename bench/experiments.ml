@@ -862,6 +862,115 @@ let e14 () =
         (ok_str v))
     [ 0.0; 0.1; 0.3; 0.5 ]
 
+(* ------------------------------------------------------------------ *)
+(* SCHED — scheduler scaling sweep: the condition-driven scheduler vs  *)
+(* the legacy re-poll-everything baseline on growing kset systems.     *)
+(* Both schedulers produce identical executions (test/test_sched.ml);  *)
+(* this experiment records what the event-driven one saves.            *)
+(* ------------------------------------------------------------------ *)
+
+let sched () =
+  section "SCHED  Event-driven scheduler vs legacy poll: kset scaling sweep";
+  (* BENCH_SCHED_SMOKE: trimmed sweep for CI (small n, one seed). *)
+  let smoke = Sys.getenv_opt "BENCH_SCHED_SMOKE" <> None in
+  let sizes = if smoke then [ 8; 16; 32 ] else [ 8; 16; 32; 64; 128 ] in
+  let seeds = if smoke then [ 1 ] else [ 1; 2; 3 ] in
+  let modes = [ ("cond", false); ("legacy", true) ] in
+  let jobs =
+    List.concat_map
+      (fun nn ->
+        let tb = (nn / 2) - 1 in
+        List.concat_map
+          (fun (mode, legacy_poll) ->
+            List.map
+              (fun seed ->
+                Runner.job ~exp:"sched" ~seed
+                  ~label:(Printf.sprintf "n=%d mode=%s seed=%d" nn mode seed)
+                  ~params:
+                    [
+                      ("n", Json.Int nn);
+                      ("t", Json.Int tb);
+                      ("mode", Json.String mode);
+                    ]
+                  ~replay:
+                    (fdkit_replay "kset -n %d -t %d -z 2 -k 2 --crashes 2 --seed %d%s" nn
+                       tb seed
+                       (if legacy_poll then " --legacy-poll" else ""))
+                  (fun () ->
+                    let sim = Sim.create ~horizon:3000.0 ~legacy_poll ~n:nn ~t:tb ~seed () in
+                    let rng = Rng.split_named (Sim.rng sim) "crash" in
+                    Sim.install_crashes sim
+                      (Crash.generate
+                         (Crash.Exactly { crashes = 2; window = (0.0, 20.0) })
+                         ~n:nn ~t:tb rng);
+                    let omega, _ =
+                      Oracle.omega_z sim ~z:2 ~behavior:(Behavior.stormy ~gst) ()
+                    in
+                    let proposals = Array.init nn (fun i -> 100 + i) in
+                    let h = Kset.install sim ~omega ~proposals () in
+                    let t0 = Unix.gettimeofday () in
+                    let o = Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim in
+                    let wall = Unix.gettimeofday () -. t0 in
+                    let v =
+                      Check.k_set_agreement sim ~k:2 ~proposals
+                        ~decisions:(Kset.decisions h)
+                    in
+                    let pe = Sim.pred_evals sim in
+                    Runner.body
+                      ~notes:(if Check.verdict_ok v then [] else v.Check.notes)
+                      ~metrics:
+                        [
+                          ("rounds", float_of_int (Kset.max_round h));
+                          ("events", float_of_int o.events);
+                          ("pred_evals", float_of_int pe);
+                          ("signals", float_of_int (Sim.cond_signals sim));
+                          ("wakeups", float_of_int (Sim.wakeups sim));
+                          ("wall_s", wall);
+                          ("events_per_s", float_of_int o.events /. Float.max wall 1e-9);
+                        ]
+                      ~row:
+                        (Printf.sprintf "%-5d %-7s %-5d  %-5s %-7d %-9d %-11d %-9.3f %-12.0f"
+                           nn mode seed (ok_str v) (Kset.max_round h) o.events pe wall
+                           (float_of_int o.events /. Float.max wall 1e-9))
+                      (Check.verdict_ok v)))
+              seeds)
+          modes)
+      sizes
+  in
+  let c =
+    campaign ~exp:"sched"
+      ~header:
+        (Printf.sprintf "%-5s %-7s %-5s  %-5s %-7s %-9s %-11s %-9s %-12s" "n" "mode" "seed"
+           "ok" "rounds" "events" "pred_evals" "wall_s" "events/s")
+      jobs
+  in
+  (* Per-size comparison: how much predicate-evaluation work (and wall
+     clock) the condition scheduler saves over the poll baseline. *)
+  let results = Array.to_list c.Runner.c_results in
+  let mean mode nn name =
+    let samples =
+      List.filter_map
+        (fun r ->
+          if
+            List.assoc_opt "n" r.Runner.r_params = Some (Json.Int nn)
+            && List.assoc_opt "mode" r.Runner.r_params = Some (Json.String mode)
+          then List.assoc_opt name r.Runner.r_metrics
+          else None)
+        results
+    in
+    match samples with
+    | [] -> nan
+    | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  subsection "condition scheduler vs legacy poll (means across seeds)";
+  Printf.printf "%-5s  %-18s  %-14s\n" "n" "pred-evals ratio" "wall speedup";
+  List.iter
+    (fun nn ->
+      Printf.printf "%-5d  %-18.1f  %-14.2f\n" nn
+        (mean "legacy" nn "pred_evals" /. mean "cond" nn "pred_evals")
+        (mean "legacy" nn "wall_s" /. mean "cond" nn "wall_s"))
+    sizes
+
 let all () =
   e1 ();
   e2 ();
@@ -879,4 +988,5 @@ let all () =
   e11 ();
   e12 ();
   e13 ();
-  e14 ()
+  e14 ();
+  sched ()

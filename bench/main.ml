@@ -23,6 +23,7 @@ let registry =
     ("e12", Experiments.e12);
     ("e13", Experiments.e13);
     ("e14", Experiments.e14);
+    ("sched", Experiments.sched);
     ("micro", Microbench.run);
   ]
 

@@ -45,8 +45,16 @@ let horizon_arg =
 let behavior_of ~gst =
   if gst <= 0.0 then Behavior.perfect else Behavior.stormy ~gst
 
-let setup ~n ~t ~seed ~crashes ~horizon =
-  let sim = Sim.create ~horizon ~n ~t ~seed () in
+let legacy_poll_arg =
+  Arg.(
+    value & flag
+    & info [ "legacy-poll" ]
+        ~doc:
+          "Use the legacy scheduler that re-evaluates every blocked predicate after \
+           every event (differential baseline; same executions, more work).")
+
+let setup ?(legacy_poll = false) ~n ~t ~seed ~crashes ~horizon () =
+  let sim = Sim.create ~horizon ~legacy_poll ~n ~t ~seed () in
   let rng = Rng.split_named (Sim.rng sim) "crash" in
   Sim.install_crashes sim
     (Crash.generate
@@ -57,8 +65,8 @@ let setup ~n ~t ~seed ~crashes ~horizon =
 (* ---- kset ---- *)
 
 let kset_cmd =
-  let run n t seed crashes gst z k =
-    let sim = setup ~n ~t ~seed ~crashes ~horizon:5000.0 in
+  let run n t seed crashes gst z k legacy_poll =
+    let sim = setup ~legacy_poll ~n ~t ~seed ~crashes ~horizon:5000.0 () in
     let omega, _ = Oracle.omega_z sim ~z ~behavior:(behavior_of ~gst) () in
     let proposals = Array.init n (fun i -> 100 + i) in
     let h = Kset.install sim ~omega ~proposals () in
@@ -71,6 +79,9 @@ let kset_cmd =
     Printf.printf "k-set(%d) check: %s\nrounds=%d msgs=%d latency=%.1f\n" k
       (Format.asprintf "%a" Check.pp_verdict v)
       (Kset.max_round h) (Kset.messages_sent h) o.end_time;
+    Printf.printf "sched: events=%d pred_evals=%d signals=%d wakeups=%d%s\n" o.events
+      (Sim.pred_evals sim) (Sim.cond_signals sim) (Sim.wakeups sim)
+      (if legacy_poll then " (legacy poll)" else "");
     if Check.verdict_ok v then 0 else 1
   in
   let z_arg = Arg.(value & opt int 2 & info [ "z" ] ~doc:"Oracle class Omega_z.") in
@@ -78,13 +89,14 @@ let kset_cmd =
   Cmd.v
     (Cmd.info "kset" ~doc:"Run the Omega_k-based k-set agreement algorithm (Figure 3).")
     Term.(
-      const run $ n_arg $ t_arg $ seed_arg $ crashes_arg $ gst_arg $ z_arg $ k_arg)
+      const run $ n_arg $ t_arg $ seed_arg $ crashes_arg $ gst_arg $ z_arg $ k_arg
+      $ legacy_poll_arg)
 
 (* ---- wheels ---- *)
 
 let wheels_cmd =
   let run n t seed crashes gst horizon x y =
-    let sim = setup ~n ~t ~seed ~crashes ~horizon in
+    let sim = setup ~n ~t ~seed ~crashes ~horizon () in
     let behavior = behavior_of ~gst in
     let suspector, info = Oracle.es_x sim ~x ~behavior () in
     let querier, _ = Oracle.ephi_y sim ~y ~behavior () in
@@ -120,7 +132,7 @@ let wheels_cmd =
 
 let psi_cmd =
   let run n t seed crashes gst horizon y =
-    let sim = setup ~n ~t ~seed ~crashes ~horizon in
+    let sim = setup ~n ~t ~seed ~crashes ~horizon () in
     let querier, _ = Oracle.psi_y sim ~y ~behavior:(behavior_of ~gst) () in
     let p = Psi_to_omega.create sim ~querier ~y in
     let omega = Psi_to_omega.omega p in
@@ -144,7 +156,7 @@ let psi_cmd =
 
 let strengthen_cmd =
   let run n t seed crashes gst horizon x y substrate =
-    let sim = setup ~n ~t ~seed ~crashes ~horizon in
+    let sim = setup ~n ~t ~seed ~crashes ~horizon () in
     let behavior = behavior_of ~gst in
     let suspector, _ = Oracle.es_x sim ~x ~behavior () in
     let querier, _ = Oracle.ephi_y sim ~y ~behavior () in
@@ -181,7 +193,7 @@ let strengthen_cmd =
 
 let impl_cmd =
   let run n t seed crashes gst horizon z =
-    let sim = setup ~n ~t ~seed ~crashes ~horizon in
+    let sim = setup ~n ~t ~seed ~crashes ~horizon () in
     let delay = Delay.Psync { gst; bound = 2.0; pre_spread = gst -. 5.0 } in
     let hb = Impl.install sim ~delay () in
     let susp = Impl.suspector hb in
@@ -255,7 +267,7 @@ let irreducibility_cmd =
 (* ---- campaign ---- *)
 
 let campaign_cmd =
-  let run n t crashes gst horizon exp jobs seeds out compare x y z k =
+  let run n t crashes gst horizon exp jobs seeds out compare x y z k legacy_poll =
     let crashes = min crashes t in
     (* One job per seed; each builds its own Sim from the seed, so jobs
        are safe to run on any domain in any order. *)
@@ -269,14 +281,16 @@ let campaign_cmd =
             ("k", Json.Int k);
             ("crashes", Json.Int crashes);
             ("gst", Json.Float gst);
+            ("legacy_poll", Json.Bool legacy_poll);
           ]
         ~replay:
           (Printf.sprintf
              "dune exec bin/fdkit.exe -- kset -n %d -t %d -z %d -k %d --crashes %d \
-              --gst %g --seed %d"
-             n t z k crashes gst seed)
+              --gst %g --seed %d%s"
+             n t z k crashes gst seed
+             (if legacy_poll then " --legacy-poll" else ""))
         (fun () ->
-          let sim = setup ~n ~t ~seed ~crashes ~horizon:5000.0 in
+          let sim = setup ~legacy_poll ~n ~t ~seed ~crashes ~horizon:5000.0 () in
           let omega, _ = Oracle.omega_z sim ~z ~behavior:(behavior_of ~gst) () in
           let proposals = Array.init n (fun i -> 100 + i) in
           let h = Kset.install sim ~omega ~proposals () in
@@ -289,6 +303,10 @@ let campaign_cmd =
                 ("rounds", float_of_int (Kset.max_round h));
                 ("msgs", float_of_int (Kset.messages_sent h));
                 ("latency", o.end_time);
+                ("sched.events", float_of_int o.events);
+                ("sched.pred_evals", float_of_int (Sim.pred_evals sim));
+                ("sched.signals", float_of_int (Sim.cond_signals sim));
+                ("sched.wakeups", float_of_int (Sim.wakeups sim));
               ]
             (Check.verdict_ok v))
     in
@@ -310,7 +328,7 @@ let campaign_cmd =
               --gst %g --horizon %g --seed %d"
              n t x y crashes gst horizon seed)
         (fun () ->
-          let sim = setup ~n ~t ~seed ~crashes ~horizon in
+          let sim = setup ~n ~t ~seed ~crashes ~horizon () in
           let behavior = behavior_of ~gst in
           let suspector, _ = Oracle.es_x sim ~x ~behavior () in
           let querier, _ = Oracle.ephi_y sim ~y ~behavior () in
@@ -345,7 +363,7 @@ let campaign_cmd =
               --horizon %g --seed %d"
              n t y crashes gst horizon seed)
         (fun () ->
-          let sim = setup ~n ~t ~seed ~crashes ~horizon in
+          let sim = setup ~n ~t ~seed ~crashes ~horizon () in
           let querier, _ = Oracle.psi_y sim ~y ~behavior:(behavior_of ~gst) () in
           let p = Psi_to_omega.create sim ~querier ~y in
           let omega = Psi_to_omega.omega p in
@@ -476,7 +494,8 @@ let campaign_cmd =
           commands for every failing seed); exit nonzero if any seed fails.")
     Term.(
       const run $ n_arg $ t_arg $ crashes_arg $ gst_arg $ horizon_arg $ exp_arg $ jobs_arg
-      $ seeds_arg $ out_arg $ compare_arg $ x_arg $ y_arg $ z_arg $ k_arg)
+      $ seeds_arg $ out_arg $ compare_arg $ x_arg $ y_arg $ z_arg $ k_arg
+      $ legacy_poll_arg)
 
 (* ---- grid ---- *)
 

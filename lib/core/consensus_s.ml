@@ -36,7 +36,12 @@ let install sim ~(suspector : Iface.suspector) ~proposals ?(delay = Delay.defaul
   let tb = Sim.t_bound sim in
   if 2 * tb >= n then invalid_arg "Consensus_s.install: requires t < n/2";
   if Array.length proposals <> n then invalid_arg "Consensus_s.install: bad proposals";
-  let net = Net.create sim ~tag:"cons_s" ~delay () in
+  let key_est r = 2 * r and key_aux r = (2 * r) + 1 in
+  let classify = function
+    | Est { r; _ } -> key_est r
+    | Aux { r; _ } -> key_aux r
+  in
+  let net = Net.create sim ~tag:"cons_s" ~delay ~retain:false ~classify () in
   let rb = Rbcast.create sim ~tag:"cons_s.dec" ~delay () in
   let t =
     {
@@ -72,11 +77,14 @@ let install sim ~(suspector : Iface.suspector) ~proposals ?(delay = Delay.defaul
         List.find_map
           (fun (e : msg Net.envelope) ->
             match e.payload with
-            | Est { r; v } when r = round && e.src = coord -> Some v
+            | Est { v; _ } when e.src = coord -> Some v
             | Est _ | Aux _ -> None)
-          (Net.inbox net i)
+          (Net.keyed_envs net i (key_est round))
       in
-      Sim.wait_until (fun () ->
+      (* Reads the suspector's output (clock-derived): poll cadence. *)
+      Sim.Cond.await
+        [ Sim.Cond.poll sim ]
+        (fun () ->
           decided_i ()
           || est_from_coord () <> None
           || Pidset.mem coord (suspector.Iface.suspected i));
@@ -86,20 +94,20 @@ let install sim ~(suspector : Iface.suspector) ~proposals ?(delay = Delay.defaul
            intersect (t < n/2), which is what makes a decision in this
            round sticky in all later rounds. *)
         Net.broadcast net ~src:i (Aux { r = round; aux });
-        let is_aux (e : msg Net.envelope) =
-          match e.payload with Aux { r; _ } -> r = round | Est _ -> false
-        in
-        Sim.wait_until (fun () ->
+        (* Quorum wait: woken only by deliveries to i or its decision. *)
+        Sim.Cond.await
+          [ Net.cond net i; Rbcast.cond rb i ]
+          (fun () ->
             decided_i ()
-            || Pidset.cardinal (Net.distinct_senders net i is_aux) >= n - tb);
+            || Pidset.cardinal (Net.keyed_senders net i (key_aux round)) >= n - tb);
         if not (decided_i ()) then begin
           let recs =
-            List.filter_map
+            List.map
               (fun (e : msg Net.envelope) ->
                 match e.payload with
-                | Aux { r; aux } when r = round -> Some aux
-                | Aux _ | Est _ -> None)
-              (Net.inbox net i)
+                | Aux { aux; _ } -> aux
+                | Est _ -> assert false)
+              (Net.keyed_envs net i (key_aux round))
           in
           let vals = List.sort_uniq compare (List.filter_map Fun.id recs) in
           let has_bot = List.mem None recs in

@@ -84,7 +84,14 @@ let install sim ~omega ~proposals ?(delay = Delay.default) ?(step = 0.05)
   let tb = Sim.t_bound sim in
   if 2 * tb >= n then invalid_arg "Kset.install: requires t < n/2";
   if Array.length proposals <> n then invalid_arg "Kset.install: bad proposals";
-  let net = Net.create sim ~tag:"kset" ~delay ?loss () in
+  (* Round/phase structure as delivery-index keys: readiness checks below
+     are O(1) keyed lookups, and the waits are woken only by deliveries. *)
+  let key_p1 r = 2 * r and key_p2 r = (2 * r) + 1 in
+  let classify = function
+    | Phase1 { r; _ } -> key_p1 r
+    | Phase2 { r; _ } -> key_p2 r
+  in
+  let net = Net.create sim ~tag:"kset" ~delay ~retain:false ~classify ?loss () in
   let rb = Rbcast.create sim ~tag:"kset.dec" ~delay ?stagger:decision_stagger ?loss () in
   let t =
     {
@@ -118,18 +125,25 @@ let install sim ~omega ~proposals ?(delay = Delay.default) ?(step = 0.05)
       (* Phase 1 *)
       let l_i = omega.Iface.trusted i in
       Net.broadcast net ~src:i (Phase1 { r = round; lset = l_i; est = !est });
-      let is_p1 (e : msg Net.envelope) =
-        match e.payload with Phase1 { r; _ } -> r = round | Phase2 _ -> false
-      in
-      Sim.wait_until (fun () ->
+      (* Quorum wait: state only changes on a delivery to i (PHASE1 count)
+         or an R-delivery to i (decision), so subscribe exactly those. *)
+      Sim.Cond.await
+        [ Net.cond net i; Rbcast.cond rb i ]
+        (fun () ->
           decided_i ()
-          || Pidset.cardinal (Net.distinct_senders net i is_p1) >= n - tb);
-      Sim.wait_until (fun () ->
+          || Pidset.cardinal (Net.keyed_senders net i (key_p1 round)) >= n - tb);
+      (* This wait also reads the oracle's output, a function of the clock:
+         no substrate signals it, so it keeps the poll cadence. *)
+      Sim.Cond.await
+        [ Sim.Cond.poll sim ]
+        (fun () ->
           decided_i ()
-          || (not (Pidset.is_empty (Pidset.inter (Net.distinct_senders net i is_p1) l_i)))
+          || (not
+                (Pidset.is_empty
+                   (Pidset.inter (Net.keyed_senders net i (key_p1 round)) l_i)))
           || not (Pidset.equal (omega.Iface.trusted i) l_i));
       if not (decided_i ()) then begin
-        let p1s = Net.recv_filter net i is_p1 in
+        let p1s = Net.keyed_envs net i (key_p1 round) in
         let aux =
           match majority_leader_set p1s ~n with
           | None -> None
@@ -151,20 +165,19 @@ let install sim ~omega ~proposals ?(delay = Delay.default) ?(step = 0.05)
         (* Phase 2 *)
         record_aux t ~round aux;
         Net.broadcast net ~src:i (Phase2 { r = round; aux });
-        let is_p2 (e : msg Net.envelope) =
-          match e.payload with Phase2 { r; _ } -> r = round | Phase1 _ -> false
-        in
-        Sim.wait_until (fun () ->
+        Sim.Cond.await
+          [ Net.cond net i; Rbcast.cond rb i ]
+          (fun () ->
             decided_i ()
-            || Pidset.cardinal (Net.distinct_senders net i is_p2) >= n - tb);
+            || Pidset.cardinal (Net.keyed_senders net i (key_p2 round)) >= n - tb);
         if not (decided_i ()) then begin
           let recs =
-            List.filter_map
+            List.map
               (fun (e : msg Net.envelope) ->
                 match e.payload with
-                | Phase2 { r; aux } when r = round -> Some aux
-                | Phase1 _ | Phase2 _ -> None)
-              (Net.inbox net i)
+                | Phase2 { aux; _ } -> aux
+                | Phase1 _ -> assert false)
+              (Net.keyed_envs net i (key_p2 round))
           in
           let non_bot = List.sort_uniq compare (List.filter_map Fun.id recs) in
           (match non_bot with [] -> () | vs -> est := choose tie_break ~pid:i vs);

@@ -96,7 +96,11 @@ let install sim ~(querier : Iface.querier) ~lower ~ysize ~lsize ?(step = 1.0)
         let _, y = Ring.Upper.decode ring t.pos.(i) in
         t.querier.Iface.query i y
       in
-      Sim.wait_until (fun () -> response_y () <> [] || y_dead ());
+      (* [y_dead] reads the querier (clock-derived), so this wait keeps the
+         poll cadence; responses arrive as deliveries to i. *)
+      Sim.Cond.await
+        [ Sim.Cond.poll sim ]
+        (fun () -> response_y () <> [] || y_dead ());
       if not (y_dead ()) then begin
         let l, _y = Ring.Upper.decode ring t.pos.(i) in
         let rec_from = response_y () in

@@ -2,31 +2,57 @@ open Setagree_util
 
 type event = { time : float; seq : int; run : unit -> unit }
 
-type waiter = {
+(* A condition is a wakeup channel: substrates signal it when state a
+   blocked predicate reads may have changed.  The scheduler re-evaluates a
+   blocked fiber's predicate only when one of its subscribed conditions was
+   signalled — except "poll" waiters (the [wait_until] compatibility shim
+   and oracle-reading waits), which are re-evaluated after every event,
+   reproducing the legacy fixpoint cadence for predicates with no signal
+   discipline. *)
+type cond = { c_owner : t; mutable c_pending : bool }
+
+and waiter = {
   wpid : Pid.t;
   pred : unit -> bool;
+  conds : cond list;
+  poll : bool;
   k : (unit, unit) Effect.Deep.continuation;
 }
 
-type t = {
+and t = {
   n : int;
   t_bound : int;
   rng : Rng.t;
   trace : Trace.t;
   horizon : float;
   max_events : int;
+  legacy_poll : bool;
   events : event Pqueue.t;
   mutable now : float;
   mutable seq : int;
   crashed : bool array;
   crash_at : float option array;
+  (* Registration order (oldest first): resumption order is canonical and
+     identical under the legacy-poll and condition-driven schedulers. *)
   mutable waiters : waiter list;
+  mutable pending_conds : cond list;
+  mutable poll_waiters : int;
+  mutable poll_cond : cond option;
+  (* Scheduler observability (flushed into [trace] at the end of [run]). *)
+  mutable n_pred_evals : int;
+  mutable n_signals : int;
+  mutable n_wakeups : int;
+  mutable fl_pred_evals : int;
+  mutable fl_signals : int;
+  mutable fl_wakeups : int;
+  mutable fl_events : int;
 }
 
 type _ Effect.t +=
   | Sleep : float -> unit Effect.t
   | Yield : unit Effect.t
   | Wait_until : (unit -> bool) -> unit Effect.t
+  | Await : cond list * (unit -> bool) -> unit Effect.t
 
 (* The fiber currently executing performs effects against this dynamically
    scoped context; [spawn] installs it. *)
@@ -35,23 +61,39 @@ let cmp_event a b =
   let c = Float.compare a.time b.time in
   if c <> 0 then c else Int.compare a.seq b.seq
 
-let create ?(horizon = 1e6) ?(max_events = 10_000_000) ~n ~t ~seed () =
+let create ?(horizon = 1e6) ?(max_events = 10_000_000) ?(legacy_poll = false) ~n ~t
+    ~seed () =
   if n < 2 then invalid_arg "Sim.create: n must be >= 2";
   if t < 0 || t >= n then invalid_arg "Sim.create: need 0 <= t < n";
-  {
-    n;
-    t_bound = t;
-    rng = Rng.create seed;
-    trace = Trace.create ();
-    horizon;
-    max_events;
-    events = Pqueue.create ~cmp:cmp_event;
-    now = 0.0;
-    seq = 0;
-    crashed = Array.make n false;
-    crash_at = Array.make n None;
-    waiters = [];
-  }
+  let sim =
+    {
+      n;
+      t_bound = t;
+      rng = Rng.create seed;
+      trace = Trace.create ();
+      horizon;
+      max_events;
+      legacy_poll;
+      events = Pqueue.create ~cmp:cmp_event;
+      now = 0.0;
+      seq = 0;
+      crashed = Array.make n false;
+      crash_at = Array.make n None;
+      waiters = [];
+      pending_conds = [];
+      poll_waiters = 0;
+      poll_cond = None;
+      n_pred_evals = 0;
+      n_signals = 0;
+      n_wakeups = 0;
+      fl_pred_evals = 0;
+      fl_signals = 0;
+      fl_wakeups = 0;
+      fl_events = 0;
+    }
+  in
+  sim.poll_cond <- Some { c_owner = sim; c_pending = false };
+  sim
 
 let n t = t.n
 let t_bound t = t.t_bound
@@ -59,6 +101,10 @@ let rng t = t.rng
 let trace t = t.trace
 let now t = t.now
 let horizon t = t.horizon
+let legacy_poll t = t.legacy_poll
+let pred_evals t = t.n_pred_evals
+let cond_signals t = t.n_signals
+let wakeups t = t.n_wakeups
 
 let schedule t ~delay run =
   if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
@@ -97,12 +143,17 @@ let alive_at t time =
   done;
   !s
 
+let drop_waiter_counts t dropped =
+  List.iter (fun w -> if w.poll then t.poll_waiters <- t.poll_waiters - 1) dropped
+
 let do_crash t pid =
   if not t.crashed.(pid) then begin
     t.crashed.(pid) <- true;
     Trace.record t.trace ~time:t.now (Trace.Crash pid);
     (* Abandoned forever: drop this process's blocked fibers. *)
-    t.waiters <- List.filter (fun w -> w.wpid <> pid) t.waiters
+    let dropped, kept = List.partition (fun w -> w.wpid = pid) t.waiters in
+    drop_waiter_counts t dropped;
+    t.waiters <- kept
   end
 
 let crash_now t pid =
@@ -132,12 +183,36 @@ let sleep d = Effect.perform (Sleep d)
 let yield () = Effect.perform Yield
 let wait_until pred = Effect.perform (Wait_until pred)
 
+module Cond = struct
+  let create t = { c_owner = t; c_pending = false }
+
+  let signal c =
+    let t = c.c_owner in
+    t.n_signals <- t.n_signals + 1;
+    if not c.c_pending then begin
+      c.c_pending <- true;
+      t.pending_conds <- c :: t.pending_conds
+    end
+
+  let poll t = Option.get t.poll_cond
+  let await conds pred = Effect.perform (Await (conds, pred))
+end
+
+let add_waiter t w =
+  if w.poll then t.poll_waiters <- t.poll_waiters + 1;
+  t.waiters <- t.waiters @ [ w ]
+
 let spawn t ~pid body =
   if pid < 0 || pid >= t.n then invalid_arg "Sim.spawn: bad pid";
+  let block ~conds ~poll pred (k : (unit, unit) Effect.Deep.continuation) =
+    t.n_pred_evals <- t.n_pred_evals + 1;
+    if pred () then Effect.Deep.continue k ()
+    else add_waiter t { wpid = pid; pred; conds; poll; k }
+  in
   let handler : (unit, unit) Effect.Deep.handler =
     {
       retc = (fun () -> ());
-      exnc = (fun e -> raise e);
+      exnc = raise;
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
@@ -151,11 +226,17 @@ let spawn t ~pid body =
                 (fun k ->
                   schedule t ~delay:0.0 (fun () ->
                       if not t.crashed.(pid) then Effect.Deep.continue k ()))
-          | Wait_until pred ->
-              Some
-                (fun k ->
-                  if pred () then Effect.Deep.continue k ()
-                  else t.waiters <- { wpid = pid; pred; k } :: t.waiters)
+          | Wait_until pred -> Some (block ~conds:[] ~poll:true pred)
+          | Await (conds, pred) ->
+              List.iter
+                (fun c ->
+                  if c.c_owner != t then
+                    invalid_arg "Sim.Cond.await: condition from another simulator")
+                conds;
+              let poll =
+                match t.poll_cond with Some pc -> List.memq pc conds | None -> false
+              in
+              Some (block ~conds ~poll pred)
           | _ -> None);
     }
   in
@@ -178,68 +259,92 @@ let pp_stop_reason fmt = function
   | Budget -> Format.pp_print_string fmt "budget"
   | Stopped -> Format.pp_print_string fmt "stopped"
 
-(* After each event, wake every blocked fiber whose predicate turned true.
-   Waking a fiber can enable others (zero-time causality chains), so iterate
-   to a fixpoint; the bound catches accidental zero-time livelocks. *)
-let recheck_waiters t =
+(* Wake blocked fibers after an event.  Only waiters with a signalled
+   condition (or poll waiters, or everyone under [legacy_poll]) have their
+   predicate re-evaluated.  Waking a fiber can enable others at the same
+   instant (zero-time causality chains): its signals arm the next round,
+   so iterate to a fixpoint; the bound catches accidental livelocks.
+   Fired fibers resume in registration order (oldest first). *)
+let drain t =
   let rounds = ref 0 in
   let progress = ref true in
   while !progress do
     incr rounds;
     if !rounds > 100_000 then failwith "Sim: zero-time livelock among waiters";
     progress := false;
-    let ws = t.waiters in
     let still = ref [] in
     let fired = ref [] in
     List.iter
       (fun w ->
-        if t.crashed.(w.wpid) then () (* drop *)
-        else if w.pred () then fired := w :: !fired
+        if t.crashed.(w.wpid) then drop_waiter_counts t [ w ] (* drop *)
+        else if t.legacy_poll || w.poll || List.exists (fun c -> c.c_pending) w.conds
+        then begin
+          t.n_pred_evals <- t.n_pred_evals + 1;
+          if w.pred () then fired := w :: !fired else still := w :: !still
+        end
         else still := w :: !still)
-      ws;
-    (* Keep the not-yet-ready waiters; fired ones resume now and may add new
-       waiters to [t.waiters]. *)
-    t.waiters <- !still;
+      t.waiters;
+    t.waiters <- List.rev !still;
+    (* Consume this round's signals before resuming anyone: signals raised
+       by the resumed fibers arm the next round. *)
+    List.iter (fun c -> c.c_pending <- false) t.pending_conds;
+    t.pending_conds <- [];
     match !fired with
     | [] -> ()
     | fs ->
         progress := true;
-        (* Resume in registration order (oldest first) for determinism. *)
         List.iter
-          (fun w -> if not t.crashed.(w.wpid) then Effect.Deep.continue w.k ())
+          (fun w ->
+            drop_waiter_counts t [ w ];
+            if not t.crashed.(w.wpid) then begin
+              t.n_wakeups <- t.n_wakeups + 1;
+              Effect.Deep.continue w.k ()
+            end)
           (List.rev fs)
   done
+
+let flush_sched_counters t ~events =
+  let flush name value flushed =
+    if value > flushed then Trace.add_to t.trace name (value - flushed);
+    value
+  in
+  t.fl_pred_evals <- flush "sched.pred_evals" t.n_pred_evals t.fl_pred_evals;
+  t.fl_signals <- flush "sched.signals" t.n_signals t.fl_signals;
+  t.fl_wakeups <- flush "sched.wakeups" t.n_wakeups t.fl_wakeups;
+  t.fl_events <- flush "sched.events" (t.fl_events + events) t.fl_events
 
 let run ?(stop_when = fun () -> false) (t : t) =
   let events = ref 0 in
   let reason = ref Quiescent in
-  (try
-     let continue_loop = ref true in
-     while !continue_loop do
-       match Pqueue.pop t.events with
-       | None ->
-           reason := Quiescent;
-           continue_loop := false
-       | Some ev ->
-           if ev.time > t.horizon then begin
-             reason := Horizon;
-             t.now <- t.horizon;
-             continue_loop := false
-           end
-           else begin
-             t.now <- Float.max t.now ev.time;
-             ev.run ();
-             incr events;
-             recheck_waiters t;
-             if stop_when () then begin
-               reason := Stopped;
-               continue_loop := false
-             end
-             else if !events >= t.max_events then begin
-               reason := Budget;
-               continue_loop := false
-             end
-           end
-     done
-   with e -> raise e);
+  let continue_loop = ref true in
+  while !continue_loop do
+    match Pqueue.pop t.events with
+    | None ->
+        reason := Quiescent;
+        continue_loop := false
+    | Some ev ->
+        if ev.time > t.horizon then begin
+          reason := Horizon;
+          t.now <- t.horizon;
+          continue_loop := false
+        end
+        else begin
+          t.now <- Float.max t.now ev.time;
+          ev.run ();
+          incr events;
+          if
+            t.waiters <> []
+            && (t.legacy_poll || t.poll_waiters > 0 || t.pending_conds <> [])
+          then drain t;
+          if stop_when () then begin
+            reason := Stopped;
+            continue_loop := false
+          end
+          else if !events >= t.max_events then begin
+            reason := Budget;
+            continue_loop := false
+          end
+        end
+  done;
+  flush_sched_counters t ~events:!events;
   { reason = !reason; events = !events; end_time = t.now }

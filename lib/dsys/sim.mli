@@ -3,10 +3,22 @@
 
     A simulation owns a virtual clock, an event queue and [n] processes.
     Process code runs as OCaml-5 effect fibers: the paper's [wait until]
-    statements map onto {!wait_until}, and the implicit "a process keeps
-    taking steps" assumption onto {!sleep} calls inside loops.  Everything is
-    driven by one seeded {!Setagree_util.Rng.t}: two runs with the same seed
-    and parameters are identical.
+    statements map onto {!Cond.await} / {!wait_until}, and the implicit "a
+    process keeps taking steps" assumption onto {!sleep} calls inside
+    loops.  Everything is driven by one seeded {!Setagree_util.Rng.t}: two
+    runs with the same seed and parameters are identical.
+
+    {b Wakeups are event-driven.}  A blocked fiber subscribes to
+    {!cond}itions; substrates (channels, broadcast layers) signal the
+    conditions whose observable state they changed, and only then is the
+    fiber's predicate re-evaluated.  Predicates with no signal discipline
+    (the {!wait_until} compatibility shim, waits that read oracle state
+    derived from the clock) subscribe to the {!Cond.poll} condition and are
+    re-evaluated after every event — the legacy cadence.  Passing
+    [~legacy_poll:true] to {!create} restores the historical
+    evaluate-everything-after-every-event scheduler; by design both
+    schedulers produce identical executions (the differential qcheck suite
+    in [test/test_sched.ml] pins this down).
 
     {b Crash semantics.}  A crash schedule is fixed before the run.  When a
     process crashes, none of its fibers is ever resumed again; events it had
@@ -23,6 +35,7 @@ type t
 val create :
   ?horizon:float ->
   ?max_events:int ->
+  ?legacy_poll:bool ->
   n:int ->
   t:int ->
   seed:int ->
@@ -30,7 +43,10 @@ val create :
   t
 (** [create ~n ~t ~seed ()] builds a system of [n] processes of which at most
     [t] may crash.  [horizon] (default [1e6]) is the virtual-time limit;
-    [max_events] (default [10_000_000]) bounds the run. *)
+    [max_events] (default [10_000_000]) bounds the run.  [legacy_poll]
+    (default [false]) re-evaluates {e every} blocked predicate after every
+    event instead of only the signalled ones — the pre-condition-variable
+    scheduler, retained for differential testing. *)
 
 val n : t -> int
 val t_bound : t -> int
@@ -42,6 +58,9 @@ val rng : t -> Rng.t
 val trace : t -> Trace.t
 val now : t -> float
 val horizon : t -> float
+
+val legacy_poll : t -> bool
+(** Whether this simulator runs the legacy re-poll-everything scheduler. *)
 
 (** {1 Ground truth (for oracles and checkers)} *)
 
@@ -71,6 +90,38 @@ val correct_set : t -> Pidset.t
 val alive_at : t -> float -> Pidset.t
 (** Processes not crashed at the given time (per the schedule). *)
 
+(** {1 Conditions} *)
+
+type cond
+(** A wakeup channel connecting state changes to blocked fibers. *)
+
+module Cond : sig
+  val create : t -> cond
+  (** A fresh condition owned by the simulator. *)
+
+  val signal : cond -> unit
+  (** Mark the condition signalled.  Fibers blocked in {!await} on it have
+      their predicate re-evaluated after the current event (and again after
+      each round of same-instant wakeups).  Signalling is cheap and
+      idempotent within an event; callers signal unconditionally whenever
+      they changed state a predicate might read. *)
+
+  val await : cond list -> (unit -> bool) -> unit
+  (** [await conds pred] suspends the calling fiber until [pred ()] holds.
+      The predicate is evaluated once immediately, then only when one of
+      [conds] has been signalled — so it must depend exclusively on state
+      whose writers signal one of [conds] (plus crash/decide state covered
+      by the same conditions).  Include [Cond.poll sim] in [conds] for
+      predicates that additionally read clock-derived state (oracle
+      outputs): those are re-evaluated after every event.  Must be called
+      from fiber context; raises [Invalid_argument] on a condition from
+      another simulator. *)
+
+  val poll : t -> cond
+  (** The built-in condition that subscribes a waiter to every event —
+      the compatibility cadence of {!wait_until}. *)
+end
+
 (** {1 Process code (effects)} *)
 
 val spawn : t -> pid:Pid.t -> (unit -> unit) -> unit
@@ -88,8 +139,10 @@ val yield : unit -> unit
     events).  Gives the crash scheduler a chance to interleave. *)
 
 val wait_until : (unit -> bool) -> unit
-(** Suspend until the predicate holds.  The predicate is re-evaluated after
-    every event; it must be monotone-friendly (cheap, side-effect free). *)
+(** Suspend until the predicate holds.  Compatibility shim over
+    [Cond.await [Cond.poll sim] pred]: the predicate is re-evaluated after
+    every event, so it needs no signal discipline; it must be cheap and
+    side-effect free. *)
 
 (** {1 Scheduling primitives (for substrates such as channels)} *)
 
@@ -101,7 +154,7 @@ val at : t -> time:float -> (unit -> unit) -> unit
 (** Run the thunk at an absolute virtual time (>= now). *)
 
 val ticker : t -> every:float -> unit
-(** Install heartbeat events up to the horizon so that [wait_until]
+(** Install heartbeat events up to the horizon so that poll-subscribed
     predicates depending only on the clock (e.g. pull-based oracles) are
     re-evaluated regularly. *)
 
@@ -114,6 +167,20 @@ type outcome = { reason : stop_reason; events : int; end_time : float }
 val run : ?stop_when:(unit -> bool) -> t -> outcome
 (** Process events in (time, seq) order until the queue empties
     ([Quiescent]), the horizon or event budget is hit, or [stop_when]
-    becomes true (checked after each event). *)
+    becomes true (checked after each event).  On return the scheduler
+    counters are flushed into {!trace} under [sched.pred_evals],
+    [sched.signals], [sched.wakeups] and [sched.events]. *)
 
 val pp_stop_reason : Format.formatter -> stop_reason -> unit
+
+(** {1 Scheduler observability} *)
+
+val pred_evals : t -> int
+(** Blocked-predicate evaluations so far (including the immediate check at
+    block time). *)
+
+val cond_signals : t -> int
+(** {!Cond.signal} calls so far. *)
+
+val wakeups : t -> int
+(** Fibers resumed from a blocked wait so far. *)

@@ -12,6 +12,7 @@ let watch sim ?(every = 0.5) ?until ~read () =
   let until = Option.value until ~default:(Sim.horizon sim) in
   let t = { series = Array.make n []; changes = 0 } in
   let poll () =
+    Trace.incr (Sim.trace sim) "monitor.polls";
     let now = Sim.now sim in
     for i = 0 to n - 1 do
       if not (Sim.is_crashed sim i) then begin

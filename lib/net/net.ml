@@ -9,35 +9,64 @@ type 'm envelope = {
   payload : 'm;
 }
 
+(* Per-(destination, key) aggregate maintained incrementally at delivery
+   time, so blocked-predicate readiness checks are O(1) lookups instead of
+   whole-mailbox rescans. *)
+type 'm keyslot = {
+  mutable k_count : int;
+  mutable k_senders : Pidset.t;
+  mutable k_envs : 'm envelope list; (* newest-first; accessor reverses *)
+}
+
 type 'm t = {
   sim : Sim.t;
   tag : string;
   delay : Delay.t;
   rng : Rng.t;
   retain : bool;
+  classify : ('m -> int) option;
   (* When present, sends travel through the stubborn transport over a
      fair-lossy link instead of the direct channel. *)
   transport : (float * 'm) Lossy.Transport.t option;
-  (* Mailboxes store envelopes most-recent-first; [inbox] reverses. *)
-  mutable mailboxes : 'm envelope list array;
-  mutable handlers : ('m envelope -> unit) list;
+  (* Mailboxes are append-only logs in delivery order. *)
+  boxes : 'm envelope Vec.t array;
+  keyed : (int, 'm keyslot) Hashtbl.t array;
+  conds : Sim.cond array;
+  mutable handlers : ('m envelope -> unit) list; (* registration order *)
   mutable sent : int;
   mutable delivered : int;
 }
 
+let index t ~dst (env : 'm envelope) key =
+  let slot =
+    match Hashtbl.find_opt t.keyed.(dst) key with
+    | Some s -> s
+    | None ->
+        let s = { k_count = 0; k_senders = Pidset.empty; k_envs = [] } in
+        Hashtbl.add t.keyed.(dst) key s;
+        s
+  in
+  slot.k_count <- slot.k_count + 1;
+  slot.k_senders <- Pidset.add env.src slot.k_senders;
+  slot.k_envs <- env :: slot.k_envs
+
 let deliver t ~src ~dst ~sent_at payload () =
   if not (Sim.is_crashed t.sim dst) then begin
     let env = { src; dst; sent_at; delivered_at = Sim.now t.sim; payload } in
-    if t.retain then t.mailboxes.(dst) <- env :: t.mailboxes.(dst);
+    if t.retain then Vec.push t.boxes.(dst) env;
+    (match t.classify with Some f -> index t ~dst env (f payload) | None -> ());
     t.delivered <- t.delivered + 1;
     Trace.incr (Sim.trace t.sim) (t.tag ^ ".delivered");
-    List.iter (fun h -> h env) (List.rev t.handlers)
+    List.iter (fun h -> h env) t.handlers;
+    Sim.Cond.signal t.conds.(dst)
   end
 
-let create sim ?(tag = "net") ?(delay = Delay.default) ?(retain = true) ?loss () =
+let create sim ?(tag = "net") ?(delay = Delay.default) ?(retain = true) ?classify
+    ?loss () =
   let transport =
     Option.map (fun loss -> Lossy.Transport.create sim ~tag:(tag ^ ".l") ~delay ~loss ()) loss
   in
+  let n = Sim.n sim in
   let t =
     {
       sim;
@@ -45,8 +74,11 @@ let create sim ?(tag = "net") ?(delay = Delay.default) ?(retain = true) ?loss ()
       delay;
       rng = Rng.split_named (Sim.rng sim) ("net:" ^ tag);
       retain;
+      classify;
       transport;
-      mailboxes = Array.make (Sim.n sim) [];
+      boxes = Array.init n (fun _ -> Vec.create ());
+      keyed = Array.init n (fun _ -> Hashtbl.create 16);
+      conds = Array.init n (fun _ -> Sim.Cond.create sim);
       handlers = [];
       sent = 0;
       delivered = 0;
@@ -60,6 +92,7 @@ let create sim ?(tag = "net") ?(delay = Delay.default) ?(retain = true) ?loss ()
   t
 
 let sim t = t.sim
+let cond t pid = t.conds.(pid)
 
 let send_at t ~src ~dst ~deliver_at payload =
   if not (Sim.is_crashed t.sim src) then begin
@@ -100,17 +133,33 @@ let broadcast_staggered t ~src ~step payload =
   in
   go 0
 
-let inbox t pid = List.rev t.mailboxes.(pid)
+let inbox t pid = Vec.to_list t.boxes.(pid)
 let recv_filter t pid f = List.filter f (inbox t pid)
 
 let recv_count t pid f =
-  List.fold_left (fun acc e -> if f e then acc + 1 else acc) 0 t.mailboxes.(pid)
+  Vec.fold_left (fun acc e -> if f e then acc + 1 else acc) 0 t.boxes.(pid)
 
 let distinct_senders t pid f =
-  List.fold_left
+  Vec.fold_left
     (fun acc e -> if f e then Pidset.add e.src acc else acc)
-    Pidset.empty t.mailboxes.(pid)
+    Pidset.empty t.boxes.(pid)
 
-let on_deliver t h = t.handlers <- h :: t.handlers
+let mail_cursor t pid = Vec.length t.boxes.(pid)
+let recv_since t pid ~cursor = Vec.list_from t.boxes.(pid) ~cursor
+
+let keyed_count t pid key =
+  match Hashtbl.find_opt t.keyed.(pid) key with Some s -> s.k_count | None -> 0
+
+let keyed_senders t pid key =
+  match Hashtbl.find_opt t.keyed.(pid) key with
+  | Some s -> s.k_senders
+  | None -> Pidset.empty
+
+let keyed_envs t pid key =
+  match Hashtbl.find_opt t.keyed.(pid) key with
+  | Some s -> List.rev s.k_envs
+  | None -> []
+
+let on_deliver t h = t.handlers <- t.handlers @ [ h ]
 let sent_count t = t.sent
 let delivered_count t = t.delivered

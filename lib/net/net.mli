@@ -7,7 +7,16 @@
 
     One ['m t] carries one protocol's message type; layered protocols (e.g.
     the two wheels under a k-set agreement) each create their own network
-    over the same simulator, mirroring the paper's module structure. *)
+    over the same simulator, mirroring the paper's module structure.
+
+    {b Mailboxes are indexed.}  Each destination owns an append-only log
+    read either whole ({!inbox}), incrementally ({!recv_since} with a
+    cursor), or through per-key aggregates maintained at delivery time
+    when a {!create}-time [classify] function maps payloads to integer
+    keys: {!keyed_count}, {!keyed_senders} and {!keyed_envs} are O(1)/
+    O(matches) lookups, never mailbox rescans.  Every delivery to [dst]
+    signals {!cond}[ t dst], which is what {!Setagree_dsys.Sim.Cond.await}
+    predicates over this network subscribe to. *)
 
 open Setagree_util
 open Setagree_dsys
@@ -23,7 +32,14 @@ type 'm envelope = {
 type 'm t
 
 val create :
-  Sim.t -> ?tag:string -> ?delay:Delay.t -> ?retain:bool -> ?loss:float -> unit -> 'm t
+  Sim.t ->
+  ?tag:string ->
+  ?delay:Delay.t ->
+  ?retain:bool ->
+  ?classify:('m -> int) ->
+  ?loss:float ->
+  unit ->
+  'm t
 (** [create sim ~tag ~delay ()] — [tag] names the protocol in traces and
     counters (default ["net"]); [delay] defaults to {!Delay.default}.
     Delay draws come from an RNG split off the simulator's root with the
@@ -32,6 +48,10 @@ val create :
     {!inbox}-style reads; protocols that consume messages purely through
     {!on_deliver} callbacks should pass [false] so unbounded runs stay in
     bounded memory.
+    [classify]: map each payload to an integer key maintained in the
+    per-(destination, key) delivery index — the protocol's round/phase
+    structure, typically.  Classification happens on every delivery even
+    with [retain = false].
     [loss]: when given, every {!send} travels through a stubborn reliable
     transport over a fair-lossy link dropping that fraction of copies
     ({!Lossy.Transport}) — same delivery guarantees between correct
@@ -39,6 +59,11 @@ val create :
     direct (it is the adversary's injection primitive, not a channel). *)
 
 val sim : 'm t -> Sim.t
+
+val cond : 'm t -> Pid.t -> Sim.cond
+(** The destination's delivery condition: signalled on every delivery to
+    the process.  Subscribe {!Sim.Cond.await} predicates that read this
+    process's mailbox state to it. *)
 
 val send : 'm t -> src:Pid.t -> dst:Pid.t -> 'm -> unit
 (** Asynchronous send; returns immediately.  No-op if [src] already
@@ -69,10 +94,29 @@ val distinct_senders : 'm t -> Pid.t -> ('m envelope -> bool) -> Pidset.t
 (** Senders of matching delivered messages — the "received from n-t
     processes" guards count distinct senders. *)
 
+val mail_cursor : 'm t -> Pid.t -> int
+(** Current length of the process's mailbox log; pass to {!recv_since}
+    later to read only what arrived in between. *)
+
+val recv_since : 'm t -> Pid.t -> cursor:int -> 'm envelope list
+(** Envelopes appended at positions [>= cursor], in delivery order. *)
+
+(** {1 Keyed delivery index} (requires [classify] at {!create}) *)
+
+val keyed_count : 'm t -> Pid.t -> int -> int
+(** Deliveries to the process whose payload classified to the key. *)
+
+val keyed_senders : 'm t -> Pid.t -> int -> Pidset.t
+(** Distinct senders among them — the O(1) form of the "received PHASE1(r)
+    from n-t processes" readiness checks. *)
+
+val keyed_envs : 'm t -> Pid.t -> int -> 'm envelope list
+(** The matching envelopes, in delivery order. *)
+
 val on_deliver : 'm t -> ('m envelope -> unit) -> unit
 (** Register a callback run at each delivery (after the mailbox append and
-    only if the destination is alive).  Used for the paper's "when m is
-    delivered" tasks. *)
+    only if the destination is alive).  Callbacks run in registration
+    order.  Used for the paper's "when m is delivered" tasks. *)
 
 val sent_count : 'm t -> int
 (** Total messages sent through this network. *)

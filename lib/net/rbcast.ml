@@ -9,9 +9,11 @@ type 'm t = {
   net : 'm tagged Net.t;
   stagger : float option;
   seen : (Pid.t * int, unit) Hashtbl.t array;
-  rdelivered : 'm delivery list array;
+  (* R-deliveries per process, an append-only log in delivery order. *)
+  rdelivered : 'm delivery Vec.t array;
+  conds : Sim.cond array;
   mutable next_uid : int array;
-  mutable handlers : (Pid.t -> 'm delivery -> unit) list;
+  mutable handlers : (Pid.t -> 'm delivery -> unit) list; (* registration order *)
 }
 
 let relay t ~src msg =
@@ -21,8 +23,9 @@ let relay t ~src msg =
 
 let rdeliver t pid (msg : 'm tagged) at =
   let d = { origin = msg.torigin; body = msg.body; at } in
-  t.rdelivered.(pid) <- d :: t.rdelivered.(pid);
-  List.iter (fun h -> h pid d) (List.rev t.handlers)
+  Vec.push t.rdelivered.(pid) d;
+  List.iter (fun h -> h pid d) t.handlers;
+  Sim.Cond.signal t.conds.(pid)
 
 (* First receipt: relay before delivering, so that if this process is
    correct, everyone eventually gets the message (Termination). *)
@@ -41,7 +44,8 @@ let create sim ?(tag = "rbcast") ?(delay = Delay.default) ?stagger ?loss () =
       net = Net.create sim ~tag ~delay ?loss ();
       stagger;
       seen = Array.init n (fun _ -> Hashtbl.create 64);
-      rdelivered = Array.make n [];
+      rdelivered = Array.init n (fun _ -> Vec.create ());
+      conds = Array.init n (fun _ -> Sim.Cond.create sim);
       next_uid = Array.make n 0;
       handlers = [];
     }
@@ -50,6 +54,7 @@ let create sim ?(tag = "rbcast") ?(delay = Delay.default) ?stagger ?loss () =
   t
 
 let sim t = t.sim
+let cond t pid = t.conds.(pid)
 
 let broadcast t ~src body =
   if not (Sim.is_crashed t.sim src) then begin
@@ -63,10 +68,10 @@ let broadcast t ~src body =
     rdeliver t src msg (Sim.now t.sim)
   end
 
-let delivered t pid = List.rev t.rdelivered.(pid)
+let delivered t pid = Vec.to_list t.rdelivered.(pid)
 
 let delivered_count t pid f =
-  List.fold_left (fun acc d -> if f d then acc + 1 else acc) 0 t.rdelivered.(pid)
+  Vec.fold_left (fun acc d -> if f d then acc + 1 else acc) 0 t.rdelivered.(pid)
 
-let on_deliver t h = t.handlers <- h :: t.handlers
+let on_deliver t h = t.handlers <- t.handlers @ [ h ]
 let underlying_sent t = Net.sent_count t.net

@@ -28,6 +28,12 @@ val create :
 
 val sim : 'm t -> Sim.t
 
+val cond : 'm t -> Pid.t -> Sim.cond
+(** The process's R-delivery condition: signalled at each of its
+    R-deliveries.  Subscribe {!Sim.Cond.await} predicates that read state
+    updated by this process's {!on_deliver} callbacks (e.g. a "decided"
+    flag) to it. *)
+
 val broadcast : 'm t -> src:Pid.t -> 'm -> unit
 (** R-broadcast.  No-op if [src] has crashed. *)
 

@@ -1,17 +1,19 @@
-(** Sets of process identities, backed by a bitset in a single [int].
+(** Sets of process identities, backed by a multi-word bitset.
 
     All the paper's algorithms manipulate subsets of [Pi] (suspected sets,
     trusted sets, the query regions of [phi_y], the wheel sets [X], [Y],
-    [L]).  With [n <= 62] a native [int] bitset gives O(1) set operations,
-    structural equality, and a total order — all of which the wheel rings
-    rely on. *)
+    [L]).  Small universes (n up to one machine word) stay a single-chunk
+    bitset with O(1) set operations; larger universes — the campaign
+    engine sweeps n = 64, 128 processes — spill into further chunks.  The
+    representation is canonical (no trailing zero chunks), so structural
+    equality and a total order hold — which the wheel rings rely on. *)
 
 type t
 (** An immutable set of pids.  Structural equality and [compare] are
     meaningful (sets are canonical). *)
 
 val max_size : int
-(** Largest supported universe size (62 on 64-bit platforms). *)
+(** Largest supported universe size (1024). *)
 
 val empty : t
 

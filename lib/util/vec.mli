@@ -1,0 +1,25 @@
+(** Append-only growable vector (amortized O(1) push, O(1) random access).
+
+    The network layer's mailboxes are append-only logs read through
+    cursors; a dynamic array keeps appends O(1) and "everything since
+    index i" reads O(new items), where the previous list-based mailboxes
+    paid a full reverse-and-rescan per read. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument when out of bounds. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+
+val to_list : 'a t -> 'a list
+(** In append order. *)
+
+val list_from : 'a t -> cursor:int -> 'a list
+(** Elements at indices [>= cursor], in append order — the cursor-based
+    "new since last read" primitive. *)

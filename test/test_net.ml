@@ -175,6 +175,79 @@ let test_counters () =
   check_int "sent" 5 (Net.sent_count net);
   check_int "delivered" 5 (Net.delivered_count net)
 
+let test_cursor_recv_since () =
+  let sim = mk () in
+  let net : int Net.t = Net.create sim ~delay:(Delay.Constant 1.0) () in
+  Net.send net ~src:0 ~dst:1 1;
+  Net.send net ~src:2 ~dst:1 2;
+  ignore (Sim.run sim);
+  let c = Net.mail_cursor net 1 in
+  check_int "cursor = mailbox length" 2 c;
+  Net.send net ~src:0 ~dst:1 3;
+  ignore (Sim.run sim);
+  Alcotest.(check (list int)) "only what arrived after the cursor" [ 3 ]
+    (List.map (fun e -> e.Net.payload) (Net.recv_since net 1 ~cursor:c));
+  Alcotest.(check (list int)) "cursor 0 = whole inbox"
+    (List.map (fun e -> e.Net.payload) (Net.inbox net 1))
+    (List.map (fun e -> e.Net.payload) (Net.recv_since net 1 ~cursor:0))
+
+let test_keyed_index_matches_filters () =
+  (* The delivery-time keyed index must agree with the old rescan-the-inbox
+     accessors, including order. *)
+  let sim = mk ~seed:9 () in
+  let net : int Net.t =
+    Net.create sim ~delay:(Delay.Uniform (0.1, 3.0)) ~classify:(fun m -> m mod 2) ()
+  in
+  for i = 1 to 40 do
+    Net.send net ~src:(i mod 4) ~dst:4 i
+  done;
+  ignore (Sim.run sim);
+  List.iter
+    (fun key ->
+      let f (e : int Net.envelope) = e.payload mod 2 = key in
+      check_int "count" (Net.recv_count net 4 f) (Net.keyed_count net 4 key);
+      check "senders" true
+        (Pidset.equal (Net.distinct_senders net 4 f) (Net.keyed_senders net 4 key));
+      Alcotest.(check (list int)) "envelopes in delivery order"
+        (List.map (fun e -> e.Net.payload) (Net.recv_filter net 4 f))
+        (List.map (fun e -> e.Net.payload) (Net.keyed_envs net 4 key)))
+    [ 0; 1 ];
+  check_int "absent key count" 0 (Net.keyed_count net 4 7);
+  check "absent key senders" true (Pidset.is_empty (Net.keyed_senders net 4 7));
+  check_int "absent key envs" 0 (List.length (Net.keyed_envs net 4 7))
+
+let test_keyed_index_with_retain_false () =
+  let sim = mk () in
+  let net : int Net.t = Net.create sim ~retain:false ~classify:(fun m -> m) () in
+  Net.send net ~src:0 ~dst:1 5;
+  Net.send net ~src:2 ~dst:1 5;
+  ignore (Sim.run sim);
+  check_int "inbox empty" 0 (List.length (Net.inbox net 1));
+  check_int "keyed count still maintained" 2 (Net.keyed_count net 1 5);
+  check "keyed senders still maintained" true
+    (Pidset.equal (Pidset.of_list [ 0; 2 ]) (Net.keyed_senders net 1 5))
+
+let test_handlers_run_in_registration_order () =
+  let sim = mk () in
+  let net : int Net.t = Net.create sim () in
+  let order = ref [] in
+  Net.on_deliver net (fun _ -> order := 1 :: !order);
+  Net.on_deliver net (fun _ -> order := 2 :: !order);
+  Net.send net ~src:0 ~dst:1 0;
+  ignore (Sim.run sim);
+  Alcotest.(check (list int)) "registration order" [ 1; 2 ] (List.rev !order)
+
+let test_delivery_signals_cond () =
+  let sim = mk () in
+  let net : int Net.t = Net.create sim ~delay:(Delay.Constant 1.0) () in
+  let woke = ref false in
+  Sim.spawn sim ~pid:1 (fun () ->
+      Sim.Cond.await [ Net.cond net 1 ] (fun () -> Net.inbox net 1 <> []);
+      woke := true);
+  Net.send net ~src:0 ~dst:1 5;
+  ignore (Sim.run sim);
+  check "delivery woke the waiter" true !woke
+
 (* Reliable broadcast *)
 
 let test_rb_basic_delivery () =
@@ -278,6 +351,29 @@ let test_rb_on_deliver_callback () =
   Rbcast.broadcast rb ~src:0 1;
   ignore (Sim.run sim);
   check_int "one callback per process" 5 !count
+
+let test_rb_cond_signalled_on_rdelivery () =
+  let sim = mk ~n:5 () in
+  let rb : int Rbcast.t = Rbcast.create sim () in
+  let decided = ref false in
+  Rbcast.on_deliver rb (fun pid _ -> if pid = 3 then decided := true);
+  let woke = ref false in
+  Sim.spawn sim ~pid:3 (fun () ->
+      Sim.Cond.await [ Rbcast.cond rb 3 ] (fun () -> !decided);
+      woke := true);
+  Sim.schedule sim ~delay:1.0 (fun () -> Rbcast.broadcast rb ~src:0 9);
+  ignore (Sim.run sim);
+  check "R-delivery woke the waiter" true !woke
+
+let test_rb_handlers_registration_order () =
+  let sim = mk ~n:5 () in
+  let rb : int Rbcast.t = Rbcast.create sim () in
+  let order = ref [] in
+  Rbcast.on_deliver rb (fun pid _ -> if pid = 0 then order := 1 :: !order);
+  Rbcast.on_deliver rb (fun pid _ -> if pid = 0 then order := 2 :: !order);
+  Rbcast.broadcast rb ~src:0 1;
+  ignore (Sim.run sim);
+  Alcotest.(check (list int)) "registration order" [ 1; 2 ] (List.rev !order)
 
 let test_rb_delivery_order_can_differ () =
   (* Non-FIFO: two messages R-broadcast close together can be R-delivered in
@@ -401,6 +497,11 @@ let () =
           Alcotest.test_case "on_deliver" `Quick test_on_deliver_callbacks;
           Alcotest.test_case "retain:false" `Quick test_retain_false_empty_inbox;
           Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "cursors" `Quick test_cursor_recv_since;
+          Alcotest.test_case "keyed index" `Quick test_keyed_index_matches_filters;
+          Alcotest.test_case "keyed w/o retain" `Quick test_keyed_index_with_retain_false;
+          Alcotest.test_case "handler order" `Quick test_handlers_run_in_registration_order;
+          Alcotest.test_case "delivery signals cond" `Quick test_delivery_signals_cond;
         ] );
       ( "rbcast",
         [
@@ -411,6 +512,8 @@ let () =
           Alcotest.test_case "validity" `Quick test_rb_validity_no_spurious;
           Alcotest.test_case "uniform delivery" `Quick test_rb_agreement_same_set_everywhere;
           Alcotest.test_case "callbacks" `Quick test_rb_on_deliver_callback;
+          Alcotest.test_case "cond on R-delivery" `Quick test_rb_cond_signalled_on_rdelivery;
+          Alcotest.test_case "handler order" `Quick test_rb_handlers_registration_order;
           Alcotest.test_case "order can differ" `Quick test_rb_delivery_order_can_differ;
         ] );
       ( "lossy",

@@ -1,0 +1,288 @@
+(* Tests for the event-driven scheduler (Sim.Cond): condition mechanics,
+   observability counters, and the differential property the refactor rests
+   on — the condition-based and legacy-poll schedulers produce {e identical}
+   executions (decisions with times, rounds, stop reasons, event counts)
+   for the same seed, across algorithms, crash schedules and oracle
+   behaviours.  The legacy scheduler re-evaluates every blocked predicate
+   after every event; the condition scheduler only the signalled ones, so
+   the comparison also pins down the signal-completeness of the substrates
+   (every state change a predicate can read signals the right condition). *)
+
+open Setagree_util
+open Setagree_dsys
+open Setagree_fd
+open Setagree_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Condition mechanics --- *)
+
+let test_signal_wakes_when_pred_holds () =
+  let sim = Sim.create ~n:2 ~t:0 ~seed:1 () in
+  let c = Sim.Cond.create sim in
+  let flag = ref false in
+  let woke_at = ref (-1.0) in
+  Sim.spawn sim ~pid:0 (fun () ->
+      Sim.Cond.await [ c ] (fun () -> !flag);
+      woke_at := Sim.now sim);
+  Sim.schedule sim ~delay:3.0 (fun () ->
+      flag := true;
+      Sim.Cond.signal c);
+  ignore (Sim.run sim);
+  Alcotest.(check (float 1e-9)) "woken at the signalling event" 3.0 !woke_at
+
+let test_signal_with_false_pred_keeps_blocked () =
+  let sim = Sim.create ~n:2 ~t:0 ~seed:1 () in
+  let c = Sim.Cond.create sim in
+  let woke = ref false in
+  Sim.spawn sim ~pid:0 (fun () ->
+      Sim.Cond.await [ c ] (fun () -> false);
+      woke := true);
+  Sim.schedule sim ~delay:1.0 (fun () -> Sim.Cond.signal c);
+  ignore (Sim.run sim);
+  check "spurious signal did not wake" false !woke
+
+let test_no_signal_no_reevaluation () =
+  (* The whole point: a condition waiter's predicate is NOT re-evaluated by
+     unrelated events. *)
+  let sim = Sim.create ~n:2 ~t:0 ~seed:1 () in
+  let c = Sim.Cond.create sim in
+  let evals = ref 0 in
+  Sim.spawn sim ~pid:0 (fun () ->
+      Sim.Cond.await [ c ]
+        (fun () ->
+          incr evals;
+          false));
+  for i = 1 to 50 do
+    Sim.schedule sim ~delay:(float_of_int i) (fun () -> ())
+  done;
+  ignore (Sim.run sim);
+  check_int "evaluated once, at block time" 1 !evals
+
+let test_poll_cond_reevaluated_every_event () =
+  let sim = Sim.create ~n:2 ~t:0 ~seed:1 () in
+  let evals = ref 0 in
+  Sim.spawn sim ~pid:0 (fun () ->
+      Sim.Cond.await
+        [ Sim.Cond.poll sim ]
+        (fun () ->
+          incr evals;
+          false));
+  for i = 1 to 10 do
+    Sim.schedule sim ~delay:(float_of_int i) (fun () -> ())
+  done;
+  ignore (Sim.run sim);
+  (* Block-time evaluation + one per subsequent event. *)
+  check "re-evaluated at each event" true (!evals >= 10)
+
+let test_any_of_several_conds_wakes () =
+  let sim = Sim.create ~n:2 ~t:0 ~seed:1 () in
+  let a = Sim.Cond.create sim and b = Sim.Cond.create sim in
+  let flag = ref false in
+  let woke = ref false in
+  Sim.spawn sim ~pid:0 (fun () ->
+      Sim.Cond.await [ a; b ] (fun () -> !flag);
+      woke := true);
+  Sim.schedule sim ~delay:2.0 (fun () ->
+      flag := true;
+      Sim.Cond.signal b);
+  ignore (Sim.run sim);
+  check "second condition suffices" true !woke
+
+let test_foreign_cond_rejected () =
+  let sim = Sim.create ~n:2 ~t:0 ~seed:1 () in
+  let other = Sim.create ~n:2 ~t:0 ~seed:2 () in
+  let c = Sim.Cond.create other in
+  Sim.spawn sim ~pid:0 (fun () -> Sim.Cond.await [ c ] (fun () -> true));
+  check "foreign condition rejected" true
+    (try
+       ignore (Sim.run sim);
+       false
+     with Invalid_argument _ -> true)
+
+let test_crashed_waiter_dropped_not_resumed () =
+  let sim = Sim.create ~n:3 ~t:1 ~seed:1 () in
+  Sim.install_crashes sim [ (0, 5.0) ];
+  let c = Sim.Cond.create sim in
+  let flag = ref false in
+  let woke = ref false in
+  Sim.spawn sim ~pid:0 (fun () ->
+      Sim.Cond.await [ c ] (fun () -> !flag);
+      woke := true);
+  Sim.schedule sim ~delay:10.0 (fun () ->
+      flag := true;
+      Sim.Cond.signal c);
+  ignore (Sim.run sim);
+  check "crashed fiber never resumed" false !woke
+
+let test_zero_time_wakeup_chain () =
+  (* Waking one fiber signals the next at the same instant: the drain must
+     iterate to a fixpoint within the event. *)
+  let sim = Sim.create ~n:4 ~t:0 ~seed:1 () in
+  let conds = Array.init 3 (fun _ -> Sim.Cond.create sim) in
+  let stage = ref 0 in
+  let done_at = ref (-1.0) in
+  for i = 0 to 2 do
+    Sim.spawn sim ~pid:i (fun () ->
+        Sim.Cond.await [ conds.(i) ] (fun () -> !stage >= i + 1);
+        if i < 2 then begin
+          stage := i + 2;
+          Sim.Cond.signal conds.(i + 1)
+        end
+        else done_at := Sim.now sim)
+  done;
+  Sim.schedule sim ~delay:1.0 (fun () ->
+      stage := 1;
+      Sim.Cond.signal conds.(0));
+  ignore (Sim.run sim);
+  Alcotest.(check (float 1e-9)) "whole chain fired in one instant" 1.0 !done_at
+
+(* --- Observability --- *)
+
+let run_kset_mode ~legacy_poll ~seed ~n ~t ~z ~crashes () =
+  let sim = Sim.create ~horizon:3000.0 ~legacy_poll ~n ~t ~seed () in
+  let rng = Rng.split_named (Sim.rng sim) "crash" in
+  Sim.install_crashes sim
+    (Crash.generate (Crash.Exactly { crashes; window = (0.0, 30.0) }) ~n ~t rng);
+  let omega, _ = Oracle.omega_z sim ~z ~behavior:(Behavior.stormy ~gst:40.0) () in
+  let proposals = Array.init n (fun i -> 100 + i) in
+  let h = Kset.install sim ~omega ~proposals () in
+  let o = Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim in
+  (sim, h, o)
+
+let test_counters_populated_and_flushed () =
+  let sim, _, o = run_kset_mode ~legacy_poll:false ~seed:3 ~n:7 ~t:3 ~z:2 ~crashes:2 () in
+  check "pred evals counted" true (Sim.pred_evals sim > 0);
+  check "signals counted" true (Sim.cond_signals sim > 0);
+  check "wakeups counted" true (Sim.wakeups sim > 0);
+  let tr = Sim.trace sim in
+  check_int "pred_evals flushed to trace" (Sim.pred_evals sim)
+    (Trace.counter tr "sched.pred_evals");
+  check_int "signals flushed to trace" (Sim.cond_signals sim)
+    (Trace.counter tr "sched.signals");
+  check_int "wakeups flushed to trace" (Sim.wakeups sim)
+    (Trace.counter tr "sched.wakeups");
+  check_int "events flushed to trace" o.Sim.events (Trace.counter tr "sched.events")
+
+let test_cond_mode_evaluates_fewer_predicates () =
+  (* The acceptance criterion in miniature: same run, far fewer predicate
+     evaluations under the condition scheduler. *)
+  let sim_c, _, _ = run_kset_mode ~legacy_poll:false ~seed:3 ~n:9 ~t:4 ~z:2 ~crashes:2 () in
+  let sim_l, _, _ = run_kset_mode ~legacy_poll:true ~seed:3 ~n:9 ~t:4 ~z:2 ~crashes:2 () in
+  check "strictly fewer evaluations" true (Sim.pred_evals sim_c < Sim.pred_evals sim_l)
+
+(* --- Differential: condition scheduler == legacy-poll scheduler --- *)
+
+type fingerprint = {
+  decisions : (Pid.t * int * int * float) list;
+  rounds : int;
+  reason : Sim.stop_reason;
+  events : int;
+  end_time : float;
+  verdict_ok : bool;
+}
+
+let fingerprint_kset ~legacy_poll ~seed ~n ~t ~z ~crashes () =
+  let sim, h, o = run_kset_mode ~legacy_poll ~seed ~n ~t ~z ~crashes () in
+  let proposals = Array.init n (fun i -> 100 + i) in
+  let v = Check.k_set_agreement sim ~k:z ~proposals ~decisions:(Kset.decisions h) in
+  {
+    decisions = Kset.decisions h;
+    rounds = Kset.max_round h;
+    reason = o.Sim.reason;
+    events = o.Sim.events;
+    end_time = o.Sim.end_time;
+    verdict_ok = Check.verdict_ok v;
+  }
+
+let fingerprint_cons_s ~legacy_poll ~seed ~n ~t ~crashes () =
+  let sim = Sim.create ~horizon:3000.0 ~legacy_poll ~n ~t ~seed () in
+  let rng = Rng.split_named (Sim.rng sim) "crash" in
+  Sim.install_crashes sim
+    (Crash.generate (Crash.Exactly { crashes; window = (0.0, 25.0) }) ~n ~t rng);
+  let suspector, _ = Oracle.es_x sim ~x:n ~behavior:(Behavior.stormy ~gst:40.0) () in
+  let proposals = Array.init n (fun i -> 100 + i) in
+  let h = Consensus_s.install sim ~suspector ~proposals () in
+  let o = Sim.run ~stop_when:(fun () -> Consensus_s.all_correct_decided h) sim in
+  let v = Check.k_set_agreement sim ~k:1 ~proposals ~decisions:(Consensus_s.decisions h) in
+  {
+    decisions = Consensus_s.decisions h;
+    rounds = Consensus_s.max_round h;
+    reason = o.Sim.reason;
+    events = o.Sim.events;
+    end_time = o.Sim.end_time;
+    verdict_ok = Check.verdict_ok v;
+  }
+
+let same_fingerprint label a b =
+  if a <> b then
+    Alcotest.failf "%s: schedulers diverge (%d vs %d decisions, %d vs %d rounds, %d vs %d events)"
+      label (List.length a.decisions) (List.length b.decisions) a.rounds b.rounds
+      a.events b.events
+
+let test_differential_kset_seeds () =
+  for seed = 1 to 10 do
+    let a = fingerprint_kset ~legacy_poll:false ~seed ~n:7 ~t:3 ~z:2 ~crashes:2 () in
+    let b = fingerprint_kset ~legacy_poll:true ~seed ~n:7 ~t:3 ~z:2 ~crashes:2 () in
+    same_fingerprint (Printf.sprintf "kset seed %d" seed) a b;
+    check "verdict ok" true a.verdict_ok
+  done
+
+let test_differential_cons_s_seeds () =
+  for seed = 1 to 10 do
+    let a = fingerprint_cons_s ~legacy_poll:false ~seed ~n:7 ~t:3 ~crashes:2 () in
+    let b = fingerprint_cons_s ~legacy_poll:true ~seed ~n:7 ~t:3 ~crashes:2 () in
+    same_fingerprint (Printf.sprintf "cons_s seed %d" seed) a b;
+    check "verdict ok" true a.verdict_ok
+  done
+
+let qcheck_differential_kset =
+  QCheck.Test.make ~name:"random (seed, z, crashes): cond == legacy-poll" ~count:20
+    (QCheck.make
+       ~print:(fun (s, z, c) -> Printf.sprintf "seed=%d z=%d crashes=%d" s z c)
+       QCheck.Gen.(triple (int_range 100 50_000) (int_range 1 3) (int_range 0 3)))
+    (fun (seed, z, crashes) ->
+      let a = fingerprint_kset ~legacy_poll:false ~seed ~n:7 ~t:3 ~z ~crashes () in
+      let b = fingerprint_kset ~legacy_poll:true ~seed ~n:7 ~t:3 ~z ~crashes () in
+      a = b && a.verdict_ok)
+
+let qcheck_differential_cons_s =
+  QCheck.Test.make ~name:"random (seed, crashes): cons_s cond == legacy-poll" ~count:10
+    (QCheck.make
+       ~print:(fun (s, c) -> Printf.sprintf "seed=%d crashes=%d" s c)
+       QCheck.Gen.(pair (int_range 100 50_000) (int_range 0 3)))
+    (fun (seed, crashes) ->
+      let a = fingerprint_cons_s ~legacy_poll:false ~seed ~n:7 ~t:3 ~crashes () in
+      let b = fingerprint_cons_s ~legacy_poll:true ~seed ~n:7 ~t:3 ~crashes () in
+      a = b && a.verdict_ok)
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "cond",
+        [
+          Alcotest.test_case "signal wakes" `Quick test_signal_wakes_when_pred_holds;
+          Alcotest.test_case "spurious signal" `Quick test_signal_with_false_pred_keeps_blocked;
+          Alcotest.test_case "no signal, no re-eval" `Quick test_no_signal_no_reevaluation;
+          Alcotest.test_case "poll cadence" `Quick test_poll_cond_reevaluated_every_event;
+          Alcotest.test_case "any-of wakes" `Quick test_any_of_several_conds_wakes;
+          Alcotest.test_case "foreign cond" `Quick test_foreign_cond_rejected;
+          Alcotest.test_case "crashed waiter dropped" `Quick test_crashed_waiter_dropped_not_resumed;
+          Alcotest.test_case "zero-time chain" `Quick test_zero_time_wakeup_chain;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "counters flushed" `Quick test_counters_populated_and_flushed;
+          Alcotest.test_case "fewer pred evals" `Quick test_cond_mode_evaluates_fewer_predicates;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "kset across seeds" `Quick test_differential_kset_seeds;
+          Alcotest.test_case "cons_s across seeds" `Quick test_differential_cons_s_seeds;
+        ] );
+      ( "properties",
+        List.map
+          (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |]))
+          [ qcheck_differential_kset; qcheck_differential_cons_s ] );
+    ]

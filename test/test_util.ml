@@ -592,6 +592,75 @@ let test_pid () =
   check "equal" true (Pid.equal 1 1);
   check_int "compare" 0 (Pid.compare 4 4)
 
+(* Pidset beyond one machine word: the n=64/128 scaling sweeps need sets
+   over universes larger than Sys.int_size - 1. *)
+let test_pidset_large_universe () =
+  List.iter
+    (fun n ->
+      let full = Pidset.full ~n in
+      check_int "full cardinal" n (Pidset.cardinal full);
+      check "last member present" true (Pidset.mem (n - 1) full);
+      check "one past absent" false (Pidset.mem n full);
+      let evens = Pidset.of_list (List.init (n / 2) (fun i -> 2 * i)) in
+      let odds = Pidset.diff full evens in
+      check_int "split cardinals" n (Pidset.cardinal evens + Pidset.cardinal odds);
+      check "disjoint halves" true (Pidset.disjoint evens odds);
+      check "union restores" true (Pidset.equal full (Pidset.union evens odds));
+      check_int "min" 0 (Pidset.min_elt full);
+      Alcotest.(check (list int)) "to_list sorted"
+        (List.init n Fun.id) (Pidset.to_list full))
+    [ 63; 64; 65; 128; 200 ]
+
+let test_pidset_large_equal_hash_canonical () =
+  (* Sets built by different operation orders must compare and hash equal
+     (canonical representation across word boundaries). *)
+  let a = Pidset.add 100 (Pidset.singleton 3) in
+  let b = Pidset.remove 70 (Pidset.of_list [ 3; 70; 100 ]) in
+  check "equal across build paths" true (Pidset.equal a b);
+  check_int "compare 0" 0 (Pidset.compare a b);
+  check_int "same hash" (Pidset.hash a) (Pidset.hash b);
+  (* Dropping the only high member must shrink back to a small-set value
+     that equals a set never containing it. *)
+  let c = Pidset.remove 100 a in
+  check "trimmed" true (Pidset.equal c (Pidset.singleton 3));
+  check_int "trimmed hash" (Pidset.hash (Pidset.singleton 3)) (Pidset.hash c)
+
+(* Vec *)
+let test_vec_basics () =
+  let v : int Vec.t = Vec.create () in
+  check_int "empty" 0 (Vec.length v);
+  for i = 1 to 100 do
+    Vec.push v i
+  done;
+  check_int "length" 100 (Vec.length v);
+  check_int "get first" 1 (Vec.get v 0);
+  check_int "get last" 100 (Vec.get v 99);
+  Alcotest.(check (list int)) "to_list in append order" (List.init 100 (fun i -> i + 1))
+    (Vec.to_list v);
+  check_int "fold" 5050 (Vec.fold_left ( + ) 0 v);
+  let seen = ref 0 in
+  Vec.iter (fun _ -> incr seen) v;
+  check_int "iter visits all" 100 !seen
+
+let test_vec_list_from () =
+  let v : int Vec.t = Vec.create () in
+  for i = 1 to 10 do
+    Vec.push v i
+  done;
+  Alcotest.(check (list int)) "suffix" [ 8; 9; 10 ] (Vec.list_from v ~cursor:7);
+  Alcotest.(check (list int)) "whole" (List.init 10 (fun i -> i + 1)) (Vec.list_from v ~cursor:0);
+  Alcotest.(check (list int)) "at end" [] (Vec.list_from v ~cursor:10);
+  Alcotest.(check (list int)) "past end" [] (Vec.list_from v ~cursor:42)
+
+let test_vec_get_out_of_bounds () =
+  let v : int Vec.t = Vec.create () in
+  Vec.push v 1;
+  check "oob rejected" true
+    (try
+       ignore (Vec.get v 1);
+       false
+     with Invalid_argument _ -> true)
+
 let () =
   let qc = List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |])) pidset_qcheck in
   Alcotest.run "util"
@@ -607,6 +676,14 @@ let () =
           Alcotest.test_case "iterators" `Quick test_pidset_iterators;
           Alcotest.test_case "random size" `Quick test_pidset_random_size;
           Alcotest.test_case "pp" `Quick test_pidset_pp;
+          Alcotest.test_case "large universe" `Quick test_pidset_large_universe;
+          Alcotest.test_case "canonical over words" `Quick test_pidset_large_equal_hash_canonical;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "basics" `Quick test_vec_basics;
+          Alcotest.test_case "list_from" `Quick test_vec_list_from;
+          Alcotest.test_case "bounds" `Quick test_vec_get_out_of_bounds;
         ] );
       ("pidset-properties", qc);
       ( "rng",
