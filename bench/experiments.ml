@@ -298,13 +298,10 @@ let e5 () =
       (fun k ->
         List.concat_map
           (fun crashes ->
-            [
-              (k, crashes, ("perfect", Behavior.perfect));
-              (k, crashes, ("stormy gst=40", Behavior.stormy ~gst));
-            ])
+            [ (k, crashes, "perfect"); (k, crashes, "stormy gst=40") ])
           [ 0; t ])
       [ 1; 2; 3 ]
-    |> List.map (fun (k, crashes, (bname, behavior)) ->
+    |> List.map (fun (k, crashes, bname) ->
            let seed = 4000 + k + crashes in
            Runner.job ~exp:"e5" ~seed
              ~label:(Printf.sprintf "k=%d crashes=%d %s" k crashes bname)
@@ -320,23 +317,32 @@ let e5 () =
                   (if bname = "perfect" then 0.0 else gst)
                   seed)
              (fun () ->
-               let sim = setup ~horizon:3000.0 ~crashes ~seed () in
-               let omega, _ = Oracle.omega_z sim ~z:k ~behavior () in
-               let proposals = Array.init n (fun i -> 100 + i) in
-               let h = Kset.install sim ~omega ~proposals () in
-               let o = Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim in
-               let v = Check.k_set_agreement sim ~k ~proposals ~decisions:(Kset.decisions h) in
+               let p =
+                 {
+                   Protocol.default with
+                   Protocol.n;
+                   t;
+                   seed;
+                   z = k;
+                   k;
+                   gst = (if bname = "perfect" then 0.0 else gst);
+                   horizon = 3000.0;
+                   crashes = Crash.Exactly { crashes; window = (0.0, 20.0) };
+                 }
+               in
+               let r = Protocol.run (Option.get (Protocol.find "kset")) p in
+               let v = r.Protocol.rp_verdict in
+               let metric name =
+                 Option.value ~default:0.0 (List.assoc_opt name r.Protocol.rp_metrics)
+               in
                Runner.body
                  ~notes:(if Check.verdict_ok v then [] else v.Check.notes)
-                 ~metrics:
-                   [
-                     ("rounds", float_of_int (Kset.max_round h));
-                     ("msgs", float_of_int (Kset.messages_sent h));
-                     ("latency", o.end_time);
-                   ]
+                 ~metrics:r.Protocol.rp_metrics
                  ~row:
                    (Printf.sprintf "%-4d %-8d %-18s  %-7d %-8d %-10.1f %-6s" k crashes bname
-                      (Kset.max_round h) (Kset.messages_sent h) o.end_time (ok_str v))
+                      (int_of_float (metric "rounds"))
+                      (int_of_float (metric "msgs"))
+                      (metric "latency") (ok_str v))
                  (Check.verdict_ok v)))
   in
   ignore
@@ -798,31 +804,35 @@ let e13 () =
             (fdkit_replay "kset -n %d -t %d -z 1 -k 1 --crashes %d --seed %d" nn tt
                (min 2 tt) seed)
           (fun () ->
-            let sim = Sim.create ~horizon:3000.0 ~n:nn ~t:tt ~seed () in
-            let rng = Rng.split_named (Sim.rng sim) "crash" in
-            Sim.install_crashes sim
-              (Crash.generate
-                 (Crash.Exactly { crashes = min 2 tt; window = (0.0, 20.0) })
-                 ~n:nn ~t:tt rng);
-            let omega, _ = Oracle.omega_z sim ~z:1 ~behavior:(Behavior.stormy ~gst) () in
-            let proposals = Array.init nn (fun i -> 100 + i) in
-            let h = Kset.install sim ~omega ~proposals () in
-            let o = Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim in
-            let v = Check.k_set_agreement sim ~k:1 ~proposals ~decisions:(Kset.decisions h) in
-            let rounds = Kset.max_round h in
+            let p =
+              {
+                Protocol.default with
+                Protocol.n = nn;
+                t = tt;
+                seed;
+                z = 1;
+                k = 1;
+                gst;
+                horizon = 3000.0;
+                crashes = Crash.Exactly { crashes = min 2 tt; window = (0.0, 20.0) };
+              }
+            in
+            let r = Protocol.run (Option.get (Protocol.find "kset")) p in
+            let v = r.Protocol.rp_verdict in
+            let metric name =
+              Option.value ~default:0.0 (List.assoc_opt name r.Protocol.rp_metrics)
+            in
+            let rounds = int_of_float (metric "rounds") in
+            let msgs = int_of_float (metric "msgs") in
             Runner.body
               ~notes:(if Check.verdict_ok v then [] else v.Check.notes)
               ~metrics:
-                [
-                  ("rounds", float_of_int rounds);
-                  ("msgs", float_of_int (Kset.messages_sent h));
-                  ("latency", o.end_time);
-                  ("msg_per_round", float_of_int (Kset.messages_sent h / max 1 rounds));
-                ]
+                (r.Protocol.rp_metrics
+                @ [ ("msg_per_round", float_of_int (msgs / max 1 rounds)) ])
               ~row:
-                (Printf.sprintf "%-5d %-5d  %-7d %-9d %-9.1f %-10d %-6s" nn tt rounds
-                   (Kset.messages_sent h) o.end_time
-                   (Kset.messages_sent h / max 1 rounds)
+                (Printf.sprintf "%-5d %-5d  %-7d %-9d %-9.1f %-10d %-6s" nn tt rounds msgs
+                   (metric "latency")
+                   (msgs / max 1 rounds)
                    (ok_str v))
               (Check.verdict_ok v)))
       [ 5; 9; 15; 21; 31; 41 ]
@@ -971,6 +981,69 @@ let sched () =
         (mean "legacy" nn "wall_s" /. mean "cond" nn "wall_s"))
     sizes
 
+(* ------------------------------------------------------------------ *)
+(* EXPLORE — adversarial schedule exploration as a benchmark: search   *)
+(* throughput on the E2 misuse configuration (Omega_z with z > k must  *)
+(* yield a minimized counterexample) and on the safe z <= k            *)
+(* configuration (Lemma 2: no schedule violates, the explorer must     *)
+(* come up dry).                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let explore () =
+  section "EXPLORE  Schedule explorer: misuse finds + minimizes, safe comes up dry";
+  let bounds =
+    {
+      Explorer.default_bounds with
+      Explorer.depth = 12;
+      delays = 1;
+      walks = 20;
+      max_runs_per_job = 200;
+    }
+  in
+  let params z =
+    {
+      Protocol.default with
+      Protocol.n = 7;
+      t = 2;
+      seed = 1;
+      z;
+      k = 1;
+      adversarial = true;
+      horizon = 300.0;
+      crashes = Crash.No_crashes;
+    }
+  in
+  let stat c name =
+    Array.to_list c.Runner.c_results
+    |> List.filter_map (fun r -> List.assoc_opt ("explore." ^ name) r.Runner.r_metrics)
+    |> List.fold_left ( +. ) 0.0
+  in
+  Printf.printf "%-22s %-8s %-8s %-8s %-8s %-8s %-8s %-6s\n" "config" "runs" "points"
+    "prunes" "viols" "shrinks" "viol/s" "ces";
+  let cell ?(artifact = false) name z =
+    let o = Explorer.explore ~protocol:"kset" (params z) bounds in
+    let c = o.Explorer.o_campaign in
+    Printf.printf "%-22s %-8.0f %-8.0f %-8.0f %-8.0f %-8.0f %-8.1f %-6d\n" name
+      (stat c "runs") (stat c "points") (stat c "prunes") (stat c "violations")
+      (stat c "shrink_runs")
+      (stat c "violations" /. Float.max c.Runner.c_wall_s 1e-9)
+      (List.length o.Explorer.o_ces);
+    if artifact then
+      Printf.printf "  -> %s\n" (Runner.write_artifact c);
+    o.Explorer.o_ces
+  in
+  let misuse = cell ~artifact:true "misuse z=2 > k=1" 2 in
+  let safe = cell "safe   z=1 <= k=1" 1 in
+  if misuse = [] then failwith "EXPLORE: misuse config (z > k) found no counterexample";
+  if safe <> [] then failwith "EXPLORE: safe config (z <= k) found a spurious violation";
+  Printf.printf
+    "misuse: %d minimized counterexample(s) (shortest: %d choice(s)); safe: none — as \
+     Lemma 2 demands\n"
+    (List.length misuse)
+    (List.fold_left
+       (fun acc (s : Schedule.t) -> min acc (List.length s.Schedule.choices))
+       max_int misuse)
+
 let all () =
   e1 ();
   e2 ();
@@ -989,4 +1062,5 @@ let all () =
   e12 ();
   e13 ();
   e14 ();
-  sched ()
+  sched ();
+  explore ()

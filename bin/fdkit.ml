@@ -62,95 +62,113 @@ let setup ?(legacy_poll = false) ~n ~t ~seed ~crashes ~horizon () =
        ~n ~t rng);
   sim
 
-(* ---- kset ---- *)
+(* ---- shared Protocol.params term ---- *)
+
+let adversarial_arg =
+  Arg.(
+    value & flag
+    & info [ "adversarial" ]
+        ~doc:
+          "kset mis-use configuration (Theorem 5 tightness): constant Omega_z trusted \
+           set and the By_pid tie-break.  With z > k the explorer finds agreement \
+           violations.")
+
+let variant_arg =
+  Arg.(
+    value & opt string "es"
+    & info [ "variant" ] ~docv:"es|phi|psi" ~doc:"Source class of the reduce protocol.")
+
+let mk_params n t seed crashes gst horizon z k x y legacy_poll adversarial variant =
+  {
+    Protocol.n;
+    t;
+    seed;
+    z;
+    k;
+    x;
+    y;
+    gst;
+    horizon;
+    crashes =
+      (if crashes <= 0 then Crash.No_crashes
+       else Crash.Exactly { crashes = min crashes t; window = (0.0, 20.0) });
+    legacy_poll;
+    adversarial;
+    variant;
+  }
+
+let params_term ?(default_z = 1) ?(default_k = 1) ?(default_x = 2) ?(default_y = 1)
+    ?(default_crashes = 2) () =
+  let z_arg =
+    Arg.(value & opt int default_z & info [ "z" ] ~doc:"Oracle class Omega_z (kset).")
+  in
+  let k_arg =
+    Arg.(value & opt int default_k & info [ "k" ] ~doc:"Agreement degree checked (kset).")
+  in
+  let x_arg =
+    Arg.(value & opt int default_x & info [ "x" ] ~doc:"◇S_x scope (wheels, reduce).")
+  in
+  let y_arg =
+    Arg.(
+      value & opt int default_y
+      & info [ "y" ] ~doc:"◇φ_y / Ψ_y strength (wheels, psi, reduce).")
+  in
+  let crashes_arg =
+    Arg.(
+      value & opt int default_crashes
+      & info [ "crashes" ] ~docv:"C" ~doc:"Number of crashes to inject (0 = none).")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "horizon" ] ~docv:"TIME" ~doc:"Virtual-time budget (0 = protocol default).")
+  in
+  Term.(
+    const mk_params $ n_arg $ t_arg $ seed_arg $ crashes_arg $ gst_arg $ horizon_arg
+    $ z_arg $ k_arg $ x_arg $ y_arg $ legacy_poll_arg $ adversarial_arg $ variant_arg)
+
+let registry_doc () =
+  Printf.sprintf "Protocols: %s." (String.concat ", " (Protocol.names ()))
+
+let exec_run protocol (p : Protocol.params) =
+  match Protocol.find protocol with
+  | None ->
+      Printf.eprintf "unknown protocol %S; %s\n" protocol (registry_doc ());
+      3
+  | Some pk ->
+      let r = Protocol.run pk p in
+      Printf.printf "%s seed=%d: %s\n" protocol p.Protocol.seed
+        (Format.asprintf "%a" Check.pp_verdict r.Protocol.rp_verdict);
+      List.iter (fun (key, v) -> Printf.printf "  %-18s %g\n" key v) r.Protocol.rp_metrics;
+      if Check.verdict_ok r.Protocol.rp_verdict then 0 else 1
+
+let protocol_arg =
+  Arg.(
+    value & opt string "kset"
+    & info [ "protocol"; "p" ] ~docv:"NAME" ~doc:"Protocol from the registry.")
+
+(* ---- run (generic) + per-protocol aliases ---- *)
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:("Run any registered protocol once. " ^ registry_doc ()))
+    Term.(const exec_run $ protocol_arg $ params_term ())
 
 let kset_cmd =
-  let run n t seed crashes gst z k legacy_poll =
-    let sim = setup ~legacy_poll ~n ~t ~seed ~crashes ~horizon:5000.0 () in
-    let omega, _ = Oracle.omega_z sim ~z ~behavior:(behavior_of ~gst) () in
-    let proposals = Array.init n (fun i -> 100 + i) in
-    let h = Kset.install sim ~omega ~proposals () in
-    let o = Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim in
-    List.iter
-      (fun (pid, v, r, tm) ->
-        Printf.printf "%s decided %d (round %d, t=%.1f)\n" (Pid.to_string pid) v r tm)
-      (Kset.decisions h);
-    let v = Check.k_set_agreement sim ~k ~proposals ~decisions:(Kset.decisions h) in
-    Printf.printf "k-set(%d) check: %s\nrounds=%d msgs=%d latency=%.1f\n" k
-      (Format.asprintf "%a" Check.pp_verdict v)
-      (Kset.max_round h) (Kset.messages_sent h) o.end_time;
-    Printf.printf "sched: events=%d pred_evals=%d signals=%d wakeups=%d%s\n" o.events
-      (Sim.pred_evals sim) (Sim.cond_signals sim) (Sim.wakeups sim)
-      (if legacy_poll then " (legacy poll)" else "");
-    if Check.verdict_ok v then 0 else 1
-  in
-  let z_arg = Arg.(value & opt int 2 & info [ "z" ] ~doc:"Oracle class Omega_z.") in
-  let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Agreement degree checked.") in
   Cmd.v
     (Cmd.info "kset" ~doc:"Run the Omega_k-based k-set agreement algorithm (Figure 3).")
-    Term.(
-      const run $ n_arg $ t_arg $ seed_arg $ crashes_arg $ gst_arg $ z_arg $ k_arg
-      $ legacy_poll_arg)
-
-(* ---- wheels ---- *)
+    Term.(const (exec_run "kset") $ params_term ~default_z:2 ~default_k:2 ())
 
 let wheels_cmd =
-  let run n t seed crashes gst horizon x y =
-    let sim = setup ~n ~t ~seed ~crashes ~horizon () in
-    let behavior = behavior_of ~gst in
-    let suspector, info = Oracle.es_x sim ~x ~behavior () in
-    let querier, _ = Oracle.ephi_y sim ~y ~behavior () in
-    let w = Wheels.install sim ~suspector ~querier ~x ~y () in
-    let omega = Wheels.omega w in
-    let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> omega.Iface.trusted i) () in
-    let _ = Sim.run sim in
-    let v = Check.omega_z sim ~z:(Wheels.z w) ~deadline:(horizon -. 80.0) mon in
-    Printf.printf
-      "◇S_%d + ◇φ_%d -> Omega_%d: %s\nscope=%s protected=%s\nstab@%.1f x_moves=%d \
-       l_moves=%d msgs=%d\n\ntrusted-set timeline:\n%s"
-      x y (Wheels.z w)
-      (Format.asprintf "%a" Check.pp_verdict v)
-      (Pidset.to_string info.Oracle.scope)
-      (Pid.to_string info.Oracle.protected)
-      (Wheels.stabilized_since w)
-      (Wheels_lower.moves_broadcast (Wheels.lower w))
-      (Wheels_upper.moves_broadcast (Wheels.upper w))
-      (Wheels.total_messages w)
-      (Viz.timeline sim mon ());
-    if Check.verdict_ok v then 0 else 1
-  in
-  let x_arg = Arg.(value & opt int 2 & info [ "x" ] ~doc:"◇S_x scope.") in
-  let y_arg = Arg.(value & opt int 1 & info [ "y" ] ~doc:"◇φ_y strength.") in
   Cmd.v
     (Cmd.info "wheels"
        ~doc:"Run the two-wheels transformation ◇S_x + ◇φ_y -> Omega_z (Figures 5-6).")
-    Term.(
-      const run $ n_arg $ t_arg $ seed_arg $ crashes_arg $ gst_arg $ horizon_arg $ x_arg
-      $ y_arg)
-
-(* ---- psi ---- *)
+    Term.(const (exec_run "wheels") $ params_term ())
 
 let psi_cmd =
-  let run n t seed crashes gst horizon y =
-    let sim = setup ~n ~t ~seed ~crashes ~horizon () in
-    let querier, _ = Oracle.psi_y sim ~y ~behavior:(behavior_of ~gst) () in
-    let p = Psi_to_omega.create sim ~querier ~y in
-    let omega = Psi_to_omega.omega p in
-    let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> omega.Iface.trusted i) () in
-    Sim.ticker sim ~every:1.0;
-    let _ = Sim.run sim in
-    let v = Check.omega_z sim ~z:(Psi_to_omega.z p) ~deadline:(horizon -. 80.0) mon in
-    Printf.printf "Ψ_%d -> Omega_%d (Fig 8): %s\nchain length %d, zero messages\n" y
-      (Psi_to_omega.z p)
-      (Format.asprintf "%a" Check.pp_verdict v)
-      (Psi_to_omega.queries_per_read p);
-    if Check.verdict_ok v then 0 else 1
-  in
-  let y_arg = Arg.(value & opt int 2 & info [ "y" ] ~doc:"Ψ_y strength.") in
   Cmd.v
     (Cmd.info "psi" ~doc:"Run the Ψ_y -> Omega_{t+1-y} chain transformation (Figure 8).")
-    Term.(
-      const run $ n_arg $ t_arg $ seed_arg $ crashes_arg $ gst_arg $ horizon_arg $ y_arg)
+    Term.(const (exec_run "psi") $ params_term ~default_y:2 ())
 
 (* ---- strengthen ---- *)
 
@@ -266,118 +284,46 @@ let irreducibility_cmd =
 
 (* ---- campaign ---- *)
 
+let crashes_count = function
+  | Crash.No_crashes -> 0
+  | Crash.Exactly { crashes; _ } -> crashes
+  | Crash.Random_up_to { max_crashes; _ } -> max_crashes
+  | Crash.Explicit l -> List.length l
+  | Crash.Initial l -> List.length l
+
+let replay_command family (p : Protocol.params) =
+  Printf.sprintf
+    "dune exec bin/fdkit.exe -- run --protocol %s -n %d -t %d -z %d -k %d -x %d -y %d \
+     --crashes %d --gst %g --horizon %g --variant %s --seed %d%s%s"
+    family p.Protocol.n p.Protocol.t p.Protocol.z p.Protocol.k p.Protocol.x p.Protocol.y
+    (crashes_count p.Protocol.crashes)
+    p.Protocol.gst p.Protocol.horizon p.Protocol.variant p.Protocol.seed
+    (if p.Protocol.legacy_poll then " --legacy-poll" else "")
+    (if p.Protocol.adversarial then " --adversarial" else "")
+
 let campaign_cmd =
-  let run n t crashes gst horizon exp jobs seeds out compare x y z k legacy_poll =
-    let crashes = min crashes t in
-    (* One job per seed; each builds its own Sim from the seed, so jobs
-       are safe to run on any domain in any order. *)
-    let mk_kset seed =
-      Runner.job ~exp:"kset" ~seed
-        ~params:
-          [
-            ("n", Json.Int n);
-            ("t", Json.Int t);
-            ("z", Json.Int z);
-            ("k", Json.Int k);
-            ("crashes", Json.Int crashes);
-            ("gst", Json.Float gst);
-            ("legacy_poll", Json.Bool legacy_poll);
-          ]
-        ~replay:
-          (Printf.sprintf
-             "dune exec bin/fdkit.exe -- kset -n %d -t %d -z %d -k %d --crashes %d \
-              --gst %g --seed %d%s"
-             n t z k crashes gst seed
-             (if legacy_poll then " --legacy-poll" else ""))
+  let run family jobs seeds out compare (base : Protocol.params) =
+    match Protocol.find family with
+    | None ->
+        Printf.eprintf "unknown protocol %S; %s\n" family (registry_doc ());
+        3
+    | Some pk ->
+    (* One job per seed; each builds its own Sim from the seed via
+       Protocol.run, so jobs are safe to run on any domain in any order. *)
+    let mk seed =
+      let p = { base with Protocol.seed } in
+      Runner.job ~exp:family ~seed
+        ~params:(Protocol.params_to_json p)
+        ~replay:(replay_command family p)
         (fun () ->
-          let sim = setup ~legacy_poll ~n ~t ~seed ~crashes ~horizon:5000.0 () in
-          let omega, _ = Oracle.omega_z sim ~z ~behavior:(behavior_of ~gst) () in
-          let proposals = Array.init n (fun i -> 100 + i) in
-          let h = Kset.install sim ~omega ~proposals () in
-          let o = Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim in
-          let v = Check.k_set_agreement sim ~k ~proposals ~decisions:(Kset.decisions h) in
+          let r = Protocol.run pk p in
           Runner.body
-            ~notes:(if Check.verdict_ok v then [] else v.Check.notes)
-            ~metrics:
-              [
-                ("rounds", float_of_int (Kset.max_round h));
-                ("msgs", float_of_int (Kset.messages_sent h));
-                ("latency", o.end_time);
-                ("sched.events", float_of_int o.events);
-                ("sched.pred_evals", float_of_int (Sim.pred_evals sim));
-                ("sched.signals", float_of_int (Sim.cond_signals sim));
-                ("sched.wakeups", float_of_int (Sim.wakeups sim));
-              ]
-            (Check.verdict_ok v))
+            ~notes:
+              (if Check.verdict_ok r.Protocol.rp_verdict then []
+               else r.Protocol.rp_verdict.Check.notes)
+            ~metrics:r.Protocol.rp_metrics
+            (Check.verdict_ok r.Protocol.rp_verdict))
     in
-    let mk_wheels seed =
-      Runner.job ~exp:"wheels" ~seed
-        ~params:
-          [
-            ("n", Json.Int n);
-            ("t", Json.Int t);
-            ("x", Json.Int x);
-            ("y", Json.Int y);
-            ("crashes", Json.Int crashes);
-            ("gst", Json.Float gst);
-            ("horizon", Json.Float horizon);
-          ]
-        ~replay:
-          (Printf.sprintf
-             "dune exec bin/fdkit.exe -- wheels -n %d -t %d -x %d -y %d --crashes %d \
-              --gst %g --horizon %g --seed %d"
-             n t x y crashes gst horizon seed)
-        (fun () ->
-          let sim = setup ~n ~t ~seed ~crashes ~horizon () in
-          let behavior = behavior_of ~gst in
-          let suspector, _ = Oracle.es_x sim ~x ~behavior () in
-          let querier, _ = Oracle.ephi_y sim ~y ~behavior () in
-          let w = Wheels.install sim ~suspector ~querier ~x ~y () in
-          let omega = Wheels.omega w in
-          let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> omega.Iface.trusted i) () in
-          let _ = Sim.run sim in
-          let v = Check.omega_z sim ~z:(Wheels.z w) ~deadline:(horizon -. 80.0) mon in
-          Runner.body
-            ~notes:(if Check.verdict_ok v then [] else v.Check.notes)
-            ~metrics:
-              [
-                ("stab", Wheels.stabilized_since w);
-                ("msgs", float_of_int (Wheels.total_messages w));
-              ]
-            (Check.verdict_ok v))
-    in
-    let mk_psi seed =
-      Runner.job ~exp:"psi" ~seed
-        ~params:
-          [
-            ("n", Json.Int n);
-            ("t", Json.Int t);
-            ("y", Json.Int y);
-            ("crashes", Json.Int crashes);
-            ("gst", Json.Float gst);
-            ("horizon", Json.Float horizon);
-          ]
-        ~replay:
-          (Printf.sprintf
-             "dune exec bin/fdkit.exe -- psi -n %d -t %d -y %d --crashes %d --gst %g \
-              --horizon %g --seed %d"
-             n t y crashes gst horizon seed)
-        (fun () ->
-          let sim = setup ~n ~t ~seed ~crashes ~horizon () in
-          let querier, _ = Oracle.psi_y sim ~y ~behavior:(behavior_of ~gst) () in
-          let p = Psi_to_omega.create sim ~querier ~y in
-          let omega = Psi_to_omega.omega p in
-          let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> omega.Iface.trusted i) () in
-          Sim.ticker sim ~every:1.0;
-          let _ = Sim.run sim in
-          let v = Check.omega_z sim ~z:(Psi_to_omega.z p) ~deadline:(horizon -. 80.0) mon in
-          Runner.body
-            ~notes:(if Check.verdict_ok v then [] else v.Check.notes)
-            ~metrics:[ ("queries_per_read", float_of_int (Psi_to_omega.queries_per_read p)) ]
-            (Check.verdict_ok v))
-    in
-    let mk = match exp with `Kset -> mk_kset | `Wheels -> mk_wheels | `Psi -> mk_psi in
-    let family = match exp with `Kset -> "kset" | `Wheels -> "wheels" | `Psi -> "psi" in
     let joblist = List.init seeds (fun i -> mk (i + 1)) in
     let describe tag c =
       Printf.printf "%s: %d jobs on %d domain(s), %d failed, %.2fs wall, %.1f jobs/s\n" tag
@@ -454,9 +400,8 @@ let campaign_cmd =
   in
   let exp_arg =
     Arg.(
-      value
-      & opt (enum [ ("kset", `Kset); ("wheels", `Wheels); ("psi", `Psi) ]) `Kset
-      & info [ "exp" ] ~docv:"kset|wheels|psi" ~doc:"Experiment family to sweep.")
+      value & opt string "kset"
+      & info [ "exp" ] ~docv:"NAME" ~doc:("Protocol family to sweep. " ^ registry_doc ()))
   in
   let jobs_arg =
     Arg.(
@@ -480,22 +425,237 @@ let campaign_cmd =
             "Also run the sweep on 1 domain: report speedup and verify the merged outputs \
              are identical (exit 2 if not).")
   in
-  let x_arg = Arg.(value & opt int 2 & info [ "x" ] ~doc:"◇S_x scope (wheels family).") in
-  let y_arg =
-    Arg.(value & opt int 1 & info [ "y" ] ~doc:"◇φ_y / Ψ_y strength (wheels, psi).")
-  in
-  let z_arg = Arg.(value & opt int 1 & info [ "z" ] ~doc:"Oracle class Ω_z (kset family).") in
-  let k_arg = Arg.(value & opt int 1 & info [ "k" ] ~doc:"Agreement degree (kset family).") in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
-         "Shard a seed sweep of an experiment family across domains; write \
+         "Shard a seed sweep of a protocol family across domains; write \
           BENCH_<family>.json, campaign_summary.json and failures.json (with replay \
           commands for every failing seed); exit nonzero if any seed fails.")
     Term.(
-      const run $ n_arg $ t_arg $ crashes_arg $ gst_arg $ horizon_arg $ exp_arg $ jobs_arg
-      $ seeds_arg $ out_arg $ compare_arg $ x_arg $ y_arg $ z_arg $ k_arg
-      $ legacy_poll_arg)
+      const run $ exp_arg $ jobs_arg $ seeds_arg $ out_arg $ compare_arg $ params_term ())
+
+(* ---- explore ---- *)
+
+let explore_cmd =
+  let run protocol jobs out compare expect honest depth delays walks max_runs
+      shrink_budget (base : Protocol.params) =
+    (* Exploration defaults: the adversary owns the schedule, so a short
+       horizon suffices and (for kset) the mis-use wiring is on unless
+       --honest is given. *)
+    let p =
+      {
+        base with
+        Protocol.adversarial = base.Protocol.adversarial || not honest;
+        horizon = (if base.Protocol.horizon > 0.0 then base.Protocol.horizon else 300.0);
+      }
+    in
+    match Protocol.find protocol with
+    | None ->
+        Printf.eprintf "unknown protocol %S; %s\n" protocol (registry_doc ());
+        3
+    | Some _ ->
+        let bounds =
+          {
+            Explorer.default_bounds with
+            depth;
+            delays;
+            walks;
+            max_runs_per_job = max_runs;
+            shrink_budget;
+          }
+        in
+        let { Explorer.o_campaign = c; o_ces = ces } =
+          Explorer.explore ~jobs ~protocol p bounds
+        in
+        let sum name =
+          Array.fold_left
+            (fun acc r ->
+              acc
+              +. Option.value ~default:0.0 (List.assoc_opt name r.Runner.r_metrics))
+            0.0 c.Runner.c_results
+        in
+        let runs = sum "explore.runs" in
+        let violations = sum "explore.violations" in
+        Printf.printf "explore %s: %d jobs on %d domain(s), %.2fs wall\n" protocol
+          (Array.length c.Runner.c_results)
+          c.Runner.c_workers c.Runner.c_wall_s;
+        Printf.printf
+          "  executions=%.0f points=%.0f prunes=%.0f shrink_runs=%.0f violations=%.0f\n"
+          runs (sum "explore.points") (sum "explore.prunes") (sum "explore.shrink_runs")
+          violations;
+        Printf.printf "  rate: %.1f runs/s, %.2f violations/s\n"
+          (runs /. Float.max c.Runner.c_wall_s 1e-9)
+          (violations /. Float.max c.Runner.c_wall_s 1e-9);
+        Printf.printf "  counterexamples: %d (minimized, deduplicated)\n" (List.length ces);
+        List.iteri
+          (fun i (s : Schedule.t) ->
+            if i < 5 then
+              Printf.printf "    [%d] %s  -- %s\n" i
+                (Format.asprintf "%a" Schedule.pp_choices s.Schedule.choices)
+                (String.concat "; " s.Schedule.violation))
+          ces;
+        let art = Runner.write_artifact ~dir:out c in
+        let cepath = Explorer.write_counterexamples ~dir:out ~protocol ces in
+        Printf.printf "artifacts: %s, %s\n" art cepath;
+        if ces <> [] then
+          Printf.printf "replay: dune exec bin/fdkit.exe -- replay --schedule %s\n" cepath;
+        let det_ok =
+          (not compare)
+          ||
+          let o1 = Explorer.explore ~jobs:1 ~protocol p bounds in
+          let same_sig = Runner.signature c = Runner.signature o1.Explorer.o_campaign in
+          let same_ces =
+            List.length ces = List.length o1.Explorer.o_ces
+            && List.for_all2
+                 (fun a b -> Json.equal (Schedule.to_json a) (Schedule.to_json b))
+                 ces o1.Explorer.o_ces
+          in
+          Printf.printf "determinism (-j %d vs -j 1): signatures %s, counterexamples %s\n"
+            jobs
+            (if same_sig then "match" else "DIFFER")
+            (if same_ces then "match" else "DIFFER");
+          same_sig && same_ces
+        in
+        if not det_ok then 2
+        else begin
+          match expect with
+          | `Any -> 0
+          | `Violation ->
+              if ces <> [] then 0
+              else begin
+                prerr_endline "expected a violation, found none";
+                1
+              end
+          | `None ->
+              if ces = [] then 0
+              else begin
+                prerr_endline "expected no violation, found some";
+                1
+              end
+        end
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int (Runner.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "_results"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Artifact directory (created if missing).")
+  in
+  let compare_arg =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "Also explore on 1 domain and verify signatures and counterexamples are \
+             identical (exit 2 if not).")
+  in
+  let expect_arg =
+    Arg.(
+      value
+      & opt (enum [ ("violation", `Violation); ("none", `None); ("any", `Any) ]) `Any
+      & info [ "expect" ] ~docv:"violation|none|any"
+          ~doc:"Exit 1 unless the exploration outcome matches (CI assertions).")
+  in
+  let honest_arg =
+    Arg.(
+      value & flag
+      & info [ "honest" ]
+          ~doc:
+            "Disable the default adversarial (mis-use) wiring; explore the protocol as \
+             normally configured.")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int Explorer.default_bounds.Explorer.depth
+      & info [ "depth" ] ~docv:"D" ~doc:"Choice points eligible for branching per run.")
+  in
+  let delays_arg =
+    Arg.(
+      value & opt int Explorer.default_bounds.Explorer.delays
+      & info [ "delays" ] ~docv:"B" ~doc:"Max deviations from FIFO per execution.")
+  in
+  let walks_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "walks" ] ~docv:"W" ~doc:"Guided random walks on top of the DFS.")
+  in
+  let max_runs_arg =
+    Arg.(
+      value & opt int Explorer.default_bounds.Explorer.max_runs_per_job
+      & info [ "max-runs" ] ~docv:"R" ~doc:"DFS execution budget per point job.")
+  in
+  let shrink_arg =
+    Arg.(
+      value & opt int Explorer.default_bounds.Explorer.shrink_budget
+      & info [ "shrink-budget" ] ~docv:"R"
+          ~doc:"Delta-debugging trial runs per counterexample.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Systematically explore message delivery orders and crash injections \
+          (delay-bounded DFS with commutativity pruning, plus optional random walks), \
+          sharded across domains; minimize every violating schedule and write replayable \
+          counterexamples.json.")
+    Term.(
+      const run $ protocol_arg $ jobs_arg $ out_arg $ compare_arg $ expect_arg
+      $ honest_arg $ depth_arg $ delays_arg $ walks_arg $ max_runs_arg $ shrink_arg
+      $ params_term ~default_z:2 ~default_k:1 ~default_crashes:0 ())
+
+(* ---- replay ---- *)
+
+let replay_cmd =
+  let run schedule index =
+    match Explorer.load_counterexamples schedule with
+    | Error e ->
+        Printf.eprintf "cannot load %s: %s\n" schedule e;
+        3
+    | Ok [] ->
+        Printf.eprintf "%s: no counterexamples recorded\n" schedule;
+        3
+    | Ok l -> (
+        match List.nth_opt l index with
+        | None ->
+            Printf.eprintf "--index %d out of range (%d counterexample(s))\n" index
+              (List.length l);
+            3
+        | Some s -> (
+            Printf.printf "replaying %s schedule %s\n" s.Schedule.protocol
+              (Format.asprintf "%a" Schedule.pp_choices s.Schedule.choices);
+            match Explorer.replay s with
+            | Error e ->
+                prerr_endline e;
+                3
+            | Ok (e, reproduced) ->
+                Printf.printf "recorded violation: %s\nreplayed violation: %s\n"
+                  (String.concat "; " s.Schedule.violation)
+                  (String.concat "; " e.Explore.ex_violation);
+                Printf.printf "%s\n"
+                  (if reproduced then "reproduced" else "NOT reproduced");
+                if reproduced then 0 else 1))
+  in
+  let schedule_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"FILE"
+          ~doc:"A counterexamples.json artifact or a bare schedule file.")
+  in
+  let index_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "index" ] ~docv:"I" ~doc:"Which counterexample to replay.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a recorded schedule choice-for-choice and verify it exhibits the \
+          recorded violation (exit 0 iff reproduced).")
+    Term.(const run $ schedule_arg $ index_arg)
 
 (* ---- grid ---- *)
 
@@ -572,12 +732,15 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
+            run_cmd;
             kset_cmd;
             wheels_cmd;
             psi_cmd;
             strengthen_cmd;
             impl_cmd;
             campaign_cmd;
+            explore_cmd;
+            replay_cmd;
             violation_cmd;
             irreducibility_cmd;
             grid_cmd;

@@ -1,0 +1,378 @@
+open Setagree_util
+open Setagree_dsys
+open Setagree_fd
+
+type params = {
+  n : int;
+  t : int;
+  seed : int;
+  z : int;
+  k : int;
+  x : int;
+  y : int;
+  gst : float;
+  horizon : float;
+  crashes : Crash.spec;
+  legacy_poll : bool;
+  adversarial : bool;
+  variant : string;
+}
+
+let default =
+  {
+    n = 8;
+    t = 3;
+    seed = 1;
+    z = 1;
+    k = 1;
+    x = 2;
+    y = 1;
+    gst = 40.0;
+    horizon = 0.0;
+    crashes = Crash.Exactly { crashes = 2; window = (0.0, 20.0) };
+    legacy_poll = false;
+    adversarial = false;
+    variant = "es";
+  }
+
+let params_to_json p =
+  [
+    ("n", Json.Int p.n);
+    ("t", Json.Int p.t);
+    ("seed", Json.Int p.seed);
+    ("z", Json.Int p.z);
+    ("k", Json.Int p.k);
+    ("x", Json.Int p.x);
+    ("y", Json.Int p.y);
+    ("gst", Json.Float p.gst);
+    ("horizon", Json.Float p.horizon);
+    ("crashes", Crash.spec_to_json p.crashes);
+    ("legacy_poll", Json.Bool p.legacy_poll);
+    ("adversarial", Json.Bool p.adversarial);
+    ("variant", Json.String p.variant);
+  ]
+
+let params_of_json fields =
+  let j = Json.Obj fields in
+  let int name dflt =
+    match Json.member name j with Some (Json.Int i) -> i | _ -> dflt
+  in
+  let flt name dflt =
+    match Option.bind (Json.member name j) Json.to_float_opt with
+    | Some f -> f
+    | None -> dflt
+  in
+  let boolean name dflt =
+    match Json.member name j with Some (Json.Bool b) -> b | _ -> dflt
+  in
+  let str name dflt =
+    match Json.member name j with Some (Json.String s) -> s | _ -> dflt
+  in
+  let crashes =
+    match Json.member "crashes" j with
+    | Some cj -> (
+        match Crash.spec_of_json cj with
+        | Ok s -> s
+        | Error _ -> default.crashes)
+    | None -> default.crashes
+  in
+  {
+    n = int "n" default.n;
+    t = int "t" default.t;
+    seed = int "seed" default.seed;
+    z = int "z" default.z;
+    k = int "k" default.k;
+    x = int "x" default.x;
+    y = int "y" default.y;
+    gst = flt "gst" default.gst;
+    horizon = flt "horizon" default.horizon;
+    crashes;
+    legacy_poll = boolean "legacy_poll" default.legacy_poll;
+    adversarial = boolean "adversarial" default.adversarial;
+    variant = str "variant" default.variant;
+  }
+
+module type S = sig
+  type t
+
+  val name : string
+  val horizon_hint : float
+  val install : Sim.t -> params -> t
+  val stop : t -> unit -> bool
+  val check : t -> Check.verdict
+  val violation : t -> string list
+  val metrics : t -> (string * float) list
+end
+
+type packed = (module S)
+
+(* ---- shared pieces ---- *)
+
+let behavior_of p =
+  if p.gst <= 0.0 then Behavior.perfect else Behavior.stormy ~gst:p.gst
+
+let proposals_of p = Array.init p.n (fun i -> 100 + i)
+
+(* Safety-only k-set verdict: validity, agreement and single-decision,
+   but NOT termination — meaningful on partial (explored) runs, where
+   "nobody decided yet" must not read as a violation. *)
+let kset_safety ~k ~proposals decisions =
+  let notes = ref [] in
+  let add n = notes := n :: !notes in
+  let values = List.sort_uniq compare (List.map (fun (_, v, _, _) -> v) decisions) in
+  if List.length values > k then
+    add
+      (Printf.sprintf "agreement: %d distinct values decided, k = %d"
+         (List.length values) k);
+  List.iter
+    (fun (p, v, _, _) ->
+      if not (Array.exists (Int.equal v) proposals) then
+        add
+          (Printf.sprintf "validity: %s decided unproposed value %d"
+             (Pid.to_string p) v))
+    decisions;
+  let pids = List.sort compare (List.map (fun (p, _, _, _) -> p) decisions) in
+  let rec dups = function
+    | a :: (b :: _ as rest) ->
+        if a = b then add (Printf.sprintf "double decision by %s" (Pid.to_string a));
+        dups rest
+    | _ -> ()
+  in
+  dups pids;
+  List.sort_uniq compare !notes
+
+(* ---- protocols ---- *)
+
+module Kset_p = struct
+  type t = { sim : Sim.t; k : int; proposals : int array; h : Kset.t }
+
+  let name = "kset"
+  let horizon_hint = 5000.0
+
+  let install sim p =
+    let proposals = proposals_of p in
+    let omega, tie_break =
+      if p.adversarial then
+        (* The E2 mis-use configuration (Theorem 5 tightness): a constant
+           Ω_z trusted set and the adversary-friendly tie-break.  With
+           z > k this is outside the algorithm's assumptions, and the
+           explorer hunts the agreement violations. *)
+        ( { Iface.trusted = (fun _ -> Pidset.of_list (List.init p.z Fun.id)) },
+          Kset.By_pid )
+      else (fst (Oracle.omega_z sim ~z:p.z ~behavior:(behavior_of p) ()), Kset.Smallest)
+    in
+    let h = Kset.install sim ~omega ~proposals ~tie_break () in
+    { sim; k = p.k; proposals; h }
+
+  let stop t () = Kset.all_correct_decided t.h
+
+  let check t =
+    Check.k_set_agreement t.sim ~k:t.k ~proposals:t.proposals
+      ~decisions:(Kset.decisions t.h)
+
+  let violation t = kset_safety ~k:t.k ~proposals:t.proposals (Kset.decisions t.h)
+
+  let metrics t =
+    [
+      ("rounds", float_of_int (Kset.max_round t.h));
+      ("msgs", float_of_int (Kset.messages_sent t.h));
+      ("decided", float_of_int (List.length (Kset.decisions t.h)));
+    ]
+end
+
+module Consensus_p = struct
+  type t = { sim : Sim.t; proposals : int array; h : Consensus_s.t }
+
+  let name = "consensus_s"
+  let horizon_hint = 5000.0
+
+  let install sim p =
+    let proposals = proposals_of p in
+    let suspector, _ = Oracle.es_x sim ~x:p.n ~behavior:(behavior_of p) () in
+    let h = Consensus_s.install sim ~suspector ~proposals () in
+    { sim; proposals; h }
+
+  let stop t () = Consensus_s.all_correct_decided t.h
+
+  let check t =
+    Check.k_set_agreement t.sim ~k:1 ~proposals:t.proposals
+      ~decisions:(Consensus_s.decisions t.h)
+
+  let violation t = kset_safety ~k:1 ~proposals:t.proposals (Consensus_s.decisions t.h)
+
+  let metrics t =
+    [
+      ("rounds", float_of_int (Consensus_s.max_round t.h));
+      ("msgs", float_of_int (Consensus_s.messages_sent t.h));
+      ("decided", float_of_int (List.length (Consensus_s.decisions t.h)));
+    ]
+end
+
+module Wheels_p = struct
+  type t = { sim : Sim.t; w : Wheels.t; mon : Monitor.t }
+
+  let name = "wheels"
+  let horizon_hint = 400.0
+
+  let install sim p =
+    let behavior = behavior_of p in
+    let suspector, _ = Oracle.es_x sim ~x:p.x ~behavior () in
+    let querier, _ = Oracle.ephi_y sim ~y:p.y ~behavior () in
+    let w = Wheels.install sim ~suspector ~querier ~x:p.x ~y:p.y () in
+    let omega = Wheels.omega w in
+    let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> omega.Iface.trusted i) () in
+    { sim; w; mon }
+
+  let stop _ () = false
+
+  let check t =
+    Check.omega_z t.sim ~z:(Wheels.z t.w)
+      ~deadline:(Sim.horizon t.sim -. 80.0)
+      t.mon
+
+  (* Eventual (liveness) classes have no finite-run safety property. *)
+  let violation _ = []
+
+  let metrics t =
+    [
+      ("stab", Wheels.stabilized_since t.w);
+      ("msgs", float_of_int (Wheels.total_messages t.w));
+    ]
+end
+
+module Psi_p = struct
+  type t = { sim : Sim.t; p : Psi_to_omega.t; mon : Monitor.t }
+
+  let name = "psi"
+  let horizon_hint = 400.0
+
+  let install sim p =
+    let querier, _ = Oracle.psi_y sim ~y:p.y ~behavior:(behavior_of p) () in
+    let h = Psi_to_omega.create sim ~querier ~y:p.y in
+    let omega = Psi_to_omega.omega h in
+    let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> omega.Iface.trusted i) () in
+    (* The chain transformation sends no messages: keep the clock moving. *)
+    Sim.ticker sim ~every:1.0;
+    { sim; p = h; mon }
+
+  let stop _ () = false
+
+  let check t =
+    Check.omega_z t.sim ~z:(Psi_to_omega.z t.p)
+      ~deadline:(Sim.horizon t.sim -. 80.0)
+      t.mon
+
+  let violation _ = []
+
+  let metrics t =
+    [ ("queries_per_read", float_of_int (Psi_to_omega.queries_per_read t.p)) ]
+end
+
+module Reduce_p = struct
+  type t = { sim : Sim.t; z : int; proposals : int array; h : Kset.t }
+
+  let name = "reduce"
+  let horizon_hint = 5000.0
+
+  let install sim p =
+    let behavior = behavior_of p in
+    let omega, z =
+      match p.variant with
+      | "es" ->
+          let suspector, _ = Oracle.es_x sim ~x:p.x ~behavior () in
+          let w = Reduce.omega_from_es sim ~suspector ~x:p.x () in
+          (Wheels.omega w, Wheels.z w)
+      | "phi" ->
+          let querier, _ = Oracle.ephi_y sim ~y:p.y ~behavior () in
+          let w = Reduce.omega_from_phi sim ~querier ~y:p.y () in
+          (Wheels.omega w, Wheels.z w)
+      | "psi" ->
+          let querier, _ = Oracle.psi_y sim ~y:p.y ~behavior () in
+          let h = Reduce.omega_from_psi sim ~querier ~y:p.y in
+          (Psi_to_omega.omega h, Psi_to_omega.z h)
+      | v ->
+          invalid_arg
+            (Printf.sprintf "Protocol.reduce: unknown variant %S (es|phi|psi)" v)
+    in
+    let proposals = proposals_of p in
+    let h = Reduce.solve_kset sim ~omega ~proposals () in
+    { sim; z; proposals; h }
+
+  let stop t () = Kset.all_correct_decided t.h
+
+  let check t =
+    Check.k_set_agreement t.sim ~k:t.z ~proposals:t.proposals
+      ~decisions:(Kset.decisions t.h)
+
+  let violation t = kset_safety ~k:t.z ~proposals:t.proposals (Kset.decisions t.h)
+
+  let metrics t =
+    [
+      ("z", float_of_int t.z);
+      ("rounds", float_of_int (Kset.max_round t.h));
+      ("msgs", float_of_int (Kset.messages_sent t.h));
+    ]
+end
+
+(* ---- registry ---- *)
+
+let registry : (string * packed) list =
+  [
+    ("kset", (module Kset_p));
+    ("consensus_s", (module Consensus_p));
+    ("wheels", (module Wheels_p));
+    ("psi", (module Psi_p));
+    ("reduce", (module Reduce_p));
+  ]
+
+let find name = List.assoc_opt name registry
+let names () = List.map fst registry
+
+(* ---- running ---- *)
+
+let resolve_horizon (module P : S) p =
+  if p.horizon > 0.0 then p.horizon else P.horizon_hint
+
+let make_sim (module P : S) p =
+  let sim =
+    Sim.create
+      ~horizon:(resolve_horizon (module P) p)
+      ~legacy_poll:p.legacy_poll ~n:p.n ~t:p.t ~seed:p.seed ()
+  in
+  let rng = Rng.split_named (Sim.rng sim) "crash" in
+  Sim.install_crashes sim (Crash.generate p.crashes ~n:p.n ~t:p.t rng);
+  sim
+
+type report = {
+  rp_sim : Sim.t;
+  rp_outcome : Sim.outcome;
+  rp_verdict : Check.verdict;
+  rp_metrics : (string * float) list;
+}
+
+let run (module P : S) p =
+  let sim = make_sim (module P) p in
+  let h = P.install sim p in
+  let outcome = Sim.run ~stop_when:(P.stop h) sim in
+  let verdict = P.check h in
+  let metrics =
+    P.metrics h
+    @ [
+        ("latency", outcome.Sim.end_time);
+        ("sched.events", float_of_int outcome.Sim.events);
+        ("sched.pred_evals", float_of_int (Sim.pred_evals sim));
+        ("sched.signals", float_of_int (Sim.cond_signals sim));
+        ("sched.wakeups", float_of_int (Sim.wakeups sim));
+      ]
+  in
+  { rp_sim = sim; rp_outcome = outcome; rp_verdict = verdict; rp_metrics = metrics }
+
+let explore_make (module P : S) p () =
+  let sim = make_sim (module P) p in
+  let h = P.install sim p in
+  {
+    Explore.i_sim = sim;
+    i_stop = P.stop h;
+    i_violation = (fun () -> P.violation h);
+    i_crashable = List.init p.n Fun.id;
+  }

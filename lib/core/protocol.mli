@@ -1,0 +1,104 @@
+(** Unified protocol API.
+
+    Every runnable artifact of the reproduction — the k-set agreement
+    algorithm, the ◇S-based consensus baseline, the two-wheels and Ψ-chain
+    transformations, and the generic reduction pipelines — is exposed
+    behind one module type {!S} and a by-name {!registry}, so the CLI
+    ([fdkit run/campaign/explore/replay]) and the bench harness share a
+    single wiring instead of duplicating per-protocol setup.
+
+    A protocol takes the flat {!params} record (unused fields are simply
+    ignored by a given protocol), installs itself on a fresh simulator,
+    and exposes a stop condition, a full-run checker, a {e safety-only}
+    violation predicate (meaningful on partial runs — what {!Explore}
+    hunts), and metrics. *)
+
+open Setagree_util
+open Setagree_dsys
+open Setagree_fd
+
+type params = {
+  n : int;
+  t : int;
+  seed : int;
+  z : int;  (** Ω_z width (kset) *)
+  k : int;  (** agreement degree checked (kset) *)
+  x : int;  (** ◇S_x scope (wheels, reduce/es) *)
+  y : int;  (** ◇φ_y / Ψ_y strength (wheels, psi, reduce) *)
+  gst : float;  (** oracle stabilization time; 0 = perfect behavior *)
+  horizon : float;  (** virtual-time budget; 0 = the protocol's hint *)
+  crashes : Crash.spec;
+  legacy_poll : bool;
+  adversarial : bool;
+      (** kset: constant Ω_z trusted set + [By_pid] tie-break — the E2
+          mis-use configuration the explorer attacks (z > k violates) *)
+  variant : string;  (** reduce source: ["es"], ["phi"] or ["psi"] *)
+}
+
+val default : params
+
+val params_to_json : params -> (string * Json.t) list
+val params_of_json : (string * Json.t) list -> params
+(** Tolerant inverse of {!params_to_json}: missing or ill-typed fields
+    fall back to {!default} — a schedule file only needs the fields its
+    protocol reads. *)
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val horizon_hint : float
+  (** Default virtual-time budget when [params.horizon = 0]. *)
+
+  val install : Sim.t -> params -> t
+  (** Wire the protocol (and the oracles it consumes) onto the simulator.
+      Call before [Sim.run]. *)
+
+  val stop : t -> unit -> bool
+  (** Early-stop condition for [Sim.run] (e.g. all correct decided). *)
+
+  val check : t -> Check.verdict
+  (** Full-run verdict, including liveness (termination, eventual
+      leadership); evaluate after the run. *)
+
+  val violation : t -> string list
+  (** Safety-only violations exhibited so far ([[]] = none) — valid on a
+      partial run, hence usable as {!Explore}'s predicate.  Liveness-only
+      protocols return [[]]. *)
+
+  val metrics : t -> (string * float) list
+end
+
+type packed = (module S)
+
+val registry : (string * packed) list
+val find : string -> packed option
+val names : unit -> string list
+
+(** {1 Running} *)
+
+type report = {
+  rp_sim : Sim.t;
+  rp_outcome : Sim.outcome;
+  rp_verdict : Check.verdict;
+  rp_metrics : (string * float) list;
+      (** the protocol's metrics plus latency and scheduler counters *)
+}
+
+val run : packed -> params -> report
+(** Build a simulator from [params] (seeded crash generation under the
+    ["crash"] RNG split, as the CLI always did), install, run to the stop
+    condition, check. *)
+
+val explore_make : packed -> params -> unit -> Explore.instance
+(** Instance factory for {!Explore}: every call builds a fresh simulator
+    and installation, so controlled runs are independent and
+    deterministic in [(params, choices)].  All [n] processes are offered
+    as crashable; the explorer enforces the resilience budget. *)
+
+val kset_safety :
+  k:int -> proposals:int array -> (Pid.t * int * int * float) list -> string list
+(** The safety-only fragment of {!Check.k_set_agreement} (validity,
+    agreement, single-decision — no termination), shared by the kset-like
+    protocols' [violation]. *)

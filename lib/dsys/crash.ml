@@ -30,6 +30,117 @@ let generate spec ~n ~t rng =
 
 let victims l = Pidset.of_list (List.map fst l)
 
+(* ---- JSON (schedule files, triage records) ---- *)
+
+let window_json (lo, hi) = Json.List [ Json.Float lo; Json.Float hi ]
+
+let spec_to_json = function
+  | No_crashes -> Json.Obj [ ("kind", Json.String "none") ]
+  | Explicit l ->
+      Json.Obj
+        [
+          ("kind", Json.String "explicit");
+          ( "crashes",
+            Json.List
+              (List.map
+                 (fun (p, tm) ->
+                   Json.Obj [ ("pid", Json.Int p); ("time", Json.Float tm) ])
+                 l) );
+        ]
+  | Initial pids ->
+      Json.Obj
+        [
+          ("kind", Json.String "initial");
+          ("pids", Json.List (List.map (fun p -> Json.Int p) pids));
+        ]
+  | Random_up_to { max_crashes; window } ->
+      Json.Obj
+        [
+          ("kind", Json.String "random_up_to");
+          ("max_crashes", Json.Int max_crashes);
+          ("window", window_json window);
+        ]
+  | Exactly { crashes; window } ->
+      Json.Obj
+        [
+          ("kind", Json.String "exactly");
+          ("crashes", Json.Int crashes);
+          ("window", window_json window);
+        ]
+
+let ( let* ) r f = Result.bind r f
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "Crash.spec_of_json: missing field %S" name)
+
+let as_int name = function
+  | Json.Int i -> Ok i
+  | _ -> Error (Printf.sprintf "Crash.spec_of_json: %S must be an int" name)
+
+let as_float name j =
+  match Json.to_float_opt j with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "Crash.spec_of_json: %S must be a number" name)
+
+let as_window name = function
+  | Json.List [ lo; hi ] ->
+      let* lo = as_float name lo in
+      let* hi = as_float name hi in
+      Ok (lo, hi)
+  | _ -> Error (Printf.sprintf "Crash.spec_of_json: %S must be [lo, hi]" name)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let spec_of_json j =
+  let* kind = field "kind" j in
+  match kind with
+  | Json.String "none" -> Ok No_crashes
+  | Json.String "explicit" ->
+      let* l = field "crashes" j in
+      let* items =
+        match l with
+        | Json.List items ->
+            map_result
+              (fun item ->
+                let* pid = field "pid" item in
+                let* pid = as_int "pid" pid in
+                let* tm = field "time" item in
+                let* tm = as_float "time" tm in
+                Ok (pid, tm))
+              items
+        | _ -> Error "Crash.spec_of_json: \"crashes\" must be a list"
+      in
+      Ok (Explicit items)
+  | Json.String "initial" ->
+      let* l = field "pids" j in
+      let* pids =
+        match l with
+        | Json.List items -> map_result (as_int "pids") items
+        | _ -> Error "Crash.spec_of_json: \"pids\" must be a list"
+      in
+      Ok (Initial pids)
+  | Json.String "random_up_to" ->
+      let* m = field "max_crashes" j in
+      let* max_crashes = as_int "max_crashes" m in
+      let* w = field "window" j in
+      let* window = as_window "window" w in
+      Ok (Random_up_to { max_crashes; window })
+  | Json.String "exactly" ->
+      let* c = field "crashes" j in
+      let* crashes = as_int "crashes" c in
+      let* w = field "window" j in
+      let* window = as_window "window" w in
+      Ok (Exactly { crashes; window })
+  | Json.String k -> Error (Printf.sprintf "Crash.spec_of_json: unknown kind %S" k)
+  | _ -> Error "Crash.spec_of_json: \"kind\" must be a string"
+
 let pp fmt l =
   Format.fprintf fmt "[%s]"
     (String.concat "; "

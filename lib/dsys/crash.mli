@@ -27,3 +27,15 @@ val generate : spec -> n:int -> t:int -> Rng.t -> (Pid.t * float) list
 val victims : (Pid.t * float) list -> Pidset.t
 
 val pp : Format.formatter -> (Pid.t * float) list -> unit
+
+(** {1 JSON}
+
+    Round-trippable encoding, used by [Explore]'s schedule files and the
+    campaign triage records ([_results/failures.json]): a spec plus the run
+    seed reproduces the exact failure pattern. *)
+
+val spec_to_json : spec -> Json.t
+
+val spec_of_json : Json.t -> (spec, string) result
+(** Inverse of {!spec_to_json}: [spec_of_json (spec_to_json s) = Ok s]
+    (pinned by a qcheck round-trip test). *)

@@ -1,0 +1,89 @@
+open Setagree_util
+
+type choice = Deliver of int | Crash of Pid.t
+
+type t = {
+  protocol : string;
+  params : (string * Json.t) list;
+  crashes : Crash.spec;
+  choices : choice list;
+  violation : string list;
+}
+
+let choice_to_json = function
+  | Deliver i -> Json.Obj [ ("d", Json.Int i) ]
+  | Crash p -> Json.Obj [ ("c", Json.Int p) ]
+
+let choice_of_json j =
+  match (Json.member "d" j, Json.member "c" j) with
+  | Some (Json.Int i), None -> Ok (Deliver i)
+  | None, Some (Json.Int p) -> Ok (Crash p)
+  | _ -> Error "Schedule.choice_of_json: expected {\"d\": i} or {\"c\": pid}"
+
+let to_json s =
+  Json.Obj
+    [
+      ("protocol", Json.String s.protocol);
+      ("params", Json.Obj s.params);
+      ("crashes", Crash.spec_to_json s.crashes);
+      ("choices", Json.List (List.map choice_to_json s.choices));
+      ("violation", Json.List (List.map (fun n -> Json.String n) s.violation));
+    ]
+
+let ( let* ) r f = Result.bind r f
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let of_json j =
+  let* protocol =
+    match Json.member "protocol" j with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error "Schedule.of_json: missing \"protocol\""
+  in
+  let* params =
+    match Json.member "params" j with
+    | Some (Json.Obj fields) -> Ok fields
+    | None -> Ok []
+    | Some _ -> Error "Schedule.of_json: \"params\" must be an object"
+  in
+  let* crashes =
+    match Json.member "crashes" j with
+    | Some cj -> Crash.spec_of_json cj
+    | None -> Ok Crash.No_crashes
+  in
+  let* choices =
+    match Json.member "choices" j with
+    | Some (Json.List l) -> map_result choice_of_json l
+    | None -> Ok []
+    | Some _ -> Error "Schedule.of_json: \"choices\" must be a list"
+  in
+  let violation =
+    match Json.member "violation" j with
+    | Some (Json.List l) ->
+        List.filter_map (function Json.String s -> Some s | _ -> None) l
+    | _ -> []
+  in
+  Ok { protocol; params; crashes; choices; violation }
+
+let save path s = Json.write_file path (to_json s)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match Json.of_string contents with
+      | Error msg -> Error msg
+      | Ok j -> of_json j)
+
+let pp_choice fmt = function
+  | Deliver i -> Format.fprintf fmt "d%d" i
+  | Crash p -> Format.fprintf fmt "c%s" (Pid.to_string p)
+
+let pp_choices fmt l =
+  Format.fprintf fmt "[%s]"
+    (String.concat "; " (List.map (Format.asprintf "%a" pp_choice) l))

@@ -1,0 +1,42 @@
+(** Serializable execution schedules.
+
+    Under a {!Sim} chooser, an execution is fully determined by the run's
+    parameters and seed plus the sequence of choices made at event
+    boundaries.  A schedule captures that sequence — one {!choice} per
+    choice point (a boundary with at least one pending delivery), in
+    order — together with the protocol name, its parameters and the base
+    crash spec, so a violation found by {!Explore} replays exactly via
+    [fdkit replay --schedule file.json].
+
+    Choice lists are {e total}: a [Deliver] index is clamped into the
+    pending range at replay time and a schedule shorter than the execution
+    falls back to the default (FIFO) policy, so {e any} prefix or mutation
+    of a valid schedule is itself a valid schedule.  This is what makes
+    delta-debugging minimization safe. *)
+
+open Setagree_util
+
+type choice =
+  | Deliver of int
+      (** Deliver the i-th pending message (canonical offer order, clamped). *)
+  | Crash of Pid.t  (** Crash the process at this boundary. *)
+
+type t = {
+  protocol : string;  (** registry name, e.g. ["kset"] *)
+  params : (string * Json.t) list;  (** the full parameter record *)
+  crashes : Crash.spec;  (** base (pre-installed) crash pattern *)
+  choices : choice list;
+  violation : string list;  (** what the recorded run exhibited; [[]] = none *)
+}
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+
+val save : string -> t -> unit
+val load : string -> (t, string) result
+
+val choice_to_json : choice -> Json.t
+val choice_of_json : Json.t -> (choice, string) result
+
+val pp_choice : Format.formatter -> choice -> unit
+val pp_choices : Format.formatter -> choice list -> unit

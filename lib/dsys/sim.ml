@@ -38,6 +38,13 @@ and t = {
   mutable pending_conds : cond list;
   mutable poll_waiters : int;
   mutable poll_cond : cond option;
+  (* Choice-point control (schedule exploration).  When a chooser is
+     installed, substrates route deliveries through [offer] instead of
+     sampling delays; the run loop consults the chooser at every event
+     boundary (no event left at the current instant). *)
+  mutable chooser : (t -> pending array -> decision) option;
+  mutable pool : pending list; (* newest-first; canonical order is by pd_id *)
+  mutable next_pd : int;
   (* Scheduler observability (flushed into [trace] at the end of [run]). *)
   mutable n_pred_evals : int;
   mutable n_signals : int;
@@ -47,6 +54,15 @@ and t = {
   mutable fl_wakeups : int;
   mutable fl_events : int;
 }
+
+and pending = {
+  pd_id : int;
+  pd_src : Pid.t;
+  pd_dst : Pid.t;
+  pd_fire : unit -> unit;
+}
+
+and decision = Deliver of int | Inject_crash of Pid.t | Pass
 
 type _ Effect.t +=
   | Sleep : float -> unit Effect.t
@@ -83,6 +99,9 @@ let create ?(horizon = 1e6) ?(max_events = 10_000_000) ?(legacy_poll = false) ~n
       pending_conds = [];
       poll_waiters = 0;
       poll_cond = None;
+      chooser = None;
+      pool = [];
+      next_pd = 0;
       n_pred_evals = 0;
       n_signals = 0;
       n_wakeups = 0;
@@ -153,7 +172,11 @@ let do_crash t pid =
     (* Abandoned forever: drop this process's blocked fibers. *)
     let dropped, kept = List.partition (fun w -> w.wpid = pid) t.waiters in
     drop_waiter_counts t dropped;
-    t.waiters <- kept
+    t.waiters <- kept;
+    (* Undelivered messages to a dead process would be delivered into the
+       void; drop them so the chooser never wastes a branch on them.
+       In-flight messages *from* the crashed process stay. *)
+    t.pool <- List.filter (fun p -> p.pd_dst <> pid) t.pool
   end
 
 let crash_now t pid =
@@ -182,6 +205,41 @@ let install_crashes t crashes =
 let sleep d = Effect.perform (Sleep d)
 let yield () = Effect.perform Yield
 let wait_until pred = Effect.perform (Wait_until pred)
+
+(* ---- Choice-point control ---- *)
+
+let set_chooser t f = t.chooser <- Some f
+let clear_chooser t = t.chooser <- None
+let controlled t = t.chooser <> None
+
+let offer t ~src ~dst fire =
+  if t.chooser = None then invalid_arg "Sim.offer: no chooser installed";
+  let pd = { pd_id = t.next_pd; pd_src = src; pd_dst = dst; pd_fire = fire } in
+  t.next_pd <- t.next_pd + 1;
+  t.pool <- pd :: t.pool
+
+let pending_deliveries t = List.length t.pool
+
+(* One chooser step at an event boundary: [true] iff something fired (a
+   delivery or a crash), which counts as an event for the run loop. *)
+let consult_chooser t =
+  match t.chooser with
+  | None -> false
+  | Some choose -> (
+      let arr = Array.of_list (List.rev t.pool) in
+      match choose t arr with
+      | Pass -> false
+      | Deliver _ when Array.length arr = 0 -> false
+      | Deliver i ->
+          let m = Array.length arr in
+          let i = if i < 0 then 0 else if i >= m then m - 1 else i in
+          let p = arr.(i) in
+          t.pool <- List.filter (fun q -> q.pd_id <> p.pd_id) t.pool;
+          p.pd_fire ();
+          true
+      | Inject_crash pid ->
+          crash_now t pid;
+          true)
 
 module Cond = struct
   let create t = { c_owner = t; c_pending = false }
@@ -317,34 +375,46 @@ let run ?(stop_when = fun () -> false) (t : t) =
   let events = ref 0 in
   let reason = ref Quiescent in
   let continue_loop = ref true in
+  let post_step () =
+    incr events;
+    if t.waiters <> [] && (t.legacy_poll || t.poll_waiters > 0 || t.pending_conds <> [])
+    then drain t;
+    if stop_when () then begin
+      reason := Stopped;
+      continue_loop := false
+    end
+    else if !events >= t.max_events then begin
+      reason := Budget;
+      continue_loop := false
+    end
+  in
   while !continue_loop do
-    match Pqueue.pop t.events with
-    | None ->
-        reason := Quiescent;
-        continue_loop := false
-    | Some ev ->
-        if ev.time > t.horizon then begin
-          reason := Horizon;
-          t.now <- t.horizon;
+    (* An event boundary: nothing left to run at the current instant.  A
+       chooser (schedule exploration) picks what happens next — which
+       pending delivery fires, or a crash — before time is allowed to
+       advance; its picks execute at the current virtual time. *)
+    let boundary =
+      t.chooser <> None
+      &&
+      match Pqueue.peek t.events with None -> true | Some ev -> ev.time > t.now
+    in
+    if boundary && consult_chooser t then post_step ()
+    else
+      match Pqueue.pop t.events with
+      | None ->
+          reason := Quiescent;
           continue_loop := false
-        end
-        else begin
-          t.now <- Float.max t.now ev.time;
-          ev.run ();
-          incr events;
-          if
-            t.waiters <> []
-            && (t.legacy_poll || t.poll_waiters > 0 || t.pending_conds <> [])
-          then drain t;
-          if stop_when () then begin
-            reason := Stopped;
+      | Some ev ->
+          if ev.time > t.horizon then begin
+            reason := Horizon;
+            t.now <- t.horizon;
             continue_loop := false
           end
-          else if !events >= t.max_events then begin
-            reason := Budget;
-            continue_loop := false
+          else begin
+            t.now <- Float.max t.now ev.time;
+            ev.run ();
+            post_step ()
           end
-        end
   done;
   flush_sched_counters t ~events:!events;
   { reason = !reason; events = !events; end_time = t.now }

@@ -46,7 +46,9 @@ val create :
     [max_events] (default [10_000_000]) bounds the run.  [legacy_poll]
     (default [false]) re-evaluates {e every} blocked predicate after every
     event instead of only the signalled ones — the pre-condition-variable
-    scheduler, retained for differential testing. *)
+    scheduler.  It is a {b test-only escape hatch}: production code and the
+    protocols never set it; it exists solely as the differential baseline
+    that [test/test_sched.ml] compares the condition scheduler against. *)
 
 val n : t -> int
 val t_bound : t -> int
@@ -139,10 +141,15 @@ val yield : unit -> unit
     events).  Gives the crash scheduler a chance to interleave. *)
 
 val wait_until : (unit -> bool) -> unit
+  [@@deprecated "use Sim.Cond.await (with Cond.poll for clock-derived predicates)"]
 (** Suspend until the predicate holds.  Compatibility shim over
     [Cond.await [Cond.poll sim] pred]: the predicate is re-evaluated after
     every event, so it needs no signal discipline; it must be cheap and
-    side-effect free. *)
+    side-effect free.
+
+    @deprecated Use {!Cond.await} with an explicit condition list —
+    [Cond.await [Cond.poll sim] pred] if the predicate really has no
+    signal discipline. *)
 
 (** {1 Scheduling primitives (for substrates such as channels)} *)
 
@@ -157,6 +164,56 @@ val ticker : t -> every:float -> unit
 (** Install heartbeat events up to the horizon so that poll-subscribed
     predicates depending only on the clock (e.g. pull-based oracles) are
     re-evaluated regularly. *)
+
+(** {1 Choice-point control (schedule exploration)}
+
+    A {e chooser} takes over the simulator's nondeterminism: substrates
+    route message deliveries through {!offer} instead of sampling a delay,
+    and whenever the run loop reaches an {e event boundary} — no event left
+    at the current instant — it asks the chooser what happens next.  The
+    chooser either delivers one of the pending messages, injects a crash
+    (quantized to the boundary: it takes effect at the current virtual
+    time), or passes, letting virtual time advance to the next queued
+    event.  Chosen deliveries execute immediately at the current time, so
+    an execution is fully determined by [(params, seed, choice list)] —
+    the basis of {!Explore}'s replayable schedules. *)
+
+type pending = private {
+  pd_id : int;  (** monotonic offer id; canonical order *)
+  pd_src : Pid.t;
+  pd_dst : Pid.t;
+  pd_fire : unit -> unit;
+}
+(** A message offered for delivery, waiting for the chooser to pick it. *)
+
+type decision =
+  | Deliver of int
+      (** Index into the canonical (pd_id-ordered) pending array; clamped
+          into range, so any index is safe. *)
+  | Inject_crash of Pid.t
+      (** Crash the process now ({!crash_now} semantics: counts against
+          [t], raises past the bound). *)
+  | Pass  (** Let virtual time advance to the next queued event. *)
+
+val set_chooser : t -> (t -> pending array -> decision) -> unit
+(** Install the chooser.  From now on {!offer} is legal and the run loop
+    consults the chooser at every event boundary with the pending
+    deliveries in canonical order (possibly empty). *)
+
+val clear_chooser : t -> unit
+
+val controlled : t -> bool
+(** Whether a chooser is installed — substrates test this to decide
+    between sampling a delay and calling {!offer}. *)
+
+val offer : t -> src:Pid.t -> dst:Pid.t -> (unit -> unit) -> unit
+(** Hand a delivery thunk to the chooser instead of scheduling it.  The
+    thunk fires when (and if) the chooser picks it.  Deliveries to a
+    process that crashes meanwhile are dropped from the pool (a message to
+    a dead process is indistinguishable from a lost one).  Raises
+    [Invalid_argument] if no chooser is installed. *)
+
+val pending_deliveries : t -> int
 
 (** {1 Running} *)
 

@@ -106,6 +106,15 @@ let send_at t ~src ~dst ~deliver_at payload =
 let send t ~src ~dst payload =
   if not (Sim.is_crashed t.sim src) then begin
     match t.transport with
+    (* Under a chooser the adversary owns delivery order: hand the
+       delivery thunk to the pending pool instead of sampling a delay
+       (no RNG draw, so controlled runs don't perturb uncontrolled
+       replays of the same seed). *)
+    | None when Sim.controlled t.sim ->
+        t.sent <- t.sent + 1;
+        Trace.incr (Sim.trace t.sim) (t.tag ^ ".sent");
+        let sent_at = Sim.now t.sim in
+        Sim.offer t.sim ~src ~dst (deliver t ~src ~dst ~sent_at payload)
     | None ->
         let now = Sim.now t.sim in
         let d = Delay.sample t.delay ~rng:t.rng ~src ~dst ~now in

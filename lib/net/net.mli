@@ -67,7 +67,10 @@ val cond : 'm t -> Pid.t -> Sim.cond
 
 val send : 'm t -> src:Pid.t -> dst:Pid.t -> 'm -> unit
 (** Asynchronous send; returns immediately.  No-op if [src] already
-    crashed (a dead process takes no step). *)
+    crashed (a dead process takes no step).  When a {!Sim} chooser is
+    installed ([Sim.controlled]) and the net has no lossy transport, the
+    delivery is offered to the chooser's pending pool instead of being
+    scheduled after a sampled delay — the explorer picks the order. *)
 
 val send_at : 'm t -> src:Pid.t -> dst:Pid.t -> deliver_at:float -> 'm -> unit
 (** Adversarial variant: deliver at an absolute virtual time. *)

@@ -5,6 +5,7 @@ type body = {
   notes : string list;
   metrics : (string * float) list;
   row : string;
+  extra : Json.t;
 }
 
 type job = {
@@ -20,7 +21,8 @@ let job ?label ?(params = []) ?replay ~exp ~seed run =
   let label = match label with Some l -> l | None -> Printf.sprintf "%s/seed=%d" exp seed in
   { exp; label; params; seed; replay; run }
 
-let body ?(notes = []) ?(metrics = []) ?(row = "") ok = { ok; notes; metrics; row }
+let body ?(notes = []) ?(metrics = []) ?(row = "") ?(extra = Json.Null) ok =
+  { ok; notes; metrics; row; extra }
 
 type result = {
   r_exp : string;
@@ -32,6 +34,7 @@ type result = {
   r_notes : string list;
   r_metrics : (string * float) list;
   r_row : string;
+  r_extra : Json.t;
   r_error : string option;
   r_wall_s : float;
 }
@@ -123,12 +126,12 @@ let default_jobs () =
 
 let run_job j =
   let t0 = Unix.gettimeofday () in
-  let ok, notes, metrics, row, error =
+  let ok, notes, metrics, row, extra, error =
     match j.run () with
-    | b -> (b.ok, b.notes, b.metrics, b.row, None)
+    | b -> (b.ok, b.notes, b.metrics, b.row, b.extra, None)
     | exception e ->
         let msg = Printexc.to_string e in
-        (false, [ "raised: " ^ msg ], [], j.label ^ "  RAISED " ^ msg, Some msg)
+        (false, [ "raised: " ^ msg ], [], j.label ^ "  RAISED " ^ msg, Json.Null, Some msg)
   in
   {
     r_exp = j.exp;
@@ -140,6 +143,7 @@ let run_job j =
     r_notes = notes;
     r_metrics = metrics;
     r_row = row;
+    r_extra = extra;
     r_error = error;
     r_wall_s = Unix.gettimeofday () -. t0;
   }
@@ -254,6 +258,7 @@ let result_json ?(timing = true) r =
        ("notes", Json.List (List.map (fun n -> Json.String n) r.r_notes));
        ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.r_metrics));
        ("row", Json.String r.r_row);
+       ("extra", r.r_extra);
        ("error", opt_string r.r_error);
        ("replay", opt_string r.r_replay);
      ]

@@ -34,6 +34,10 @@ type body = {
       (** named samples (rounds, msgs, latency, ...) aggregated across
           the campaign via [Util.Stats] *)
   row : string;  (** pre-rendered table row, printed in canonical order *)
+  extra : Json.t;
+      (** arbitrary structured payload carried verbatim into the result
+          (e.g. [Explore] counterexamples); part of {!signature}, so it
+          must be interleaving-independent — no timing *)
 }
 
 type job = {
@@ -58,7 +62,13 @@ val job :
 (** [label] defaults to ["<exp>/seed=<seed>"]. *)
 
 val body :
-  ?notes:string list -> ?metrics:(string * float) list -> ?row:string -> bool -> body
+  ?notes:string list ->
+  ?metrics:(string * float) list ->
+  ?row:string ->
+  ?extra:Json.t ->
+  bool ->
+  body
+(** [extra] defaults to [Json.Null]. *)
 
 (** {1 Results} *)
 
@@ -72,6 +82,7 @@ type result = {
   r_notes : string list;
   r_metrics : (string * float) list;
   r_row : string;
+  r_extra : Json.t;  (** the body's structured payload ([Json.Null] if none) *)
   r_error : string option;  (** an escaped exception, if the job raised *)
   r_wall_s : float;  (** per-job wall clock (timing-dependent!) *)
 }

@@ -1,0 +1,263 @@
+(* Tests for the schedule explorer stack: Crash.spec / Schedule JSON
+   round-trips, the protocol-blind Explore kernel on toy instances where
+   the full branch structure is checkable by hand (sleep-set pruning,
+   first-deviation DFS, delta-debugging minimization, crash injection),
+   and the campaign-shaped Explorer on the E2 misuse configuration
+   (Omega_z with z > k must yield a replayable counterexample; z <= k
+   must come up dry — Lemma 2) including the -j 1 == -j N determinism
+   contract. *)
+
+open Setagree_util
+open Setagree_dsys
+open Setagree_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- JSON round-trips --- *)
+
+let gen_spec =
+  QCheck.Gen.(
+    let pid = int_range 0 7 in
+    let time = map float_of_int (int_range 0 50) in
+    let window = map (fun a -> (float_of_int a, float_of_int (a + 20))) (int_range 0 30) in
+    int_range 0 4 >>= function
+    | 0 -> return Crash.No_crashes
+    | 1 -> map (fun l -> Crash.Explicit l) (list_size (int_range 0 3) (pair pid time))
+    | 2 -> map (fun l -> Crash.Initial l) (list_size (int_range 0 3) pid)
+    | 3 ->
+        map2
+          (fun m w -> Crash.Random_up_to { max_crashes = m; window = w })
+          (int_range 0 4) window
+    | _ ->
+        map2 (fun c w -> Crash.Exactly { crashes = c; window = w }) (int_range 0 4) window)
+
+let qcheck_crash_spec_roundtrip =
+  QCheck.Test.make ~name:"Crash.spec_of_json (spec_to_json s) = Ok s" ~count:200
+    (QCheck.make gen_spec)
+    (fun spec -> Crash.spec_of_json (Crash.spec_to_json spec) = Ok spec)
+
+let gen_choice =
+  QCheck.Gen.(
+    bool >>= function
+    | true -> map (fun i -> Schedule.Deliver i) (int_range 0 20)
+    | false -> map (fun p -> Schedule.Crash p) (int_range 0 7))
+
+let gen_schedule =
+  QCheck.Gen.(
+    map2
+      (fun (choices, spec) violation ->
+        {
+          Schedule.protocol = "kset";
+          params = Protocol.params_to_json Protocol.default;
+          crashes = spec;
+          choices;
+          violation;
+        })
+      (pair (list_size (int_range 0 12) gen_choice) gen_spec)
+      (list_size (int_range 0 2) (return "agreement: 2 > k distinct decisions")))
+
+let qcheck_schedule_roundtrip =
+  QCheck.Test.make ~name:"Schedule.of_json (to_json s) = Ok s" ~count:200
+    (QCheck.make gen_schedule)
+    (fun s -> Schedule.of_json (Schedule.to_json s) = Ok s)
+
+let test_schedule_file_roundtrip () =
+  let s =
+    {
+      Schedule.protocol = "kset";
+      params = Protocol.params_to_json { Protocol.default with Protocol.z = 2 };
+      crashes = Crash.Exactly { crashes = 2; window = (0.0, 20.0) };
+      choices = [ Schedule.Deliver 3; Schedule.Crash 1; Schedule.Deliver 0 ];
+      violation = [ "agreement: 2 > k distinct decisions" ];
+    }
+  in
+  let path = Filename.temp_file "schedule" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Schedule.save path s;
+      match Schedule.load path with
+      | Ok s' -> check "save/load round-trip" true (s = s')
+      | Error e -> Alcotest.failf "load failed: %s" e)
+
+(* --- Toy instances: the kernel's branch structure by hand --- *)
+
+(* Three messages offered at the same boundary: 1->0, 2->0, 2->1.  The
+   "protocol" is violated iff process 0's FIRST message comes from 2.
+   FIFO is safe; exactly one reordering (Deliver 1 at point 0) breaks it;
+   2->1 commutes with both (different destination), so branching on it is
+   pruned. *)
+let make_race () =
+  let sim = Sim.create ~horizon:50.0 ~n:3 ~t:1 ~seed:1 () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:1.0 (fun () ->
+      Sim.offer sim ~src:1 ~dst:0 (fun () -> log := !log @ [ 1 ]);
+      Sim.offer sim ~src:2 ~dst:0 (fun () -> log := !log @ [ 2 ]);
+      Sim.offer sim ~src:2 ~dst:1 (fun () -> ()));
+  {
+    Explore.i_sim = sim;
+    i_stop = (fun () -> false);
+    i_violation = (fun () -> match !log with 2 :: _ -> [ "src 2 overtook src 1" ] | _ -> []);
+    i_crashable = [];
+  }
+
+let test_default_exec_is_fifo_and_safe () =
+  let stats = Explore.new_stats () in
+  let e = Explore.default_exec ~make:make_race ~stats ~depth:8 in
+  check "FIFO run is safe" true (e.Explore.ex_violation = []);
+  check_int "three choice points" 3 e.Explore.ex_points;
+  check_int "all-default choices" 0 (Explore.deviations e.Explore.ex_choices)
+
+let test_dfs_finds_race_with_pruning () =
+  let stats = Explore.new_stats () in
+  let base = Explore.default_exec ~make:make_race ~stats ~depth:8 in
+  let roots =
+    List.concat_map
+      (Explore.alternatives_at stats base)
+      (List.init (Array.length base.Explore.ex_options) Fun.id)
+  in
+  (* Point 0: Deliver 1 branches (same dst as Deliver 0), Deliver 2 is
+     pruned (dst 1 commutes).  Point 1: the only reordering commutes.
+     Point 2: singleton.  So exactly one root, >= 2 prunes. *)
+  check_int "one non-commuting root" 1 (List.length roots);
+  check "commuting branches pruned" true (stats.Explore.prunes >= 2);
+  let found = Explore.dfs ~make:make_race ~stats ~depth:8 ~delays:2 ~max_runs:50 roots in
+  (match found with
+  | [ (prefix, notes) ] ->
+      check_int "one deviation suffices" 1 (Explore.deviations prefix);
+      check "the recorded violation" true (notes = [ "src 2 overtook src 1" ])
+  | l -> Alcotest.failf "expected exactly one violation, got %d" (List.length l));
+  check "violations counted" true (stats.Explore.violations >= 1)
+
+let test_shrink_race_to_single_reorder () =
+  let stats = Explore.new_stats () in
+  let base = Explore.default_exec ~make:make_race ~stats ~depth:8 in
+  let roots = Explore.alternatives_at stats base 0 in
+  let found = Explore.dfs ~make:make_race ~stats ~depth:8 ~delays:2 ~max_runs:50 roots in
+  let choices, notes = Explore.shrink ~make:make_race ~stats (List.hd found) in
+  check "minimized to the one reordering" true (choices = [ Schedule.Deliver 1 ]);
+  check "violation preserved" true (notes = [ "src 2 overtook src 1" ]);
+  (* Replay of the minimized schedule exhibits the same violation. *)
+  let e = Explore.run_schedule ~make:make_race choices in
+  check "minimized schedule replays" true (e.Explore.ex_violation = notes)
+
+let test_run_schedule_deterministic () =
+  let run () =
+    let e = Explore.run_schedule ~make:make_race ~depth:8 [ Schedule.Deliver 1 ] in
+    (e.Explore.ex_choices, e.Explore.ex_violation, e.Explore.ex_outcome.Sim.events)
+  in
+  check "same choices, same execution" true (run () = run ())
+
+(* Violated iff the adversary crashes process 1 — delivery order is
+   irrelevant.  DFS must discover it via crash injection and shrink must
+   keep exactly [Crash 1]. *)
+let make_crashable () =
+  let sim = Sim.create ~horizon:50.0 ~n:3 ~t:1 ~seed:1 () in
+  Sim.schedule sim ~delay:1.0 (fun () -> Sim.offer sim ~src:2 ~dst:0 (fun () -> ()));
+  {
+    Explore.i_sim = sim;
+    i_stop = (fun () -> false);
+    i_violation =
+      (fun () ->
+        if Pidset.mem 1 (Sim.correct_set sim) then [] else [ "pid 1 was crashed" ]);
+    i_crashable = [ 0; 1; 2 ];
+  }
+
+let test_dfs_injects_crash_and_shrinks () =
+  let stats = Explore.new_stats () in
+  let base = Explore.default_exec ~make:make_crashable ~stats ~depth:8 in
+  check "default run safe" true (base.Explore.ex_violation = []);
+  let roots =
+    List.concat_map
+      (Explore.alternatives_at stats base)
+      (List.init (Array.length base.Explore.ex_options) Fun.id)
+  in
+  let found =
+    Explore.dfs ~make:make_crashable ~stats ~depth:8 ~delays:2 ~max_runs:100 roots
+  in
+  check "found the crash violation" true
+    (List.exists (fun (_, notes) -> notes = [ "pid 1 was crashed" ]) found);
+  let fv = List.find (fun (_, notes) -> notes = [ "pid 1 was crashed" ]) found in
+  let choices, notes = Explore.shrink ~make:make_crashable ~stats fv in
+  check "minimized to the one crash" true (choices = [ Schedule.Crash 1 ]);
+  check "violation preserved" true (notes = [ "pid 1 was crashed" ])
+
+(* --- Explorer on the registry: E2 misuse end-to-end --- *)
+
+let bounds =
+  {
+    Explorer.default_bounds with
+    Explorer.depth = 8;
+    delays = 1;
+    walks = 8;
+    max_runs_per_job = 100;
+    shrink_budget = 100;
+  }
+
+let params z =
+  {
+    Protocol.default with
+    Protocol.n = 7;
+    t = 2;
+    seed = 1;
+    z;
+    k = 1;
+    adversarial = true;
+    horizon = 300.0;
+    crashes = Crash.No_crashes;
+  }
+
+let test_misuse_finds_and_replays () =
+  let o = Explorer.explore ~jobs:1 ~protocol:"kset" (params 2) bounds in
+  check "z > k yields a counterexample" true (o.Explorer.o_ces <> []);
+  let ce = List.hd o.Explorer.o_ces in
+  check "violation recorded" true (ce.Schedule.violation <> []);
+  match Explorer.replay ce with
+  | Ok (_, reproduced) -> check "replay reproduces the violation" true reproduced
+  | Error e -> Alcotest.failf "replay failed: %s" e
+
+let test_explorer_jobs_deterministic () =
+  let o1 = Explorer.explore ~jobs:1 ~protocol:"kset" (params 2) bounds in
+  let o2 = Explorer.explore ~jobs:2 ~protocol:"kset" (params 2) bounds in
+  Alcotest.(check string)
+    "campaign signatures agree across -j"
+    (Setagree_runner.Runner.signature o1.Explorer.o_campaign)
+    (Setagree_runner.Runner.signature o2.Explorer.o_campaign);
+  check "identical counterexample lists" true
+    (List.map Schedule.to_json o1.Explorer.o_ces
+    = List.map Schedule.to_json o2.Explorer.o_ces)
+
+let test_safe_config_comes_up_dry () =
+  let o = Explorer.explore ~jobs:1 ~protocol:"kset" (params 1) bounds in
+  check "z <= k: no schedule violates (Lemma 2)" true (o.Explorer.o_ces = [])
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "schedule file round-trip" `Quick test_schedule_file_roundtrip;
+        ]
+        @ List.map
+            (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |]))
+            [ qcheck_crash_spec_roundtrip; qcheck_schedule_roundtrip ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "default exec is FIFO" `Quick test_default_exec_is_fifo_and_safe;
+          Alcotest.test_case "dfs finds race, prunes commuting" `Quick
+            test_dfs_finds_race_with_pruning;
+          Alcotest.test_case "shrink to single reorder" `Quick
+            test_shrink_race_to_single_reorder;
+          Alcotest.test_case "run_schedule deterministic" `Quick
+            test_run_schedule_deterministic;
+          Alcotest.test_case "crash injection + shrink" `Quick
+            test_dfs_injects_crash_and_shrinks;
+        ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "misuse finds + replays" `Quick test_misuse_finds_and_replays;
+          Alcotest.test_case "-j1 == -j2" `Quick test_explorer_jobs_deterministic;
+          Alcotest.test_case "safe config dry" `Quick test_safe_config_comes_up_dry;
+        ] );
+    ]

@@ -189,7 +189,7 @@ let test_decider_crashes_mid_relay () =
        scheduled crashes (it may still kill its own host below). *)
     let watcher = Pidset.min_elt (Sim.correct_set sim) in
     Sim.spawn sim ~pid:watcher (fun () ->
-        Sim.wait_until (fun () -> Kset.decisions h <> []);
+        Sim.Cond.await [ Sim.Cond.poll sim ] (fun () -> Kset.decisions h <> []);
         if not !killed then begin
           killed := true;
           match Kset.decisions h with

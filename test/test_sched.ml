@@ -10,6 +10,7 @@
 
 open Setagree_util
 open Setagree_dsys
+open Setagree_net
 open Setagree_fd
 open Setagree_core
 
@@ -247,6 +248,56 @@ let qcheck_differential_kset =
       let b = fingerprint_kset ~legacy_poll:true ~seed ~n:7 ~t:3 ~z ~crashes () in
       a = b && a.verdict_ok)
 
+(* Adversarial transports: the differential property must also hold when
+   the network itself is hostile — heavy-tailed delays, partial synchrony
+   with a late GST, fair-lossy links.  Loss can leave the run undecided at
+   the horizon (liveness is forfeit without retransmission), so the
+   verdict is only asserted loss-free; the fingerprints must match
+   regardless. *)
+
+let fingerprint_kset_adv ~legacy_poll ~seed ~delay ?loss () =
+  let n = 7 and t = 3 and z = 2 in
+  let sim = Sim.create ~horizon:3000.0 ~legacy_poll ~n ~t ~seed () in
+  let rng = Rng.split_named (Sim.rng sim) "crash" in
+  Sim.install_crashes sim
+    (Crash.generate (Crash.Exactly { crashes = 2; window = (0.0, 30.0) }) ~n ~t rng);
+  let omega, _ = Oracle.omega_z sim ~z ~behavior:(Behavior.stormy ~gst:40.0) () in
+  let proposals = Array.init n (fun i -> 100 + i) in
+  let h = Kset.install sim ~omega ~proposals ~delay ?loss () in
+  let o = Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim in
+  let v = Check.k_set_agreement sim ~k:z ~proposals ~decisions:(Kset.decisions h) in
+  {
+    decisions = Kset.decisions h;
+    rounds = Kset.max_round h;
+    reason = o.Sim.reason;
+    events = o.Sim.events;
+    end_time = o.Sim.end_time;
+    verdict_ok = Check.verdict_ok v;
+  }
+
+let adv_delays =
+  [
+    ("exp(1)", Delay.Exponential 1.0);
+    ("psync(gst=30)", Delay.Psync { gst = 30.0; bound = 2.0; pre_spread = 25.0 });
+  ]
+
+let adv_losses = [ ("loss=0", None); ("loss=0.2", Some 0.2) ]
+
+let qcheck_differential_kset_adversarial =
+  QCheck.Test.make
+    ~name:"random (seed, delay, loss): adversarial kset cond == legacy-poll" ~count:16
+    (QCheck.make
+       ~print:(fun (s, d, l) ->
+         Printf.sprintf "seed=%d delay=%s %s" s (fst (List.nth adv_delays d))
+           (fst (List.nth adv_losses l)))
+       QCheck.Gen.(triple (int_range 100 50_000) (int_range 0 1) (int_range 0 1)))
+    (fun (seed, d, l) ->
+      let delay = snd (List.nth adv_delays d) in
+      let loss = snd (List.nth adv_losses l) in
+      let a = fingerprint_kset_adv ~legacy_poll:false ~seed ~delay ?loss () in
+      let b = fingerprint_kset_adv ~legacy_poll:true ~seed ~delay ?loss () in
+      a = b && (loss <> None || a.verdict_ok))
+
 let qcheck_differential_cons_s =
   QCheck.Test.make ~name:"random (seed, crashes): cons_s cond == legacy-poll" ~count:10
     (QCheck.make
@@ -284,5 +335,9 @@ let () =
       ( "properties",
         List.map
           (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |]))
-          [ qcheck_differential_kset; qcheck_differential_cons_s ] );
+          [
+            qcheck_differential_kset;
+            qcheck_differential_kset_adversarial;
+            qcheck_differential_cons_s;
+          ] );
     ]
