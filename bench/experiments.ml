@@ -982,6 +982,164 @@ let sched () =
     sizes
 
 (* ------------------------------------------------------------------ *)
+(* OBS — tracing overhead: the observability layer must be close to    *)
+(* free at its default level.  kset sweep at trace off/default/full;   *)
+(* the artifact additionally records per-(n, level) wall means and the *)
+(* overhead percentage vs off (acceptance: default < 5% at n = 64).    *)
+(* ------------------------------------------------------------------ *)
+
+let obs () =
+  section "OBS  Tracing overhead: kset at trace level off / default / full";
+  (* BENCH_OBS_SMOKE: trimmed sweep for CI (small n, one seed, one rep). *)
+  let smoke = Sys.getenv_opt "BENCH_OBS_SMOKE" <> None in
+  let sizes = if smoke then [ 8; 16 ] else [ 8; 16; 32; 64 ] in
+  let seeds = if smoke then [ 1 ] else [ 1; 2; 3 ] in
+  let reps = if smoke then 1 else 3 in
+  let levels = [ "off"; "default"; "full" ] in
+  let pk = Option.get (Protocol.find "kset") in
+  let mk_params nn level seed =
+    {
+      Protocol.default with
+      Protocol.n = nn;
+      t = (nn / 2) - 1;
+      z = 2;
+      k = 2;
+      seed;
+      horizon = 3000.0;
+      crashes = Crash.Exactly { crashes = 2; window = (0.0, 20.0) };
+      trace = level;
+    }
+  in
+  let jobs =
+    List.concat_map
+      (fun nn ->
+        List.concat_map
+          (fun level ->
+            List.map
+              (fun seed ->
+                Runner.job ~exp:"obs" ~seed
+                  ~label:(Printf.sprintf "n=%d trace=%s seed=%d" nn level seed)
+                  ~params:
+                    [
+                      ("n", Json.Int nn);
+                      ("level", Json.String level);
+                    ]
+                  ~replay:
+                    (fdkit_replay "kset -n %d -t %d -z 2 -k 2 --crashes 2 --seed %d --trace %s"
+                       nn ((nn / 2) - 1) seed level)
+                  (fun () ->
+                    let p = mk_params nn level seed in
+                    (* min-of-reps wall: same params → same execution, so
+                       repeats only shave scheduler noise off the timing. *)
+                    let best = ref infinity and last = ref None in
+                    for _ = 1 to reps do
+                      let t0 = Unix.gettimeofday () in
+                      let r = Protocol.run pk p in
+                      let wall = Unix.gettimeofday () -. t0 in
+                      if wall < !best then best := wall;
+                      last := Some r
+                    done;
+                    let r = Option.get !last in
+                    let tr = Sim.trace r.Protocol.rp_sim in
+                    let obs_metrics =
+                      List.filter
+                        (fun (name, _) -> String.starts_with ~prefix:"obs." name)
+                        r.Protocol.rp_metrics
+                    in
+                    let get name =
+                      Option.value ~default:0.0
+                        (List.assoc_opt name r.Protocol.rp_metrics)
+                    in
+                    let ok = Check.verdict_ok r.Protocol.rp_verdict in
+                    Runner.body
+                      ~notes:(if ok then [] else r.Protocol.rp_verdict.Check.notes)
+                      ~metrics:
+                        ([
+                           ("wall_s", !best);
+                           ("entries", float_of_int (Trace.length tr));
+                           ("rounds", get "rounds");
+                         ]
+                        @ obs_metrics)
+                      ~row:
+                        (Printf.sprintf "%-5d %-8s %-5d  %-5s %-7.0f %-9d %-9.3f" nn level
+                           seed
+                           (if ok then "OK" else "FAIL")
+                           (get "rounds") (Trace.length tr) !best)
+                      ok))
+              seeds)
+          levels)
+      sizes
+  in
+  let c =
+    campaign ~exp:"obs"
+      ~header:
+        (Printf.sprintf "%-5s %-8s %-5s  %-5s %-7s %-9s %-9s" "n" "trace" "seed" "ok"
+           "rounds" "entries" "wall_s")
+      jobs
+  in
+  (* Per-(n, level) means of the per-seed min walls, and the overhead of
+     each tracing level over off. *)
+  let results = Array.to_list c.Runner.c_results in
+  let mean nn level name =
+    let samples =
+      List.filter_map
+        (fun r ->
+          if
+            List.assoc_opt "n" r.Runner.r_params = Some (Json.Int nn)
+            && List.assoc_opt "level" r.Runner.r_params = Some (Json.String level)
+          then List.assoc_opt name r.Runner.r_metrics
+          else None)
+        results
+    in
+    match samples with
+    | [] -> nan
+    | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  let overhead_pct nn level =
+    ((mean nn level "wall_s" /. mean nn "off" "wall_s") -. 1.0) *. 100.0
+  in
+  subsection "tracing overhead vs off (mean of per-seed min wall)";
+  Printf.printf "%-5s %-12s %-14s %-12s %-14s\n" "n" "off wall_s" "default vs off"
+    "full wall_s" "full vs off";
+  let pct v = Printf.sprintf "%+.1f%%" v in
+  List.iter
+    (fun nn ->
+      Printf.printf "%-5d %-12.4f %-14s %-12.4f %-14s\n" nn (mean nn "off" "wall_s")
+        (pct (overhead_pct nn "default"))
+        (mean nn "full" "wall_s")
+        (pct (overhead_pct nn "full")))
+    sizes;
+  (* Merge the overhead table into the artifact the campaign already
+     wrote, so _results/BENCH_obs.json carries the acceptance numbers. *)
+  let overhead_json =
+    Json.Obj
+      (List.map
+         (fun nn ->
+           ( Printf.sprintf "n%d" nn,
+             Json.Obj
+               (List.map
+                  (fun level ->
+                    ( level,
+                      Json.Obj
+                        ([ ("wall_s_mean", Json.Float (mean nn level "wall_s")) ]
+                        @
+                        if level = "off" then []
+                        else [ ("overhead_pct_vs_off", Json.Float (overhead_pct nn level)) ])
+                    ))
+                  levels) ))
+         sizes)
+  in
+  (match Runner.campaign_json c with
+  | Json.Obj fields ->
+      Json.write_file
+        (Filename.concat "_results" "BENCH_obs.json")
+        (Json.Obj (fields @ [ ("overhead", overhead_json) ]))
+  | _ -> ());
+  let nmax = List.fold_left max 0 sizes in
+  let d = overhead_pct nmax "default" in
+  Printf.printf "default-level overhead at n=%d: %+.1f%% (budget: < 5%%)\n" nmax d
+
+(* ------------------------------------------------------------------ *)
 (* EXPLORE — adversarial schedule exploration as a benchmark: search   *)
 (* throughput on the E2 misuse configuration (Omega_z with z > k must  *)
 (* yield a minimized counterexample) and on the safe z <= k            *)
@@ -1063,4 +1221,5 @@ let all () =
   e13 ();
   e14 ();
   sched ();
+  obs ();
   explore ()

@@ -24,6 +24,7 @@ let registry =
     ("e13", Experiments.e13);
     ("e14", Experiments.e14);
     ("sched", Experiments.sched);
+    ("obs", Experiments.obs);
     ("explore", Experiments.explore);
     ("micro", Microbench.run);
   ]

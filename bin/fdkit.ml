@@ -78,7 +78,18 @@ let variant_arg =
     value & opt string "es"
     & info [ "variant" ] ~docv:"es|phi|psi" ~doc:"Source class of the reduce protocol.")
 
-let mk_params n t seed crashes gst horizon z k x y legacy_poll adversarial variant =
+let trace_arg =
+  Arg.(
+    value
+    & opt (enum [ ("off", "off"); ("default", "default"); ("full", "full") ]) "default"
+    & info [ "trace" ] ~docv:"off|default|full"
+        ~doc:
+          "Trace level: $(b,off) records nothing, $(b,default) protocol-level \
+           spans and events, $(b,full) adds per-message and scheduler-wakeup \
+           records.  Pure observability — never changes the execution.")
+
+let mk_params n t seed crashes gst horizon z k x y legacy_poll adversarial variant
+    trace =
   {
     Protocol.n;
     t;
@@ -95,6 +106,7 @@ let mk_params n t seed crashes gst horizon z k x y legacy_poll adversarial varia
     legacy_poll;
     adversarial;
     variant;
+    trace;
   }
 
 let params_term ?(default_z = 1) ?(default_k = 1) ?(default_x = 2) ?(default_y = 1)
@@ -125,7 +137,8 @@ let params_term ?(default_z = 1) ?(default_k = 1) ?(default_x = 2) ?(default_y =
   in
   Term.(
     const mk_params $ n_arg $ t_arg $ seed_arg $ crashes_arg $ gst_arg $ horizon_arg
-    $ z_arg $ k_arg $ x_arg $ y_arg $ legacy_poll_arg $ adversarial_arg $ variant_arg)
+    $ z_arg $ k_arg $ x_arg $ y_arg $ legacy_poll_arg $ adversarial_arg $ variant_arg
+    $ trace_arg)
 
 let registry_doc () =
   Printf.sprintf "Protocols: %s." (String.concat ", " (Protocol.names ()))
@@ -686,6 +699,139 @@ let grid_cmd =
     (Cmd.info "grid" ~doc:"Print the class grid of Figure 1 for a given t.")
     Term.(const run $ n_arg $ t_arg $ matrix_arg)
 
+(* ---- trace export ---- *)
+
+let trace_cmd =
+  let ensure_dir dir =
+    if not (Sys.file_exists dir) then
+      try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  (* Re-parse the written file and demand >= 1 complete span: the CI
+     smoke contract. *)
+  let check_chrome path =
+    match Json.of_string (read_file path) with
+    | Error e ->
+        Printf.eprintf "check: %s does not parse as JSON: %s\n" path e;
+        1
+    | Ok j -> (
+        match Json.member "traceEvents" j with
+        | Some (Json.List evs) ->
+            let count ph =
+              List.length
+                (List.filter
+                   (fun e -> Json.member "ph" e = Some (Json.String ph))
+                   evs)
+            in
+            (* Spans interrupted by a crash legitimately stay open (a B
+               with no E), so require >= 1 completed span, not balance. *)
+            let b = count "B" and e = count "E" in
+            if e >= 1 && b >= e then begin
+              Printf.printf "check: ok (%d events, %d complete spans)\n"
+                (List.length evs) e;
+              0
+            end
+            else begin
+              Printf.eprintf
+                "check: expected >= 1 complete span, got %d B / %d E events\n" b e;
+              1
+            end
+        | _ ->
+            Printf.eprintf "check: %s has no traceEvents array\n" path;
+            1)
+  in
+  let check_jsonl path =
+    let ok = ref true and lines = ref 0 in
+    String.split_on_char '\n' (read_file path)
+    |> List.iter (fun line ->
+           if line <> "" then begin
+             incr lines;
+             match Json.of_string line with
+             | Ok _ -> ()
+             | Error e ->
+                 ok := false;
+                 Printf.eprintf "check: bad JSONL line %d: %s\n" !lines e
+           end);
+    if !ok && !lines > 0 then begin
+      Printf.printf "check: ok (%d JSONL lines)\n" !lines;
+      0
+    end
+    else 1
+  in
+  let run protocol format out check (p : Protocol.params) =
+    match Protocol.find protocol with
+    | None ->
+        Printf.eprintf "unknown protocol %S; %s\n" protocol (registry_doc ());
+        3
+    | Some pk ->
+        let r = Protocol.run pk p in
+        let tr = Sim.trace r.Protocol.rp_sim in
+        let n_spans = List.length (Trace.spans tr) in
+        (match format with
+        | `Summary ->
+            Format.printf "%a@." Trace.pp_summary tr;
+            Printf.printf "spans: %d complete, %d open; nesting: %s\n" n_spans
+              (List.length (Trace.open_spans tr))
+              (if Trace.nesting_ok tr then "ok" else "VIOLATED");
+            List.iter
+              (fun (key, v) -> Printf.printf "  %-22s %g\n" key v)
+              r.Protocol.rp_metrics;
+            0
+        | (`Jsonl | `Chrome) as fmt ->
+            ensure_dir out;
+            let ext = match fmt with `Jsonl -> "jsonl" | `Chrome -> "chrome.json" in
+            let path =
+              Filename.concat out
+                (Printf.sprintf "trace_%s_seed%d.%s" protocol p.Protocol.seed ext)
+            in
+            (match fmt with
+            | `Jsonl -> Export.write_jsonl path tr
+            | `Chrome -> Export.write_chrome path tr);
+            Printf.printf "trace: %s (%d entries, %d complete spans, level %s)\n"
+              path (Trace.length tr) n_spans
+              (Trace.level_to_string (Trace.level tr));
+            if check then
+              match fmt with
+              | `Chrome -> check_chrome path
+              | `Jsonl -> check_jsonl path
+            else 0)
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome); ("summary", `Summary) ]) `Summary
+      & info [ "format" ] ~docv:"jsonl|chrome|summary"
+          ~doc:
+            "Output format: $(b,jsonl) one event per line, $(b,chrome) a \
+             chrome://tracing / Perfetto trace_event file, $(b,summary) a textual \
+             digest on stdout.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "_results"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Output directory (created if missing).")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "After writing, re-parse the file and verify it is well-formed (chrome: \
+             >= 1 complete span); exit nonzero otherwise.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         ("Run one execution and dump/convert its trace (spans, events, counters). "
+        ^ registry_doc ()))
+    Term.(const run $ protocol_arg $ format_arg $ out_arg $ check_arg $ params_term ())
+
 (* ---- reducibility queries ---- *)
 
 let reducible_cmd =
@@ -739,6 +885,7 @@ let () =
             strengthen_cmd;
             impl_cmd;
             campaign_cmd;
+            trace_cmd;
             explore_cmd;
             replay_cmd;
             violation_cmd;

@@ -60,15 +60,29 @@ let install sim ~(suspector : Iface.suspector) ~proposals ?(delay = Delay.defaul
         Trace.record (Sim.trace sim) ~time:(Sim.now sim)
           (Trace.Decide { pid; value = d.body; round })
       end);
+  let tr = Sim.trace sim in
   let body i () =
     let est = ref proposals.(i) in
     let r = ref 0 in
+    let prev_s = ref None in
     let decided_i () = t.decided_at.(i) <> None in
     while not (decided_i ()) do
       incr r;
       let round = !r in
       t.round_of.(i) <- round;
       if round > t.max_round then t.max_round <- round;
+      if Trace.records_entries tr then begin
+        Trace.begin_span tr ~time:(Sim.now sim) (Trace.Round { pid = i; round });
+        (* Suspector outputs are pure functions of virtual time, so this
+           extra read is a pure trace write — it cannot perturb the run. *)
+        let s_i = suspector.Iface.suspected i in
+        if not (match !prev_s with Some p -> Pidset.equal p s_i | None -> false)
+        then
+          Trace.record tr ~time:(Sim.now sim)
+            (Trace.Fd_change
+               { pid = i; kind = "es"; value = Pidset.to_string s_i });
+        prev_s := Some s_i
+      end;
       let coord = (round - 1) mod n in
       (* Phase 1: the coordinator pushes its estimate; everyone adopts it
          as aux unless the coordinator becomes suspect first. *)
@@ -116,7 +130,9 @@ let install sim ~(suspector : Iface.suspector) ~proposals ?(delay = Delay.defaul
           | v :: _, _ -> est := v
           | [], _ -> ()
         end
-      end
+      end;
+      if Trace.records_entries tr then
+        Trace.end_span tr ~time:(Sim.now sim) (Trace.Round { pid = i; round })
     done
   in
   for i = 0 to n - 1 do

@@ -113,17 +113,31 @@ let install sim ~omega ~proposals ?(delay = Delay.default) ?(step = 0.05)
           (Trace.Decide { pid; value = d.body; round })
       end);
   (* Task T1: the round loop. *)
+  let tr = Sim.trace sim in
   let body i () =
     let est = ref proposals.(i) in
     let r = ref 0 in
+    let prev_l = ref None in
     let decided_i () = t.decided_at.(i) <> None in
     while not (decided_i ()) do
       incr r;
       let round = !r in
       t.round_of.(i) <- round;
       if round > t.max_round then t.max_round <- round;
+      if Trace.records_entries tr then
+        Trace.begin_span tr ~time:(Sim.now sim) (Trace.Round { pid = i; round });
       (* Phase 1 *)
       let l_i = omega.Iface.trusted i in
+      (* The oracle read happens every round anyway: logging its changes is
+         a pure trace write, no extra events or RNG draws. *)
+      if
+        Trace.records_entries tr
+        && not (match !prev_l with Some p -> Pidset.equal p l_i | None -> false)
+      then
+        Trace.record tr ~time:(Sim.now sim)
+          (Trace.Fd_change
+             { pid = i; kind = "omega"; value = Pidset.to_string l_i });
+      prev_l := Some l_i;
       Net.broadcast net ~src:i (Phase1 { r = round; lset = l_i; est = !est });
       (* Quorum wait: state only changes on a delivery to i (PHASE1 count)
          or an R-delivery to i (decision), so subscribe exactly those. *)
@@ -188,7 +202,9 @@ let install sim ~omega ~proposals ?(delay = Delay.default) ?(step = 0.05)
           end
           else Sim.sleep step
         end
-      end
+      end;
+      if Trace.records_entries tr then
+        Trace.end_span tr ~time:(Sim.now sim) (Trace.Round { pid = i; round })
     done
   in
   for i = 0 to n - 1 do

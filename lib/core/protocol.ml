@@ -16,6 +16,7 @@ type params = {
   legacy_poll : bool;
   adversarial : bool;
   variant : string;
+  trace : string;
 }
 
 let default =
@@ -33,6 +34,7 @@ let default =
     legacy_poll = false;
     adversarial = false;
     variant = "es";
+    trace = "default";
   }
 
 let params_to_json p =
@@ -50,6 +52,7 @@ let params_to_json p =
     ("legacy_poll", Json.Bool p.legacy_poll);
     ("adversarial", Json.Bool p.adversarial);
     ("variant", Json.String p.variant);
+    ("trace", Json.String p.trace);
   ]
 
 let params_of_json fields =
@@ -90,6 +93,7 @@ let params_of_json fields =
     legacy_poll = boolean "legacy_poll" default.legacy_poll;
     adversarial = boolean "adversarial" default.adversarial;
     variant = str "variant" default.variant;
+    trace = str "trace" default.trace;
   }
 
 module type S = sig
@@ -220,7 +224,11 @@ module Wheels_p = struct
     let querier, _ = Oracle.ephi_y sim ~y:p.y ~behavior () in
     let w = Wheels.install sim ~suspector ~querier ~x:p.x ~y:p.y () in
     let omega = Wheels.omega w in
-    let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> omega.Iface.trusted i) () in
+    let mon =
+      Monitor.watch sim ~every:0.5 ~kind:"omega"
+        ~read:(fun i -> omega.Iface.trusted i)
+        ()
+    in
     { sim; w; mon }
 
   let stop _ () = false
@@ -250,7 +258,11 @@ module Psi_p = struct
     let querier, _ = Oracle.psi_y sim ~y:p.y ~behavior:(behavior_of p) () in
     let h = Psi_to_omega.create sim ~querier ~y:p.y in
     let omega = Psi_to_omega.omega h in
-    let mon = Monitor.watch sim ~every:0.5 ~read:(fun i -> omega.Iface.trusted i) () in
+    let mon =
+      Monitor.watch sim ~every:0.5 ~kind:"omega"
+        ~read:(fun i -> omega.Iface.trusted i)
+        ()
+    in
     (* The chain transformation sends no messages: keep the clock moving. *)
     Sim.ticker sim ~every:1.0;
     { sim; p = h; mon }
@@ -333,11 +345,15 @@ let names () = List.map fst registry
 let resolve_horizon (module P : S) p =
   if p.horizon > 0.0 then p.horizon else P.horizon_hint
 
+let trace_level_of p =
+  match Trace.level_of_string p.trace with Ok l -> l | Error _ -> Trace.Default
+
 let make_sim (module P : S) p =
   let sim =
     Sim.create
       ~horizon:(resolve_horizon (module P) p)
-      ~legacy_poll:p.legacy_poll ~n:p.n ~t:p.t ~seed:p.seed ()
+      ~legacy_poll:p.legacy_poll ~trace_level:(trace_level_of p) ~n:p.n ~t:p.t
+      ~seed:p.seed ()
   in
   let rng = Rng.split_named (Sim.rng sim) "crash" in
   Sim.install_crashes sim (Crash.generate p.crashes ~n:p.n ~t:p.t rng);
@@ -350,13 +366,69 @@ type report = {
   rp_metrics : (string * float) list;
 }
 
+(* Paper-facing metrics derived from the trace in one forward pass:
+   when does Ω_z stabilize (last observed change of an "omega"-kind FD
+   output, and the protocol round it happened in), when does ◇S_x's
+   scope converge (last "es" change), how many messages per decision,
+   how many rounds to decide.  Every registered protocol gets whichever
+   of these its trace supports — an empty list at [trace = off]. *)
+let obs_metrics sim =
+  let tr = Sim.trace sim in
+  if not (Trace.records_entries tr) then []
+  else begin
+    let n_dec = ref 0 and max_round = ref 0 in
+    let cur_round : (Pid.t, int) Hashtbl.t = Hashtbl.create 16 in
+    (* kind -> (time of last change, round it happened in if known) *)
+    let last_fd : (string, float * int option) Hashtbl.t = Hashtbl.create 4 in
+    Trace.iter
+      (fun { Trace.time; entry } ->
+        match entry with
+        | Trace.Begin (Trace.Round { pid; round }) ->
+            Hashtbl.replace cur_round pid round
+        | Trace.Decide { round; _ } ->
+            incr n_dec;
+            if round > !max_round then max_round := round
+        | Trace.Fd_change { pid; kind; _ } ->
+            Hashtbl.replace last_fd kind (time, Hashtbl.find_opt cur_round pid)
+        | _ -> ())
+      tr;
+    let sends =
+      List.fold_left
+        (fun acc (name, v) ->
+          let suf = ".sent" in
+          let ln = String.length name and ls = String.length suf in
+          if ln >= ls && String.sub name (ln - ls) ls = suf then acc + v
+          else acc)
+        0 (Trace.counters tr)
+    in
+    let decide_metrics =
+      if !n_dec = 0 then []
+      else
+        [
+          ("obs.rounds_to_decide", float_of_int !max_round);
+          ("obs.msgs_per_decision", float_of_int sends /. float_of_int !n_dec);
+        ]
+    in
+    let fd_metrics kind prefix =
+      match Hashtbl.find_opt last_fd kind with
+      | None -> []
+      | Some (time, round) ->
+          (prefix ^ "_stab_time", time)
+          ::
+          (match round with
+          | Some r -> [ (prefix ^ "_stab_round", float_of_int r) ]
+          | None -> [])
+    in
+    decide_metrics @ fd_metrics "omega" "obs.omega" @ fd_metrics "es" "obs.es"
+  end
+
 let run (module P : S) p =
   let sim = make_sim (module P) p in
   let h = P.install sim p in
   let outcome = Sim.run ~stop_when:(P.stop h) sim in
   let verdict = P.check h in
   let metrics =
-    P.metrics h
+    P.metrics h @ obs_metrics sim
     @ [
         ("latency", outcome.Sim.end_time);
         ("sched.events", float_of_int outcome.Sim.events);

@@ -33,6 +33,10 @@ type params = {
       (** kset: constant Ω_z trusted set + [By_pid] tie-break — the E2
           mis-use configuration the explorer attacks (z > k violates) *)
   variant : string;  (** reduce source: ["es"], ["phi"] or ["psi"] *)
+  trace : string;
+      (** trace level: ["off"], ["default"] or ["full"] (unknown strings
+          fall back to ["default"]).  Pure observability — the level
+          never changes the execution. *)
 }
 
 val default : params
@@ -83,13 +87,23 @@ type report = {
   rp_outcome : Sim.outcome;
   rp_verdict : Check.verdict;
   rp_metrics : (string * float) list;
-      (** the protocol's metrics plus latency and scheduler counters *)
+      (** the protocol's metrics, plus trace-derived observability
+          metrics ([obs.*], see {!run}), plus latency and scheduler
+          counters *)
 }
 
 val run : packed -> params -> report
 (** Build a simulator from [params] (seeded crash generation under the
     ["crash"] RNG split, as the CLI always did), install, run to the stop
-    condition, check. *)
+    condition, check.
+
+    Unless [params.trace = "off"], [rp_metrics] additionally carries
+    metrics derived from the trace in a single forward pass:
+    [obs.rounds_to_decide] and [obs.msgs_per_decision] (protocols that
+    decide), [obs.omega_stab_time] / [obs.omega_stab_round] (last
+    observed Ω output change, and the protocol round containing it when
+    round spans exist), and [obs.es_stab_time] (◇S_x scope-convergence
+    instant). *)
 
 val explore_make : packed -> params -> unit -> Explore.instance
 (** Instance factory for {!Explore}: every call builds a fresh simulator

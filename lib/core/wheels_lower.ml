@@ -29,8 +29,17 @@ let rec consume t i =
   | Some c when c > 0 ->
       if c = 1 then Hashtbl.remove t.pending.(i) p
       else Hashtbl.replace t.pending.(i) p (c - 1);
-      t.pos.(i) <- Ring.Lower.next t.ring p;
+      let next = Ring.Lower.next t.ring p in
+      t.pos.(i) <- next;
       t.last_pos_change <- Sim.now t.sim;
+      let tr = Sim.trace t.sim in
+      if Trace.records_entries tr then begin
+        let now = Sim.now t.sim in
+        Trace.end_span tr ~time:now
+          (Trace.Wheel_phase { pid = i; wheel = "lower"; pos = p });
+        Trace.begin_span tr ~time:now
+          (Trace.Wheel_phase { pid = i; wheel = "lower"; pos = next })
+      end;
       consume t i
   | _ -> ()
 
@@ -57,10 +66,27 @@ let install sim ~(suspector : Iface.suspector) ~x ?(step = 1.0)
       Hashtbl.replace t.pending.(i) d.body (c + 1);
       consume t i);
   (* Task T1: maintain repr and object to suspected candidates. *)
+  let tr = Sim.trace sim in
+  let prev_s = Array.make n None in
   let body i () =
     while true do
       let lx, xset = Ring.Lower.decode ring t.pos.(i) in
       t.repr.(i) <- (if Pidset.mem i xset then lx else i);
+      (* Suspector outputs are pure functions of virtual time: an extra
+         read for the trace cannot perturb the run. *)
+      if Trace.records_entries tr then begin
+        let s_i = suspector.Iface.suspected i in
+        if
+          not
+            (match prev_s.(i) with
+            | Some p -> Pidset.equal p s_i
+            | None -> false)
+        then
+          Trace.record tr ~time:(Sim.now sim)
+            (Trace.Fd_change
+               { pid = i; kind = "es"; value = Pidset.to_string s_i });
+        prev_s.(i) <- Some s_i
+      end;
       if Pidset.mem i xset && Pidset.mem lx (suspector.Iface.suspected i) then begin
         t.moves_broadcast <- t.moves_broadcast + 1;
         Rbcast.broadcast rb ~src:i t.pos.(i)
@@ -69,6 +95,9 @@ let install sim ~(suspector : Iface.suspector) ~x ?(step = 1.0)
     done
   in
   for i = 0 to n - 1 do
+    if Trace.records_entries tr then
+      Trace.begin_span tr ~time:(Sim.now sim)
+        (Trace.Wheel_phase { pid = i; wheel = "lower"; pos = t.pos.(i) });
     Sim.spawn sim ~pid:i (body i)
   done;
   t

@@ -34,8 +34,17 @@ let rec consume t i =
   | Some c when c > 0 ->
       if c = 1 then Hashtbl.remove t.pending.(i) p
       else Hashtbl.replace t.pending.(i) p (c - 1);
-      t.pos.(i) <- Ring.Upper.next t.ring p;
+      let next = Ring.Upper.next t.ring p in
+      t.pos.(i) <- next;
       t.last_pos_change <- Sim.now t.sim;
+      let tr = Sim.trace t.sim in
+      if Trace.records_entries tr then begin
+        let now = Sim.now t.sim in
+        Trace.end_span tr ~time:now
+          (Trace.Wheel_phase { pid = i; wheel = "upper"; pos = p });
+        Trace.begin_span tr ~time:now
+          (Trace.Wheel_phase { pid = i; wheel = "upper"; pos = next })
+      end;
       consume t i
   | _ -> ()
 
@@ -75,6 +84,7 @@ let install sim ~(querier : Iface.querier) ~lower ~ysize ~lsize ?(step = 1.0)
           let cur = Option.value ~default:[] (Hashtbl.find_opt t.responses.(e.dst) seq) in
           Hashtbl.replace t.responses.(e.dst) seq ((e.src, repr) :: cur));
   (* Task T3: the inquiry loop. *)
+  let tr = Sim.trace sim in
   let body i () =
     let seq = ref 0 in
     while true do
@@ -83,6 +93,9 @@ let install sim ~(querier : Iface.querier) ~lower ~ysize ~lsize ?(step = 1.0)
       (* Responses to inquiries before the previous one can never be read
          again. *)
       Hashtbl.remove t.responses.(i) (s - 2);
+      if Trace.records_entries tr then
+        Trace.begin_span tr ~time:(Sim.now sim)
+          (Trace.Query_epoch { pid = i; seq = s });
       Net.broadcast net ~src:i (Inquiry s);
       let response_y () =
         (* Representatives announced for this inquiry by members of the
@@ -101,6 +114,9 @@ let install sim ~(querier : Iface.querier) ~lower ~ysize ~lsize ?(step = 1.0)
       Sim.Cond.await
         [ Sim.Cond.poll sim ]
         (fun () -> response_y () <> [] || y_dead ());
+      if Trace.records_entries tr then
+        Trace.end_span tr ~time:(Sim.now sim)
+          (Trace.Query_epoch { pid = i; seq = s });
       if not (y_dead ()) then begin
         let l, _y = Ring.Upper.decode ring t.pos.(i) in
         let rec_from = response_y () in
@@ -114,6 +130,9 @@ let install sim ~(querier : Iface.querier) ~lower ~ysize ~lsize ?(step = 1.0)
     done
   in
   for i = 0 to n - 1 do
+    if Trace.records_entries tr then
+      Trace.begin_span tr ~time:(Sim.now sim)
+        (Trace.Wheel_phase { pid = i; wheel = "upper"; pos = t.pos.(i) });
     Sim.spawn sim ~pid:i (body i)
   done;
   t

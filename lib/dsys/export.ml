@@ -1,0 +1,208 @@
+open Setagree_util
+
+let pid_json = function None -> Json.Null | Some p -> Json.Int p
+
+let span_fields sp =
+  let open Trace in
+  [
+    ("cat", Json.String (span_cat sp));
+    ("name", Json.String (span_name sp));
+    ("pid", pid_json (span_pid sp));
+    ("track", Json.Int (span_track sp));
+  ]
+  @
+  match sp with
+  | Round { round; _ } -> [ ("round", Json.Int round) ]
+  | Wheel_phase { pos; _ } -> [ ("pos", Json.Int pos) ]
+  | Query_epoch { seq; _ } -> [ ("seq", Json.Int seq) ]
+  | Wakeup _ | Span _ -> []
+
+let entry_json time entry =
+  let t = ("t", Json.Float time) in
+  let open Trace in
+  match entry with
+  | Crash p -> Json.Obj [ t; ("ev", Json.String "crash"); ("pid", Json.Int p) ]
+  | Send { src; dst; tag } ->
+      Json.Obj
+        [
+          t;
+          ("ev", Json.String "send");
+          ("src", Json.Int src);
+          ("dst", Json.Int dst);
+          ("tag", Json.String tag);
+        ]
+  | Deliver { src; dst; tag } ->
+      Json.Obj
+        [
+          t;
+          ("ev", Json.String "deliver");
+          ("src", Json.Int src);
+          ("dst", Json.Int dst);
+          ("tag", Json.String tag);
+        ]
+  | Decide { pid; value; round } ->
+      Json.Obj
+        [
+          t;
+          ("ev", Json.String "decide");
+          ("pid", Json.Int pid);
+          ("value", Json.Int value);
+          ("round", Json.Int round);
+        ]
+  | Fd_change { pid; kind; value } ->
+      Json.Obj
+        [
+          t;
+          ("ev", Json.String "fd");
+          ("pid", Json.Int pid);
+          ("kind", Json.String kind);
+          ("value", Json.String value);
+        ]
+  | Note { pid; text } ->
+      Json.Obj
+        [ t; ("ev", Json.String "note"); ("pid", pid_json pid);
+          ("text", Json.String text) ]
+  | Begin sp -> Json.Obj ((t :: [ ("ev", Json.String "begin") ]) @ span_fields sp)
+  | End sp -> Json.Obj ((t :: [ ("ev", Json.String "end") ]) @ span_fields sp)
+
+let jsonl_lines tr =
+  let meta =
+    Json.Obj
+      [
+        ("type", Json.String "meta");
+        ("format", Json.String "setagree-trace");
+        ("version", Json.Int 1);
+        ("level", Json.String (Trace.level_to_string (Trace.level tr)));
+        ("entries", Json.Int (Trace.length tr));
+      ]
+  in
+  let lines = ref [] in
+  Trace.iter
+    (fun { Trace.time; entry } ->
+      lines := Json.to_string ~minify:true (entry_json time entry) :: !lines)
+    tr;
+  let counters =
+    List.map
+      (fun (name, v) ->
+        Json.to_string ~minify:true
+          (Json.Obj
+             [
+               ("ev", Json.String "counter");
+               ("name", Json.String name);
+               ("value", Json.Int v);
+             ]))
+      (Trace.counters tr)
+  in
+  (Json.to_string ~minify:true meta :: List.rev !lines) @ counters
+
+let to_jsonl tr = String.concat "\n" (jsonl_lines tr) ^ "\n"
+
+(* -- Chrome trace_event ---------------------------------------------- *)
+
+(* Sim-time unit renders as 1 ms in the viewer. *)
+let ts time = ("ts", Json.Float (time *. 1000.))
+
+let instant_tid pid =
+  match pid with None -> 6 | Some p -> ((p + 1) * 8) + 6
+
+let instant time ~name ~tid =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("cat", Json.String "event");
+      ("ph", Json.String "i");
+      ("s", Json.String "t");
+      ts time;
+      ("pid", Json.Int 0);
+      ("tid", Json.Int tid);
+    ]
+
+let span_event ph time sp =
+  let open Trace in
+  let base =
+    [
+      ("name", Json.String (span_name sp));
+      ("cat", Json.String (span_cat sp));
+      ("ph", Json.String ph);
+      ts time;
+      ("pid", Json.Int 0);
+      ("tid", Json.Int (span_track sp));
+    ]
+  in
+  let args =
+    match sp with
+    | Round { round; _ } when ph = "B" ->
+        [ ("args", Json.Obj [ ("round", Json.Int round) ]) ]
+    | Wheel_phase { pos; _ } when ph = "B" ->
+        [ ("args", Json.Obj [ ("pos", Json.Int pos) ]) ]
+    | Query_epoch { seq; _ } when ph = "B" ->
+        [ ("args", Json.Obj [ ("seq", Json.Int seq) ]) ]
+    | _ -> []
+  in
+  Json.Obj (base @ args)
+
+let chrome_json tr =
+  let events = ref [] in
+  let push e = events := e :: !events in
+  let t_end = ref 0. in
+  Trace.iter
+    (fun { Trace.time; entry } ->
+      if time > !t_end then t_end := time;
+      let open Trace in
+      match entry with
+      | Begin sp -> push (span_event "B" time sp)
+      | End sp -> push (span_event "E" time sp)
+      | Crash p -> push (instant time ~name:"crash" ~tid:(instant_tid (Some p)))
+      | Decide { pid; value; round } ->
+          push
+            (instant time
+               ~name:(Printf.sprintf "decide v=%d r=%d" value round)
+               ~tid:(instant_tid (Some pid)))
+      | Fd_change { pid; kind; value } ->
+          push
+            (instant time
+               ~name:(Printf.sprintf "%s:%s" kind value)
+               ~tid:(instant_tid (Some pid)))
+      | Send { src; tag; _ } ->
+          push
+            (instant time
+               ~name:(Printf.sprintf "send %s" tag)
+               ~tid:(instant_tid (Some src)))
+      | Deliver { dst; tag; _ } ->
+          push
+            (instant time ~name:(Printf.sprintf "recv %s" tag)
+               ~tid:(instant_tid (Some dst)))
+      | Note { pid; text } ->
+          push (instant time ~name:text ~tid:(instant_tid pid)))
+    tr;
+  let counter_events =
+    List.map
+      (fun (name, v) ->
+        Json.Obj
+          [
+            ("name", Json.String name);
+            ("ph", Json.String "C");
+            ts !t_end;
+            ("pid", Json.Int 0);
+            ("tid", Json.Int 0);
+            ("args", Json.Obj [ ("value", Json.Int v) ]);
+          ])
+      (Trace.counters tr)
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !events @ counter_events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let to_chrome tr = Json.to_string ~minify:true (chrome_json tr)
+
+let write_out path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let write_jsonl path tr = write_out path (to_jsonl tr)
+
+let write_chrome path tr =
+  write_out path (to_chrome tr ^ "\n")

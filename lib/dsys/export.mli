@@ -1,0 +1,31 @@
+(** Trace exporters: JSONL event dumps and Chrome [trace_event] JSON.
+
+    Both formats are byte-stable functions of the trace alone — all
+    timestamps are sim-time (Chrome [ts] is sim-time scaled by 1000 so a
+    sim-time unit reads as 1 ms in the viewer), and counters/entries are
+    emitted in deterministic order.  Two runs of the same (protocol,
+    seed, level) therefore produce byte-identical exports, which the
+    test suite checks.
+
+    Chrome traces load in [chrome://tracing] or [https://ui.perfetto.dev]:
+    spans become duration events ([ph:"B"/"E"]) on one [tid] per trace
+    track, point entries become instant events ([ph:"i"]), and trace
+    counters become a final [ph:"C"] sample. *)
+
+val jsonl_lines : Trace.t -> string list
+(** One minified JSON object per line: first a [{"type":"meta",...}]
+    header, then every entry in log order, then the counters (sorted by
+    name). *)
+
+val to_jsonl : Trace.t -> string
+(** [jsonl_lines] joined with ["\n"], trailing newline included. *)
+
+val chrome_json : Trace.t -> Setagree_util.Json.t
+(** The [{"traceEvents": [...]}] object. *)
+
+val to_chrome : Trace.t -> string
+(** [chrome_json] rendered minified (byte-stable). *)
+
+val write_jsonl : string -> Trace.t -> unit
+val write_chrome : string -> Trace.t -> unit
+(** Write to the given path, truncating. *)

@@ -5,8 +5,8 @@ type event = { time : float; seq : int; run : unit -> unit }
 (* A condition is a wakeup channel: substrates signal it when state a
    blocked predicate reads may have changed.  The scheduler re-evaluates a
    blocked fiber's predicate only when one of its subscribed conditions was
-   signalled — except "poll" waiters (the [wait_until] compatibility shim
-   and oracle-reading waits), which are re-evaluated after every event,
+   signalled — except "poll" waiters (awaits subscribed to [Cond.poll],
+   e.g. oracle-reading waits), which are re-evaluated after every event,
    reproducing the legacy fixpoint cadence for predicates with no signal
    discipline. *)
 type cond = { c_owner : t; mutable c_pending : bool }
@@ -67,7 +67,6 @@ and decision = Deliver of int | Inject_crash of Pid.t | Pass
 type _ Effect.t +=
   | Sleep : float -> unit Effect.t
   | Yield : unit Effect.t
-  | Wait_until : (unit -> bool) -> unit Effect.t
   | Await : cond list * (unit -> bool) -> unit Effect.t
 
 (* The fiber currently executing performs effects against this dynamically
@@ -77,8 +76,8 @@ let cmp_event a b =
   let c = Float.compare a.time b.time in
   if c <> 0 then c else Int.compare a.seq b.seq
 
-let create ?(horizon = 1e6) ?(max_events = 10_000_000) ?(legacy_poll = false) ~n ~t
-    ~seed () =
+let create ?(horizon = 1e6) ?(max_events = 10_000_000) ?(legacy_poll = false)
+    ?(trace_level = Trace.Default) ~n ~t ~seed () =
   if n < 2 then invalid_arg "Sim.create: n must be >= 2";
   if t < 0 || t >= n then invalid_arg "Sim.create: need 0 <= t < n";
   let sim =
@@ -86,7 +85,7 @@ let create ?(horizon = 1e6) ?(max_events = 10_000_000) ?(legacy_poll = false) ~n
       n;
       t_bound = t;
       rng = Rng.create seed;
-      trace = Trace.create ();
+      trace = Trace.create ~level:trace_level ();
       horizon;
       max_events;
       legacy_poll;
@@ -204,7 +203,6 @@ let install_crashes t crashes =
 
 let sleep d = Effect.perform (Sleep d)
 let yield () = Effect.perform Yield
-let wait_until pred = Effect.perform (Wait_until pred)
 
 (* ---- Choice-point control ---- *)
 
@@ -284,7 +282,6 @@ let spawn t ~pid body =
                 (fun k ->
                   schedule t ~delay:0.0 (fun () ->
                       if not t.crashed.(pid) then Effect.Deep.continue k ()))
-          | Wait_until pred -> Some (block ~conds:[] ~poll:true pred)
           | Await (conds, pred) ->
               List.iter
                 (fun c ->
@@ -356,7 +353,13 @@ let drain t =
             drop_waiter_counts t [ w ];
             if not t.crashed.(w.wpid) then begin
               t.n_wakeups <- t.n_wakeups + 1;
-              Effect.Deep.continue w.k ()
+              if Trace.records_full t.trace then begin
+                let sp = Trace.Wakeup { pid = w.wpid } in
+                Trace.begin_span t.trace ~time:t.now sp;
+                Effect.Deep.continue w.k ();
+                Trace.end_span t.trace ~time:t.now sp
+              end
+              else Effect.Deep.continue w.k ()
             end)
           (List.rev fs)
   done

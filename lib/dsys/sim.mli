@@ -3,17 +3,17 @@
 
     A simulation owns a virtual clock, an event queue and [n] processes.
     Process code runs as OCaml-5 effect fibers: the paper's [wait until]
-    statements map onto {!Cond.await} / {!wait_until}, and the implicit "a
-    process keeps taking steps" assumption onto {!sleep} calls inside
-    loops.  Everything is driven by one seeded {!Setagree_util.Rng.t}: two
-    runs with the same seed and parameters are identical.
+    statements map onto {!Cond.await}, and the implicit "a process keeps
+    taking steps" assumption onto {!sleep} calls inside loops.  Everything
+    is driven by one seeded {!Setagree_util.Rng.t}: two runs with the same
+    seed and parameters are identical.
 
     {b Wakeups are event-driven.}  A blocked fiber subscribes to
     {!cond}itions; substrates (channels, broadcast layers) signal the
     conditions whose observable state they changed, and only then is the
     fiber's predicate re-evaluated.  Predicates with no signal discipline
-    (the {!wait_until} compatibility shim, waits that read oracle state
-    derived from the clock) subscribe to the {!Cond.poll} condition and are
+    (waits that read oracle state derived from the clock) subscribe to the
+    {!Cond.poll} condition and are
     re-evaluated after every event — the legacy cadence.  Passing
     [~legacy_poll:true] to {!create} restores the historical
     evaluate-everything-after-every-event scheduler; by design both
@@ -36,6 +36,7 @@ val create :
   ?horizon:float ->
   ?max_events:int ->
   ?legacy_poll:bool ->
+  ?trace_level:Trace.level ->
   n:int ->
   t:int ->
   seed:int ->
@@ -43,7 +44,10 @@ val create :
   t
 (** [create ~n ~t ~seed ()] builds a system of [n] processes of which at most
     [t] may crash.  [horizon] (default [1e6]) is the virtual-time limit;
-    [max_events] (default [10_000_000]) bounds the run.  [legacy_poll]
+    [max_events] (default [10_000_000]) bounds the run.  [trace_level]
+    (default [Trace.Default]) gates what the run records into {!trace}:
+    tracing only ever writes to the trace log, so the level cannot change
+    the execution (see {!Trace.level}).  [legacy_poll]
     (default [false]) re-evaluates {e every} blocked predicate after every
     event instead of only the signalled ones — the pre-condition-variable
     scheduler.  It is a {b test-only escape hatch}: production code and the
@@ -121,7 +125,8 @@ module Cond : sig
 
   val poll : t -> cond
   (** The built-in condition that subscribes a waiter to every event —
-      the compatibility cadence of {!wait_until}. *)
+      the legacy re-poll cadence, for predicates with no signal
+      discipline. *)
 end
 
 (** {1 Process code (effects)} *)
@@ -139,17 +144,6 @@ val sleep : float -> unit
 val yield : unit -> unit
 (** Reschedule the calling fiber at the same virtual instant (after pending
     events).  Gives the crash scheduler a chance to interleave. *)
-
-val wait_until : (unit -> bool) -> unit
-  [@@deprecated "use Sim.Cond.await (with Cond.poll for clock-derived predicates)"]
-(** Suspend until the predicate holds.  Compatibility shim over
-    [Cond.await [Cond.poll sim] pred]: the predicate is re-evaluated after
-    every event, so it needs no signal discipline; it must be cheap and
-    side-effect free.
-
-    @deprecated Use {!Cond.await} with an explicit condition list —
-    [Cond.await [Cond.poll sim] pred] if the predicate really has no
-    signal discipline. *)
 
 (** {1 Scheduling primitives (for substrates such as channels)} *)
 

@@ -1,5 +1,26 @@
 open Setagree_util
 
+type level = Off | Default | Full
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "off" -> Ok Off
+  | "default" -> Ok Default
+  | "full" -> Ok Full
+  | _ -> Error (Printf.sprintf "unknown trace level %S (off|default|full)" s)
+
+let level_to_string = function
+  | Off -> "off"
+  | Default -> "default"
+  | Full -> "full"
+
+type span =
+  | Round of { pid : Pid.t; round : int }
+  | Wheel_phase of { pid : Pid.t; wheel : string; pos : int }
+  | Query_epoch of { pid : Pid.t; seq : int }
+  | Wakeup of { pid : Pid.t }
+  | Span of { pid : Pid.t option; cat : string; name : string }
+
 type entry =
   | Crash of Pid.t
   | Send of { src : Pid.t; dst : Pid.t; tag : string }
@@ -7,13 +28,36 @@ type entry =
   | Decide of { pid : Pid.t; value : int; round : int }
   | Fd_change of { pid : Pid.t; kind : string; value : string }
   | Note of { pid : Pid.t option; text : string }
+  | Begin of span
+  | End of span
 
 type timed = { time : float; entry : entry }
 
-type t = { mutable log : timed list; counters : (string, int) Hashtbl.t }
+type t = {
+  lvl : level;
+  log : timed Vec.t;
+  counters : (string, int) Hashtbl.t;
+}
 
-let create () = { log = []; counters = Hashtbl.create 32 }
-let record t ~time entry = t.log <- { time; entry } :: t.log
+let create ?(level = Default) () =
+  { lvl = level; log = Vec.create (); counters = Hashtbl.create 32 }
+
+let level t = t.lvl
+let records_entries t = t.lvl <> Off
+let records_full t = t.lvl = Full
+
+let full_only = function
+  | Send _ | Deliver _ | Begin (Wakeup _) | End (Wakeup _) -> true
+  | _ -> false
+
+let record t ~time entry =
+  match t.lvl with
+  | Off -> ()
+  | Default -> if not (full_only entry) then Vec.push t.log { time; entry }
+  | Full -> Vec.push t.log { time; entry }
+
+let begin_span t ~time sp = record t ~time (Begin sp)
+let end_span t ~time sp = record t ~time (End sp)
 
 let add_to t name k =
   let cur = Option.value ~default:0 (Hashtbl.find_opt t.counters name) in
@@ -26,34 +70,131 @@ let counters t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let entries t = List.rev t.log
+let length t = Vec.length t.log
+let entries t = Vec.to_list t.log
+let iter f t = Vec.iter f t.log
 
 let decisions t =
-  List.filter_map
-    (fun { time; entry } ->
+  Vec.fold_left
+    (fun acc { time; entry } ->
       match entry with
-      | Decide { pid; value; round } -> Some (pid, value, round, time)
-      | _ -> None)
-    (entries t)
+      | Decide { pid; value; round } -> (pid, value, round, time) :: acc
+      | _ -> acc)
+    [] t.log
+  |> List.rev
 
 let crashes t =
-  List.filter_map
-    (fun { time; entry } ->
-      match entry with Crash p -> Some (p, time) | _ -> None)
-    (entries t)
+  Vec.fold_left
+    (fun acc { time; entry } ->
+      match entry with Crash p -> (p, time) :: acc | _ -> acc)
+    [] t.log
+  |> List.rev
 
 let find_notes t sub =
-  let contains s sub =
-    let n = String.length s and m = String.length sub in
-    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-    m = 0 || go 0
+  Vec.fold_left
+    (fun acc ({ entry; _ } as e) ->
+      match entry with
+      | Note { text; _ } when Strutil.contains text ~sub -> e :: acc
+      | _ -> acc)
+    [] t.log
+  |> List.rev
+
+(* -- spans ------------------------------------------------------------ *)
+
+let span_pid = function
+  | Round { pid; _ } | Wheel_phase { pid; _ } | Query_epoch { pid; _ }
+  | Wakeup { pid } ->
+      Some pid
+  | Span { pid; _ } -> pid
+
+let span_cat = function
+  | Round _ -> "round"
+  | Wheel_phase { wheel; _ } -> "wheel." ^ wheel
+  | Query_epoch _ -> "query"
+  | Wakeup _ -> "sched"
+  | Span { cat; _ } -> cat
+
+let span_name = function
+  | Round { round; _ } -> Printf.sprintf "round %d" round
+  | Wheel_phase { wheel; pos; _ } -> Printf.sprintf "%s@%d" wheel pos
+  | Query_epoch { seq; _ } -> Printf.sprintf "inquiry %d" seq
+  | Wakeup _ -> "wakeup"
+  | Span { name; _ } -> name
+
+(* One track per (process, lane): spans of different lanes on the same
+   process may overlap freely; within a track they must nest. *)
+let lane = function
+  | Round _ -> 0
+  | Wheel_phase { wheel; _ } -> if wheel = "upper" then 2 else 1
+  | Query_epoch _ -> 3
+  | Wakeup _ -> 4
+  | Span _ -> 5
+
+let span_track sp =
+  let base = match span_pid sp with None -> 0 | Some p -> (p + 1) * 8 in
+  base + lane sp
+
+(* Forward pass with one LIFO stack per track. *)
+let scan_spans t =
+  let stacks : (int, (int * span * float) list ref) Hashtbl.t =
+    Hashtbl.create 16
   in
-  List.filter
-    (fun { entry; _ } ->
-      match entry with Note { text; _ } -> contains text sub | _ -> false)
-    (entries t)
+  let completed = ref [] in
+  let ok = ref true in
+  let idx = ref 0 in
+  Vec.iter
+    (fun { time; entry } ->
+      (match entry with
+      | Begin sp ->
+          let track = span_track sp in
+          let stack =
+            match Hashtbl.find_opt stacks track with
+            | Some s -> s
+            | None ->
+                let s = ref [] in
+                Hashtbl.replace stacks track s;
+                s
+          in
+          stack := (!idx, sp, time) :: !stack
+      | End sp -> (
+          let track = span_track sp in
+          match Hashtbl.find_opt stacks track with
+          | Some ({ contents = (i, sp', t0) :: rest } as stack) when sp' = sp
+            ->
+              stack := rest;
+              completed := (i, sp, t0, time) :: !completed
+          | _ -> ok := false)
+      | _ -> ());
+      idx := !idx + 1)
+    t.log;
+  let opened =
+    Hashtbl.fold
+      (fun _ stack acc ->
+        List.fold_left (fun acc (i, sp, t0) -> (i, sp, t0) :: acc) acc !stack)
+      stacks []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  let completed =
+    List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b) !completed
+  in
+  (completed, opened, !ok)
+
+let spans t =
+  let completed, _, _ = scan_spans t in
+  List.map (fun (_, sp, t0, t1) -> (sp, t0, t1)) completed
+
+let open_spans t =
+  let _, opened, _ = scan_spans t in
+  List.map (fun (_, sp, t0) -> (sp, t0)) opened
+
+let nesting_ok t =
+  let _, _, ok = scan_spans t in
+  ok
 
 let pp_summary fmt t =
-  Format.fprintf fmt "@[<v>trace: %d entries@," (List.length t.log);
+  Format.fprintf fmt "@[<v>trace: %d entries, %d spans (%d open)@,"
+    (Vec.length t.log)
+    (List.length (spans t))
+    (List.length (open_spans t));
   List.iter (fun (k, v) -> Format.fprintf fmt "  %s = %d@," k v) (counters t);
   Format.fprintf fmt "@]"

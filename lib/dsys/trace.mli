@@ -1,11 +1,48 @@
-(** Run traces: everything a checker or an experiment needs to know about a
-    finished simulation.
+(** Run traces: everything a checker, exporter or experiment needs to know
+    about a finished simulation.
 
-    A trace is an append-only log of timestamped entries plus a set of named
-    counters (message counts per protocol tag, rounds executed, ...).  The
-    failure-detector property checkers ({!Setagree_fd.Check}) and the
-    agreement-invariant checkers consume traces, so algorithms stay free of
-    any checking logic. *)
+    A trace is an append-only [Util.Vec] log of timestamped entries plus a
+    set of named counters (message counts per protocol tag, rounds
+    executed, ...).  The failure-detector property checkers
+    ({!Setagree_fd.Check}) and the agreement-invariant checkers consume
+    traces, so algorithms stay free of any checking logic.
+
+    On top of the point entries the trace records {e spans}: typed
+    begin/end pairs for protocol rounds, wheels lower/upper ring phases,
+    FD query epochs and scheduler wakeups.  Spans live on {e tracks}
+    (one per process × span lane) and must nest per track; the exporters
+    ({!Export}) turn them into JSONL or Chrome [trace_event] timelines.
+
+    Recording is gated by a {!level}:
+    - [Off]: no entries or spans at all (counters still work — they are
+      load-bearing for tests and scheduler stats);
+    - [Default]: protocol-level entries and spans (rounds, phases, query
+      epochs, decisions, crashes, FD changes, notes);
+    - [Full]: additionally per-message [Send]/[Deliver] entries and
+      scheduler [Wakeup] spans.
+
+    Instrumentation only ever {e writes} to the trace — it never creates
+    simulator events or consumes RNG draws, so enabling or disabling it
+    cannot perturb an execution. *)
+
+type level = Off | Default | Full
+
+val level_of_string : string -> (level, string) result
+(** ["off" | "default" | "full"] (case-insensitive). *)
+
+val level_to_string : level -> string
+
+type span =
+  | Round of { pid : Setagree_util.Pid.t; round : int }
+      (** One protocol round (kset Phase1+Phase2, consensus_s round). *)
+  | Wheel_phase of { pid : Setagree_util.Pid.t; wheel : string; pos : int }
+      (** Residency at ring position [pos] of the ["lower"]/["upper"] wheel. *)
+  | Query_epoch of { pid : Setagree_util.Pid.t; seq : int }
+      (** One upper-wheels inquiry round-trip (◇φ_y query epoch). *)
+  | Wakeup of { pid : Setagree_util.Pid.t }
+      (** Scheduler resuming a fiber ([Full] level only). *)
+  | Span of { pid : Setagree_util.Pid.t option; cat : string; name : string }
+      (** Escape hatch for ad-hoc phases. *)
 
 type entry =
   | Crash of Setagree_util.Pid.t
@@ -14,17 +51,35 @@ type entry =
   | Decide of { pid : Setagree_util.Pid.t; value : int; round : int }
   | Fd_change of { pid : Setagree_util.Pid.t; kind : string; value : string }
   | Note of { pid : Setagree_util.Pid.t option; text : string }
+  | Begin of span
+  | End of span
 
 type timed = { time : float; entry : entry }
 
 type t
 
-val create : unit -> t
+val create : ?level:level -> unit -> t
+(** [level] defaults to [Default]. *)
+
+val level : t -> level
+
+val records_entries : t -> bool
+(** [level t <> Off] — hot paths check this before building entries. *)
+
+val records_full : t -> bool
+(** [level t = Full]. *)
 
 val record : t -> time:float -> entry -> unit
+(** Append, subject to the level gate: drops everything at [Off], and
+    drops [Send]/[Deliver]/[Wakeup]-span entries below [Full]. *)
+
+val begin_span : t -> time:float -> span -> unit
+val end_span : t -> time:float -> span -> unit
+(** [end_span] must be passed a span equal to the matching
+    [begin_span]'s (spans are identified by value, not by handle). *)
 
 val incr : t -> string -> unit
-(** Bump the named counter. *)
+(** Bump the named counter (level-independent). *)
 
 val add_to : t -> string -> int -> unit
 
@@ -34,8 +89,14 @@ val counter : t -> string -> int
 val counters : t -> (string * int) list
 (** Sorted by name. *)
 
+val length : t -> int
+(** Number of recorded entries. *)
+
 val entries : t -> timed list
 (** In chronological (recording) order. *)
+
+val iter : (timed -> unit) -> t -> unit
+(** Single forward pass, no list materialization. *)
 
 val decisions : t -> (Setagree_util.Pid.t * int * int * float) list
 (** [(pid, value, round, time)] for every [Decide] entry, in order. *)
@@ -43,6 +104,29 @@ val decisions : t -> (Setagree_util.Pid.t * int * int * float) list
 val crashes : t -> (Setagree_util.Pid.t * float) list
 
 val find_notes : t -> string -> timed list
-(** Notes whose text contains the given substring. *)
+(** Notes whose text contains the given substring (byte-level,
+    {!Setagree_util.Strutil.contains}). *)
+
+(** {1 Spans} *)
+
+val span_pid : span -> Setagree_util.Pid.t option
+val span_cat : span -> string
+val span_name : span -> string
+
+val span_track : span -> int
+(** Stable integer track id ([pid] × lane); spans nest per track, and
+    the Chrome exporter maps tracks to [tid]s. *)
+
+val spans : t -> (span * float * float) list
+(** Completed [(span, t_begin, t_end)] pairs, in begin order.  Ends
+    without a matching begin are skipped (see {!nesting_ok}). *)
+
+val open_spans : t -> (span * float) list
+(** Begun but never ended (e.g. the process crashed mid-round). *)
+
+val nesting_ok : t -> bool
+(** True iff on every track each [End] exactly matches the most recent
+    un-ended [Begin] (strict LIFO per track).  Spans still open at the
+    end of the trace do not violate nesting. *)
 
 val pp_summary : Format.formatter -> t -> unit

@@ -7,12 +7,13 @@ type t = {
   mutable changes : int;
 }
 
-let watch sim ?(every = 0.5) ?until ~read () =
+let watch sim ?(every = 0.5) ?until ?kind ~read () =
   let n = Sim.n sim in
   let until = Option.value until ~default:(Sim.horizon sim) in
   let t = { series = Array.make n []; changes = 0 } in
   let poll () =
-    Trace.incr (Sim.trace sim) "monitor.polls";
+    let tr = Sim.trace sim in
+    Trace.incr tr "monitor.polls";
     let now = Sim.now sim in
     for i = 0 to n - 1 do
       if not (Sim.is_crashed sim i) then begin
@@ -21,7 +22,13 @@ let watch sim ?(every = 0.5) ?until ~read () =
         | (_, prev) :: _ when Pidset.equal prev v -> ()
         | _ ->
             t.series.(i) <- (now, v) :: t.series.(i);
-            t.changes <- t.changes + 1
+            t.changes <- t.changes + 1;
+            (match kind with
+            | Some kind when Trace.records_entries tr ->
+                Trace.record tr ~time:now
+                  (Trace.Fd_change
+                     { pid = i; kind; value = Pidset.to_string v })
+            | _ -> ())
       end
     done
   in

@@ -13,11 +13,22 @@ open Setagree_dsys
 type t
 
 val watch :
-  Sim.t -> ?every:float -> ?until:float -> read:(Pid.t -> Pidset.t) -> unit -> t
+  Sim.t ->
+  ?every:float ->
+  ?until:float ->
+  ?kind:string ->
+  read:(Pid.t -> Pidset.t) ->
+  unit ->
+  t
 (** [watch sim ~read ()] installs polling events from now until [until]
     (default: the simulator's horizon), every [every] (default 0.5) time
     units.  Crashed processes are not polled (their module is dead).
-    Must be called before {!Sim.run}. *)
+    Must be called before {!Sim.run}.
+
+    When [kind] is given (e.g. ["omega"], ["es"]), every observed
+    change-point is additionally recorded into the simulator trace as a
+    [Trace.Fd_change] entry — a pure trace write piggybacking on the
+    polls the monitor installs anyway, so it cannot perturb the run. *)
 
 val series : t -> Pid.t -> (float * Pidset.t) list
 (** Change-points [(time, value)], chronological; the first element is the

@@ -56,7 +56,11 @@ let deliver t ~src ~dst ~sent_at payload () =
     if t.retain then Vec.push t.boxes.(dst) env;
     (match t.classify with Some f -> index t ~dst env (f payload) | None -> ());
     t.delivered <- t.delivered + 1;
-    Trace.incr (Sim.trace t.sim) (t.tag ^ ".delivered");
+    let tr = Sim.trace t.sim in
+    Trace.incr tr (t.tag ^ ".delivered");
+    if Trace.records_full tr then
+      Trace.record tr ~time:env.delivered_at
+        (Trace.Deliver { src; dst; tag = t.tag });
     List.iter (fun h -> h env) t.handlers;
     Sim.Cond.signal t.conds.(dst)
   end
@@ -94,10 +98,16 @@ let create sim ?(tag = "net") ?(delay = Delay.default) ?(retain = true) ?classif
 let sim t = t.sim
 let cond t pid = t.conds.(pid)
 
+let note_sent t ~src ~dst =
+  t.sent <- t.sent + 1;
+  let tr = Sim.trace t.sim in
+  Trace.incr tr (t.tag ^ ".sent");
+  if Trace.records_full tr then
+    Trace.record tr ~time:(Sim.now t.sim) (Trace.Send { src; dst; tag = t.tag })
+
 let send_at t ~src ~dst ~deliver_at payload =
   if not (Sim.is_crashed t.sim src) then begin
-    t.sent <- t.sent + 1;
-    Trace.incr (Sim.trace t.sim) (t.tag ^ ".sent");
+    note_sent t ~src ~dst;
     let sent_at = Sim.now t.sim in
     Sim.at t.sim ~time:(Float.max deliver_at sent_at)
       (deliver t ~src ~dst ~sent_at payload)
@@ -111,8 +121,7 @@ let send t ~src ~dst payload =
        (no RNG draw, so controlled runs don't perturb uncontrolled
        replays of the same seed). *)
     | None when Sim.controlled t.sim ->
-        t.sent <- t.sent + 1;
-        Trace.incr (Sim.trace t.sim) (t.tag ^ ".sent");
+        note_sent t ~src ~dst;
         let sent_at = Sim.now t.sim in
         Sim.offer t.sim ~src ~dst (deliver t ~src ~dst ~sent_at payload)
     | None ->
@@ -120,8 +129,7 @@ let send t ~src ~dst payload =
         let d = Delay.sample t.delay ~rng:t.rng ~src ~dst ~now in
         send_at t ~src ~dst ~deliver_at:(now +. d) payload
     | Some tr ->
-        t.sent <- t.sent + 1;
-        Trace.incr (Sim.trace t.sim) (t.tag ^ ".sent");
+        note_sent t ~src ~dst;
         Lossy.Transport.send tr ~src ~dst (Sim.now t.sim, payload)
   end
 

@@ -230,6 +230,19 @@ let metric_summaries c =
          in
          Option.map (fun s -> (name, s)) (Stats.summarize_opt samples))
 
+(* Per-metric fixed-bucket histograms: one [Metrics.t] registry per
+   result, merged in canonical job order.  [Metrics.merge] is
+   associative and commutative, so the fold is independent of which
+   domain produced which result — the [-j1] ≡ [-jN] contract extends to
+   the histogram aggregates (the signature test pins it down). *)
+let metric_histograms c =
+  Array.to_list c.c_results
+  |> List.map (fun r ->
+         let m = Metrics.create () in
+         List.iter (fun (name, v) -> Metrics.observe m name v) r.r_metrics;
+         m)
+  |> List.fold_left Metrics.merge (Metrics.create ())
+
 (* ------------------------------------------------------------------ *)
 (* JSON artifacts                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -275,6 +288,7 @@ let campaign_json c =
       ("throughput_jobs_per_s", Json.Float c.c_throughput);
       ( "aggregates",
         Json.Obj (List.map (fun (k, s) -> (k, summary_json s)) (metric_summaries c)) );
+      ("histograms", Metrics.to_json (metric_histograms c));
       ("results", Json.List (Array.to_list (Array.map result_json c.c_results)));
     ]
 

@@ -125,6 +125,13 @@ val metric_summaries : campaign -> (string * Stats.summary) list
     order of first appearance.  Metrics with zero samples are dropped
     (via [Stats.summarize_opt]). *)
 
+val metric_histograms : campaign -> Metrics.t
+(** One fixed-bucket histogram per metric: per-result registries merged
+    in canonical job order ([Metrics.merge] is associative/commutative,
+    so the result is identical for [-j 1] and [-j N]).  Rendered into
+    {!campaign_json} under ["histograms"] with p50/p90/p95/p99
+    estimates per metric. *)
+
 (** {1 JSON artifacts} *)
 
 val campaign_json : campaign -> Json.t

@@ -1,0 +1,23 @@
+let find s ~sub =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then Some 0
+  else if m > n then None
+  else begin
+    let c0 = String.unsafe_get sub 0 in
+    let limit = n - m in
+    let rec at i j =
+      (* sub.[0..j-1] already matched at position i *)
+      if j = m then true
+      else if String.unsafe_get s (i + j) = String.unsafe_get sub j then
+        at i (j + 1)
+      else false
+    in
+    let rec scan i =
+      if i > limit then None
+      else if String.unsafe_get s i = c0 && at i 1 then Some i
+      else scan (i + 1)
+    in
+    scan 0
+  end
+
+let contains s ~sub = find s ~sub <> None

@@ -1,0 +1,16 @@
+(** Small string helpers shared across the tree.
+
+    Byte-level semantics throughout: OCaml strings are byte sequences,
+    so [contains] matches UTF-8 encoded text at the byte level (a match
+    can start inside a multi-byte scalar; callers that need
+    character-level semantics must decode first). *)
+
+val contains : string -> sub:string -> bool
+(** [contains s ~sub] is [true] iff [sub] occurs in [s] as a contiguous
+    byte substring.  The empty needle matches everywhere (including in
+    the empty string).  Allocation-free, O(|s| * |sub|) worst case but
+    with a first-byte fast path — unlike the previous
+    [String.sub]-per-position scan this never copies. *)
+
+val find : string -> sub:string -> int option
+(** Index of the first occurrence, if any. *)

@@ -1,15 +1,16 @@
 (* Tests for the discrete-event kernel: event ordering, fibers (sleep /
-   yield / wait_until), crash semantics, determinism, budgets, traces.
-
-   wait_until is deprecated in favour of Sim.Cond.await, but its shim
-   semantics are still pinned here, so silence the alert file-wide. *)
-[@@@alert "-deprecated"]
+   yield / poll-cond waits), crash semantics, determinism, budgets,
+   traces. *)
 
 open Setagree_util
 open Setagree_dsys
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
+
+(* Poll-cadence wait: re-evaluated after every event, no signal
+   discipline needed — what the old [Sim.wait_until] shim did. *)
+let wait_until sim pred = Sim.Cond.await [ Sim.Cond.poll sim ] pred
 
 let mk ?(horizon = 1000.0) ?(n = 4) ?(t = 1) ?(seed = 1) () =
   Sim.create ~horizon ~n ~t ~seed ()
@@ -100,7 +101,7 @@ let test_wait_until_immediate () =
   let sim = mk () in
   let passed = ref false in
   Sim.spawn sim ~pid:0 (fun () ->
-      Sim.wait_until (fun () -> true);
+      wait_until sim (fun () -> true);
       passed := true);
   ignore (Sim.run sim);
   check "immediate wait passes" true !passed
@@ -110,7 +111,7 @@ let test_wait_until_wakes () =
   let flag = ref false in
   let woke_at = ref 0.0 in
   Sim.spawn sim ~pid:0 (fun () ->
-      Sim.wait_until (fun () -> !flag);
+      wait_until sim (fun () -> !flag);
       woke_at := Sim.now sim);
   Sim.schedule sim ~delay:7.0 (fun () -> flag := true);
   ignore (Sim.run sim);
@@ -122,10 +123,10 @@ let test_wait_until_chain () =
   let sim = mk () in
   let f1 = ref false and f2 = ref false and done2 = ref false in
   Sim.spawn sim ~pid:0 (fun () ->
-      Sim.wait_until (fun () -> !f1);
+      wait_until sim (fun () -> !f1);
       f2 := true);
   Sim.spawn sim ~pid:1 (fun () ->
-      Sim.wait_until (fun () -> !f2);
+      wait_until sim (fun () -> !f2);
       done2 := true);
   Sim.schedule sim ~delay:1.0 (fun () -> f1 := true);
   ignore (Sim.run sim);
@@ -150,7 +151,7 @@ let test_crash_drops_waiter () =
   Sim.install_crashes sim [ (0, 2.0) ];
   let flag = ref false and woke = ref false in
   Sim.spawn sim ~pid:0 (fun () ->
-      Sim.wait_until (fun () -> !flag);
+      wait_until sim (fun () -> !flag);
       woke := true);
   Sim.schedule sim ~delay:5.0 (fun () -> flag := true);
   ignore (Sim.run sim);
@@ -246,7 +247,7 @@ let test_ticker_wakes_time_predicate () =
   Sim.ticker sim ~every:1.0;
   let woke = ref 0.0 in
   Sim.spawn sim ~pid:0 (fun () ->
-      Sim.wait_until (fun () -> Sim.now sim >= 42.0);
+      wait_until sim (fun () -> Sim.now sim >= 42.0);
       woke := Sim.now sim);
   ignore (Sim.run ~stop_when:(fun () -> !woke > 0.0) sim);
   check "woken by ticker" true (!woke >= 42.0 && !woke < 44.0)
@@ -259,13 +260,13 @@ let test_zero_time_livelock_detected () =
   let ping = ref true and pong = ref false in
   Sim.spawn sim ~pid:0 (fun () ->
       while true do
-        Sim.wait_until (fun () -> !ping);
+        wait_until sim (fun () -> !ping);
         ping := false;
         pong := true
       done);
   Sim.spawn sim ~pid:1 (fun () ->
       while true do
-        Sim.wait_until (fun () -> !pong);
+        wait_until sim (fun () -> !pong);
         pong := false;
         ping := true
       done);
@@ -295,7 +296,7 @@ let test_crash_now_dynamic () =
       done);
   (* A reactive adversary kills p2 after its third step. *)
   Sim.spawn sim ~pid:0 (fun () ->
-      Sim.wait_until (fun () -> !steps >= 3);
+      wait_until sim (fun () -> !steps >= 3);
       Sim.crash_now sim 1);
   ignore (Sim.run sim);
   check_int "stopped at third step" 3 !steps;

@@ -661,6 +661,60 @@ let test_vec_get_out_of_bounds () =
        false
      with Invalid_argument _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Strutil: byte-level substring search                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_strutil_empty () =
+  Alcotest.(check (option int)) "empty sub" (Some 0) (Strutil.find "" ~sub:"");
+  Alcotest.(check (option int)) "empty sub in text" (Some 0) (Strutil.find "abc" ~sub:"");
+  check "contains empty" true (Strutil.contains "" ~sub:"");
+  Alcotest.(check (option int)) "sub longer than s" None (Strutil.find "ab" ~sub:"abc");
+  check "not in empty" false (Strutil.contains "" ~sub:"x")
+
+let test_strutil_overlap () =
+  (* Self-overlapping needles: the scan must not skip past a match that
+     starts inside a failed partial match. *)
+  Alcotest.(check (option int)) "aa in aaa" (Some 0) (Strutil.find "aaa" ~sub:"aa");
+  Alcotest.(check (option int)) "aba in aabaa" (Some 1) (Strutil.find "aabaa" ~sub:"aba");
+  Alcotest.(check (option int)) "abc after partial ab" (Some 2) (Strutil.find "ababc" ~sub:"abc");
+  check "whole string" true (Strutil.contains "needle" ~sub:"needle");
+  check "suffix" true (Strutil.contains "find the needle" ~sub:"needle");
+  check "near miss" false (Strutil.contains "nee dle" ~sub:"needle")
+
+let test_strutil_unicode_bytes () =
+  (* Byte semantics, not codepoints: multi-byte sequences match by their
+     UTF-8 encoding, including partial-sequence needles. *)
+  let s = "d\xc3\xa9cid\xc3\xa9" (* "décidé" *) in
+  check "multibyte needle" true (Strutil.contains s ~sub:"\xc3\xa9");
+  Alcotest.(check (option int)) "byte offset" (Some 1) (Strutil.find s ~sub:"\xc3\xa9");
+  check "partial utf8 byte" true (Strutil.contains s ~sub:"\xc3");
+  check "absent multibyte" false (Strutil.contains s ~sub:"\xc3\xa8")
+
+let strutil_qcheck =
+  let naive s sub =
+    let n = String.length s and m = String.length sub in
+    let rec at i = if i + m > n then false else String.sub s i m = sub || at (i + 1) in
+    m = 0 || at 0
+  in
+  let printable = QCheck.Gen.(string_size ~gen:(char_range 'a' 'c') (0 -- 8)) in
+  [
+    QCheck.Test.make ~count:2000 ~name:"contains agrees with naive scan"
+      QCheck.(pair (make ~print:Print.string printable) (make ~print:Print.string printable))
+      (fun (s, sub) -> Strutil.contains s ~sub = naive s sub);
+    QCheck.Test.make ~count:2000 ~name:"find returns the leftmost match"
+      QCheck.(pair (make ~print:Print.string printable) (make ~print:Print.string printable))
+      (fun (s, sub) ->
+        match Strutil.find s ~sub with
+        | None -> not (naive s sub)
+        | Some i ->
+            let m = String.length sub in
+            String.sub s i m = sub
+            &&
+            let rec earlier j = j < i && (String.sub s j m = sub || earlier (j + 1)) in
+            not (earlier 0));
+  ]
+
 let () =
   let qc = List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |])) pidset_qcheck in
   Alcotest.run "util"
@@ -685,6 +739,13 @@ let () =
           Alcotest.test_case "list_from" `Quick test_vec_list_from;
           Alcotest.test_case "bounds" `Quick test_vec_get_out_of_bounds;
         ] );
+      ( "strutil",
+        [
+          Alcotest.test_case "empty/degenerate" `Quick test_strutil_empty;
+          Alcotest.test_case "overlap" `Quick test_strutil_overlap;
+          Alcotest.test_case "unicode bytes" `Quick test_strutil_unicode_bytes;
+        ]
+        @ List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |])) strutil_qcheck );
       ("pidset-properties", qc);
       ( "rng",
         [
