@@ -1202,6 +1202,150 @@ let explore () =
        (fun acc (s : Schedule.t) -> min acc (List.length s.Schedule.choices))
        max_int misuse)
 
+(* ------------------------------------------------------------------ *)
+(* CHAOS — the fault-injection campaign as a benchmark: every fault    *)
+(* mix x seed x protocol run must preserve safety (0 violations, the   *)
+(* hard acceptance bar) and decide once its faults heal; the artifact  *)
+(* records the decision-latency inflation each mix causes vs the       *)
+(* fault-free control, and the deliberately illegal specs must be      *)
+(* caught by Faults.legal and minimized to replayable counterexamples. *)
+(* ------------------------------------------------------------------ *)
+
+let chaos () =
+  section "CHAOS  Fault injection: safety under every mix, liveness after heal";
+  (* BENCH_CHAOS_SMOKE: one seed per (protocol, mix) cell for CI. *)
+  let smoke = Sys.getenv_opt "BENCH_CHAOS_SMOKE" <> None in
+  let seeds = if smoke then 1 else 8 in
+  let o = Chaos.run ~seeds () in
+  let c = o.Chaos.o_campaign in
+  Printf.printf
+    "[chaos] %d runs (%d protocols x %d mixes x %d seeds) on %d domain(s), %.2fs wall\n"
+    o.Chaos.o_runs
+    (List.length Chaos.default_protocols)
+    (List.length Chaos.mixes)
+    seeds c.Runner.c_workers c.Runner.c_wall_s;
+  Printf.printf "safety violations: %d (budget: 0)\nliveness failures: %d (budget: 0)\n"
+    o.Chaos.o_safety o.Chaos.o_liveness;
+  List.iter
+    (fun (f : Chaos.failure) ->
+      Printf.printf "  FAIL %s/%s seed=%d %s: %s\n" f.Chaos.f_protocol f.Chaos.f_mix
+        f.Chaos.f_params.Protocol.seed
+        (Chaos.kind_to_string f.Chaos.f_kind)
+        (String.concat "; " f.Chaos.f_notes))
+    o.Chaos.o_failures;
+  (* Decision-latency inflation per mix, against the fault-free control
+     of the same protocol: the price of graceful degradation. *)
+  let results = Array.to_list c.Runner.c_results in
+  let cut r =
+    match String.split_on_char '/' r.Runner.r_label with
+    | proto :: mix :: _ -> (proto, mix)
+    | _ -> ("?", "?")
+  in
+  let mean_latency proto mix =
+    let samples =
+      List.filter_map
+        (fun r ->
+          if r.Runner.r_ok && cut r = (proto, mix) then
+            List.assoc_opt "latency" r.Runner.r_metrics
+          else None)
+        results
+    in
+    match samples with
+    | [] -> nan
+    | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  subsection "decision-latency inflation vs the fault-free mix (mean over ok runs)";
+  Printf.printf "%-12s" "mix";
+  List.iter (fun p -> Printf.printf " %-22s" p) Chaos.default_protocols;
+  print_newline ();
+  let inflation proto mix = mean_latency proto mix /. mean_latency proto "none" in
+  List.iter
+    (fun mix ->
+      Printf.printf "%-12s" mix;
+      List.iter
+        (fun proto ->
+          Printf.printf " %-22s"
+            (Printf.sprintf "%7.1f (x%.2f)" (mean_latency proto mix)
+               (inflation proto mix)))
+        Chaos.default_protocols;
+      print_newline ())
+    Chaos.mix_names;
+  (* Illegal-spec probes: never run, caught by Faults.legal, minimized
+     by ddmin to the offending atoms, recorded as replayable records. *)
+  subsection "illegal-spec probes (caught, minimized, replayable)";
+  let n = Protocol.default.Protocol.n and t = Protocol.default.Protocol.t in
+  let probe name spec =
+    match Chaos.minimize_illegal ~n ~t spec with
+    | None -> failwith (Printf.sprintf "CHAOS: illegal probe %S was not caught" name)
+    | Some s ->
+        let errs = match Faults.legal ~n ~t s with Error e -> e | Ok () -> [] in
+        Printf.printf "  %-14s caught (%d atoms -> %d): %s\n" name
+          (List.length (Faults.elements spec))
+          (List.length (Faults.elements s))
+          (String.concat "; " errs);
+        {
+          Chaos.f_protocol = "kset";
+          f_mix = name;
+          f_kind = Chaos.Illegal;
+          f_notes = errs;
+          f_params = { Protocol.default with Protocol.faults = s };
+        }
+  in
+  let over_budget =
+    {
+      Faults.none with
+      Faults.crashes =
+        Crash.Explicit (List.init (t + 1) (fun i -> (i, 5.0 +. float_of_int i)));
+      stalls = [ Faults.stall ~pid:0 ~from:1.0 ~until:2.0 ];
+    }
+  in
+  let never_omega =
+    {
+      Faults.none with
+      Faults.adversary = "never";
+      links = [ Faults.link ~drop:0.5 ~from:0.0 ~until:10.0 () ];
+    }
+  in
+  let p1 = probe "t+1-crashes" over_budget in
+  let p2 = probe "never-omega" never_omega in
+  let probes = [ p1; p2 ] in
+  let fpath = Chaos.write_failures (o.Chaos.o_failures @ probes) in
+  Printf.printf "chaos failures artifact: %s (%d record(s), %d probe(s))\n" fpath
+    (List.length o.Chaos.o_failures + List.length probes)
+    (List.length probes);
+  (* The campaign artifact, with the inflation table merged in. *)
+  let inflation_json =
+    Json.Obj
+      (List.map
+         (fun proto ->
+           ( proto,
+             Json.Obj
+               (List.map
+                  (fun mix ->
+                    ( mix,
+                      Json.Obj
+                        ([ ("latency_mean", Json.Float (mean_latency proto mix)) ]
+                        @
+                        if mix = "none" then []
+                        else [ ("inflation_vs_none", Json.Float (inflation proto mix)) ])
+                    ))
+                  Chaos.mix_names) ))
+         Chaos.default_protocols)
+  in
+  (match Runner.campaign_json c with
+  | Json.Obj fields ->
+      Json.write_file
+        (Filename.concat "_results" "BENCH_chaos.json")
+        (Json.Obj (fields @ [ ("latency_inflation", inflation_json) ]))
+  | _ -> ());
+  if o.Chaos.o_safety > 0 then
+    failwith
+      (Printf.sprintf "CHAOS: %d safety violation(s) under fault injection"
+         o.Chaos.o_safety);
+  if o.Chaos.o_liveness > 0 then
+    failwith
+      (Printf.sprintf "CHAOS: %d healed run(s) failed to decide" o.Chaos.o_liveness)
+
 let all () =
   e1 ();
   e2 ();
@@ -1222,4 +1366,5 @@ let all () =
   e14 ();
   sched ();
   obs ();
-  explore ()
+  explore ();
+  chaos ()

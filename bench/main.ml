@@ -26,6 +26,7 @@ let registry =
     ("sched", Experiments.sched);
     ("obs", Experiments.obs);
     ("explore", Experiments.explore);
+    ("chaos", Experiments.chaos);
     ("micro", Microbench.run);
   ]
 

@@ -62,7 +62,35 @@ let setup ?(legacy_poll = false) ~n ~t ~seed ~crashes ~horizon () =
        ~n ~t rng);
   sim
 
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
 (* ---- shared Protocol.params term ---- *)
+
+let faults_arg =
+  let parse path =
+    try
+      match Json.of_string (read_file path) with
+      | Error e -> Error (`Msg (Printf.sprintf "%s: not JSON: %s" path e))
+      | Ok j -> (
+          match Faults.of_json j with
+          | Ok f -> Ok f
+          | Error e -> Error (`Msg (Printf.sprintf "%s: %s" path e)))
+    with Sys_error e -> Error (`Msg e)
+  in
+  let print ppf f = Format.fprintf ppf "%s" (Faults.summary f) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Faults.none
+    & info [ "faults" ] ~docv:"FILE"
+        ~doc:
+          "JSON fault specification: link drop/duplicate/reorder/inflation \
+           windows, partitions with heal times, process stalls, extra crashes \
+           and an oracle adversary strategy (see Dsys.Faults).")
 
 let adversarial_arg =
   Arg.(
@@ -89,7 +117,7 @@ let trace_arg =
            records.  Pure observability — never changes the execution.")
 
 let mk_params n t seed crashes gst horizon z k x y legacy_poll adversarial variant
-    trace =
+    trace faults =
   {
     Protocol.n;
     t;
@@ -103,6 +131,7 @@ let mk_params n t seed crashes gst horizon z k x y legacy_poll adversarial varia
     crashes =
       (if crashes <= 0 then Crash.No_crashes
        else Crash.Exactly { crashes = min crashes t; window = (0.0, 20.0) });
+    faults;
     legacy_poll;
     adversarial;
     variant;
@@ -138,7 +167,7 @@ let params_term ?(default_z = 1) ?(default_k = 1) ?(default_x = 2) ?(default_y =
   Term.(
     const mk_params $ n_arg $ t_arg $ seed_arg $ crashes_arg $ gst_arg $ horizon_arg
     $ z_arg $ k_arg $ x_arg $ y_arg $ legacy_poll_arg $ adversarial_arg $ variant_arg
-    $ trace_arg)
+    $ trace_arg $ faults_arg)
 
 let registry_doc () =
   Printf.sprintf "Protocols: %s." (String.concat ", " (Protocol.names ()))
@@ -147,6 +176,18 @@ let exec_run protocol (p : Protocol.params) =
   match Protocol.find protocol with
   | None ->
       Printf.eprintf "unknown protocol %S; %s\n" protocol (registry_doc ());
+      3
+  | Some _
+    when Result.is_error
+           (Faults.legal ~n:p.Protocol.n ~t:p.Protocol.t p.Protocol.faults) ->
+      (match Faults.legal ~n:p.Protocol.n ~t:p.Protocol.t p.Protocol.faults with
+      | Error errs ->
+          Printf.eprintf "illegal fault spec (refusing to run):\n";
+          List.iter (fun e -> Printf.eprintf "  - %s\n" e) errs;
+          (match Chaos.minimize_illegal ~n:p.Protocol.n ~t:p.Protocol.t p.Protocol.faults with
+          | Some s -> Printf.eprintf "minimized to: %s\n" (Faults.summary s)
+          | None -> ())
+      | Ok () -> ());
       3
   | Some pk ->
       let r = Protocol.run pk p in
@@ -619,44 +660,188 @@ let explore_cmd =
       $ honest_arg $ depth_arg $ delays_arg $ walks_arg $ max_runs_arg $ shrink_arg
       $ params_term ~default_z:2 ~default_k:1 ~default_crashes:0 ())
 
+(* ---- chaos ---- *)
+
+let chaos_cmd =
+  let run jobs seeds protocols mix_filter out (base : Protocol.params) =
+    let protocols =
+      match protocols with [] -> Chaos.default_protocols | l -> l
+    in
+    let mix_filter = match mix_filter with [] -> None | l -> Some l in
+    let unknown_mix =
+      match mix_filter with
+      | None -> []
+      | Some l -> List.filter (fun m -> Chaos.find_mix m = None) l
+    in
+    if unknown_mix <> [] then begin
+      Printf.eprintf "unknown mix(es): %s; mixes: %s\n"
+        (String.concat ", " unknown_mix)
+        (String.concat ", " Chaos.mix_names);
+      3
+    end
+    else begin
+      let o = Chaos.run ~jobs ~protocols ?mix_filter ~seeds ~base () in
+      let c = o.Chaos.o_campaign in
+      Printf.printf
+        "chaos: %d runs (%s x %s x %d seeds) on %d domain(s), %.2fs wall\n"
+        o.Chaos.o_runs
+        (String.concat "," protocols)
+        (String.concat ","
+           (match mix_filter with None -> Chaos.mix_names | Some l -> l))
+        seeds c.Runner.c_workers c.Runner.c_wall_s;
+      Printf.printf "  safety violations:  %d\n  liveness failures:  %d\n"
+        o.Chaos.o_safety o.Chaos.o_liveness;
+      let art = Runner.write_artifact ~dir:out c in
+      let fpath = Chaos.write_failures ~dir:out o.Chaos.o_failures in
+      Printf.printf "artifacts: %s, %s\n" art fpath;
+      List.iter
+        (fun (name, s) ->
+          Printf.printf "  %-22s %s\n" name (Format.asprintf "%a" Stats.pp_summary s))
+        (Runner.metric_summaries c);
+      List.iteri
+        (fun i (f : Chaos.failure) ->
+          Printf.printf "  [%d] %s/%s seed=%d %s: %s\n      minimized: %s\n      \
+                         replay: dune exec bin/fdkit.exe -- replay --faults %s --index %d\n"
+            i f.Chaos.f_protocol f.Chaos.f_mix f.Chaos.f_params.Protocol.seed
+            (Chaos.kind_to_string f.Chaos.f_kind)
+            (String.concat "; " f.Chaos.f_notes)
+            (Faults.summary f.Chaos.f_params.Protocol.faults)
+            fpath i)
+        o.Chaos.o_failures;
+      (* Safety violations are the hard failure; liveness failures on
+         healed runs also fail the job (exit 1) but are reported apart. *)
+      if o.Chaos.o_safety > 0 then 2
+      else if o.Chaos.o_failures <> [] then 1
+      else 0
+    end
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int (Runner.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 8 & info [ "seeds" ] ~docv:"S" ~doc:"Run seeds 1..S per cell.")
+  in
+  let protocols_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "protocols" ] ~docv:"P1,P2"
+          ~doc:"Protocols to sweep (default kset,consensus_s,wheels).")
+  in
+  let mixes_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "mixes" ] ~docv:"M1,M2"
+          ~doc:"Fault mixes to sweep (default: all built-in mixes).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "_results"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Artifact directory (created if missing).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Chaos campaign: sweep fault mixes (drop/dup/reorder/inflate links, \
+          partitions with heals, stalls, adversary oracles, combos) x seeds over \
+          registered protocols; assert safety on every run and liveness after heal; \
+          minimize failures into replayable chaos_failures.json (exit 2 on any \
+          safety violation, 1 on liveness failures).")
+    Term.(
+      const run $ jobs_arg $ seeds_arg $ protocols_arg $ mixes_arg $ out_arg
+      $ params_term ())
+
 (* ---- replay ---- *)
 
+let replay_faults path index =
+  match Chaos.load_failures path with
+  | Error e ->
+      Printf.eprintf "cannot load %s: %s\n" path e;
+      3
+  | Ok [] ->
+      Printf.eprintf "%s: no chaos failures recorded\n" path;
+      3
+  | Ok l -> (
+      match List.nth_opt l index with
+      | None ->
+          Printf.eprintf "--index %d out of range (%d failure(s))\n" index
+            (List.length l);
+          3
+      | Some f -> (
+          Printf.printf "replaying chaos failure %s/%s seed=%d kind=%s\n  spec: %s\n"
+            f.Chaos.f_protocol f.Chaos.f_mix f.Chaos.f_params.Protocol.seed
+            (Chaos.kind_to_string f.Chaos.f_kind)
+            (Faults.summary f.Chaos.f_params.Protocol.faults);
+          match Chaos.reproduce f with
+          | None ->
+              Printf.eprintf "unknown protocol %S\n" f.Chaos.f_protocol;
+              3
+          | Some (reproduced, notes) ->
+              Printf.printf "recorded: %s\nreplayed: %s\n%s\n"
+                (String.concat "; " f.Chaos.f_notes)
+                (String.concat "; " notes)
+                (if reproduced then "reproduced" else "NOT reproduced");
+              if reproduced then 0 else 1))
+
+let replay_schedule schedule index =
+  match Explorer.load_counterexamples schedule with
+  | Error e ->
+      Printf.eprintf "cannot load %s: %s\n" schedule e;
+      3
+  | Ok [] ->
+      Printf.eprintf "%s: no counterexamples recorded\n" schedule;
+      3
+  | Ok l -> (
+      match List.nth_opt l index with
+      | None ->
+          Printf.eprintf "--index %d out of range (%d counterexample(s))\n" index
+            (List.length l);
+          3
+      | Some s -> (
+          Printf.printf "replaying %s schedule %s\n" s.Schedule.protocol
+            (Format.asprintf "%a" Schedule.pp_choices s.Schedule.choices);
+          match Explorer.replay s with
+          | Error e ->
+              prerr_endline e;
+              3
+          | Ok (e, reproduced) ->
+              Printf.printf "recorded violation: %s\nreplayed violation: %s\n"
+                (String.concat "; " s.Schedule.violation)
+                (String.concat "; " e.Explore.ex_violation);
+              Printf.printf "%s\n"
+                (if reproduced then "reproduced" else "NOT reproduced");
+              if reproduced then 0 else 1))
+
 let replay_cmd =
-  let run schedule index =
-    match Explorer.load_counterexamples schedule with
-    | Error e ->
-        Printf.eprintf "cannot load %s: %s\n" schedule e;
+  let run schedule faults index =
+    match (schedule, faults) with
+    | None, None ->
+        prerr_endline "replay needs --schedule FILE or --faults FILE";
         3
-    | Ok [] ->
-        Printf.eprintf "%s: no counterexamples recorded\n" schedule;
+    | Some _, Some _ ->
+        prerr_endline "--schedule and --faults are mutually exclusive";
         3
-    | Ok l -> (
-        match List.nth_opt l index with
-        | None ->
-            Printf.eprintf "--index %d out of range (%d counterexample(s))\n" index
-              (List.length l);
-            3
-        | Some s -> (
-            Printf.printf "replaying %s schedule %s\n" s.Schedule.protocol
-              (Format.asprintf "%a" Schedule.pp_choices s.Schedule.choices);
-            match Explorer.replay s with
-            | Error e ->
-                prerr_endline e;
-                3
-            | Ok (e, reproduced) ->
-                Printf.printf "recorded violation: %s\nreplayed violation: %s\n"
-                  (String.concat "; " s.Schedule.violation)
-                  (String.concat "; " e.Explore.ex_violation);
-                Printf.printf "%s\n"
-                  (if reproduced then "reproduced" else "NOT reproduced");
-                if reproduced then 0 else 1))
+    | None, Some path -> replay_faults path index
+    | Some schedule, None -> replay_schedule schedule index
   in
   let schedule_arg =
     Arg.(
-      required
+      value
       & opt (some string) None
       & info [ "schedule" ] ~docv:"FILE"
           ~doc:"A counterexamples.json artifact or a bare schedule file.")
+  in
+  let faults_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"FILE"
+          ~doc:"A chaos_failures.json artifact: re-run the recorded configuration \
+                (params + minimized fault spec) and verify the failure reproduces.")
   in
   let index_arg =
     Arg.(
@@ -666,9 +851,11 @@ let replay_cmd =
   Cmd.v
     (Cmd.info "replay"
        ~doc:
-         "Re-execute a recorded schedule choice-for-choice and verify it exhibits the \
-          recorded violation (exit 0 iff reproduced).")
-    Term.(const run $ schedule_arg $ index_arg)
+         "Re-execute a recorded counterexample — an explorer schedule \
+          choice-for-choice (--schedule) or a chaos failure byte-for-byte from its \
+          seed and fault spec (--faults) — and verify it exhibits the recorded \
+          violation (exit 0 iff reproduced).")
+    Term.(const run $ schedule_arg $ faults_file_arg $ index_arg)
 
 (* ---- grid ---- *)
 
@@ -885,6 +1072,7 @@ let () =
             strengthen_cmd;
             impl_cmd;
             campaign_cmd;
+            chaos_cmd;
             trace_cmd;
             explore_cmd;
             replay_cmd;

@@ -13,6 +13,7 @@ type params = {
   gst : float;
   horizon : float;
   crashes : Crash.spec;
+  faults : Faults.t;
   legacy_poll : bool;
   adversarial : bool;
   variant : string;
@@ -31,6 +32,7 @@ let default =
     gst = 40.0;
     horizon = 0.0;
     crashes = Crash.Exactly { crashes = 2; window = (0.0, 20.0) };
+    faults = Faults.none;
     legacy_poll = false;
     adversarial = false;
     variant = "es";
@@ -49,6 +51,7 @@ let params_to_json p =
     ("gst", Json.Float p.gst);
     ("horizon", Json.Float p.horizon);
     ("crashes", Crash.spec_to_json p.crashes);
+    ("faults", Faults.to_json p.faults);
     ("legacy_poll", Json.Bool p.legacy_poll);
     ("adversarial", Json.Bool p.adversarial);
     ("variant", Json.String p.variant);
@@ -79,6 +82,12 @@ let params_of_json fields =
         | Error _ -> default.crashes)
     | None -> default.crashes
   in
+  let faults =
+    match Json.member "faults" j with
+    | Some fj -> (
+        match Faults.of_json fj with Ok f -> f | Error _ -> default.faults)
+    | None -> default.faults
+  in
   {
     n = int "n" default.n;
     t = int "t" default.t;
@@ -90,6 +99,7 @@ let params_of_json fields =
     gst = flt "gst" default.gst;
     horizon = flt "horizon" default.horizon;
     crashes;
+    faults;
     legacy_poll = boolean "legacy_poll" default.legacy_poll;
     adversarial = boolean "adversarial" default.adversarial;
     variant = str "variant" default.variant;
@@ -112,8 +122,10 @@ type packed = (module S)
 
 (* ---- shared pieces ---- *)
 
-let behavior_of p =
-  if p.gst <= 0.0 then Behavior.perfect else Behavior.stormy ~gst:p.gst
+(* The oracle behaviour combines the nominal gst with the fault spec's
+   adversary strategy; with no adversary named this reduces to the
+   historical default (perfect when gst <= 0, stormy otherwise). *)
+let behavior_of p = Behavior.of_adversary p.faults.Faults.adversary ~gst:p.gst
 
 let proposals_of p = Array.init p.n (fun i -> 100 + i)
 
@@ -356,13 +368,38 @@ let make_sim (module P : S) p =
       ~seed:p.seed ()
   in
   let rng = Rng.split_named (Sim.rng sim) "crash" in
-  Sim.install_crashes sim (Crash.generate p.crashes ~n:p.n ~t:p.t rng);
+  let crash_list =
+    let base = Crash.generate p.crashes ~n:p.n ~t:p.t rng in
+    if p.faults.Faults.crashes = Crash.No_crashes then base
+    else begin
+      (* The fault spec's crashes extend the base schedule (earliest time
+         wins per pid); the combined list goes through one
+         [install_crashes] call so the resilience bound is enforced on
+         the union — an over-budget spec raises right here. *)
+      let frng = Rng.split_named (Sim.rng sim) "faultcrash" in
+      let extra = Crash.generate p.faults.Faults.crashes ~n:p.n ~t:p.t frng in
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun (pid, tm) ->
+          match Hashtbl.find_opt tbl pid with
+          | Some tm' when tm' <= tm -> ()
+          | _ -> Hashtbl.replace tbl pid tm)
+        (base @ extra);
+      List.sort compare (Hashtbl.fold (fun pid tm acc -> (pid, tm) :: acc) tbl [])
+    end
+  in
+  Sim.install_crashes sim crash_list;
+  Sim.set_faults sim p.faults;
+  Sim.install_stalls sim p.faults.Faults.stalls;
   sim
 
 type report = {
   rp_sim : Sim.t;
   rp_outcome : Sim.outcome;
   rp_verdict : Check.verdict;
+  rp_violations : string list;
+      (** safety-only violations ([S.violation]) — unlike [rp_verdict],
+          meaningful even on runs whose fault windows never healed *)
   rp_metrics : (string * float) list;
 }
 
@@ -422,13 +459,33 @@ let obs_metrics sim =
     decide_metrics @ fd_metrics "omega" "obs.omega" @ fd_metrics "es" "obs.es"
   end
 
+(* Fault-layer observability: the trace counters bumped by Net/Sim when a
+   spec is active (all zero — and omitted — on fault-free runs). *)
+let fault_metrics sim =
+  let tr = Sim.trace sim in
+  List.filter_map
+    (fun name ->
+      match Trace.counter tr name with
+      | 0 -> None
+      | v -> Some (name, float_of_int v))
+    [
+      "fault.parked";
+      "fault.dup";
+      "fault.reorder";
+      "fault.inflated";
+      "fault.deferred";
+      "fault.stalls";
+      "net.retransmits";
+      "net.backoff_resets";
+    ]
+
 let run (module P : S) p =
   let sim = make_sim (module P) p in
   let h = P.install sim p in
   let outcome = Sim.run ~stop_when:(P.stop h) sim in
   let verdict = P.check h in
   let metrics =
-    P.metrics h @ obs_metrics sim
+    P.metrics h @ obs_metrics sim @ fault_metrics sim
     @ [
         ("latency", outcome.Sim.end_time);
         ("sched.events", float_of_int outcome.Sim.events);
@@ -437,7 +494,13 @@ let run (module P : S) p =
         ("sched.wakeups", float_of_int (Sim.wakeups sim));
       ]
   in
-  { rp_sim = sim; rp_outcome = outcome; rp_verdict = verdict; rp_metrics = metrics }
+  {
+    rp_sim = sim;
+    rp_outcome = outcome;
+    rp_verdict = verdict;
+    rp_violations = P.violation h;
+    rp_metrics = metrics;
+  }
 
 let explore_make (module P : S) p () =
   let sim = make_sim (module P) p in

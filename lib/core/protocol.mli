@@ -28,6 +28,11 @@ type params = {
   gst : float;  (** oracle stabilization time; 0 = perfect behavior *)
   horizon : float;  (** virtual-time budget; 0 = the protocol's hint *)
   crashes : Crash.spec;
+  faults : Faults.t;
+      (** the unified fault spec: link faults, partitions, stalls, extra
+          crashes, and the oracle adversary strategy.  [Faults.none] (the
+          default) reproduces historical behaviour exactly; the adversary
+          name feeds [Behavior.of_adversary] against [gst]. *)
   legacy_poll : bool;
   adversarial : bool;
       (** kset: constant Ω_z trusted set + [By_pid] tie-break — the E2
@@ -86,10 +91,15 @@ type report = {
   rp_sim : Sim.t;
   rp_outcome : Sim.outcome;
   rp_verdict : Check.verdict;
+  rp_violations : string list;
+      (** safety-only violations ([S.violation]) — unlike [rp_verdict],
+          meaningful even on runs whose fault windows never healed, so
+          the chaos campaign asserts it on {e every} run *)
   rp_metrics : (string * float) list;
       (** the protocol's metrics, plus trace-derived observability
-          metrics ([obs.*], see {!run}), plus latency and scheduler
-          counters *)
+          metrics ([obs.*], see {!run}), fault-layer counters
+          ([fault.*], [net.retransmits], [net.backoff_resets]; omitted
+          when zero), plus latency and scheduler counters *)
 }
 
 val run : packed -> params -> report

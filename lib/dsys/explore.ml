@@ -197,6 +197,40 @@ let dfs ~make ~stats ?(depth = 64) ?(delays = 2) ?(max_runs = 1000) roots =
   done;
   List.rev !found
 
+(* Generic greedy delta debugging over a list of atoms: repeatedly drop
+   chunks of halving sizes while [test] keeps holding on the candidate.
+   [test] must hold on the full input for the result to be meaningful
+   (callers establish that before minimizing).  Used by the schedule
+   shrinker below and by the chaos campaign to minimize failing fault
+   specifications ([Faults.elements]). *)
+let ddmin ~test ?(budget = max_int) items =
+  let left = ref budget in
+  let check cand =
+    if !left <= 0 then false
+    else begin
+      decr left;
+      test cand
+    end
+  in
+  let remove_range l start len =
+    List.filteri (fun i _ -> i < start || i >= start + len) l
+  in
+  let rec chunk_pass cur size =
+    if size < 1 then cur
+    else begin
+      let rec at start cur =
+        if start >= List.length cur then cur
+        else
+          let cand = remove_range cur start size in
+          if check cand then at start cand else at (start + size) cur
+      in
+      chunk_pass (at 0 cur) (size / 2)
+    end
+  in
+  if items = [] then []
+  else if check [] then []
+  else chunk_pass items (max 1 (List.length items / 2))
+
 let shrink ~make ~stats ?(budget = 400) (choices, notes) =
   let left = ref budget in
   let try_run cs =

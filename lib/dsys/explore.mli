@@ -103,6 +103,16 @@ val dfs :
     never expands below a violating run.  Returns (prefix, violation)
     pairs in discovery order; stops after [max_runs] executions. *)
 
+val ddmin : test:('a list -> bool) -> ?budget:int -> 'a list -> 'a list
+(** Generic greedy delta debugging over a list of atoms: drop chunks of
+    halving sizes (down to single atoms) while [test] keeps holding on
+    the candidate, calling [test] at most [budget] times (default
+    unbounded).  [test] must hold on the full input; the result is a
+    sublist on which it still holds (the empty list if it holds there).
+    This is the chunk-removal core of {!shrink}, exposed for minimizing
+    other atom lists — the chaos campaign uses it over
+    [Faults.elements] to minimize failing fault specifications. *)
+
 val shrink :
   make:(unit -> instance) ->
   stats:stats ->

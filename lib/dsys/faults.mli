@@ -1,0 +1,143 @@
+(** Declarative fault specification — the unified fault-injection layer.
+
+    A spec describes everything the environment may do to a run beyond
+    plain asynchrony: windowed link faults (drop / duplicate / reorder /
+    delay inflation), named partitions with scheduled heal times, process
+    stalls (a process freezes without crashing — its fibers later resume,
+    so heartbeat monitors falsely suspect it), an embedded crash schedule,
+    and a named failure-detector adversary strategy (interpreted by
+    [Fd.Behavior]; this module only validates the name).
+
+    Specs are pure data: JSON round-trippable, decomposable into
+    {!element}s for delta-debugging minimization, and evaluated with a
+    caller-supplied [Rng.t] so enabling faults never perturbs the delay
+    or crash streams of the underlying run.
+
+    Drop semantics: a "dropped" message is parked until its fault window
+    closes, not destroyed — the paper's model assumes reliable channels,
+    and parking preserves "every message is eventually delivered" while
+    making the link useless for the duration (see DESIGN §8). *)
+
+open Setagree_util
+
+type link = {
+  l_src : Pid.t list;  (** sources affected; [[]] means every source *)
+  l_dst : Pid.t list;  (** destinations affected; [[]] means every destination *)
+  l_from : float;
+  l_until : float;
+  l_drop : float;      (** P(park this copy until the window closes) *)
+  l_dup : float;       (** P(inject one extra copy) *)
+  l_reorder : float;   (** P(add extra delay drawn from [0, l_spread)) *)
+  l_spread : float;
+  l_inflate : float;   (** multiplier on the sampled link delay *)
+}
+
+type partition = {
+  p_name : string;
+  p_groups : Pid.t list list;
+      (** disjoint blocks; unlisted pids form one extra block *)
+  p_from : float;
+  p_heal : float;
+}
+
+type stall = { s_pid : Pid.t; s_from : float; s_until : float }
+
+type t = {
+  links : link list;
+  partitions : partition list;
+  stalls : stall list;
+  crashes : Crash.spec;
+  adversary : string;  (** [""] = derive from params; see {!adversaries} *)
+}
+
+val none : t
+val is_none : t -> bool
+
+val link :
+  ?src:Pid.t list ->
+  ?dst:Pid.t list ->
+  ?drop:float ->
+  ?dup:float ->
+  ?reorder:float ->
+  ?spread:float ->
+  ?inflate:float ->
+  from:float ->
+  until:float ->
+  unit ->
+  link
+
+val partition :
+  ?name:string ->
+  groups:Pid.t list list ->
+  from:float ->
+  heal:float ->
+  unit ->
+  partition
+
+val stall : pid:Pid.t -> from:float -> until:float -> stall
+
+val adversaries : string list
+(** Known adversary strategy names: calm, stormy, rotating, slander,
+    late, never.  ("never" is deliberately illegal — see {!legal}.) *)
+
+val heal_time : t -> float
+(** Supremum of all fault-window ends (links, partitions, stalls); [0.]
+    when no windowed faults are present.  After this time the network
+    and the processes behave nominally again — crash faults and the
+    adversary's stabilization time are accounted separately. *)
+
+(** {1 Send-path evaluation} *)
+
+type plan = {
+  park : float option;
+      (** absolute time before which delivery may not happen *)
+  copies : int;    (** total copies to deliver (>= 1) *)
+  inflate : float; (** multiplier on each sampled delay *)
+  extra : float;   (** additive extra delay (reordering) *)
+}
+
+val pass : plan
+(** The no-fault plan: one copy, no parking, unit inflation. *)
+
+val send_plan : t -> Rng.t -> src:Pid.t -> dst:Pid.t -> now:float -> plan
+(** Evaluate the spec for one message.  Consumes draws from [rng] only
+    when the spec is not {!none} and a probabilistic link fault is
+    active, so fault-free runs are byte-identical with or without the
+    layer compiled in. *)
+
+val legal : n:int -> t:int -> t -> (unit, string list) result
+(** Structural legality for an [n]-process, [t]-resilient system:
+    windows are finite and non-empty, probabilities in range, pids in
+    range, partition groups disjoint, explicit crash schedules within
+    the resilience bound, and the adversary stabilizes (["never"] is
+    rejected — no eventual failure-detector class admits it). *)
+
+(** {1 Minimization support} *)
+
+type element =
+  | E_link of link
+  | E_partition of partition
+  | E_stall of stall
+  | E_crash of Pid.t * float
+  | E_crash_spec of Crash.spec
+  | E_adversary of string
+
+val elements : t -> element list
+(** Decompose into independent atoms (one per link fault, partition,
+    stall, explicit crash, plus the adversary) so [Explore.ddmin] can
+    minimize a failing spec by dropping atoms. *)
+
+val of_elements : element list -> t
+(** Rebuild a spec from a subset of its atoms. *)
+
+(** {1 JSON} *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+val equal : t -> t -> bool
+
+val summary : t -> string
+(** Short human-readable digest, e.g.
+    ["adversary=rotating crashes=1 partitions=1"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -32,6 +32,14 @@ and t = {
   mutable seq : int;
   crashed : bool array;
   crash_at : float option array;
+  (* Stall windows: [stalled_until.(p) > now] means process [p] is frozen —
+     its fibers are not resumed (sleep expiries, yields and wakeups are
+     deferred to the stall end) but it is *not* crashed: oracles still
+     treat it as correct, and it catches up once the window closes. *)
+  stalled_until : float array;
+  (* The active fault specification (pure data; evaluated by Net on its
+     own rng stream).  [Faults.none] unless [set_faults] was called. *)
+  mutable faults : Faults.t;
   (* Registration order (oldest first): resumption order is canonical and
      identical under the legacy-poll and condition-driven schedulers. *)
   mutable waiters : waiter list;
@@ -94,6 +102,8 @@ let create ?(horizon = 1e6) ?(max_events = 10_000_000) ?(legacy_poll = false)
       seq = 0;
       crashed = Array.make n false;
       crash_at = Array.make n None;
+      stalled_until = Array.make n 0.0;
+      faults = Faults.none;
       waiters = [];
       pending_conds = [];
       poll_waiters = 0;
@@ -137,6 +147,12 @@ let at t ~time run =
   Pqueue.push t.events { time; seq; run }
 
 let is_crashed t pid = t.crashed.(pid)
+let faults t = t.faults
+let set_faults t f = t.faults <- f
+let is_stalled t pid = t.now < t.stalled_until.(pid)
+
+let stall_end t pid =
+  if t.now < t.stalled_until.(pid) then Some t.stalled_until.(pid) else None
 
 let crashed_set t =
   let s = ref Pidset.empty in
@@ -200,6 +216,38 @@ let install_crashes t crashes =
       t.crash_at.(pid) <- Some time;
       at t ~time:(Float.max time t.now) (fun () -> do_crash t pid))
     crashes
+
+let install_stalls t stalls =
+  List.iter
+    (fun { Faults.s_pid; s_from; s_until } ->
+      if s_pid < 0 || s_pid >= t.n then invalid_arg "Sim.install_stalls: bad pid";
+      if s_until <= s_from then invalid_arg "Sim.install_stalls: empty window";
+      at t ~time:(Float.max s_from t.now) (fun () ->
+          if (not t.crashed.(s_pid)) && s_until > t.stalled_until.(s_pid) then begin
+            t.stalled_until.(s_pid) <- s_until;
+            Trace.incr t.trace "fault.stalls";
+            Trace.record t.trace ~time:t.now
+              (Trace.Note
+                 {
+                   pid = Some s_pid;
+                   text = Printf.sprintf "stall begin until=%g" s_until;
+                 });
+            at t ~time:s_until (fun () ->
+                if not t.crashed.(s_pid) then
+                  Trace.record t.trace ~time:t.now
+                    (Trace.Note { pid = Some s_pid; text = "stall end" }))
+          end))
+    stalls
+
+(* Resume a fiber's continuation, deferring past any active stall window.
+   A stalled process is frozen, not crashed: its pending resumptions are
+   parked and replayed (in scheduling order) once the window closes. *)
+let rec resume_fiber t pid k =
+  if not t.crashed.(pid) then begin
+    if t.now < t.stalled_until.(pid) then
+      at t ~time:t.stalled_until.(pid) (fun () -> resume_fiber t pid k)
+    else Effect.Deep.continue k ()
+  end
 
 let sleep d = Effect.perform (Sleep d)
 let yield () = Effect.perform Yield
@@ -275,13 +323,9 @@ let spawn t ~pid body =
           | Sleep d ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  schedule t ~delay:d (fun () ->
-                      if not t.crashed.(pid) then Effect.Deep.continue k ()))
+                  schedule t ~delay:d (fun () -> resume_fiber t pid k))
           | Yield ->
-              Some
-                (fun k ->
-                  schedule t ~delay:0.0 (fun () ->
-                      if not t.crashed.(pid) then Effect.Deep.continue k ()))
+              Some (fun k -> schedule t ~delay:0.0 (fun () -> resume_fiber t pid k))
           | Await (conds, pred) ->
               List.iter
                 (fun c ->
@@ -295,8 +339,13 @@ let spawn t ~pid body =
           | _ -> None);
     }
   in
-  schedule t ~delay:0.0 (fun () ->
-      if not t.crashed.(pid) then Effect.Deep.match_with body () handler)
+  let rec start () =
+    if not t.crashed.(pid) then begin
+      if t.now < t.stalled_until.(pid) then at t ~time:t.stalled_until.(pid) start
+      else Effect.Deep.match_with body () handler
+    end
+  in
+  schedule t ~delay:0.0 start
 
 let ticker t ~every =
   if every <= 0.0 then invalid_arg "Sim.ticker";
@@ -351,16 +400,25 @@ let drain t =
         List.iter
           (fun w ->
             drop_waiter_counts t [ w ];
-            if not t.crashed.(w.wpid) then begin
-              t.n_wakeups <- t.n_wakeups + 1;
-              if Trace.records_full t.trace then begin
-                let sp = Trace.Wakeup { pid = w.wpid } in
-                Trace.begin_span t.trace ~time:t.now sp;
-                Effect.Deep.continue w.k ();
-                Trace.end_span t.trace ~time:t.now sp
+            (* A stalled process earned its wakeup (the predicate fired) but
+               is frozen: it reacts only once the stall window closes. *)
+            let rec wake () =
+              if not t.crashed.(w.wpid) then begin
+                if t.now < t.stalled_until.(w.wpid) then
+                  at t ~time:t.stalled_until.(w.wpid) wake
+                else begin
+                  t.n_wakeups <- t.n_wakeups + 1;
+                  if Trace.records_full t.trace then begin
+                    let sp = Trace.Wakeup { pid = w.wpid } in
+                    Trace.begin_span t.trace ~time:t.now sp;
+                    Effect.Deep.continue w.k ();
+                    Trace.end_span t.trace ~time:t.now sp
+                  end
+                  else Effect.Deep.continue w.k ()
+                end
               end
-              else Effect.Deep.continue w.k ()
-            end)
+            in
+            wake ())
           (List.rev fs)
   done
 

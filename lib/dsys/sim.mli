@@ -96,6 +96,39 @@ val correct_set : t -> Pidset.t
 val alive_at : t -> float -> Pidset.t
 (** Processes not crashed at the given time (per the schedule). *)
 
+(** {1 Fault injection}
+
+    Stall semantics: a stalled process is frozen, not crashed.  Sleep
+    expiries, yields, wakeups of blocked fibers and message deliveries
+    addressed to it are deferred to the end of the stall window, in
+    their original scheduling order — so the process resumes exactly
+    where it left off and catches up, while heartbeat-style monitors
+    falsely suspect it in the meantime.  Ground truth ({!is_crashed},
+    {!correct_set}, the oracles) is unaffected: a stalled process is a
+    correct, slow process — legal behavior under asynchrony. *)
+
+val install_stalls : t -> Faults.stall list -> unit
+(** Schedule stall windows.  Must be called before {!run}.  Overlapping
+    windows for the same process keep the latest end time. *)
+
+val is_stalled : t -> Pid.t -> bool
+(** Whether the process is inside a stall window at the current time. *)
+
+val stall_end : t -> Pid.t -> float option
+(** [Some end_time] iff the process is currently stalled — substrates
+    (e.g. [Net.deliver]) use it to defer deliveries to frozen
+    processes. *)
+
+val set_faults : t -> Faults.t -> unit
+(** Attach the run's fault specification.  [Sim] itself only stores it
+    (and owns the stall windows via {!install_stalls}); the send-path
+    effects are evaluated by [Net] against {!faults} on a dedicated rng
+    stream. *)
+
+val faults : t -> Faults.t
+(** The attached specification; [Faults.none] unless {!set_faults} was
+    called. *)
+
 (** {1 Conditions} *)
 
 type cond

@@ -1,8 +1,34 @@
-type t = { gst : float; noise : float; slander : float; epoch : float }
+type strategy = Random | Rotating | Slander_all
 
-let make ?(noise = 0.0) ?(slander = 0.0) ?(epoch = 1.0) ~gst () =
-  { gst; noise; slander; epoch }
+type t = {
+  gst : float;
+  noise : float;
+  slander : float;
+  epoch : float;
+  strategy : strategy;
+}
+
+let make ?(noise = 0.0) ?(slander = 0.0) ?(epoch = 1.0) ?(strategy = Random)
+    ~gst () =
+  { gst; noise; slander; epoch; strategy }
 
 let calm ~gst = make ~gst ()
 let stormy ~gst = make ~noise:0.3 ~slander:0.2 ~epoch:1.0 ~gst ()
 let perfect = calm ~gst:0.0
+
+(* Interpret a [Faults.t] adversary name.  [gst] is the nominal
+   stabilization time of the run's params; strategies may stretch it
+   (that is their attack) but — except for the deliberately illegal
+   "never" — always keep it finite, staying inside the ◇-class
+   contracts. *)
+let of_adversary name ~gst =
+  let g = if gst > 0.0 then gst else 50.0 in
+  match name with
+  | "" -> if gst <= 0.0 then perfect else stormy ~gst
+  | "calm" -> calm ~gst:(if gst > 0.0 then gst else 0.0)
+  | "stormy" -> stormy ~gst:g
+  | "rotating" -> make ~noise:1.0 ~slander:0.2 ~strategy:Rotating ~gst:g ()
+  | "slander" -> make ~noise:0.5 ~slander:1.0 ~strategy:Slander_all ~gst:g ()
+  | "late" -> stormy ~gst:(3.0 *. g)
+  | "never" -> make ~noise:0.5 ~slander:0.3 ~strategy:Rotating ~gst:infinity ()
+  | _ -> invalid_arg (Printf.sprintf "Behavior.of_adversary: unknown %S" name)

@@ -9,16 +9,35 @@
     draws are deterministic functions of (seed, reader, subject, epoch), so
     runs replay exactly. *)
 
+type strategy =
+  | Random
+      (** Independent lies per (reader, subject, epoch) draw — the
+          historical behaviour. *)
+  | Rotating
+      (** Pre-[gst], trust rotates round-robin: each reader trusts exactly
+          one process, a different one each epoch and a different one per
+          reader — Ω readers see churning disagreeing leaders, suspectors
+          suspect everyone but the rotating survivor.  Post-[gst] it
+          degrades to {!Random} slander.  Legal for every ◇ class (the
+          pre-[gst] output is unconstrained). *)
+  | Slander_all
+      (** Exercises the class's full post-[gst] slack: suspect {e every}
+          correct process the class does not explicitly protect (for
+          ◇S_x/S_x, everyone but the protected witness as seen from
+          scope members), and pre-[gst] suspect or deny everything. *)
+
 type t = {
   gst : float;
       (** Time after which eventual properties hold.  Perpetual properties
           hold from 0 regardless. *)
   noise : float;
-      (** Pre-[gst] lie probability (per reader/subject/epoch draw). *)
+      (** Pre-[gst] lie probability (per reader/subject/epoch draw;
+          {!Random} strategy only). *)
   slander : float;
       (** Post-[gst] probability of (class-permitted) false suspicion of an
           unprotected correct process, redrawn each epoch. *)
   epoch : float;  (** Refresh period of the noise draws. *)
+  strategy : strategy;
 }
 
 val calm : gst:float -> t
@@ -27,8 +46,25 @@ val calm : gst:float -> t
 val stormy : gst:float -> t
 (** noise 0.3, slander 0.2, epoch 1.0 — a hostile but legal adversary. *)
 
-val make : ?noise:float -> ?slander:float -> ?epoch:float -> gst:float -> unit -> t
+val make :
+  ?noise:float ->
+  ?slander:float ->
+  ?epoch:float ->
+  ?strategy:strategy ->
+  gst:float ->
+  unit ->
+  t
 
 val perfect : t
 (** [calm ~gst:0.] — behaves perfectly from the very beginning (the
     "perfect" oracle of the paper's §3.2 zero-degradation discussion). *)
+
+val of_adversary : string -> gst:float -> t
+(** Interpret a [Dsys.Faults] adversary name against the run's nominal
+    [gst]: [""] gives the historical default ({!perfect} when [gst <= 0],
+    {!stormy} otherwise); ["calm"]/["stormy"] force those; ["rotating"]
+    and ["slander"] select the corresponding strategies at full noise;
+    ["late"] stretches stabilization to [3 * gst]; ["never"] sets
+    [gst = infinity] — deliberately illegal (no eventual class admits
+    it), kept for negative testing.  @raise Invalid_argument on unknown
+    names (callers validate via [Faults.legal] first). *)

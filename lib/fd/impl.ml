@@ -2,22 +2,15 @@ open Setagree_util
 open Setagree_dsys
 open Setagree_net
 
-type t = {
-  sim : Sim.t;
-  net : unit Net.t;
-  (* last_hb.(i).(j): when p_i last heard from p_j (own slot = +infinity,
-     a process never suspects itself). *)
-  last_hb : float array array;
-  timeout : float array array;
-  backoff : float;
-}
+type t = { sim : Sim.t; net : unit Net.t; timeouts : Timeout.t }
 
 let suspects t i j =
   j <> i
   && (not (Sim.is_crashed t.sim i))
-  && Sim.now t.sim -. t.last_hb.(i).(j) > t.timeout.(i).(j)
+  && Timeout.expired t.timeouts i j ~now:(Sim.now t.sim)
 
 let install sim ?(period = 1.0) ?(initial_timeout = 3.0) ?(backoff = 1.5)
+    ?(timeout_cap = 60.0) ?(timeout_jitter = 0.1)
     ?(delay = Delay.Psync { gst = 30.0; bound = 2.0; pre_spread = 25.0 }) () =
   let n = Sim.n sim in
   let net = Net.create sim ~tag:"impl.hb" ~delay ~retain:false () in
@@ -25,26 +18,22 @@ let install sim ?(period = 1.0) ?(initial_timeout = 3.0) ?(backoff = 1.5)
     {
       sim;
       net;
-      last_hb = Array.make_matrix n n 0.0;
-      timeout = Array.make_matrix n n initial_timeout;
-      backoff;
+      timeouts =
+        Timeout.create ~initial:initial_timeout ~factor:backoff
+          ~cap:timeout_cap ~jitter:timeout_jitter
+          ~rng:(Rng.split_named (Sim.rng sim) "impl:timeout")
+          ~n ();
     }
   in
   Net.on_deliver net (fun (e : unit Net.envelope) ->
-      let i = e.dst and j = e.src in
-      (* A heartbeat from a currently-suspected peer means the timeout was
-         too aggressive: back it off.  Each peer can be falsely suspected
-         only finitely often once the network's bound holds, so the
-         timeout stabilizes. *)
-      let gap = Sim.now sim -. t.last_hb.(i).(j) in
-      if gap > t.timeout.(i).(j) then
-        t.timeout.(i).(j) <- Float.max t.timeout.(i).(j) gap *. t.backoff;
-      t.last_hb.(i).(j) <- Sim.now sim);
+      (* [Timeout.heard] backs the threshold off when the heartbeat
+         disproves a suspicion in effect — false suspicions (a stall, a
+         slow pre-GST link) happen finitely often once the network's
+         bound holds, so the thresholds stabilize below the cap. *)
+      Timeout.heard t.timeouts e.dst e.src ~now:(Sim.now sim));
   for i = 0 to n - 1 do
     Sim.spawn sim ~pid:i (fun () ->
-        (* Own slot: a fresh local heartbeat each loop turn. *)
         while true do
-          t.last_hb.(i).(i) <- Sim.now sim +. 1e12;
           Net.broadcast net ~src:i ();
           Sim.sleep period
         done)
@@ -97,5 +86,6 @@ let querier t ~y =
   in
   ({ Iface.query }, log)
 
-let timeout_of t i j = t.timeout.(i).(j)
+let timeout_of t i j = Timeout.current t.timeouts i j
+let timeouts t = t.timeouts
 let heartbeats_sent t = Net.sent_count t.net

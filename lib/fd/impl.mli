@@ -30,13 +30,19 @@ val install :
   ?period:float ->
   ?initial_timeout:float ->
   ?backoff:float ->
+  ?timeout_cap:float ->
+  ?timeout_jitter:float ->
   ?delay:Delay.t ->
   unit ->
   t
 (** Start the heartbeat tasks on every process.  [period] (default 1.0)
-    is the emission interval; [initial_timeout] (default 3.0) the starting
-    per-peer silence threshold; [backoff] (default 1.5) the multiplicative
-    bump applied when a suspicion proves false; [delay] defaults to
+    is the emission interval.  Suspicion thresholds follow the adaptive
+    {!Timeout} policy: starting at [initial_timeout] (default 3.0),
+    backed off by [backoff] (default 1.5) per disproven suspicion up to
+    [timeout_cap] (default 60.0), with ±[timeout_jitter] (default 0.1)
+    deterministic jitter — so a stalled-then-resumed process is
+    re-trusted on its first post-stall heartbeat, while the cap keeps
+    real-crash detection latency bounded.  [delay] defaults to
     [Psync { gst = 30.; bound = 2.; pre_spread = 25. }]. *)
 
 val suspector : t -> Iface.suspector
@@ -56,5 +62,9 @@ val querier : t -> y:int -> Iface.querier * Oracle.query_log
 val timeout_of : t -> Pid.t -> Pid.t -> float
 (** Current adaptive timeout used by the first process for the second
     (observability / tests). *)
+
+val timeouts : t -> Timeout.t
+(** The underlying adaptive-threshold state (false-suspicion counts,
+    per-pair backoff bumps). *)
 
 val heartbeats_sent : t -> int

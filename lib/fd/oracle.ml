@@ -45,6 +45,18 @@ let pick_scope sim ~x ~seed ~protected =
   let chosen = List.filteri (fun i _ -> i < x - 1) (Rng.shuffle rng others) in
   Pidset.add protected (Pidset.of_list chosen)
 
+(* Whether reader [i] suspects [j] before gst — where the classes place no
+   constraint at all, so the strategy picks the most disruptive legal
+   output it knows. *)
+let pre_gst_suspects (b : Behavior.t) ~seed ~tag ~n ~i ~j ~e ~base =
+  match b.strategy with
+  | Behavior.Rotating ->
+      (* Suspect everyone but one rotating survivor, a different one per
+         reader and per epoch: trust keeps moving and readers disagree. *)
+      j <> (e + i) mod n
+  | Behavior.Slander_all -> true
+  | Behavior.Random -> base <> draw ~seed [ tag; i; j; e ] b.noise
+
 let suspector_of sim ~(behavior : Behavior.t) ~seed ~scope ~protected ~perpetual =
   let n = Sim.n sim in
   let b = behavior in
@@ -58,11 +70,19 @@ let suspector_of sim ~(behavior : Behavior.t) ~seed ~scope ~protected ~perpetual
       for j = 0 to n - 1 do
         if j <> i then begin
           let base = Pidset.mem j crashed in
-          let lie =
-            if now < b.gst then draw ~seed [ 1; i; j; e ] b.noise
-            else (not base) && draw ~seed [ 2; i; j; e ] b.slander
+          let member =
+            if now < b.gst then
+              pre_gst_suspects b ~seed ~tag:1 ~n ~i ~j ~e ~base
+            else
+              (* Completeness: crashed stay suspected.  Slack: unprotected
+                 correct processes may be slandered — [Slander_all] does so
+                 always, [Random]/[Rotating] per draw. *)
+              base
+              || (match b.strategy with
+                 | Behavior.Slander_all -> true
+                 | _ -> draw ~seed [ 2; i; j; e ] b.slander)
           in
-          if base <> lie then s := Pidset.add j !s
+          if member then s := Pidset.add j !s
         end
       done;
       (* Limited-scope accuracy: members of Q never suspect the protected
@@ -107,8 +127,8 @@ let eventually_p sim ?(behavior = Behavior.stormy ~gst:50.0) ?(seed = 0x5EED) ()
         for j = 0 to n - 1 do
           if j <> i then begin
             let base = Pidset.mem j crashed in
-            let lie = draw ~seed [ 3; i; j; e ] b.noise in
-            if base <> lie then s := Pidset.add j !s
+            if pre_gst_suspects b ~seed ~tag:3 ~n ~i ~j ~e ~base then
+              s := Pidset.add j !s
           end
         done;
         !s
@@ -135,11 +155,17 @@ let omega_z sim ~z ?(behavior = Behavior.stormy ~gst:50.0) ?(seed = 0x5EED) () =
       let now = Sim.now sim in
       if now >= b.gst then final
       else begin
-        (* Churning arbitrary sets: different at each process and epoch. *)
         let e = epoch_of b now in
-        let rng = draw_rng ~seed [ 13; i; e ] in
-        let size = 1 + Rng.int rng z in
-        Pidset.random rng ~n ~size
+        match b.strategy with
+        | Behavior.Rotating ->
+            (* Rotating singleton leaders, disagreeing across readers:
+               the worst legal pre-gst Ω output for leader-based code. *)
+            Pidset.add ((e + i) mod n) Pidset.empty
+        | _ ->
+            (* Churning arbitrary sets: different at each process and epoch. *)
+            let rng = draw_rng ~seed [ 13; i; e ] in
+            let size = 1 + Rng.int rng z in
+            Pidset.random rng ~n ~size
       end
     end
   in
@@ -162,10 +188,23 @@ let querier_of sim ~y ~(behavior : Behavior.t) ~seed ~perpetual =
         if now >= b.gst then all_crashed
         else if perpetual then
           (* Safety is perpetual: never claim a live region dead.  Liveness
-             may be delayed: a dead region can still be denied pre-gst. *)
-          all_crashed && not (draw ~seed [ 4; i; Pidset.hash x; e ] b.noise)
-        else if draw ~seed [ 5; i; Pidset.hash x; e ] b.noise then not all_crashed
-        else all_crashed
+             may be delayed: a dead region can still be denied pre-gst —
+             the non-Random strategies deny every query until gst. *)
+          all_crashed
+          && (match b.strategy with
+             | Behavior.Random ->
+                 not (draw ~seed [ 4; i; Pidset.hash x; e ] b.noise)
+             | _ -> false)
+        else begin
+          (* Eventual φ: pre-gst answers are unconstrained — the non-Random
+             strategies always answer maximally wrong. *)
+          match b.strategy with
+          | Behavior.Random ->
+              if draw ~seed [ 5; i; Pidset.hash x; e ] b.noise then
+                not all_crashed
+              else all_crashed
+          | _ -> not all_crashed
+        end
       end
     in
     log := { q_time = now; q_pid = i; q_set = x; q_result = result } :: !log;

@@ -1,0 +1,58 @@
+open Setagree_util
+open Setagree_net
+
+type t = {
+  n : int;
+  initial : float;
+  factor : float;
+  cap : float;
+  jitter : float;
+  rng : Rng.t;
+  (* (observer, subject) matrices; own slot never consulted. *)
+  last_heard : float array array;
+  current : float array array;
+  bumps : int array array;
+  mutable false_suspicions : int;
+}
+
+let create ?(initial = 3.0) ?(factor = 1.5) ?(cap = 60.0) ?(jitter = 0.1) ~rng
+    ~n () =
+  if initial <= 0.0 then invalid_arg "Timeout.create: initial must be > 0";
+  if factor < 1.0 then invalid_arg "Timeout.create: factor must be >= 1";
+  if cap < initial then invalid_arg "Timeout.create: cap must be >= initial";
+  {
+    n;
+    initial;
+    factor;
+    cap;
+    jitter;
+    rng;
+    last_heard = Array.make_matrix n n 0.0;
+    current = Array.make_matrix n n initial;
+    bumps = Array.make_matrix n n 0;
+    false_suspicions = 0;
+  }
+
+let expired t i j ~now = now -. t.last_heard.(i).(j) > t.current.(i).(j)
+
+let heard t i j ~now =
+  (* Evidence arriving after the silence threshold means the suspicion in
+     effect was false: back the threshold off (exponentially, capped,
+     jittered) so a merely slow or stalled-then-resumed peer is trusted
+     again and suspected less eagerly next time. *)
+  let gap = now -. t.last_heard.(i).(j) in
+  if gap > t.current.(i).(j) then begin
+    t.false_suspicions <- t.false_suspicions + 1;
+    t.bumps.(i).(j) <- t.bumps.(i).(j) + 1;
+    let target =
+      Delay.backoff_interval ~base:t.initial ~factor:t.factor ~cap:t.cap
+        ~jitter:t.jitter ~rng:t.rng ~attempt:t.bumps.(i).(j)
+    in
+    t.current.(i).(j) <- Float.max t.current.(i).(j) (Float.min t.cap target)
+  end;
+  t.last_heard.(i).(j) <- now
+
+let current t i j = t.current.(i).(j)
+let last_heard t i j = t.last_heard.(i).(j)
+let bumps t i j = t.bumps.(i).(j)
+let false_suspicions t = t.false_suspicions

@@ -1,0 +1,54 @@
+(** Adaptive per-(observer, subject) silence thresholds: capped
+    exponential backoff with deterministic jitter.
+
+    The policy behind {!Impl}'s heartbeat detector, factored out so it
+    can be tested in isolation and reused.  An observer suspects a
+    subject once the silence gap exceeds the current threshold
+    ({!expired}).  When evidence later arrives ({!heard}) after the
+    threshold — the suspicion was false, e.g. the subject was stalled,
+    not crashed — the threshold backs off along
+    [min cap (initial * factor^bumps)] with ±[jitter] seed-derived noise
+    ({!Setagree_net.Delay.backoff_interval}), so a stalled-then-resumed
+    process is re-trusted immediately on its next heartbeat and
+    suspected less eagerly afterwards.  The cap keeps detection latency
+    bounded: unlike the earlier unbounded multiplicative growth, one
+    very long stall cannot make the detector blind to a real crash for
+    the rest of the run.
+
+    Under partial synchrony each pair's threshold is bumped finitely
+    often (gaps are eventually bounded), so suspicions are eventually
+    exact — the classic ◇P argument, now with a cap. *)
+
+open Setagree_util
+
+type t
+
+val create :
+  ?initial:float ->
+  ?factor:float ->
+  ?cap:float ->
+  ?jitter:float ->
+  rng:Rng.t ->
+  n:int ->
+  unit ->
+  t
+(** Defaults: [initial] 3.0, [factor] 1.5, [cap] 60.0, [jitter] 0.1
+    (±10%).  All thresholds start at [initial]; [last_heard] starts
+    at 0. *)
+
+val expired : t -> Pid.t -> Pid.t -> now:float -> bool
+(** [expired t i j ~now]: has [j] been silent towards [i] beyond the
+    current threshold? *)
+
+val heard : t -> Pid.t -> Pid.t -> now:float -> unit
+(** Record evidence of life from [j] at [i]; backs off the threshold
+    first if the suspicion in effect was false. *)
+
+val current : t -> Pid.t -> Pid.t -> float
+val last_heard : t -> Pid.t -> Pid.t -> float
+
+val bumps : t -> Pid.t -> Pid.t -> int
+(** False-suspicion backoffs applied to the pair so far. *)
+
+val false_suspicions : t -> int
+(** Total false suspicions disproven across all pairs. *)

@@ -25,3 +25,16 @@ let sample t ~rng ~src ~dst ~now =
   Float.max 0.0 d
 
 let default = Uniform (0.5, 1.5)
+
+(* Shared by the stubborn transport's resend loop and the adaptive
+   failure-detector timeouts: capped exponential backoff with
+   deterministic jitter.  attempt 0 is the base interval. *)
+let backoff_interval ~base ~factor ~cap ~jitter ~rng ~attempt =
+  let attempt = max 0 attempt in
+  let raw = base *. (factor ** float_of_int attempt) in
+  let capped = Float.min cap raw in
+  let j =
+    if jitter <= 0.0 then 0.0
+    else Rng.uniform_in rng (-.jitter) jitter *. capped
+  in
+  Float.max (0.01 *. base) (capped +. j)

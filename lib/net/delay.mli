@@ -25,3 +25,18 @@ val sample : t -> rng:Rng.t -> src:Pid.t -> dst:Pid.t -> now:float -> float
 
 val default : t
 (** [Uniform (0.5, 1.5)] — a mild spread around 1 time unit. *)
+
+val backoff_interval :
+  base:float ->
+  factor:float ->
+  cap:float ->
+  jitter:float ->
+  rng:Rng.t ->
+  attempt:int ->
+  float
+(** Capped exponential backoff with deterministic jitter:
+    [min cap (base * factor^attempt)], then perturbed multiplicatively by
+    a uniform draw in [±jitter] (e.g. [jitter = 0.2] gives ±20%), clamped
+    away from zero.  Shared by the stubborn transport's resend schedule
+    and the adaptive failure-detector timeouts, so both stay reproducible
+    from the run seed. *)

@@ -52,26 +52,83 @@ end
 module Transport = struct
   type 'm packet = Data of { seq : int; body : 'm } | Ack of { seq : int }
 
+  type 'm pend = { pd_dst : Pid.t; pd_body : 'm; mutable pd_attempt : int }
+
   type 'm t = {
     sim : Sim.t;
     link : 'm packet Link.t;
-    (* Per sender: next sequence number and the unacknowledged queue
-       (seq, dst, body). *)
+    (* Backoff schedule: resend intervals grow by [factor] per attempt up
+       to [cap], each perturbed by deterministic jitter from [brng] so
+       retransmission bursts from different senders decorrelate. *)
+    base : float;
+    factor : float;
+    cap : float;
+    jitter : float;
+    brng : Rng.t;
+    metrics : Metrics.t;
+    (* Per sender: next sequence number and the unacknowledged queue. *)
     next_seq : int array;
-    unacked : (int, Pid.t * 'm) Hashtbl.t array;
+    unacked : (int, 'm pend) Hashtbl.t array;
     (* Per receiver: seen (src, seq) pairs and the delivered list. *)
     seen : (Pid.t * int, unit) Hashtbl.t array;
     inboxes : (Pid.t * 'm) list array;
     mutable handlers : (src:Pid.t -> dst:Pid.t -> 'm -> unit) list;
   }
 
+  (* Per-message retransmission timer.  Still stubborn — a message is
+     resent until acked, preserving the reliable-channel emulation — but
+     the interval backs off exponentially to [cap] instead of hammering
+     at a fixed period, and a successful ack from a destination pulls its
+     other pending messages back to the base interval. *)
+  let rec arm t ~src seq =
+    match Hashtbl.find_opt t.unacked.(src) seq with
+    | None -> ()
+    | Some p ->
+        let interval =
+          Delay.backoff_interval ~base:t.base ~factor:t.factor ~cap:t.cap
+            ~jitter:t.jitter ~rng:t.brng ~attempt:p.pd_attempt
+        in
+        Sim.schedule t.sim ~delay:interval (fun () ->
+            match Hashtbl.find_opt t.unacked.(src) seq with
+            | None -> ()
+            | Some p when Sim.is_crashed t.sim src -> ignore p
+            | Some p -> (
+                match Sim.stall_end t.sim src with
+                | Some resume_at ->
+                    (* A stalled sender is frozen: hold off, recheck at
+                       the end of the stall window. *)
+                    Sim.at t.sim ~time:resume_at (fun () -> arm t ~src seq)
+                | None ->
+                    p.pd_attempt <- p.pd_attempt + 1;
+                    Metrics.incr t.metrics "net.retransmits";
+                    Trace.incr (Sim.trace t.sim) "net.retransmits";
+                    Link.send t.link ~src ~dst:p.pd_dst
+                      (Data { seq; body = p.pd_body });
+                    arm t ~src seq))
+
   let create sim ?(tag = "transport") ?(delay = Delay.default)
-      ?(retransmit_every = 1.0) ~loss () =
+      ?(retransmit_every = 1.0) ?(backoff_factor = 2.0) ?backoff_cap
+      ?(backoff_jitter = 0.2) ~loss () =
+    if retransmit_every <= 0.0 then
+      invalid_arg "Lossy.Transport.create: retransmit_every must be > 0";
+    if backoff_factor < 1.0 then
+      invalid_arg "Lossy.Transport.create: backoff_factor must be >= 1";
+    let cap =
+      match backoff_cap with
+      | Some c -> c
+      | None -> 8.0 *. retransmit_every
+    in
     let n = Sim.n sim in
     let t =
       {
         sim;
         link = Link.create sim ~tag ~delay ~loss ();
+        base = retransmit_every;
+        factor = backoff_factor;
+        cap;
+        jitter = backoff_jitter;
+        brng = Rng.split_named (Sim.rng sim) ("backoff:" ^ tag);
+        metrics = Metrics.create ();
         next_seq = Array.make n 0;
         unacked = Array.init n (fun _ -> Hashtbl.create 32);
         seen = Array.init n (fun _ -> Hashtbl.create 64);
@@ -89,29 +146,37 @@ module Transport = struct
               t.inboxes.(dst) <- (src, body) :: t.inboxes.(dst);
               List.iter (fun h -> h ~src ~dst body) (List.rev t.handlers)
             end
-        | Ack { seq } -> Hashtbl.remove t.unacked.(dst) seq);
-    (* One stubborn retransmission task per process. *)
-    for i = 0 to n - 1 do
-      Sim.spawn sim ~pid:i (fun () ->
-          while true do
-            Hashtbl.iter
-              (fun seq (dst, body) -> Link.send t.link ~src:i ~dst (Data { seq; body }))
-              t.unacked.(i);
-            Sim.sleep retransmit_every
-          done)
-    done;
+        | Ack { seq } -> (
+            (* [dst] is the original sender here (acks flow backwards). *)
+            match Hashtbl.find_opt t.unacked.(dst) seq with
+            | None -> ()
+            | Some p ->
+                Hashtbl.remove t.unacked.(dst) seq;
+                (* Fresh evidence the path to [p.pd_dst] works: pull its
+                   other backed-off messages back to the base interval. *)
+                Hashtbl.iter
+                  (fun _ q ->
+                    if q.pd_dst = p.pd_dst && q.pd_attempt > 0 then begin
+                      q.pd_attempt <- 0;
+                      Metrics.incr t.metrics "net.backoff_resets";
+                      Trace.incr (Sim.trace t.sim) "net.backoff_resets"
+                    end)
+                  t.unacked.(dst)));
     t
 
   let send t ~src ~dst body =
     if not (Sim.is_crashed t.sim src) then begin
       let seq = t.next_seq.(src) in
       t.next_seq.(src) <- seq + 1;
-      Hashtbl.replace t.unacked.(src) seq (dst, body);
-      Link.send t.link ~src ~dst (Data { seq; body })
+      Hashtbl.replace t.unacked.(src) seq
+        { pd_dst = dst; pd_body = body; pd_attempt = 0 };
+      Link.send t.link ~src ~dst (Data { seq; body });
+      arm t ~src seq
     end
 
   let inbox t pid = List.rev t.inboxes.(pid)
   let on_deliver t h = t.handlers <- h :: t.handlers
   let pending t pid = Hashtbl.length t.unacked.(pid)
   let link_sent t = Link.sent t.link
+  let metrics t = t.metrics
 end

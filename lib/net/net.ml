@@ -23,6 +23,9 @@ type 'm t = {
   tag : string;
   delay : Delay.t;
   rng : Rng.t;
+  (* Fault decisions draw from their own named stream so that attaching a
+     [Faults] spec (or not) never perturbs the delay draws of the run. *)
+  frng : Rng.t;
   retain : bool;
   classify : ('m -> int) option;
   (* When present, sends travel through the stubborn transport over a
@@ -50,8 +53,19 @@ let index t ~dst (env : 'm envelope) key =
   slot.k_senders <- Pidset.add env.src slot.k_senders;
   slot.k_envs <- env :: slot.k_envs
 
-let deliver t ~src ~dst ~sent_at payload () =
+let rec deliver t ~src ~dst ~sent_at payload () =
   if not (Sim.is_crashed t.sim dst) then begin
+    match Sim.stall_end t.sim dst with
+    | Some resume_at ->
+        (* A stalled process is frozen: the channel holds the message and
+           re-presents it when the stall window closes. *)
+        Trace.incr (Sim.trace t.sim) "fault.deferred";
+        Sim.at t.sim ~time:resume_at (deliver t ~src ~dst ~sent_at payload)
+    | None -> deliver_now t ~src ~dst ~sent_at payload
+  end
+
+and deliver_now t ~src ~dst ~sent_at payload =
+  begin
     let env = { src; dst; sent_at; delivered_at = Sim.now t.sim; payload } in
     if t.retain then Vec.push t.boxes.(dst) env;
     (match t.classify with Some f -> index t ~dst env (f payload) | None -> ());
@@ -77,6 +91,7 @@ let create sim ?(tag = "net") ?(delay = Delay.default) ?(retain = true) ?classif
       tag;
       delay;
       rng = Rng.split_named (Sim.rng sim) ("net:" ^ tag);
+      frng = Rng.split_named (Sim.rng sim) ("fault:" ^ tag);
       retain;
       classify;
       transport;
@@ -126,8 +141,31 @@ let send t ~src ~dst payload =
         Sim.offer t.sim ~src ~dst (deliver t ~src ~dst ~sent_at payload)
     | None ->
         let now = Sim.now t.sim in
-        let d = Delay.sample t.delay ~rng:t.rng ~src ~dst ~now in
-        send_at t ~src ~dst ~deliver_at:(now +. d) payload
+        let fa = Sim.faults t.sim in
+        if Faults.is_none fa then
+          let d = Delay.sample t.delay ~rng:t.rng ~src ~dst ~now in
+          send_at t ~src ~dst ~deliver_at:(now +. d) payload
+        else begin
+          let plan = Faults.send_plan fa t.frng ~src ~dst ~now in
+          let tr = Sim.trace t.sim in
+          match plan.Faults.park with
+          | Some until ->
+              (* Parked, not lost: the link resumes service when the fault
+                 window closes and the message then takes a normal hop. *)
+              Trace.incr tr "fault.parked";
+              let d = Delay.sample t.delay ~rng:t.rng ~src ~dst ~now in
+              send_at t ~src ~dst ~deliver_at:(until +. d) payload
+          | None ->
+              if plan.Faults.copies > 1 then
+                Trace.add_to tr "fault.dup" (plan.Faults.copies - 1);
+              if plan.Faults.extra > 0.0 then Trace.incr tr "fault.reorder";
+              if plan.Faults.inflate <> 1.0 then Trace.incr tr "fault.inflated";
+              for _copy = 1 to plan.Faults.copies do
+                let d = Delay.sample t.delay ~rng:t.rng ~src ~dst ~now in
+                let d = (d *. plan.Faults.inflate) +. plan.Faults.extra in
+                send_at t ~src ~dst ~deliver_at:(now +. d) payload
+              done
+        end
     | Some tr ->
         note_sent t ~src ~dst;
         Lossy.Transport.send tr ~src ~dst (Sim.now t.sim, payload)

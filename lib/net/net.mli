@@ -70,7 +70,20 @@ val send : 'm t -> src:Pid.t -> dst:Pid.t -> 'm -> unit
     crashed (a dead process takes no step).  When a {!Sim} chooser is
     installed ([Sim.controlled]) and the net has no lossy transport, the
     delivery is offered to the chooser's pending pool instead of being
-    scheduled after a sampled delay — the explorer picks the order. *)
+    scheduled after a sampled delay — the explorer picks the order.
+
+    {b Fault injection.}  When the simulator carries a fault spec
+    ([Sim.faults] not [Faults.none]) and the net is neither controlled
+    nor transport-backed, each send is evaluated against the spec
+    ([Faults.send_plan], on a dedicated rng stream): partitioned or
+    dropped messages are parked until their fault window closes and then
+    take a normal hop, duplicated messages get extra copies with
+    independent delays, and reorder/inflation faults stretch the sampled
+    delay.  Deliveries to a currently {e stalled} destination are held by
+    the channel and re-presented when the stall window ends (applies on
+    every path, including {!send_at} and transport-backed nets).
+    Controlled runs skip the spec — the chooser owns nondeterminism —
+    and transport-backed nets already model their own link faults. *)
 
 val send_at : 'm t -> src:Pid.t -> dst:Pid.t -> deliver_at:float -> 'm -> unit
 (** Adversarial variant: deliver at an absolute virtual time. *)

@@ -471,6 +471,95 @@ let test_transport_no_duplicates_in_callbacks () =
   ignore (Sim.run ~stop_when:(fun () -> !count >= 10 && Lossy.Transport.pending tr 2 = 0) sim);
   check_int "exactly one callback per message" 10 !count
 
+(* Backoff policy *)
+
+let test_backoff_interval_capped () =
+  let rng = Rng.create 6 in
+  let prev = ref 0.0 in
+  for attempt = 0 to 20 do
+    let v =
+      Delay.backoff_interval ~base:1.0 ~factor:2.0 ~cap:8.0 ~jitter:0.0 ~rng ~attempt
+    in
+    check "within cap" true (v <= 8.0 +. 1e-9);
+    check "monotone until cap" true (v >= !prev || v >= 8.0 -. 1e-9);
+    prev := v
+  done;
+  for attempt = 0 to 10 do
+    let v =
+      Delay.backoff_interval ~base:1.0 ~factor:2.0 ~cap:8.0 ~jitter:0.3 ~rng ~attempt
+    in
+    check "positive under jitter" true (v > 0.0)
+  done
+
+let test_transport_backoff_metrics () =
+  let sim = Sim.create ~horizon:2000.0 ~n:3 ~t:1 ~seed:26 () in
+  let tr : int Lossy.Transport.t =
+    Lossy.Transport.create sim ~loss:0.5 ~retransmit_every:0.5 ()
+  in
+  for i = 1 to 20 do
+    Lossy.Transport.send tr ~src:0 ~dst:1 i
+  done;
+  ignore (Sim.run ~stop_when:(fun () -> Lossy.Transport.pending tr 0 = 0) sim);
+  let m = Lossy.Transport.metrics tr in
+  check_int "all delivered" 20 (List.length (Lossy.Transport.inbox tr 1));
+  check "retransmits recorded" true (Metrics.counter m "net.retransmits" > 0);
+  check "backoff resets recorded" true (Metrics.counter m "net.backoff_resets" > 0)
+
+(* qcheck: a sender crashing mid-staggered-broadcast reaches exactly a
+   prefix of the destination order — and the reliable broadcast's echo
+   relay masks exactly this partiality (all correct or none). *)
+
+let gen_partial_broadcast =
+  QCheck.make
+    ~print:(fun (seed, n, step10, ct10) ->
+      Printf.sprintf "seed=%d n=%d step=%.1f crash_at=%.1f" seed n
+        (float_of_int step10 /. 10.0)
+        (float_of_int ct10 /. 10.0))
+    QCheck.Gen.(
+      quad (int_range 1 5000) (int_range 3 9) (int_range 1 10) (int_range 0 40))
+
+let qcheck_staggered_prefix =
+  QCheck.Test.make
+    ~name:"crash mid-staggered broadcast reaches exactly a prefix" ~count:60
+    gen_partial_broadcast
+    (fun (seed, n, step10, ct10) ->
+      let step = float_of_int step10 /. 10.0
+      and ct = float_of_int ct10 /. 10.0 in
+      let sim = Sim.create ~horizon:100.0 ~n ~t:1 ~seed () in
+      Sim.install_crashes sim [ (0, ct) ];
+      let net : int Net.t = Net.create sim ~delay:(Delay.Constant 0.05) () in
+      Net.broadcast_staggered net ~src:0 ~step 99;
+      ignore (Sim.run sim);
+      (* Only the surviving destinations witness the prefix property —
+         p0's own copy can be dropped by its crash. *)
+      let live = List.init (n - 1) (fun i -> i + 1) in
+      let got = List.map (fun i -> Net.inbox net i <> []) live in
+      let rec is_prefix = function
+        | true :: rest -> is_prefix rest
+        | rest -> List.for_all not rest
+      in
+      is_prefix got)
+
+let qcheck_rbcast_masks_partial =
+  QCheck.Test.make
+    ~name:"rbcast masks crash-interrupted partial broadcast" ~count:40
+    gen_partial_broadcast
+    (fun (seed, n, step10, ct10) ->
+      let step = float_of_int step10 /. 10.0
+      and ct = float_of_int ct10 /. 10.0 in
+      let sim = Sim.create ~horizon:200.0 ~n ~t:1 ~seed () in
+      Sim.install_crashes sim [ (0, ct) ];
+      let rb : int Rbcast.t =
+        Rbcast.create sim ~delay:(Delay.Constant 0.05) ~stagger:step ()
+      in
+      Rbcast.broadcast rb ~src:0 42;
+      ignore (Sim.run sim);
+      let correct = List.init (n - 1) (fun i -> i + 1) in
+      let cnt =
+        List.length (List.filter (fun i -> Rbcast.delivered rb i <> []) correct)
+      in
+      cnt = 0 || cnt = List.length correct)
+
 let () =
   Alcotest.run "net"
     [
@@ -525,5 +614,11 @@ let () =
           Alcotest.test_case "acks clear pending" `Quick test_transport_acks_clear_pending;
           Alcotest.test_case "sender crash" `Quick test_transport_sender_crash_stops_retransmission;
           Alcotest.test_case "no duplicate callbacks" `Quick test_transport_no_duplicates_in_callbacks;
+          Alcotest.test_case "backoff interval capped" `Quick test_backoff_interval_capped;
+          Alcotest.test_case "backoff metrics" `Quick test_transport_backoff_metrics;
         ] );
+      ( "partial-broadcast",
+        List.map
+          (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |]))
+          [ qcheck_staggered_prefix; qcheck_rbcast_masks_partial ] );
     ]
