@@ -1346,6 +1346,168 @@ let chaos () =
     failwith
       (Printf.sprintf "CHAOS: %d healed run(s) failed to decide" o.Chaos.o_liveness)
 
+(* ------------------------------------------------------------------ *)
+(* RT — the real-runtime backend (lib/rt): accrual-detector QoS vs     *)
+(* heartbeat period on real domains over loopback, and the sim-vs-rt   *)
+(* decision-latency comparison for the kset protocol.  Jobs spawn      *)
+(* their own domains, so the campaign runs them on one worker.         *)
+(* ------------------------------------------------------------------ *)
+
+let rt () =
+  section "RT  Real-runtime backend: accrual QoS vs heartbeat period, sim-vs-rt latency";
+  (* BENCH_RT_SMOKE: trimmed sweep for CI (fewer periods, n = 4 only,
+     in-process channel transport — no sockets on the CI runner). *)
+  let smoke = Sys.getenv_opt "BENCH_RT_SMOKE" <> None in
+  let transport = if smoke then `Chan else `Udp in
+  let module R = Setagree_rt.Run in
+  let module Q = Setagree_rt.Qos in
+  let hb_periods = if smoke then [ 0.02; 0.05 ] else [ 0.01; 0.02; 0.05; 0.1 ] in
+  let probe_n = if smoke then 4 else 6 in
+  let probe_jobs =
+    List.mapi
+      (fun i hb ->
+        Runner.job ~exp:"rt"
+          ~seed:(9900 + i)
+          ~label:(Printf.sprintf "fd_probe hb=%gms" (hb *. 1000.0))
+          ~params:
+            [
+              ("kind", Json.String "fd_probe");
+              ("hb_ms", Json.Float (hb *. 1000.0));
+              ("n", Json.Int probe_n);
+            ]
+          (fun () ->
+            let cfg =
+              {
+                R.default_cfg with
+                R.transport;
+                hb_period_s = hb;
+                (* warmup + crash + detection must fit the horizon even
+                   at the slowest heartbeat period *)
+                horizon_s = Float.max 2.0 (40.0 *. hb);
+                crash_at_s = Float.max 0.3 (10.0 *. hb);
+              }
+            in
+            let report, metrics = R.fd_probe ~n:probe_n ~crashes:1 ~seed:(9900 + i) ~cfg () in
+            let detect = Option.value ~default:nan report.Q.detection_time_s in
+            let mdur = Option.value ~default:0.0 report.Q.mistake_duration_s in
+            Runner.body
+              ~notes:
+                (if report.Q.undetected = 0 then []
+                 else [ Printf.sprintf "%d undetected crash pair(s)" report.Q.undetected ])
+              ~metrics:(metrics @ [ ("hb_ms", hb *. 1000.0) ])
+              ~row:
+                (Printf.sprintf "%-8.0f %-10.4f %-6d  %-10.4f %-10.4f %-9.3f %-8d" (hb *. 1000.0)
+                   detect report.Q.undetected report.Q.mistake_rate_hz mdur
+                   report.Q.query_accuracy report.Q.samples)
+              (report.Q.undetected = 0)))
+      hb_periods
+  in
+  (* sim-vs-rt: the same kset configuration on both substrates.  The
+     simulator's virtual decision latency is mapped to wall seconds
+     through the runtime's timescale, so the two columns share units. *)
+  let sizes = if smoke then [ 4 ] else [ 4; 8; 16 ] in
+  let pk = Option.get (Protocol.find "kset") in
+  let latency_jobs =
+    List.map
+      (fun nn ->
+        let tt = max 1 (nn / 4) in
+        let seed = 9950 + nn in
+        Runner.job ~exp:"rt" ~seed
+          ~label:(Printf.sprintf "kset sim-vs-rt n=%d" nn)
+          ~params:[ ("kind", Json.String "kset_latency"); ("n", Json.Int nn) ]
+          ~replay:
+            (fdkit_replay "kset --backend rt -n %d -t %d -z 1 -k 1 --crashes 1 --seed %d" nn
+               tt seed)
+          (fun () ->
+            let p =
+              {
+                Protocol.default with
+                Protocol.n = nn;
+                t = tt;
+                seed;
+                z = 1;
+                k = 1;
+                gst = 0.0;
+                horizon = 3000.0;
+                crashes = Crash.Exactly { crashes = 1; window = (0.0, 20.0) };
+              }
+            in
+            let sim_r = Protocol.run pk p in
+            let sim_ok = Check.verdict_ok sim_r.Protocol.rp_verdict in
+            let sim_latency_vt =
+              Option.value ~default:sim_r.Protocol.rp_outcome.Sim.end_time
+                (List.assoc_opt "latency" sim_r.Protocol.rp_metrics)
+            in
+            (* Bigger systems contend for cores: slow the heartbeat and
+               raise the accrual threshold (suspect only beyond every
+               observed gap) so scheduler hiccups don't flap the leader. *)
+            let cfg =
+              {
+                R.default_cfg with
+                R.transport;
+                hb_period_s = (if nn >= 16 then 0.04 else 0.02);
+                accrual_threshold = 3.0;
+                detect_slack_s = 1.2;
+              }
+            in
+            let sim_latency_s = sim_latency_vt /. cfg.R.timescale in
+            let rt_r = R.run_protocol pk { p with Protocol.backend = "rt" } ~cfg () in
+            let rt_latency_s =
+              List.fold_left (fun acc (_, _, _, tm) -> Float.max acc tm) 0.0
+                rt_r.R.o_decisions
+            in
+            (* The cell under test is decision latency with safety held
+               on both substrates.  Ω-stability of the extracted detector
+               is reported but not gated here: with more domains than
+               cores every node is CPU-starved and real heartbeat gaps
+               flap the leader — fd_probe and the CI smoke certify the
+               detector at sane occupancy. *)
+            let ok = sim_ok && rt_r.R.o_safety.Check.ok in
+            Runner.body
+              ~notes:
+                ((if ok then []
+                  else
+                    sim_r.Protocol.rp_verdict.Check.notes @ rt_r.R.o_safety.Check.notes)
+                @ (if rt_r.R.o_fd.Check.ok then [] else rt_r.R.o_fd.Check.notes))
+              ~metrics:
+                ([
+                   ("sim_latency_s", sim_latency_s);
+                   ("rt_latency_s", rt_latency_s);
+                   ("rt_wall_s", rt_r.R.o_wall_s);
+                 ]
+                @ rt_r.R.o_metrics)
+              ~row:
+                (Printf.sprintf "%-5d %-5d  %-14.4f %-14.4f %-8.2f %-6s %-8s" nn tt
+                   sim_latency_s rt_latency_s
+                   (rt_latency_s /. Float.max sim_latency_s 1e-9)
+                   (if ok then "OK" else "FAIL")
+                   (if rt_r.R.o_fd.Check.ok then "OK" else "flapped"))
+              ok))
+      sizes
+  in
+  (* One campaign (hence one BENCH_rt.json artifact) over both sweeps;
+     rows print per subsection in canonical job order. *)
+  let c = Runner.run ~jobs:1 ~exp:"rt" (probe_jobs @ latency_jobs) in
+  let n_probe = List.length probe_jobs in
+  let all_rows = Array.to_list (Array.map (fun r -> r.Runner.r_row) c.Runner.c_results) in
+  let probe_rows = List.filteri (fun i _ -> i < n_probe) all_rows in
+  let latency_rows = List.filteri (fun i _ -> i >= n_probe) all_rows in
+  subsection
+    (Printf.sprintf "accrual QoS vs heartbeat period (n=%d, 1 crash, %s)" probe_n
+       (match transport with `Udp -> "udp loopback" | `Chan -> "chan"));
+  Printf.printf "%-8s %-10s %-6s  %-10s %-10s %-9s %-8s\n" "hb_ms" "detect_s" "undet"
+    "mist/s" "mdur_s" "accuracy" "samples";
+  List.iter print_endline probe_rows;
+  subsection "kset decision latency: simulator (wall-equivalent) vs real domains";
+  Printf.printf "%-5s %-5s  %-14s %-14s %-8s %-6s %-8s\n" "n" "t" "sim_latency_s"
+    "rt_latency_s" "ratio" "ok" "fd";
+  List.iter print_endline latency_rows;
+  let path = Runner.write_artifact c in
+  Printf.printf "[rt] %d jobs: %d failed, %.2fs wall -> %s\n"
+    (Array.length c.Runner.c_results)
+    (List.length (Runner.failures c))
+    c.Runner.c_wall_s path
+
 let all () =
   e1 ();
   e2 ();

@@ -27,6 +27,7 @@ let registry =
     ("obs", Experiments.obs);
     ("explore", Experiments.explore);
     ("chaos", Experiments.chaos);
+    ("rt", Experiments.rt);
     ("micro", Microbench.run);
   ]
 

@@ -24,6 +24,7 @@ open Setagree_net
 open Setagree_fd
 open Setagree_core
 open Setagree_runner
+module Rt_run = Setagree_rt.Run
 
 (* ---- shared options ---- *)
 
@@ -116,8 +117,39 @@ let trace_arg =
            spans and events, $(b,full) adds per-message and scheduler-wakeup \
            records.  Pure observability — never changes the execution.")
 
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("sim", "sim"); ("rt", "rt"); ("rt-chan", "rt-chan") ]) "sim"
+    & info [ "backend" ] ~docv:"sim|rt|rt-chan"
+        ~doc:
+          "Execution substrate: $(b,sim) runs the deterministic simulator; \
+           $(b,rt) runs one OCaml domain per process over real UDP loopback \
+           datagrams with timeout-extracted (accrual) failure detectors; \
+           $(b,rt-chan) is the same runtime over loss-free in-process \
+           channels (CI fallback, no sockets).")
+
+let is_rt backend = String.length backend >= 2 && String.sub backend 0 2 = "rt"
+
+(* Runtime tuning: params.horizon is a virtual-time budget, so the rt
+   backend keeps its own wall-clock knobs (env-overridable for CI). *)
+let rt_cfg_of (p : Protocol.params) =
+  let fenv name dflt =
+    match Option.bind (Sys.getenv_opt name) float_of_string_opt with
+    | Some v when v > 0.0 -> v
+    | _ -> dflt
+  in
+  let base = Rt_run.default_cfg in
+  {
+    base with
+    Rt_run.transport = (if p.Protocol.backend = "rt-chan" then `Chan else `Udp);
+    hb_period_s = fenv "FDKIT_RT_HB" base.Rt_run.hb_period_s;
+    horizon_s = fenv "FDKIT_RT_HORIZON" base.Rt_run.horizon_s;
+    timescale = fenv "FDKIT_RT_TIMESCALE" base.Rt_run.timescale;
+  }
+
 let mk_params n t seed crashes gst horizon z k x y legacy_poll adversarial variant
-    trace faults =
+    trace faults backend =
   {
     Protocol.n;
     t;
@@ -136,6 +168,7 @@ let mk_params n t seed crashes gst horizon z k x y legacy_poll adversarial varia
     adversarial;
     variant;
     trace;
+    backend;
   }
 
 let params_term ?(default_z = 1) ?(default_k = 1) ?(default_x = 2) ?(default_y = 1)
@@ -167,7 +200,7 @@ let params_term ?(default_z = 1) ?(default_k = 1) ?(default_x = 2) ?(default_y =
   Term.(
     const mk_params $ n_arg $ t_arg $ seed_arg $ crashes_arg $ gst_arg $ horizon_arg
     $ z_arg $ k_arg $ x_arg $ y_arg $ legacy_poll_arg $ adversarial_arg $ variant_arg
-    $ trace_arg $ faults_arg)
+    $ trace_arg $ faults_arg $ backend_arg)
 
 let registry_doc () =
   Printf.sprintf "Protocols: %s." (String.concat ", " (Protocol.names ()))
@@ -189,6 +222,11 @@ let exec_run protocol (p : Protocol.params) =
           | None -> ())
       | Ok () -> ());
       3
+  | Some pk when is_rt p.Protocol.backend ->
+      let r = Rt_run.run_protocol pk p ~cfg:(rt_cfg_of p) () in
+      Format.printf "%a@." Rt_run.pp_result r;
+      List.iter (fun (key, v) -> Printf.printf "  %-22s %g\n" key v) r.Rt_run.o_metrics;
+      if Rt_run.ok r then 0 else 1
   | Some pk ->
       let r = Protocol.run pk p in
       Printf.printf "%s seed=%d: %s\n" protocol p.Protocol.seed
@@ -355,6 +393,44 @@ let replay_command family (p : Protocol.params) =
     (if p.Protocol.legacy_poll then " --legacy-poll" else "")
     (if p.Protocol.adversarial then " --adversarial" else "")
 
+(* Fault/runtime counter totals for the summary tables.  [Protocol.run]
+   omits zero-valued fault counters from job metrics and
+   [Runner.metric_summaries] drops metrics nobody sampled, so a clean
+   campaign printed no fault row at all — "zero retransmits" was
+   indistinguishable from "retransmits not measured".  Sum the
+   counter-like metrics ([fault.*], [net.*], [rt.*]) across all jobs and
+   always print the headline ones, zeros included. *)
+let counter_headline =
+  [
+    "fault.parked";
+    "fault.dup";
+    "fault.reorder";
+    "fault.inflated";
+    "fault.deferred";
+    "fault.stalls";
+    "net.retransmits";
+    "net.backoff_resets";
+  ]
+
+let counter_totals (c : Runner.campaign) =
+  let prefixes = [ "fault."; "net."; "rt." ] in
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun key -> Hashtbl.replace tbl key 0.0) counter_headline;
+  Array.iter
+    (fun (r : Runner.result) ->
+      List.iter
+        (fun (key, v) ->
+          if List.exists (fun prefix -> String.starts_with ~prefix key) prefixes then
+            Hashtbl.replace tbl key
+              (v +. Option.value ~default:0.0 (Hashtbl.find_opt tbl key)))
+        r.Runner.r_metrics)
+    c.Runner.c_results;
+  List.sort compare (Hashtbl.fold (fun key v acc -> (key, v) :: acc) tbl [])
+
+let print_counter_totals c =
+  print_endline "  counter totals (all jobs):";
+  List.iter (fun (key, v) -> Printf.printf "    %-22s %g\n" key v) (counter_totals c)
+
 let campaign_cmd =
   let run family jobs seeds out compare (base : Protocol.params) =
     match Protocol.find family with
@@ -370,13 +446,23 @@ let campaign_cmd =
         ~params:(Protocol.params_to_json p)
         ~replay:(replay_command family p)
         (fun () ->
-          let r = Protocol.run pk p in
-          Runner.body
-            ~notes:
-              (if Check.verdict_ok r.Protocol.rp_verdict then []
-               else r.Protocol.rp_verdict.Check.notes)
-            ~metrics:r.Protocol.rp_metrics
-            (Check.verdict_ok r.Protocol.rp_verdict))
+          if is_rt p.Protocol.backend then begin
+            let r = Rt_run.run_protocol pk p ~cfg:(rt_cfg_of p) () in
+            Runner.body
+              ~notes:
+                (if Rt_run.ok r then []
+                 else r.Rt_run.o_safety.Check.notes @ r.Rt_run.o_fd.Check.notes)
+              ~metrics:r.Rt_run.o_metrics (Rt_run.ok r)
+          end
+          else begin
+            let r = Protocol.run pk p in
+            Runner.body
+              ~notes:
+                (if Check.verdict_ok r.Protocol.rp_verdict then []
+                 else r.Protocol.rp_verdict.Check.notes)
+              ~metrics:r.Protocol.rp_metrics
+              (Check.verdict_ok r.Protocol.rp_verdict)
+          end)
     in
     let joblist = List.init seeds (fun i -> mk (i + 1)) in
     let describe tag c =
@@ -394,6 +480,7 @@ let campaign_cmd =
       (fun (name, s) ->
         Printf.printf "  %-18s %s\n" name (Format.asprintf "%a" Stats.pp_summary s))
       (Runner.metric_summaries c);
+    print_counter_totals c;
     let seq =
       if not compare then None
       else begin
@@ -698,6 +785,7 @@ let chaos_cmd =
         (fun (name, s) ->
           Printf.printf "  %-22s %s\n" name (Format.asprintf "%a" Stats.pp_summary s))
         (Runner.metric_summaries c);
+      print_counter_totals c;
       List.iteri
         (fun i (f : Chaos.failure) ->
           Printf.printf "  [%d] %s/%s seed=%d %s: %s\n      minimized: %s\n      \

@@ -18,6 +18,7 @@ type params = {
   adversarial : bool;
   variant : string;
   trace : string;
+  backend : string;
 }
 
 let default =
@@ -37,6 +38,7 @@ let default =
     adversarial = false;
     variant = "es";
     trace = "default";
+    backend = "sim";
   }
 
 let params_to_json p =
@@ -56,6 +58,7 @@ let params_to_json p =
     ("adversarial", Json.Bool p.adversarial);
     ("variant", Json.String p.variant);
     ("trace", Json.String p.trace);
+    ("backend", Json.String p.backend);
   ]
 
 let params_of_json fields =
@@ -104,6 +107,7 @@ let params_of_json fields =
     adversarial = boolean "adversarial" default.adversarial;
     variant = str "variant" default.variant;
     trace = str "trace" default.trace;
+    backend = str "backend" default.backend;
   }
 
 module type S = sig

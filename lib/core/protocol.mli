@@ -42,6 +42,11 @@ type params = {
       (** trace level: ["off"], ["default"] or ["full"] (unknown strings
           fall back to ["default"]).  Pure observability — the level
           never changes the execution. *)
+  backend : string;
+      (** execution substrate: ["sim"] (the deterministic simulator —
+          default) or ["rt"] (real OCaml-5 domains over loopback, see
+          [Setagree_rt]).  {!run} itself always simulates; the CLI and
+          bench dispatch on this field. *)
 }
 
 val default : params
@@ -120,6 +125,11 @@ val explore_make : packed -> params -> unit -> Explore.instance
     and installation, so controlled runs are independent and
     deterministic in [(params, choices)].  All [n] processes are offered
     as crashable; the explorer enforces the resilience budget. *)
+
+val proposals_of : params -> int array
+(** The canonical proposal vector every runner uses: process [i]
+    proposes [100 + i] — distinct per process, so agreement degrees are
+    sharp. *)
 
 val kset_safety :
   k:int -> proposals:int array -> (Pid.t * int * int * float) list -> string list

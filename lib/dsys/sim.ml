@@ -27,6 +27,16 @@ and t = {
   horizon : float;
   max_events : int;
   legacy_poll : bool;
+  (* Real-runtime mode: the simulator models one process of a distributed
+     deployment.  [spawn] silently discards fibers of other pids (they run
+     in their own domains, each with its own local simulator), [router]
+     carries remote-bound sends off-simulator, and [inlets] dispatch
+     incoming serialized messages to the substrate (keyed by net tag) that
+     knows how to decode and deliver them. *)
+  local : Pid.t option;
+  mutable router :
+    (tag:string -> src:Pid.t -> dst:Pid.t -> Bytes.t -> unit) option;
+  inlets : (string, src:Pid.t -> bytes:Bytes.t -> unit) Hashtbl.t;
   events : event Pqueue.t;
   mutable now : float;
   mutable seq : int;
@@ -85,9 +95,12 @@ let cmp_event a b =
   if c <> 0 then c else Int.compare a.seq b.seq
 
 let create ?(horizon = 1e6) ?(max_events = 10_000_000) ?(legacy_poll = false)
-    ?(trace_level = Trace.Default) ~n ~t ~seed () =
+    ?(trace_level = Trace.Default) ?local ~n ~t ~seed () =
   if n < 2 then invalid_arg "Sim.create: n must be >= 2";
   if t < 0 || t >= n then invalid_arg "Sim.create: need 0 <= t < n";
+  (match local with
+  | Some p when p < 0 || p >= n -> invalid_arg "Sim.create: bad local pid"
+  | _ -> ());
   let sim =
     {
       n;
@@ -97,6 +110,9 @@ let create ?(horizon = 1e6) ?(max_events = 10_000_000) ?(legacy_poll = false)
       horizon;
       max_events;
       legacy_poll;
+      local;
+      router = None;
+      inlets = Hashtbl.create 8;
       events = Pqueue.create ~cmp:cmp_event;
       now = 0.0;
       seq = 0;
@@ -126,6 +142,16 @@ let create ?(horizon = 1e6) ?(max_events = 10_000_000) ?(legacy_poll = false)
 let n t = t.n
 let t_bound t = t.t_bound
 let rng t = t.rng
+let local t = t.local
+let set_router t r = t.router <- Some r
+let router t = t.router
+
+let register_inlet t ~tag inlet =
+  if Hashtbl.mem t.inlets tag then
+    invalid_arg (Printf.sprintf "Sim.register_inlet: duplicate tag %S" tag);
+  Hashtbl.replace t.inlets tag inlet
+
+let inlet t ~tag = Hashtbl.find_opt t.inlets tag
 let trace t = t.trace
 let now t = t.now
 let horizon t = t.horizon
@@ -308,6 +334,11 @@ let add_waiter t w =
 
 let spawn t ~pid body =
   if pid < 0 || pid >= t.n then invalid_arg "Sim.spawn: bad pid";
+  (* Real-runtime mode: remote pids take their steps in their own domains;
+     discarding their fibers here mirrors the crashed-pid discard below. *)
+  match t.local with
+  | Some l when pid <> l -> ()
+  | _ ->
   let block ~conds ~poll pred (k : (unit, unit) Effect.Deep.continuation) =
     t.n_pred_evals <- t.n_pred_evals + 1;
     if pred () then Effect.Deep.continue k ()
@@ -479,3 +510,32 @@ let run ?(stop_when = fun () -> false) (t : t) =
   done;
   flush_sched_counters t ~events:!events;
   { reason = !reason; events = !events; end_time = t.now }
+
+(* Real-runtime stepping: process every event with time <= upto (never past
+   the horizon), then move the clock to upto even if no event fired — the
+   caller slaves virtual time to the wall clock, one call per tick.  Each
+   call ends with a drain so poll-subscribed predicates (clock-derived
+   oracle reads) and conditions signalled by out-of-band injections are
+   re-evaluated at least once per tick, even event-free ones. *)
+let advance t ~upto =
+  let upto = Float.min upto t.horizon in
+  let events = ref 0 in
+  let maybe_drain () =
+    if t.waiters <> [] && (t.legacy_poll || t.poll_waiters > 0 || t.pending_conds <> [])
+    then drain t
+  in
+  let continue_loop = ref true in
+  while !continue_loop do
+    match Pqueue.peek t.events with
+    | Some ev when ev.time <= upto ->
+        ignore (Pqueue.pop t.events);
+        t.now <- Float.max t.now ev.time;
+        ev.run ();
+        incr events;
+        maybe_drain ()
+    | _ -> continue_loop := false
+  done;
+  t.now <- Float.max t.now upto;
+  maybe_drain ();
+  flush_sched_counters t ~events:!events;
+  !events

@@ -37,6 +37,7 @@ val create :
   ?max_events:int ->
   ?legacy_poll:bool ->
   ?trace_level:Trace.level ->
+  ?local:Pid.t ->
   n:int ->
   t:int ->
   seed:int ->
@@ -52,7 +53,14 @@ val create :
     event instead of only the signalled ones — the pre-condition-variable
     scheduler.  It is a {b test-only escape hatch}: production code and the
     protocols never set it; it exists solely as the differential baseline
-    that [test/test_sched.ml] compares the condition scheduler against. *)
+    that [test/test_sched.ml] compares the condition scheduler against.
+
+    [local] (default [None]) puts the simulator in {e real-runtime} mode:
+    it models exactly one process of a distributed deployment.  {!spawn}
+    silently discards fibers for any other pid (they take their steps in
+    their own domains, each with its own local simulator), and substrates
+    route remote-bound sends through the {!set_router} hook instead of
+    scheduling a local delivery.  See [Setagree_rt]. *)
 
 val n : t -> int
 val t_bound : t -> int
@@ -67,6 +75,38 @@ val horizon : t -> float
 
 val legacy_poll : t -> bool
 (** Whether this simulator runs the legacy re-poll-everything scheduler. *)
+
+(** {1 Real-runtime mode} *)
+
+val local : t -> Pid.t option
+(** [Some pid] iff the simulator models only that process (see {!create}'s
+    [local]). *)
+
+val set_router : t -> (tag:string -> src:Pid.t -> dst:Pid.t -> Bytes.t -> unit) -> unit
+(** Install the outbound hook for real-runtime mode: substrates hand it
+    every send whose destination is not the {!local} pid, as serialized
+    bytes keyed by the substrate's tag.  The hook runs synchronously in
+    the sending fiber. *)
+
+val router : t -> (tag:string -> src:Pid.t -> dst:Pid.t -> Bytes.t -> unit) option
+
+val register_inlet : t -> tag:string -> (src:Pid.t -> bytes:Bytes.t -> unit) -> unit
+(** Register the inbound dispatch for a substrate: the runtime node calls
+    the inlet matching an incoming datagram's tag, and the substrate
+    decodes and delivers into its local mailboxes.  Raises
+    [Invalid_argument] on a duplicate tag — tags identify the decoder, so
+    two substrates of one simulator must not share one. *)
+
+val inlet : t -> tag:string -> (src:Pid.t -> bytes:Bytes.t -> unit) option
+
+val advance : t -> upto:float -> int
+(** Real-runtime stepping: process every queued event with time <= [upto]
+    (clamped to the horizon), then move the clock to [upto] even if no
+    event fired, and finish with a scheduler drain so blocked predicates
+    are re-evaluated at least once per call.  Returns the number of events
+    processed.  The runtime node calls this once per wall-clock tick with
+    [upto = elapsed_wall * timescale], slaving virtual time to the wall
+    clock; {!run} and [advance] must not be mixed on one simulator. *)
 
 (** {1 Ground truth (for oracles and checkers)} *)
 

@@ -152,6 +152,113 @@ let phi_y sim ~y ~eventual ~deadline (log : Oracle.query_log) =
     { ok = true; notes = [ "phi_y: no meaningful-window query was made" ] }
   else pass
 
+(* ---- history-based checkers (real-runtime) ----
+
+   The simulator-coupled checkers above read ground truth from [Sim] and
+   histories from [Monitor].  A runtime deployment has neither: ground
+   truth is the orchestrator's crash record and histories are the sampled
+   FD outputs each node brought home.  These variants take both as plain
+   data, so the same class contracts judge an extracted (accrual)
+   detector's recorded history. *)
+
+type ground = {
+  g_n : int;
+  g_correct : Pidset.t;
+  g_crashes : (Pid.t * float) list;
+  g_end : float;
+}
+
+let crashed_by g time =
+  List.fold_left
+    (fun acc (p, tm) -> if tm <= time then Pidset.add p acc else acc)
+    Pidset.empty g.g_crashes
+
+let hist_last_change (s : (float * Pidset.t) list) =
+  let rec go prev last = function
+    | [] -> last
+    | (tm, v) :: rest ->
+        let last =
+          match prev with
+          | Some pv when Pidset.equal pv v -> last
+          | Some _ -> Some tm
+          | None -> last
+        in
+        go (Some v) last rest
+  in
+  go None None s
+
+let hist_final s = match List.rev s with [] -> None | (_, v) :: _ -> Some v
+
+let omega_z_history g ~z ~deadline hist =
+  let obs = List.filter (fun (i, _) -> Pidset.mem i g.g_correct) hist in
+  let missing =
+    Pidset.filter
+      (fun i ->
+        match List.assoc_opt i obs with
+        | None | Some [] -> true
+        | Some _ -> false)
+      g.g_correct
+  in
+  if not (Pidset.is_empty missing) then
+    fail "omega_z: no recorded output for correct %s" (Pidset.to_string missing)
+  else begin
+    let finals =
+      List.filter_map
+        (fun (i, s) -> Option.map (fun v -> (i, v)) (hist_final s))
+        obs
+    in
+    match finals with
+    | [] -> fail "omega_z: no correct process"
+    | (i0, v0) :: rest ->
+        let unstable =
+          List.filter_map
+            (fun (i, s) ->
+              match hist_last_change s with
+              | Some tm when tm > deadline -> Some (i, tm)
+              | _ -> None)
+            obs
+        in
+        if unstable <> [] then
+          fail "omega_z: output still changing after deadline %.2f at %s" deadline
+            (String.concat ","
+               (List.map
+                  (fun (i, tm) -> Printf.sprintf "%s@%.2f" (Pid.to_string i) tm)
+                  unstable))
+        else if List.exists (fun (_, v) -> not (Pidset.equal v v0)) rest then
+          fail "omega_z: correct processes disagree on the final set (%s has %s)"
+            (Pid.to_string i0) (Pidset.to_string v0)
+        else if Pidset.cardinal v0 > z then
+          fail "omega_z: final set %s has size %d > z = %d" (Pidset.to_string v0)
+            (Pidset.cardinal v0) z
+        else if Pidset.is_empty (Pidset.inter v0 g.g_correct) then
+          fail "omega_z: final set %s contains no correct process"
+            (Pidset.to_string v0)
+        else pass
+  end
+
+let strong_completeness_history g ~deadline hist =
+  let crashed_final = crashed_by g deadline in
+  let bad =
+    Pidset.fold
+      (fun i acc ->
+        match List.assoc_opt i hist with
+        | None | Some [] -> (i, "no samples") :: acc
+        | Some s ->
+            let after = List.filter (fun (tm, _) -> tm >= deadline) s in
+            if after = [] then (i, "no samples after deadline") :: acc
+            else if
+              List.for_all (fun (_, v) -> Pidset.subset crashed_final v) after
+            then acc
+            else (i, "missing crashed processes") :: acc)
+      g.g_correct []
+  in
+  match bad with
+  | [] -> pass
+  | (i, why) :: _ ->
+      fail "completeness: %s %s after deadline %.2f (crashed by then: %s)"
+        (Pid.to_string i) why deadline
+        (Pidset.to_string crashed_final)
+
 let k_set_agreement sim ~k ~proposals ~decisions =
   let correct = Sim.correct_set sim in
   let problems = ref [] in

@@ -55,6 +55,42 @@ val phi_y :
     deadline must be reported dead).  Vacuously true on an empty log except
     that we flag logs with no meaningful-window query. *)
 
+(** {1 History-based checkers (real-runtime)}
+
+    The checkers above read ground truth from the simulator and histories
+    from {!Monitor}.  A runtime deployment ([Setagree_rt]) has neither:
+    these variants take the run's ground truth as a plain {!ground}
+    record and the FD-output histories as per-observer chronological
+    [(time, value)] sample lists — so the same class contracts judge the
+    history an extracted (accrual) detector actually produced. *)
+
+type ground = {
+  g_n : int;  (** universe size *)
+  g_correct : Pidset.t;  (** processes that never crashed in the run *)
+  g_crashes : (Pid.t * float) list;  (** (pid, crash time) ground truth *)
+  g_end : float;  (** end of the observation window *)
+}
+
+val omega_z_history :
+  ground ->
+  z:int ->
+  deadline:float ->
+  (Pid.t * (float * Pidset.t) list) list ->
+  verdict
+(** Ω_z on recorded trusted-set histories: from [deadline] on, every
+    correct observer's samples are constant, all agree, the common set
+    has size <= z and contains a correct process.  Observers not in
+    [g_correct] are ignored; a correct observer with no samples fails. *)
+
+val strong_completeness_history :
+  ground ->
+  deadline:float ->
+  (Pid.t * (float * Pidset.t) list) list ->
+  verdict
+(** Strong completeness on recorded suspected-set histories: every
+    sample a correct observer took at or after [deadline] contains every
+    process crashed by [deadline]. *)
+
 (** {1 Agreement} *)
 
 val k_set_agreement :

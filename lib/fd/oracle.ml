@@ -14,6 +14,25 @@ type query_log = query_event list ref
 
 exception Psi_containment_violation of Pidset.t * Pidset.t
 
+(* Real-runtime override.  A runtime node extracts its failure detector
+   from message timing (the accrual detector in [Setagree_rt]); installing
+   it here makes every oracle constructor return ifaces backed by the
+   extraction instead of simulator ground truth — so protocol [install]
+   code runs unchanged on both substrates.  The hook is domain-local
+   (Domain.DLS): each node's domain overrides only its own oracle reads,
+   while the simulator-driven main domain keeps ground-truth oracles. *)
+type external_source = {
+  ext_suspected : Pid.t -> Pidset.t;
+  ext_trusted : z:int -> Pid.t -> Pidset.t;
+  ext_query : y:int -> Pid.t -> Pidset.t -> bool;
+}
+
+let ext_key : external_source option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let set_external src = Domain.DLS.set ext_key src
+let external_source () = Domain.DLS.get ext_key
+
 (* Deterministic boolean draw from a seed and a list of integer coordinates:
    the same (seed, coordinates) always yields the same draw, so oracle
    outputs are pure functions of virtual time and runs replay exactly. *)
@@ -94,17 +113,28 @@ let suspector_of sim ~(behavior : Behavior.t) ~seed ~scope ~protected ~perpetual
   in
   { Iface.suspected }
 
+(* In external mode the accuracy scope is not chosen by the oracle — the
+   extraction serves everyone; report the full universe with the smallest
+   pid as the nominal protectee. *)
+let ext_scope sim = { scope = Pidset.full ~n:(Sim.n sim); protected = 0 }
+
 let es_x sim ~x ?(behavior = Behavior.stormy ~gst:50.0) ?(seed = 0x5EED) () =
-  let protected = min_correct sim in
-  let scope = pick_scope sim ~x ~seed ~protected in
-  ( suspector_of sim ~behavior ~seed ~scope ~protected ~perpetual:false,
-    { scope; protected } )
+  match external_source () with
+  | Some e -> ({ Iface.suspected = e.ext_suspected }, ext_scope sim)
+  | None ->
+      let protected = min_correct sim in
+      let scope = pick_scope sim ~x ~seed ~protected in
+      ( suspector_of sim ~behavior ~seed ~scope ~protected ~perpetual:false,
+        { scope; protected } )
 
 let s_x sim ~x ?(behavior = Behavior.stormy ~gst:50.0) ?(seed = 0x5EED) () =
-  let protected = min_correct sim in
-  let scope = pick_scope sim ~x ~seed ~protected in
-  ( suspector_of sim ~behavior ~seed ~scope ~protected ~perpetual:true,
-    { scope; protected } )
+  match external_source () with
+  | Some e -> ({ Iface.suspected = e.ext_suspected }, ext_scope sim)
+  | None ->
+      let protected = min_correct sim in
+      let scope = pick_scope sim ~x ~seed ~protected in
+      ( suspector_of sim ~behavior ~seed ~scope ~protected ~perpetual:true,
+        { scope; protected } )
 
 let perfect_p sim =
   {
@@ -113,6 +143,9 @@ let perfect_p sim =
   }
 
 let eventually_p sim ?(behavior = Behavior.stormy ~gst:50.0) ?(seed = 0x5EED) () =
+  match external_source () with
+  | Some e -> { Iface.suspected = e.ext_suspected }
+  | None ->
   let n = Sim.n sim in
   let b = behavior in
   let suspected i =
@@ -140,6 +173,13 @@ let eventually_p sim ?(behavior = Behavior.stormy ~gst:50.0) ?(seed = 0x5EED) ()
 let omega_z sim ~z ?(behavior = Behavior.stormy ~gst:50.0) ?(seed = 0x5EED) () =
   let n = Sim.n sim in
   if z < 1 || z > n then invalid_arg "Oracle.omega_z: z out of range";
+  match external_source () with
+  | Some e ->
+      (* The eventual set is not known in advance for an extracted
+         detector; callers of the runtime path judge the recorded history
+         with [Check] instead. *)
+      ({ Iface.trusted = (fun i -> e.ext_trusted ~z i) }, Pidset.empty)
+  | None ->
   let b = behavior in
   let leader = min_correct sim in
   let final =
@@ -174,6 +214,19 @@ let omega_z sim ~z ?(behavior = Behavior.stormy ~gst:50.0) ?(seed = 0x5EED) () =
 let querier_of sim ~y ~(behavior : Behavior.t) ~seed ~perpetual =
   let t = Sim.t_bound sim in
   if y < 0 || y > t then invalid_arg "Oracle: phi parameter y out of range";
+  match external_source () with
+  | Some e ->
+      ignore perpetual;
+      let log : query_log = ref [] in
+      let query i x =
+        let result = e.ext_query ~y i x in
+        log :=
+          { q_time = Sim.now sim; q_pid = i; q_set = x; q_result = result }
+          :: !log;
+        result
+      in
+      ({ Iface.query }, log)
+  | None ->
   let b = behavior in
   let log : query_log = ref [] in
   let query i x =

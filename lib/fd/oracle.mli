@@ -17,6 +17,27 @@ type scope_info = {
   protected : Pid.t;  (** The correct process of Q never suspected by Q. *)
 }
 
+(** {1 Real-runtime override}
+
+    A runtime node (one OCaml domain per process, [Setagree_rt]) extracts
+    its failure detector from message timing.  Installing the extraction
+    as this domain's {!external_source} makes every oracle constructor
+    below return ifaces backed by it — same protocol [install] code on
+    both substrates.  The hook is {e domain-local} ([Domain.DLS]): the
+    simulator-driven main domain, with no source installed, keeps the
+    ground-truth oracles byte-identically. *)
+
+type external_source = {
+  ext_suspected : Pid.t -> Pidset.t;  (** suspector classes (◇S_x, ◇P) *)
+  ext_trusted : z:int -> Pid.t -> Pidset.t;  (** leader classes (Ω_z) *)
+  ext_query : y:int -> Pid.t -> Pidset.t -> bool;  (** query classes (φ_y) *)
+}
+
+val set_external : external_source option -> unit
+(** Install ([Some]) or clear ([None]) the calling domain's override. *)
+
+val external_source : unit -> external_source option
+
 (** {1 Suspector classes} *)
 
 val es_x :

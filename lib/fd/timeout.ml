@@ -26,7 +26,12 @@ let create ?(initial = 3.0) ?(factor = 1.5) ?(cap = 60.0) ?(jitter = 0.1) ~rng
     factor;
     cap;
     jitter;
-    rng;
+    (* Jitter draws live on their own named split, never on the caller's
+       stream: creating a Timeout on (say) the simulator's root RNG and
+       exercising it — what the runtime backend's instrumentation does —
+       must not advance the shared stream and shift the delay draws of a
+       fault-free execution. *)
+    rng = Rng.split_named rng "timeout:jitter";
     last_heard = Array.make_matrix n n 0.0;
     current = Array.make_matrix n n initial;
     bumps = Array.make_matrix n n 0;

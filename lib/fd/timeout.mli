@@ -34,7 +34,14 @@ val create :
   t
 (** Defaults: [initial] 3.0, [factor] 1.5, [cap] 60.0, [jitter] 0.1
     (±10%).  All thresholds start at [initial]; [last_heard] starts
-    at 0. *)
+    at 0.
+
+    [rng] is only a parent: the jitter draws come from a
+    [Rng.split_named rng "timeout:jitter"] child, so neither creating
+    nor exercising a Timeout ever advances the caller's stream —
+    attaching runtime instrumentation to a shared (even root) RNG
+    cannot shift a fault-free simulation (the byte-identical regression
+    in [test/test_faults.ml] pins this down). *)
 
 val expired : t -> Pid.t -> Pid.t -> now:float -> bool
 (** [expired t i j ~now]: has [j] been silent towards [i] beyond the

@@ -79,6 +79,17 @@ and deliver_now t ~src ~dst ~sent_at payload =
     Sim.Cond.signal t.conds.(dst)
   end
 
+(* Real-runtime ingress: a message that already traveled the wire is
+   handed to the local simulator as an immediate delivery event, so all
+   mailbox/index/condition updates happen inside the event loop (the next
+   [Sim.advance] tick), exactly like a locally sent message would. *)
+let inject t ~src payload =
+  match Sim.local t.sim with
+  | None -> invalid_arg "Net.inject: simulator is not in real-runtime mode"
+  | Some dst ->
+      let sent_at = Sim.now t.sim in
+      Sim.schedule t.sim ~delay:0.0 (deliver t ~src ~dst ~sent_at payload)
+
 let create sim ?(tag = "net") ?(delay = Delay.default) ?(retain = true) ?classify
     ?loss () =
   let transport =
@@ -108,6 +119,14 @@ let create sim ?(tag = "net") ?(delay = Delay.default) ?(retain = true) ?classif
       Lossy.Transport.on_deliver tr (fun ~src ~dst (sent_at, payload) ->
           deliver t ~src ~dst ~sent_at payload ()))
     transport;
+  (* Real-runtime mode: the tag names this network's decoder in the node's
+     inbound dispatch. *)
+  (match Sim.local sim with
+  | Some _ ->
+      Sim.register_inlet sim ~tag (fun ~src ~bytes ->
+          let payload : 'm = Marshal.from_bytes bytes 0 in
+          inject t ~src payload)
+  | None -> ());
   t
 
 let sim t = t.sim
@@ -130,6 +149,15 @@ let send_at t ~src ~dst ~deliver_at payload =
 
 let send t ~src ~dst payload =
   if not (Sim.is_crashed t.sim src) then begin
+    match (Sim.router t.sim, Sim.local t.sim) with
+    (* Real-runtime egress: a send to a remote process leaves the
+       simulator entirely — serialized, tagged, handed to the node's
+       transport.  Self-sends stay on the local delivery path (with a
+       sampled delay), so a process's own messages keep sim semantics. *)
+    | Some route, Some l when dst <> l ->
+        note_sent t ~src ~dst;
+        route ~tag:t.tag ~src ~dst (Marshal.to_bytes payload [])
+    | _ -> (
     match t.transport with
     (* Under a chooser the adversary owns delivery order: hand the
        delivery thunk to the pending pool instead of sampling a delay
@@ -168,7 +196,7 @@ let send t ~src ~dst payload =
         end
     | Some tr ->
         note_sent t ~src ~dst;
-        Lossy.Transport.send tr ~src ~dst (Sim.now t.sim, payload)
+        Lossy.Transport.send tr ~src ~dst (Sim.now t.sim, payload))
   end
 
 let broadcast t ~src payload =

@@ -129,6 +129,16 @@ val keyed_senders : 'm t -> Pid.t -> int -> Pidset.t
 val keyed_envs : 'm t -> Pid.t -> int -> 'm envelope list
 (** The matching envelopes, in delivery order. *)
 
+val inject : 'm t -> src:Pid.t -> 'm -> unit
+(** Real-runtime ingress: deliver a message that already traveled the
+    wire to the {!Setagree_dsys.Sim.local} pid, as an immediate delivery
+    event of the local simulator (mailbox append, keyed index, handlers
+    and condition signal all happen inside the next [Sim.advance] tick).
+    Raises [Invalid_argument] on a simulator without [local].  The
+    inverse direction is automatic: on a [local] simulator, {!create}
+    registers an inlet under the net's tag that decodes and injects, and
+    {!send} routes remote-bound messages through [Sim.set_router]. *)
+
 val on_deliver : 'm t -> ('m envelope -> unit) -> unit
 (** Register a callback run at each delivery (after the mailbox append and
     only if the destination is alive).  Callbacks run in registration

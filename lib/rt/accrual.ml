@@ -1,0 +1,135 @@
+open Setagree_util
+open Setagree_fd
+
+let phi_floor = 1e-4 (* caps phi at 4: "later than every observed gap" *)
+
+type peer = {
+  gaps : float array; (* ring buffer of inter-arrival gaps *)
+  mutable count : int; (* gaps recorded, <= window *)
+  mutable next : int; (* ring write index *)
+  mutable last : float; (* last arrival time; nan before the first *)
+  mutable accrual_suspected : bool; (* last suspicion verdict from the warm path *)
+  mutable accrual_false : int;
+}
+
+type t = {
+  self : Pid.t;
+  n : int;
+  window : int;
+  threshold : float;
+  min_samples : int;
+  peers : peer array;
+  tm : Timeout.t; (* bootstrap detector while histograms are cold *)
+}
+
+let create ?(window = 200) ?(threshold = 2.0) ?(min_samples = 5) ?(timeout_initial = 0.1)
+    ?(timeout_factor = 1.5) ?(timeout_cap = 2.0) ~rng ~self ~n () =
+  if window < 1 then invalid_arg "Accrual.create: window";
+  if min_samples < 1 then invalid_arg "Accrual.create: min_samples";
+  if self < 0 || self >= n then invalid_arg "Accrual.create: self out of range";
+  {
+    self;
+    n;
+    window;
+    threshold;
+    min_samples;
+    peers =
+      Array.init n (fun _ ->
+          {
+            gaps = Array.make window 0.0;
+            count = 0;
+            next = 0;
+            last = Float.nan;
+            accrual_suspected = false;
+            accrual_false = 0;
+          });
+    tm =
+      Timeout.create ~initial:timeout_initial ~factor:timeout_factor ~cap:timeout_cap ~rng ~n
+        ();
+  }
+
+let warm t p = p.count >= t.min_samples
+
+(* P[a heartbeat still arrives after this much silence], estimated from the
+   window; floored so phi stays finite past the observed maximum. *)
+let p_later p ~elapsed =
+  let later = ref 0 in
+  for k = 0 to p.count - 1 do
+    if p.gaps.(k) >= elapsed then incr later
+  done;
+  Float.max phi_floor (float_of_int !later /. float_of_int p.count)
+
+let phi t j ~now =
+  if j = t.self || j < 0 || j >= t.n then 0.0
+  else begin
+    let p = t.peers.(j) in
+    if warm t p then
+      if Float.is_nan p.last then 0.0
+      else -.Float.log10 (p_later p ~elapsed:(now -. p.last))
+    else if Timeout.expired t.tm t.self j ~now then t.threshold
+    else 0.0
+  end
+
+let suspects t j ~now = j <> t.self && j >= 0 && j < t.n && phi t j ~now >= t.threshold
+
+(* Track warm-path verdicts so disproven suspicions are counted even after
+   the Timeout bootstrap stops being consulted. *)
+let note_verdict t j ~now =
+  let p = t.peers.(j) in
+  if warm t p then p.accrual_suspected <- phi t j ~now >= t.threshold
+
+let heartbeat t j ~now =
+  if j <> t.self && j >= 0 && j < t.n then begin
+    let p = t.peers.(j) in
+    if warm t p && p.accrual_suspected then begin
+      p.accrual_false <- p.accrual_false + 1;
+      p.accrual_suspected <- false
+    end;
+    if not (Float.is_nan p.last) then begin
+      let gap = now -. p.last in
+      p.gaps.(p.next) <- gap;
+      p.next <- (p.next + 1) mod t.window;
+      if p.count < t.window then p.count <- p.count + 1
+    end;
+    p.last <- now;
+    (* Timeout.heard counts its own disproven suspicions (bootstrap phase). *)
+    Timeout.heard t.tm t.self j ~now
+  end
+
+let suspected t ~now =
+  let s = ref Pidset.empty in
+  for j = 0 to t.n - 1 do
+    if j <> t.self then begin
+      note_verdict t j ~now;
+      if suspects t j ~now then s := Pidset.add j !s
+    end
+  done;
+  !s
+
+(* Same deterministic extraction as [Impl.omega]: the z smallest currently
+   unsuspected pids, never empty. *)
+let trusted t ~z ~now =
+  let sus = suspected t ~now in
+  let out = ref Pidset.empty in
+  let taken = ref 0 in
+  for j = 0 to t.n - 1 do
+    if !taken < z && not (Pidset.mem j sus) then begin
+      out := Pidset.add j !out;
+      incr taken
+    end
+  done;
+  if Pidset.is_empty !out then Pidset.add t.self Pidset.empty else !out
+
+(* Same shape as [Impl.querier]: triviality short-circuits; meaningful
+   window answers from current suspicions. *)
+let query t ~t_bound ~y x ~now =
+  let c = Pidset.cardinal x in
+  if c <= t_bound - y then true
+  else if c > t_bound then false
+  else Pidset.subset x (suspected t ~now)
+
+let samples t j = if j >= 0 && j < t.n then t.peers.(j).count else 0
+
+let false_suspicions t =
+  Timeout.false_suspicions t.tm
+  + Array.fold_left (fun acc p -> acc + p.accrual_false) 0 t.peers

@@ -1,0 +1,78 @@
+(** Adaptive accrual failure detection over heartbeat inter-arrival
+    histograms (Satzger et al. style), with a {!Setagree_fd.Timeout}
+    bootstrap while a pair's histogram is still cold.
+
+    Per subject, the observer keeps a sliding window of the last [window]
+    inter-arrival gaps.  The suspicion level for a silence of [elapsed]
+    seconds is
+
+    {[ phi = -log10 (max floor (gaps >= elapsed / gaps)) ]}
+
+    — the empirical probability that a heartbeat still arrives this late,
+    floored so phi is defined beyond the observed maximum.  [phi] is
+    nondecreasing while a subject stays silent and collapses to ~0 on the
+    next heartbeat; a subject is {e suspected} once [phi >= threshold].
+    With the default threshold the rule effectively reads "silent longer
+    than every gap the pair has ever exhibited", which self-calibrates to
+    the deployment's real jitter instead of hard-coding a timeout.
+
+    Before [min_samples] gaps have been observed the histogram says
+    nothing, so suspicion falls back to {!Setagree_fd.Timeout}'s capped
+    exponential backoff (which also tracks disproven suspicions across
+    both phases).
+
+    From [suspected] the three oracle surfaces of the paper's grid are
+    extracted (see {!trusted} and {!query}); the mapping mirrors
+    {!Setagree_fd.Impl} so simulator and runtime detectors share one
+    notion of "z-leader" and "region-dead". *)
+
+open Setagree_util
+
+type t
+
+val create :
+  ?window:int ->
+  ?threshold:float ->
+  ?min_samples:int ->
+  ?timeout_initial:float ->
+  ?timeout_factor:float ->
+  ?timeout_cap:float ->
+  rng:Rng.t ->
+  self:Pid.t ->
+  n:int ->
+  unit ->
+  t
+(** Defaults: [window] 200, [threshold] 2.0, [min_samples] 5,
+    [timeout_initial] 0.1 (s), [timeout_factor] 1.5, [timeout_cap] 2.0.
+    [rng] seeds only the bootstrap Timeout jitter (via a named split —
+    the caller's stream is never advanced). *)
+
+val heartbeat : t -> Pid.t -> now:float -> unit
+(** Evidence of life from a subject: record the gap since its previous
+    arrival (once warm) and reset its suspicion. *)
+
+val phi : t -> Pid.t -> now:float -> float
+(** Current suspicion level; 0 for [self].  During bootstrap: 0, or
+    [threshold] once the Timeout expires. *)
+
+val suspects : t -> Pid.t -> now:float -> bool
+
+val suspected : t -> now:float -> Pidset.t
+(** The suspector-class surface: all subjects with [phi >= threshold]. *)
+
+val trusted : t -> z:int -> now:float -> Pidset.t
+(** The Ω_z surface: the [z] smallest currently unsuspected pids — the
+    deterministic rule every observer converges on once suspicions agree
+    with the crash pattern.  Falls back to [{self}] when everything is
+    suspected (never empty, as {!Setagree_fd.Impl.omega} does). *)
+
+val query : t -> t_bound:int -> y:int -> Pidset.t -> now:float -> bool
+(** The φ_y surface: triviality short-circuits ([|X| <= t-y] true,
+    [|X| > t] false); in the meaningful window, true iff every member is
+    currently suspected. *)
+
+val samples : t -> Pid.t -> int
+(** Gaps recorded for the subject (window-capped). *)
+
+val false_suspicions : t -> int
+(** Suspicions later disproven by a heartbeat, both phases. *)

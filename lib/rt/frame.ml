@@ -1,0 +1,134 @@
+open Setagree_util
+
+type kind =
+  | Heartbeat
+  | Payload of { tag : string; body : Bytes.t }
+
+type t = { src : Pid.t; dst : Pid.t; seq : int; kind : kind }
+
+let magic0 = '\xFD'
+let magic1 = '\x4B' (* "FD K(it)" *)
+let header_len = 11 (* magic 2 + src 2 + dst 2 + seq 4 + kind 1 *)
+let max_body = 16 * 1024 * 1024
+
+let encode fr =
+  if fr.src < 0 || fr.src > 0xFFFF then invalid_arg "Frame.encode: src";
+  if fr.dst < 0 || fr.dst > 0xFFFF then invalid_arg "Frame.encode: dst";
+  let size =
+    header_len
+    +
+    match fr.kind with
+    | Heartbeat -> 0
+    | Payload { tag; body } ->
+        if String.length tag > 0xFFFF then invalid_arg "Frame.encode: tag too long";
+        if Bytes.length body > max_body then invalid_arg "Frame.encode: body too large";
+        2 + String.length tag + 4 + Bytes.length body
+  in
+  let b = Bytes.create size in
+  Bytes.set b 0 magic0;
+  Bytes.set b 1 magic1;
+  Bytes.set_uint16_be b 2 fr.src;
+  Bytes.set_uint16_be b 4 fr.dst;
+  Bytes.set_int32_be b 6 (Int32.of_int (fr.seq land 0x7FFFFFFF));
+  (match fr.kind with
+  | Heartbeat -> Bytes.set b 10 '\x00'
+  | Payload { tag; body } ->
+      Bytes.set b 10 '\x01';
+      let tl = String.length tag in
+      Bytes.set_uint16_be b 11 tl;
+      Bytes.blit_string tag 0 b 13 tl;
+      Bytes.set_int32_be b (13 + tl) (Int32.of_int (Bytes.length body));
+      Bytes.blit body 0 b (17 + tl) (Bytes.length body));
+  b
+
+(* Try to parse one frame at [pos] in [b.(0..limit)].  Returns:
+   [`Frame (fr, next)] on success, [`Need_more] when the bytes so far are a
+   valid prefix of a frame, [`Bad] when [pos] cannot start a frame. *)
+let parse_at b ~pos ~limit =
+  let avail = limit - pos in
+  if avail < 2 then
+    if avail >= 1 && Bytes.get b pos <> magic0 then `Bad else `Need_more
+  else if Bytes.get b pos <> magic0 || Bytes.get b (pos + 1) <> magic1 then `Bad
+  else if avail < header_len then `Need_more
+  else begin
+    let src = Bytes.get_uint16_be b (pos + 2) in
+    let dst = Bytes.get_uint16_be b (pos + 4) in
+    let seq = Int32.to_int (Bytes.get_int32_be b (pos + 6)) in
+    match Bytes.get b (pos + 10) with
+    | '\x00' -> `Frame ({ src; dst; seq; kind = Heartbeat }, pos + header_len)
+    | '\x01' ->
+        if avail < header_len + 2 then `Need_more
+        else begin
+          let tl = Bytes.get_uint16_be b (pos + 11) in
+          if avail < header_len + 2 + tl + 4 then `Need_more
+          else begin
+            let bl = Int32.to_int (Bytes.get_int32_be b (pos + 13 + tl)) in
+            if bl < 0 || bl > max_body then `Bad
+            else if avail < header_len + 2 + tl + 4 + bl then `Need_more
+            else begin
+              let tag = Bytes.sub_string b (pos + 13) tl in
+              let body = Bytes.sub b (pos + 17 + tl) bl in
+              `Frame ({ src; dst; seq; kind = Payload { tag; body } }, pos + 17 + tl + bl)
+            end
+          end
+        end
+    | _ -> `Bad
+  end
+
+let decode_packet b ~len =
+  let out = ref [] in
+  let pos = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !pos < len do
+    match parse_at b ~pos:!pos ~limit:len with
+    | `Frame (fr, next) ->
+        out := fr :: !out;
+        pos := next
+    | `Bad -> incr pos
+    | `Need_more -> stop := true (* trailing partial: datagrams are atomic, drop *)
+  done;
+  List.rev !out
+
+module Decoder = struct
+  type dec = { mutable buf : Bytes.t; mutable len : int; mutable skipped : int }
+
+  let create () = { buf = Bytes.create 256; len = 0; skipped = 0 }
+  let skipped d = d.skipped
+  let pending d = d.len
+
+  let ensure d extra =
+    let need = d.len + extra in
+    if Bytes.length d.buf < need then begin
+      let cap = ref (Bytes.length d.buf * 2) in
+      while !cap < need do
+        cap := !cap * 2
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit d.buf 0 nb 0 d.len;
+      d.buf <- nb
+    end
+
+  let feed d ?(off = 0) ?len b =
+    let len = match len with Some l -> l | None -> Bytes.length b - off in
+    ensure d len;
+    Bytes.blit b off d.buf d.len len;
+    d.len <- d.len + len;
+    let out = ref [] in
+    let pos = ref 0 in
+    let stop = ref false in
+    while (not !stop) && !pos < d.len do
+      match parse_at d.buf ~pos:!pos ~limit:d.len with
+      | `Frame (fr, next) ->
+          out := fr :: !out;
+          pos := next
+      | `Bad ->
+          incr pos;
+          d.skipped <- d.skipped + 1
+      | `Need_more -> stop := true
+    done;
+    if !pos > 0 then begin
+      Bytes.blit d.buf !pos d.buf 0 (d.len - !pos);
+      d.len <- d.len - !pos
+    end;
+    List.rev !out
+end

@@ -1,0 +1,53 @@
+(** Wire framing for the real-runtime backend.
+
+    Every unit exchanged between runtime nodes is a {e frame}: a small
+    binary record carrying source, destination, a per-(src, dst) sequence
+    number, and either a liveness heartbeat or an opaque protocol payload
+    tagged with the {!Setagree_net.Net} channel it belongs to.  Frames are
+    self-delimiting (length-prefixed fields behind a two-byte magic), so
+    the same codec serves both datagram transports (one or more whole
+    frames per packet) and byte-stream transports (frames may arrive
+    split or coalesced — {!Decoder} reassembles them). *)
+
+open Setagree_util
+
+type kind =
+  | Heartbeat
+  | Payload of { tag : string; body : Bytes.t }
+      (** [tag] names the {!Setagree_net.Net} channel ([Sim.inlet] key);
+          [body] is the marshalled message. *)
+
+type t = { src : Pid.t; dst : Pid.t; seq : int; kind : kind }
+
+val encode : t -> Bytes.t
+(** Layout: magic (2) | src (2) | dst (2) | seq (4) | kind (1), then for
+    payloads tag-length (2) | tag | body-length (4) | body; all integers
+    big-endian.  @raise Invalid_argument on out-of-range fields (pids
+    beyond 16 bits, tags beyond 65535 bytes, bodies beyond 16 MiB). *)
+
+val decode_packet : Bytes.t -> len:int -> t list
+(** Parse a datagram holding zero or more whole frames.  Garbage between
+    frames is skipped by scanning for the magic; a trailing partial frame
+    is dropped (datagrams are atomic — a partial frame means corruption,
+    not fragmentation). *)
+
+(** Incremental decoder for byte-stream transports: bytes may arrive in
+    any fragmentation — half a frame, three frames at once — and [feed]
+    returns each frame exactly once, in order, as soon as its last byte
+    is in. *)
+module Decoder : sig
+  type dec
+
+  val create : unit -> dec
+
+  val feed : dec -> ?off:int -> ?len:int -> Bytes.t -> t list
+  (** Append [len] bytes of [b] starting at [off] (defaults: the whole
+      buffer) and return every newly completed frame.  Bytes that cannot
+      start a frame (bad magic) are skipped and counted. *)
+
+  val skipped : dec -> int
+  (** Total garbage bytes discarded while resynchronizing. *)
+
+  val pending : dec -> int
+  (** Bytes buffered awaiting the rest of a frame. *)
+end

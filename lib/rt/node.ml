@@ -1,0 +1,149 @@
+open Setagree_util
+open Setagree_dsys
+open Setagree_fd
+open Setagree_core
+
+type config = {
+  pk : Protocol.packed;
+  params : Protocol.params;
+  timescale : float;
+  hb_period_s : float;
+  horizon_s : float;
+  linger_s : float;
+  sample_every_s : float;
+  accrual_window : int;
+  accrual_threshold : float;
+  accrual_min_samples : int;
+  crash_at_s : float option;
+}
+
+type result = {
+  r_pid : Pid.t;
+  r_crashed_at_s : float option;
+  r_decisions : (Pid.t * int * int * float) list;
+  r_history : Qos.sample list;
+  r_counters : (string * int) list;
+  r_events : int;
+  r_end_s : float;
+}
+
+let run eps ~self cfg =
+  let p = cfg.params in
+  let (module P : Protocol.S) = cfg.pk in
+  let tp = Transport.attach eps ~self in
+  (* The local simulator never crashes anybody: real crashes are real
+     domain exits, observed only through silence.  Trace level is forced
+     to Default so own decisions are recorded regardless of params. *)
+  let sim =
+    Sim.create
+      ~horizon:((cfg.horizon_s *. cfg.timescale) +. 1.0)
+      ~trace_level:Trace.Default ~local:self ~n:p.n ~t:p.t ~seed:p.seed ()
+  in
+  Sim.set_router sim (fun ~tag ~src:_ ~dst bytes ->
+      Transport.send tp ~dst (Frame.Payload { tag; body = bytes }));
+  let acc =
+    Accrual.create ~window:cfg.accrual_window ~threshold:cfg.accrual_threshold
+      ~min_samples:cfg.accrual_min_samples ~timeout_initial:(4.0 *. cfg.hb_period_s)
+      ~timeout_cap:(25.0 *. cfg.hb_period_s)
+      ~rng:(Rng.split_named (Sim.rng sim) "rt:accrual")
+      ~self ~n:p.n ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let now_s () = Unix.gettimeofday () -. t0 in
+  Oracle.set_external
+    (Some
+       {
+         (* Oracle reads for other pids can occur (protocol-internal
+            monitors poll every process); only self's reads are backed by
+            the extraction — remote placeholders are never sampled. *)
+         Oracle.ext_suspected =
+           (fun i ->
+             if i = self then Accrual.suspected acc ~now:(now_s ()) else Pidset.empty);
+         ext_trusted =
+           (fun ~z i ->
+             if i = self then Accrual.trusted acc ~z ~now:(now_s ())
+             else Pidset.add i Pidset.empty);
+         ext_query =
+           (fun ~y i x ->
+             if i = self then Accrual.query acc ~t_bound:p.t ~y x ~now:(now_s ())
+             else Pidset.cardinal x <= p.t - y);
+       });
+  let finish crashed_at =
+    Oracle.set_external None;
+    crashed_at
+  in
+  let st = P.install sim p in
+  ignore (st : P.t);
+  let tick_s = Float.min (cfg.hb_period_s /. 2.0) 0.002 in
+  let next_hb = ref 0.0 in
+  let next_sample = ref cfg.sample_every_s in
+  let history = ref [] in
+  let decided_at = ref None in
+  let events = ref 0 in
+  let running = ref true in
+  let crashed_at = ref None in
+  while !running do
+    let now = now_s () in
+    match cfg.crash_at_s with
+    | Some c when now >= c ->
+        (* Real crash: stop everything, silently.  The socket stays open
+           (the orchestrator closes endpoints after the join) so peers
+           see pure silence, not errors. *)
+        crashed_at := Some now;
+        running := false
+    | _ ->
+        if now >= !next_hb then begin
+          for j = 0 to p.n - 1 do
+            if j <> self then Transport.send tp ~dst:j Frame.Heartbeat
+          done;
+          next_hb := now +. cfg.hb_period_s
+        end;
+        Transport.poll tp (fun ~src kind ->
+            (* Any frame is evidence of life, not just heartbeats. *)
+            Accrual.heartbeat acc src ~now:(now_s ());
+            match kind with
+            | Frame.Heartbeat -> ()
+            | Frame.Payload { tag; body } -> (
+                match Sim.inlet sim ~tag with
+                | Some inject -> inject ~src ~bytes:body
+                | None -> ()));
+        events := !events + Sim.advance sim ~upto:(now *. cfg.timescale);
+        if now >= !next_sample then begin
+          history :=
+            {
+              Qos.s_time = now;
+              s_suspected = Accrual.suspected acc ~now;
+              s_trusted = Accrual.trusted acc ~z:p.z ~now;
+            }
+            :: !history;
+          next_sample := now +. cfg.sample_every_s
+        end;
+        (match !decided_at with
+        | None ->
+            if
+              cfg.crash_at_s = None
+              && List.exists (fun (pid, _, _, _) -> pid = self)
+                   (Trace.decisions (Sim.trace sim))
+            then decided_at := Some now
+        | Some d -> if now -. d >= cfg.linger_s then running := false);
+        if now >= cfg.horizon_s then running := false;
+        if !running then Unix.sleepf tick_s
+  done;
+  let crashed_at = finish !crashed_at in
+  let decisions =
+    List.filter_map
+      (fun (pid, v, round, vt) ->
+        if pid = self then Some (pid, v, round, vt /. cfg.timescale) else None)
+      (Trace.decisions (Sim.trace sim))
+  in
+  {
+    r_pid = self;
+    r_crashed_at_s = crashed_at;
+    r_decisions = decisions;
+    r_history = List.rev !history;
+    r_counters =
+      Transport.counters tp
+      @ [ ("rt.false_suspicions", Accrual.false_suspicions acc) ];
+    r_events = !events;
+    r_end_s = now_s ();
+  }

@@ -1,0 +1,55 @@
+(** One runtime node: an OCaml domain driving one process of the
+    deployment.
+
+    The node owns a {e local} simulator ({!Setagree_dsys.Sim.create}
+    with [~local:self]) on which the unchanged protocol [install] code
+    runs: fibers for other pids are discarded, outbound sends leave
+    through the transport (router hook), inbound datagrams re-enter
+    through the per-tag inlets.  Virtual time is slaved to the wall
+    clock — each tick calls [Sim.advance ~upto:(elapsed * timescale)] —
+    so protocol sleeps and delays become real milliseconds.
+
+    The oracle reads the protocol makes are served by an {!Accrual}
+    detector fed from heartbeat timing (installed as the domain's
+    {!Setagree_fd.Oracle.set_external} source); the node samples that
+    detector's suspected/trusted outputs on a fixed cadence and brings
+    the history home for {!Setagree_fd.Check} and {!Qos}.
+
+    A node with [crash_at_s] set {e actually dies}: the domain stops
+    sending, receiving and stepping at that wall time and returns — a
+    real silent crash, detected by the other nodes' accrual detectors
+    with no shared ground truth. *)
+
+open Setagree_util
+open Setagree_core
+
+type config = {
+  pk : Protocol.packed;
+  params : Protocol.params;
+  timescale : float;  (** virtual units per wall second *)
+  hb_period_s : float;
+  horizon_s : float;  (** wall-clock budget *)
+  linger_s : float;
+      (** keep relaying/heartbeating/sampling this long after own
+          decision, so slower peers finish and crash detection completes *)
+  sample_every_s : float;  (** FD-history sampling cadence *)
+  accrual_window : int;
+  accrual_threshold : float;
+  accrual_min_samples : int;
+  crash_at_s : float option;  (** this node's own real crash, if any *)
+}
+
+type result = {
+  r_pid : Pid.t;
+  r_crashed_at_s : float option;  (** actual wall time the node died *)
+  r_decisions : (Pid.t * int * int * float) list;
+      (** own decisions, wall-stamped (virtual time / timescale) *)
+  r_history : Qos.sample list;  (** chronological FD samples *)
+  r_counters : (string * int) list;  (** transport [rt.*] + node counters *)
+  r_events : int;  (** local simulator events processed *)
+  r_end_s : float;  (** wall time the node stopped *)
+}
+
+val run : Transport.endpoints -> self:Pid.t -> config -> result
+(** Body of [Domain.spawn].  Never raises on transport errors; protocol
+    exceptions propagate (a broken protocol should fail the run). *)

@@ -1,0 +1,130 @@
+open Setagree_util
+open Setagree_fd
+
+type sample = { s_time : float; s_suspected : Pidset.t; s_trusted : Pidset.t }
+
+type report = {
+  detection_time_s : float option;
+  undetected : int;
+  mistake_rate_hz : float;
+  mistake_duration_s : float option;
+  query_accuracy : float;
+  observers : int;
+  samples : int;
+}
+
+let crashed_by (g : Check.ground) time =
+  List.fold_left
+    (fun acc (p, tm) -> if tm <= time then Pidset.add p acc else acc)
+    Pidset.empty g.Check.g_crashes
+
+(* First sample time from which [subject] is suspected in every later
+   sample (stable suspicion), or None. *)
+let stable_from samples subject =
+  List.fold_left
+    (fun acc s ->
+      if Pidset.mem subject s.s_suspected then
+        match acc with Some _ -> acc | None -> Some s.s_time
+      else None)
+    None samples
+
+let compute ~(ground : Check.ground) histories =
+  let g = ground in
+  let obs =
+    List.filter (fun (i, s) -> Pidset.mem i g.Check.g_correct && s <> []) histories
+  in
+  let detections = ref [] in
+  let undetected = ref 0 in
+  let mistakes = ref [] in
+  let pair_seconds = ref 0.0 in
+  let safe_samples = ref 0 in
+  let total_samples = ref 0 in
+  List.iter
+    (fun ((observer : Pid.t), samples) ->
+      let h_end = List.fold_left (fun acc s -> Float.max acc s.s_time) 0.0 samples in
+      let h_start = List.fold_left (fun acc s -> Float.min acc s.s_time) h_end samples in
+      (* detection per crashed subject *)
+      List.iter
+        (fun (subject, crash_time) ->
+          if subject <> observer && crash_time <= h_end then
+            match stable_from samples subject with
+            | Some tm -> detections := Float.max 0.0 (tm -. crash_time) :: !detections
+            | None ->
+                incr undetected;
+                detections := Float.max 0.0 (h_end -. crash_time) :: !detections)
+        g.Check.g_crashes;
+      (* mistakes: maximal runs of samples where a then-live subject is
+         suspected.  Interval length is measured sample-to-sample; an open
+         run at the end of the history closes at [h_end]. *)
+      for subject = 0 to g.Check.g_n - 1 do
+        if subject <> observer then begin
+          pair_seconds := !pair_seconds +. (h_end -. h_start);
+          let open_at = ref None in
+          List.iter
+            (fun s ->
+              let live = not (Pidset.mem subject (crashed_by g s.s_time)) in
+              let sus = Pidset.mem subject s.s_suspected in
+              match (!open_at, live && sus) with
+              | None, true -> open_at := Some s.s_time
+              | Some t0, false ->
+                  mistakes := (s.s_time -. t0) :: !mistakes;
+                  open_at := None
+              | _ -> ())
+            samples;
+          match !open_at with
+          | Some t0 -> mistakes := (h_end -. t0) :: !mistakes
+          | None -> ()
+        end
+      done;
+      (* query accuracy: a sample is safe when nothing live is suspected *)
+      List.iter
+        (fun s ->
+          incr total_samples;
+          if Pidset.subset s.s_suspected (crashed_by g s.s_time) then incr safe_samples)
+        samples)
+    obs;
+  let mean = function
+    | [] -> None
+    | xs -> Some (List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs))
+  in
+  {
+    detection_time_s = mean !detections;
+    undetected = !undetected;
+    mistake_rate_hz =
+      (if !pair_seconds > 0.0 then float_of_int (List.length !mistakes) /. !pair_seconds
+       else 0.0);
+    mistake_duration_s = mean !mistakes;
+    query_accuracy =
+      (if !total_samples = 0 then 1.0
+       else float_of_int !safe_samples /. float_of_int !total_samples);
+    observers = List.length obs;
+    samples = !total_samples;
+  }
+
+let to_metrics r =
+  List.concat
+    [
+      (match r.detection_time_s with
+      | Some v -> [ ("qos.detection_time_s", v) ]
+      | None -> []);
+      [ ("qos.undetected", float_of_int r.undetected) ];
+      [ ("qos.mistake_rate_hz", r.mistake_rate_hz) ];
+      (match r.mistake_duration_s with
+      | Some v -> [ ("qos.mistake_duration_s", v) ]
+      | None -> []);
+      [ ("qos.query_accuracy", r.query_accuracy) ];
+      [ ("qos.observers", float_of_int r.observers) ];
+      [ ("qos.samples", float_of_int r.samples) ];
+    ]
+
+let record m r =
+  (match r.detection_time_s with
+  | Some v -> Metrics.observe m "qos.detection_time_s" v
+  | None -> ());
+  (match r.mistake_duration_s with
+  | Some v -> Metrics.observe m "qos.mistake_duration_s" v
+  | None -> ());
+  Metrics.incr m ~by:r.undetected "qos.undetected";
+  Metrics.incr m ~by:r.samples "qos.samples";
+  Metrics.set_gauge m "qos.mistake_rate_hz" r.mistake_rate_hz;
+  Metrics.set_gauge m "qos.query_accuracy" r.query_accuracy

@@ -1,0 +1,45 @@
+(** QoS metrics for recorded failure-detector histories (Chen/Toueg/
+    Aguilera's primary metrics, adapted to sampled histories).
+
+    Inputs are the per-observer chronological samples each node brought
+    home plus the run's ground truth ({!Setagree_fd.Check.ground}); all
+    times are wall seconds.  Per (correct observer, subject) pair:
+
+    - {e detection time}: crash time to the first sample from which the
+      subject stays suspected to the end of the observer's history;
+      undetected crashes are counted separately and penalized with the
+      observer's remaining window.
+    - {e mistakes}: maximal sample intervals during which a then-live
+      subject is suspected; their count yields the mistake rate (per
+      observer-pair second), their lengths the average mistake duration.
+    - {e query accuracy}: fraction of samples whose suspected set
+      contains no then-live process — the probability that a φ_y-style
+      "is this region dead" extraction answers safely. *)
+
+open Setagree_util
+open Setagree_fd
+
+type sample = { s_time : float; s_suspected : Pidset.t; s_trusted : Pidset.t }
+
+type report = {
+  detection_time_s : float option;  (** mean over detected crashes *)
+  undetected : int;  (** (observer, crash) pairs never stably suspected *)
+  mistake_rate_hz : float;  (** false-suspicion intervals per pair-second *)
+  mistake_duration_s : float option;  (** mean length of those intervals *)
+  query_accuracy : float;  (** fraction of safe samples; 1.0 when no samples *)
+  observers : int;
+  samples : int;
+}
+
+val compute : ground:Check.ground -> (Pid.t * sample list) list -> report
+(** Observers not in [ground.g_correct] are ignored (a crashed node's
+    partial history carries no obligation). *)
+
+val to_metrics : report -> (string * float) list
+(** [qos.*] key-value pairs, ready for a metrics registry or a summary
+    table.  Optional means are omitted when undefined. *)
+
+val record : Metrics.t -> report -> unit
+(** Observe the report into a registry: histograms for the means
+    ([qos.detection_time_s], [qos.mistake_duration_s]), gauges for rates
+    and accuracy, counters for totals. *)

@@ -1,0 +1,151 @@
+open Setagree_util
+
+type chan_link = { mu : Mutex.t; q : Bytes.t Queue.t }
+
+type endpoints =
+  | Udp of { socks : Unix.file_descr array; addrs : Unix.sockaddr array }
+  | Chan of { links : chan_link array array (* links.(src).(dst) *) }
+
+let udp ~n =
+  let socks =
+    Array.init n (fun _ ->
+        let s = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+        Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        Unix.set_nonblock s;
+        s)
+  in
+  let addrs = Array.map Unix.getsockname socks in
+  Udp { socks; addrs }
+
+let chan ~n =
+  Chan
+    {
+      links =
+        Array.init n (fun _ ->
+            Array.init n (fun _ -> { mu = Mutex.create (); q = Queue.create () }));
+    }
+
+let n = function
+  | Udp { socks; _ } -> Array.length socks
+  | Chan { links } -> Array.length links
+
+let close = function
+  | Udp { socks; _ } -> Array.iter (fun s -> try Unix.close s with Unix.Unix_error _ -> ()) socks
+  | Chan _ -> ()
+
+type stats = {
+  mutable sent : int;
+  mutable received : int;
+  mutable bytes_out : int;
+  mutable bytes_in : int;
+  mutable dup_drops : int;
+  mutable send_errors : int;
+}
+
+type t = {
+  eps : endpoints;
+  self : Pid.t;
+  next_seq : int array; (* per dst *)
+  seen : (int, unit) Hashtbl.t array; (* per src: delivered seqs *)
+  decoders : Frame.Decoder.dec array; (* per src, chan streams only *)
+  recv_buf : Bytes.t;
+  st : stats;
+}
+
+let attach eps ~self =
+  let nn = n eps in
+  if self < 0 || self >= nn then invalid_arg "Transport.attach: self out of range";
+  {
+    eps;
+    self;
+    next_seq = Array.make nn 0;
+    seen = Array.init nn (fun _ -> Hashtbl.create 64);
+    decoders = Array.init nn (fun _ -> Frame.Decoder.create ());
+    recv_buf = Bytes.create 65536;
+    st = { sent = 0; received = 0; bytes_out = 0; bytes_in = 0; dup_drops = 0; send_errors = 0 };
+  }
+
+let send t ~dst kind =
+  let nn = n t.eps in
+  if dst < 0 || dst >= nn then invalid_arg "Transport.send: dst out of range";
+  let seq = t.next_seq.(dst) in
+  t.next_seq.(dst) <- seq + 1;
+  let b = Frame.encode { src = t.self; dst; seq; kind } in
+  let len = Bytes.length b in
+  (match t.eps with
+  | Udp { socks; addrs } -> (
+      try
+        ignore (Unix.sendto socks.(t.self) b 0 len [] addrs.(dst));
+        t.st.sent <- t.st.sent + 1;
+        t.st.bytes_out <- t.st.bytes_out + len
+      with Unix.Unix_error _ -> t.st.send_errors <- t.st.send_errors + 1)
+  | Chan { links } ->
+      let link = links.(t.self).(dst) in
+      Mutex.lock link.mu;
+      (* Split larger frames in two so stream reassembly is genuinely
+         exercised; the split point wanders with the sequence number. *)
+      if len > 16 then begin
+        let cut = 8 + (seq mod (len - 15)) in
+        Queue.push (Bytes.sub b 0 cut) link.q;
+        Queue.push (Bytes.sub b cut (len - cut)) link.q
+      end
+      else Queue.push b link.q;
+      Mutex.unlock link.mu;
+      t.st.sent <- t.st.sent + 1;
+      t.st.bytes_out <- t.st.bytes_out + len)
+
+let deliver t f (fr : Frame.t) =
+  if fr.dst = t.self then begin
+    let tbl = t.seen.(fr.src) in
+    if Hashtbl.mem tbl fr.seq then t.st.dup_drops <- t.st.dup_drops + 1
+    else begin
+      Hashtbl.replace tbl fr.seq ();
+      t.st.received <- t.st.received + 1;
+      f ~src:fr.src fr.kind
+    end
+  end
+
+let poll t f =
+  match t.eps with
+  | Udp { socks; _ } ->
+      let continue_loop = ref true in
+      while !continue_loop do
+        match Unix.recvfrom socks.(t.self) t.recv_buf 0 (Bytes.length t.recv_buf) [] with
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            continue_loop := false
+        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+            (* Linux reports a peer's closed port on the next recv; ignore. *)
+            ()
+        | 0, _ -> continue_loop := false
+        | len, _ ->
+            t.st.bytes_in <- t.st.bytes_in + len;
+            List.iter (deliver t f) (Frame.decode_packet t.recv_buf ~len)
+      done
+  | Chan { links } ->
+      let nn = Array.length links in
+      for src = 0 to nn - 1 do
+        let link = links.(src).(t.self) in
+        let chunks = ref [] in
+        Mutex.lock link.mu;
+        while not (Queue.is_empty link.q) do
+          chunks := Queue.pop link.q :: !chunks
+        done;
+        Mutex.unlock link.mu;
+        List.iter
+          (fun chunk ->
+            t.st.bytes_in <- t.st.bytes_in + Bytes.length chunk;
+            List.iter (deliver t f) (Frame.Decoder.feed t.decoders.(src) chunk))
+          (List.rev !chunks)
+      done
+
+let counters t =
+  let resync = Array.fold_left (fun acc d -> acc + Frame.Decoder.skipped d) 0 t.decoders in
+  [
+    ("rt.sent", t.st.sent);
+    ("rt.received", t.st.received);
+    ("rt.bytes_out", t.st.bytes_out);
+    ("rt.bytes_in", t.st.bytes_in);
+    ("rt.dup_drops", t.st.dup_drops);
+    ("rt.send_errors", t.st.send_errors);
+    ("rt.resync_bytes", resync);
+  ]

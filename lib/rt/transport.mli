@@ -1,0 +1,51 @@
+(** Datagram transports for runtime nodes.
+
+    An {!endpoints} value is the shared wiring for an [n]-node run,
+    created once by the orchestrator before spawning domains; each domain
+    then {!attach}es as one pid and gets a private handle for sending and
+    polling.  Two transports implement the same surface:
+
+    - [udp]: one UDP socket per node bound to [127.0.0.1:0] (the kernel
+      picks free ports), non-blocking; real loopback datagrams, so the
+      run is subject to genuine OS scheduling and (under pressure)
+      genuine loss.
+    - [chan]: in-process per-(src, dst) byte queues under mutexes; loss-
+      free and port-free, the CI fallback.  Bytes are deliberately
+      re-chunked on delivery to exercise {!Frame.Decoder} reassembly.
+
+    Duplicate suppression is per-(src, dst) via the frame sequence
+    numbers; counters come back through {!counters} as [rt.*] metrics. *)
+
+open Setagree_util
+
+type endpoints
+
+val udp : n:int -> endpoints
+(** @raise Unix.Unix_error when sockets cannot be created or bound. *)
+
+val chan : n:int -> endpoints
+
+val n : endpoints -> int
+val close : endpoints -> unit
+(** Close sockets (no-op for [chan]).  Call once, after all domains
+    attached to these endpoints have been joined. *)
+
+type t
+
+val attach : endpoints -> self:Pid.t -> t
+(** One attach per pid per run; handles are domain-private. *)
+
+val send : t -> dst:Pid.t -> Frame.kind -> unit
+(** Frame and transmit.  Best-effort on [udp]: transient send errors
+    (full buffers, unreachable port) drop the datagram and bump
+    [rt.send_errors] — exactly the fair-lossy link the detector layer is
+    built to live on. *)
+
+val poll : t -> (src:Pid.t -> Frame.kind -> unit) -> unit
+(** Drain everything currently receivable, invoking the callback per
+    fresh frame in arrival order.  Misaddressed frames and duplicates
+    (seen (src, seq)) are dropped and counted; never blocks. *)
+
+val counters : t -> (string * int) list
+(** [rt.sent], [rt.received], [rt.bytes_out], [rt.bytes_in],
+    [rt.dup_drops], [rt.send_errors], [rt.resync_bytes]. *)

@@ -305,6 +305,36 @@ let test_timeout_backoff_capped () =
   check "bumps counted" true (Timeout.bumps t 0 1 >= 2);
   check "false suspicions counted" true (Timeout.false_suspicions t = 6)
 
+(* Timeout jitter must come from a private named split, not the shared
+   stream: attaching runtime-style instrumentation (a Timeout on the
+   simulator's root RNG, exercised before the protocol installs) must
+   leave a fault-free run byte-identical.  Before the split, the jitter
+   draws advanced the caller's stream and every substrate child created
+   afterwards — delays, schedules, decisions — silently shifted. *)
+let kset_observables ~instrument () =
+  let sim = Sim.create ~horizon:400.0 ~n:6 ~t:2 ~seed:11 () in
+  Sim.install_crashes sim [ (4, 12.0) ];
+  if instrument then begin
+    let tm = Timeout.create ~rng:(Sim.rng sim) ~n:6 () in
+    ignore (Timeout.expired tm 0 1 ~now:10.0);
+    (* gap 10 > initial threshold 3: a false suspicion, so [heard] backs
+       off the threshold and draws jitter. *)
+    Timeout.heard tm 0 1 ~now:10.0;
+    Timeout.heard tm 0 1 ~now:30.0
+  end;
+  let omega, _ = Oracle.omega_z sim ~z:1 ~behavior:(Behavior.stormy ~gst:40.0) () in
+  let proposals = Array.init 6 (fun i -> 100 + i) in
+  let h = Kset.install sim ~omega ~proposals () in
+  let outcome = Sim.run ~stop_when:(fun () -> Kset.all_correct_decided h) sim in
+  (Kset.decisions h, outcome.Sim.end_time, outcome.Sim.events)
+
+let test_timeout_rng_insulated () =
+  let base_decisions, base_end, base_events = kset_observables ~instrument:false () in
+  let ins_decisions, ins_end, ins_events = kset_observables ~instrument:true () in
+  check "same decisions" true (base_decisions = ins_decisions);
+  check "same end time" true (base_end = ins_end);
+  check "same event count" true (base_events = ins_events)
+
 (* --- protocol integration: partition heals, kset still decides --- *)
 
 let run_with_faults name ?(seed = 3) faults =
@@ -460,6 +490,8 @@ let () =
         [
           Alcotest.test_case "stall then re-trust" `Quick test_stall_then_retrust;
           Alcotest.test_case "backoff capped" `Quick test_timeout_backoff_capped;
+          Alcotest.test_case "jitter rng insulated (byte-identical run)" `Quick
+            test_timeout_rng_insulated;
         ] );
       ( "integration",
         [
