@@ -39,6 +39,18 @@ let b_pqueue =
            ignore (Pqueue.pop q)
          done))
 
+let b_earena =
+  Test.make ~name:"earena add/pop x100 (steady state)"
+    (Staged.stage
+       (let a = Earena.create ~initial:128 () in
+        fun () ->
+          for i = 0 to 99 do
+            ignore (Earena.add a ~time:(float_of_int ((i * 7919) mod 100)) ~kind:0 ~arg:i)
+          done;
+          while not (Earena.is_empty a) do
+            ignore (Earena.pop a)
+          done))
+
 let b_pidset =
   Test.make ~name:"pidset algebra x100"
     (Staged.stage (fun () ->
@@ -67,7 +79,7 @@ let b_consensus =
 
 let tests =
   Test.make_grouped ~name:"micro"
-    [ b_ring_next; b_combi_unrank; b_pqueue; b_pidset; b_rbcast; b_consensus ]
+    [ b_ring_next; b_combi_unrank; b_pqueue; b_earena; b_pidset; b_rbcast; b_consensus ]
 
 let run () =
   print_newline ();

@@ -54,6 +54,14 @@ let legacy_poll_arg =
           "Use the legacy scheduler that re-evaluates every blocked predicate after \
            every event (differential baseline; same executions, more work).")
 
+let legacy_queue_arg =
+  Arg.(
+    value & flag
+    & info [ "legacy-queue" ]
+        ~doc:
+          "Use the legacy closure-per-event queue instead of the flat event arena \
+           (differential baseline; same executions, more allocation).")
+
 let setup ?(legacy_poll = false) ~n ~t ~seed ~crashes ~horizon () =
   let sim = Sim.create ~horizon ~legacy_poll ~n ~t ~seed () in
   let rng = Rng.split_named (Sim.rng sim) "crash" in
@@ -148,8 +156,8 @@ let rt_cfg_of (p : Protocol.params) =
     timescale = fenv "FDKIT_RT_TIMESCALE" base.Rt_run.timescale;
   }
 
-let mk_params n t seed crashes gst horizon z k x y legacy_poll adversarial variant
-    trace faults backend =
+let mk_params n t seed crashes gst horizon z k x y legacy_poll legacy_queue
+    adversarial variant trace faults backend =
   {
     Protocol.n;
     t;
@@ -165,6 +173,7 @@ let mk_params n t seed crashes gst horizon z k x y legacy_poll adversarial varia
        else Crash.Exactly { crashes = min crashes t; window = (0.0, 20.0) });
     faults;
     legacy_poll;
+    legacy_queue;
     adversarial;
     variant;
     trace;
@@ -199,7 +208,8 @@ let params_term ?(default_z = 1) ?(default_k = 1) ?(default_x = 2) ?(default_y =
   in
   Term.(
     const mk_params $ n_arg $ t_arg $ seed_arg $ crashes_arg $ gst_arg $ horizon_arg
-    $ z_arg $ k_arg $ x_arg $ y_arg $ legacy_poll_arg $ adversarial_arg $ variant_arg
+    $ z_arg $ k_arg $ x_arg $ y_arg $ legacy_poll_arg $ legacy_queue_arg
+    $ adversarial_arg $ variant_arg
     $ trace_arg $ faults_arg $ backend_arg)
 
 let registry_doc () =
@@ -390,7 +400,8 @@ let replay_command family (p : Protocol.params) =
     family p.Protocol.n p.Protocol.t p.Protocol.z p.Protocol.k p.Protocol.x p.Protocol.y
     (crashes_count p.Protocol.crashes)
     p.Protocol.gst p.Protocol.horizon p.Protocol.variant p.Protocol.seed
-    (if p.Protocol.legacy_poll then " --legacy-poll" else "")
+    ((if p.Protocol.legacy_poll then " --legacy-poll" else "")
+    ^ (if p.Protocol.legacy_queue then " --legacy-queue" else ""))
     (if p.Protocol.adversarial then " --adversarial" else "")
 
 (* Fault/runtime counter totals for the summary tables.  [Protocol.run]

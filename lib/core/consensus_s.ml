@@ -12,14 +12,16 @@ type t = {
   net : msg Net.t;
   rb : int Rbcast.t;
   decided_at : (int * int * float) option array;
+  mutable decided_set : Pidset.t; (* pids with [decided_at <> None] *)
   round_of : int array;
   mutable max_round : int;
 }
 
 let decided t pid = Option.map (fun (v, r, _) -> (v, r)) t.decided_at.(pid)
 
+(* Per-event stop condition: word-wise subset over shared pidsets. *)
 let all_correct_decided t =
-  Pidset.for_all (fun i -> t.decided_at.(i) <> None) (Sim.correct_set t.sim)
+  Pidset.subset (Sim.correct_set t.sim) t.decided_set
 
 let decisions t =
   let ds = ref [] in
@@ -49,6 +51,7 @@ let install sim ~(suspector : Iface.suspector) ~proposals ?(delay = Delay.defaul
       net;
       rb;
       decided_at = Array.make n None;
+      decided_set = Pidset.empty;
       round_of = Array.make n 0;
       max_round = 0;
     }
@@ -57,6 +60,7 @@ let install sim ~(suspector : Iface.suspector) ~proposals ?(delay = Delay.defaul
       if t.decided_at.(pid) = None then begin
         let round = t.round_of.(pid) in
         t.decided_at.(pid) <- Some (d.body, round, Sim.now sim);
+        t.decided_set <- Pidset.add pid t.decided_set;
         Trace.record (Sim.trace sim) ~time:(Sim.now sim)
           (Trace.Decide { pid; value = d.body; round })
       end);
@@ -65,7 +69,11 @@ let install sim ~(suspector : Iface.suspector) ~proposals ?(delay = Delay.defaul
     let est = ref proposals.(i) in
     let r = ref 0 in
     let prev_s = ref None in
-    let decided_i () = t.decided_at.(i) <> None in
+    (* Match form: this runs in every blocked-predicate evaluation, where
+       [<> None] would be a polymorphic-compare call. *)
+    let decided_i () =
+      match t.decided_at.(i) with None -> false | Some _ -> true
+    in
     while not (decided_i ()) do
       incr r;
       let round = !r in
@@ -87,20 +95,25 @@ let install sim ~(suspector : Iface.suspector) ~proposals ?(delay = Delay.defaul
       (* Phase 1: the coordinator pushes its estimate; everyone adopts it
          as aux unless the coordinator becomes suspect first. *)
       if i = coord then Net.broadcast net ~src:i (Est { r = round; v = !est });
+      (* Re-evaluated per event while polling: fold the stored envelope
+         list in place (no [keyed_envs] copy; the coordinator broadcasts
+         at most one Est per round, so order is irrelevant). *)
       let est_from_coord () =
-        List.find_map
-          (fun (e : msg Net.envelope) ->
-            match e.payload with
-            | Est { v; _ } when e.src = coord -> Some v
-            | Est _ | Aux _ -> None)
-          (Net.keyed_envs net i (key_est round))
+        Net.keyed_fold net i (key_est round) ~init:None
+          ~f:(fun acc (e : msg Net.envelope) ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+                match e.payload with
+                | Est { v; _ } when e.src = coord -> Some v
+                | Est _ | Aux _ -> None))
       in
       (* Reads the suspector's output (clock-derived): poll cadence. *)
       Sim.Cond.await
         [ Sim.Cond.poll sim ]
         (fun () ->
           decided_i ()
-          || est_from_coord () <> None
+          || Option.is_some (est_from_coord ())
           || Pidset.mem coord (suspector.Iface.suspected i));
       if not (decided_i ()) then begin
         let aux = est_from_coord () in
@@ -108,29 +121,36 @@ let install sim ~(suspector : Iface.suspector) ~proposals ?(delay = Delay.defaul
            intersect (t < n/2), which is what makes a decision in this
            round sticky in all later rounds. *)
         Net.broadcast net ~src:i (Aux { r = round; aux });
-        (* Quorum wait: woken only by deliveries to i or its decision. *)
+        (* Quorum wait: woken only at the AUX threshold crossing or by the
+           R-delivery that decides i. *)
         Sim.Cond.await
-          [ Net.cond net i; Rbcast.cond rb i ]
+          [ Net.quorum_cond net i ~key:(key_aux round) ~q:(n - tb); Rbcast.cond rb i ]
           (fun () ->
             decided_i ()
-            || Pidset.cardinal (Net.keyed_senders net i (key_aux round)) >= n - tb);
+            || Net.keyed_nsenders net i (key_aux round) >= n - tb);
         if not (decided_i ()) then begin
-          let recs =
-            List.map
-              (fun (e : msg Net.envelope) ->
+          let saw_bot = ref false in
+          let raw =
+            Net.keyed_fold net i (key_aux round) ~init:[]
+              ~f:(fun acc (e : msg Net.envelope) ->
                 match e.payload with
-                | Aux { aux; _ } -> aux
+                | Aux { aux = Some v; _ } -> v :: acc
+                | Aux { aux = None; _ } ->
+                    saw_bot := true;
+                    acc
                 | Est _ -> assert false)
-              (Net.keyed_envs net i (key_aux round))
           in
-          let vals = List.sort_uniq compare (List.filter_map Fun.id recs) in
-          let has_bot = List.mem None recs in
-          match (vals, has_bot) with
+          let vals = List.sort_uniq Int.compare raw in
+          match (vals, !saw_bot) with
           | [ v ], false -> Rbcast.broadcast rb ~src:i v
           | v :: _, _ -> est := v
           | [], _ -> ()
         end
       end;
+      (* Round r's aggregates are dead once the loop advances: retire them
+         so the live heap stays bounded by the round window. *)
+      Net.keyed_drop net i (key_est round);
+      Net.keyed_drop net i (key_aux round);
       if Trace.records_entries tr then
         Trace.end_span tr ~time:(Sim.now sim) (Trace.Round { pid = i; round })
     done

@@ -12,6 +12,7 @@ type t = {
   net : msg Net.t;
   rb : int Rbcast.t;
   decided_at : (int * int * float) option array; (* value, round, time *)
+  mutable decided_set : Pidset.t; (* pids with [decided_at <> None] *)
   round_of : int array;
   mutable max_round : int;
   (* Lemma 2 witness: per round, the distinct non-⊥ aux values any process
@@ -22,8 +23,10 @@ type t = {
 let decided t pid =
   Option.map (fun (v, r, _) -> (v, r)) t.decided_at.(pid)
 
+(* Evaluated after every event as a stop condition: one word-wise subset
+   test over two shared pidsets, no allocation, no per-process scan. *)
 let all_correct_decided t =
-  Pidset.for_all (fun i -> t.decided_at.(i) <> None) (Sim.correct_set t.sim)
+  Pidset.subset (Sim.correct_set t.sim) t.decided_set
 
 let decisions t =
   let ds = ref [] in
@@ -50,22 +53,23 @@ let record_aux t ~round = function
       if not (List.mem v cur) then Hashtbl.replace t.aux_per_round round (v :: cur)
 
 (* Find the leader set announced (in its PHASE1 of this round) by a strict
-   majority of distinct senders, if any; at most one set can qualify. *)
-let majority_leader_set envs ~n =
-  let counts : (Pidset.t * Pidset.t) list ref = ref [] (* lset, senders *) in
-  List.iter
-    (fun (e : msg Net.envelope) ->
+   majority of distinct senders, if any; at most one set can qualify.  Runs
+   on every phase-1 quorum wakeup, so the tallies are mutable cells scanned
+   in one pass (the distinct-lset list stays tiny: every process trusting
+   the same leaders is the common case). *)
+let majority_leader_set net ~i ~key ~n =
+  let counts : (Pidset.t * Pidset.t ref) list ref = ref [] in
+  Net.keyed_fold net i key ~init:()
+    ~f:(fun () (e : msg Net.envelope) ->
       match e.payload with
-      | Phase1 { lset; _ } ->
-          let senders =
-            match List.assoc_opt lset !counts with
-            | Some s -> Pidset.add e.src s
-            | None -> Pidset.singleton e.src
-          in
-          counts := (lset, senders) :: List.remove_assoc lset !counts
-      | Phase2 _ -> ())
-    envs;
-  List.find_opt (fun (_, senders) -> 2 * Pidset.cardinal senders > n) !counts
+      | Phase1 { lset; _ } -> (
+          match
+            List.find_opt (fun (l, _) -> Pidset.equal l lset) !counts
+          with
+          | Some (_, senders) -> senders := Pidset.add e.src !senders
+          | None -> counts := (lset, ref (Pidset.singleton e.src)) :: !counts)
+      | Phase2 _ -> ());
+  List.find_opt (fun (_, senders) -> 2 * Pidset.cardinal !senders > n) !counts
   |> Option.map fst
 
 type tie_break = Smallest | By_pid
@@ -99,6 +103,7 @@ let install sim ~omega ~proposals ?(delay = Delay.default) ?(step = 0.05)
       net;
       rb;
       decided_at = Array.make n None;
+      decided_set = Pidset.empty;
       round_of = Array.make n 0;
       max_round = 0;
       aux_per_round = Hashtbl.create 32;
@@ -109,6 +114,7 @@ let install sim ~omega ~proposals ?(delay = Delay.default) ?(step = 0.05)
       if t.decided_at.(pid) = None then begin
         let round = t.round_of.(pid) in
         t.decided_at.(pid) <- Some (d.body, round, Sim.now sim);
+        t.decided_set <- Pidset.add pid t.decided_set;
         Trace.record (Sim.trace sim) ~time:(Sim.now sim)
           (Trace.Decide { pid; value = d.body; round })
       end);
@@ -118,7 +124,11 @@ let install sim ~omega ~proposals ?(delay = Delay.default) ?(step = 0.05)
     let est = ref proposals.(i) in
     let r = ref 0 in
     let prev_l = ref None in
-    let decided_i () = t.decided_at.(i) <> None in
+    (* Match form: this runs in every blocked-predicate evaluation, where
+       [<> None] would be a polymorphic-compare call. *)
+    let decided_i () =
+      match t.decided_at.(i) with None -> false | Some _ -> true
+    in
     while not (decided_i ()) do
       incr r;
       let round = !r in
@@ -139,40 +149,39 @@ let install sim ~omega ~proposals ?(delay = Delay.default) ?(step = 0.05)
              { pid = i; kind = "omega"; value = Pidset.to_string l_i });
       prev_l := Some l_i;
       Net.broadcast net ~src:i (Phase1 { r = round; lset = l_i; est = !est });
-      (* Quorum wait: state only changes on a delivery to i (PHASE1 count)
-         or an R-delivery to i (decision), so subscribe exactly those. *)
+      (* Quorum wait: the predicate can only become true when the PHASE1
+         distinct-sender count crosses n-t or an R-delivery decides i, so
+         subscribe the threshold watch (woken once, at the crossing) and
+         the rbcast condition — not the per-delivery net condition. *)
       Sim.Cond.await
-        [ Net.cond net i; Rbcast.cond rb i ]
+        [ Net.quorum_cond net i ~key:(key_p1 round) ~q:(n - tb); Rbcast.cond rb i ]
         (fun () ->
           decided_i ()
-          || Pidset.cardinal (Net.keyed_senders net i (key_p1 round)) >= n - tb);
+          || Net.keyed_nsenders net i (key_p1 round) >= n - tb);
       (* This wait also reads the oracle's output, a function of the clock:
          no substrate signals it, so it keeps the poll cadence. *)
       Sim.Cond.await
         [ Sim.Cond.poll sim ]
         (fun () ->
           decided_i ()
-          || (not
-                (Pidset.is_empty
-                   (Pidset.inter (Net.keyed_senders net i (key_p1 round)) l_i)))
+          || (not (Pidset.disjoint (Net.keyed_senders net i (key_p1 round)) l_i))
           || not (Pidset.equal (omega.Iface.trusted i) l_i));
       if not (decided_i ()) then begin
-        let p1s = Net.keyed_envs net i (key_p1 round) in
         let aux =
-          match majority_leader_set p1s ~n with
+          match majority_leader_set net ~i ~key:(key_p1 round) ~n with
           | None -> None
           | Some lset -> (
-              (* Estimate announced by a member of the majority leader set;
-                 smallest sender for determinism. *)
-              let from_l =
-                List.filter_map
-                  (fun (e : msg Net.envelope) ->
+              (* Estimates announced by members of the majority leader set,
+                 as a sorted value set; one fold, no intermediate pairs. *)
+              let ests =
+                Net.keyed_fold net i (key_p1 round) ~init:[]
+                  ~f:(fun acc (e : msg Net.envelope) ->
                     match e.payload with
-                    | Phase1 { est; _ } when Pidset.mem e.src lset -> Some (e.src, est)
-                    | _ -> None)
-                  p1s
+                    | Phase1 { est; _ } when Pidset.mem e.src lset ->
+                        est :: acc
+                    | _ -> acc)
               in
-              match List.sort_uniq compare (List.map snd from_l) with
+              match List.sort_uniq Int.compare ests with
               | [] -> None
               | vs -> Some (choose tie_break ~pid:i vs))
         in
@@ -180,22 +189,25 @@ let install sim ~omega ~proposals ?(delay = Delay.default) ?(step = 0.05)
         record_aux t ~round aux;
         Net.broadcast net ~src:i (Phase2 { r = round; aux });
         Sim.Cond.await
-          [ Net.cond net i; Rbcast.cond rb i ]
+          [ Net.quorum_cond net i ~key:(key_p2 round) ~q:(n - tb); Rbcast.cond rb i ]
           (fun () ->
             decided_i ()
-            || Pidset.cardinal (Net.keyed_senders net i (key_p2 round)) >= n - tb);
+            || Net.keyed_nsenders net i (key_p2 round) >= n - tb);
         if not (decided_i ()) then begin
-          let recs =
-            List.map
-              (fun (e : msg Net.envelope) ->
+          let saw_bot = ref false in
+          let vals =
+            Net.keyed_fold net i (key_p2 round) ~init:[]
+              ~f:(fun acc (e : msg Net.envelope) ->
                 match e.payload with
-                | Phase2 { aux; _ } -> aux
+                | Phase2 { aux = Some v; _ } -> v :: acc
+                | Phase2 { aux = None; _ } ->
+                    saw_bot := true;
+                    acc
                 | Phase1 _ -> assert false)
-              (Net.keyed_envs net i (key_p2 round))
           in
-          let non_bot = List.sort_uniq compare (List.filter_map Fun.id recs) in
+          let non_bot = List.sort_uniq Int.compare vals in
           (match non_bot with [] -> () | vs -> est := choose tie_break ~pid:i vs);
-          if not (List.mem None recs) then begin
+          if not !saw_bot then begin
             Rbcast.broadcast rb ~src:i !est;
             (* The local R-delivery above has already recorded the decision;
                the loop guard ends the task. *)
@@ -203,6 +215,11 @@ let install sim ~omega ~proposals ?(delay = Delay.default) ?(step = 0.05)
           else Sim.sleep step
         end
       end;
+      (* Nothing reads round r's aggregates once the loop advances (each
+         wait closes over its own round): retire them so the live heap
+         stays bounded by the round window, not the whole run. *)
+      Net.keyed_drop net i (key_p1 round);
+      Net.keyed_drop net i (key_p2 round);
       if Trace.records_entries tr then
         Trace.end_span tr ~time:(Sim.now sim) (Trace.Round { pid = i; round })
     done

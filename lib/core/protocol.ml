@@ -15,6 +15,7 @@ type params = {
   crashes : Crash.spec;
   faults : Faults.t;
   legacy_poll : bool;
+  legacy_queue : bool;
   adversarial : bool;
   variant : string;
   trace : string;
@@ -35,6 +36,7 @@ let default =
     crashes = Crash.Exactly { crashes = 2; window = (0.0, 20.0) };
     faults = Faults.none;
     legacy_poll = false;
+    legacy_queue = false;
     adversarial = false;
     variant = "es";
     trace = "default";
@@ -55,6 +57,7 @@ let params_to_json p =
     ("crashes", Crash.spec_to_json p.crashes);
     ("faults", Faults.to_json p.faults);
     ("legacy_poll", Json.Bool p.legacy_poll);
+    ("legacy_queue", Json.Bool p.legacy_queue);
     ("adversarial", Json.Bool p.adversarial);
     ("variant", Json.String p.variant);
     ("trace", Json.String p.trace);
@@ -104,6 +107,7 @@ let params_of_json fields =
     crashes;
     faults;
     legacy_poll = boolean "legacy_poll" default.legacy_poll;
+    legacy_queue = boolean "legacy_queue" default.legacy_queue;
     adversarial = boolean "adversarial" default.adversarial;
     variant = str "variant" default.variant;
     trace = str "trace" default.trace;
@@ -368,7 +372,7 @@ let make_sim (module P : S) p =
   let sim =
     Sim.create
       ~horizon:(resolve_horizon (module P) p)
-      ~legacy_poll:p.legacy_poll ~trace_level:(trace_level_of p) ~n:p.n ~t:p.t
+      ~legacy_poll:p.legacy_poll ~legacy_queue:p.legacy_queue ~trace_level:(trace_level_of p) ~n:p.n ~t:p.t
       ~seed:p.seed ()
   in
   let rng = Rng.split_named (Sim.rng sim) "crash" in

@@ -63,9 +63,11 @@ let none =
   }
 
 let is_none t =
-  t.links = [] && t.partitions = [] && t.stalls = []
-  && t.crashes = Crash.No_crashes
-  && t.adversary = ""
+  (match t.links with [] -> true | _ :: _ -> false)
+  && (match t.partitions with [] -> true | _ :: _ -> false)
+  && (match t.stalls with [] -> true | _ :: _ -> false)
+  && (match t.crashes with Crash.No_crashes -> true | _ -> false)
+  && String.equal t.adversary ""
 
 let link ?(src = []) ?(dst = []) ?(drop = 0.0) ?(dup = 0.0) ?(reorder = 0.0)
     ?(spread = 2.0) ?(inflate = 1.0) ~from ~until () =

@@ -36,6 +36,7 @@ val create :
   ?horizon:float ->
   ?max_events:int ->
   ?legacy_poll:bool ->
+  ?legacy_queue:bool ->
   ?trace_level:Trace.level ->
   ?local:Pid.t ->
   n:int ->
@@ -54,6 +55,13 @@ val create :
     scheduler.  It is a {b test-only escape hatch}: production code and the
     protocols never set it; it exists solely as the differential baseline
     that [test/test_sched.ml] compares the condition scheduler against.
+
+    [legacy_queue] (default [false]) routes fiber resumptions, tickers
+    and message deliveries through per-event closure thunks instead of
+    the flat event arena's kind-tagged dispatch, and disables delivery
+    batching in [Net] — the pre-arena engine.  Like [legacy_poll] it is a
+    {b test-only escape hatch}, the differential baseline pinning down
+    that the arena engine produces identical executions.
 
     [local] (default [None]) puts the simulator in {e real-runtime} mode:
     it models exactly one process of a distributed deployment.  {!spawn}
@@ -75,6 +83,10 @@ val horizon : t -> float
 
 val legacy_poll : t -> bool
 (** Whether this simulator runs the legacy re-poll-everything scheduler. *)
+
+val legacy_queue : t -> bool
+(** Whether this simulator runs the legacy closure-per-event queue (see
+    {!create}'s [legacy_queue]). *)
 
 (** {1 Real-runtime mode} *)
 
@@ -169,6 +181,10 @@ val faults : t -> Faults.t
 (** The attached specification; [Faults.none] unless {!set_faults} was
     called. *)
 
+val faults_none : t -> bool
+(** [Faults.is_none (faults t)] as a cached bool: the per-send fast-path
+    check, with the structural compares paid once in {!set_faults}. *)
+
 (** {1 Conditions} *)
 
 type cond
@@ -230,7 +246,30 @@ val at : t -> time:float -> (unit -> unit) -> unit
 val ticker : t -> every:float -> unit
 (** Install heartbeat events up to the horizon so that poll-subscribed
     predicates depending only on the clock (e.g. pull-based oracles) are
-    re-evaluated regularly. *)
+    re-evaluated regularly.  On the arena engine a ticker is a single
+    self-re-arming event carrying only its period id — zero allocation
+    per tick. *)
+
+(** {2 Batched dispatch (substrate internals)}
+
+    [Net] batches all envelopes bound for one destination mailbox at one
+    timestamp into a single event: it registers a dispatcher once, then
+    schedules [k_net] events whose integer argument encodes the
+    dispatcher id and a row index into the substrate's own flat store.
+    The returned slot id identifies the queued event so the substrate can
+    recognize it when it fires (and keep appending rows to its batch
+    until then).  These hooks are for substrate implementations; protocol
+    code never calls them. *)
+
+val register_dispatcher : t -> (int -> unit) -> int
+(** Register a dispatch function and return its id.  The function is
+    called with the [row] the event was scheduled with.  At most 64
+    dispatchers per simulator (the id is packed into 6 bits of the event
+    argument); raises [Invalid_argument] beyond that. *)
+
+val schedule_dispatch : t -> time:float -> disp:int -> row:int -> int
+(** Queue a dispatch event at an absolute time (>= now, else
+    [Invalid_argument]); returns the arena slot id of the queued event. *)
 
 (** {1 Choice-point control (schedule exploration)}
 

@@ -36,7 +36,7 @@ type timed = { time : float; entry : entry }
 type t = {
   lvl : level;
   log : timed Vec.t;
-  counters : (string, int) Hashtbl.t;
+  counters : (string, int ref) Hashtbl.t;
 }
 
 let create ?(level = Default) () =
@@ -59,15 +59,29 @@ let record t ~time entry =
 let begin_span t ~time sp = record t ~time (Begin sp)
 let end_span t ~time sp = record t ~time (End sp)
 
-let add_to t name k =
-  let cur = Option.value ~default:0 (Hashtbl.find_opt t.counters name) in
-  Hashtbl.replace t.counters name (cur + k)
+(* Counters live behind int refs so hot paths can hold a pre-resolved
+   handle (one hash at registration, O(1) bumps forever after) while the
+   name-keyed API keeps working on the same cells. *)
 
+type counter = int ref
+
+let counter_handle t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace t.counters name r;
+      r
+
+let bump (r : counter) k = r := !r + k
+let add_to t name k = bump (counter_handle t name) k
 let incr t name = add_to t name 1
-let counter t name = Option.value ~default:0 (Hashtbl.find_opt t.counters name)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 
 let counters t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters []
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let length t = Vec.length t.log

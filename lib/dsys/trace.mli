@@ -83,6 +83,17 @@ val incr : t -> string -> unit
 
 val add_to : t -> string -> int -> unit
 
+type counter
+(** Pre-resolved counter handle: the name is hashed once at
+    {!counter_handle} time; {!bump}s are O(1) with no string work.
+    Handles alias the named counter, so {!counter}/{!counters} read the
+    same cell regardless of how it was bumped. *)
+
+val counter_handle : t -> string -> counter
+(** Register (or look up) the named counter and return its handle. *)
+
+val bump : counter -> int -> unit
+
 val counter : t -> string -> int
 (** 0 when never bumped. *)
 

@@ -79,36 +79,54 @@ let pre_gst_suspects (b : Behavior.t) ~seed ~tag ~n ~i ~j ~e ~base =
 let suspector_of sim ~(behavior : Behavior.t) ~seed ~scope ~protected ~perpetual =
   let n = Sim.n sim in
   let b = behavior in
+  (* The per-reader output is a pure function of (epoch, pre/post-gst,
+     crashed set): all randomness is hashed from those coordinates, never
+     drawn from shared RNG state.  Oracle reads are far denser than epoch
+     ticks (every blocked-predicate evaluation reads the oracle), so a
+     one-entry-per-reader memo removes the O(n) suspect loop from the
+     scheduler's hot path without changing a single output. *)
+  let memo_e = Array.make n min_int in
+  let memo_pre = Array.make n false in
+  let memo_c = Array.make n Pidset.empty in
+  let memo_v = Array.make n Pidset.empty in
   let suspected i =
     if Sim.is_crashed sim i then Pidset.empty
     else begin
       let now = Sim.now sim in
       let crashed = Sim.crashed_set sim in
       let e = epoch_of b now in
-      let s = ref Pidset.empty in
-      for j = 0 to n - 1 do
-        if j <> i then begin
-          let base = Pidset.mem j crashed in
-          let member =
-            if now < b.gst then
-              pre_gst_suspects b ~seed ~tag:1 ~n ~i ~j ~e ~base
-            else
-              (* Completeness: crashed stay suspected.  Slack: unprotected
-                 correct processes may be slandered — [Slander_all] does so
-                 always, [Random]/[Rotating] per draw. *)
-              base
-              || (match b.strategy with
-                 | Behavior.Slander_all -> true
-                 | _ -> draw ~seed [ 2; i; j; e ] b.slander)
-          in
-          if member then s := Pidset.add j !s
-        end
-      done;
-      (* Limited-scope accuracy: members of Q never suspect the protected
-         process — always for the perpetual class, after gst for ◇. *)
-      if Pidset.mem i scope && (perpetual || now >= b.gst) then
-        s := Pidset.remove protected !s;
-      !s
+      let pre = now < b.gst in
+      if memo_e.(i) = e && memo_pre.(i) = pre && memo_c.(i) == crashed then
+        memo_v.(i)
+      else begin
+        let s = ref Pidset.empty in
+        for j = 0 to n - 1 do
+          if j <> i then begin
+            let base = Pidset.mem j crashed in
+            let member =
+              if pre then pre_gst_suspects b ~seed ~tag:1 ~n ~i ~j ~e ~base
+              else
+                (* Completeness: crashed stay suspected.  Slack: unprotected
+                   correct processes may be slandered — [Slander_all] does so
+                   always, [Random]/[Rotating] per draw. *)
+                base
+                || (match b.strategy with
+                   | Behavior.Slander_all -> true
+                   | _ -> draw ~seed [ 2; i; j; e ] b.slander)
+            in
+            if member then s := Pidset.add j !s
+          end
+        done;
+        (* Limited-scope accuracy: members of Q never suspect the protected
+           process — always for the perpetual class, after gst for ◇. *)
+        if Pidset.mem i scope && (perpetual || not pre) then
+          s := Pidset.remove protected !s;
+        memo_e.(i) <- e;
+        memo_pre.(i) <- pre;
+        memo_c.(i) <- crashed;
+        memo_v.(i) <- !s;
+        !s
+      end
     end
   in
   { Iface.suspected }
@@ -148,6 +166,11 @@ let eventually_p sim ?(behavior = Behavior.stormy ~gst:50.0) ?(seed = 0x5EED) ()
   | None ->
   let n = Sim.n sim in
   let b = behavior in
+  (* Same per-reader (epoch, crashed-set) memo as [suspector_of]; the
+     post-gst branch already returns the shared crashed set unmodified. *)
+  let memo_e = Array.make n min_int in
+  let memo_c = Array.make n Pidset.empty in
+  let memo_v = Array.make n Pidset.empty in
   let suspected i =
     if Sim.is_crashed sim i then Pidset.empty
     else begin
@@ -156,15 +179,21 @@ let eventually_p sim ?(behavior = Behavior.stormy ~gst:50.0) ?(seed = 0x5EED) ()
       if now >= b.gst then crashed
       else begin
         let e = epoch_of b now in
-        let s = ref Pidset.empty in
-        for j = 0 to n - 1 do
-          if j <> i then begin
-            let base = Pidset.mem j crashed in
-            if pre_gst_suspects b ~seed ~tag:3 ~n ~i ~j ~e ~base then
-              s := Pidset.add j !s
-          end
-        done;
-        !s
+        if memo_e.(i) = e && memo_c.(i) == crashed then memo_v.(i)
+        else begin
+          let s = ref Pidset.empty in
+          for j = 0 to n - 1 do
+            if j <> i then begin
+              let base = Pidset.mem j crashed in
+              if pre_gst_suspects b ~seed ~tag:3 ~n ~i ~j ~e ~base then
+                s := Pidset.add j !s
+            end
+          done;
+          memo_e.(i) <- e;
+          memo_c.(i) <- crashed;
+          memo_v.(i) <- !s;
+          !s
+        end
       end
     end
   in
@@ -189,6 +218,14 @@ let omega_z sim ~z ?(behavior = Behavior.stormy ~gst:50.0) ?(seed = 0x5EED) () =
     let chosen = List.filteri (fun i _ -> i < extra) (Rng.shuffle rng others) in
     Pidset.add leader (Pidset.of_list chosen)
   in
+  (* Pre-gst outputs depend only on (reader, epoch) — the draws are hashed
+     from those coordinates, not pulled from shared RNG state — so cache
+     one epoch's set per reader.  Post-gst every read returns the shared
+     [final].  With reads vastly outnumbering epoch ticks this turns the
+     dominant oracle cost (an Rng + Pidset.random per read) into an array
+     compare, with bit-identical outputs. *)
+  let memo_e = Array.make n min_int in
+  let memo_v = Array.make n Pidset.empty in
   let trusted i =
     if Sim.is_crashed sim i then Pidset.empty
     else begin
@@ -196,16 +233,25 @@ let omega_z sim ~z ?(behavior = Behavior.stormy ~gst:50.0) ?(seed = 0x5EED) () =
       if now >= b.gst then final
       else begin
         let e = epoch_of b now in
-        match b.strategy with
-        | Behavior.Rotating ->
-            (* Rotating singleton leaders, disagreeing across readers:
-               the worst legal pre-gst Ω output for leader-based code. *)
-            Pidset.add ((e + i) mod n) Pidset.empty
-        | _ ->
-            (* Churning arbitrary sets: different at each process and epoch. *)
-            let rng = draw_rng ~seed [ 13; i; e ] in
-            let size = 1 + Rng.int rng z in
-            Pidset.random rng ~n ~size
+        if memo_e.(i) = e then memo_v.(i)
+        else begin
+          let v =
+            match b.strategy with
+            | Behavior.Rotating ->
+                (* Rotating singleton leaders, disagreeing across readers:
+                   the worst legal pre-gst Ω output for leader-based code. *)
+                Pidset.add ((e + i) mod n) Pidset.empty
+            | _ ->
+                (* Churning arbitrary sets: different at each process and
+                   epoch. *)
+                let rng = draw_rng ~seed [ 13; i; e ] in
+                let size = 1 + Rng.int rng z in
+                Pidset.random rng ~n ~size
+          in
+          memo_e.(i) <- e;
+          memo_v.(i) <- v;
+          v
+        end
       end
     end
   in

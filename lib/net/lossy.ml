@@ -12,6 +12,7 @@ module Link = struct
     mutable sent : int;
     mutable dropped : int;
     mutable delivered : int;
+    h_sent : Trace.counter; (* pre-resolved [tag ^ ".link.sent"] *)
   }
 
   let create sim ?(tag = "lossy") ?(delay = Delay.default) ~loss () =
@@ -26,12 +27,13 @@ module Link = struct
       sent = 0;
       dropped = 0;
       delivered = 0;
+      h_sent = Trace.counter_handle (Sim.trace sim) (tag ^ ".link.sent");
     }
 
   let send t ~src ~dst payload =
     if not (Sim.is_crashed t.sim src) then begin
       t.sent <- t.sent + 1;
-      Trace.incr (Sim.trace t.sim) (t.tag ^ ".link.sent");
+      Trace.bump t.h_sent 1;
       if Rng.bernoulli t.rng t.loss then t.dropped <- t.dropped + 1
       else begin
         let d = Delay.sample t.delay ~rng:t.rng ~src ~dst ~now:(Sim.now t.sim) in

@@ -15,6 +15,7 @@ type 'm envelope = {
 type 'm keyslot = {
   mutable k_count : int;
   mutable k_senders : Pidset.t;
+  mutable k_nsenders : int; (* = cardinal k_senders, maintained here *)
   mutable k_envs : 'm envelope list; (* newest-first; accessor reverses *)
 }
 
@@ -33,24 +34,118 @@ type 'm t = {
   transport : (float * 'm) Lossy.Transport.t option;
   (* Mailboxes are append-only logs in delivery order. *)
   boxes : 'm envelope Vec.t array;
-  keyed : (int, 'm keyslot) Hashtbl.t array;
+  (* Keyed index storage: protocol classify keys are small dense ints
+     (round/phase coordinates), so the common case is a direct array slot
+     read; rare out-of-range keys (negative, or past the dense bound) fall
+     back to a hashtable.  Looked up once per delivery and once per
+     blocked-predicate evaluation, which is what rules out a generic-hash
+     [Hashtbl.find] here. *)
+  kdense : 'm keyslot option array array; (* per dst, key-indexed *)
+  (* Distinct-sender counts mirrored out of the keyslots into flat int
+     rows (grown in lockstep with [kdense]): the quorum predicates reading
+     [keyed_nsenders] run on every blocked-predicate evaluation, and two
+     flat array reads replace the option + record pointer chase. *)
+  knsend : int array array;
+  keyed_ovf : (int, 'm keyslot) Hashtbl.t array;
   conds : Sim.cond array;
+  (* Quorum watches: one per destination, registered by [quorum_cond].
+     The indexer signals the watch only when the watched key's distinct-
+     sender count crosses the registered threshold, so a quorum wait costs
+     one int compare per delivery instead of a predicate re-evaluation —
+     deliveries that cannot satisfy the wait never wake it.  [min_int]
+     means "no watch". *)
+  watch_key : int array;
+  watch_q : int array;
+  watch_conds : Sim.cond array;
   mutable handlers : ('m envelope -> unit) list; (* registration order *)
   mutable sent : int;
   mutable delivered : int;
+  (* Pre-resolved trace counters (one hash at create, O(1) per message). *)
+  h_sent : Trace.counter;
+  h_delivered : Trace.counter;
+  h_deferred : Trace.counter;
+  (* Flat in-flight store: one row per scheduled message, chained into
+     per-(dst, time) batches so all envelopes reaching one mailbox at one
+     instant cost a single queue event.  [r_next] doubles as the batch
+     chain (live rows) and the free list (free rows). *)
+  mutable disp : int; (* our dispatcher id in the simulator *)
+  mutable r_src : int array;
+  mutable r_dst : int array;
+  mutable r_sent : float array;
+  mutable r_pay : 'm option array;
+  mutable r_next : int array;
+  mutable r_free : int; (* free-list head, -1 = none *)
+  (* The open (= still-queued, still-appendable) batch per destination:
+     head/tail row of the chain and the batch's delivery time.  Cleared by
+     the dispatcher when the tracked batch fires. *)
+  open_slot : int array; (* arena slot of the queued event, -1 = none *)
+  open_head : int array;
+  open_tail : int array;
+  open_time : float array;
 }
 
-let index t ~dst (env : 'm envelope) key =
-  let slot =
-    match Hashtbl.find_opt t.keyed.(dst) key with
-    | Some s -> s
-    | None ->
-        let s = { k_count = 0; k_senders = Pidset.empty; k_envs = [] } in
-        Hashtbl.add t.keyed.(dst) key s;
+let kdense_max = 1 lsl 16
+
+let fresh_keyslot () =
+  { k_count = 0; k_senders = Pidset.empty; k_nsenders = 0; k_envs = [] }
+
+(* Get-or-create the slot for [key] at [dst]. *)
+let keyslot_get t dst key =
+  if key >= 0 && key < kdense_max then begin
+    let row = t.kdense.(dst) in
+    let len = Array.length row in
+    if key < len then
+      match row.(key) with
+      | Some s -> s
+      | None ->
+          let s = fresh_keyslot () in
+          row.(key) <- Some s;
+          s
+    else begin
+      let nlen = ref (max 16 (2 * len)) in
+      while key >= !nlen do
+        nlen := 2 * !nlen
+      done;
+      let row' = Array.make !nlen None in
+      Array.blit row 0 row' 0 len;
+      t.kdense.(dst) <- row';
+      let kn' = Array.make !nlen 0 in
+      Array.blit t.knsend.(dst) 0 kn' 0 len;
+      t.knsend.(dst) <- kn';
+      let s = fresh_keyslot () in
+      row'.(key) <- Some s;
+      s
+    end
+  end
+  else
+    match Hashtbl.find t.keyed_ovf.(dst) key with
+    | s -> s
+    | exception Not_found ->
+        let s = fresh_keyslot () in
+        Hashtbl.add t.keyed_ovf.(dst) key s;
         s
-  in
+
+(* The slot for [key] at [pid], if any delivery created it. *)
+let keyslot_find t pid key =
+  if key >= 0 && key < kdense_max then
+    let row = t.kdense.(pid) in
+    if key < Array.length row then row.(key) else None
+  else Hashtbl.find_opt t.keyed_ovf.(pid) key
+
+let index t ~dst (env : 'm envelope) key =
+  let slot = keyslot_get t dst key in
   slot.k_count <- slot.k_count + 1;
-  slot.k_senders <- Pidset.add env.src slot.k_senders;
+  if not (Pidset.mem env.src slot.k_senders) then begin
+    slot.k_senders <- Pidset.add env.src slot.k_senders;
+    slot.k_nsenders <- slot.k_nsenders + 1;
+    if key >= 0 && key < kdense_max then
+      t.knsend.(dst).(key) <- slot.k_nsenders;
+    (* Counts only increment by one, so [=] fires exactly at the crossing
+       (a watch registered at-or-above its threshold is resolved by the
+       await's immediate first evaluation instead). *)
+    if t.watch_key.(dst) = key && slot.k_nsenders = t.watch_q.(dst) then
+      Sim.Cond.signal t.watch_conds.(dst)
+  end;
   slot.k_envs <- env :: slot.k_envs
 
 let rec deliver t ~src ~dst ~sent_at payload () =
@@ -59,7 +154,7 @@ let rec deliver t ~src ~dst ~sent_at payload () =
     | Some resume_at ->
         (* A stalled process is frozen: the channel holds the message and
            re-presents it when the stall window closes. *)
-        Trace.incr (Sim.trace t.sim) "fault.deferred";
+        Trace.bump t.h_deferred 1;
         Sim.at t.sim ~time:resume_at (deliver t ~src ~dst ~sent_at payload)
     | None -> deliver_now t ~src ~dst ~sent_at payload
   end
@@ -70,13 +165,103 @@ and deliver_now t ~src ~dst ~sent_at payload =
     if t.retain then Vec.push t.boxes.(dst) env;
     (match t.classify with Some f -> index t ~dst env (f payload) | None -> ());
     t.delivered <- t.delivered + 1;
+    Trace.bump t.h_delivered 1;
     let tr = Sim.trace t.sim in
-    Trace.incr tr (t.tag ^ ".delivered");
     if Trace.records_full tr then
       Trace.record tr ~time:env.delivered_at
         (Trace.Deliver { src; dst; tag = t.tag });
-    List.iter (fun h -> h env) t.handlers;
+    (* Match form: no closure capture when the common cases (no handler,
+       one handler) run on every delivery. *)
+    (match t.handlers with
+    | [] -> ()
+    | [ h ] -> h env
+    | hs -> List.iter (fun h -> h env) hs);
     Sim.Cond.signal t.conds.(dst)
+  end
+
+(* ---- Flat rows and batched dispatch ---- *)
+
+let row_grow t =
+  let cap = Array.length t.r_src in
+  let ncap = max 16 (2 * cap) in
+  let copy a fill =
+    let a' = Array.make ncap fill in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  t.r_src <- copy t.r_src 0;
+  t.r_dst <- copy t.r_dst 0;
+  t.r_sent <- copy t.r_sent 0.0;
+  t.r_pay <- copy t.r_pay None;
+  t.r_next <- copy t.r_next (-1);
+  for i = cap to ncap - 1 do
+    t.r_next.(i) <- (if i + 1 < ncap then i + 1 else t.r_free)
+  done;
+  t.r_free <- cap
+
+let row_alloc t ~src ~dst ~sent_at payload =
+  if t.r_free = -1 then row_grow t;
+  let r = t.r_free in
+  t.r_free <- t.r_next.(r);
+  t.r_src.(r) <- src;
+  t.r_dst.(r) <- dst;
+  t.r_sent.(r) <- sent_at;
+  t.r_pay.(r) <- Some payload;
+  t.r_next.(r) <- -1;
+  r
+
+let row_free t r =
+  t.r_pay.(r) <- None;
+  t.r_next.(r) <- t.r_free;
+  t.r_free <- r
+
+(* Fire one batch: deliver the chained rows in append (= send) order.
+   Each row still gets the per-message crash/stall treatment — a stalled
+   destination's messages are re-presented individually at the stall
+   end. *)
+let dispatch t head =
+  let dst = t.r_dst.(head) in
+  if t.open_head.(dst) = head then begin
+    t.open_slot.(dst) <- -1;
+    t.open_head.(dst) <- -1;
+    t.open_tail.(dst) <- -1;
+    t.open_time.(dst) <- neg_infinity
+  end;
+  let row = ref head in
+  while !row >= 0 do
+    let r = !row in
+    let src = t.r_src.(r) and sent_at = t.r_sent.(r) in
+    let payload = match t.r_pay.(r) with Some p -> p | None -> assert false in
+    row := t.r_next.(r);
+    (* Free before delivering: handlers may send, reusing this row; all
+       fields are already read out. *)
+    row_free t r;
+    deliver t ~src ~dst ~sent_at payload ()
+  done
+
+(* Schedule a message for delivery at an absolute time.  Arena engine:
+   append to the destination's open batch when one is queued for exactly
+   this instant, else open a new batch (one event, one future mailbox
+   drain for the whole batch).  Legacy engine: one closure event per
+   message, the historical behavior. *)
+let schedule_delivery t ~src ~dst ~sent_at ~deliver_at payload =
+  if Sim.legacy_queue t.sim then
+    Sim.at t.sim ~time:deliver_at (deliver t ~src ~dst ~sent_at payload)
+  else begin
+    let r = row_alloc t ~src ~dst ~sent_at payload in
+    if t.open_head.(dst) >= 0 && t.open_time.(dst) = deliver_at then begin
+      t.r_next.(t.open_tail.(dst)) <- r;
+      t.open_tail.(dst) <- r
+    end
+    else begin
+      let slot =
+        Sim.schedule_dispatch t.sim ~time:deliver_at ~disp:t.disp ~row:r
+      in
+      t.open_slot.(dst) <- slot;
+      t.open_head.(dst) <- r;
+      t.open_tail.(dst) <- r;
+      t.open_time.(dst) <- deliver_at
+    end
   end
 
 (* Real-runtime ingress: a message that already traveled the wire is
@@ -96,6 +281,7 @@ let create sim ?(tag = "net") ?(delay = Delay.default) ?(retain = true) ?classif
     Option.map (fun loss -> Lossy.Transport.create sim ~tag:(tag ^ ".l") ~delay ~loss ()) loss
   in
   let n = Sim.n sim in
+  let tr = Sim.trace sim in
   let t =
     {
       sim;
@@ -107,13 +293,33 @@ let create sim ?(tag = "net") ?(delay = Delay.default) ?(retain = true) ?classif
       classify;
       transport;
       boxes = Array.init n (fun _ -> Vec.create ());
-      keyed = Array.init n (fun _ -> Hashtbl.create 16);
+      kdense = Array.make n [||];
+      knsend = Array.make n [||];
+      keyed_ovf = Array.init n (fun _ -> Hashtbl.create 4);
       conds = Array.init n (fun _ -> Sim.Cond.create sim);
+      watch_key = Array.make n min_int;
+      watch_q = Array.make n 0;
+      watch_conds = Array.init n (fun _ -> Sim.Cond.create sim);
       handlers = [];
       sent = 0;
       delivered = 0;
+      h_sent = Trace.counter_handle tr (tag ^ ".sent");
+      h_delivered = Trace.counter_handle tr (tag ^ ".delivered");
+      h_deferred = Trace.counter_handle tr "fault.deferred";
+      disp = -1;
+      r_src = [||];
+      r_dst = [||];
+      r_sent = [||];
+      r_pay = [||];
+      r_next = [||];
+      r_free = -1;
+      open_slot = Array.make n (-1);
+      open_head = Array.make n (-1);
+      open_tail = Array.make n (-1);
+      open_time = Array.make n neg_infinity;
     }
   in
+  t.disp <- Sim.register_dispatcher sim (fun head -> dispatch t head);
   Option.iter
     (fun tr ->
       Lossy.Transport.on_deliver tr (fun ~src ~dst (sent_at, payload) ->
@@ -132,10 +338,15 @@ let create sim ?(tag = "net") ?(delay = Delay.default) ?(retain = true) ?classif
 let sim t = t.sim
 let cond t pid = t.conds.(pid)
 
+let quorum_cond t pid ~key ~q =
+  t.watch_key.(pid) <- key;
+  t.watch_q.(pid) <- q;
+  t.watch_conds.(pid)
+
 let note_sent t ~src ~dst =
   t.sent <- t.sent + 1;
+  Trace.bump t.h_sent 1;
   let tr = Sim.trace t.sim in
-  Trace.incr tr (t.tag ^ ".sent");
   if Trace.records_full tr then
     Trace.record tr ~time:(Sim.now t.sim) (Trace.Send { src; dst; tag = t.tag })
 
@@ -143,8 +354,9 @@ let send_at t ~src ~dst ~deliver_at payload =
   if not (Sim.is_crashed t.sim src) then begin
     note_sent t ~src ~dst;
     let sent_at = Sim.now t.sim in
-    Sim.at t.sim ~time:(Float.max deliver_at sent_at)
-      (deliver t ~src ~dst ~sent_at payload)
+    schedule_delivery t ~src ~dst ~sent_at
+      ~deliver_at:(Float.max deliver_at sent_at)
+      payload
   end
 
 let send t ~src ~dst payload =
@@ -169,11 +381,11 @@ let send t ~src ~dst payload =
         Sim.offer t.sim ~src ~dst (deliver t ~src ~dst ~sent_at payload)
     | None ->
         let now = Sim.now t.sim in
-        let fa = Sim.faults t.sim in
-        if Faults.is_none fa then
+        if Sim.faults_none t.sim then
           let d = Delay.sample t.delay ~rng:t.rng ~src ~dst ~now in
           send_at t ~src ~dst ~deliver_at:(now +. d) payload
         else begin
+          let fa = Sim.faults t.sim in
           let plan = Faults.send_plan fa t.frng ~src ~dst ~now in
           let tr = Sim.trace t.sim in
           match plan.Faults.park with
@@ -231,17 +443,40 @@ let mail_cursor t pid = Vec.length t.boxes.(pid)
 let recv_since t pid ~cursor = Vec.list_from t.boxes.(pid) ~cursor
 
 let keyed_count t pid key =
-  match Hashtbl.find_opt t.keyed.(pid) key with Some s -> s.k_count | None -> 0
+  match keyslot_find t pid key with Some s -> s.k_count | None -> 0
+
+(* The per-event quorum predicate: two flat reads off the mirror rows. *)
+let keyed_nsenders t pid key =
+  if key >= 0 && key < kdense_max then begin
+    let row = t.knsend.(pid) in
+    if key < Array.length row then row.(key) else 0
+  end
+  else match keyslot_find t pid key with Some s -> s.k_nsenders | None -> 0
 
 let keyed_senders t pid key =
-  match Hashtbl.find_opt t.keyed.(pid) key with
+  match keyslot_find t pid key with
   | Some s -> s.k_senders
   | None -> Pidset.empty
 
 let keyed_envs t pid key =
-  match Hashtbl.find_opt t.keyed.(pid) key with
+  match keyslot_find t pid key with
   | Some s -> List.rev s.k_envs
   | None -> []
+
+let keyed_fold t pid key ~init ~f =
+  match keyslot_find t pid key with
+  | Some s -> List.fold_left f init s.k_envs
+  | None -> init
+
+let keyed_drop t pid key =
+  if key >= 0 && key < kdense_max then begin
+    let row = t.kdense.(pid) in
+    if key < Array.length row then begin
+      row.(key) <- None;
+      t.knsend.(pid).(key) <- 0
+    end
+  end
+  else Hashtbl.remove t.keyed_ovf.(pid) key
 
 let on_deliver t h = t.handlers <- t.handlers @ [ h ]
 let sent_count t = t.sent

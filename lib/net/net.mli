@@ -65,6 +65,20 @@ val cond : 'm t -> Pid.t -> Sim.cond
     the process.  Subscribe {!Sim.Cond.await} predicates that read this
     process's mailbox state to it. *)
 
+val quorum_cond : 'm t -> Pid.t -> key:int -> q:int -> Sim.cond
+(** Threshold form of {!cond} for the quorum waits that dominate round
+    structure: registers (replacing the process's previous registration)
+    a watch on the keyed delivery index and returns a condition signalled
+    {e only} when the distinct-sender count for [key] at the process
+    crosses [q].  A predicate of the shape
+    [decided || keyed_nsenders t pid key >= q] subscribed to this (plus
+    whatever signals [decided]) is re-evaluated once at the crossing
+    delivery instead of at every delivery — same wakeup instant, since
+    the count is monotone and only grows at deliveries of [key].  One
+    watch per process per net: registering for a new round supersedes the
+    old watch, matching protocols that hold at most one quorum wait at a
+    time. *)
+
 val send : 'm t -> src:Pid.t -> dst:Pid.t -> 'm -> unit
 (** Asynchronous send; returns immediately.  No-op if [src] already
     crashed (a dead process takes no step).  When a {!Sim} chooser is
@@ -126,8 +140,25 @@ val keyed_senders : 'm t -> Pid.t -> int -> Pidset.t
 (** Distinct senders among them — the O(1) form of the "received PHASE1(r)
     from n-t processes" readiness checks. *)
 
+val keyed_nsenders : 'm t -> Pid.t -> int -> int
+(** [cardinal (keyed_senders t pid key)] without the popcount — an int
+    maintained at delivery, for quorum predicates evaluated per event. *)
+
 val keyed_envs : 'm t -> Pid.t -> int -> 'm envelope list
-(** The matching envelopes, in delivery order. *)
+(** The matching envelopes, in delivery order (copies the stored list). *)
+
+val keyed_fold :
+  'm t -> Pid.t -> int -> init:'a -> f:('a -> 'm envelope -> 'a) -> 'a
+(** Fold over the matching envelopes, newest first — no copy.  For the
+    per-wakeup scans on the protocol hot path whose result is
+    order-independent (tallies, minima, quorum contents). *)
+
+val keyed_drop : 'm t -> Pid.t -> int -> unit
+(** Retire the aggregate for a key the process will never read again (a
+    finished round): its envelopes become garbage instead of retained
+    history, keeping a long run's live heap bounded by the round window.
+    A late delivery for a dropped key starts a fresh, empty aggregate —
+    harmless as long as the protocol really is done with the key. *)
 
 val inject : 'm t -> src:Pid.t -> 'm -> unit
 (** Real-runtime ingress: deliver a message that already traveled the

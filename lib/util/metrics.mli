@@ -43,6 +43,35 @@ val hist : t -> string -> hist option
 val names : t -> string list
 (** All registered instrument names, sorted. *)
 
+val keys : t -> string list
+(** Alias of {!names}: sorted instrument names, {e never} raw Hashtbl
+    fold order — exports and debug dumps stay deterministic without
+    callers re-sorting. *)
+
+(** {1 Pre-registered handles (hot paths)}
+
+    A handle resolves the instrument name once; bumps through it are a
+    single O(1) update with no hashing.  Handles alias the named
+    instrument in the registry, so {!merge}, {!names} and {!to_json}
+    are oblivious to how an instrument was updated — merge laws and
+    byte-identical [-j1 ≡ -jN] artifacts hold unchanged. *)
+
+type counter_handle
+
+val counter_handle : t -> string -> counter_handle
+(** Register (or look up) the named counter and return its handle.
+    @raise Invalid_argument if the name is bound to another kind. *)
+
+val bump : ?by:int -> counter_handle -> unit
+(** O(1) counter bump; [by] defaults to 1. *)
+
+type hist_handle = hist
+
+val hist_handle : t -> ?bounds:float array -> string -> hist_handle
+(** Register (or look up) the named histogram; record through it with
+    {!hist_record}.  [bounds] applies only on first registration.
+    @raise Invalid_argument if the name is bound to another kind. *)
+
 val merge : t -> t -> t
 (** Pointwise merge (see above); inputs are not mutated.
     @raise Invalid_argument when the same name maps to different

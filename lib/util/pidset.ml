@@ -77,9 +77,20 @@ let remove p s =
     end
   end
 
+(* 16-bit-chunk table popcount: constant work per word regardless of how
+   many bits are set (the bit-clearing loop was O(members), which made
+   [cardinal] on large quorum sets a hot-path cost). *)
+let pop16 =
+  let t = Bytes.create 65536 in
+  for i = 0 to 65535 do
+    let rec go acc v = if v = 0 then acc else go (acc + 1) (v land (v - 1)) in
+    Bytes.unsafe_set t i (Char.chr (go 0 i))
+  done;
+  t
+
 let popcount x =
-  let rec go acc v = if v = 0 then acc else go (acc + 1) (v land (v - 1)) in
-  go 0 x
+  let b i = Char.code (Bytes.unsafe_get pop16 ((x lsr i) land 0xffff)) in
+  b 0 + b 16 + b 32 + b 48
 
 let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s
 
@@ -118,7 +129,12 @@ let disjoint a b =
   let rec go i = i >= l || (a.(i) land b.(i) = 0 && go (i + 1)) in
   go 0
 
-let equal (a : t) b = a = b
+let equal (a : t) b =
+  a == b
+  || (Array.length a = Array.length b
+     &&
+     let rec go i = i < 0 || (a.(i) = b.(i) && go (i - 1)) in
+     go (Array.length a - 1))
 let compare (a : t) b = Stdlib.compare a b
 let of_list l = List.fold_left (fun s p -> add p s) empty l
 

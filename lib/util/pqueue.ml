@@ -56,4 +56,4 @@ let pop t =
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
 let clear t = t.size <- 0
-let to_list t = Array.to_list (Array.sub t.data 0 t.size)
+let to_list t = List.sort t.cmp (Array.to_list (Array.sub t.data 0 t.size))

@@ -23,4 +23,6 @@ val peek : 'a t -> 'a option
 val clear : 'a t -> unit
 
 val to_list : 'a t -> 'a list
-(** Snapshot of the current contents in arbitrary (heap) order. *)
+(** Snapshot of the current contents in ascending [cmp] order — the
+    order a pop-until-empty loop would produce (equal elements keep
+    their heap-internal relative order, which is unspecified). *)

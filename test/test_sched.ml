@@ -1,12 +1,18 @@
 (* Tests for the event-driven scheduler (Sim.Cond): condition mechanics,
    observability counters, and the differential property the refactor rests
-   on — the condition-based and legacy-poll schedulers produce {e identical}
-   executions (decisions with times, rounds, stop reasons, event counts)
-   for the same seed, across algorithms, crash schedules and oracle
-   behaviours.  The legacy scheduler re-evaluates every blocked predicate
-   after every event; the condition scheduler only the signalled ones, so
-   the comparison also pins down the signal-completeness of the substrates
-   (every state change a predicate can read signals the right condition). *)
+   on — the arena/condition engine, the legacy-poll scheduler and the
+   legacy closure-per-event queue produce {e identical} executions
+   (decisions with times, rounds, stop reasons, event counts) for the same
+   seed, across algorithms, crash schedules and oracle behaviours.  The
+   legacy-poll scheduler re-evaluates every blocked predicate after every
+   event; the condition scheduler only the signalled ones, so the
+   comparison also pins down the signal-completeness of the substrates
+   (every state change a predicate can read signals the right condition).
+   The legacy-queue comparison pins the flat event arena and batched
+   delivery to the closure queue they replaced (under continuous delays,
+   where batches are singletons and even raw event counts agree).  An
+   allocation suite asserts the arena engine's steady state promotes
+   nothing. *)
 
 open Setagree_util
 open Setagree_dsys
@@ -141,8 +147,8 @@ let test_zero_time_wakeup_chain () =
 
 (* --- Observability --- *)
 
-let run_kset_mode ~legacy_poll ~seed ~n ~t ~z ~crashes () =
-  let sim = Sim.create ~horizon:3000.0 ~legacy_poll ~n ~t ~seed () in
+let run_kset_mode ?(legacy_queue = false) ~legacy_poll ~seed ~n ~t ~z ~crashes () =
+  let sim = Sim.create ~horizon:3000.0 ~legacy_poll ~legacy_queue ~n ~t ~seed () in
   let rng = Rng.split_named (Sim.rng sim) "crash" in
   Sim.install_crashes sim
     (Crash.generate (Crash.Exactly { crashes; window = (0.0, 30.0) }) ~n ~t rng);
@@ -184,8 +190,8 @@ type fingerprint = {
   verdict_ok : bool;
 }
 
-let fingerprint_kset ~legacy_poll ~seed ~n ~t ~z ~crashes () =
-  let sim, h, o = run_kset_mode ~legacy_poll ~seed ~n ~t ~z ~crashes () in
+let fingerprint_kset ?(legacy_queue = false) ~legacy_poll ~seed ~n ~t ~z ~crashes () =
+  let sim, h, o = run_kset_mode ~legacy_queue ~legacy_poll ~seed ~n ~t ~z ~crashes () in
   let proposals = Array.init n (fun i -> 100 + i) in
   let v = Check.k_set_agreement sim ~k:z ~proposals ~decisions:(Kset.decisions h) in
   {
@@ -197,8 +203,8 @@ let fingerprint_kset ~legacy_poll ~seed ~n ~t ~z ~crashes () =
     verdict_ok = Check.verdict_ok v;
   }
 
-let fingerprint_cons_s ~legacy_poll ~seed ~n ~t ~crashes () =
-  let sim = Sim.create ~horizon:3000.0 ~legacy_poll ~n ~t ~seed () in
+let fingerprint_cons_s ?(legacy_queue = false) ~legacy_poll ~seed ~n ~t ~crashes () =
+  let sim = Sim.create ~horizon:3000.0 ~legacy_poll ~legacy_queue ~n ~t ~seed () in
   let rng = Rng.split_named (Sim.rng sim) "crash" in
   Sim.install_crashes sim
     (Crash.generate (Crash.Exactly { crashes; window = (0.0, 25.0) }) ~n ~t rng);
@@ -237,6 +243,51 @@ let test_differential_cons_s_seeds () =
     same_fingerprint (Printf.sprintf "cons_s seed %d" seed) a b;
     check "verdict ok" true a.verdict_ok
   done
+
+(* Three-way differential: the arena engine (cond), the legacy re-poll
+   scheduler, and the legacy closure-per-event queue must all produce the
+   same execution.  The queue baseline is only compared under continuous
+   delay distributions (the default Uniform): the arena batches
+   same-instant same-destination deliveries into one event, so discrete
+   distributions (Psync) can legitimately differ in raw event counts
+   while agreeing on everything else. *)
+
+let test_differential_kset_three_way () =
+  for seed = 1 to 10 do
+    let a = fingerprint_kset ~legacy_poll:false ~seed ~n:7 ~t:3 ~z:2 ~crashes:2 () in
+    let b = fingerprint_kset ~legacy_poll:true ~seed ~n:7 ~t:3 ~z:2 ~crashes:2 () in
+    let c = fingerprint_kset ~legacy_queue:true ~legacy_poll:false ~seed ~n:7 ~t:3 ~z:2 ~crashes:2 () in
+    same_fingerprint (Printf.sprintf "kset seed %d cond/poll" seed) a b;
+    same_fingerprint (Printf.sprintf "kset seed %d cond/queue" seed) a c;
+    check "verdict ok" true a.verdict_ok
+  done
+
+let test_differential_cons_s_queue_seeds () =
+  for seed = 1 to 10 do
+    let a = fingerprint_cons_s ~legacy_poll:false ~seed ~n:7 ~t:3 ~crashes:2 () in
+    let c = fingerprint_cons_s ~legacy_queue:true ~legacy_poll:false ~seed ~n:7 ~t:3 ~crashes:2 () in
+    same_fingerprint (Printf.sprintf "cons_s seed %d cond/queue" seed) a c;
+    check "verdict ok" true a.verdict_ok
+  done
+
+(* --- Allocation profile: the steady state promotes nothing --- *)
+
+let test_steady_state_promotes_nothing () =
+  (* A warmed-up simulator running only its self-re-arming ticker: 10k
+     events through the arena must not promote a single word — the
+     allocation-free steady state the flat-arena engine guarantees. *)
+  let sim = Sim.create ~horizon:11_000.0 ~n:8 ~t:3 ~seed:1 () in
+  Sim.ticker sim ~every:1.0;
+  let warm = ref 0 in
+  let _ = Sim.run ~stop_when:(fun () -> incr warm; !warm >= 500) sim in
+  Gc.full_major ();
+  let g0 = Gc.quick_stat () in
+  let o = Sim.run sim in
+  let g1 = Gc.quick_stat () in
+  check "ran >= 10k steady-state events" true (o.Sim.events >= 10_000);
+  Alcotest.(check (float 0.0))
+    "zero promoted words across steady-state events" 0.0
+    (g1.Gc.promoted_words -. g0.Gc.promoted_words)
 
 let qcheck_differential_kset =
   QCheck.Test.make ~name:"random (seed, z, crashes): cond == legacy-poll" ~count:20
@@ -298,6 +349,16 @@ let qcheck_differential_kset_adversarial =
       let b = fingerprint_kset_adv ~legacy_poll:true ~seed ~delay ?loss () in
       a = b && (loss <> None || a.verdict_ok))
 
+let qcheck_differential_kset_queue =
+  QCheck.Test.make ~name:"random (seed, z, crashes): cond == legacy-queue" ~count:20
+    (QCheck.make
+       ~print:(fun (s, z, c) -> Printf.sprintf "seed=%d z=%d crashes=%d" s z c)
+       QCheck.Gen.(triple (int_range 100 50_000) (int_range 1 3) (int_range 0 3)))
+    (fun (seed, z, crashes) ->
+      let a = fingerprint_kset ~legacy_poll:false ~seed ~n:7 ~t:3 ~z ~crashes () in
+      let c = fingerprint_kset ~legacy_queue:true ~legacy_poll:false ~seed ~n:7 ~t:3 ~z ~crashes () in
+      a = c && a.verdict_ok)
+
 let qcheck_differential_cons_s =
   QCheck.Test.make ~name:"random (seed, crashes): cons_s cond == legacy-poll" ~count:10
     (QCheck.make
@@ -331,12 +392,22 @@ let () =
         [
           Alcotest.test_case "kset across seeds" `Quick test_differential_kset_seeds;
           Alcotest.test_case "cons_s across seeds" `Quick test_differential_cons_s_seeds;
+          Alcotest.test_case "kset three-way (arena/poll/queue)" `Quick
+            test_differential_kset_three_way;
+          Alcotest.test_case "cons_s cond == legacy-queue" `Quick
+            test_differential_cons_s_queue_seeds;
+        ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "steady state promotes nothing" `Quick
+            test_steady_state_promotes_nothing;
         ] );
       ( "properties",
         List.map
           (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |]))
           [
             qcheck_differential_kset;
+            qcheck_differential_kset_queue;
             qcheck_differential_kset_adversarial;
             qcheck_differential_cons_s;
           ] );
