@@ -1505,6 +1505,106 @@ let chaos () =
       (Printf.sprintf "CHAOS: %d healed run(s) failed to decide" o.Chaos.o_liveness)
 
 (* ------------------------------------------------------------------ *)
+(* SERVE — the content-addressed result cache under the unified job    *)
+(* API (DESIGN.md §11): a cold fill of the full chaos campaign, a warm *)
+(* replay that must execute nothing and reproduce the summary          *)
+(* byte-for-byte, and a one-protocol fingerprint bump that must        *)
+(* invalidate exactly that protocol's entries.                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let serve () =
+  section "SERVE  Result cache: warm replay is free, invalidation is per-protocol";
+  (* BENCH_SERVE_SMOKE: one seed per (protocol, mix) cell for CI. *)
+  let smoke = Sys.getenv_opt "BENCH_SERVE_SMOKE" <> None in
+  let seeds = if smoke then 1 else 8 in
+  let spec = Job.of_flags ~kind:`Chaos ~seeds ~protocol:"" Protocol.default in
+  let protocols, mixes =
+    match spec with
+    | Job.Chaos { protocols; mixes; _ } -> (protocols, mixes)
+    | _ -> assert false
+  in
+  let total = List.length protocols * List.length mixes * seeds in
+  let dir = Filename.concat "_results" "bench_cache" in
+  rm_rf dir;
+  let pass ?fingerprint tag =
+    (* One Cache.t per pass so hit/miss counters are per-pass. *)
+    let cache = Runner.Cache.create ~dir () in
+    let o = Job.execute ~cache ?fingerprint spec in
+    let c = o.Job.o_campaign in
+    Printf.printf "  %-24s %4d jobs: %4d cached, %4d executed, %6.2fs wall\n" tag
+      (Array.length c.Runner.c_results)
+      c.Runner.c_cache_hits c.Runner.c_executed c.Runner.c_wall_s;
+    (c, Digest.to_hex (Digest.string (Runner.signature c)))
+  in
+  let gate name cond =
+    if not cond then failwith (Printf.sprintf "SERVE: %s" name)
+  in
+  let c_cold, sig_cold = pass "cold fill" in
+  gate "cold pass resolved jobs from an empty cache"
+    (c_cold.Runner.c_cache_hits = 0 && c_cold.Runner.c_executed = total);
+  let c_warm, sig_warm = pass "warm replay" in
+  gate "warm replay executed jobs" (c_warm.Runner.c_executed = 0);
+  gate "warm replay missed the cache" (c_warm.Runner.c_cache_hits = total);
+  gate "warm summary is not byte-identical to cold" (sig_warm = sig_cold);
+  (* A one-line change to the kset protocol changes only kset's code
+     fingerprint; every kset entry must miss and every other entry must
+     still hit. *)
+  let bumped name =
+    let fp = Fingerprint.protocol name in
+    if name = "kset" then Digest.to_hex (Digest.string (fp ^ "+one-line-patch"))
+    else fp
+  in
+  let kset_share = List.length mixes * seeds in
+  let c_bump, sig_bump = pass ~fingerprint:bumped "kset fingerprint bump" in
+  Printf.printf
+    "  invalidation: %d/%d entries re-executed (kset's share), %d still hit\n"
+    c_bump.Runner.c_executed total c_bump.Runner.c_cache_hits;
+  gate
+    (Printf.sprintf "fingerprint bump re-executed %d jobs, expected exactly %d"
+       c_bump.Runner.c_executed kset_share)
+    (c_bump.Runner.c_executed = kset_share);
+  gate "fingerprint bump missed non-kset entries"
+    (c_bump.Runner.c_cache_hits = total - kset_share);
+  gate "re-executed jobs changed the summary" (sig_bump = sig_cold);
+  let side tag (c : Runner.campaign) sg =
+    ( tag,
+      Json.Obj
+        [
+          ("jobs", Json.Int (Array.length c.Runner.c_results));
+          ("cache_hits", Json.Int c.Runner.c_cache_hits);
+          ("executed", Json.Int c.Runner.c_executed);
+          ("wall_s", Json.Float c.Runner.c_wall_s);
+          ("signature", Json.String sg);
+        ] )
+  in
+  Json.write_file
+    (Filename.concat "_results" "BENCH_serve.json")
+    (Json.Obj
+       (Stamp.fields ()
+       @ [
+           ("experiment", Json.String "serve");
+           ("smoke", Json.Bool smoke);
+           ("seeds", Json.Int seeds);
+           ("protocols", Json.List (List.map (fun p -> Json.String p) protocols));
+           ("mixes", Json.Int (List.length mixes));
+           ("cache_dir", Json.String dir);
+           side "cold" c_cold sig_cold;
+           side "warm" c_warm sig_warm;
+           side "fingerprint_bump" c_bump sig_bump;
+           ("warm_byte_identical", Json.Bool (sig_warm = sig_cold));
+           ("bump_invalidated_exactly", Json.Int c_bump.Runner.c_executed);
+         ]));
+  Printf.printf "artifact: %s\n" (Filename.concat "_results" "BENCH_serve.json")
+
+(* ------------------------------------------------------------------ *)
 (* RT — the real-runtime backend (lib/rt): accrual-detector QoS vs     *)
 (* heartbeat period on real domains over loopback, and the sim-vs-rt   *)
 (* decision-latency comparison for the kset protocol.  Jobs spawn      *)

@@ -27,9 +27,13 @@ let registry =
     ("obs", Experiments.obs);
     ("explore", Experiments.explore);
     ("chaos", Experiments.chaos);
+    ("serve", Experiments.serve);
     ("rt", Experiments.rt);
     ("micro", Microbench.run);
   ]
+
+(* Stamp artifacts and key the result cache off the built code. *)
+let () = Setagree_core.Fingerprint.install ()
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

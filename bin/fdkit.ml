@@ -139,6 +139,10 @@ let backend_arg =
 
 let is_rt backend = String.length backend >= 2 && String.sub backend 0 2 = "rt"
 
+(* All artifacts are stamped with the code fingerprint, and cache keys
+   embed the per-protocol one. *)
+let () = Fingerprint.install ()
+
 (* Runtime tuning: params.horizon is a virtual-time budget, so the rt
    backend keeps its own wall-clock knobs (env-overridable for CI). *)
 let rt_cfg_of (p : Protocol.params) =
@@ -155,6 +159,19 @@ let rt_cfg_of (p : Protocol.params) =
     horizon_s = fenv "FDKIT_RT_HORIZON" base.Rt_run.horizon_s;
     timescale = fenv "FDKIT_RT_TIMESCALE" base.Rt_run.timescale;
   }
+
+(* Core's Job module executes rt-backend jobs through this hook
+   (Setagree_rt sits above core, so core can't call it directly). *)
+let () =
+  Job.rt_runner :=
+    Some
+      (fun pk (p : Protocol.params) ->
+        let r = Rt_run.run_protocol pk p ~cfg:(rt_cfg_of p) () in
+        Runner.body
+          ~notes:
+            (if Rt_run.ok r then []
+             else r.Rt_run.o_safety.Check.notes @ r.Rt_run.o_fd.Check.notes)
+          ~metrics:r.Rt_run.o_metrics (Rt_run.ok r))
 
 let mk_params n t seed crashes gst horizon z k x y legacy_poll legacy_queue
     adversarial variant trace faults backend =
@@ -215,34 +232,47 @@ let params_term ?(default_z = 1) ?(default_k = 1) ?(default_x = 2) ?(default_y =
 let registry_doc () =
   Printf.sprintf "Protocols: %s." (String.concat ", " (Protocol.names ()))
 
+(* Flag elaboration and validation live in Job (the run subcommands are
+   sugar over Job.of_flags); the single-run printing path stays direct
+   so the CLI output is unchanged. *)
 let exec_run protocol (p : Protocol.params) =
-  match Protocol.find protocol with
-  | None ->
-      Printf.eprintf "unknown protocol %S; %s\n" protocol (registry_doc ());
+  let spec = Job.of_flags ~kind:`Run ~protocol p in
+  match Job.validate spec with
+  | Error errs ->
+      (match Protocol.find protocol with
+      | None -> Printf.eprintf "unknown protocol %S; %s\n" protocol (registry_doc ())
+      | Some _ -> ());
+      let fault_errs =
+        List.filter (String.starts_with ~prefix:"illegal fault spec") errs
+      in
+      if fault_errs <> [] then begin
+        Printf.eprintf "illegal fault spec (refusing to run):\n";
+        List.iter
+          (fun e -> Printf.eprintf "  - %s\n" e)
+          (match Faults.legal ~n:p.Protocol.n ~t:p.Protocol.t p.Protocol.faults with
+          | Error es -> es
+          | Ok () -> []);
+        match Chaos.minimize_illegal ~n:p.Protocol.n ~t:p.Protocol.t p.Protocol.faults with
+        | Some s -> Printf.eprintf "minimized to: %s\n" (Faults.summary s)
+        | None -> ()
+      end;
       3
-  | Some _
-    when Result.is_error
-           (Faults.legal ~n:p.Protocol.n ~t:p.Protocol.t p.Protocol.faults) ->
-      (match Faults.legal ~n:p.Protocol.n ~t:p.Protocol.t p.Protocol.faults with
-      | Error errs ->
-          Printf.eprintf "illegal fault spec (refusing to run):\n";
-          List.iter (fun e -> Printf.eprintf "  - %s\n" e) errs;
-          (match Chaos.minimize_illegal ~n:p.Protocol.n ~t:p.Protocol.t p.Protocol.faults with
-          | Some s -> Printf.eprintf "minimized to: %s\n" (Faults.summary s)
-          | None -> ())
-      | Ok () -> ());
-      3
-  | Some pk when is_rt p.Protocol.backend ->
-      let r = Rt_run.run_protocol pk p ~cfg:(rt_cfg_of p) () in
-      Format.printf "%a@." Rt_run.pp_result r;
-      List.iter (fun (key, v) -> Printf.printf "  %-22s %g\n" key v) r.Rt_run.o_metrics;
-      if Rt_run.ok r then 0 else 1
-  | Some pk ->
-      let r = Protocol.run pk p in
-      Printf.printf "%s seed=%d: %s\n" protocol p.Protocol.seed
-        (Format.asprintf "%a" Check.pp_verdict r.Protocol.rp_verdict);
-      List.iter (fun (key, v) -> Printf.printf "  %-18s %g\n" key v) r.Protocol.rp_metrics;
-      if Check.verdict_ok r.Protocol.rp_verdict then 0 else 1
+  | Ok () -> (
+      match Protocol.find protocol with
+      | None -> assert false (* validate checked the registry *)
+      | Some pk when is_rt p.Protocol.backend ->
+          let r = Rt_run.run_protocol pk p ~cfg:(rt_cfg_of p) () in
+          Format.printf "%a@." Rt_run.pp_result r;
+          List.iter (fun (key, v) -> Printf.printf "  %-22s %g\n" key v) r.Rt_run.o_metrics;
+          if Rt_run.ok r then 0 else 1
+      | Some pk ->
+          let r = Protocol.run pk p in
+          Printf.printf "%s seed=%d: %s\n" protocol p.Protocol.seed
+            (Format.asprintf "%a" Check.pp_verdict r.Protocol.rp_verdict);
+          List.iter
+            (fun (key, v) -> Printf.printf "  %-18s %g\n" key v)
+            r.Protocol.rp_metrics;
+          if Check.verdict_ok r.Protocol.rp_verdict then 0 else 1)
 
 let protocol_arg =
   Arg.(
@@ -386,24 +416,6 @@ let irreducibility_cmd =
 
 (* ---- campaign ---- *)
 
-let crashes_count = function
-  | Crash.No_crashes -> 0
-  | Crash.Exactly { crashes; _ } -> crashes
-  | Crash.Random_up_to { max_crashes; _ } -> max_crashes
-  | Crash.Explicit l -> List.length l
-  | Crash.Initial l -> List.length l
-
-let replay_command family (p : Protocol.params) =
-  Printf.sprintf
-    "dune exec bin/fdkit.exe -- run --protocol %s -n %d -t %d -z %d -k %d -x %d -y %d \
-     --crashes %d --gst %g --horizon %g --variant %s --seed %d%s%s"
-    family p.Protocol.n p.Protocol.t p.Protocol.z p.Protocol.k p.Protocol.x p.Protocol.y
-    (crashes_count p.Protocol.crashes)
-    p.Protocol.gst p.Protocol.horizon p.Protocol.variant p.Protocol.seed
-    ((if p.Protocol.legacy_poll then " --legacy-poll" else "")
-    ^ (if p.Protocol.legacy_queue then " --legacy-queue" else ""))
-    (if p.Protocol.adversarial then " --adversarial" else "")
-
 (* Fault/runtime counter totals for the summary tables.  [Protocol.run]
    omits zero-valued fault counters from job metrics and
    [Runner.metric_summaries] drops metrics nobody sampled, so a clean
@@ -442,40 +454,36 @@ let print_counter_totals c =
   print_endline "  counter totals (all jobs):";
   List.iter (fun (key, v) -> Printf.printf "    %-22s %g\n" key v) (counter_totals c)
 
+let cache_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:
+          "Resolve jobs from the content-addressed result cache \
+           ($(b,<out>/cache)) and store fresh results into it.  Cached \
+           replays are byte-identical to cold runs (same signature).")
+
+let mk_cache ~out use_cache =
+  if use_cache then Some (Runner.Cache.create ~dir:(Filename.concat out "cache") ())
+  else None
+
+let print_cache_line c =
+  if c.Runner.c_cache_hits > 0 || c.Runner.c_executed < Array.length c.Runner.c_results
+  then
+    Printf.printf "  cache: %d hit(s), %d executed\n" c.Runner.c_cache_hits
+      c.Runner.c_executed
+
 let campaign_cmd =
-  let run family jobs seeds out compare (base : Protocol.params) =
-    match Protocol.find family with
-    | None ->
-        Printf.eprintf "unknown protocol %S; %s\n" family (registry_doc ());
+  let run family jobs seeds out compare use_cache (base : Protocol.params) =
+    (* The flags are sugar over the unified job API: elaborate into a
+       Job.spec and execute — same path as `fdkit submit` / the daemon. *)
+    let spec = Job.of_flags ~kind:`Campaign ~seeds ~protocol:family base in
+    match Job.validate spec with
+    | Error errs ->
+        List.iter (fun e -> Printf.eprintf "%s\n" e) errs;
         3
-    | Some pk ->
-    (* One job per seed; each builds its own Sim from the seed via
-       Protocol.run, so jobs are safe to run on any domain in any order. *)
-    let mk seed =
-      let p = { base with Protocol.seed } in
-      Runner.job ~exp:family ~seed
-        ~params:(Protocol.params_to_json p)
-        ~replay:(replay_command family p)
-        (fun () ->
-          if is_rt p.Protocol.backend then begin
-            let r = Rt_run.run_protocol pk p ~cfg:(rt_cfg_of p) () in
-            Runner.body
-              ~notes:
-                (if Rt_run.ok r then []
-                 else r.Rt_run.o_safety.Check.notes @ r.Rt_run.o_fd.Check.notes)
-              ~metrics:r.Rt_run.o_metrics (Rt_run.ok r)
-          end
-          else begin
-            let r = Protocol.run pk p in
-            Runner.body
-              ~notes:
-                (if Check.verdict_ok r.Protocol.rp_verdict then []
-                 else r.Protocol.rp_verdict.Check.notes)
-              ~metrics:r.Protocol.rp_metrics
-              (Check.verdict_ok r.Protocol.rp_verdict)
-          end)
-    in
-    let joblist = List.init seeds (fun i -> mk (i + 1)) in
+    | Ok () ->
+    let cache = mk_cache ~out use_cache in
     let describe tag c =
       Printf.printf "%s: %d jobs on %d domain(s), %d failed, %.2fs wall, %.1f jobs/s\n" tag
         (Array.length c.Runner.c_results)
@@ -483,8 +491,9 @@ let campaign_cmd =
         (List.length (Runner.failures c))
         c.Runner.c_wall_s c.Runner.c_throughput
     in
-    let c = Runner.run ~jobs ~exp:family joblist in
+    let c = (Job.execute ~jobs ?cache spec).Job.o_campaign in
     describe (Printf.sprintf "campaign %s -j %d" family jobs) c;
+    print_cache_line c;
     let path = Runner.write_artifact ~dir:out c in
     Printf.printf "artifact: %s\n" path;
     List.iter
@@ -495,7 +504,7 @@ let campaign_cmd =
     let seq =
       if not compare then None
       else begin
-        let c1 = Runner.run ~jobs:1 ~exp:family joblist in
+        let c1 = (Job.execute ~jobs:1 ?cache spec).Job.o_campaign in
         describe (Printf.sprintf "baseline %s -j 1" family) c1;
         Printf.printf "speedup: %.2fx; deterministic merge: %s\n"
           (c.Runner.c_throughput /. Float.max c1.Runner.c_throughput 1e-9)
@@ -582,42 +591,40 @@ let campaign_cmd =
        ~doc:
          "Shard a seed sweep of a protocol family across domains; write \
           BENCH_<family>.json, campaign_summary.json and failures.json (with replay \
-          commands for every failing seed); exit nonzero if any seed fails.")
+          commands for every failing seed); exit nonzero if any seed fails.  \
+          Note: these flags are sugar for the unified job API — prefer \
+          $(b,fdkit submit) against a running $(b,fdkit serve) daemon for cached, \
+          streaming campaigns.")
     Term.(
-      const run $ exp_arg $ jobs_arg $ seeds_arg $ out_arg $ compare_arg $ params_term ())
+      const run $ exp_arg $ jobs_arg $ seeds_arg $ out_arg $ compare_arg
+      $ cache_flag_arg $ params_term ())
 
 (* ---- explore ---- *)
 
 let explore_cmd =
   let run protocol jobs out compare expect honest depth delays walks max_runs
-      shrink_budget (base : Protocol.params) =
-    (* Exploration defaults: the adversary owns the schedule, so a short
-       horizon suffices and (for kset) the mis-use wiring is on unless
-       --honest is given. *)
-    let p =
+      shrink_budget use_cache (base : Protocol.params) =
+    let bounds =
       {
-        base with
-        Protocol.adversarial = base.Protocol.adversarial || not honest;
-        horizon = (if base.Protocol.horizon > 0.0 then base.Protocol.horizon else 300.0);
+        Explorer.default_bounds with
+        depth;
+        delays;
+        walks;
+        max_runs_per_job = max_runs;
+        shrink_budget;
       }
     in
-    match Protocol.find protocol with
-    | None ->
-        Printf.eprintf "unknown protocol %S; %s\n" protocol (registry_doc ());
+    (* Exploration defaults (adversarial wiring unless --honest, short
+       horizon) are applied by Job.of_flags — shared with the daemon. *)
+    let spec = Job.of_flags ~kind:`Explore ~honest ~bounds ~protocol base in
+    match Job.validate spec with
+    | Error errs ->
+        List.iter (fun e -> Printf.eprintf "%s\n" e) errs;
         3
-    | Some _ ->
-        let bounds =
-          {
-            Explorer.default_bounds with
-            depth;
-            delays;
-            walks;
-            max_runs_per_job = max_runs;
-            shrink_budget;
-          }
-        in
-        let { Explorer.o_campaign = c; o_ces = ces } =
-          Explorer.explore ~jobs ~protocol p bounds
+    | Ok () ->
+        let cache = mk_cache ~out use_cache in
+        let { Job.o_campaign = c; o_ces = ces; _ } =
+          Job.execute ~jobs ?cache spec
         in
         let sum name =
           Array.fold_left
@@ -631,6 +638,7 @@ let explore_cmd =
         Printf.printf "explore %s: %d jobs on %d domain(s), %.2fs wall\n" protocol
           (Array.length c.Runner.c_results)
           c.Runner.c_workers c.Runner.c_wall_s;
+        print_cache_line c;
         Printf.printf
           "  executions=%.0f points=%.0f prunes=%.0f shrink_runs=%.0f violations=%.0f\n"
           runs (sum "explore.points") (sum "explore.prunes") (sum "explore.shrink_runs")
@@ -654,13 +662,13 @@ let explore_cmd =
         let det_ok =
           (not compare)
           ||
-          let o1 = Explorer.explore ~jobs:1 ~protocol p bounds in
-          let same_sig = Runner.signature c = Runner.signature o1.Explorer.o_campaign in
+          let o1 = Job.execute ~jobs:1 ?cache spec in
+          let same_sig = Runner.signature c = Runner.signature o1.Job.o_campaign in
           let same_ces =
-            List.length ces = List.length o1.Explorer.o_ces
+            List.length ces = List.length o1.Job.o_ces
             && List.for_all2
                  (fun a b -> Json.equal (Schedule.to_json a) (Schedule.to_json b))
-                 ces o1.Explorer.o_ces
+                 ces o1.Job.o_ces
           in
           Printf.printf "determinism (-j %d vs -j 1): signatures %s, counterexamples %s\n"
             jobs
@@ -752,41 +760,45 @@ let explore_cmd =
          "Systematically explore message delivery orders and crash injections \
           (delay-bounded DFS with commutativity pruning, plus optional random walks), \
           sharded across domains; minimize every violating schedule and write replayable \
-          counterexamples.json.")
+          counterexamples.json.  Note: these flags are sugar for the unified job API \
+          (fdkit submit / serve).")
     Term.(
       const run $ protocol_arg $ jobs_arg $ out_arg $ compare_arg $ expect_arg
       $ honest_arg $ depth_arg $ delays_arg $ walks_arg $ max_runs_arg $ shrink_arg
+      $ cache_flag_arg
       $ params_term ~default_z:2 ~default_k:1 ~default_crashes:0 ())
 
 (* ---- chaos ---- *)
 
 let chaos_cmd =
-  let run jobs seeds protocols mix_filter out (base : Protocol.params) =
-    let protocols =
-      match protocols with [] -> Chaos.default_protocols | l -> l
+  let run jobs seeds protocols mix_filter out use_cache (base : Protocol.params) =
+    (* Elaborate into the unified job spec (defaults for empty protocol
+       and mix lists live in Job.of_flags, shared with the daemon). *)
+    let spec =
+      Job.of_flags ~kind:`Chaos ~seeds ~protocols ~mixes:mix_filter ~protocol:""
+        base
     in
-    let mix_filter = match mix_filter with [] -> None | l -> Some l in
-    let unknown_mix =
-      match mix_filter with
-      | None -> []
-      | Some l -> List.filter (fun m -> Chaos.find_mix m = None) l
-    in
-    if unknown_mix <> [] then begin
-      Printf.eprintf "unknown mix(es): %s; mixes: %s\n"
-        (String.concat ", " unknown_mix)
-        (String.concat ", " Chaos.mix_names);
-      3
-    end
-    else begin
-      let o = Chaos.run ~jobs ~protocols ?mix_filter ~seeds ~base () in
+    match Job.validate spec with
+    | Error errs ->
+        List.iter (fun e -> Printf.eprintf "%s\n" e) errs;
+        3
+    | Ok () ->
+      let protocols, mixes =
+        match spec with
+        | Job.Chaos { protocols; mixes; _ } -> (protocols, mixes)
+        | _ -> (Chaos.default_protocols, Chaos.mix_names)
+      in
+      let cache = mk_cache ~out use_cache in
+      let outcome = Job.execute ~jobs ?cache spec in
+      let o = Option.get outcome.Job.o_chaos in
       let c = o.Chaos.o_campaign in
       Printf.printf
         "chaos: %d runs (%s x %s x %d seeds) on %d domain(s), %.2fs wall\n"
         o.Chaos.o_runs
         (String.concat "," protocols)
-        (String.concat ","
-           (match mix_filter with None -> Chaos.mix_names | Some l -> l))
+        (String.concat "," mixes)
         seeds c.Runner.c_workers c.Runner.c_wall_s;
+      print_cache_line c;
       Printf.printf "  safety violations:  %d\n  liveness failures:  %d\n"
         o.Chaos.o_safety o.Chaos.o_liveness;
       let art = Runner.write_artifact ~dir:out c in
@@ -812,7 +824,6 @@ let chaos_cmd =
       if o.Chaos.o_safety > 0 then 2
       else if o.Chaos.o_failures <> [] then 1
       else 0
-    end
   in
   let jobs_arg =
     Arg.(
@@ -849,10 +860,11 @@ let chaos_cmd =
           partitions with heals, stalls, adversary oracles, combos) x seeds over \
           registered protocols; assert safety on every run and liveness after heal; \
           minimize failures into replayable chaos_failures.json (exit 2 on any \
-          safety violation, 1 on liveness failures).")
+          safety violation, 1 on liveness failures).  Note: these flags are sugar \
+          for the unified job API (fdkit submit / serve).")
     Term.(
       const run $ jobs_arg $ seeds_arg $ protocols_arg $ mixes_arg $ out_arg
-      $ params_term ())
+      $ cache_flag_arg $ params_term ())
 
 (* ---- replay ---- *)
 
@@ -917,6 +929,16 @@ let replay_schedule schedule index =
 
 let replay_cmd =
   let run schedule faults index =
+    let dispatch source path =
+      match Job.validate (Job.Replay { source; path; index }) with
+      | Error errs ->
+          List.iter prerr_endline errs;
+          3
+      | Ok () -> (
+          match source with
+          | Job.Faults_file -> replay_faults path index
+          | Job.Schedule_file -> replay_schedule path index)
+    in
     match (schedule, faults) with
     | None, None ->
         prerr_endline "replay needs --schedule FILE or --faults FILE";
@@ -924,8 +946,8 @@ let replay_cmd =
     | Some _, Some _ ->
         prerr_endline "--schedule and --faults are mutually exclusive";
         3
-    | None, Some path -> replay_faults path index
-    | Some schedule, None -> replay_schedule schedule index
+    | None, Some path -> dispatch Job.Faults_file path
+    | Some path, None -> dispatch Job.Schedule_file path
   in
   let schedule_arg =
     Arg.(
@@ -953,7 +975,8 @@ let replay_cmd =
          "Re-execute a recorded counterexample — an explorer schedule \
           choice-for-choice (--schedule) or a chaos failure byte-for-byte from its \
           seed and fault spec (--faults) — and verify it exhibits the recorded \
-          violation (exit 0 iff reproduced).")
+          violation (exit 0 iff reproduced).  Note: these flags are sugar for the \
+          unified job API (fdkit submit / serve).")
     Term.(const run $ schedule_arg $ faults_file_arg $ index_arg)
 
 (* ---- grid ---- *)
@@ -999,6 +1022,24 @@ let trace_cmd =
     close_in ic;
     s
   in
+  (* Stale-artifact detection: warn (never fail) when the file was
+     stamped by a different schema or build than the one checking it. *)
+  let warn_stamp path j =
+    let short fp = if String.length fp > 12 then String.sub fp 0 12 else fp in
+    (match Json.member "schema_version" j with
+    | Some (Json.Int v) when v <> Stamp.schema_version ->
+        Printf.eprintf "check: warning: %s has schema version %d, this build writes %d\n"
+          path v Stamp.schema_version
+    | _ -> ());
+    match Json.member "code_fingerprint" j with
+    | Some (Json.String fp) when fp <> Stamp.fingerprint () ->
+        Printf.eprintf
+          "check: warning: %s was written by a different build (fingerprint %s, \
+           running %s) — re-export before comparing\n"
+          path (short fp)
+          (short (Stamp.fingerprint ()))
+    | _ -> ()
+  in
   (* Re-parse the written file and demand >= 1 complete span: the CI
      smoke contract. *)
   let check_chrome path =
@@ -1007,6 +1048,7 @@ let trace_cmd =
         Printf.eprintf "check: %s does not parse as JSON: %s\n" path e;
         1
     | Ok j -> (
+        warn_stamp path j;
         match Json.member "traceEvents" j with
         | Some (Json.List evs) ->
             let count ph =
@@ -1039,7 +1081,7 @@ let trace_cmd =
            if line <> "" then begin
              incr lines;
              match Json.of_string line with
-             | Ok _ -> ()
+             | Ok j -> if !lines = 1 then warn_stamp path j
              | Error e ->
                  ok := false;
                  Printf.eprintf "check: bad JSONL line %d: %s\n" !lines e
@@ -1109,7 +1151,8 @@ let trace_cmd =
       & info [ "check" ]
           ~doc:
             "After writing, re-parse the file and verify it is well-formed (chrome: \
-             >= 1 complete span); exit nonzero otherwise.")
+             >= 1 complete span); exit nonzero otherwise.  Also warns when the \
+             file's schema version or code fingerprint differs from this build's.")
   in
   Cmd.v
     (Cmd.info "trace"
@@ -1157,6 +1200,306 @@ let reducible_cmd =
           the source class in AS(n,t)?")
     Term.(const run $ n_arg $ t_arg $ from_arg $ into_arg)
 
+(* ---- serve: the campaign daemon and its client commands ---- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string Serve.default_config.Serve.socket_path
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix domain socket the fdkit serve daemon listens on.")
+
+let serve_cmd =
+  let run socket cache_dir no_cache jobs out verbose =
+    let log =
+      if verbose then fun s -> Printf.eprintf "[serve] %s\n%!" s else ignore
+    in
+    let config =
+      {
+        Serve.socket_path = socket;
+        cache_dir = (if no_cache then None else Some cache_dir);
+        jobs = (if jobs > 0 then Some jobs else None);
+        out_dir = out;
+        log;
+      }
+    in
+    Printf.printf "fdkit serve: listening on %s (cache: %s)\n%!" socket
+      (if no_cache then "off" else cache_dir);
+    Serve.serve ~config ();
+    0
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string Runner.Cache.default_dir
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Content-addressed result cache directory.")
+  in
+  let no_cache_arg =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the result cache.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains (0 = auto).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "_results"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Artifact directory for campaign outputs.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Log submissions to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the campaign daemon: accept Job specs over a Unix socket \
+          (newline-delimited JSON), execute them on the multicore campaign \
+          engine, stream progress frames live, and resolve warm jobs from the \
+          content-addressed result cache.  Pair with $(b,fdkit \
+          submit/status/cancel/shutdown).")
+    Term.(
+      const run $ socket_arg $ cache_dir_arg $ no_cache_arg $ jobs_arg $ out_arg
+      $ verbose_arg)
+
+let json_int ?(default = 0) key v =
+  match Json.member key v with Some (Json.Int i) -> i | _ -> default
+
+let json_str ?(default = "?") key v =
+  match Json.member key v with Some (Json.String s) -> s | _ -> default
+
+let submit_cmd =
+  let run socket spec_file kind protocol seeds protocols mixes honest
+      expect_cached (base : Protocol.params) =
+    let spec =
+      match spec_file with
+      | Some path -> (
+          try
+            match Json.of_string (read_file path) with
+            | Error e -> Error (Printf.sprintf "%s: not JSON: %s" path e)
+            | Ok j -> (
+                match Job.of_json j with
+                | Ok s -> Ok s
+                | Error e -> Error (Printf.sprintf "%s: %s" path e))
+          with Sys_error e -> Error e)
+      | None ->
+          (* Same elaboration as the run/campaign/chaos/explore commands. *)
+          let seeds =
+            if seeds > 0 then seeds
+            else match kind with `Chaos -> 8 | _ -> 32
+          in
+          Ok (Job.of_flags ~seeds ~protocols ~mixes ~honest ~kind ~protocol base)
+    in
+    match spec with
+    | Error e ->
+        prerr_endline e;
+        3
+    | Ok spec -> (
+        match Serve.Client.connect socket with
+        | Error e ->
+            prerr_endline e;
+            3
+        | Ok conn ->
+            let on_event v =
+              match Json.member "type" v with
+              | Some (Json.String "ack")
+                when Json.member "accepted" v = Some (Json.Bool true) ->
+                  Printf.printf "submitted: %s\n%!" (Job.summary spec)
+              | Some (Json.String "progress") ->
+                  Printf.printf "  [%d/%d] %s%s%s\n%!" (json_int "done" v)
+                    (json_int "total" v) (json_str "label" v)
+                    (if Json.member "cached" v = Some (Json.Bool true) then
+                       " (cached)"
+                     else "")
+                    (if Json.member "ok" v = Some (Json.Bool true) then ""
+                     else " FAILED")
+              | _ -> ()
+            in
+            let r = Serve.Client.submit ~on_event conn spec in
+            Serve.Client.close conn;
+            (match r with
+            | Error e ->
+                prerr_endline e;
+                3
+            | Ok v -> (
+                match Json.member "type" v with
+                | Some (Json.String "done") ->
+                    let executed = json_int "executed" v in
+                    Printf.printf
+                      "done: state=%s exit=%d jobs=%d failed=%d cache_hits=%d \
+                       executed=%d\n"
+                      (json_str "state" v) (json_int "exit" v) (json_int "jobs" v)
+                      (json_int "failed" v)
+                      (json_int "cache_hits" v)
+                      executed;
+                    Printf.printf "signature=%s\n" (json_str "signature" v);
+                    if expect_cached && executed > 0 then begin
+                      Printf.eprintf
+                        "expected a fully cached run, but %d job(s) executed\n"
+                        executed;
+                      1
+                    end
+                    else json_int "exit" v
+                | Some (Json.String "ack") ->
+                    prerr_endline "rejected:";
+                    (match Json.member "errors" v with
+                    | Some (Json.List errs) ->
+                        List.iter
+                          (function
+                            | Json.String e -> Printf.eprintf "  - %s\n" e
+                            | _ -> ())
+                          errs
+                    | _ -> ());
+                    3
+                | _ ->
+                    Printf.eprintf "daemon error: %s\n"
+                      (json_str ~default:"unknown" "message" v);
+                    3)))
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:
+            "Submit a Job spec read from a JSON file (the canonical encoding, \
+             see DESIGN.md §11) instead of elaborating the flags below.")
+  in
+  let kind_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("run", `Run);
+               ("campaign", `Campaign);
+               ("chaos", `Chaos);
+               ("explore", `Explore);
+             ])
+          `Campaign
+      & info [ "kind" ] ~docv:"run|campaign|chaos|explore"
+          ~doc:"Job kind to elaborate from the flags.")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seeds" ] ~docv:"S"
+          ~doc:"Run seeds 1..S (0 = kind default: 32, chaos 8).")
+  in
+  let protocols_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "protocols" ] ~docv:"P1,P2"
+          ~doc:"Chaos: protocols to sweep (default: the built-in list).")
+  in
+  let mixes_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "mixes" ] ~docv:"M1,M2"
+          ~doc:"Chaos: fault mixes to sweep (default: all).")
+  in
+  let honest_arg =
+    Arg.(
+      value & flag
+      & info [ "honest" ] ~doc:"Explore: disable the adversarial wiring.")
+  in
+  let expect_cached_arg =
+    Arg.(
+      value & flag
+      & info [ "expect-cached" ]
+          ~doc:
+            "Exit nonzero unless the job resolved entirely from the result \
+             cache (0 executed) — CI warm-cache assertion.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a job to a running fdkit serve daemon, stream its progress, \
+          and exit with the job's exit code.  The flag set mirrors \
+          run/campaign/chaos/explore; --spec FILE submits a serialized \
+          Job spec directly.")
+    Term.(
+      const run $ socket_arg $ spec_arg $ kind_arg $ protocol_arg $ seeds_arg
+      $ protocols_arg $ mixes_arg $ honest_arg $ expect_cached_arg
+      $ params_term ())
+
+let with_daemon socket f =
+  match Serve.Client.connect socket with
+  | Error e ->
+      prerr_endline e;
+      3
+  | Ok conn ->
+      let code = f conn in
+      Serve.Client.close conn;
+      code
+
+let status_cmd =
+  let run socket =
+    with_daemon socket (fun conn ->
+        match Serve.Client.status conn with
+        | Error e ->
+            prerr_endline e;
+            3
+        | Ok v ->
+            (match Json.member "jobs" v with
+            | Some (Json.List []) | None -> print_endline "no jobs submitted"
+            | Some (Json.List jobs) ->
+                Printf.printf "%d job(s):\n" (List.length jobs);
+                List.iter
+                  (fun j ->
+                    Printf.printf
+                      "  #%d %-8s %-9s exit=%d hits=%d executed=%d %s\n"
+                      (json_int "id" j) (json_str "kind" j) (json_str "state" j)
+                      (json_int "exit" j)
+                      (json_int "cache_hits" j)
+                      (json_int "executed" j) (json_str "summary" j))
+                  jobs
+            | Some _ -> ());
+            (match Json.member "cache" v with
+            | Some (Json.Obj _ as cache) ->
+                Printf.printf "cache: %s — %d hit(s), %d miss(es), %d store(s)\n"
+                  (json_str "dir" cache) (json_int "hits" cache)
+                  (json_int "misses" cache) (json_int "stores" cache)
+            | _ -> print_endline "cache: off");
+            0)
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Print a running daemon's job history and cache counters.")
+    Term.(const run $ socket_arg)
+
+let cancel_cmd =
+  let run socket =
+    with_daemon socket (fun conn ->
+        Serve.Client.cancel conn;
+        print_endline "cancel sent";
+        0)
+  in
+  Cmd.v
+    (Cmd.info "cancel"
+       ~doc:
+         "Ask the daemon to stop scheduling further jobs of the running \
+          campaign (in-flight jobs finish; completed work is kept and cached).")
+    Term.(const run $ socket_arg)
+
+let shutdown_cmd =
+  let run socket =
+    with_daemon socket (fun conn ->
+        match Serve.Client.shutdown conn with
+        | Ok _ ->
+            print_endline "daemon shut down";
+            0
+        | Error e ->
+            prerr_endline e;
+            3)
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Stop a running fdkit serve daemon.")
+    Term.(const run $ socket_arg)
+
 let () =
   let doc = "Set-agreement-oriented failure detector classes: simulation toolkit." in
   let info = Cmd.info "fdkit" ~version:"1.0.0" ~doc in
@@ -1179,4 +1522,9 @@ let () =
             irreducibility_cmd;
             grid_cmd;
             reducible_cmd;
+            serve_cmd;
+            submit_cmd;
+            status_cmd;
+            cancel_cmd;
+            shutdown_cmd;
           ]))

@@ -199,9 +199,11 @@ let write_failures ?(dir = "_results") fails =
   let path = Filename.concat dir "chaos_failures.json" in
   Json.write_file path
     (Json.Obj
-       [
-         ("failures", Json.List (List.mapi (fun i f -> failure_to_json ~index:i f) fails));
-       ]);
+       (Stamp.fields ()
+       @ [
+           ( "failures",
+             Json.List (List.mapi (fun i f -> failure_to_json ~index:i f) fails) );
+         ]));
   path
 
 let load_failures path =
@@ -252,14 +254,33 @@ let job_horizon (base : Protocol.params) faults =
   let b = if base.Protocol.horizon > 0.0 then base.Protocol.horizon else 400.0 in
   Float.max b (Float.max heal adv_gst +. 300.0)
 
-let mk_job pk pname mixname mk (base : Protocol.params) seed =
+(* Cache key for one chaos cell: everything the outcome depends on —
+   the per-protocol code fingerprint, the job kind, and the fully
+   instantiated params (the mix is baked into [p.faults], but the mix
+   name is part of the label and params, so renames invalidate too). *)
+let job_key ~fingerprint pname label (params : (string * Json.t) list) =
+  Option.map
+    (fun fp ->
+      Runner.Cache.key
+        ~parts:
+          [
+            string_of_int Stamp.schema_version;
+            fp pname;
+            "chaos";
+            label;
+            Json.to_string ~minify:true (Json.Obj params);
+          ])
+    fingerprint
+
+let mk_job ?fingerprint pk pname mixname mk (base : Protocol.params) seed =
   let faults = mk ~n:base.Protocol.n ~t:base.Protocol.t in
   let p =
     { base with Protocol.seed; faults; horizon = job_horizon base faults }
   in
-  Runner.job ~exp:"chaos"
-    ~label:(Printf.sprintf "%s/%s/seed=%d" pname mixname seed)
-    ~params:(("mix", Json.String mixname) :: Protocol.params_to_json p)
+  let label = Printf.sprintf "%s/%s/seed=%d" pname mixname seed in
+  let params = ("mix", Json.String mixname) :: Protocol.params_to_json p in
+  Runner.job ~exp:"chaos" ~label ~params
+    ?key:(job_key ~fingerprint pname label params)
     ~seed
     (fun () ->
       match Faults.legal ~n:p.Protocol.n ~t:p.Protocol.t faults with
@@ -311,7 +332,8 @@ let mk_job pk pname mixname mk (base : Protocol.params) seed =
               ~extra:(failure_core_json fail) false
           end)
 
-let run ?jobs ?(protocols = default_protocols) ?mix_filter ?(seeds = 8) ?base () =
+let run ?jobs ?cache ?fingerprint ?on_progress ?stop
+    ?(protocols = default_protocols) ?mix_filter ?(seeds = 8) ?base () =
   let base = match base with Some b -> b | None -> Protocol.default in
   let chosen =
     match mix_filter with
@@ -326,11 +348,12 @@ let run ?jobs ?(protocols = default_protocols) ?mix_filter ?(seeds = 8) ?base ()
         | Some pk ->
             List.concat_map
               (fun (mixname, mk) ->
-                List.init seeds (fun i -> mk_job pk pname mixname mk base (i + 1)))
+                List.init seeds (fun i ->
+                    mk_job ?fingerprint pk pname mixname mk base (i + 1)))
               chosen)
       protocols
   in
-  let c = Runner.run ?jobs ~exp:"chaos" joblist in
+  let c = Runner.run ?jobs ?cache ?on_progress ?stop ~exp:"chaos" joblist in
   let fails =
     Array.to_list c.Runner.c_results
     |> List.filter_map (fun r -> failure_of_json r.Runner.r_extra)

@@ -85,6 +85,10 @@ type outcome = {
 
 val run :
   ?jobs:int ->
+  ?cache:Runner.Cache.t ->
+  ?fingerprint:(string -> string) ->
+  ?on_progress:(Runner.progress -> unit) ->
+  ?stop:(unit -> bool) ->
   ?protocols:string list ->
   ?mix_filter:string list ->
   ?seeds:int ->
@@ -97,7 +101,12 @@ val run :
     [seed], [faults] and widens [horizon] beyond the mix's heal time.
     Minimization happens inside the failing job, so the outcome is
     deterministic in [(protocols, mixes, seeds, base)] regardless of
-    [jobs]. *)
+    [jobs].
+
+    With [fingerprint] (protocol name → code fingerprint, normally
+    [Fingerprint.protocol]) every job gets a content-address, so
+    [cache] can replay warm cells without executing; [on_progress] and
+    [stop] pass through to {!Runner.run}. *)
 
 (** {1 Artifacts} *)
 

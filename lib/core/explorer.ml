@@ -25,6 +25,39 @@ let default_bounds =
     shrink_budget = 200;
   }
 
+let bounds_to_json b =
+  [
+    ("depth", Json.Int b.depth);
+    ("delays", Json.Int b.delays);
+    ("walks", Json.Int b.walks);
+    ("p_deviate", Json.Float b.p_deviate);
+    ("p_crash", Json.Float b.p_crash);
+    ("max_runs_per_job", Json.Int b.max_runs_per_job);
+    ("walk_batch", Json.Int b.walk_batch);
+    ("shrink_budget", Json.Int b.shrink_budget);
+  ]
+
+let bounds_of_json fields =
+  let geti name d =
+    match List.assoc_opt name fields with Some (Json.Int i) -> i | _ -> d
+  in
+  let getf name d =
+    match Option.bind (List.assoc_opt name fields) Json.to_float_opt with
+    | Some f -> f
+    | None -> d
+  in
+  let d = default_bounds in
+  {
+    depth = geti "depth" d.depth;
+    delays = geti "delays" d.delays;
+    walks = geti "walks" d.walks;
+    p_deviate = getf "p_deviate" d.p_deviate;
+    p_crash = getf "p_crash" d.p_crash;
+    max_runs_per_job = geti "max_runs_per_job" d.max_runs_per_job;
+    walk_batch = geti "walk_batch" d.walk_batch;
+    shrink_budget = geti "shrink_budget" d.shrink_budget;
+  }
+
 let schedule_of ~protocol ~(p : Protocol.params) (choices, notes) =
   {
     Schedule.protocol;
@@ -34,13 +67,30 @@ let schedule_of ~protocol ~(p : Protocol.params) (choices, notes) =
     violation = notes;
   }
 
-let jobs ~protocol (p : Protocol.params) bounds =
+let jobs ?fingerprint ~protocol (p : Protocol.params) bounds =
   let pk =
     match Protocol.find protocol with
     | Some pk -> pk
     | None -> invalid_arg ("Explorer.jobs: unknown protocol " ^ protocol)
   in
   let make = Protocol.explore_make pk p in
+  (* One content-address per subtree job: protocol fingerprint + params
+     + bounds + the job's own label (which pins the subtree). *)
+  let job_key label =
+    Option.map
+      (fun fp ->
+        Runner.Cache.key
+          ~parts:
+            [
+              string_of_int Stamp.schema_version;
+              fp protocol;
+              "explore";
+              label;
+              Json.to_string ~minify:true (Json.Obj (Protocol.params_to_json p));
+              Json.to_string ~minify:true (Json.Obj (bounds_to_json bounds));
+            ])
+      fingerprint
+  in
   (* Sequential probe: one default run to learn which of the first
      [depth] choice points have (unpruned) alternatives.  Each point with
      alternatives becomes one job owning the subtree of executions whose
@@ -52,7 +102,7 @@ let jobs ~protocol (p : Protocol.params) bounds =
   let npoints = Array.length base.Explore.ex_options in
   let mk_job label body =
     Runner.job ~exp:"explore" ~label ~seed:p.Protocol.seed
-      ~params:(Protocol.params_to_json p)
+      ~params:(Protocol.params_to_json p) ?key:(job_key label)
       (fun () ->
         let stats = Explore.new_stats () in
         let found = body stats in
@@ -138,9 +188,9 @@ let counterexamples c =
 
 type outcome = { o_campaign : Runner.campaign; o_ces : Schedule.t list }
 
-let explore ?jobs:j ~protocol p bounds =
-  let jl = jobs ~protocol p bounds in
-  let c = Runner.run ?jobs:j ~exp:"explore" jl in
+let explore ?jobs:j ?cache ?fingerprint ?on_progress ?stop ~protocol p bounds =
+  let jl = jobs ?fingerprint ~protocol p bounds in
+  let c = Runner.run ?jobs:j ?cache ?on_progress ?stop ~exp:"explore" jl in
   { o_campaign = c; o_ces = counterexamples c }
 
 let ensure_dir dir =
@@ -153,11 +203,12 @@ let write_counterexamples ?(dir = "_results") ~protocol ces =
   let path = Filename.concat dir "counterexamples.json" in
   Json.write_file path
     (Json.Obj
-       [
-         ("protocol", Json.String protocol);
-         ("count", Json.Int (List.length ces));
-         ("counterexamples", Json.List (List.map Schedule.to_json ces));
-       ]);
+       (Stamp.fields ()
+       @ [
+           ("protocol", Json.String protocol);
+           ("count", Json.Int (List.length ces));
+           ("counterexamples", Json.List (List.map Schedule.to_json ces));
+         ]));
   path
 
 let load_counterexamples path =

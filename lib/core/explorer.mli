@@ -33,16 +33,31 @@ type bounds = {
 
 val default_bounds : bounds
 
+val bounds_to_json : bounds -> (string * Setagree_util.Json.t) list
+(** Fixed field order — the canonical form feeds exploration cache
+    keys and [Job] specs. *)
+
+val bounds_of_json : (string * Setagree_util.Json.t) list -> bounds
+(** Tolerant inverse: missing/ill-typed fields fall back to
+    {!default_bounds}. *)
+
 val schedule_of :
   protocol:string ->
   p:Protocol.params ->
   Schedule.choice list * string list ->
   Schedule.t
 
-val jobs : protocol:string -> Protocol.params -> bounds -> Runner.job list
+val jobs :
+  ?fingerprint:(string -> string) ->
+  protocol:string ->
+  Protocol.params ->
+  bounds ->
+  Runner.job list
 (** The canonical job list (see above).  Runs one sequential probe
     execution to discover branchable points.  Raises [Invalid_argument]
-    on an unknown protocol name. *)
+    on an unknown protocol name.  With [fingerprint] (normally
+    [Fingerprint.protocol]) each job gets a result-cache key covering
+    the protocol fingerprint, params, bounds and subtree label. *)
 
 val counterexamples : Runner.campaign -> Schedule.t list
 (** All counterexamples of the campaign, in canonical result order,
@@ -50,9 +65,19 @@ val counterexamples : Runner.campaign -> Schedule.t list
 
 type outcome = { o_campaign : Runner.campaign; o_ces : Schedule.t list }
 
-val explore : ?jobs:int -> protocol:string -> Protocol.params -> bounds -> outcome
+val explore :
+  ?jobs:int ->
+  ?cache:Runner.Cache.t ->
+  ?fingerprint:(string -> string) ->
+  ?on_progress:(Runner.progress -> unit) ->
+  ?stop:(unit -> bool) ->
+  protocol:string ->
+  Protocol.params ->
+  bounds ->
+  outcome
 (** [jobs ∘ Runner.run ∘ counterexamples].  The campaign is recorded in
-    the runner's triage sink under experiment name ["explore"]. *)
+    the runner's triage sink under experiment name ["explore"]; cache,
+    progress and cancellation options pass through to {!Runner.run}. *)
 
 val write_counterexamples :
   ?dir:string -> protocol:string -> Schedule.t list -> string

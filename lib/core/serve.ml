@@ -1,0 +1,438 @@
+(* fdkit serve: the campaign daemon.
+
+   A long-running process listening on a Unix domain socket.  Frames in
+   both directions are newline-delimited JSON (one value per line,
+   decoded incrementally with Util.Json.Stream).  Clients submit
+   Job.specs; the daemon validates, schedules them on the campaign
+   engine (worker domains), streams progress events back live, and
+   resolves warm jobs from the content-addressed result cache.
+
+   Concurrency model: connections are handled one at a time, and one
+   job runs at a time — parallelism lives inside the campaign engine
+   (worker domains), not across jobs, so two submissions never fight
+   over domains or artifact files.  While a job runs, the daemon polls
+   the client socket between job submissions (Runner's [stop] hook, on
+   the producer domain): a {"op":"cancel"} frame — or the client
+   hanging up — cancels the remainder of the campaign; in-flight jobs
+   finish and completed work is kept (and cached).
+
+   Progress frames are written from worker domains ([on_progress]);
+   all socket writes go through one mutex so frames never interleave. *)
+
+open Setagree_util
+open Setagree_runner
+
+type config = {
+  socket_path : string;
+  cache_dir : string option;  (* None = caching off *)
+  jobs : int option;  (* worker domains; None = Runner.default_jobs *)
+  out_dir : string;  (* artifact directory *)
+  log : string -> unit;  (* daemon-side logging *)
+}
+
+let default_config =
+  {
+    socket_path = Filename.concat "_results" "fdkit.sock";
+    cache_dir = Some Runner.Cache.default_dir;
+    jobs = None;
+    out_dir = "_results";
+    log = ignore;
+  }
+
+(* ---- job history ---- *)
+
+type state = Queued | Running | Done | Cancelled | Rejected
+
+let state_to_string = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Cancelled -> "cancelled"
+  | Rejected -> "rejected"
+
+type record = {
+  id : int;
+  spec : Job.spec option;  (* None for rejected frames that never parsed *)
+  mutable rstate : state;
+  mutable exit_code : int;
+  mutable cache_hits : int;
+  mutable executed : int;
+  mutable signature : string;  (* MD5 of the campaign signature *)
+  mutable errors : string list;
+}
+
+(* ---- framing ---- *)
+
+let send mutex oc j =
+  Mutex.lock mutex;
+  (* A hung-up client turns the write into EPIPE (SIGPIPE is ignored
+     while serving): swallow it — the read side sees EOF and cancels. *)
+  (try
+     output_string oc (Json.to_string ~minify:true j);
+     output_char oc '\n';
+     flush oc
+   with Sys_error _ -> ());
+  Mutex.unlock mutex
+
+let error_frame ?id msg =
+  Json.Obj
+    ((match id with None -> [] | Some id -> [ ("id", Json.Int id) ])
+    @ [ ("type", Json.String "error"); ("message", Json.String msg) ])
+
+let sig_md5 c = Digest.to_hex (Digest.string (Runner.signature c))
+
+let record_json r =
+  Json.Obj
+    [
+      ("id", Json.Int r.id);
+      ( "kind",
+        Json.String (match r.spec with Some s -> Job.kind s | None -> "?") );
+      ( "summary",
+        Json.String (match r.spec with Some s -> Job.summary s | None -> "?") );
+      ("state", Json.String (state_to_string r.rstate));
+      ("exit", Json.Int r.exit_code);
+      ("cache_hits", Json.Int r.cache_hits);
+      ("executed", Json.Int r.executed);
+      ("signature", Json.String r.signature);
+      ("errors", Json.List (List.map (fun e -> Json.String e) r.errors));
+    ]
+
+(* ---- the daemon ---- *)
+
+type t = {
+  cfg : config;
+  cache : Runner.Cache.t option;
+  mutable history : record list;  (* newest first *)
+  mutable next_id : int;
+  mutable shutdown : bool;
+}
+
+let fresh_record t spec =
+  let r =
+    {
+      id = t.next_id;
+      spec;
+      rstate = Queued;
+      exit_code = 0;
+      cache_hits = 0;
+      executed = 0;
+      signature = "";
+      errors = [];
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.history <- r :: t.history;
+  r
+
+(* Drain every complete frame currently buffered on [fd] without
+   blocking; feed them to [handle].  Returns [`Eof] when the peer hung
+   up. *)
+let poll_frames fd dec handle =
+  let buf = Bytes.create 4096 in
+  let rec drain_values () =
+    match Json.Stream.next dec with
+    | `Value v ->
+        handle v;
+        drain_values ()
+    | `Error _ -> drain_values () (* skip the bad line, keep decoding *)
+    | `Await -> `Ok
+  in
+  let rec drain_socket () =
+    match Unix.select [ fd ] [] [] 0.0 with
+    | [], _, _ -> drain_values ()
+    | _ -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> `Eof
+        | len ->
+            Json.Stream.feed dec (Bytes.sub_string buf 0 len);
+            drain_socket ()
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+            drain_values ()
+        | exception Unix.Unix_error _ -> `Eof)
+  in
+  drain_socket ()
+
+let run_submission t fd dec oc wmutex (spec : Job.spec) =
+  let r = fresh_record t (Some spec) in
+  match Job.validate spec with
+  | Error errs ->
+      r.rstate <- Rejected;
+      r.exit_code <- 3;
+      r.errors <- errs;
+      send wmutex oc
+        (Json.Obj
+           [
+             ("type", Json.String "ack");
+             ("id", Json.Int r.id);
+             ("accepted", Json.Bool false);
+             ("errors", Json.List (List.map (fun e -> Json.String e) errs));
+           ])
+  | Ok () ->
+      send wmutex oc
+        (Json.Obj
+           [
+             ("type", Json.String "ack");
+             ("id", Json.Int r.id);
+             ("accepted", Json.Bool true);
+             ("summary", Json.String (Job.summary spec));
+           ]);
+      r.rstate <- Running;
+      t.cfg.log (Printf.sprintf "job %d: %s" r.id (Job.summary spec));
+      let cancelled = ref false in
+      (* Polled by the campaign engine between job submissions: any
+         buffered cancel frame — or the client hanging up — stops the
+         remainder of the campaign. *)
+      let stop () =
+        if !cancelled then true
+        else begin
+          (match
+             poll_frames fd dec (fun v ->
+                 match Json.member "op" v with
+                 | Some (Json.String "cancel") -> cancelled := true
+                 | Some (Json.String "ping") ->
+                     send wmutex oc (Json.Obj [ ("type", Json.String "pong") ])
+                 | _ ->
+                     send wmutex oc
+                       (error_frame ~id:r.id "busy: one job at a time"))
+           with
+          | `Eof -> cancelled := true
+          | `Ok -> ());
+          !cancelled
+        end
+      in
+      let on_progress (p : Runner.progress) =
+        send wmutex oc
+          (Json.Obj
+             [
+               ("type", Json.String "progress");
+               ("id", Json.Int r.id);
+               ("done", Json.Int p.Runner.pr_done);
+               ("total", Json.Int p.Runner.pr_total);
+               ("cached", Json.Bool p.Runner.pr_cached);
+               ("label", Json.String p.Runner.pr_result.Runner.r_label);
+               ("ok", Json.Bool p.Runner.pr_result.Runner.r_ok);
+             ])
+      in
+      let o =
+        Job.execute ?jobs:t.cfg.jobs ?cache:t.cache ~on_progress ~stop spec
+      in
+      let c = o.Job.o_campaign in
+      (match spec with
+      | Job.Run _ | Job.Replay _ -> ()
+      | Job.Campaign _ | Job.Chaos _ | Job.Explore _ ->
+          ignore (Runner.write_artifact ~dir:t.cfg.out_dir c);
+          (match o.Job.o_chaos with
+          | Some co -> ignore (Chaos.write_failures ~dir:t.cfg.out_dir co.Chaos.o_failures)
+          | None -> ());
+          (match (spec, o.Job.o_ces) with
+          | Job.Explore { protocol; _ }, ces ->
+              ignore (Explorer.write_counterexamples ~dir:t.cfg.out_dir ~protocol ces)
+          | _ -> ()));
+      r.rstate <- (if c.Runner.c_cancelled then Cancelled else Done);
+      r.exit_code <- o.Job.o_exit;
+      r.cache_hits <- c.Runner.c_cache_hits;
+      r.executed <- c.Runner.c_executed;
+      r.signature <- sig_md5 c;
+      t.cfg.log
+        (Printf.sprintf "job %d: %s exit=%d hits=%d executed=%d" r.id
+           (state_to_string r.rstate) r.exit_code r.cache_hits r.executed);
+      send wmutex oc
+        (Json.Obj
+           [
+             ("type", Json.String "done");
+             ("id", Json.Int r.id);
+             ("state", Json.String (state_to_string r.rstate));
+             ("exit", Json.Int r.exit_code);
+             ("jobs", Json.Int (Array.length c.Runner.c_results));
+             ("failed", Json.Int (List.length (Runner.failures c)));
+             ("cache_hits", Json.Int r.cache_hits);
+             ("executed", Json.Int r.executed);
+             ("cancelled", Json.Bool c.Runner.c_cancelled);
+             ("wall_s", Json.Float c.Runner.c_wall_s);
+             ("signature", Json.String r.signature);
+           ])
+
+let handle_frame t fd dec oc wmutex v =
+  match Json.member "op" v with
+  | Some (Json.String "ping") ->
+      send wmutex oc (Json.Obj [ ("type", Json.String "pong") ])
+  | Some (Json.String "status") ->
+      send wmutex oc
+        (Json.Obj
+           [
+             ("type", Json.String "status");
+             ("jobs", Json.List (List.rev_map record_json t.history));
+             ( "cache",
+               match t.cache with
+               | None -> Json.Null
+               | Some cache ->
+                   Json.Obj
+                     [
+                       ("dir", Json.String (Runner.Cache.dir cache));
+                       ("hits", Json.Int (Runner.Cache.hits cache));
+                       ("misses", Json.Int (Runner.Cache.misses cache));
+                       ("stores", Json.Int (Runner.Cache.stores cache));
+                     ] );
+           ])
+  | Some (Json.String "shutdown") ->
+      t.shutdown <- true;
+      send wmutex oc (Json.Obj [ ("type", Json.String "bye") ])
+  | Some (Json.String "cancel") ->
+      (* No job is running on this path (cancel during a run is consumed
+         by the stop hook); acknowledge as a no-op. *)
+      send wmutex oc (error_frame "cancel: no job is running")
+  | Some (Json.String "submit") -> (
+      match Json.member "spec" v with
+      | None -> send wmutex oc (error_frame "submit: missing \"spec\"")
+      | Some sj -> (
+          match Job.of_json sj with
+          | Error e -> send wmutex oc (error_frame ("submit: " ^ e))
+          | Ok spec -> run_submission t fd dec oc wmutex spec))
+  | Some (Json.String op) -> send wmutex oc (error_frame ("unknown op " ^ op))
+  | _ -> send wmutex oc (error_frame "frame has no \"op\"")
+
+let handle_connection t fd =
+  let oc = Unix.out_channel_of_descr fd in
+  let wmutex = Mutex.create () in
+  let dec = Json.Stream.decoder () in
+  let buf = Bytes.create 4096 in
+  let rec loop () =
+    if t.shutdown then ()
+    else
+      match Json.Stream.next dec with
+      | `Value v ->
+          handle_frame t fd dec oc wmutex v;
+          loop ()
+      | `Error e ->
+          send wmutex oc (error_frame (Json.error_to_string e));
+          loop ()
+      | `Await -> (
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | 0 -> ()
+          | len ->
+              Json.Stream.feed dec (Bytes.sub_string buf 0 len);
+              loop ()
+          | exception Unix.Unix_error _ -> ())
+  in
+  (try loop () with Sys_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let bind_socket path =
+  mkdir_p (Filename.dirname path);
+  if Sys.file_exists path then Unix.unlink path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  sock
+
+let serve ?(config = default_config) () =
+  (* Clients may hang up while the daemon streams progress; without
+     this the first write to a dead socket kills the whole process. *)
+  let previous_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let cache = Option.map (fun dir -> Runner.Cache.create ~dir ()) config.cache_dir in
+  let t = { cfg = config; cache; history = []; next_id = 1; shutdown = false } in
+  let sock = bind_socket config.socket_path in
+  config.log (Printf.sprintf "listening on %s" config.socket_path);
+  (* Accept with a timeout so an idle daemon notices [shutdown] set by
+     the previous connection without requiring another client. *)
+  let rec accept_loop () =
+    if t.shutdown then ()
+    else
+      match Unix.select [ sock ] [] [] 0.5 with
+      | [], _, _ -> accept_loop ()
+      | _ ->
+          let fd, _ = Unix.accept sock in
+          handle_connection t fd;
+          accept_loop ()
+  in
+  accept_loop ();
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  (try Unix.unlink config.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+  (match previous_sigpipe with
+  | Some behavior -> ( try Sys.set_signal Sys.sigpipe behavior with Invalid_argument _ | Sys_error _ -> ())
+  | None -> ());
+  config.log "shut down"
+
+(* ---- client ---- *)
+
+module Client = struct
+  type conn = {
+    fd : Unix.file_descr;
+    coc : out_channel;
+    cdec : Json.Stream.decoder;
+  }
+
+  let connect path =
+    (* Mirror the daemon: a dying daemon must surface as an [Error],
+       not SIGPIPE-terminate the client. *)
+    (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+     with Invalid_argument _ | Sys_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok { fd; coc = Unix.out_channel_of_descr fd; cdec = Json.Stream.decoder () }
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+
+  let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+  let send_frame c j =
+    output_string c.coc (Json.to_string ~minify:true j);
+    output_char c.coc '\n';
+    flush c.coc
+
+  (* Blocking read of the next frame. *)
+  let rec next_frame c =
+    match Json.Stream.next c.cdec with
+    | `Value v -> Ok v
+    | `Error e -> Error (Json.error_to_string e)
+    | `Await -> (
+        let buf = Bytes.create 4096 in
+        match Unix.read c.fd buf 0 (Bytes.length buf) with
+        | 0 -> Error "connection closed"
+        | len ->
+            Json.Stream.feed c.cdec (Bytes.sub_string buf 0 len);
+            next_frame c
+        | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+
+  let request c j =
+    match send_frame c j with
+    | () -> next_frame c
+    | exception Sys_error e -> Error e
+
+  let op name = Json.Obj [ ("op", Json.String name) ]
+  let ping c = request c (op "ping")
+  let status c = request c (op "status")
+  let shutdown c = request c (op "shutdown")
+  let cancel c = try send_frame c (op "cancel") with Sys_error _ -> ()
+
+  let submit ?(on_event = ignore) c spec =
+    match
+      send_frame c
+        (Json.Obj [ ("op", Json.String "submit"); ("spec", Job.to_json spec) ])
+    with
+    | exception Sys_error e -> Error e
+    | () ->
+    let rec wait () =
+      match next_frame c with
+      | Error _ as e -> e
+      | Ok v -> (
+          on_event v;
+          match Json.member "type" v with
+          | Some (Json.String ("done" | "error")) -> Ok v
+          | Some (Json.String "ack")
+            when Json.member "accepted" v = Some (Json.Bool false) ->
+              Ok v
+          | _ -> wait ())
+    in
+    wait ()
+end

@@ -1,0 +1,73 @@
+(** [fdkit serve]: the campaign daemon and its client (DESIGN.md §11).
+
+    A long-running process on a Unix domain socket speaking
+    newline-delimited JSON (one frame per line, {!Setagree_util.Json.Stream}).
+    Clients submit {!Job.spec}s; the daemon validates, executes on the
+    campaign engine, streams progress frames live, and resolves warm
+    jobs from the content-addressed result cache.
+
+    Wire protocol (client → daemon ops, daemon → client frame types):
+    - [{"op":"submit","spec":{...}}] → [ack] (accepted or rejected with
+      errors), then [progress] per completed job
+      ([done]/[total]/[cached]/[label]/[ok]), then [done] with the exit
+      code, cache hit/executed counts and the campaign signature (MD5);
+    - [{"op":"cancel"}] (sent while a job runs) → the daemon stops
+      scheduling further jobs; in-flight jobs finish, completed work is
+      kept and cached, and the [done] frame reports
+      [state = "cancelled"];
+    - [{"op":"status"}] → [status] with the job history and cache
+      counters; [{"op":"ping"}] → [pong]; [{"op":"shutdown"}] → [bye]
+      and the daemon exits.
+
+    Connections are handled one at a time and one job runs at a time —
+    parallelism lives inside the campaign engine (worker domains), so
+    submissions never fight over domains or artifact files.  A client
+    hanging up mid-run cancels the remainder of its campaign. *)
+
+open Setagree_util
+
+type config = {
+  socket_path : string;  (** default [_results/fdkit.sock] *)
+  cache_dir : string option;  (** [None] disables the result cache *)
+  jobs : int option;
+      (** worker domains; [None] = [Setagree_runner.Runner.default_jobs] *)
+  out_dir : string;  (** artifact directory for campaign outputs *)
+  log : string -> unit;  (** daemon-side logging hook *)
+}
+
+val default_config : config
+
+val serve : ?config:config -> unit -> unit
+(** Bind the socket (replacing a stale file) and serve until a
+    [shutdown] op; removes the socket file on exit.  Campaign-shaped
+    jobs also write their usual artifacts ([BENCH_<exp>.json],
+    [chaos_failures.json], [counterexamples.json]) into [out_dir]. *)
+
+(** Blocking client for the wire protocol above ([fdkit
+    submit/status/cancel] and the tests). *)
+module Client : sig
+  type conn
+
+  val connect : string -> (conn, string) result
+  val close : conn -> unit
+
+  val submit :
+    ?on_event:(Json.t -> unit) -> conn -> Job.spec -> (Json.t, string) result
+  (** Submit and stream: [on_event] sees every frame (ack, progress,
+      ...); returns the terminal frame — [done], [error], or a
+      rejecting [ack]. *)
+
+  val status : conn -> (Json.t, string) result
+  val ping : conn -> (Json.t, string) result
+
+  val cancel : conn -> unit
+  (** Fire-and-forget: the daemon consumes it between job submissions;
+      the eventual [done] frame reports [state = "cancelled"]. *)
+
+  val shutdown : conn -> (Json.t, string) result
+
+  val request : conn -> Json.t -> (Json.t, string) result
+  (** Raw frame exchange (send one, read one). *)
+
+  val next_frame : conn -> (Json.t, string) result
+end

@@ -68,13 +68,16 @@ let entry_json time entry =
 let jsonl_lines tr =
   let meta =
     Json.Obj
-      [
-        ("type", Json.String "meta");
-        ("format", Json.String "setagree-trace");
-        ("version", Json.Int 1);
-        ("level", Json.String (Trace.level_to_string (Trace.level tr)));
-        ("entries", Json.Int (Trace.length tr));
-      ]
+      ([
+         ("type", Json.String "meta");
+         ("format", Json.String "setagree-trace");
+         ("version", Json.Int 1);
+       ]
+      @ Stamp.fields ()
+      @ [
+          ("level", Json.String (Trace.level_to_string (Trace.level tr)));
+          ("entries", Json.Int (Trace.length tr));
+        ])
   in
   let lines = ref [] in
   Trace.iter
@@ -190,10 +193,11 @@ let chrome_json tr =
       (Trace.counters tr)
   in
   Json.Obj
-    [
-      ("traceEvents", Json.List (List.rev !events @ counter_events));
-      ("displayTimeUnit", Json.String "ms");
-    ]
+    (Stamp.fields ()
+    @ [
+        ("traceEvents", Json.List (List.rev !events @ counter_events));
+        ("displayTimeUnit", Json.String "ms");
+      ])
 
 let to_chrome tr = Json.to_string ~minify:true (chrome_json tr)
 

@@ -14,14 +14,17 @@
 
 val jsonl_lines : Trace.t -> string list
 (** One minified JSON object per line: first a [{"type":"meta",...}]
-    header, then every entry in log order, then the counters (sorted by
-    name). *)
+    header (carrying the [Util.Stamp] schema-version and
+    code-fingerprint fields, like every artifact), then every entry in
+    log order, then the counters (sorted by name). *)
 
 val to_jsonl : Trace.t -> string
 (** [jsonl_lines] joined with ["\n"], trailing newline included. *)
 
 val chrome_json : Trace.t -> Setagree_util.Json.t
-(** The [{"traceEvents": [...]}] object. *)
+(** The [{"traceEvents": [...]}] object, stamped with the schema
+    version and code fingerprint ([fdkit trace --check] warns when a
+    file's fingerprint differs from the running build's). *)
 
 val to_chrome : Trace.t -> string
 (** [chrome_json] rendered minified (byte-stable). *)

@@ -14,12 +14,13 @@ type job = {
   params : (string * Json.t) list;
   seed : int;
   replay : string option;
+  key : string option;
   run : unit -> body;
 }
 
-let job ?label ?(params = []) ?replay ~exp ~seed run =
+let job ?label ?(params = []) ?replay ?key ~exp ~seed run =
   let label = match label with Some l -> l | None -> Printf.sprintf "%s/seed=%d" exp seed in
-  { exp; label; params; seed; replay; run }
+  { exp; label; params; seed; replay; key; run }
 
 let body ?(notes = []) ?(metrics = []) ?(row = "") ?(extra = Json.Null) ok =
   { ok; notes; metrics; row; extra }
@@ -45,6 +46,16 @@ type campaign = {
   c_results : result array;
   c_wall_s : float;
   c_throughput : float;
+  c_cache_hits : int;
+  c_executed : int;
+  c_cancelled : bool;
+}
+
+type progress = {
+  pr_result : result;
+  pr_cached : bool;
+  pr_done : int;
+  pr_total : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -148,6 +159,174 @@ let run_job j =
     r_wall_s = Unix.gettimeofday () -. t0;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Result serialization (artifacts + cache entries)                    *)
+(* ------------------------------------------------------------------ *)
+
+let opt_string = function None -> Json.Null | Some s -> Json.String s
+
+let result_json ?(timing = true) r =
+  Json.Obj
+    ([
+       ("label", Json.String r.r_label);
+       ("seed", Json.Int r.r_seed);
+       ("params", Json.Obj r.r_params);
+       ("ok", Json.Bool r.r_ok);
+       ("notes", Json.List (List.map (fun n -> Json.String n) r.r_notes));
+       ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.r_metrics));
+       ("row", Json.String r.r_row);
+       ("extra", r.r_extra);
+       ("error", opt_string r.r_error);
+       ("replay", opt_string r.r_replay);
+     ]
+    @ if timing then [ ("wall_s", Json.Float r.r_wall_s) ] else [])
+
+(* Inverse of [result_json ~timing:false] plus the experiment id; the
+   round-trip must be exact (the [signature] of a cache-replayed
+   campaign is byte-identical to the cold one — test-pinned). *)
+let result_of_json j =
+  match j with
+  | Json.Obj fields ->
+      let find name = List.assoc_opt name fields in
+      let str name d = match find name with Some (Json.String s) -> s | _ -> d in
+      let opt name =
+        match find name with Some (Json.String s) -> Some s | _ -> None
+      in
+      let notes =
+        match find "notes" with
+        | Some (Json.List l) ->
+            List.filter_map (function Json.String s -> Some s | _ -> None) l
+        | _ -> []
+      in
+      let metrics =
+        match find "metrics" with
+        | Some (Json.Obj l) ->
+            List.filter_map
+              (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.to_float_opt v))
+              l
+        | _ -> []
+      in
+      let params = match find "params" with Some (Json.Obj l) -> l | _ -> [] in
+      Some
+        {
+          r_exp = str "exp" "";
+          r_label = str "label" "";
+          r_params = params;
+          r_seed = (match find "seed" with Some (Json.Int i) -> i | _ -> 0);
+          r_replay = opt "replay";
+          r_ok = (match find "ok" with Some (Json.Bool b) -> b | _ -> false);
+          r_notes = notes;
+          r_metrics = metrics;
+          r_row = str "row" "";
+          r_extra = (match find "extra" with Some e -> e | None -> Json.Null);
+          r_error = opt "error";
+          r_wall_s = 0.0;
+        }
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed result cache.  Entries are keyed by an opaque hex
+   digest the caller derives from everything the job's outcome depends
+   on (code fingerprint, protocol, params, seed, fault spec, backend);
+   the stored value is the interleaving-independent part of the result
+   (no wall clock), so replaying from cache preserves [signature]
+   byte-for-byte.  Entries are sharded two-hex-chars deep and written
+   atomically (tmp + rename), so worker domains can store concurrently
+   without locking the directory.                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = struct
+  type t = {
+    dir : string;
+    mutable hits : int;
+    mutable misses : int;
+    mutable stores : int;
+    m : Mutex.t;
+  }
+
+  let default_dir = Filename.concat "_results" "cache"
+
+  let rec mkdir_p dir =
+    if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+      mkdir_p (Filename.dirname dir);
+      try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+    end
+
+  let create ?(dir = default_dir) () =
+    mkdir_p dir;
+    { dir; hits = 0; misses = 0; stores = 0; m = Mutex.create () }
+
+  let dir t = t.dir
+  let hits t = t.hits
+  let misses t = t.misses
+  let stores t = t.stores
+
+  let reset_stats t =
+    Mutex.lock t.m;
+    t.hits <- 0;
+    t.misses <- 0;
+    t.stores <- 0;
+    Mutex.unlock t.m
+
+  let bump t field =
+    Mutex.lock t.m;
+    (match field with
+    | `Hit -> t.hits <- t.hits + 1
+    | `Miss -> t.misses <- t.misses + 1
+    | `Store -> t.stores <- t.stores + 1);
+    Mutex.unlock t.m
+
+  (* MD5 over the NUL-joined parts: stable, dependency-free, and not
+     security-sensitive (the cache is a local build artifact). *)
+  let key ~parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+  let path_of t k =
+    let shard = if String.length k >= 2 then String.sub k 0 2 else "xx" in
+    Filename.concat (Filename.concat t.dir shard) (k ^ ".json")
+
+  let entry_json k r =
+    Json.Obj
+      ([ ("cache_key", Json.String k); ("exp", Json.String r.r_exp) ]
+      @ Stamp.fields ()
+      @
+      match result_json ~timing:false r with
+      | Json.Obj fields -> fields
+      | j -> [ ("result", j) ])
+
+  let find t k =
+    let path = path_of t k in
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error _ ->
+        bump t `Miss;
+        None
+    | contents -> (
+        match Json.of_string contents with
+        | Error _ ->
+            bump t `Miss;
+            None
+        | Ok j -> (
+            match result_of_json j with
+            | Some r ->
+                bump t `Hit;
+                Some r
+            | None ->
+                bump t `Miss;
+                None))
+
+  let store t k r =
+    let path = path_of t k in
+    mkdir_p (Filename.dirname path);
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+        (Domain.self () :> int)
+    in
+    (try
+       Json.write_file tmp (entry_json k r);
+       Sys.rename tmp path
+     with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ()));
+    bump t `Store
+end
+
 let sink : campaign list ref = ref []
 let sink_mutex = Mutex.create ()
 
@@ -167,15 +346,68 @@ let reset_sink () =
   sink := [];
   Mutex.unlock sink_mutex
 
-let run ?jobs ~exp joblist =
+let run ?jobs ?cache ?on_progress ?stop ~exp joblist =
   let workers = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let jobs_a = Array.of_list joblist in
   let total = Array.length jobs_a in
   let workers = min workers (max 1 total) in
   let out = Array.make total None in
+  let cached = Array.make total false in
+  let done_count = ref 0 in
+  let emit_mutex = Mutex.create () in
+  (* Progress callbacks fire from worker domains too; serialize them and
+     the completion counter under one lock. *)
+  let emit i r was_cached =
+    Mutex.lock emit_mutex;
+    incr done_count;
+    out.(i) <- Some r;
+    cached.(i) <- was_cached;
+    (match on_progress with
+    | None -> ()
+    | Some f ->
+        f { pr_result = r; pr_cached = was_cached; pr_done = !done_count; pr_total = total });
+    Mutex.unlock emit_mutex
+  in
+  let stopped = match stop with None -> fun () -> false | Some f -> f in
+  let cancelled = ref false in
   let t0 = Unix.gettimeofday () in
+  (* Cache pre-pass on the calling domain: hits are resolved up front
+     (and reported in job order), only misses are scheduled. *)
+  let misses =
+    match cache with
+    | None -> List.init total Fun.id
+    | Some cache ->
+        let misses = ref [] in
+        Array.iteri
+          (fun i j ->
+            match j.key with
+            | None -> misses := i :: !misses
+            | Some k -> (
+                match Cache.find cache k with
+                | Some r -> emit i { r with r_exp = j.exp } true
+                | None -> misses := i :: !misses))
+          jobs_a;
+        List.rev !misses
+  in
+  let execute i =
+    let j = jobs_a.(i) in
+    let r = run_job j in
+    (match (cache, j.key) with
+    | Some cache, Some k when r.r_error = None -> Cache.store cache k r
+    | _ -> ());
+    emit i r false
+  in
+  let executed = ref 0 in
   if workers <= 1 then
-    Array.iteri (fun i j -> out.(i) <- Some (run_job j)) jobs_a
+    List.iter
+      (fun i ->
+        if not !cancelled then
+          if stopped () then cancelled := true
+          else begin
+            execute i;
+            incr executed
+          end)
+      misses
   else begin
     let q = Bqueue.create (2 * workers) in
     let worker () =
@@ -185,24 +417,41 @@ let run ?jobs ~exp joblist =
         | Some i ->
             (* Distinct slots per worker; the final read happens after
                [Domain.join], which synchronizes. *)
-            out.(i) <- Some (run_job jobs_a.(i));
+            execute i;
             loop ()
       in
       loop ()
     in
     let domains = List.init workers (fun _ -> Domain.spawn worker) in
-    Array.iteri (fun i _ -> Bqueue.push q i) jobs_a;
+    (* Cancellation is producer-side: stop feeding the queue and let the
+       in-flight jobs finish, so slots are either complete or untouched. *)
+    List.iter
+      (fun i ->
+        if not !cancelled then
+          if stopped () then cancelled := true
+          else begin
+            Bqueue.push q i;
+            incr executed
+          end)
+      misses;
     Bqueue.close q;
     List.iter Domain.join domains
   end;
   let wall = Unix.gettimeofday () -. t0 in
+  let results =
+    Array.to_list out |> List.filter_map Fun.id |> Array.of_list
+  in
+  let hits = Array.fold_left (fun n b -> if b then n + 1 else n) 0 cached in
   let c =
     {
       c_exp = exp;
       c_workers = workers;
-      c_results = Array.map Option.get out;
+      c_results = results;
       c_wall_s = wall;
-      c_throughput = (float_of_int total /. Float.max wall 1e-9);
+      c_throughput = (float_of_int (Array.length results) /. Float.max wall 1e-9);
+      c_cache_hits = hits;
+      c_executed = !executed;
+      c_cancelled = !cancelled;
     }
   in
   note_campaign c;
@@ -259,38 +508,24 @@ let summary_json (s : Stats.summary) =
       ("max", Json.Float s.max);
     ]
 
-let opt_string = function None -> Json.Null | Some s -> Json.String s
-
-let result_json ?(timing = true) r =
-  Json.Obj
-    ([
-       ("label", Json.String r.r_label);
-       ("seed", Json.Int r.r_seed);
-       ("params", Json.Obj r.r_params);
-       ("ok", Json.Bool r.r_ok);
-       ("notes", Json.List (List.map (fun n -> Json.String n) r.r_notes));
-       ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.r_metrics));
-       ("row", Json.String r.r_row);
-       ("extra", r.r_extra);
-       ("error", opt_string r.r_error);
-       ("replay", opt_string r.r_replay);
-     ]
-    @ if timing then [ ("wall_s", Json.Float r.r_wall_s) ] else [])
-
 let campaign_json c =
   Json.Obj
-    [
+    (Stamp.fields ()
+    @ [
       ("experiment", Json.String c.c_exp);
       ("workers", Json.Int c.c_workers);
       ("jobs", Json.Int (Array.length c.c_results));
       ("failed", Json.Int (List.length (failures c)));
+      ("cache_hits", Json.Int c.c_cache_hits);
+      ("executed", Json.Int c.c_executed);
+      ("cancelled", Json.Bool c.c_cancelled);
       ("wall_s", Json.Float c.c_wall_s);
       ("throughput_jobs_per_s", Json.Float c.c_throughput);
       ( "aggregates",
         Json.Obj (List.map (fun (k, s) -> (k, summary_json s)) (metric_summaries c)) );
       ("histograms", Metrics.to_json (metric_histograms c));
       ("results", Json.List (Array.to_list (Array.map result_json c.c_results)));
-    ]
+    ])
 
 let signature c =
   Json.to_string ~minify:true
@@ -331,8 +566,9 @@ let flush_failures ?(dir = "_results") () =
   Json.write_file
     (Filename.concat dir "failures.json")
     (Json.Obj
-       [
-         ("failures", Json.Int (List.length all));
-         ("triage", Json.List (List.map failure_json all));
-       ]);
+       (Stamp.fields ()
+       @ [
+           ("failures", Json.Int (List.length all));
+           ("triage", Json.List (List.map failure_json all));
+         ]));
   List.length all

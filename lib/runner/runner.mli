@@ -46,6 +46,10 @@ type job = {
   params : (string * Json.t) list;  (** parameters recorded in artifacts *)
   seed : int;
   replay : string option;  (** ready-to-paste [fdkit] command reproducing it *)
+  key : string option;
+      (** content-address for the result cache ([None] = never cached,
+          e.g. wall-clock-dependent rt-backend jobs); derive it with
+          {!Cache.key} from everything the outcome depends on *)
   run : unit -> body;
       (** must be self-contained and re-runnable: fresh [Sim.t] from
           [seed] on every call *)
@@ -55,6 +59,7 @@ val job :
   ?label:string ->
   ?params:(string * Json.t) list ->
   ?replay:string ->
+  ?key:string ->
   exp:string ->
   seed:int ->
   (unit -> body) ->
@@ -93,7 +98,54 @@ type campaign = {
   c_results : result array;  (** canonical job order *)
   c_wall_s : float;
   c_throughput : float;  (** jobs per second of wall clock *)
+  c_cache_hits : int;  (** jobs resolved from the result cache *)
+  c_executed : int;  (** jobs actually scheduled (misses before cancel) *)
+  c_cancelled : bool;  (** [stop] fired before every job was scheduled *)
 }
+
+type progress = {
+  pr_result : result;
+  pr_cached : bool;  (** came from the cache, not an execution *)
+  pr_done : int;  (** completed so far, including this one *)
+  pr_total : int;
+}
+
+(** {1 Result cache}
+
+    Content-addressed store under [_results/cache/] (sharded
+    [ab/<hex>.json], atomic tmp+rename writes).  Keys are opaque hex
+    digests over everything a job's outcome depends on — code
+    fingerprint, protocol, canonical params, seed, fault spec, backend;
+    [Core.Job] derives them.  The stored value is the
+    interleaving-independent part of the result (no wall clock), so a
+    warm campaign's {!signature} is byte-identical to the cold one. *)
+
+module Cache : sig
+  type t
+
+  val default_dir : string
+  (** [_results/cache] *)
+
+  val create : ?dir:string -> unit -> t
+  (** Creates [dir] (and parents) if missing. *)
+
+  val dir : t -> string
+
+  val key : parts:string list -> string
+  (** MD5 hex over the NUL-joined parts; order-sensitive. *)
+
+  val find : t -> string -> result option
+  (** [None] on absent, unreadable, or malformed entries (all counted
+      as misses); loaded results have [r_wall_s = 0.]. *)
+
+  val store : t -> string -> result -> unit
+  (** Atomic (tmp + rename); safe from concurrent worker domains. *)
+
+  val hits : t -> int
+  val misses : t -> int
+  val stores : t -> int
+  val reset_stats : t -> unit
+end
 
 (** {1 Running} *)
 
@@ -101,13 +153,32 @@ val default_jobs : unit -> int
 (** [BENCH_JOBS] env var if set, else [Domain.recommended_domain_count].
     Never below 1. *)
 
-val run : ?jobs:int -> exp:string -> job list -> campaign
+val run :
+  ?jobs:int ->
+  ?cache:Cache.t ->
+  ?on_progress:(progress -> unit) ->
+  ?stop:(unit -> bool) ->
+  exp:string ->
+  job list ->
+  campaign
 (** Execute every job and merge results in canonical order.  [jobs]
     (default {!default_jobs}) is the worker-domain count; [jobs = 1]
     runs inline on the calling domain.  A job that raises is captured
     as a failed result ([r_error]), never aborting the campaign.  The
     campaign is recorded in the process-wide triage sink (see
-    {!flush_failures}). *)
+    {!flush_failures}).
+
+    With [cache], jobs whose [key] is found are resolved up front, in
+    job order, without executing ([pr_cached = true] in progress
+    events); misses execute and are stored on success (jobs that raised
+    are never cached).  With [on_progress], the callback fires once per
+    completed job — possibly from a worker domain, serialized under an
+    internal lock, in completion (not canonical) order.  With [stop],
+    the predicate is polled on the calling domain between job
+    submissions; once it returns [true], no further jobs start
+    ([c_cancelled = true]) but in-flight jobs finish and completed
+    slots are kept — [c_results] then holds fewer rows than were
+    submitted, still in canonical order. *)
 
 val failures : campaign -> result list
 
@@ -133,6 +204,14 @@ val metric_histograms : campaign -> Metrics.t
     estimates per metric. *)
 
 (** {1 JSON artifacts} *)
+
+val result_json : ?timing:bool -> result -> Json.t
+(** One result as an artifact object; [~timing:false] (default [true])
+    drops the wall-clock field — the cache/signature form. *)
+
+val result_of_json : Json.t -> result option
+(** Inverse of [result_json ~timing:false] (plus the ["exp"] field as
+    written in cache entries); [r_wall_s] loads as [0.]. *)
 
 val campaign_json : campaign -> Json.t
 

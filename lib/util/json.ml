@@ -110,12 +110,24 @@ let write_file path v =
 (* Reading                                                             *)
 (* ------------------------------------------------------------------ *)
 
-exception Parse_error of string
+type error = { offset : int; message : string; incomplete : bool }
 
-let of_string s =
+let error_to_string e =
+  Printf.sprintf "%s at offset %d%s" e.message e.offset
+    (if e.incomplete then " (incomplete input)" else "")
+
+exception Err of error
+
+(* Parse one JSON value starting at [pos]; returns the value and the
+   offset one past it.  Failures caused by running out of bytes (rather
+   than by malformed bytes) are flagged [incomplete] so a streaming
+   caller can distinguish "feed me more" from a hard error. *)
+let parse_prefix ?(pos = 0) s =
   let len = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let pos = ref pos in
+  let fail ?(incomplete = false) msg =
+    raise (Err { offset = !pos; message = msg; incomplete })
+  in
   let peek () = if !pos < len then Some s.[!pos] else None in
   let advance () = incr pos in
   let skip_ws () =
@@ -126,14 +138,21 @@ let of_string s =
   let expect c =
     match peek () with
     | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected %C" c)
+    | Some _ -> fail (Printf.sprintf "expected %C" c)
+    | None -> fail ~incomplete:true (Printf.sprintf "expected %C" c)
   in
   let literal word v =
-    if !pos + String.length word <= len && String.sub s !pos (String.length word) = word
-    then begin
-      pos := !pos + String.length word;
+    let wlen = String.length word in
+    if !pos + wlen <= len && String.sub s !pos wlen = word then begin
+      pos := !pos + wlen;
       v
     end
+    else if
+      (* The bytes present agree with the literal but the buffer ends
+         before it does: incomplete, not malformed. *)
+      !pos + wlen > len
+      && String.sub s !pos (len - !pos) = String.sub word 0 (len - !pos)
+    then fail ~incomplete:true (Printf.sprintf "expected %s" word)
     else fail (Printf.sprintf "expected %s" word)
   in
   (* Encode a decoded \uXXXX codepoint as UTF-8 bytes. *)
@@ -154,7 +173,7 @@ let of_string s =
     let buf = Buffer.create 16 in
     let rec loop () =
       match peek () with
-      | None -> fail "unterminated string"
+      | None -> fail ~incomplete:true "unterminated string"
       | Some '"' -> advance ()
       | Some '\\' -> (
           advance ();
@@ -169,7 +188,7 @@ let of_string s =
           | Some 'f' -> Buffer.add_char buf '\012'; advance (); loop ()
           | Some 'u' ->
               advance ();
-              if !pos + 4 > len then fail "truncated \\u escape";
+              if !pos + 4 > len then fail ~incomplete:true "truncated \\u escape";
               let hex = String.sub s !pos 4 in
               let cp =
                 try int_of_string ("0x" ^ hex)
@@ -178,6 +197,7 @@ let of_string s =
               pos := !pos + 4;
               add_utf8 buf cp;
               loop ()
+          | None -> fail ~incomplete:true "bad escape"
           | _ -> fail "bad escape")
       | Some c -> Buffer.add_char buf c; advance (); loop ()
     in
@@ -211,7 +231,7 @@ let of_string s =
   let rec parse_value () =
     skip_ws ();
     match peek () with
-    | None -> fail "unexpected end of input"
+    | None -> fail ~incomplete:true "unexpected end of input"
     | Some 'n' -> literal "null" Null
     | Some 't' -> literal "true" (Bool true)
     | Some 'f' -> literal "false" (Bool false)
@@ -261,19 +281,97 @@ let of_string s =
     | Some ('-' | '0' .. '9') -> parse_number ()
     | Some c -> fail (Printf.sprintf "unexpected %C" c)
   in
-  match
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> len then fail "trailing garbage";
-    v
-  with
-  | v -> Ok v
-  | exception Parse_error msg -> Error msg
+  match parse_value () with
+  | v -> Ok (v, !pos)
+  | exception Err e -> Error e
+
+let ws_only s ~from ~until =
+  let ok = ref true in
+  for i = from to until - 1 do
+    match s.[i] with ' ' | '\t' | '\n' | '\r' -> () | _ -> ok := false
+  done;
+  !ok
+
+let of_string s =
+  match parse_prefix s with
+  | Error e -> Error (error_to_string e)
+  | Ok (v, stop) ->
+      (* A bare number at the very end of a complete document is a
+         complete number; only a streaming caller must treat it as
+         possibly-unfinished (the NDJSON decoder frames on newlines, so
+         it never faces the ambiguity). *)
+      let len = String.length s in
+      let rec skip i =
+        if i < len && (match s.[i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+        then skip (i + 1)
+        else i
+      in
+      let stop = skip stop in
+      if stop <> len then
+        Error
+          (error_to_string
+             { offset = stop; message = "trailing garbage"; incomplete = false })
+      else Ok v
 
 let of_string_exn s =
   match of_string s with
   | Ok v -> v
   | Error msg -> invalid_arg ("Json.of_string_exn: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental NDJSON decoding                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Stream = struct
+  type decoder = {
+    mutable data : string;  (** bytes fed but not yet consumed *)
+    mutable start : int;  (** cursor into [data] *)
+    mutable consumed : int;  (** absolute offset of [data.[start]] *)
+  }
+
+  let decoder () = { data = ""; start = 0; consumed = 0 }
+
+  let feed d chunk =
+    if chunk <> "" then
+      if d.start = 0 then d.data <- d.data ^ chunk
+      else begin
+        (* Compact: drop consumed bytes before appending. *)
+        d.data <- String.sub d.data d.start (String.length d.data - d.start) ^ chunk;
+        d.start <- 0
+      end
+
+  let consumed d = d.consumed
+  let pending d = String.length d.data - d.start
+
+  let take_line d =
+    match String.index_from_opt d.data d.start '\n' with
+    | None -> None
+    | Some nl ->
+        let line = String.sub d.data d.start (nl - d.start) in
+        let line_off = d.consumed in
+        d.consumed <- d.consumed + (nl - d.start) + 1;
+        d.start <- nl + 1;
+        Some (line, line_off)
+
+  let rec next d =
+    match take_line d with
+    | None -> `Await
+    | Some (line, line_off) ->
+        if ws_only line ~from:0 ~until:(String.length line) then next d
+        else begin
+          match parse_prefix line with
+          | Error e -> `Error { e with offset = line_off + e.offset }
+          | Ok (v, stop) ->
+              if ws_only line ~from:stop ~until:(String.length line) then `Value v
+              else
+                `Error
+                  {
+                    offset = line_off + stop;
+                    message = "trailing garbage on frame";
+                    incomplete = false;
+                  }
+        end
+end
 
 (* ------------------------------------------------------------------ *)
 (* Accessors                                                           *)

@@ -34,11 +34,54 @@ val escape : string -> string
 
 (** {1 Reading} *)
 
+type error = {
+  offset : int;  (** byte offset of the failure (absolute for {!Stream}) *)
+  message : string;
+  incomplete : bool;
+      (** [true] when the failure is "ran out of bytes mid-value" rather
+          than malformed input — a streaming caller should feed more *)
+}
+
+val error_to_string : error -> string
+
 val of_string : string -> (t, string) result
 (** Parse a complete JSON document; [Error msg] carries an offset. *)
 
 val of_string_exn : string -> t
 (** @raise Invalid_argument on parse errors. *)
+
+val parse_prefix : ?pos:int -> string -> (t * int, error) result
+(** Parse one JSON value starting at [pos] (default 0); on success
+    returns the value and the offset one past it — trailing bytes are
+    left for the caller.  Errors caused by the buffer ending mid-value
+    are flagged [incomplete].  A number that runs to the end of the
+    buffer is returned as complete (only a framing layer can know
+    whether more digits follow; see {!Stream}). *)
+
+(** Incremental newline-delimited JSON (the [fdkit serve] socket
+    protocol): feed arbitrary chunks, pop one value per complete
+    non-blank line.  Partial frames are held until their newline
+    arrives; parse errors carry absolute byte offsets into the overall
+    stream. *)
+module Stream : sig
+  type decoder
+
+  val decoder : unit -> decoder
+
+  val feed : decoder -> string -> unit
+  (** Append a chunk (any framing: split, coalesced, byte-at-a-time). *)
+
+  val next : decoder -> [ `Value of t | `Await | `Error of error ]
+  (** Pop the next complete frame. [`Await] = no complete line buffered.
+      After [`Error] the bad frame has been consumed; decoding can
+      continue with the next line. *)
+
+  val consumed : decoder -> int
+  (** Absolute byte offset of the decode cursor. *)
+
+  val pending : decoder -> int
+  (** Bytes buffered but not yet consumed (a partial frame). *)
+end
 
 (** {1 Accessors (for reading artifacts back)} *)
 

@@ -1,0 +1,451 @@
+(* Tests for the unified Job API (DESIGN.md §11): spec serialization and
+   canonical stability, the content-addressed result cache (warm replays
+   byte-identical to cold, -j1 = -jN, per-protocol invalidation), and
+   the serve daemon end-to-end over its Unix socket. *)
+
+open Setagree_util
+open Setagree_core
+open Setagree_runner
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+(* A fresh scratch directory per test (deleted and recreated). *)
+let tmpdir name =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fdkit_job_%s_%d" name (Unix.getpid ()))
+  in
+  rm_rf d;
+  mkdir_p d;
+  d
+
+(* ------------------------------------------------------------------ *)
+(* Spec generators                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Floats are multiples of 1/4 so the JSON text round-trips exactly. *)
+let qf lo hi =
+  QCheck.Gen.map
+    (fun i -> float_of_int i /. 4.0)
+    (QCheck.Gen.int_range (lo * 4) (hi * 4))
+
+let gen_params =
+  QCheck.Gen.(
+    map
+      (fun ((n, t, seed), (z, k, x, y), (gst, horizon), (adversarial, variant, backend)) ->
+        {
+          Protocol.default with
+          Protocol.n;
+          t;
+          seed;
+          z;
+          k;
+          x;
+          y;
+          gst;
+          horizon;
+          adversarial;
+          variant;
+          backend;
+        })
+      (quad
+         (triple (int_range 4 12) (int_range 1 4) (int_range 1 99))
+         (quad (int_range 1 3) (int_range 1 3) (int_range 1 3) (int_range 1 3))
+         (pair (qf 0 50) (qf 100 400))
+         (triple bool
+            (oneofl [ "es"; "phi"; "psi" ])
+            (oneofl [ "sim"; "rt"; "rt-chan" ]))))
+
+let gen_bounds =
+  QCheck.Gen.(
+    map
+      (fun ((depth, delays, walks), (max_runs, walk_batch, shrink)) ->
+        {
+          Explorer.default_bounds with
+          Explorer.depth;
+          delays;
+          walks;
+          max_runs_per_job = max_runs;
+          walk_batch;
+          shrink_budget = shrink;
+        })
+      (pair
+         (triple (int_range 1 10) (int_range 0 4) (int_range 0 8))
+         (triple (int_range 1 500) (int_range 1 8) (int_range 0 100))))
+
+let protos = [ "kset"; "wheels"; "psi"; "consensus_s" ]
+
+let gen_spec =
+  QCheck.Gen.(
+    let* p = gen_params in
+    oneof
+      [
+        map (fun protocol -> Job.Run { protocol; params = p }) (oneofl protos);
+        map2
+          (fun protocol seeds -> Job.Campaign { protocol; seeds; params = p })
+          (oneofl protos) (int_range 1 64);
+        map2
+          (fun protocols (mixes, seeds) ->
+            Job.Chaos { protocols; mixes; seeds; base = p })
+          (list_size (int_range 1 3) (oneofl protos))
+          (pair (list_size (int_range 1 3) (oneofl Chaos.mix_names)) (int_range 1 8));
+        map2
+          (fun protocol bounds -> Job.Explore { protocol; params = p; bounds })
+          (oneofl protos) gen_bounds;
+        map
+          (fun (source, path, index) -> Job.Replay { source; path; index })
+          (triple
+             (oneofl [ Job.Schedule_file; Job.Faults_file ])
+             (oneofl [ "counterexamples.json"; "_results/chaos_failures.json" ])
+             (int_bound 5));
+      ])
+
+let arb_spec = QCheck.make ~print:Job.summary gen_spec
+
+let qcheck_spec_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"Job: of_json (to_json s) = s" arb_spec
+    (fun spec ->
+      match Job.of_json (Job.to_json spec) with
+      | Ok spec' -> Job.equal spec spec'
+      | Error e -> QCheck.Test.fail_reportf "of_json failed: %s" e)
+
+let qcheck_canonical_text_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"Job: round-trip through canonical text"
+    arb_spec (fun spec ->
+      match Job.of_json (Json.of_string_exn (Job.canonical spec)) with
+      | Ok spec' ->
+          Job.equal spec spec'
+          && Job.canonical spec = Job.canonical spec'
+      | Error e -> QCheck.Test.fail_reportf "of_json failed: %s" e)
+
+(* The canonical encoding is the basis of cache keys: pin it so an
+   accidental field reorder (which would silently invalidate every
+   cache on disk) fails a test instead. *)
+let test_canonical_pinned () =
+  let spec = Job.of_flags ~kind:`Campaign ~seeds:4 ~protocol:"kset" Protocol.default in
+  Alcotest.(check string) "canonical bytes are stable"
+    "{\"kind\":\"campaign\",\"protocol\":\"kset\",\"seeds\":4,\"params\":{\"n\":8,\"t\":3,\"seed\":1,\"z\":1,\"k\":1,\"x\":2,\"y\":1,\"gst\":40.0,\"horizon\":0.0,\"crashes\":{\"kind\":\"exactly\",\"crashes\":2,\"window\":[0.0,20.0]},\"faults\":{\"links\":[],\"partitions\":[],\"stalls\":[],\"crashes\":{\"kind\":\"none\"},\"adversary\":\"\"},\"legacy_poll\":false,\"legacy_queue\":false,\"adversarial\":false,\"variant\":\"es\",\"trace\":\"default\",\"backend\":\"sim\"}}"
+    (Job.canonical spec)
+
+let test_of_flags_defaults () =
+  (match Job.of_flags ~kind:`Chaos ~protocol:"" ~seeds:8 Protocol.default with
+  | Job.Chaos { protocols; mixes; seeds; _ } ->
+      check "default protocols" true (protocols = Chaos.default_protocols);
+      check "default mixes" true (mixes = Chaos.mix_names);
+      check_int "seeds" 8 seeds
+  | _ -> Alcotest.fail "expected Chaos");
+  match Job.of_flags ~kind:`Explore ~protocol:"kset" Protocol.default with
+  | Job.Explore { params; _ } ->
+      check "adversarial on by default" true params.Protocol.adversarial;
+      check "horizon defaulted" true (params.Protocol.horizon = 300.0)
+  | _ -> Alcotest.fail "expected Explore"
+
+let test_validate () =
+  check "good spec" true
+    (Job.validate (Job.of_flags ~kind:`Run ~protocol:"kset" Protocol.default)
+    = Ok ());
+  check "unknown protocol rejected" true
+    (Result.is_error
+       (Job.validate (Job.of_flags ~kind:`Run ~protocol:"nope" Protocol.default)));
+  check "zero seeds rejected" true
+    (Result.is_error
+       (Job.validate
+          (Job.of_flags ~kind:`Campaign ~seeds:0 ~protocol:"kset" Protocol.default)));
+  check "missing replay file rejected" true
+    (Result.is_error
+       (Job.validate
+          (Job.Replay
+             { source = Job.Faults_file; path = "/no/such/file.json"; index = 0 })))
+
+(* ------------------------------------------------------------------ *)
+(* The result cache                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let seeds = 6
+
+let small_spec =
+  Job.of_flags ~kind:`Campaign ~seeds ~protocol:"kset" Protocol.default
+
+let execute ?fingerprint ~jobs dir =
+  Job.execute ~jobs ?fingerprint ~cache:(Runner.Cache.create ~dir ()) small_spec
+
+let test_cache_cold_warm_identical () =
+  let dir = tmpdir "coldwarm" in
+  let cold = (execute ~jobs:2 dir).Job.o_campaign in
+  let warm = (execute ~jobs:2 dir).Job.o_campaign in
+  check_int "cold executed all" seeds cold.Runner.c_executed;
+  check_int "cold hit nothing" 0 cold.Runner.c_cache_hits;
+  check_int "warm executed nothing" 0 warm.Runner.c_executed;
+  check_int "warm hit everything" seeds warm.Runner.c_cache_hits;
+  Alcotest.(check string) "warm summary byte-identical to cold"
+    (Runner.signature cold) (Runner.signature warm);
+  rm_rf dir
+
+let test_cache_j1_equals_jn () =
+  let dir = tmpdir "j1jn" in
+  let cold = (execute ~jobs:1 dir).Job.o_campaign in
+  let j1 = (execute ~jobs:1 dir).Job.o_campaign in
+  let jn = (execute ~jobs:4 dir).Job.o_campaign in
+  check_int "j1 warm" 0 j1.Runner.c_executed;
+  check_int "jn warm" 0 jn.Runner.c_executed;
+  Alcotest.(check string) "-j1 = -jN on a warm cache" (Runner.signature j1)
+    (Runner.signature jn);
+  Alcotest.(check string) "warm = cold" (Runner.signature cold)
+    (Runner.signature j1);
+  rm_rf dir
+
+let test_cache_fingerprint_invalidation () =
+  let dir = tmpdir "fp" in
+  ignore (execute ~jobs:2 dir);
+  (* A changed code fingerprint must miss every entry it keys. *)
+  let bumped name = Fingerprint.protocol name ^ "+patch" in
+  let o = (execute ~fingerprint:bumped ~jobs:2 dir).Job.o_campaign in
+  check_int "bumped fingerprint misses all" seeds o.Runner.c_executed;
+  check_int "no stale hits" 0 o.Runner.c_cache_hits;
+  (* ... and the re-executed results must agree with the originals. *)
+  let warm = (execute ~jobs:2 dir).Job.o_campaign in
+  Alcotest.(check string) "same results under both fingerprints"
+    (Runner.signature o) (Runner.signature warm);
+  rm_rf dir
+
+let test_cache_key_sensitivity () =
+  let key parts = Runner.Cache.key ~parts in
+  let base = [ "1"; "fp"; "run"; "kset"; "{\"n\":8,\"seed\":1}" ] in
+  check "params change the key" true
+    (key base <> key [ "1"; "fp"; "run"; "kset"; "{\"n\":8,\"seed\":2}" ]);
+  check "fingerprint changes the key" true
+    (key base <> key [ "1"; "fp2"; "run"; "kset"; "{\"n\":8,\"seed\":1}" ]);
+  check "kind changes the key" true
+    (key base <> key [ "1"; "fp"; "chaos"; "kset"; "{\"n\":8,\"seed\":1}" ]);
+  check "schema version changes the key" true
+    (key base <> key [ "2"; "fp"; "run"; "kset"; "{\"n\":8,\"seed\":1}" ]);
+  (* Concatenation ambiguity must not collide (NUL-joined parts). *)
+  check "part boundaries matter" true
+    (key [ "ab"; "c" ] <> key [ "a"; "bc" ])
+
+let test_rt_jobs_never_cached () =
+  let dir = tmpdir "rt" in
+  let spec =
+    Job.of_flags ~kind:`Campaign ~seeds:2 ~protocol:"kset"
+      { Protocol.default with Protocol.backend = "rt-chan" }
+  in
+  (* No rt runner is installed in the test binary: jobs fail with a
+     note, but the cache question is orthogonal — nothing may be
+     stored or resolved for an rt backend. *)
+  let cache = Runner.Cache.create ~dir () in
+  let o = Job.execute ~jobs:1 ~cache spec in
+  check_int "nothing cached" 0 (Runner.Cache.stores cache);
+  check_int "nothing hit" 0 o.Job.o_campaign.Runner.c_cache_hits;
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* The serve daemon, end to end                                        *)
+(* ------------------------------------------------------------------ *)
+
+let daemon_config dir ~cache =
+  {
+    Serve.socket_path = Filename.concat dir "fdkit.sock";
+    cache_dir = (if cache then Some (Filename.concat dir "cache") else None);
+    jobs = Some 2;
+    out_dir = dir;
+    log = ignore;
+  }
+
+let start_daemon config =
+  let d = Domain.spawn (fun () -> Serve.serve ~config ()) in
+  let rec wait n =
+    if n = 0 then Alcotest.fail "daemon socket never appeared"
+    else if not (Sys.file_exists config.Serve.socket_path) then begin
+      Unix.sleepf 0.05;
+      wait (n - 1)
+    end
+  in
+  wait 100;
+  d
+
+let connect config =
+  match Serve.Client.connect config.Serve.socket_path with
+  | Ok conn -> conn
+  | Error e -> Alcotest.fail e
+
+let expect = function Ok v -> v | Error e -> Alcotest.fail e
+
+let frame_type v =
+  match Json.member "type" v with Some (Json.String s) -> s | _ -> "?"
+
+let test_daemon_submit_stream_status_shutdown () =
+  let dir = tmpdir "daemon" in
+  let config = daemon_config dir ~cache:true in
+  let d = start_daemon config in
+  let conn = connect config in
+  (* ping *)
+  check "pong" true (frame_type (expect (Serve.Client.ping conn)) = "pong");
+  (* cold submit: ack, one progress frame per job, done *)
+  let progress = ref 0 and cached = ref 0 in
+  let on_event v =
+    if frame_type v = "progress" then begin
+      incr progress;
+      if Json.member "cached" v = Some (Json.Bool true) then incr cached
+    end
+  in
+  let v = expect (Serve.Client.submit ~on_event conn small_spec) in
+  check "terminal frame is done" true (frame_type v = "done");
+  check "exit 0" true (Json.member "exit" v = Some (Json.Int 0));
+  check_int "one progress frame per job" seeds !progress;
+  check_int "cold run hit nothing" 0 !cached;
+  check "cold executed" true (Json.member "executed" v = Some (Json.Int seeds));
+  let sig_cold = Json.member "signature" v in
+  (* warm resubmit: same signature, zero executed, all frames cached *)
+  progress := 0;
+  cached := 0;
+  let v = expect (Serve.Client.submit ~on_event conn small_spec) in
+  check "warm executed nothing" true
+    (Json.member "executed" v = Some (Json.Int 0));
+  check "warm hit everything" true
+    (Json.member "cache_hits" v = Some (Json.Int seeds));
+  check_int "warm frames all cached" seeds !cached;
+  check "warm signature = cold signature" true
+    (Json.member "signature" v = sig_cold);
+  (* the daemon wrote the usual campaign artifact into out_dir *)
+  check "artifact written" true
+    (Sys.file_exists (Filename.concat dir "BENCH_kset.json"));
+  (* a rejected spec acks accepted=false and does not kill the session *)
+  let bad = Job.of_flags ~kind:`Run ~protocol:"nope" Protocol.default in
+  let v = expect (Serve.Client.submit conn bad) in
+  check "rejected ack" true
+    (frame_type v = "ack"
+    && Json.member "accepted" v = Some (Json.Bool false));
+  (* status: 3 records (2 done, 1 rejected) + live cache counters *)
+  let v = expect (Serve.Client.status conn) in
+  (match Json.member "jobs" v with
+  | Some (Json.List records) -> check_int "history length" 3 (List.length records)
+  | _ -> Alcotest.fail "status has no jobs list");
+  (match Json.member "cache" v with
+  | Some (Json.Obj _ as cache) ->
+      check "cache hits counted" true
+        (match Json.member "hits" cache with
+        | Some (Json.Int h) -> h >= seeds
+        | _ -> false)
+  | _ -> Alcotest.fail "status has no cache counters");
+  check "bye" true (frame_type (expect (Serve.Client.shutdown conn)) = "bye");
+  Serve.Client.close conn;
+  Domain.join d;
+  check "socket removed on shutdown" false
+    (Sys.file_exists config.Serve.socket_path);
+  rm_rf dir
+
+(* Cancellation is consumed between job submissions, so the exact stop
+   point is timing-dependent; the invariants are not: a done frame
+   always arrives, its state is done or cancelled, and a cancelled
+   campaign keeps (and counts) only completed jobs. *)
+let test_daemon_cancel () =
+  let dir = tmpdir "cancel" in
+  let config = daemon_config dir ~cache:false in
+  let d = start_daemon config in
+  let conn = connect config in
+  let total = 40 in
+  let spec = Job.of_flags ~kind:`Campaign ~seeds:total ~protocol:"kset" Protocol.default in
+  let ack =
+    expect
+      (Serve.Client.request conn
+         (Json.Obj [ ("op", Json.String "submit"); ("spec", Job.to_json spec) ]))
+  in
+  check "accepted" true (Json.member "accepted" ack = Some (Json.Bool true));
+  Serve.Client.cancel conn;
+  let rec drain () =
+    let v = expect (Serve.Client.next_frame conn) in
+    if frame_type v = "done" then v else drain ()
+  in
+  let v = drain () in
+  let state =
+    match Json.member "state" v with Some (Json.String s) -> s | _ -> "?"
+  in
+  check "terminal state" true (state = "cancelled" || state = "done");
+  (match (Json.member "jobs" v, Json.member "executed" v) with
+  | Some (Json.Int jobs), Some (Json.Int executed) ->
+      check "kept = executed (no cache)" true (jobs = executed);
+      if state = "cancelled" then
+        check "cancelled kept a strict prefix" true (jobs < total)
+      else check_int "finished everything" total jobs
+  | _ -> Alcotest.fail "done frame missing jobs/executed");
+  ignore (expect (Serve.Client.shutdown conn));
+  Serve.Client.close conn;
+  Domain.join d;
+  rm_rf dir
+
+(* Client hang-up while a campaign runs must cancel the remainder (the
+   daemon survives and serves the next connection). *)
+let test_daemon_eof_cancels () =
+  let dir = tmpdir "eof" in
+  let config = daemon_config dir ~cache:false in
+  let d = start_daemon config in
+  let conn = connect config in
+  let spec = Job.of_flags ~kind:`Campaign ~seeds:40 ~protocol:"kset" Protocol.default in
+  let ack =
+    expect
+      (Serve.Client.request conn
+         (Json.Obj [ ("op", Json.String "submit"); ("spec", Job.to_json spec) ]))
+  in
+  check "accepted" true (Json.member "accepted" ack = Some (Json.Bool true));
+  Serve.Client.close conn;
+  (* The daemon must notice the hang-up, finish the record, and accept a
+     fresh connection. *)
+  let conn = connect config in
+  let v = expect (Serve.Client.status conn) in
+  (match Json.member "jobs" v with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "no record of the abandoned job");
+  ignore (expect (Serve.Client.shutdown conn));
+  Serve.Client.close conn;
+  Domain.join d;
+  rm_rf dir
+
+let () =
+  let qc =
+    List.map
+      (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |]))
+      [ qcheck_spec_roundtrip; qcheck_canonical_text_roundtrip ]
+  in
+  Alcotest.run "job"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "canonical pinned" `Quick test_canonical_pinned;
+          Alcotest.test_case "of_flags defaults" `Quick test_of_flags_defaults;
+          Alcotest.test_case "validate" `Quick test_validate;
+        ]
+        @ qc );
+      ( "cache",
+        [
+          Alcotest.test_case "cold/warm byte-identical" `Quick
+            test_cache_cold_warm_identical;
+          Alcotest.test_case "-j1 = -jN warm" `Quick test_cache_j1_equals_jn;
+          Alcotest.test_case "fingerprint invalidation" `Quick
+            test_cache_fingerprint_invalidation;
+          Alcotest.test_case "key sensitivity" `Quick test_cache_key_sensitivity;
+          Alcotest.test_case "rt never cached" `Quick test_rt_jobs_never_cached;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "submit/stream/status/shutdown" `Quick
+            test_daemon_submit_stream_status_shutdown;
+          Alcotest.test_case "cancel" `Quick test_daemon_cancel;
+          Alcotest.test_case "eof cancels" `Quick test_daemon_eof_cancels;
+        ] );
+    ]

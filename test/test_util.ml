@@ -751,6 +751,130 @@ let json_qcheck =
         Json.equal j (Json.of_string_exn (Json.to_string ~minify:true j)));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Json.parse_prefix and the newline-delimited Stream decoder (the      *)
+(* serve wire format)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_parse_prefix () =
+  (match Json.parse_prefix "{\"a\":1}trailing" with
+  | Ok (v, stop) ->
+      check "value" true (Json.member "a" v = Some (Json.Int 1));
+      check_int "stop one past the value" 7 stop
+  | Error e -> Alcotest.failf "parse_prefix: %s" (Json.error_to_string e));
+  (match Json.parse_prefix ~pos:3 "xxx42,rest" with
+  | Ok (v, stop) ->
+      check "pos respected" true (v = Json.Int 42);
+      check_int "stop before comma" 5 stop
+  | Error e -> Alcotest.failf "parse_prefix ~pos: %s" (Json.error_to_string e));
+  (match Json.parse_prefix "{\"a\": [1," with
+  | Ok _ -> Alcotest.fail "truncated value accepted"
+  | Error e -> check "truncation flagged incomplete" true e.Json.incomplete);
+  match Json.parse_prefix "{oops}" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error e -> check "malformed is not incomplete" false e.Json.incomplete
+
+let stream_frames = [ "{\"op\":\"ping\"}"; "[1,2,3]"; "{\"n\":7,\"s\":\"x\"}" ]
+
+let test_stream_byte_at_a_time () =
+  let d = Json.Stream.decoder () in
+  let wire = String.concat "" (List.map (fun f -> f ^ "\n") stream_frames) in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      Json.Stream.feed d (String.make 1 c);
+      match Json.Stream.next d with
+      | `Value v -> got := v :: !got
+      | `Await -> ()
+      | `Error e -> Alcotest.failf "stream: %s" (Json.error_to_string e))
+    wire;
+  let got = List.rev !got in
+  check_int "all frames decoded" (List.length stream_frames) (List.length got);
+  List.iter2
+    (fun frame v -> check "frame survives re-chunking" true (Json.equal (Json.of_string_exn frame) v))
+    stream_frames got;
+  check_int "cursor consumed everything" (String.length wire) (Json.Stream.consumed d);
+  check_int "nothing pending" 0 (Json.Stream.pending d)
+
+let test_stream_error_recovery_and_offsets () =
+  (* A malformed line is consumed and reported with its absolute offset;
+     decoding resumes on the next line. *)
+  let d = Json.Stream.decoder () in
+  Json.Stream.feed d "{\"ok\":1}\n{bad}\n{\"ok\":2}\n";
+  (match Json.Stream.next d with
+  | `Value v -> check "first frame" true (Json.member "ok" v = Some (Json.Int 1))
+  | _ -> Alcotest.fail "expected first frame");
+  (match Json.Stream.next d with
+  | `Error e ->
+      check "absolute offset inside bad line" true (e.Json.offset >= 9 && e.Json.offset < 14);
+      check "bad line is not incomplete" false e.Json.incomplete
+  | _ -> Alcotest.fail "expected an error frame");
+  (match Json.Stream.next d with
+  | `Value v -> check "recovered after error" true (Json.member "ok" v = Some (Json.Int 2))
+  | _ -> Alcotest.fail "expected recovery");
+  check "drained" true (Json.Stream.next d = `Await)
+
+let test_stream_partial_frame_held () =
+  let d = Json.Stream.decoder () in
+  Json.Stream.feed d "{\"a\":";
+  check "partial frame awaits" true (Json.Stream.next d = `Await);
+  check "partial bytes pending" true (Json.Stream.pending d > 0);
+  Json.Stream.feed d "1}\n";
+  (match Json.Stream.next d with
+  | `Value v -> check "completed across feeds" true (Json.member "a" v = Some (Json.Int 1))
+  | _ -> Alcotest.fail "expected completed frame");
+  check_int "pending drained" 0 (Json.Stream.pending d)
+
+let stream_qcheck =
+  (* Any frame sequence survives any re-chunking of the byte stream. *)
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (1 -- 8)
+           (oneofl
+              [
+                Json.Obj [ ("k", Json.Int 1) ];
+                Json.List [ Json.Bool true; Json.Null ];
+                Json.String "line\nbreak";
+                Json.Int (-3);
+                Json.Obj [ ("nested", Json.Obj [ ("x", Json.List [ Json.Int 9 ]) ]) ];
+              ]))
+        (int_range 1 1_000_000))
+  in
+  let print (frames, seed) =
+    Printf.sprintf "seed=%d frames=%s" seed
+      (String.concat " | " (List.map (Json.to_string ~minify:true) frames))
+  in
+  QCheck.Test.make ~count:500 ~name:"stream decodes under random chunking"
+    (QCheck.make ~print gen)
+    (fun (frames, seed) ->
+      let wire =
+        String.concat "" (List.map (fun f -> Json.to_string ~minify:true f ^ "\n") frames)
+      in
+      let rng = Rng.create seed in
+      let d = Json.Stream.decoder () in
+      let got = ref [] in
+      let rec drain () =
+        match Json.Stream.next d with
+        | `Value v ->
+            got := v :: !got;
+            drain ()
+        | `Await -> ()
+        | `Error e -> QCheck.Test.fail_reportf "stream: %s" (Json.error_to_string e)
+      in
+      let pos = ref 0 in
+      let n = String.length wire in
+      while !pos < n do
+        let len = 1 + Rng.int rng (min 7 (n - !pos)) in
+        Json.Stream.feed d (String.sub wire !pos len);
+        pos := !pos + len;
+        drain ()
+      done;
+      let got = List.rev !got in
+      List.length got = List.length frames
+      && List.for_all2 Json.equal frames got
+      && Json.Stream.pending d = 0)
+
 (* Pid *)
 let test_pid () =
   Alcotest.(check string) "to_string" "p3" (Pid.to_string 2);
@@ -995,6 +1119,17 @@ let () =
         ] );
       ( "json-properties",
         List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |])) json_qcheck );
+      ( "json-stream",
+        [
+          Alcotest.test_case "parse_prefix" `Quick test_json_parse_prefix;
+          Alcotest.test_case "byte-at-a-time" `Quick test_stream_byte_at_a_time;
+          Alcotest.test_case "error recovery + offsets" `Quick
+            test_stream_error_recovery_and_offsets;
+          Alcotest.test_case "partial frame held" `Quick test_stream_partial_frame_held;
+          QCheck_alcotest.to_alcotest
+            ~rand:(Random.State.make [| 42 |])
+            stream_qcheck;
+        ] );
       ( "greedy-consumption",
         Alcotest.test_case "basics" `Quick test_greedy_consume_basics
         :: List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |])) [ ring_confluence_qcheck ] );
