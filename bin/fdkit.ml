@@ -452,7 +452,11 @@ let counter_totals (c : Runner.campaign) =
 
 let print_counter_totals c =
   print_endline "  counter totals (all jobs):";
-  List.iter (fun (key, v) -> Printf.printf "    %-22s %g\n" key v) (counter_totals c)
+  List.iter (fun (key, v) -> Printf.printf "    %-22s %g\n" key v) (counter_totals c);
+  (* Not a job metric — the campaign-level count of jobs that bypassed
+     the result cache (keyless rt/error jobs); always printed so "0
+     skipped" is distinguishable from "not measured". *)
+  Printf.printf "    %-22s %d\n" "cache.skipped" c.Runner.c_cache_skipped
 
 let cache_flag_arg =
   Arg.(
@@ -468,10 +472,12 @@ let mk_cache ~out use_cache =
   else None
 
 let print_cache_line c =
-  if c.Runner.c_cache_hits > 0 || c.Runner.c_executed < Array.length c.Runner.c_results
+  if
+    c.Runner.c_cache_hits > 0 || c.Runner.c_cache_skipped > 0
+    || c.Runner.c_executed < Array.length c.Runner.c_results
   then
-    Printf.printf "  cache: %d hit(s), %d executed\n" c.Runner.c_cache_hits
-      c.Runner.c_executed
+    Printf.printf "  cache: %d hit(s), %d executed, %d skipped\n"
+      c.Runner.c_cache_hits c.Runner.c_executed c.Runner.c_cache_skipped
 
 let campaign_cmd =
   let run family jobs seeds out compare use_cache (base : Protocol.params) =
@@ -1257,8 +1263,14 @@ let serve_cmd =
          "Run the campaign daemon: accept Job specs over a Unix socket \
           (newline-delimited JSON), execute them on the multicore campaign \
           engine, stream progress frames live, and resolve warm jobs from the \
-          content-addressed result cache.  Pair with $(b,fdkit \
-          submit/status/cancel/shutdown).")
+          content-addressed result cache.  Clients that send \
+          {\"op\":\"subscribe\"} additionally receive periodic \
+          $(b,telemetry) frames (metrics snapshots and deltas of the \
+          in-flight campaign — see $(b,fdkit submit --help) for the frame \
+          schema); {\"op\":\"unsubscribe\"} turns them off again, both \
+          honoured mid-run.  Telemetry is read-only: campaign signatures \
+          are byte-identical with or without a subscriber.  Pair with \
+          $(b,fdkit submit/status/top/cancel/shutdown).")
     Term.(
       const run $ socket_arg $ cache_dir_arg $ no_cache_arg $ jobs_arg $ out_arg
       $ verbose_arg)
@@ -1269,9 +1281,28 @@ let json_int ?(default = 0) key v =
 let json_str ?(default = "?") key v =
   match Json.member key v with Some (Json.String s) -> s | _ -> default
 
+let json_float ?(default = 0.0) key v =
+  match Json.member key v with
+  | Some (Json.Float f) -> f
+  | Some (Json.Int i) -> float_of_int i
+  | _ -> default
+
+(* One rendered line per telemetry frame under --follow. *)
+let print_telemetry v =
+  let cached = json_int "cached" v in
+  let label = json_str ~default:"" "label" v in
+  Printf.printf "  ~ #%d t=%.1fs %d/%d%s  %.1f jobs/s  %.0f ev/s  gc=%.2e mw%s\n%!"
+    (json_int "seq" v) (json_float "wall_s" v) (json_int "done" v)
+    (json_int "total" v)
+    (if cached > 0 then Printf.sprintf " (%d cached)" cached else "")
+    (json_float "rate_jobs_per_s" v)
+    (json_float "events_per_s" v)
+    (json_float "gc_minor_words" v)
+    (if label = "" then "" else "  " ^ label)
+
 let submit_cmd =
   let run socket spec_file kind protocol seeds protocols mixes honest
-      expect_cached (base : Protocol.params) =
+      expect_cached follow stream (base : Protocol.params) =
     let spec =
       match spec_file with
       | Some path -> (
@@ -1301,7 +1332,17 @@ let submit_cmd =
             prerr_endline e;
             3
         | Ok conn ->
+            let stream_oc = Option.map open_out stream in
+            (* Subscribe before submitting so the campaign's first
+               telemetry frame is never missed. *)
+            if follow || stream_oc <> None then Serve.Client.subscribe conn;
             let on_event v =
+              (match stream_oc with
+              | Some oc ->
+                  output_string oc (Json.to_string ~minify:true v);
+                  output_char oc '\n';
+                  flush oc
+              | None -> ());
               match Json.member "type" v with
               | Some (Json.String "ack")
                 when Json.member "accepted" v = Some (Json.Bool true) ->
@@ -1314,10 +1355,12 @@ let submit_cmd =
                      else "")
                     (if Json.member "ok" v = Some (Json.Bool true) then ""
                      else " FAILED")
+              | Some (Json.String "telemetry") when follow -> print_telemetry v
               | _ -> ()
             in
             let r = Serve.Client.submit ~on_event conn spec in
             Serve.Client.close conn;
+            Option.iter close_out stream_oc;
             (match r with
             | Error e ->
                 prerr_endline e;
@@ -1328,11 +1371,12 @@ let submit_cmd =
                     let executed = json_int "executed" v in
                     Printf.printf
                       "done: state=%s exit=%d jobs=%d failed=%d cache_hits=%d \
-                       executed=%d\n"
+                       executed=%d cache_skipped=%d\n"
                       (json_str "state" v) (json_int "exit" v) (json_int "jobs" v)
                       (json_int "failed" v)
                       (json_int "cache_hits" v)
-                      executed;
+                      executed
+                      (json_int "cache_skipped" v);
                     Printf.printf "signature=%s\n" (json_str "signature" v);
                     if expect_cached && executed > 0 then begin
                       Printf.eprintf
@@ -1414,17 +1458,42 @@ let submit_cmd =
             "Exit nonzero unless the job resolved entirely from the result \
              cache (0 executed) — CI warm-cache assertion.")
   in
+  let follow_arg =
+    Arg.(
+      value & flag
+      & info [ "follow" ]
+          ~doc:
+            "Subscribe to live telemetry frames and render one line per \
+             periodic snapshot (sequence number, wall clock, done/total, \
+             jobs/s, events/s, GC minor words, last completed label).")
+  in
+  let stream_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stream" ] ~docv:"FILE"
+          ~doc:
+            "Save every frame the daemon sends (ack, progress, telemetry, \
+             done) to $(docv) as newline-delimited JSON; implies the \
+             telemetry subscription.")
+  in
   Cmd.v
     (Cmd.info "submit"
        ~doc:
          "Submit a job to a running fdkit serve daemon, stream its progress, \
           and exit with the job's exit code.  The flag set mirrors \
           run/campaign/chaos/explore; --spec FILE submits a serialized \
-          Job spec directly.")
+          Job spec directly.  Daemon frames (one JSON object per line): \
+          $(b,ack) {id,accepted,summary|errors}; $(b,progress) \
+          {id,done,total,cached,label,ok}; $(b,telemetry) (with --follow or \
+          --stream) {id,seq,wall_s,done,total,cached,cache_skipped,label,\
+          rate_jobs_per_s,events_per_s,gc_minor_words,gc_promoted_words,\
+          counters,delta}; $(b,done) {id,state,exit,jobs,failed,cache_hits,\
+          executed,cache_skipped,cancelled,wall_s,signature}.")
     Term.(
       const run $ socket_arg $ spec_arg $ kind_arg $ protocol_arg $ seeds_arg
       $ protocols_arg $ mixes_arg $ honest_arg $ expect_cached_arg
-      $ params_term ())
+      $ follow_arg $ stream_arg $ params_term ())
 
 let with_daemon socket f =
   match Serve.Client.connect socket with
@@ -1435,6 +1504,13 @@ let with_daemon socket f =
       let code = f conn in
       Serve.Client.close conn;
       code
+
+(* "-" until the first snapshot of a running job; then its age. *)
+let telemetry_age j =
+  match Json.member "telemetry_age_s" j with
+  | Some (Json.Float f) -> Printf.sprintf "%.1fs" f
+  | Some (Json.Int i) -> Printf.sprintf "%d.0s" i
+  | _ -> "-"
 
 let status_cmd =
   let run socket =
@@ -1447,15 +1523,19 @@ let status_cmd =
             (match Json.member "jobs" v with
             | Some (Json.List []) | None -> print_endline "no jobs submitted"
             | Some (Json.List jobs) ->
-                Printf.printf "%d job(s):\n" (List.length jobs);
+                Printf.printf "%d job(s), queue depth %d:\n" (List.length jobs)
+                  (json_int "queue_depth" v);
                 List.iter
                   (fun j ->
                     Printf.printf
-                      "  #%d %-8s %-9s exit=%d hits=%d executed=%d %s\n"
+                      "  #%d %-8s %-9s phase=%s exit=%d hits=%d executed=%d \
+                       skipped=%d telemetry=%s %s\n"
                       (json_int "id" j) (json_str "kind" j) (json_str "state" j)
-                      (json_int "exit" j)
+                      (json_str "phase" j) (json_int "exit" j)
                       (json_int "cache_hits" j)
-                      (json_int "executed" j) (json_str "summary" j))
+                      (json_int "executed" j)
+                      (json_int "cache_skipped" j)
+                      (telemetry_age j) (json_str "summary" j))
                   jobs
             | Some _ -> ());
             (match Json.member "cache" v with
@@ -1468,8 +1548,90 @@ let status_cmd =
   in
   Cmd.v
     (Cmd.info "status"
-       ~doc:"Print a running daemon's job history and cache counters.")
+       ~doc:
+         "Print a running daemon's queue depth, job history (state, phase, \
+          cache hit/executed/skipped counts, age of the last telemetry \
+          snapshot) and cache counters.")
     Term.(const run $ socket_arg)
+
+(* ---- top: live refresh of the daemon's status ---- *)
+
+let top_cmd =
+  let run socket interval once =
+    (* Reconnect per tick: the daemon handles one connection at a time,
+       so a persistent watcher would starve submitters.  A throwaway
+       connect → status → close per refresh keeps the socket free
+       between ticks. *)
+    let render () =
+      match Serve.Client.connect socket with
+      | Error e ->
+          prerr_endline e;
+          Error 3
+      | Ok conn -> (
+          let r = Serve.Client.status conn in
+          Serve.Client.close conn;
+          match r with
+          | Error e ->
+              prerr_endline e;
+              Error 3
+          | Ok v ->
+              if not once then print_string "\027[2J\027[H";
+              Printf.printf "fdkit top — %s  queue=%d\n" socket
+                (json_int "queue_depth" v);
+              (match Json.member "jobs" v with
+              | Some (Json.List (_ :: _ as jobs)) ->
+                  Printf.printf "  %-4s %-9s %-9s %-18s %-9s %s\n" "id" "kind"
+                    "state" "phase" "telem" "summary";
+                  List.iter
+                    (fun j ->
+                      Printf.printf "  %-4d %-9s %-9s %-18s %-9s %s\n"
+                        (json_int "id" j) (json_str "kind" j)
+                        (json_str "state" j) (json_str "phase" j)
+                        (telemetry_age j) (json_str "summary" j))
+                    jobs
+              | _ -> print_endline "  no jobs submitted");
+              (match Json.member "cache" v with
+              | Some (Json.Obj _ as cache) ->
+                  Printf.printf
+                    "  cache: %s — %d hit(s), %d miss(es), %d store(s)\n%!"
+                    (json_str "dir" cache) (json_int "hits" cache)
+                    (json_int "misses" cache) (json_int "stores" cache)
+              | _ -> print_endline "  cache: off");
+              Ok ())
+    in
+    let rec loop () =
+      match render () with
+      | Error code -> code
+      | Ok () ->
+          if once then 0
+          else begin
+            Unix.sleepf interval;
+            loop ()
+          end
+    in
+    loop ()
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECS" ~doc:"Refresh period.")
+  in
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Render a single frame and exit (no screen clearing) — \
+                scripting/CI mode.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live view of a running fdkit serve daemon: queue depth and per-job \
+          state/phase/telemetry-freshness, refreshed every --interval \
+          seconds.  Each refresh is its own connect → status → close \
+          exchange, so watching never blocks submitters on the \
+          one-connection-at-a-time daemon.")
+    Term.(const run $ socket_arg $ interval_arg $ once_arg)
 
 let cancel_cmd =
   let run socket =
@@ -1525,6 +1687,7 @@ let () =
             serve_cmd;
             submit_cmd;
             status_cmd;
+            top_cmd;
             cancel_cmd;
             shutdown_cmd;
           ]))

@@ -332,7 +332,8 @@ let mk_job ?fingerprint pk pname mixname mk (base : Protocol.params) seed =
               ~extra:(failure_core_json fail) false
           end)
 
-let run ?jobs ?cache ?fingerprint ?on_progress ?stop
+let run ?jobs ?cache ?fingerprint ?on_progress ?on_telemetry
+    ?telemetry_every_s ?stop
     ?(protocols = default_protocols) ?mix_filter ?(seeds = 8) ?base () =
   let base = match base with Some b -> b | None -> Protocol.default in
   let chosen =
@@ -353,7 +354,8 @@ let run ?jobs ?cache ?fingerprint ?on_progress ?stop
               chosen)
       protocols
   in
-  let c = Runner.run ?jobs ?cache ?on_progress ?stop ~exp:"chaos" joblist in
+  let c = Runner.run ?jobs ?cache ?on_progress ?on_telemetry ?telemetry_every_s ?stop
+      ~exp:"chaos" joblist in
   let fails =
     Array.to_list c.Runner.c_results
     |> List.filter_map (fun r -> failure_of_json r.Runner.r_extra)

@@ -88,6 +88,8 @@ val run :
   ?cache:Runner.Cache.t ->
   ?fingerprint:(string -> string) ->
   ?on_progress:(Runner.progress -> unit) ->
+  ?on_telemetry:(Runner.telemetry -> unit) ->
+  ?telemetry_every_s:float ->
   ?stop:(unit -> bool) ->
   ?protocols:string list ->
   ?mix_filter:string list ->

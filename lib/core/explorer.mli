@@ -70,6 +70,8 @@ val explore :
   ?cache:Runner.Cache.t ->
   ?fingerprint:(string -> string) ->
   ?on_progress:(Runner.progress -> unit) ->
+  ?on_telemetry:(Runner.telemetry -> unit) ->
+  ?telemetry_every_s:float ->
   ?stop:(unit -> bool) ->
   protocol:string ->
   Protocol.params ->

@@ -376,7 +376,7 @@ let replay_body source path index () =
                     reproduced)))
 
 let execute ?jobs ?cache ?(fingerprint = Fingerprint.protocol) ?on_progress
-    ?stop spec =
+    ?on_telemetry ?telemetry_every_s ?stop spec =
   match spec with
   | Run { protocol; params } | Campaign { protocol; params; seeds = _ } -> (
       let seeds = match spec with Campaign { seeds; _ } -> seeds | _ -> 1 in
@@ -390,7 +390,10 @@ let execute ?jobs ?cache ?(fingerprint = Fingerprint.protocol) ?on_progress
             | _ -> protocol_job ~fingerprint ~exp:protocol protocol pk params (i + 1)
           in
           let joblist = List.init seeds mk in
-          let c = Runner.run ?jobs ?cache ?on_progress ?stop ~exp:protocol joblist in
+          let c =
+            Runner.run ?jobs ?cache ?on_progress ?on_telemetry
+              ?telemetry_every_s ?stop ~exp:protocol joblist
+          in
           {
             o_spec = spec;
             o_campaign = c;
@@ -400,7 +403,8 @@ let execute ?jobs ?cache ?(fingerprint = Fingerprint.protocol) ?on_progress
           })
   | Chaos { protocols; mixes; seeds; base } ->
       let o =
-        Chaos.run ?jobs ?cache ~fingerprint ?on_progress ?stop ~protocols
+        Chaos.run ?jobs ?cache ~fingerprint ?on_progress ?on_telemetry
+          ?telemetry_every_s ?stop ~protocols
           ~mix_filter:mixes ~seeds ~base ()
       in
       let c = o.Chaos.o_campaign in
@@ -413,7 +417,8 @@ let execute ?jobs ?cache ?(fingerprint = Fingerprint.protocol) ?on_progress
       { o_spec = spec; o_campaign = c; o_chaos = Some o; o_ces = []; o_exit = exit }
   | Explore { protocol; params; bounds } ->
       let o =
-        Explorer.explore ?jobs ?cache ~fingerprint ?on_progress ?stop ~protocol
+        Explorer.explore ?jobs ?cache ~fingerprint ?on_progress ?on_telemetry
+          ?telemetry_every_s ?stop ~protocol
           params bounds
       in
       let c = o.Explorer.o_campaign in
@@ -431,7 +436,10 @@ let execute ?jobs ?cache ?(fingerprint = Fingerprint.protocol) ?on_progress
           ~seed:index
           (replay_body source path index)
       in
-      let c = Runner.run ~jobs:1 ?on_progress ?stop ~exp:"replay" [ j ] in
+      let c =
+        Runner.run ~jobs:1 ?on_progress ?on_telemetry ?telemetry_every_s ?stop
+          ~exp:"replay" [ j ]
+      in
       {
         o_spec = spec;
         o_campaign = c;

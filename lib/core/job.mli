@@ -111,6 +111,8 @@ val execute :
   ?cache:Runner.Cache.t ->
   ?fingerprint:(string -> string) ->
   ?on_progress:(Runner.progress -> unit) ->
+  ?on_telemetry:(Runner.telemetry -> unit) ->
+  ?telemetry_every_s:float ->
   ?stop:(unit -> bool) ->
   spec ->
   outcome

@@ -54,11 +54,14 @@ type record = {
   id : int;
   spec : Job.spec option;  (* None for rejected frames that never parsed *)
   mutable rstate : state;
+  mutable phase : string;  (* finer-grained than rstate while running *)
   mutable exit_code : int;
   mutable cache_hits : int;
   mutable executed : int;
+  mutable cache_skipped : int;
   mutable signature : string;  (* MD5 of the campaign signature *)
   mutable errors : string list;
+  mutable last_telemetry_s : float;  (* Unix time of last snapshot; 0. = never *)
 }
 
 (* ---- framing ---- *)
@@ -90,10 +93,15 @@ let record_json r =
       ( "summary",
         Json.String (match r.spec with Some s -> Job.summary s | None -> "?") );
       ("state", Json.String (state_to_string r.rstate));
+      ("phase", Json.String r.phase);
       ("exit", Json.Int r.exit_code);
       ("cache_hits", Json.Int r.cache_hits);
       ("executed", Json.Int r.executed);
+      ("cache_skipped", Json.Int r.cache_skipped);
       ("signature", Json.String r.signature);
+      ( "telemetry_age_s",
+        if r.last_telemetry_s <= 0. then Json.Null
+        else Json.Float (Unix.gettimeofday () -. r.last_telemetry_s) );
       ("errors", Json.List (List.map (fun e -> Json.String e) r.errors));
     ]
 
@@ -113,16 +121,23 @@ let fresh_record t spec =
       id = t.next_id;
       spec;
       rstate = Queued;
+      phase = "queued";
       exit_code = 0;
       cache_hits = 0;
       executed = 0;
+      cache_skipped = 0;
       signature = "";
       errors = [];
+      last_telemetry_s = 0.;
     }
   in
   t.next_id <- t.next_id + 1;
   t.history <- r :: t.history;
   r
+
+let queue_depth t =
+  List.length
+    (List.filter (fun r -> r.rstate = Queued || r.rstate = Running) t.history)
 
 (* Drain every complete frame currently buffered on [fd] without
    blocking; feed them to [handle].  Returns [`Eof] when the peer hung
@@ -152,14 +167,49 @@ let poll_frames fd dec handle =
   in
   drain_socket ()
 
-let run_submission t fd dec oc wmutex (spec : Job.spec) =
+(* One connected client.  [subscribed] gates telemetry frames only —
+   progress/ack/done always flow.  Toggled by [subscribe]/[unsubscribe]
+   ops, which are honoured both while idle (handle_frame) and mid-run
+   (the stop-hook poller), so a client can tune in or out of a campaign
+   already in flight. *)
+type client = {
+  cl_fd : Unix.file_descr;
+  cl_oc : out_channel;
+  cl_dec : Json.Stream.decoder;
+  cl_wmutex : Mutex.t;
+  mutable subscribed : bool;
+}
+
+let send_client cl j = send cl.cl_wmutex cl.cl_oc j
+
+let subscription_frame cl =
+  Json.Obj
+    [
+      ("type", Json.String (if cl.subscribed then "subscribed" else "unsubscribed"));
+    ]
+
+let set_subscription cl on =
+  cl.subscribed <- on;
+  send_client cl (subscription_frame cl)
+
+let telemetry_frame id te =
+  let fields =
+    match Runner.telemetry_json te with
+    | Json.Obj fields -> fields
+    | j -> [ ("telemetry", j) ]
+  in
+  Json.Obj
+    (("type", Json.String "telemetry") :: ("id", Json.Int id) :: fields)
+
+let run_submission t cl (spec : Job.spec) =
   let r = fresh_record t (Some spec) in
   match Job.validate spec with
   | Error errs ->
       r.rstate <- Rejected;
+      r.phase <- "rejected";
       r.exit_code <- 3;
       r.errors <- errs;
-      send wmutex oc
+      send_client cl
         (Json.Obj
            [
              ("type", Json.String "ack");
@@ -168,7 +218,7 @@ let run_submission t fd dec oc wmutex (spec : Job.spec) =
              ("errors", Json.List (List.map (fun e -> Json.String e) errs));
            ])
   | Ok () ->
-      send wmutex oc
+      send_client cl
         (Json.Obj
            [
              ("type", Json.String "ack");
@@ -177,22 +227,26 @@ let run_submission t fd dec oc wmutex (spec : Job.spec) =
              ("summary", Json.String (Job.summary spec));
            ]);
       r.rstate <- Running;
+      r.phase <- "running";
       t.cfg.log (Printf.sprintf "job %d: %s" r.id (Job.summary spec));
       let cancelled = ref false in
       (* Polled by the campaign engine between job submissions: any
          buffered cancel frame — or the client hanging up — stops the
-         remainder of the campaign. *)
+         remainder of the campaign.  Subscription toggles are honoured
+         here too so [subscribe]/[unsubscribe] work mid-run. *)
       let stop () =
         if !cancelled then true
         else begin
           (match
-             poll_frames fd dec (fun v ->
+             poll_frames cl.cl_fd cl.cl_dec (fun v ->
                  match Json.member "op" v with
                  | Some (Json.String "cancel") -> cancelled := true
                  | Some (Json.String "ping") ->
-                     send wmutex oc (Json.Obj [ ("type", Json.String "pong") ])
+                     send_client cl (Json.Obj [ ("type", Json.String "pong") ])
+                 | Some (Json.String "subscribe") -> set_subscription cl true
+                 | Some (Json.String "unsubscribe") -> set_subscription cl false
                  | _ ->
-                     send wmutex oc
+                     send_client cl
                        (error_frame ~id:r.id "busy: one job at a time"))
            with
           | `Eof -> cancelled := true
@@ -201,7 +255,7 @@ let run_submission t fd dec oc wmutex (spec : Job.spec) =
         end
       in
       let on_progress (p : Runner.progress) =
-        send wmutex oc
+        send_client cl
           (Json.Obj
              [
                ("type", Json.String "progress");
@@ -213,10 +267,19 @@ let run_submission t fd dec oc wmutex (spec : Job.spec) =
                ("ok", Json.Bool p.Runner.pr_result.Runner.r_ok);
              ])
       in
+      (* Always attached: the ticker keeps the record's freshness stamp
+         for [status] even when nobody listens; the frame itself is
+         gated on the subscription. *)
+      let on_telemetry (te : Runner.telemetry) =
+        r.last_telemetry_s <- Unix.gettimeofday ();
+        if cl.subscribed then send_client cl (telemetry_frame r.id te)
+      in
       let o =
-        Job.execute ?jobs:t.cfg.jobs ?cache:t.cache ~on_progress ~stop spec
+        Job.execute ?jobs:t.cfg.jobs ?cache:t.cache ~on_progress ~on_telemetry
+          ~stop spec
       in
       let c = o.Job.o_campaign in
+      r.phase <- "writing artifacts";
       (match spec with
       | Job.Run _ | Job.Replay _ -> ()
       | Job.Campaign _ | Job.Chaos _ | Job.Explore _ ->
@@ -229,14 +292,17 @@ let run_submission t fd dec oc wmutex (spec : Job.spec) =
               ignore (Explorer.write_counterexamples ~dir:t.cfg.out_dir ~protocol ces)
           | _ -> ()));
       r.rstate <- (if c.Runner.c_cancelled then Cancelled else Done);
+      r.phase <- "finished";
       r.exit_code <- o.Job.o_exit;
       r.cache_hits <- c.Runner.c_cache_hits;
       r.executed <- c.Runner.c_executed;
+      r.cache_skipped <- c.Runner.c_cache_skipped;
       r.signature <- sig_md5 c;
       t.cfg.log
-        (Printf.sprintf "job %d: %s exit=%d hits=%d executed=%d" r.id
-           (state_to_string r.rstate) r.exit_code r.cache_hits r.executed);
-      send wmutex oc
+        (Printf.sprintf "job %d: %s exit=%d hits=%d executed=%d skipped=%d" r.id
+           (state_to_string r.rstate) r.exit_code r.cache_hits r.executed
+           r.cache_skipped);
+      send_client cl
         (Json.Obj
            [
              ("type", Json.String "done");
@@ -247,20 +313,22 @@ let run_submission t fd dec oc wmutex (spec : Job.spec) =
              ("failed", Json.Int (List.length (Runner.failures c)));
              ("cache_hits", Json.Int r.cache_hits);
              ("executed", Json.Int r.executed);
+             ("cache_skipped", Json.Int r.cache_skipped);
              ("cancelled", Json.Bool c.Runner.c_cancelled);
              ("wall_s", Json.Float c.Runner.c_wall_s);
              ("signature", Json.String r.signature);
            ])
 
-let handle_frame t fd dec oc wmutex v =
+let handle_frame t cl v =
   match Json.member "op" v with
   | Some (Json.String "ping") ->
-      send wmutex oc (Json.Obj [ ("type", Json.String "pong") ])
+      send_client cl (Json.Obj [ ("type", Json.String "pong") ])
   | Some (Json.String "status") ->
-      send wmutex oc
+      send_client cl
         (Json.Obj
            [
              ("type", Json.String "status");
+             ("queue_depth", Json.Int (queue_depth t));
              ("jobs", Json.List (List.rev_map record_json t.history));
              ( "cache",
                match t.cache with
@@ -274,43 +342,51 @@ let handle_frame t fd dec oc wmutex v =
                        ("stores", Json.Int (Runner.Cache.stores cache));
                      ] );
            ])
+  | Some (Json.String "subscribe") -> set_subscription cl true
+  | Some (Json.String "unsubscribe") -> set_subscription cl false
   | Some (Json.String "shutdown") ->
       t.shutdown <- true;
-      send wmutex oc (Json.Obj [ ("type", Json.String "bye") ])
+      send_client cl (Json.Obj [ ("type", Json.String "bye") ])
   | Some (Json.String "cancel") ->
       (* No job is running on this path (cancel during a run is consumed
          by the stop hook); acknowledge as a no-op. *)
-      send wmutex oc (error_frame "cancel: no job is running")
+      send_client cl (error_frame "cancel: no job is running")
   | Some (Json.String "submit") -> (
       match Json.member "spec" v with
-      | None -> send wmutex oc (error_frame "submit: missing \"spec\"")
+      | None -> send_client cl (error_frame "submit: missing \"spec\"")
       | Some sj -> (
           match Job.of_json sj with
-          | Error e -> send wmutex oc (error_frame ("submit: " ^ e))
-          | Ok spec -> run_submission t fd dec oc wmutex spec))
-  | Some (Json.String op) -> send wmutex oc (error_frame ("unknown op " ^ op))
-  | _ -> send wmutex oc (error_frame "frame has no \"op\"")
+          | Error e -> send_client cl (error_frame ("submit: " ^ e))
+          | Ok spec -> run_submission t cl spec))
+  | Some (Json.String op) -> send_client cl (error_frame ("unknown op " ^ op))
+  | _ -> send_client cl (error_frame "frame has no \"op\"")
 
 let handle_connection t fd =
-  let oc = Unix.out_channel_of_descr fd in
-  let wmutex = Mutex.create () in
-  let dec = Json.Stream.decoder () in
+  let cl =
+    {
+      cl_fd = fd;
+      cl_oc = Unix.out_channel_of_descr fd;
+      cl_dec = Json.Stream.decoder ();
+      cl_wmutex = Mutex.create ();
+      subscribed = false;
+    }
+  in
   let buf = Bytes.create 4096 in
   let rec loop () =
     if t.shutdown then ()
     else
-      match Json.Stream.next dec with
+      match Json.Stream.next cl.cl_dec with
       | `Value v ->
-          handle_frame t fd dec oc wmutex v;
+          handle_frame t cl v;
           loop ()
       | `Error e ->
-          send wmutex oc (error_frame (Json.error_to_string e));
+          send_client cl (error_frame (Json.error_to_string e));
           loop ()
       | `Await -> (
           match Unix.read fd buf 0 (Bytes.length buf) with
           | 0 -> ()
           | len ->
-              Json.Stream.feed dec (Bytes.sub_string buf 0 len);
+              Json.Stream.feed cl.cl_dec (Bytes.sub_string buf 0 len);
               loop ()
           | exception Unix.Unix_error _ -> ())
   in
@@ -414,6 +490,14 @@ module Client = struct
   let status c = request c (op "status")
   let shutdown c = request c (op "shutdown")
   let cancel c = try send_frame c (op "cancel") with Sys_error _ -> ()
+
+  (* Fire-and-forget like [cancel]: mid-run the next inbound frame may
+     be a progress or telemetry frame, not the acknowledgement, so a
+     request/response pairing would mis-attribute frames.  The daemon's
+     [subscribed]/[unsubscribed] ack arrives through the normal event
+     stream. *)
+  let subscribe c = try send_frame c (op "subscribe") with Sys_error _ -> ()
+  let unsubscribe c = try send_frame c (op "unsubscribe") with Sys_error _ -> ()
 
   let submit ?(on_event = ignore) c spec =
     match

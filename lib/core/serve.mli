@@ -10,14 +10,26 @@
     - [{"op":"submit","spec":{...}}] → [ack] (accepted or rejected with
       errors), then [progress] per completed job
       ([done]/[total]/[cached]/[label]/[ok]), then [done] with the exit
-      code, cache hit/executed counts and the campaign signature (MD5);
+      code, cache hit/executed/skipped counts and the campaign
+      signature (MD5);
+    - [{"op":"subscribe"}] / [{"op":"unsubscribe"}] → [subscribed] /
+      [unsubscribed], and while subscribed the daemon interleaves
+      [telemetry] frames with progress: periodic campaign snapshots
+      ([seq]/[wall_s]/[done]/[total]/[cached]/[cache_skipped]/[label]/
+      [rate_jobs_per_s]/[events_per_s]/[gc_minor_words]/
+      [gc_promoted_words] plus cumulative [counters] and per-interval
+      [delta] metric registries — see
+      {!Setagree_runner.Runner.telemetry_json}).  The toggle works both
+      while idle and mid-run; telemetry is read-only, so campaign
+      signatures are byte-identical subscribed or not;
     - [{"op":"cancel"}] (sent while a job runs) → the daemon stops
       scheduling further jobs; in-flight jobs finish, completed work is
       kept and cached, and the [done] frame reports
       [state = "cancelled"];
-    - [{"op":"status"}] → [status] with the job history and cache
-      counters; [{"op":"ping"}] → [pong]; [{"op":"shutdown"}] → [bye]
-      and the daemon exits.
+    - [{"op":"status"}] → [status] with the queue depth, the job
+      history (each record carrying its phase and the age of its last
+      telemetry snapshot) and cache counters; [{"op":"ping"}] → [pong];
+      [{"op":"shutdown"}] → [bye] and the daemon exits.
 
     Connections are handled one at a time and one job runs at a time —
     parallelism lives inside the campaign engine (worker domains), so
@@ -63,6 +75,14 @@ module Client : sig
   val cancel : conn -> unit
   (** Fire-and-forget: the daemon consumes it between job submissions;
       the eventual [done] frame reports [state = "cancelled"]. *)
+
+  val subscribe : conn -> unit
+  val unsubscribe : conn -> unit
+  (** Fire-and-forget toggles for [telemetry] frames (the
+      [subscribed]/[unsubscribed] ack arrives through the normal event
+      stream, since mid-run the next inbound frame may be progress or
+      telemetry).  Subscribe {e before} {!submit} to catch a campaign's
+      first snapshot. *)
 
   val shutdown : conn -> (Json.t, string) result
 

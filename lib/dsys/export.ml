@@ -65,40 +65,97 @@ let entry_json time entry =
   | Begin sp -> Json.Obj ((t :: [ ("ev", Json.String "begin") ]) @ span_fields sp)
   | End sp -> Json.Obj ((t :: [ ("ev", Json.String "end") ]) @ span_fields sp)
 
+(* The JSONL format is built from four line constructors shared by the
+   post-hoc exporter and the streaming one (below), so "concatenated
+   stream frames == post-hoc file" holds by construction.  Counts that
+   are only known once the run is over (entry/counter totals) live in a
+   trailing "end" line, not the meta header — a live stream must be
+   able to emit the header before the run finishes.  (Format version 2;
+   version 1 carried the entry count in the header.) *)
+
+let meta_line tr =
+  Json.to_string ~minify:true
+    (Json.Obj
+       ([
+          ("type", Json.String "meta");
+          ("format", Json.String "setagree-trace");
+          ("version", Json.Int 2);
+        ]
+       @ Stamp.fields ()
+       @ [ ("level", Json.String (Trace.level_to_string (Trace.level tr))) ]))
+
+let entry_line time entry = Json.to_string ~minify:true (entry_json time entry)
+
+let counter_lines tr =
+  List.map
+    (fun (name, v) ->
+      Json.to_string ~minify:true
+        (Json.Obj
+           [
+             ("ev", Json.String "counter");
+             ("name", Json.String name);
+             ("value", Json.Int v);
+           ]))
+    (Trace.counters tr)
+
+let end_line tr =
+  Json.to_string ~minify:true
+    (Json.Obj
+       [
+         ("type", Json.String "end");
+         ("entries", Json.Int (Trace.length tr));
+         ("counters", Json.Int (List.length (Trace.counters tr)));
+       ])
+
 let jsonl_lines tr =
-  let meta =
-    Json.Obj
-      ([
-         ("type", Json.String "meta");
-         ("format", Json.String "setagree-trace");
-         ("version", Json.Int 1);
-       ]
-      @ Stamp.fields ()
-      @ [
-          ("level", Json.String (Trace.level_to_string (Trace.level tr)));
-          ("entries", Json.Int (Trace.length tr));
-        ])
-  in
   let lines = ref [] in
   Trace.iter
-    (fun { Trace.time; entry } ->
-      lines := Json.to_string ~minify:true (entry_json time entry) :: !lines)
+    (fun { Trace.time; entry } -> lines := entry_line time entry :: !lines)
     tr;
-  let counters =
-    List.map
-      (fun (name, v) ->
-        Json.to_string ~minify:true
-          (Json.Obj
-             [
-               ("ev", Json.String "counter");
-               ("name", Json.String name);
-               ("value", Json.Int v);
-             ]))
-      (Trace.counters tr)
-  in
-  (Json.to_string ~minify:true meta :: List.rev !lines) @ counters
+  (meta_line tr :: List.rev !lines) @ counter_lines tr @ [ end_line tr ]
 
 let to_jsonl tr = String.concat "\n" (jsonl_lines tr) ^ "\n"
+
+(* -- streaming JSONL -------------------------------------------------- *)
+
+module Stream = struct
+  type t = {
+    tr : Trace.t;
+    cur : Trace.cursor;
+    mutable headered : bool; (* meta line already emitted *)
+    mutable closed : bool;
+  }
+
+  let create tr = { tr; cur = Trace.cursor (); headered = false; closed = false }
+
+  let frame_of_lines = function
+    | [] -> ""
+    | lines -> String.concat "\n" lines ^ "\n"
+
+  let pending_lines t =
+    let entries =
+      List.map
+        (fun { Trace.time; entry } -> entry_line time entry)
+        (Trace.tail t.tr t.cur)
+    in
+    if t.headered then entries
+    else begin
+      t.headered <- true;
+      meta_line t.tr :: entries
+    end
+
+  let flush t =
+    if t.closed then invalid_arg "Export.Stream.flush: stream is closed";
+    (* An untouched stream emits nothing until there is something to
+       say; the header rides with the first non-empty frame (or close). *)
+    if (not t.headered) && Trace.pending t.tr t.cur = 0 then ""
+    else frame_of_lines (pending_lines t)
+
+  let close t =
+    if t.closed then invalid_arg "Export.Stream.close: stream is closed";
+    t.closed <- true;
+    frame_of_lines (pending_lines t @ counter_lines t.tr @ [ end_line t.tr ])
+end
 
 (* -- Chrome trace_event ---------------------------------------------- *)
 

@@ -16,10 +16,41 @@ val jsonl_lines : Trace.t -> string list
 (** One minified JSON object per line: first a [{"type":"meta",...}]
     header (carrying the [Util.Stamp] schema-version and
     code-fingerprint fields, like every artifact), then every entry in
-    log order, then the counters (sorted by name). *)
+    log order, then the counters (sorted by name), then a
+    [{"type":"end","entries":N,"counters":M}] footer.  The totals live
+    in the footer — not the header — so the identical format can be
+    emitted live, before the run knows how long it will be (format
+    version 2). *)
 
 val to_jsonl : Trace.t -> string
 (** [jsonl_lines] joined with ["\n"], trailing newline included. *)
+
+(** Incremental JSONL export over a {!Trace.cursor}: [flush] returns the
+    bytes for everything recorded since the previous call (the meta
+    header rides with the first non-empty frame), [close] appends the
+    counters and the ["end"] footer.  The concatenation of every frame
+    is byte-identical to {!to_jsonl} of the final trace — both sides are
+    built from the same line constructors, and the property is pinned by
+    a qcheck test ([test/test_obs.ml]) over random record/flush
+    interleavings.  Reading the trace cannot perturb the run. *)
+module Stream : sig
+  type t
+
+  val create : Trace.t -> t
+  (** Attach to a (possibly still-running) trace; nothing is emitted
+      until the first {!flush} or {!close}. *)
+
+  val flush : t -> string
+  (** Bytes for all entries recorded since the last flush; [""] when
+      nothing happened and the header is already out (or nothing was
+      ever recorded).
+      @raise Invalid_argument after {!close}. *)
+
+  val close : t -> string
+  (** Remaining entries plus the counter lines and the ["end"] footer.
+      The stream is unusable afterwards.
+      @raise Invalid_argument on a second close. *)
+end
 
 val chrome_json : Trace.t -> Setagree_util.Json.t
 (** The [{"traceEvents": [...]}] object, stamped with the schema

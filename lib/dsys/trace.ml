@@ -88,6 +88,22 @@ let length t = Vec.length t.log
 let entries t = Vec.to_list t.log
 let iter f t = Vec.iter f t.log
 
+(* Incremental cursors: the log is append-only, so a cursor is just the
+   index of the first unseen entry.  Tailing is read-only — it can no
+   more perturb an execution than any other trace read. *)
+
+type cursor = { mutable pos : int }
+
+let cursor ?(from = 0) () = { pos = max 0 from }
+let cursor_pos cur = cur.pos
+
+let pending t cur = max 0 (Vec.length t.log - cur.pos)
+
+let tail t cur =
+  let fresh = Vec.list_from t.log ~cursor:cur.pos in
+  cur.pos <- Vec.length t.log;
+  fresh
+
 let decisions t =
   Vec.fold_left
     (fun acc { time; entry } ->

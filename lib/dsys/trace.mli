@@ -109,6 +109,29 @@ val entries : t -> timed list
 val iter : (timed -> unit) -> t -> unit
 (** Single forward pass, no list materialization. *)
 
+(** {1 Incremental tailing}
+
+    The log is append-only, so a cursor is an index into it: {!tail}
+    returns everything recorded since the last call and advances.  This
+    is the read side of live trace streaming ({!Export.Stream}) — pure
+    reads, so tailing a running trace cannot perturb the execution. *)
+
+type cursor
+
+val cursor : ?from:int -> unit -> cursor
+(** A fresh cursor, positioned at entry [from] (default 0 — the whole
+    log is "unseen"). *)
+
+val cursor_pos : cursor -> int
+(** Index of the first unseen entry. *)
+
+val pending : t -> cursor -> int
+(** Entries recorded but not yet consumed through this cursor. *)
+
+val tail : t -> cursor -> timed list
+(** The unseen entries in recording order; advances the cursor past
+    them.  Returns [[]] when nothing new was recorded. *)
+
 val decisions : t -> (Setagree_util.Pid.t * int * int * float) list
 (** [(pid, value, round, time)] for every [Decide] entry, in order. *)
 

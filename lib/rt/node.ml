@@ -2,6 +2,7 @@ open Setagree_util
 open Setagree_dsys
 open Setagree_fd
 open Setagree_core
+open Setagree_runner
 
 type config = {
   pk : Protocol.packed;
@@ -22,10 +23,16 @@ type result = {
   r_crashed_at_s : float option;
   r_decisions : (Pid.t * int * int * float) list;
   r_history : Qos.sample list;
+  r_phi : Qos.phi_point list;
   r_counters : (string * int) list;
   r_events : int;
   r_end_s : float;
 }
+
+(* Bounds the per-node phi series a long run brings home; overwritten
+   samples are surfaced as the [rt.phi_dropped] counter rather than
+   silently lost. *)
+let phi_series_cap = 512
 
 let run eps ~self cfg =
   let p = cfg.params in
@@ -78,6 +85,7 @@ let run eps ~self cfg =
   let next_hb = ref 0.0 in
   let next_sample = ref cfg.sample_every_s in
   let history = ref [] in
+  let phi_series = Ringbuf.create ~cap:phi_series_cap in
   let decided_at = ref None in
   let events = ref 0 in
   let running = ref true in
@@ -116,6 +124,20 @@ let run eps ~self cfg =
               s_trusted = Accrual.trusted acc ~z:p.z ~now;
             }
             :: !history;
+          let phi =
+            Array.init p.n (fun j ->
+                if j = self then 0.0 else Accrual.phi acc j ~now)
+          in
+          Ringbuf.push phi_series { Qos.p_time = now; p_phi = phi };
+          (* Publish-only: the Live board is read by telemetry snapshots
+             alone, so this cannot perturb the run (one boolean read when
+             no telemetry consumer is attached). *)
+          if Runner.Live.is_active () then begin
+            Runner.Live.set_gauge
+              (Printf.sprintf "rt.phi_max.p%d" self)
+              (Array.fold_left Float.max 0.0 phi);
+            Runner.Live.incr "rt.phi_samples"
+          end;
           next_sample := now +. cfg.sample_every_s
         end;
         (match !decided_at with
@@ -141,9 +163,13 @@ let run eps ~self cfg =
     r_crashed_at_s = crashed_at;
     r_decisions = decisions;
     r_history = List.rev !history;
+    r_phi = Ringbuf.to_list phi_series;
     r_counters =
       Transport.counters tp
-      @ [ ("rt.false_suspicions", Accrual.false_suspicions acc) ];
+      @ [
+          ("rt.false_suspicions", Accrual.false_suspicions acc);
+          ("rt.phi_dropped", Ringbuf.dropped phi_series);
+        ];
     r_events = !events;
     r_end_s = now_s ();
   }

@@ -45,6 +45,12 @@ type result = {
   r_decisions : (Pid.t * int * int * float) list;
       (** own decisions, wall-stamped (virtual time / timescale) *)
   r_history : Qos.sample list;  (** chronological FD samples *)
+  r_phi : Qos.phi_point list;
+      (** per-peer accrual phi on the same cadence, last 512 samples
+          (ring-buffered; overwrites surface as [rt.phi_dropped]).
+          While a telemetried campaign runs, each sample also publishes
+          a [rt.phi_max.p<pid>] gauge on the
+          {!Setagree_runner.Runner.Live} board *)
   r_counters : (string * int) list;  (** transport [rt.*] + node counters *)
   r_events : int;  (** local simulator events processed *)
   r_end_s : float;  (** wall time the node stopped *)

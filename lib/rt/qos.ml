@@ -101,6 +101,37 @@ let compute ~(ground : Check.ground) histories =
     samples = !total_samples;
   }
 
+(* -- time-series -------------------------------------------------------- *)
+
+type phi_point = { p_time : float; p_phi : float array }
+
+let windowed ~(ground : Check.ground) ~window_s histories =
+  let w = Float.max window_s 1e-6 in
+  let have_samples = List.exists (fun (_, ss) -> ss <> []) histories in
+  if not have_samples then []
+  else begin
+    let t_max =
+      List.fold_left
+        (fun acc (_, ss) ->
+          List.fold_left (fun a s -> Float.max a s.s_time) acc ss)
+        0.0 histories
+    in
+    let nwin = int_of_float (Float.floor (t_max /. w)) + 1 in
+    List.filter_map
+      (fun k ->
+        let lo = float_of_int k *. w in
+        let hi = lo +. w in
+        let sliced =
+          List.map
+            (fun (i, ss) ->
+              (i, List.filter (fun s -> s.s_time >= lo && s.s_time < hi) ss))
+            histories
+        in
+        if List.for_all (fun (_, ss) -> ss = []) sliced then None
+        else Some (lo, compute ~ground sliced))
+      (List.init nwin Fun.id)
+  end
+
 let to_metrics r =
   List.concat
     [

@@ -35,6 +35,28 @@ val compute : ground:Check.ground -> (Pid.t * sample list) list -> report
 (** Observers not in [ground.g_correct] are ignored (a crashed node's
     partial history carries no obligation). *)
 
+(** {1 Time-series}
+
+    The live-telemetry view of the same data: instead of one end-of-run
+    scalar per metric, the run keeps ring-buffered series and the
+    orchestrator slices the recorded histories into fixed windows. *)
+
+type phi_point = { p_time : float; p_phi : float array }
+(** One accrual sample: suspicion level per peer (0 for self) at a wall
+    time — what {!Setagree_rt.Node} pushes into its ring buffer on the
+    sampling cadence. *)
+
+val windowed :
+  ground:Check.ground ->
+  window_s:float ->
+  (Pid.t * sample list) list ->
+  (float * report) list
+(** [(window_start, report)] per window of [window_s] wall seconds,
+    oldest first; each window re-evaluates {!compute} on just the
+    samples falling inside it (detection times are window-relative),
+    and windows with no samples at all are dropped.  Empty when no
+    observer recorded anything. *)
+
 val to_metrics : report -> (string * float) list
 (** [qos.*] key-value pairs, ready for a metrics registry or a summary
     table.  Optional means are omitted when undefined. *)

@@ -16,6 +16,7 @@ type cfg = {
   crash_at_s : float;
   crash_spread_s : float;
   detect_slack_s : float;
+  qos_window_s : float;
 }
 
 let default_cfg =
@@ -32,6 +33,7 @@ let default_cfg =
     crash_at_s = 0.25;
     crash_spread_s = 0.15;
     detect_slack_s = 0.8;
+    qos_window_s = 0.5;
   }
 
 type result = {
@@ -42,6 +44,8 @@ type result = {
   o_safety : Check.verdict;
   o_fd : Check.verdict;
   o_qos : Qos.report;
+  o_qos_windows : (float * Qos.report) list;
+  o_phi : (Pid.t * Qos.phi_point list) list;
   o_metrics : (string * float) list;
   o_registry : Metrics.t;
   o_node_events : int;
@@ -223,6 +227,11 @@ let run_protocol pk (p : Protocol.params) ?(cfg = default_cfg) () =
     |> List.map (fun (r : Node.result) -> (r.Node.r_pid, r.Node.r_history))
   in
   let qos = Qos.compute ~ground full_hist in
+  let qos_windows = Qos.windowed ~ground ~window_s:cfg.qos_window_s full_hist in
+  let phi_series =
+    Array.to_list results
+    |> List.map (fun (r : Node.result) -> (r.Node.r_pid, r.Node.r_phi))
+  in
   let counters =
     sum_counters
       (Array.to_list results |> List.map (fun (r : Node.result) -> r.Node.r_counters))
@@ -232,7 +241,11 @@ let run_protocol pk (p : Protocol.params) ?(cfg = default_cfg) () =
   in
   let metrics, registry = build_metrics ~counters ~qos ~wall_s ~events in
   let metrics =
-    metrics @ [ ("rt.decided", float_of_int (List.length decisions)) ]
+    metrics
+    @ [
+        ("rt.decided", float_of_int (List.length decisions));
+        ("qos.windows", float_of_int (List.length qos_windows));
+      ]
   in
   {
     o_protocol = P.name;
@@ -242,6 +255,8 @@ let run_protocol pk (p : Protocol.params) ?(cfg = default_cfg) () =
     o_safety = safety;
     o_fd = fd;
     o_qos = qos;
+    o_qos_windows = qos_windows;
+    o_phi = phi_series;
     o_metrics = metrics;
     o_registry = registry;
     o_node_events = events;
@@ -383,5 +398,10 @@ let pp_result fmt r =
   (match r.o_qos.Qos.detection_time_s with
   | Some d -> Format.fprintf fmt "  qos: detection %.3fs" d
   | None -> Format.fprintf fmt "  qos: detection n/a");
-  Format.fprintf fmt "  mistakes %.4f/s  accuracy %.3f  samples %d@]"
-    r.o_qos.Qos.mistake_rate_hz r.o_qos.Qos.query_accuracy r.o_qos.Qos.samples
+  Format.fprintf fmt "  mistakes %.4f/s  accuracy %.3f  samples %d@,"
+    r.o_qos.Qos.mistake_rate_hz r.o_qos.Qos.query_accuracy r.o_qos.Qos.samples;
+  let phi_points =
+    List.fold_left (fun acc (_, ps) -> acc + List.length ps) 0 r.o_phi
+  in
+  Format.fprintf fmt "  series: %d qos windows  %d phi points@]"
+    (List.length r.o_qos_windows) phi_points

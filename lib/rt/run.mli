@@ -26,13 +26,14 @@ type cfg = {
   crash_at_s : float;  (** wall time of the first injected crash *)
   crash_spread_s : float;  (** gap between consecutive crashes *)
   detect_slack_s : float;  (** FD deadline = last crash + this slack *)
+  qos_window_s : float;  (** window size of the {!Qos.windowed} series *)
 }
 
 val default_cfg : cfg
 (** Udp transport, timescale 150, heartbeats every 20 ms, 8 s horizon
     (liveness protocols: trimmed inside), 1.5 s linger, 50 ms sampling,
     window 200 / threshold 2.0 / min 5 samples, first crash at 0.25 s,
-    0.15 s spread, 0.8 s detection slack. *)
+    0.15 s spread, 0.8 s detection slack, 0.5 s QoS windows. *)
 
 type result = {
   o_protocol : string;
@@ -48,6 +49,12 @@ type result = {
           (z = [params.z]) + {!Check.strong_completeness_history} on the
           suspected histories when the run had crashes *)
   o_qos : Qos.report;
+  o_qos_windows : (float * Qos.report) list;
+      (** the same QoS metrics re-evaluated per [qos_window_s] window —
+          the time-series the telemetry plane renders, where the
+          end-of-run report is one scalar *)
+  o_phi : (Pid.t * Qos.phi_point list) list;
+      (** per-node accrual phi series (ring-buffered, newest 512) *)
   o_metrics : (string * float) list;  (** [rt.*] totals + [qos.*] *)
   o_registry : Metrics.t;
   o_node_events : int;

@@ -48,6 +48,7 @@ type campaign = {
   c_throughput : float;
   c_cache_hits : int;
   c_executed : int;
+  c_cache_skipped : int;
   c_cancelled : bool;
 }
 
@@ -57,6 +58,71 @@ type progress = {
   pr_done : int;
   pr_total : int;
 }
+
+type telemetry = {
+  te_seq : int;
+  te_wall_s : float;
+  te_done : int;
+  te_total : int;
+  te_cached : int;
+  te_cache_skipped : int;
+  te_last_label : string;
+  te_rate_jobs_per_s : float;
+  te_events_per_s : float;
+  te_gc_minor_words : float;
+  te_gc_promoted_words : float;
+  te_counters : Metrics.t;
+  te_delta : Metrics.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Live board: an ambient, mutex-guarded registry that in-flight job
+   bodies may publish to mid-run (the rt nodes push accrual phi and
+   sample counts through it).  It is strictly write-only telemetry —
+   nothing in the engine or any job reads it back — so publishing can
+   never perturb a result.  Publishers check [is_active] first: when no
+   telemetry consumer enabled the board, a publish is one bool read.   *)
+(* ------------------------------------------------------------------ *)
+
+module Live = struct
+  let m = Mutex.create ()
+  let reg = ref (Metrics.create ())
+  let active = ref false
+
+  let enable () =
+    Mutex.lock m;
+    reg := Metrics.create ();
+    active := true;
+    Mutex.unlock m
+
+  let disable () =
+    Mutex.lock m;
+    active := false;
+    reg := Metrics.create ();
+    Mutex.unlock m
+
+  let is_active () = !active
+
+  let set_gauge name v =
+    if !active then begin
+      Mutex.lock m;
+      if !active then Metrics.set_gauge !reg name v;
+      Mutex.unlock m
+    end
+
+  let incr ?by name =
+    if !active then begin
+      Mutex.lock m;
+      if !active then Metrics.incr !reg ?by name;
+      Mutex.unlock m
+    end
+
+  let snapshot () =
+    Mutex.lock m;
+    let s = Metrics.snapshot !reg in
+    Mutex.unlock m;
+    s
+end
 
 (* ------------------------------------------------------------------ *)
 (* Bounded work queue (indices into the job array).  The producer (the
@@ -346,7 +412,8 @@ let reset_sink () =
   sink := [];
   Mutex.unlock sink_mutex
 
-let run ?jobs ?cache ?on_progress ?stop ~exp joblist =
+let run ?jobs ?cache ?on_progress ?on_telemetry ?(telemetry_every_s = 0.25)
+    ?stop ~exp joblist =
   let workers = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let jobs_a = Array.of_list joblist in
   let total = Array.length jobs_a in
@@ -355,6 +422,54 @@ let run ?jobs ?cache ?on_progress ?stop ~exp joblist =
   let cached = Array.make total false in
   let done_count = ref 0 in
   let emit_mutex = Mutex.create () in
+  let t0 = Unix.gettimeofday () in
+  (* Telemetry accumulators, all guarded by [emit_mutex].  The board
+     collects counter-shaped r_metrics of completed jobs; snapshots go
+     out as cumulative registry + since-last delta (Metrics.snapshot /
+     Metrics.delta), so a subscriber can either read the latest frame or
+     fold the deltas with the merge law.  Strictly read-side: telemetry
+     observes results, it never feeds back into a job. *)
+  let skipped = ref 0 in
+  let last_label = ref "" in
+  let gc_minor = ref 0.0 in
+  let gc_promoted = ref 0.0 in
+  let board = Metrics.create () in
+  let te_prev = ref (Metrics.create ()) in
+  let te_seq = ref 0 in
+  let counted_prefixes = [ "sched."; "net."; "fault."; "rt."; "obs." ] in
+  let counted name =
+    List.exists
+      (fun p -> String.length name >= String.length p && String.sub name 0 (String.length p) = p)
+      counted_prefixes
+  in
+  (* Call with [emit_mutex] held. *)
+  let emit_telemetry f =
+    let wall = Unix.gettimeofday () -. t0 in
+    let cum = Metrics.merge (Metrics.snapshot board) (Live.snapshot ()) in
+    let delta = Metrics.delta ~base:!te_prev cum in
+    te_prev := cum;
+    incr te_seq;
+    let events =
+      Metrics.counter cum "sched.events" + Metrics.counter cum "rt.events"
+    in
+    let cached_n = Array.fold_left (fun n b -> if b then n + 1 else n) 0 cached in
+    f
+      {
+        te_seq = !te_seq;
+        te_wall_s = wall;
+        te_done = !done_count;
+        te_total = total;
+        te_cached = cached_n;
+        te_cache_skipped = !skipped;
+        te_last_label = !last_label;
+        te_rate_jobs_per_s = float_of_int !done_count /. Float.max wall 1e-9;
+        te_events_per_s = float_of_int events /. Float.max wall 1e-9;
+        te_gc_minor_words = !gc_minor;
+        te_gc_promoted_words = !gc_promoted;
+        te_counters = cum;
+        te_delta = delta;
+      }
+  in
   (* Progress callbacks fire from worker domains too; serialize them and
      the completion counter under one lock. *)
   let emit i r was_cached =
@@ -362,6 +477,12 @@ let run ?jobs ?cache ?on_progress ?stop ~exp joblist =
     incr done_count;
     out.(i) <- Some r;
     cached.(i) <- was_cached;
+    last_label := r.r_label;
+    if on_telemetry <> None then
+      List.iter
+        (fun (k, v) ->
+          if counted k then Metrics.incr board ~by:(int_of_float v) k)
+        r.r_metrics;
     (match on_progress with
     | None -> ()
     | Some f ->
@@ -370,9 +491,12 @@ let run ?jobs ?cache ?on_progress ?stop ~exp joblist =
   in
   let stopped = match stop with None -> fun () -> false | Some f -> f in
   let cancelled = ref false in
-  let t0 = Unix.gettimeofday () in
+  if on_telemetry <> None then Live.enable ();
   (* Cache pre-pass on the calling domain: hits are resolved up front
-     (and reported in job order), only misses are scheduled. *)
+     (and reported in job order), only misses are scheduled.  Keyless
+     jobs bypass the cache entirely (rt outcomes are wall-clock
+     dependent) — count them so campaign tables can surface the bypass
+     instead of letting it read as a miss. *)
   let misses =
     match cache with
     | None -> List.init total Fun.id
@@ -381,7 +505,9 @@ let run ?jobs ?cache ?on_progress ?stop ~exp joblist =
         Array.iteri
           (fun i j ->
             match j.key with
-            | None -> misses := i :: !misses
+            | None ->
+                skipped := !skipped + 1;
+                misses := i :: !misses
             | Some k -> (
                 match Cache.find cache k with
                 | Some r -> emit i { r with r_exp = j.exp } true
@@ -391,11 +517,41 @@ let run ?jobs ?cache ?on_progress ?stop ~exp joblist =
   in
   let execute i =
     let j = jobs_a.(i) in
+    let g0 = Gc.quick_stat () in
     let r = run_job j in
+    let g1 = Gc.quick_stat () in
     (match (cache, j.key) with
     | Some cache, Some k when r.r_error = None -> Cache.store cache k r
+    | Some _, Some _ (* raised: never cached *) ->
+        Mutex.lock emit_mutex;
+        skipped := !skipped + 1;
+        Mutex.unlock emit_mutex
     | _ -> ());
+    Mutex.lock emit_mutex;
+    gc_minor := !gc_minor +. (g1.Gc.minor_words -. g0.Gc.minor_words);
+    gc_promoted := !gc_promoted +. (g1.Gc.promoted_words -. g0.Gc.promoted_words);
+    Mutex.unlock emit_mutex;
     emit i r false
+  in
+  (* Periodic snapshots come from a dedicated ticker domain so a single
+     long job still produces live frames; one final snapshot after the
+     joins guarantees every telemetried campaign emits at least once. *)
+  let ticker_stop = ref false in
+  let ticker =
+    match on_telemetry with
+    | None -> None
+    | Some f ->
+        Some
+          (Domain.spawn (fun () ->
+               let period = Float.max 0.02 telemetry_every_s in
+               while not !ticker_stop do
+                 Unix.sleepf period;
+                 if not !ticker_stop then begin
+                   Mutex.lock emit_mutex;
+                   (try emit_telemetry f with _ -> ());
+                   Mutex.unlock emit_mutex
+                 end
+               done))
   in
   let executed = ref 0 in
   if workers <= 1 then
@@ -437,6 +593,15 @@ let run ?jobs ?cache ?on_progress ?stop ~exp joblist =
     Bqueue.close q;
     List.iter Domain.join domains
   end;
+  (match (ticker, on_telemetry) with
+  | Some d, Some f ->
+      ticker_stop := true;
+      Domain.join d;
+      Mutex.lock emit_mutex;
+      (try emit_telemetry f with _ -> ());
+      Mutex.unlock emit_mutex
+  | _ -> ());
+  if on_telemetry <> None then Live.disable ();
   let wall = Unix.gettimeofday () -. t0 in
   let results =
     Array.to_list out |> List.filter_map Fun.id |> Array.of_list
@@ -451,6 +616,7 @@ let run ?jobs ?cache ?on_progress ?stop ~exp joblist =
       c_throughput = (float_of_int (Array.length results) /. Float.max wall 1e-9);
       c_cache_hits = hits;
       c_executed = !executed;
+      c_cache_skipped = !skipped;
       c_cancelled = !cancelled;
     }
   in
@@ -518,6 +684,7 @@ let campaign_json c =
       ("failed", Json.Int (List.length (failures c)));
       ("cache_hits", Json.Int c.c_cache_hits);
       ("executed", Json.Int c.c_executed);
+      ("cache_skipped", Json.Int c.c_cache_skipped);
       ("cancelled", Json.Bool c.c_cancelled);
       ("wall_s", Json.Float c.c_wall_s);
       ("throughput_jobs_per_s", Json.Float c.c_throughput);
@@ -526,6 +693,26 @@ let campaign_json c =
       ("histograms", Metrics.to_json (metric_histograms c));
       ("results", Json.List (Array.to_list (Array.map result_json c.c_results)));
     ])
+
+(* Telemetry snapshots rendered for the wire (the daemon's "telemetry"
+   frames reuse this verbatim, so clients and tests see one schema). *)
+let telemetry_json te =
+  Json.Obj
+    [
+      ("seq", Json.Int te.te_seq);
+      ("wall_s", Json.Float te.te_wall_s);
+      ("done", Json.Int te.te_done);
+      ("total", Json.Int te.te_total);
+      ("cached", Json.Int te.te_cached);
+      ("cache_skipped", Json.Int te.te_cache_skipped);
+      ("label", Json.String te.te_last_label);
+      ("rate_jobs_per_s", Json.Float te.te_rate_jobs_per_s);
+      ("events_per_s", Json.Float te.te_events_per_s);
+      ("gc_minor_words", Json.Float te.te_gc_minor_words);
+      ("gc_promoted_words", Json.Float te.te_gc_promoted_words);
+      ("counters", Metrics.to_json te.te_counters);
+      ("delta", Metrics.to_json te.te_delta);
+    ]
 
 let signature c =
   Json.to_string ~minify:true

@@ -100,6 +100,10 @@ type campaign = {
   c_throughput : float;  (** jobs per second of wall clock *)
   c_cache_hits : int;  (** jobs resolved from the result cache *)
   c_executed : int;  (** jobs actually scheduled (misses before cancel) *)
+  c_cache_skipped : int;
+      (** jobs that bypassed the cache while one was in use: keyless
+          jobs (rt-backend outcomes are wall-clock-dependent) plus jobs
+          that raised (never stored); 0 when no cache was configured *)
   c_cancelled : bool;  (** [stop] fired before every job was scheduled *)
 }
 
@@ -109,6 +113,61 @@ type progress = {
   pr_done : int;  (** completed so far, including this one *)
   pr_total : int;
 }
+
+(** {1 Live telemetry}
+
+    Periodic snapshots of an in-flight campaign.  A dedicated ticker
+    domain samples the accumulators every [telemetry_every_s] (plus one
+    final snapshot after the last join, so short campaigns still emit),
+    entirely on the read side: telemetry observes completed results and
+    the {!Live} board, it never feeds anything back into a job — -j1 ≡
+    -jN signatures and replay fingerprints are byte-identical with
+    telemetry on or off. *)
+
+type telemetry = {
+  te_seq : int;  (** 1-based snapshot sequence number *)
+  te_wall_s : float;  (** since campaign start *)
+  te_done : int;
+  te_total : int;
+  te_cached : int;
+  te_cache_skipped : int;
+  te_last_label : string;  (** most recently completed job; [""] if none *)
+  te_rate_jobs_per_s : float;
+  te_events_per_s : float;
+      (** cumulative [sched.events] + [rt.events] per wall second *)
+  te_gc_minor_words : float;
+      (** summed over completed jobs (sampled per job on its worker
+          domain); cache hits allocate nothing *)
+  te_gc_promoted_words : float;
+  te_counters : Metrics.t;
+      (** cumulative [sched.*]/[net.*]/[fault.*]/[rt.*]/[obs.*] counters
+          of completed jobs merged with the {!Live} board *)
+  te_delta : Metrics.t;  (** since the previous snapshot ({!Metrics.delta}) *)
+}
+
+val telemetry_json : telemetry -> Json.t
+(** The wire rendering used by the daemon's [telemetry] frames. *)
+
+(** Ambient publish-only board for mid-run signals from inside job
+    bodies (e.g. rt nodes pushing accrual phi while a single long job
+    runs).  Enabled by {!run} only when a telemetry consumer is
+    attached; publishing when inactive is one boolean read.  Nothing
+    ever reads the board except telemetry snapshots, so publishing
+    cannot perturb results. *)
+module Live : sig
+  val is_active : unit -> bool
+  val set_gauge : string -> float -> unit
+  val incr : ?by:int -> string -> unit
+
+  val snapshot : unit -> Metrics.t
+  (** Copy of the current board (empty when inactive). *)
+
+  val enable : unit -> unit
+  (** Reset and activate; {!run} manages this around telemetried
+      campaigns — call it directly only in tests. *)
+
+  val disable : unit -> unit
+end
 
 (** {1 Result cache}
 
@@ -157,6 +216,8 @@ val run :
   ?jobs:int ->
   ?cache:Cache.t ->
   ?on_progress:(progress -> unit) ->
+  ?on_telemetry:(telemetry -> unit) ->
+  ?telemetry_every_s:float ->
   ?stop:(unit -> bool) ->
   exp:string ->
   job list ->
@@ -178,7 +239,14 @@ val run :
     submissions; once it returns [true], no further jobs start
     ([c_cancelled = true]) but in-flight jobs finish and completed
     slots are kept — [c_results] then holds fewer rows than were
-    submitted, still in canonical order. *)
+    submitted, still in canonical order.
+
+    With [on_telemetry], a ticker domain delivers a {!telemetry}
+    snapshot every [telemetry_every_s] (default 0.25, clamped to
+    >= 0.02) plus one final snapshot, serialized under the same lock as
+    [on_progress]; the {!Live} board is enabled for the campaign's
+    duration.  Telemetry is read-only — results, signatures and replay
+    fingerprints are byte-identical with it on or off. *)
 
 val failures : campaign -> result list
 

@@ -236,6 +236,54 @@ let merge a b =
     b.items;
   out
 
+(* Snapshot/delta encoding: [snapshot] freezes a registry, [delta]
+   renders what happened since.  The contract mirrors [merge]:
+
+     merge base (delta ~base cur)  ==  cur
+
+   for counters and histogram counts whenever [base] is an earlier
+   snapshot of [cur] (every instrument monotone in between).  Gauges
+   carry the current value — under the max-merge law the round trip
+   holds for monotone gauges.  This is what lets telemetry publish
+   cheap incremental frames whose concatenation replays to the final
+   registry. *)
+
+let snapshot t = merge t (create ())
+
+let hist_delta ~base cur =
+  if base.bounds <> cur.bounds then
+    invalid_arg "Metrics.delta: incompatible bounds";
+  let d_count = cur.h_count - base.h_count in
+  {
+    bounds = Array.copy cur.bounds;
+    counts = Array.mapi (fun i c -> c - base.counts.(i)) cur.counts;
+    h_count = d_count;
+    (* An empty delta must be a merge identity (+inf/-inf sentinels); a
+       non-empty one reuses the cumulative extrema, which the min/max
+       merge law absorbs exactly when [cur] extends [base]. *)
+    h_sum = cur.h_sum -. base.h_sum;
+    h_min = (if d_count = 0 then infinity else cur.h_min);
+    h_max = (if d_count = 0 then neg_infinity else cur.h_max);
+  }
+
+let delta ~base cur =
+  let out = create () in
+  Hashtbl.iter
+    (fun name v ->
+      let v' =
+        match (v, Hashtbl.find_opt base.items name) with
+        | Counter r, Some (Counter r0) -> Counter (ref (!r - !r0))
+        | Counter r, None -> Counter (ref !r)
+        | Gauge r, (Some (Gauge _) | None) -> Gauge (ref !r)
+        | Hist h, Some (Hist h0) -> Hist (hist_delta ~base:h0 h)
+        | Hist h, None -> Hist (hist_copy h)
+        | _, Some _ ->
+            invalid_arg ("Metrics.delta: instrument kind mismatch for " ^ name)
+      in
+      Hashtbl.replace out.items name v')
+    cur.items;
+  out
+
 let to_json t =
   Json.Obj
     (List.map

@@ -81,6 +81,30 @@ val to_json : t -> Json.t
 (** Object keyed by sorted instrument name: counters render as [Int],
     gauges as [Float], histograms via {!hist_json}. *)
 
+(** {1 Snapshot/delta encoding (live telemetry)}
+
+    [snapshot] freezes a registry; [delta ~base cur] encodes what
+    happened since, such that
+
+    {[ merge base (delta ~base cur) == cur ]}
+
+    exactly for counters and histogram bucket counts whenever [base] is
+    an earlier snapshot of [cur] (all instruments monotone in between);
+    gauges carry the current reading, which the max-merge law absorbs
+    for monotone gauges.  Telemetry publishers snapshot on each tick
+    and ship only the delta; subscribers replay by folding [merge]. *)
+
+val snapshot : t -> t
+(** Deep copy; later updates to the source do not affect it. *)
+
+val delta : base:t -> t -> t
+(** [delta ~base cur]: per instrument of [cur], counters subtract,
+    histogram buckets/counts/sums subtract (extrema are carried from
+    [cur], or the merge-identity sentinels when the delta is empty),
+    gauges carry [cur]'s value.  Instruments absent from [base] are
+    copied whole.
+    @raise Invalid_argument on instrument-kind or bound mismatches. *)
+
 (** {1 Histograms} *)
 
 val default_bounds : float array

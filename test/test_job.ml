@@ -416,6 +416,196 @@ let test_daemon_eof_cancels () =
   Domain.join d;
   rm_rf dir
 
+(* ------------------------------------------------------------------ *)
+(* Live telemetry plane                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Telemetry is strictly read-side: a subscribed run must deliver at
+   least one snapshot frame (the final flush after the joins is
+   unconditional), stop delivering after unsubscribe, and leave the
+   campaign signature untouched either way. *)
+let test_daemon_telemetry_subscription () =
+  let dir = tmpdir "telemetry" in
+  let config = daemon_config dir ~cache:false in
+  let d = start_daemon config in
+  let conn = connect config in
+  Serve.Client.subscribe conn;
+  let telemetry = ref 0 and acked = ref false and complete = ref false in
+  let on_event v =
+    match frame_type v with
+    | "subscribed" -> acked := true
+    | "telemetry" ->
+        incr telemetry;
+        (match (Json.member "done" v, Json.member "total" v) with
+        | Some (Json.Int dn), Some (Json.Int tot) ->
+            check "done <= total" true (dn <= tot);
+            if dn = tot then complete := true
+        | _ -> Alcotest.fail "telemetry frame missing done/total");
+        check "telemetry names the job" true (Json.member "id" v <> None);
+        check "telemetry carries counters" true
+          (match Json.member "counters" v with
+          | Some (Json.Obj _) -> true
+          | _ -> false)
+    | _ -> ()
+  in
+  let v = expect (Serve.Client.submit ~on_event conn small_spec) in
+  check "done" true (frame_type v = "done");
+  check "subscription acked" true !acked;
+  check "at least one snapshot" true (!telemetry >= 1);
+  check "final snapshot is complete" true !complete;
+  let sig_subscribed = Json.member "signature" v in
+  (* unsubscribe: frames stop, the execution must not change *)
+  Serve.Client.unsubscribe conn;
+  telemetry := 0;
+  let unsub_acked = ref false in
+  let on_event v =
+    match frame_type v with
+    | "unsubscribed" -> unsub_acked := true
+    | "telemetry" -> incr telemetry
+    | _ -> ()
+  in
+  let v = expect (Serve.Client.submit ~on_event conn small_spec) in
+  check "done again" true (frame_type v = "done");
+  check "unsubscription acked" true !unsub_acked;
+  check_int "no frames once unsubscribed" 0 !telemetry;
+  check "telemetry left the signature alone" true
+    (Json.member "signature" v = sig_subscribed);
+  (* the freshness stamp is kept even for the unsubscribed run *)
+  let v = expect (Serve.Client.status conn) in
+  check "status has queue depth" true
+    (Json.member "queue_depth" v = Some (Json.Int 0));
+  (match Json.member "jobs" v with
+  | Some (Json.List records) ->
+      check "finished records carry phase + telemetry age" true
+        (List.for_all
+           (fun r ->
+             Json.member "phase" r = Some (Json.String "finished")
+             &&
+             match Json.member "telemetry_age_s" r with
+             | Some (Json.Float _) -> true
+             | _ -> false)
+           records)
+  | _ -> Alcotest.fail "status has no jobs list");
+  ignore (expect (Serve.Client.shutdown conn));
+  Serve.Client.close conn;
+  Domain.join d;
+  rm_rf dir
+
+(* Toggling the subscription while a campaign runs exercises the
+   stop-hook poller: every toggle is eventually acked (mid-run by the
+   poller, after the run by the main frame loop), the job finishes
+   clean, and the daemon keeps serving. *)
+let test_daemon_subscription_races () =
+  let dir = tmpdir "races" in
+  let config = daemon_config dir ~cache:false in
+  let d = start_daemon config in
+  let conn = connect config in
+  let toggles = 8 in
+  let spec =
+    Job.of_flags ~kind:`Campaign ~seeds:40 ~protocol:"kset" Protocol.default
+  in
+  let ack =
+    expect
+      (Serve.Client.request conn
+         (Json.Obj [ ("op", Json.String "submit"); ("spec", Job.to_json spec) ]))
+  in
+  check "accepted" true (Json.member "accepted" ack = Some (Json.Bool true));
+  for _ = 1 to toggles do
+    Serve.Client.subscribe conn;
+    Serve.Client.unsubscribe conn
+  done;
+  let acks = ref 0 in
+  let count v =
+    match frame_type v with
+    | "subscribed" | "unsubscribed" -> incr acks
+    | _ -> ()
+  in
+  let rec drain () =
+    let v = expect (Serve.Client.next_frame conn) in
+    count v;
+    if frame_type v = "done" then v else drain ()
+  in
+  let v = drain () in
+  check "finished clean" true (Json.member "exit" v = Some (Json.Int 0));
+  (* toggles the poller missed are answered by the post-run frame loop *)
+  while !acks < 2 * toggles do
+    count (expect (Serve.Client.next_frame conn))
+  done;
+  check_int "every toggle acked" (2 * toggles) !acks;
+  check "daemon still answers" true
+    (frame_type (expect (Serve.Client.ping conn)) = "pong");
+  ignore (expect (Serve.Client.shutdown conn));
+  Serve.Client.close conn;
+  Domain.join d;
+  rm_rf dir
+
+(* A subscriber that vanishes mid-telemetry-stream must not take the
+   daemon down: writes to the dead socket are swallowed, the run is
+   wound down through the usual EOF path, and the next connection is
+   served normally. *)
+let test_daemon_disconnect_mid_stream () =
+  let dir = tmpdir "midstream" in
+  let config = daemon_config dir ~cache:false in
+  let d = start_daemon config in
+  let conn = connect config in
+  Serve.Client.subscribe conn;
+  check "subscribed" true
+    (frame_type (expect (Serve.Client.next_frame conn)) = "subscribed");
+  let spec =
+    Job.of_flags ~kind:`Campaign ~seeds:40 ~protocol:"kset" Protocol.default
+  in
+  let ack =
+    expect
+      (Serve.Client.request conn
+         (Json.Obj [ ("op", Json.String "submit"); ("spec", Job.to_json spec) ]))
+  in
+  check "accepted" true (Json.member "accepted" ack = Some (Json.Bool true));
+  (* consume one in-flight frame, then hang up with the stream open *)
+  ignore (expect (Serve.Client.next_frame conn));
+  Serve.Client.close conn;
+  let conn = connect config in
+  let v = expect (Serve.Client.status conn) in
+  (match Json.member "jobs" v with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "no record of the abandoned job");
+  ignore (expect (Serve.Client.shutdown conn));
+  Serve.Client.close conn;
+  Domain.join d;
+  rm_rf dir
+
+(* The decoder contract the daemon's [poll_frames] and every [--follow]
+   client rely on: a connection that dies mid-telemetry-frame leaves a
+   truncated line; on reconnect-resync the bad line is reported once and
+   decoding continues with the next valid frame. *)
+let test_stream_decoder_mid_telemetry_cut () =
+  let frame seq dn =
+    Printf.sprintf
+      "{\"type\":\"telemetry\",\"id\":1,\"seq\":%d,\"done\":%d,\"total\":8}" seq dn
+  in
+  let dec = Json.Stream.decoder () in
+  Json.Stream.feed dec (frame 0 2 ^ "\n");
+  (match Json.Stream.next dec with
+  | `Value v -> check "first frame" true (frame_type v = "telemetry")
+  | _ -> Alcotest.fail "expected first telemetry frame");
+  (* the peer dies mid-frame: half a telemetry line, no newline *)
+  let cut = String.sub (frame 1 4) 0 20 in
+  Json.Stream.feed dec cut;
+  check "partial frame awaits" true (Json.Stream.next dec = `Await);
+  check "partial bytes buffered" true (Json.Stream.pending dec > 0);
+  (* resync: the rest of the stream starts at a fresh frame, so the
+     spliced line is garbage — reported as one error, then recovery *)
+  Json.Stream.feed dec ("\n" ^ frame 2 6 ^ "\n");
+  (match Json.Stream.next dec with
+  | `Error _ -> ()
+  | _ -> Alcotest.fail "truncated line must surface as an error");
+  (match Json.Stream.next dec with
+  | `Value v ->
+      check "decoder recovered" true
+        (frame_type v = "telemetry"
+        && Json.member "seq" v = Some (Json.Int 2))
+  | _ -> Alcotest.fail "expected recovery after the bad line");
+  check "decoder drained" true (Json.Stream.next dec = `Await)
+
 let () =
   let qc =
     List.map
@@ -447,5 +637,16 @@ let () =
             test_daemon_submit_stream_status_shutdown;
           Alcotest.test_case "cancel" `Quick test_daemon_cancel;
           Alcotest.test_case "eof cancels" `Quick test_daemon_eof_cancels;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "subscribe/unsubscribe + inertness" `Quick
+            test_daemon_telemetry_subscription;
+          Alcotest.test_case "mid-run toggle races" `Quick
+            test_daemon_subscription_races;
+          Alcotest.test_case "disconnect mid-stream" `Quick
+            test_daemon_disconnect_mid_stream;
+          Alcotest.test_case "decoder survives mid-frame cut" `Quick
+            test_stream_decoder_mid_telemetry_cut;
         ] );
     ]

@@ -138,6 +138,13 @@ let ops_gen =
   QCheck.list_of_size (QCheck.Gen.int_range 0 12)
     (QCheck.triple (QCheck.int_range 0 2) (QCheck.int_range 0 2) (QCheck.int_range 0 20))
 
+(* Monotone instruments only (no gauges): kind 0 = counter, 2 = hist. *)
+let mono_ops_gen =
+  QCheck.list_of_size (QCheck.Gen.int_range 0 12)
+    (QCheck.triple
+       (QCheck.map (fun b -> if b then 0 else 2) QCheck.bool)
+       (QCheck.int_range 0 2) (QCheck.int_range 0 20))
+
 let metrics_qcheck =
   [
     QCheck.Test.make ~count:300 ~name:"merge commutative"
@@ -157,7 +164,43 @@ let metrics_qcheck =
         let a = registry_of_ops ops in
         json_str (Metrics.merge a (Metrics.create ())) = json_str a
         && json_str (Metrics.merge (Metrics.create ()) a) = json_str a);
+    (* The telemetry replay law: merge base (delta ~base cur) == cur when
+       base is an earlier snapshot of cur.  Gauges are excluded on
+       purpose — a gauge that moved {e down} is absorbed by max-merge, so
+       the documented law only covers counters/histograms (and monotone
+       gauges); the generator draws kinds {counter, hist} only. *)
+    QCheck.Test.make ~count:300 ~name:"snapshot/delta replay law"
+      (QCheck.pair mono_ops_gen mono_ops_gen)
+      (fun (early, late) ->
+        let base = Metrics.snapshot (registry_of_ops early) in
+        let cur = registry_of_ops (early @ late) in
+        json_str (Metrics.merge base (Metrics.delta ~base cur)) = json_str cur);
   ]
+
+let test_metrics_snapshot_delta () =
+  let m = Metrics.create () in
+  Metrics.incr m ~by:3 "c";
+  Metrics.observe m ~bounds "h" 2.0;
+  let base = Metrics.snapshot m in
+  Metrics.incr m ~by:4 "c";
+  Metrics.observe m ~bounds "h" 7.0;
+  Metrics.set_gauge m "g" 1.5;
+  (* the snapshot is frozen: later writes must not leak into it *)
+  check_int "snapshot frozen" 3 (Metrics.counter base "c");
+  let d = Metrics.delta ~base m in
+  check_int "counter delta" 4 (Metrics.counter d "c");
+  check "gauge delta carries current" true (Metrics.gauge d "g" = Some 1.5);
+  (match Metrics.hist d "h" with
+  | None -> Alcotest.fail "hist delta missing"
+  | Some h ->
+      check_int "hist delta count" 1 (Metrics.hist_count h);
+      check "hist delta keeps cumulative extrema" true
+        (Metrics.hist_min h = Some 2.0 && Metrics.hist_max h = Some 7.0));
+  check "replay reaches cur" true (json_str (Metrics.merge base d) = json_str m);
+  (* an idle tick ships a merge-identity delta *)
+  let idle = Metrics.delta ~base:(Metrics.snapshot m) m in
+  check "idle delta is identity" true
+    (json_str (Metrics.merge m idle) = json_str m)
 
 (* ------------------------------------------------------------------ *)
 (* Trace spans                                                         *)
@@ -318,15 +361,117 @@ let test_jsonl_roundtrip () =
       | Ok _ -> ()
       | Error e -> Alcotest.failf "line %d unparseable: %s" i e)
     lines;
-  (* header carries the level and the entry count *)
+  (* format v2: the header carries the level and stamp only; the totals
+     moved to the trailing "end" footer so the live stream can emit the
+     identical format before the run knows how long it will be *)
   (match Json.of_string (List.hd lines) with
   | Ok j ->
       check "meta type" true (Json.member "type" j = Some (Json.String "meta"));
-      check "meta entries" true (Json.member "entries" j = Some (Json.Int (Trace.length tr)))
+      check "meta version 2" true (Json.member "version" j = Some (Json.Int 2));
+      check "meta carries no totals" true (Json.member "entries" j = None)
   | Error e -> Alcotest.failf "meta unparseable: %s" e);
+  (match Json.of_string (List.nth lines (List.length lines - 1)) with
+  | Ok j ->
+      check "footer type" true (Json.member "type" j = Some (Json.String "end"));
+      check "footer entries" true
+        (Json.member "entries" j = Some (Json.Int (Trace.length tr)));
+      check "footer counters" true
+        (Json.member "counters" j
+        = Some (Json.Int (List.length (Trace.counters tr))))
+  | Error e -> Alcotest.failf "footer unparseable: %s" e);
   check "to_jsonl has trailing newline" true
     (let s = Export.to_jsonl tr in
      String.length s > 0 && s.[String.length s - 1] = '\n')
+
+let test_trace_cursor_tail () =
+  let tr = Trace.create () in
+  let cur = Trace.cursor () in
+  check_int "fresh cursor at 0" 0 (Trace.cursor_pos cur);
+  check_int "nothing pending" 0 (Trace.pending tr cur);
+  check "empty tail" true (Trace.tail tr cur = []);
+  Trace.record tr ~time:1.0 (Trace.Crash 0);
+  Trace.record tr ~time:2.0 (Trace.Crash 1);
+  check_int "two pending" 2 (Trace.pending tr cur);
+  (match Trace.tail tr cur with
+  | [ a; b ] ->
+      check "recording order" true
+        (a.Trace.entry = Trace.Crash 0 && b.Trace.entry = Trace.Crash 1)
+  | l -> Alcotest.failf "expected 2 entries, got %d" (List.length l));
+  check_int "tail consumed" 0 (Trace.pending tr cur);
+  check_int "pos advanced" 2 (Trace.cursor_pos cur);
+  Trace.record tr ~time:3.0 (Trace.Crash 2);
+  check_int "one new" 1 (Trace.pending tr cur);
+  (match Trace.tail tr cur with
+  | [ c ] -> check "only the new entry" true (c.Trace.entry = Trace.Crash 2)
+  | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l));
+  (* an explicitly positioned cursor replays from there *)
+  let mid = Trace.cursor ~from:1 () in
+  check_int "from=1 sees the rest" 2 (Trace.pending tr mid)
+
+let first_line s = match String.index_opt s '\n' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let test_stream_error_paths () =
+  let tr = Trace.create () in
+  let stream = Export.Stream.create tr in
+  (* nothing recorded yet: the header waits for the first non-empty
+     frame, so an early flush emits no bytes at all *)
+  Alcotest.(check string) "untouched flush is empty" "" (Export.Stream.flush stream);
+  let buf = Buffer.create 256 in
+  Trace.record tr ~time:0.5 (Trace.Crash 1);
+  let frame = Export.Stream.flush stream in
+  (match Json.of_string (first_line frame) with
+  | Ok j ->
+      check "header rides first non-empty frame" true
+        (Json.member "type" j = Some (Json.String "meta"))
+  | Error e -> Alcotest.failf "first streamed line unparseable: %s" e);
+  Buffer.add_string buf frame;
+  (* a flush with nothing new (header already out) is empty again *)
+  Alcotest.(check string) "idle flush is empty" "" (Export.Stream.flush stream);
+  Trace.incr tr "c";
+  Buffer.add_string buf (Export.Stream.close stream);
+  Alcotest.(check string) "frames concatenate to post-hoc export"
+    (Export.to_jsonl tr) (Buffer.contents buf);
+  (* the stream is dead after close: both operations must refuse, the
+     disconnect-mid-stream contract the daemon relies on *)
+  check "flush after close raises" true
+    (try ignore (Export.Stream.flush stream); false
+     with Invalid_argument _ -> true);
+  check "second close raises" true
+    (try ignore (Export.Stream.close stream); false
+     with Invalid_argument _ -> true)
+
+(* Whatever interleaving of recording and flushing happens — including
+   flushes that catch the trace mid-burst or see nothing new — the
+   concatenated frames must equal the post-hoc export byte-for-byte.
+   Negative ops flush; the rest record entries or bump counters. *)
+let stream_ops_gen =
+  QCheck.list_of_size (QCheck.Gen.int_range 0 40) (QCheck.int_range (-3) 20)
+
+let stream_qcheck =
+  QCheck.Test.make ~count:200 ~name:"streamed jsonl = post-hoc export"
+    stream_ops_gen (fun ops ->
+      let tr = Trace.create () in
+      let stream = Export.Stream.create tr in
+      let buf = Buffer.create 256 in
+      List.iteri
+        (fun i v ->
+          if v < 0 then Buffer.add_string buf (Export.Stream.flush stream)
+          else
+            let time = float_of_int i in
+            match v mod 4 with
+            | 0 ->
+                Trace.record tr ~time
+                  (Trace.Note { pid = Some (v mod 3); text = "n" })
+            | 1 ->
+                Trace.record tr ~time
+                  (Trace.Decide { pid = v mod 3; value = v; round = 1 + (v mod 5) })
+            | 2 -> Trace.record tr ~time (Trace.Crash (v mod 3))
+            | _ -> Trace.incr tr (Printf.sprintf "c%d" (v mod 3)))
+        ops;
+      Buffer.add_string buf (Export.Stream.close stream);
+      Buffer.contents buf = Export.to_jsonl tr)
 
 let test_chrome_roundtrip () =
   let r = run_kset () in
@@ -387,6 +532,7 @@ let () =
           Alcotest.test_case "bad bounds" `Quick test_metrics_hist_bad_bounds;
           Alcotest.test_case "merge mismatch" `Quick test_metrics_merge_mismatch;
           Alcotest.test_case "merge values" `Quick test_metrics_merge_values;
+          Alcotest.test_case "snapshot/delta" `Quick test_metrics_snapshot_delta;
         ] );
       ("metrics-properties", qc);
       ( "spans",
@@ -406,7 +552,14 @@ let () =
       ( "export",
         [
           Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "cursor tail" `Quick test_trace_cursor_tail;
+          Alcotest.test_case "stream error paths" `Quick test_stream_error_paths;
           Alcotest.test_case "chrome round-trip" `Quick test_chrome_roundtrip;
           Alcotest.test_case "byte-identical" `Quick test_exports_deterministic;
-        ] );
+        ]
+        @ [
+            QCheck_alcotest.to_alcotest
+              ~rand:(Random.State.make [| 42 |])
+              stream_qcheck;
+          ] );
     ]
