@@ -1717,6 +1717,93 @@ let serve () =
   let last = List.hd !frames in
   gate "final telemetry snapshot is not complete"
     (last.Runner.te_done = last.Runner.te_total);
+  (* Crash recovery: fill the cache to ~50%, fabricate the journal a
+     kill -9 leaves behind (accepted + running, no terminal entry), and
+     restart a real daemon on it.  The resumed campaign must re-execute
+     only the missing tail — zero duplicate executions — and land on the
+     cold pass's signature byte-for-byte.  (The CI smoke kills a live
+     daemon with SIGKILL; this pass measures the same recovery path
+     in-process, where executed/hit counts are observable.) *)
+  subsection "crash recovery (kill at ~50%, restart, resume)";
+  let rdir = Filename.concat "_results" "bench_recovery" in
+  rm_rf rdir;
+  let rcache_dir = Filename.concat rdir "cache" in
+  let half = total / 2 in
+  let completed = ref 0 in
+  let cache1 = Runner.Cache.create ~dir:rcache_dir () in
+  let c_interrupted =
+    (Job.execute ~cache:cache1
+       ~on_progress:(fun _ -> incr completed)
+       ~stop:(fun () -> !completed >= half)
+       spec)
+      .Job.o_campaign
+  in
+  let executed1 = c_interrupted.Runner.c_executed in
+  Printf.printf "  interrupted at %d/%d jobs (%d executed, %d stored)\n"
+    !completed total executed1 (Runner.Cache.stores cache1);
+  gate "interrupted pass ran to completion (cannot exercise recovery)"
+    (executed1 < total);
+  let socket = Filename.concat rdir "fdkit.sock" in
+  let j = Journal.append_open (Serve.journal_path rdir) in
+  Journal.append j (Serve.Recovery.accepted_entry ~id:1 spec);
+  Journal.append j (Serve.Recovery.state_entry ~id:1 "running");
+  Journal.close j;
+  let t0 = Unix.gettimeofday () in
+  let daemon =
+    Domain.spawn (fun () ->
+        Serve.serve
+          ~config:
+            {
+              Serve.default_config with
+              Serve.socket_path = socket;
+              cache_dir = Some rcache_dir;
+              out_dir = rdir;
+              log = ignore;
+            }
+          ())
+  in
+  let conn =
+    match Serve.Client.connect_retry ~attempts:10 ~backoff_s:0.05 socket with
+    | Ok c -> c
+    | Error e -> failwith ("SERVE: recovery daemon unreachable: " ^ e)
+  in
+  let rec wait_done n =
+    if n = 0 then failwith "SERVE: resumed job never finished";
+    let record =
+      match Serve.Client.status conn with
+      | Ok v -> (
+          match Json.member "jobs" v with
+          | Some (Json.List [ r ])
+            when Json.member "state" r = Some (Json.String "done") ->
+              Some r
+          | _ -> None)
+      | Error _ -> None
+    in
+    match record with
+    | Some r -> r
+    | None ->
+        Unix.sleepf 0.05;
+        wait_done (n - 1)
+  in
+  let r = wait_done 2400 in
+  let recovery_wall_s = Unix.gettimeofday () -. t0 in
+  ignore (Serve.Client.shutdown conn);
+  Serve.Client.close conn;
+  Domain.join daemon;
+  let int_of k = match Json.member k r with Some (Json.Int i) -> i | _ -> -1 in
+  let hits2 = int_of "cache_hits" and executed2 = int_of "executed" in
+  let sig_resumed =
+    match Json.member "signature" r with Some (Json.String s) -> s | _ -> "?"
+  in
+  let duplicates = max 0 (executed1 + executed2 - total) in
+  Printf.printf
+    "  resumed: %d cached + %d executed in %.2fs, %d duplicate execution(s), signature %s\n"
+    hits2 executed2 recovery_wall_s duplicates
+    (if sig_resumed = sig_cold then "identical" else "DIFFERS");
+  gate "recovery re-executed already-completed jobs" (duplicates = 0);
+  gate "recovery left jobs unaccounted" (hits2 + executed2 = total);
+  gate "resumed signature differs from the cold signature"
+    (sig_resumed = sig_cold);
   let side tag (c : Runner.campaign) sg =
     ( tag,
       Json.Obj
@@ -1751,6 +1838,16 @@ let serve () =
                  ("overhead_pct", Json.Float tele_overhead_pct);
                  ("signature_identical", Json.Bool (sig_tele = sig_plain));
                  ("cache_skipped_cold", Json.Int c_cold.Runner.c_cache_skipped);
+               ] );
+           ( "recovery",
+             Json.Obj
+               [
+                 ("interrupted_executed", Json.Int executed1);
+                 ("resumed_cache_hits", Json.Int hits2);
+                 ("resumed_executed", Json.Int executed2);
+                 ("duplicate_executions", Json.Int duplicates);
+                 ("recovery_wall_s", Json.Float recovery_wall_s);
+                 ("signature_identical", Json.Bool (sig_resumed = sig_cold));
                ] );
          ]));
   Printf.printf "artifact: %s\n" (Filename.concat "_results" "BENCH_serve.json")

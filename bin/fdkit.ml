@@ -453,10 +453,13 @@ let counter_totals (c : Runner.campaign) =
 let print_counter_totals c =
   print_endline "  counter totals (all jobs):";
   List.iter (fun (key, v) -> Printf.printf "    %-22s %g\n" key v) (counter_totals c);
-  (* Not a job metric — the campaign-level count of jobs that bypassed
-     the result cache (keyless rt/error jobs); always printed so "0
-     skipped" is distinguishable from "not measured". *)
-  Printf.printf "    %-22s %d\n" "cache.skipped" c.Runner.c_cache_skipped
+  (* Not job metrics — campaign-level cache robustness counters (jobs
+     that bypassed the cache, corrupt entries detected and healed,
+     failed stores); always printed so "0" is distinguishable from "not
+     measured". *)
+  Printf.printf "    %-22s %d\n" "cache.skipped" c.Runner.c_cache_skipped;
+  Printf.printf "    %-22s %d\n" "cache.corrupt" c.Runner.c_cache_corrupt;
+  Printf.printf "    %-22s %d\n" "cache.write_failed" c.Runner.c_cache_write_failed
 
 let cache_flag_arg =
   Arg.(
@@ -1216,7 +1219,8 @@ let socket_arg =
         ~doc:"Unix domain socket the fdkit serve daemon listens on.")
 
 let serve_cmd =
-  let run socket cache_dir no_cache jobs out verbose =
+  let run socket cache_dir no_cache jobs out verbose queue_depth
+      default_deadline_s retry_budget retry_backoff_s no_resume =
     let log =
       if verbose then fun s -> Printf.eprintf "[serve] %s\n%!" s else ignore
     in
@@ -1227,12 +1231,24 @@ let serve_cmd =
         jobs = (if jobs > 0 then Some jobs else None);
         out_dir = out;
         log;
+        queue_depth;
+        default_deadline_s;
+        retry_budget;
+        retry_backoff_s;
+        resume = not no_resume;
       }
     in
-    Printf.printf "fdkit serve: listening on %s (cache: %s)\n%!" socket
-      (if no_cache then "off" else cache_dir);
-    Serve.serve ~config ();
-    0
+    Printf.printf "fdkit serve: listening on %s (cache: %s, journal: %s)\n%!"
+      socket
+      (if no_cache then "off" else cache_dir)
+      (Serve.journal_path out);
+    (* A live daemon already on the socket is a refusal (the stale-file
+       case is handled inside serve by probe + unlink). *)
+    match Serve.serve ~config () with
+    | () -> 0
+    | exception Failure e ->
+        prerr_endline e;
+        2
   in
   let cache_dir_arg =
     Arg.(
@@ -1257,13 +1273,63 @@ let serve_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Log submissions to stderr.")
   in
+  let queue_depth_arg =
+    Arg.(
+      value
+      & opt int Serve.default_config.Serve.queue_depth
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Bounded FIFO: max jobs waiting (the running job not counted); \
+             submits beyond it are shed with a 'rejected: queue full' ack.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "default-deadline-s" ] ~docv:"SECS"
+          ~doc:
+            "Per-attempt wall-clock budget for jobs whose submit frame \
+             carries no deadline_s; 0 disables the watchdog.")
+  in
+  let retry_budget_arg =
+    Arg.(
+      value
+      & opt int Serve.default_config.Serve.retry_budget
+      & info [ "retry-budget" ] ~docv:"N"
+          ~doc:
+            "Retries (with capped exponential backoff) for a timed-out or \
+             crashed job before it is quarantined as poison.")
+  in
+  let retry_backoff_arg =
+    Arg.(
+      value
+      & opt float Serve.default_config.Serve.retry_backoff_s
+      & info [ "retry-backoff-s" ] ~docv:"SECS"
+          ~doc:"Base of the capped exponential retry backoff.")
+  in
+  let no_resume_arg =
+    Arg.(
+      value & flag
+      & info [ "no-resume" ]
+          ~doc:
+            "Do not re-enqueue journal-recovered interrupted jobs on start; \
+             close them out as cancelled instead (completed history is \
+             replayed either way).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the campaign daemon: accept Job specs over a Unix socket \
-          (newline-delimited JSON), execute them on the multicore campaign \
-          engine, stream progress frames live, and resolve warm jobs from the \
-          content-addressed result cache.  Clients that send \
+         "Run the crash-safe campaign daemon: accept Job specs over a Unix \
+          socket (newline-delimited JSON), queue them on a bounded FIFO, \
+          execute them on the multicore campaign engine, stream progress \
+          frames live, and resolve warm jobs from the content-addressed \
+          result cache.  Every accepted spec and state transition is \
+          journaled (append + fsync) to $(b,<out>/serve_journal.jsonl); on \
+          start the journal is replayed, so a kill -9 mid-campaign loses \
+          nothing — interrupted jobs are re-enqueued and their finished \
+          prefix resolves from the cache.  Timed-out or crashed jobs retry \
+          with capped exponential backoff up to --retry-budget, then are \
+          quarantined as poison (exit 6) with a ready-to-paste resubmit \
+          command in the journal.  Clients that send \
           {\"op\":\"subscribe\"} additionally receive periodic \
           $(b,telemetry) frames (metrics snapshots and deltas of the \
           in-flight campaign — see $(b,fdkit submit --help) for the frame \
@@ -1273,7 +1339,8 @@ let serve_cmd =
           $(b,fdkit submit/status/top/cancel/shutdown).")
     Term.(
       const run $ socket_arg $ cache_dir_arg $ no_cache_arg $ jobs_arg $ out_arg
-      $ verbose_arg)
+      $ verbose_arg $ queue_depth_arg $ deadline_arg $ retry_budget_arg
+      $ retry_backoff_arg $ no_resume_arg)
 
 let json_int ?(default = 0) key v =
   match Json.member key v with Some (Json.Int i) -> i | _ -> default
@@ -1302,7 +1369,7 @@ let print_telemetry v =
 
 let submit_cmd =
   let run socket spec_file kind protocol seeds protocols mixes honest
-      expect_cached follow stream (base : Protocol.params) =
+      expect_cached follow stream retry deadline_s (base : Protocol.params) =
     let spec =
       match spec_file with
       | Some path -> (
@@ -1327,10 +1394,17 @@ let submit_cmd =
         prerr_endline e;
         3
     | Ok spec -> (
-        match Serve.Client.connect socket with
+        match
+          (* --retry rides out a daemon mid-restart (journal replay,
+             socket not yet rebound) with capped-exponential reconnect. *)
+          if retry > 0 then Serve.Client.connect_retry ~attempts:(retry + 1) socket
+          else Serve.Client.connect socket
+        with
         | Error e ->
             prerr_endline e;
-            3
+            Printf.eprintf "hint: is `fdkit serve` running? socket checked: %s\n"
+              socket;
+            7
         | Ok conn ->
             let stream_oc = Option.map open_out stream in
             (* Subscribe before submitting so the campaign's first
@@ -1346,7 +1420,15 @@ let submit_cmd =
               match Json.member "type" v with
               | Some (Json.String "ack")
                 when Json.member "accepted" v = Some (Json.Bool true) ->
-                  Printf.printf "submitted: %s\n%!" (Job.summary spec)
+                  if Json.member "attached" v = Some (Json.Bool true) then
+                    Printf.printf "attached to job #%d (already %s): %s\n%!"
+                      (json_int "id" v) (json_str "state" v) (Job.summary spec)
+                  else Printf.printf "submitted: %s\n%!" (Job.summary spec)
+              | Some (Json.String "retry") ->
+                  Printf.printf "  retry %d: %s — backoff %gs\n%!"
+                    (json_int "attempt" v)
+                    (json_str ~default:"attempt failed" "reason" v)
+                    (json_float "backoff_s" v)
               | Some (Json.String "progress") ->
                   Printf.printf "  [%d/%d] %s%s%s\n%!" (json_int "done" v)
                     (json_int "total" v) (json_str "label" v)
@@ -1358,7 +1440,11 @@ let submit_cmd =
               | Some (Json.String "telemetry") when follow -> print_telemetry v
               | _ -> ()
             in
-            let r = Serve.Client.submit ~on_event conn spec in
+            let r =
+              Serve.Client.submit
+                ?deadline_s:(if deadline_s > 0. then Some deadline_s else None)
+                ~on_event conn spec
+            in
             Serve.Client.close conn;
             Option.iter close_out stream_oc;
             (match r with
@@ -1477,6 +1563,23 @@ let submit_cmd =
              done) to $(docv) as newline-delimited JSON; implies the \
              telemetry subscription.")
   in
+  let retry_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retry" ] ~docv:"N"
+          ~doc:
+            "Retry the initial connect up to $(docv) times with capped \
+             exponential backoff — rides out a daemon mid-restart.")
+  in
+  let deadline_s_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "deadline-s" ] ~docv:"SECS"
+          ~doc:
+            "Per-attempt wall-clock budget for this job (overrides the \
+             daemon's --default-deadline-s); a timed-out job retries with \
+             backoff and is eventually poisoned (exit 6).")
+  in
   Cmd.v
     (Cmd.info "submit"
        ~doc:
@@ -1493,13 +1596,21 @@ let submit_cmd =
     Term.(
       const run $ socket_arg $ spec_arg $ kind_arg $ protocol_arg $ seeds_arg
       $ protocols_arg $ mixes_arg $ honest_arg $ expect_cached_arg
-      $ follow_arg $ stream_arg $ params_term ())
+      $ follow_arg $ stream_arg $ retry_arg $ deadline_s_arg $ params_term ())
+
+(* Exit 7 is reserved for "daemon unreachable" so scripts can tell a
+   dead daemon (restart it) from a failing job (fix the job). *)
+let unreachable_exit = 7
+
+let unreachable_hint socket e =
+  prerr_endline e;
+  Printf.eprintf "hint: is `fdkit serve` running? socket checked: %s\n%!" socket
 
 let with_daemon socket f =
   match Serve.Client.connect socket with
   | Error e ->
-      prerr_endline e;
-      3
+      unreachable_hint socket e;
+      unreachable_exit
   | Ok conn ->
       let code = f conn in
       Serve.Client.close conn;
@@ -1538,11 +1649,23 @@ let status_cmd =
                       (telemetry_age j) (json_str "summary" j))
                   jobs
             | Some _ -> ());
+            (match Json.member "counters" v with
+            | Some (Json.Obj _ as counters) ->
+                let retried = json_int "jobs_retried" counters in
+                let poisoned = json_int "jobs_poisoned" counters in
+                if retried > 0 || poisoned > 0 then
+                  Printf.printf "watchdog: %d retried, %d poisoned\n" retried
+                    poisoned
+            | _ -> ());
             (match Json.member "cache" v with
             | Some (Json.Obj _ as cache) ->
-                Printf.printf "cache: %s — %d hit(s), %d miss(es), %d store(s)\n"
+                Printf.printf
+                  "cache: %s — %d hit(s), %d miss(es), %d store(s), %d \
+                   corrupt, %d write-failed\n"
                   (json_str "dir" cache) (json_int "hits" cache)
                   (json_int "misses" cache) (json_int "stores" cache)
+                  (json_int "corrupt" cache)
+                  (json_int "write_failed" cache)
             | _ -> print_endline "cache: off");
             0)
   in
@@ -1565,15 +1688,15 @@ let top_cmd =
     let render () =
       match Serve.Client.connect socket with
       | Error e ->
-          prerr_endline e;
-          Error 3
+          unreachable_hint socket e;
+          Error unreachable_exit
       | Ok conn -> (
           let r = Serve.Client.status conn in
           Serve.Client.close conn;
           match r with
           | Error e ->
-              prerr_endline e;
-              Error 3
+              unreachable_hint socket e;
+              Error unreachable_exit
           | Ok v ->
               if not once then print_string "\027[2J\027[H";
               Printf.printf "fdkit top — %s  queue=%d\n" socket
@@ -1593,16 +1716,23 @@ let top_cmd =
               (match Json.member "cache" v with
               | Some (Json.Obj _ as cache) ->
                   Printf.printf
-                    "  cache: %s — %d hit(s), %d miss(es), %d store(s)\n%!"
+                    "  cache: %s — %d hit(s), %d miss(es), %d store(s), %d \
+                     corrupt, %d write-failed\n%!"
                     (json_str "dir" cache) (json_int "hits" cache)
                     (json_int "misses" cache) (json_int "stores" cache)
+                    (json_int "corrupt" cache)
+                    (json_int "write_failed" cache)
               | _ -> print_endline "  cache: off");
               Ok ())
     in
+    (* Loop mode survives a daemon restart: each tick is its own
+       connect, so an unreachable tick reports and keeps ticking — the
+       next tick finds the restarted daemon.  --once propagates the
+       distinct exit code for scripting. *)
     let rec loop () =
       match render () with
-      | Error code -> code
-      | Ok () ->
+      | Error code when once -> code
+      | Error _ | Ok () ->
           if once then 0
           else begin
             Unix.sleepf interval;
@@ -1629,8 +1759,9 @@ let top_cmd =
          "Live view of a running fdkit serve daemon: queue depth and per-job \
           state/phase/telemetry-freshness, refreshed every --interval \
           seconds.  Each refresh is its own connect → status → close \
-          exchange, so watching never blocks submitters on the \
-          one-connection-at-a-time daemon.")
+          exchange, so the watcher rides out daemon restarts: an \
+          unreachable tick prints a hint and keeps ticking (--once instead \
+          exits 7 for scripting).")
     Term.(const run $ socket_arg $ interval_arg $ once_arg)
 
 let cancel_cmd =
@@ -1643,8 +1774,10 @@ let cancel_cmd =
   Cmd.v
     (Cmd.info "cancel"
        ~doc:
-         "Ask the daemon to stop scheduling further jobs of the running \
-          campaign (in-flight jobs finish; completed work is kept and cached).")
+         "Ask the daemon to cancel the running job (queued jobs are \
+          cancelled immediately; a running campaign stops at the next job \
+          boundary — in-flight jobs finish; completed work is kept and \
+          cached).")
     Term.(const run $ socket_arg)
 
 let shutdown_cmd =

@@ -155,6 +155,23 @@ let of_json j =
 let canonical spec = Json.to_string ~minify:true (to_json spec)
 let equal a b = canonical a = canonical b
 
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+(* Quarantine/handoff helper: persist a spec as a standalone JSON file
+   that [fdkit submit --spec <path>] accepts verbatim.  [None] on write
+   failure — callers (the daemon's poison path) degrade gracefully. *)
+let write_spec ~dir ~name spec =
+  try
+    mkdir_p dir;
+    let path = Filename.concat dir name in
+    Json.write_file path (to_json spec);
+    Some path
+  with Sys_error _ -> None
+
 let summary spec =
   match spec with
   | Run { protocol; params } ->

@@ -60,6 +60,11 @@ val canonical : spec -> string
 val equal : spec -> spec -> bool
 (** Canonical-encoding equality. *)
 
+val write_spec : dir:string -> name:string -> spec -> string option
+(** Persist a spec as [dir/name] in the JSON shape
+    [fdkit submit --spec <path>] accepts; returns the path, or [None]
+    if the write failed.  Used by the daemon's poison quarantine. *)
+
 (** {1 Flag elaboration} *)
 
 val of_flags :

@@ -1,23 +1,33 @@
-(* fdkit serve: the campaign daemon.
+(* fdkit serve: the crash-safe campaign daemon.
 
    A long-running process listening on a Unix domain socket.  Frames in
    both directions are newline-delimited JSON (one value per line,
    decoded incrementally with Util.Json.Stream).  Clients submit
-   Job.specs; the daemon validates, schedules them on the campaign
-   engine (worker domains), streams progress events back live, and
-   resolves warm jobs from the content-addressed result cache.
+   Job.specs; the daemon validates, queues them on a bounded FIFO,
+   executes them one at a time on the campaign engine (worker domains),
+   streams progress events back live, and resolves warm jobs from the
+   content-addressed result cache.
 
-   Concurrency model: connections are handled one at a time, and one
-   job runs at a time — parallelism lives inside the campaign engine
+   Concurrency model: one reader domain per connection (ops — submit,
+   cancel, status, subscription toggles — are handled promptly, even
+   while a job runs), plus one executor domain that drains the FIFO.
+   One job runs at a time: parallelism lives inside the campaign engine
    (worker domains), not across jobs, so two submissions never fight
-   over domains or artifact files.  While a job runs, the daemon polls
-   the client socket between job submissions (Runner's [stop] hook, on
-   the producer domain): a {"op":"cancel"} frame — or the client
-   hanging up — cancels the remainder of the campaign; in-flight jobs
-   finish and completed work is kept (and cached).
+   over domains or artifact files.  All shared state sits behind one
+   mutex [t.m]; socket writes go through a per-client mutex so frames
+   never interleave.  Submit acks are sent while [t.m] is held — the
+   executor needs [t.m] to dequeue, so a job's ack always precedes its
+   progress/done frames on the wire.
 
-   Progress frames are written from worker domains ([on_progress]);
-   all socket writes go through one mutex so frames never interleave. *)
+   Crash safety (DESIGN.md §13): every accepted spec and every state
+   transition is appended (fsync'd) to <out_dir>/serve_journal.jsonl
+   via Util.Journal.  On start the journal is replayed: completed jobs
+   are reported in [status], interrupted ones are re-enqueued (cheap —
+   their finished prefix is in the cache), and a stale socket left by a
+   crashed daemon is probed and unlinked before bind.  Jobs that blow
+   their wall-clock deadline or crash the executor are retried with
+   capped exponential backoff up to a retry budget, then quarantined as
+   poison with a ready-to-paste resubmission command in the journal.  *)
 
 open Setagree_util
 open Setagree_runner
@@ -26,8 +36,13 @@ type config = {
   socket_path : string;
   cache_dir : string option;  (* None = caching off *)
   jobs : int option;  (* worker domains; None = Runner.default_jobs *)
-  out_dir : string;  (* artifact directory *)
+  out_dir : string;  (* artifact directory (and journal home) *)
   log : string -> unit;  (* daemon-side logging *)
+  queue_depth : int;  (* max jobs waiting (running job not counted) *)
+  default_deadline_s : float;  (* per-attempt wall clock; <= 0 = none *)
+  retry_budget : int;  (* retries after the first attempt, then poison *)
+  retry_backoff_s : float;  (* base of the capped exponential backoff *)
+  resume : bool;  (* re-enqueue interrupted journal jobs on start *)
 }
 
 let default_config =
@@ -37,11 +52,18 @@ let default_config =
     jobs = None;
     out_dir = "_results";
     log = ignore;
+    queue_depth = 16;
+    default_deadline_s = 0.;
+    retry_budget = 2;
+    retry_backoff_s = 1.0;
+    resume = true;
   }
+
+let journal_path out_dir = Filename.concat out_dir "serve_journal.jsonl"
 
 (* ---- job history ---- *)
 
-type state = Queued | Running | Done | Cancelled | Rejected
+type state = Queued | Running | Done | Cancelled | Rejected | Poisoned
 
 let state_to_string = function
   | Queued -> "queued"
@@ -49,10 +71,40 @@ let state_to_string = function
   | Done -> "done"
   | Cancelled -> "cancelled"
   | Rejected -> "rejected"
+  | Poisoned -> "poisoned"
+
+let state_of_string = function
+  | "queued" -> Some Queued
+  | "running" -> Some Running
+  | "done" -> Some Done
+  | "cancelled" -> Some Cancelled
+  | "rejected" -> Some Rejected
+  | "poisoned" -> Some Poisoned
+  | _ -> None
+
+let is_terminal = function
+  | Done | Cancelled | Rejected | Poisoned -> true
+  | Queued | Running -> false
+
+(* One connected client.  [subscribed] gates telemetry frames only —
+   progress/ack/done always flow.  [cl_last_submit] remembers the most
+   recent job this client submitted (or attached to), so a bare
+   {"op":"cancel"} can be routed without an id. *)
+type client = {
+  cl_fd : Unix.file_descr;
+  cl_oc : out_channel;
+  cl_dec : Json.Stream.decoder;
+  cl_wmutex : Mutex.t;
+  mutable subscribed : bool;
+  mutable cl_last_submit : int;  (* 0 = none *)
+}
 
 type record = {
   id : int;
   spec : Job.spec option;  (* None for rejected frames that never parsed *)
+  canonical : string;  (* Job.canonical; "" when spec is None *)
+  deadline_s : float;  (* per-attempt wall-clock budget; <= 0 = none *)
+  resumed : bool;  (* re-enqueued from the journal on daemon start *)
   mutable rstate : state;
   mutable phase : string;  (* finer-grained than rstate while running *)
   mutable exit_code : int;
@@ -62,6 +114,11 @@ type record = {
   mutable signature : string;  (* MD5 of the campaign signature *)
   mutable errors : string list;
   mutable last_telemetry_s : float;  (* Unix time of last snapshot; 0. = never *)
+  mutable attempt : int;  (* 0-based execution attempt *)
+  mutable not_before : float;  (* backoff gate (Unix time); 0. = ready *)
+  mutable cancel_req : bool;  (* consumed by the running job's stop hook *)
+  mutable watchers : client list;  (* clients streaming this job *)
+  mutable ever_watched : bool;  (* false only for journal-resumed jobs *)
 }
 
 (* ---- framing ---- *)
@@ -76,6 +133,8 @@ let send mutex oc j =
      flush oc
    with Sys_error _ -> ());
   Mutex.unlock mutex
+
+let send_client cl j = send cl.cl_wmutex cl.cl_oc j
 
 let error_frame ?id msg =
   Json.Obj
@@ -95,6 +154,8 @@ let record_json r =
       ("state", Json.String (state_to_string r.rstate));
       ("phase", Json.String r.phase);
       ("exit", Json.Int r.exit_code);
+      ("attempt", Json.Int r.attempt);
+      ("resumed", Json.Bool r.resumed);
       ("cache_hits", Json.Int r.cache_hits);
       ("executed", Json.Int r.executed);
       ("cache_skipped", Json.Int r.cache_skipped);
@@ -105,92 +166,11 @@ let record_json r =
       ("errors", Json.List (List.map (fun e -> Json.String e) r.errors));
     ]
 
-(* ---- the daemon ---- *)
-
-type t = {
-  cfg : config;
-  cache : Runner.Cache.t option;
-  mutable history : record list;  (* newest first *)
-  mutable next_id : int;
-  mutable shutdown : bool;
-}
-
-let fresh_record t spec =
-  let r =
-    {
-      id = t.next_id;
-      spec;
-      rstate = Queued;
-      phase = "queued";
-      exit_code = 0;
-      cache_hits = 0;
-      executed = 0;
-      cache_skipped = 0;
-      signature = "";
-      errors = [];
-      last_telemetry_s = 0.;
-    }
-  in
-  t.next_id <- t.next_id + 1;
-  t.history <- r :: t.history;
-  r
-
-let queue_depth t =
-  List.length
-    (List.filter (fun r -> r.rstate = Queued || r.rstate = Running) t.history)
-
-(* Drain every complete frame currently buffered on [fd] without
-   blocking; feed them to [handle].  Returns [`Eof] when the peer hung
-   up. *)
-let poll_frames fd dec handle =
-  let buf = Bytes.create 4096 in
-  let rec drain_values () =
-    match Json.Stream.next dec with
-    | `Value v ->
-        handle v;
-        drain_values ()
-    | `Error _ -> drain_values () (* skip the bad line, keep decoding *)
-    | `Await -> `Ok
-  in
-  let rec drain_socket () =
-    match Unix.select [ fd ] [] [] 0.0 with
-    | [], _, _ -> drain_values ()
-    | _ -> (
-        match Unix.read fd buf 0 (Bytes.length buf) with
-        | 0 -> `Eof
-        | len ->
-            Json.Stream.feed dec (Bytes.sub_string buf 0 len);
-            drain_socket ()
-        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
-            drain_values ()
-        | exception Unix.Unix_error _ -> `Eof)
-  in
-  drain_socket ()
-
-(* One connected client.  [subscribed] gates telemetry frames only —
-   progress/ack/done always flow.  Toggled by [subscribe]/[unsubscribe]
-   ops, which are honoured both while idle (handle_frame) and mid-run
-   (the stop-hook poller), so a client can tune in or out of a campaign
-   already in flight. *)
-type client = {
-  cl_fd : Unix.file_descr;
-  cl_oc : out_channel;
-  cl_dec : Json.Stream.decoder;
-  cl_wmutex : Mutex.t;
-  mutable subscribed : bool;
-}
-
-let send_client cl j = send cl.cl_wmutex cl.cl_oc j
-
 let subscription_frame cl =
   Json.Obj
     [
       ("type", Json.String (if cl.subscribed then "subscribed" else "unsubscribed"));
     ]
-
-let set_subscription cl on =
-  cl.subscribed <- on;
-  send_client cl (subscription_frame cl)
 
 let telemetry_frame id te =
   let fields =
@@ -201,167 +181,699 @@ let telemetry_frame id te =
   Json.Obj
     (("type", Json.String "telemetry") :: ("id", Json.Int id) :: fields)
 
-let run_submission t cl (spec : Job.spec) =
-  let r = fresh_record t (Some spec) in
-  match Job.validate spec with
-  | Error errs ->
-      r.rstate <- Rejected;
-      r.phase <- "rejected";
-      r.exit_code <- 3;
-      r.errors <- errs;
-      send_client cl
-        (Json.Obj
-           [
-             ("type", Json.String "ack");
-             ("id", Json.Int r.id);
-             ("accepted", Json.Bool false);
-             ("errors", Json.List (List.map (fun e -> Json.String e) errs));
-           ])
-  | Ok () ->
-      send_client cl
-        (Json.Obj
-           [
-             ("type", Json.String "ack");
-             ("id", Json.Int r.id);
-             ("accepted", Json.Bool true);
-             ("summary", Json.String (Job.summary spec));
-           ]);
-      r.rstate <- Running;
-      r.phase <- "running";
-      t.cfg.log (Printf.sprintf "job %d: %s" r.id (Job.summary spec));
-      let cancelled = ref false in
-      (* Polled by the campaign engine between job submissions: any
-         buffered cancel frame — or the client hanging up — stops the
-         remainder of the campaign.  Subscription toggles are honoured
-         here too so [subscribe]/[unsubscribe] work mid-run. *)
-      let stop () =
-        if !cancelled then true
-        else begin
-          (match
-             poll_frames cl.cl_fd cl.cl_dec (fun v ->
-                 match Json.member "op" v with
-                 | Some (Json.String "cancel") -> cancelled := true
-                 | Some (Json.String "ping") ->
-                     send_client cl (Json.Obj [ ("type", Json.String "pong") ])
-                 | Some (Json.String "subscribe") -> set_subscription cl true
-                 | Some (Json.String "unsubscribe") -> set_subscription cl false
-                 | _ ->
-                     send_client cl
-                       (error_frame ~id:r.id "busy: one job at a time"))
-           with
-          | `Eof -> cancelled := true
-          | `Ok -> ());
-          !cancelled
-        end
-      in
-      let on_progress (p : Runner.progress) =
+(* ---- journal schema + recovery ---- *)
+
+module Recovery = struct
+  let accepted_entry ~id ?(deadline_s = 0.) spec =
+    Json.Obj
+      [
+        ("type", Json.String "accepted");
+        ("id", Json.Int id);
+        ("deadline_s", Json.Float deadline_s);
+        ("spec", Job.to_json spec);
+      ]
+
+  let state_entry ~id ?(attempt = 0) ?(extra = []) st =
+    Json.Obj
+      ([
+         ("type", Json.String "state");
+         ("id", Json.Int id);
+         ("state", Json.String st);
+         ("attempt", Json.Int attempt);
+       ]
+      @ extra)
+
+  type pending = { p_id : int; p_spec : Job.spec; p_deadline_s : float }
+
+  type completed = {
+    f_id : int;
+    f_spec : Job.spec;
+    f_state : state;
+    f_exit : int;
+    f_signature : string;
+  }
+
+  type t = {
+    completed : completed list;  (* terminal jobs, oldest first *)
+    pending : pending list;  (* accepted, no terminal entry; FIFO order *)
+    next_id : int;
+    dropped_lines : int;
+    dropped_bytes : int;
+  }
+
+  let int_member k j =
+    match Json.member k j with
+    | Some (Json.Int i) -> Some i
+    | Some (Json.Float f) -> Some (int_of_float f)
+    | _ -> None
+
+  let float_member k j =
+    match Json.member k j with
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+
+  (* Replay the journal into (completed, pending).  Tolerant by design:
+     unknown entry types are skipped, an id's first terminal entry wins
+     (a duplicate "done" from a half-compacted journal cannot re-run or
+     double-report a job), and a truncated tail was already dropped by
+     Journal.load — so the result is always a prefix-consistent view of
+     what the dead daemon actually accepted and finished. *)
+  let load path =
+    let { Journal.entries; dropped_lines; dropped_bytes } = Journal.load path in
+    let accepted : (int, pending) Hashtbl.t = Hashtbl.create 16 in
+    let accept_order = ref [] in
+    let finished : (int, completed) Hashtbl.t = Hashtbl.create 16 in
+    let finish_order = ref [] in
+    let next = ref 1 in
+    List.iter
+      (fun e ->
+        match Json.member "type" e with
+        | Some (Json.String "accepted") -> (
+            match (int_member "id" e, Json.member "spec" e) with
+            | Some id, Some sj when not (Hashtbl.mem accepted id) -> (
+                match Job.of_json sj with
+                | Ok spec ->
+                    let p_deadline_s =
+                      Option.value ~default:0. (float_member "deadline_s" e)
+                    in
+                    Hashtbl.replace accepted id { p_id = id; p_spec = spec; p_deadline_s };
+                    accept_order := id :: !accept_order;
+                    if id >= !next then next := id + 1
+                | Error _ -> ())
+            | _ -> ())
+        | Some (Json.String "state") -> (
+            match (int_member "id" e, Json.member "state" e) with
+            | Some id, Some (Json.String st) -> (
+                match state_of_string st with
+                | Some s
+                  when is_terminal s
+                       && Hashtbl.mem accepted id
+                       && not (Hashtbl.mem finished id) ->
+                    let p = Hashtbl.find accepted id in
+                    Hashtbl.replace finished id
+                      {
+                        f_id = id;
+                        f_spec = p.p_spec;
+                        f_state = s;
+                        f_exit = Option.value ~default:0 (int_member "exit" e);
+                        f_signature =
+                          (match Json.member "signature" e with
+                          | Some (Json.String s) -> s
+                          | _ -> "");
+                      };
+                    finish_order := id :: !finish_order
+                | _ -> ())
+            | _ -> ())
+        | _ -> ())
+      entries;
+    let completed = List.rev_map (Hashtbl.find finished) !finish_order in
+    let pending =
+      List.rev !accept_order
+      |> List.filter (fun id -> not (Hashtbl.mem finished id))
+      |> List.map (Hashtbl.find accepted)
+    in
+    { completed; pending; next_id = !next; dropped_lines; dropped_bytes }
+end
+
+(* ---- the daemon ---- *)
+
+type t = {
+  cfg : config;
+  cache : Runner.Cache.t option;
+  m : Mutex.t;  (* guards every mutable field below + record mutation *)
+  journal : Journal.t;
+  mutable history : record list;  (* newest first *)
+  mutable queue : record list;  (* FIFO, oldest first; subset of history *)
+  mutable running : record option;
+  mutable next_id : int;
+  mutable shutdown : bool;
+  mutable jobs_retried : int;
+  mutable jobs_poisoned : int;
+}
+
+(* Journal IO failures (disk full, …) must degrade durability, not
+   availability: the daemon keeps serving, recovery just knows less. *)
+let jlog t entry =
+  try Journal.append t.journal entry
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+(* Call with [t.m] held. *)
+let fresh_record ?(deadline_s = 0.) ?(resumed = false) t spec =
+  let r =
+    {
+      id = t.next_id;
+      spec;
+      canonical = (match spec with Some s -> Job.canonical s | None -> "");
+      deadline_s;
+      resumed;
+      rstate = Queued;
+      phase = "queued";
+      exit_code = 0;
+      cache_hits = 0;
+      executed = 0;
+      cache_skipped = 0;
+      signature = "";
+      errors = [];
+      last_telemetry_s = 0.;
+      attempt = 0;
+      not_before = 0.;
+      cancel_req = false;
+      watchers = [];
+      ever_watched = false;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.history <- r :: t.history;
+  r
+
+let queue_depth t =
+  List.length t.queue + (match t.running with Some _ -> 1 | None -> 0)
+
+let dequeue t r = t.queue <- List.filter (fun x -> x.id <> r.id) t.queue
+
+(* Call with [t.m] held, from the concluding transition itself — the
+   running slot must read empty before the job's done frame hits the
+   wire, or a status sent right after [done] still counts the job. *)
+let clear_running t r =
+  match t.running with Some x when x == r -> t.running <- None | _ -> ()
+
+(* Call with [t.m] held; watchers are snapshot so frames are written
+   after the lock is released. *)
+let watchers_of r = r.watchers
+
+let done_frame r ~jobs ~failed ~cancelled ~wall ~extra =
+  Json.Obj
+    ([
+       ("type", Json.String "done");
+       ("id", Json.Int r.id);
+       ("state", Json.String (state_to_string r.rstate));
+       ("exit", Json.Int r.exit_code);
+       ("jobs", Json.Int jobs);
+       ("failed", Json.Int failed);
+       ("cache_hits", Json.Int r.cache_hits);
+       ("executed", Json.Int r.executed);
+       ("cache_skipped", Json.Int r.cache_skipped);
+       ("cancelled", Json.Bool cancelled);
+       ("wall_s", Json.Float wall);
+       ("signature", Json.String r.signature);
+     ]
+    @ extra)
+
+(* Capped exponential backoff before retry [attempt] (1-based): the
+   Fd.Timeout delay shape — base * 2^(attempt-1), capped — minus the
+   jitter (a deterministic daemon is easier to test and to reason about
+   after a crash). *)
+let backoff_delay t attempt =
+  Float.min 60. (t.cfg.retry_backoff_s *. (2. ** float_of_int (max 0 (attempt - 1))))
+
+(* A failed attempt (deadline blown or executor crash): retry with
+   backoff while budget remains, else quarantine as poison with a
+   ready-to-paste resubmission command in the journal. *)
+let conclude_failure t r note =
+  Mutex.lock t.m;
+  r.errors <- r.errors @ [ note ];
+  if r.attempt < t.cfg.retry_budget then begin
+    r.attempt <- r.attempt + 1;
+    let delay = backoff_delay t r.attempt in
+    r.not_before <- Unix.gettimeofday () +. delay;
+    r.rstate <- Queued;
+    r.phase <-
+      Printf.sprintf "backoff %.3gs (retry %d/%d)" delay r.attempt
+        t.cfg.retry_budget;
+    r.cancel_req <- false;
+    t.jobs_retried <- t.jobs_retried + 1;
+    clear_running t r;
+    t.queue <- t.queue @ [ r ];
+    jlog t
+      (Recovery.state_entry ~id:r.id ~attempt:r.attempt
+         ~extra:
+           [ ("backoff_s", Json.Float delay); ("reason", Json.String note) ]
+         "retrying");
+    let ws = watchers_of r in
+    t.cfg.log
+      (Printf.sprintf "job %d: %s; retry %d/%d in %.3gs" r.id note r.attempt
+         t.cfg.retry_budget delay);
+    Mutex.unlock t.m;
+    List.iter
+      (fun cl ->
         send_client cl
           (Json.Obj
              [
-               ("type", Json.String "progress");
+               ("type", Json.String "retry");
                ("id", Json.Int r.id);
-               ("done", Json.Int p.Runner.pr_done);
-               ("total", Json.Int p.Runner.pr_total);
-               ("cached", Json.Bool p.Runner.pr_cached);
-               ("label", Json.String p.Runner.pr_result.Runner.r_label);
-               ("ok", Json.Bool p.Runner.pr_result.Runner.r_ok);
-             ])
-      in
-      (* Always attached: the ticker keeps the record's freshness stamp
-         for [status] even when nobody listens; the frame itself is
-         gated on the subscription. *)
-      let on_telemetry (te : Runner.telemetry) =
-        r.last_telemetry_s <- Unix.gettimeofday ();
-        if cl.subscribed then send_client cl (telemetry_frame r.id te)
-      in
-      let o =
-        Job.execute ?jobs:t.cfg.jobs ?cache:t.cache ~on_progress ~on_telemetry
-          ~stop spec
-      in
-      let c = o.Job.o_campaign in
-      r.phase <- "writing artifacts";
-      (match spec with
-      | Job.Run _ | Job.Replay _ -> ()
-      | Job.Campaign _ | Job.Chaos _ | Job.Explore _ ->
-          ignore (Runner.write_artifact ~dir:t.cfg.out_dir c);
-          (match o.Job.o_chaos with
-          | Some co -> ignore (Chaos.write_failures ~dir:t.cfg.out_dir co.Chaos.o_failures)
-          | None -> ());
-          (match (spec, o.Job.o_ces) with
-          | Job.Explore { protocol; _ }, ces ->
-              ignore (Explorer.write_counterexamples ~dir:t.cfg.out_dir ~protocol ces)
-          | _ -> ()));
-      r.rstate <- (if c.Runner.c_cancelled then Cancelled else Done);
-      r.phase <- "finished";
-      r.exit_code <- o.Job.o_exit;
-      r.cache_hits <- c.Runner.c_cache_hits;
-      r.executed <- c.Runner.c_executed;
-      r.cache_skipped <- c.Runner.c_cache_skipped;
-      r.signature <- sig_md5 c;
-      t.cfg.log
-        (Printf.sprintf "job %d: %s exit=%d hits=%d executed=%d skipped=%d" r.id
-           (state_to_string r.rstate) r.exit_code r.cache_hits r.executed
-           r.cache_skipped);
-      send_client cl
-        (Json.Obj
+               ("attempt", Json.Int r.attempt);
+               ("backoff_s", Json.Float delay);
+               ("reason", Json.String note);
+             ]))
+      ws
+  end
+  else begin
+    r.rstate <- Poisoned;
+    r.phase <- "poisoned";
+    r.exit_code <- 6;
+    clear_running t r;
+    t.jobs_poisoned <- t.jobs_poisoned + 1;
+    let replay =
+      match r.spec with
+      | None -> ""
+      | Some spec -> (
+          match
+            Job.write_spec ~dir:t.cfg.out_dir
+              ~name:(Printf.sprintf "poison_job_%d.json" r.id)
+              spec
+          with
+          | Some path -> Printf.sprintf "fdkit submit --spec %s" path
+          | None -> "")
+    in
+    jlog t
+      (Recovery.state_entry ~id:r.id ~attempt:r.attempt
+         ~extra:
            [
-             ("type", Json.String "done");
-             ("id", Json.Int r.id);
-             ("state", Json.String (state_to_string r.rstate));
              ("exit", Json.Int r.exit_code);
-             ("jobs", Json.Int (Array.length c.Runner.c_results));
-             ("failed", Json.Int (List.length (Runner.failures c)));
-             ("cache_hits", Json.Int r.cache_hits);
-             ("executed", Json.Int r.executed);
-             ("cache_skipped", Json.Int r.cache_skipped);
-             ("cancelled", Json.Bool c.Runner.c_cancelled);
-             ("wall_s", Json.Float c.Runner.c_wall_s);
-             ("signature", Json.String r.signature);
-           ])
+             ("reason", Json.String note);
+             ("replay", Json.String replay);
+           ]
+         "poisoned");
+    let ws = watchers_of r in
+    t.cfg.log
+      (Printf.sprintf "job %d: poisoned after %d attempts (%s)" r.id
+         (r.attempt + 1) note);
+    Mutex.unlock t.m;
+    List.iter
+      (fun cl ->
+        send_client cl
+          (done_frame r ~jobs:0 ~failed:0 ~cancelled:false ~wall:0.
+             ~extra:
+               [
+                 ("reason", Json.String note); ("replay", Json.String replay);
+               ]))
+      ws
+  end
+
+(* A finished attempt (the campaign ran to completion or was cancelled
+   at a job boundary by a client/orphan stop). *)
+let finalize t r (o : Job.outcome) final =
+  let c = o.Job.o_campaign in
+  r.phase <- "writing artifacts";
+  (match r.spec with
+  | None | Some (Job.Run _ | Job.Replay _) -> ()
+  | Some ((Job.Campaign _ | Job.Chaos _ | Job.Explore _) as spec) -> (
+      try
+        ignore (Runner.write_artifact ~dir:t.cfg.out_dir c);
+        (match o.Job.o_chaos with
+        | Some co ->
+            ignore (Chaos.write_failures ~dir:t.cfg.out_dir co.Chaos.o_failures)
+        | None -> ());
+        match (spec, o.Job.o_ces) with
+        | Job.Explore { protocol; _ }, ces ->
+            ignore (Explorer.write_counterexamples ~dir:t.cfg.out_dir ~protocol ces)
+        | _ -> ()
+      with Sys_error e -> r.errors <- r.errors @ [ "artifact write failed: " ^ e ]));
+  Mutex.lock t.m;
+  clear_running t r;
+  r.rstate <- final;
+  r.phase <- "finished";
+  r.exit_code <- o.Job.o_exit;
+  r.cache_hits <- c.Runner.c_cache_hits;
+  r.executed <- c.Runner.c_executed;
+  r.cache_skipped <- c.Runner.c_cache_skipped;
+  r.signature <- sig_md5 c;
+  jlog t
+    (Recovery.state_entry ~id:r.id ~attempt:r.attempt
+       ~extra:
+         [
+           ("exit", Json.Int r.exit_code);
+           ("signature", Json.String r.signature);
+         ]
+       (state_to_string r.rstate));
+  let ws = watchers_of r in
+  t.cfg.log
+    (Printf.sprintf "job %d: %s exit=%d hits=%d executed=%d skipped=%d" r.id
+       (state_to_string r.rstate) r.exit_code r.cache_hits r.executed
+       r.cache_skipped);
+  Mutex.unlock t.m;
+  List.iter
+    (fun cl ->
+      send_client cl
+        (done_frame r
+           ~jobs:(Array.length c.Runner.c_results)
+           ~failed:(List.length (Runner.failures c))
+           ~cancelled:c.Runner.c_cancelled ~wall:c.Runner.c_wall_s ~extra:[]))
+    ws
+
+(* Run one dequeued record on the executor domain.  The stop hook is
+   polled by the campaign engine between job submissions: it folds in
+   client cancels, orphaned jobs (every watcher hung up), the per-job
+   wall-clock deadline, and daemon shutdown. *)
+let execute_record t r =
+  let spec = Option.get r.spec in
+  t.cfg.log
+    (Printf.sprintf "job %d attempt %d: %s" r.id r.attempt (Job.summary spec));
+  let started = Unix.gettimeofday () in
+  let deadline =
+    if r.deadline_s > 0. then Some (started +. r.deadline_s) else None
+  in
+  let stop_reason = ref `Running in
+  let stop () =
+    Mutex.lock t.m;
+    let reason =
+      if t.shutdown then Some `Shutdown
+      else if r.cancel_req then Some `Cancel
+      else if r.ever_watched && (not r.resumed) && r.watchers = [] then
+        Some `Orphaned
+      else
+        match deadline with
+        | Some d when Unix.gettimeofday () > d -> Some `Deadline
+        | _ -> None
+    in
+    Mutex.unlock t.m;
+    match reason with
+    | Some why ->
+        stop_reason := why;
+        true
+    | None -> false
+  in
+  let snapshot_watchers () =
+    Mutex.lock t.m;
+    let ws = r.watchers in
+    Mutex.unlock t.m;
+    ws
+  in
+  let on_progress (p : Runner.progress) =
+    let frame =
+      Json.Obj
+        [
+          ("type", Json.String "progress");
+          ("id", Json.Int r.id);
+          ("done", Json.Int p.Runner.pr_done);
+          ("total", Json.Int p.Runner.pr_total);
+          ("cached", Json.Bool p.Runner.pr_cached);
+          ("label", Json.String p.Runner.pr_result.Runner.r_label);
+          ("ok", Json.Bool p.Runner.pr_result.Runner.r_ok);
+        ]
+    in
+    List.iter (fun cl -> send_client cl frame) (snapshot_watchers ())
+  in
+  (* Always attached: the ticker keeps the record's freshness stamp for
+     [status] even when nobody listens; the frame itself is gated on
+     each watcher's subscription. *)
+  let on_telemetry (te : Runner.telemetry) =
+    r.last_telemetry_s <- Unix.gettimeofday ();
+    let frame = lazy (telemetry_frame r.id te) in
+    List.iter
+      (fun cl -> if cl.subscribed then send_client cl (Lazy.force frame))
+      (snapshot_watchers ())
+  in
+  match
+    Job.execute ?jobs:t.cfg.jobs ?cache:t.cache ~on_progress ~on_telemetry
+      ~stop spec
+  with
+  | exception exn ->
+      conclude_failure t r ("raised: " ^ Printexc.to_string exn)
+  | o ->
+      if o.Job.o_campaign.Runner.c_cancelled then
+        match !stop_reason with
+        | `Deadline ->
+            conclude_failure t r
+              (Printf.sprintf "deadline exceeded (%.3gs)" r.deadline_s)
+        | `Shutdown ->
+            (* No terminal journal entry: the job stays pending, so the
+               next daemon start re-enqueues it (its finished prefix is
+               already in the cache). *)
+            Mutex.lock t.m;
+            clear_running t r;
+            r.rstate <- Queued;
+            r.phase <- "interrupted by shutdown";
+            Mutex.unlock t.m
+        | `Cancel | `Orphaned | `Running -> finalize t r o Cancelled
+      else finalize t r o Done
+
+(* The executor domain: drain the FIFO, skipping entries still inside
+   their backoff window.  Polling (rather than a condvar) keeps the
+   wakeup logic trivially correct across backoff releases, and 20ms of
+   latency is noise next to a campaign. *)
+let executor_loop t =
+  let rec loop () =
+    Mutex.lock t.m;
+    if t.shutdown then Mutex.unlock t.m
+    else begin
+      let tnow = Unix.gettimeofday () in
+      match List.find_opt (fun r -> r.not_before <= tnow) t.queue with
+      | None ->
+          Mutex.unlock t.m;
+          Unix.sleepf 0.02;
+          loop ()
+      | Some r ->
+          dequeue t r;
+          t.running <- Some r;
+          r.rstate <- Running;
+          r.phase <- "running";
+          jlog t (Recovery.state_entry ~id:r.id ~attempt:r.attempt "running");
+          Mutex.unlock t.m;
+          execute_record t r;
+          Mutex.lock t.m;
+          t.running <- None;
+          Mutex.unlock t.m;
+          loop ()
+    end
+  in
+  loop ()
+
+(* ---- ops (reader domains) ---- *)
+
+let status_frame t =
+  (* Call with [t.m] held. *)
+  Json.Obj
+    [
+      ("type", Json.String "status");
+      ("queue_depth", Json.Int (queue_depth t));
+      ( "running",
+        match t.running with None -> Json.Null | Some r -> Json.Int r.id );
+      ("jobs", Json.List (List.rev_map record_json t.history));
+      ( "counters",
+        Json.Obj
+          [
+            ("jobs_retried", Json.Int t.jobs_retried);
+            ("jobs_poisoned", Json.Int t.jobs_poisoned);
+          ] );
+      ( "cache",
+        match t.cache with
+        | None -> Json.Null
+        | Some cache ->
+            Json.Obj
+              [
+                ("dir", Json.String (Runner.Cache.dir cache));
+                ("hits", Json.Int (Runner.Cache.hits cache));
+                ("misses", Json.Int (Runner.Cache.misses cache));
+                ("stores", Json.Int (Runner.Cache.stores cache));
+                ("corrupt", Json.Int (Runner.Cache.corrupt cache));
+                ("write_failed", Json.Int (Runner.Cache.write_failed cache));
+              ] );
+    ]
+
+let handle_submit t cl v =
+  match Json.member "spec" v with
+  | None -> send_client cl (error_frame "submit: missing \"spec\"")
+  | Some sj -> (
+      match Job.of_json sj with
+      | Error e -> send_client cl (error_frame ("submit: " ^ e))
+      | Ok spec -> (
+          match Job.validate spec with
+          | Error errs ->
+              Mutex.lock t.m;
+              let r = fresh_record t (Some spec) in
+              r.rstate <- Rejected;
+              r.phase <- "rejected";
+              r.exit_code <- 3;
+              r.errors <- errs;
+              let ack =
+                Json.Obj
+                  [
+                    ("type", Json.String "ack");
+                    ("id", Json.Int r.id);
+                    ("accepted", Json.Bool false);
+                    ("errors", Json.List (List.map (fun e -> Json.String e) errs));
+                  ]
+              in
+              Mutex.unlock t.m;
+              send_client cl ack
+          | Ok () -> (
+              let deadline_s =
+                match Recovery.float_member "deadline_s" v with
+                | Some d when d > 0. -> d
+                | _ -> t.cfg.default_deadline_s
+              in
+              let canonical = Job.canonical spec in
+              Mutex.lock t.m;
+              (* Dedup: a spec already queued or running gains a watcher
+                 instead of a duplicate execution. *)
+              match
+                List.find_opt
+                  (fun r -> (not (is_terminal r.rstate)) && r.canonical = canonical)
+                  t.history
+              with
+              | Some r ->
+                  if not (List.memq cl r.watchers) then
+                    r.watchers <- r.watchers @ [ cl ];
+                  r.ever_watched <- true;
+                  cl.cl_last_submit <- r.id;
+                  (* Ack under [t.m]: the executor dequeues under the
+                     same lock, so the ack precedes any done frame. *)
+                  send_client cl
+                    (Json.Obj
+                       [
+                         ("type", Json.String "ack");
+                         ("id", Json.Int r.id);
+                         ("accepted", Json.Bool true);
+                         ("attached", Json.Bool true);
+                         ("state", Json.String (state_to_string r.rstate));
+                         ("summary", Json.String (Job.summary spec));
+                       ]);
+                  Mutex.unlock t.m
+              | None ->
+                  if List.length t.queue >= t.cfg.queue_depth then begin
+                    (* Graceful shedding: an explicit rejection frame,
+                       no record, no hang. *)
+                    send_client cl
+                      (Json.Obj
+                         [
+                           ("type", Json.String "ack");
+                           ("id", Json.Int 0);
+                           ("accepted", Json.Bool false);
+                           ("rejected", Json.String "queue full");
+                           ( "errors",
+                             Json.List
+                               [
+                                 Json.String
+                                   (Printf.sprintf
+                                      "rejected: queue full (depth %d)"
+                                      t.cfg.queue_depth);
+                               ] );
+                         ]);
+                    Mutex.unlock t.m
+                  end
+                  else begin
+                    let r = fresh_record ~deadline_s t (Some spec) in
+                    r.watchers <- [ cl ];
+                    r.ever_watched <- true;
+                    cl.cl_last_submit <- r.id;
+                    t.queue <- t.queue @ [ r ];
+                    jlog t (Recovery.accepted_entry ~id:r.id ~deadline_s spec);
+                    send_client cl
+                      (Json.Obj
+                         [
+                           ("type", Json.String "ack");
+                           ("id", Json.Int r.id);
+                           ("accepted", Json.Bool true);
+                           ("position", Json.Int (List.length t.queue));
+                           ("summary", Json.String (Job.summary spec));
+                         ]);
+                    Mutex.unlock t.m
+                  end)))
+
+(* Cancel a queued record.  Call with [t.m] held; returns the frames to
+   send after unlock. *)
+let cancel_queued t r =
+  dequeue t r;
+  r.rstate <- Cancelled;
+  r.phase <- "cancelled while queued";
+  r.exit_code <- 4;
+  jlog t
+    (Recovery.state_entry ~id:r.id ~attempt:r.attempt
+       ~extra:[ ("exit", Json.Int 4) ]
+       "cancelled");
+  let frame = done_frame r ~jobs:0 ~failed:0 ~cancelled:true ~wall:0. ~extra:[] in
+  List.map (fun cl -> (cl, frame)) (watchers_of r)
+
+let handle_cancel t cl v =
+  Mutex.lock t.m;
+  let target =
+    match Recovery.int_member "id" v with
+    | Some id ->
+        List.find_opt (fun r -> r.id = id && not (is_terminal r.rstate)) t.history
+    | None -> (
+        match
+          List.find_opt
+            (fun r -> r.id = cl.cl_last_submit && not (is_terminal r.rstate))
+            t.history
+        with
+        | Some r -> Some r
+        | None -> t.running)
+  in
+  match target with
+  | None ->
+      Mutex.unlock t.m;
+      send_client cl (error_frame "cancel: no job is running")
+  | Some r when r.rstate = Queued ->
+      let outbox = cancel_queued t r in
+      Mutex.unlock t.m;
+      List.iter (fun (cl, frame) -> send_client cl frame) outbox
+  | Some r ->
+      (* Running: consumed by the stop hook at the next job boundary;
+         in-flight jobs finish and completed work is kept (and cached). *)
+      r.cancel_req <- true;
+      Mutex.unlock t.m
 
 let handle_frame t cl v =
   match Json.member "op" v with
   | Some (Json.String "ping") ->
       send_client cl (Json.Obj [ ("type", Json.String "pong") ])
   | Some (Json.String "status") ->
-      send_client cl
-        (Json.Obj
-           [
-             ("type", Json.String "status");
-             ("queue_depth", Json.Int (queue_depth t));
-             ("jobs", Json.List (List.rev_map record_json t.history));
-             ( "cache",
-               match t.cache with
-               | None -> Json.Null
-               | Some cache ->
-                   Json.Obj
-                     [
-                       ("dir", Json.String (Runner.Cache.dir cache));
-                       ("hits", Json.Int (Runner.Cache.hits cache));
-                       ("misses", Json.Int (Runner.Cache.misses cache));
-                       ("stores", Json.Int (Runner.Cache.stores cache));
-                     ] );
-           ])
-  | Some (Json.String "subscribe") -> set_subscription cl true
-  | Some (Json.String "unsubscribe") -> set_subscription cl false
+      Mutex.lock t.m;
+      let frame = status_frame t in
+      Mutex.unlock t.m;
+      send_client cl frame
+  | Some (Json.String "subscribe") ->
+      cl.subscribed <- true;
+      send_client cl (subscription_frame cl)
+  | Some (Json.String "unsubscribe") ->
+      cl.subscribed <- false;
+      send_client cl (subscription_frame cl)
   | Some (Json.String "shutdown") ->
+      Mutex.lock t.m;
       t.shutdown <- true;
+      Mutex.unlock t.m;
       send_client cl (Json.Obj [ ("type", Json.String "bye") ])
-  | Some (Json.String "cancel") ->
-      (* No job is running on this path (cancel during a run is consumed
-         by the stop hook); acknowledge as a no-op. *)
-      send_client cl (error_frame "cancel: no job is running")
-  | Some (Json.String "submit") -> (
-      match Json.member "spec" v with
-      | None -> send_client cl (error_frame "submit: missing \"spec\"")
-      | Some sj -> (
-          match Job.of_json sj with
-          | Error e -> send_client cl (error_frame ("submit: " ^ e))
-          | Ok spec -> run_submission t cl spec))
+  | Some (Json.String "cancel") -> handle_cancel t cl v
+  | Some (Json.String "submit") -> handle_submit t cl v
   | Some (Json.String op) -> send_client cl (error_frame ("unknown op " ^ op))
   | _ -> send_client cl (error_frame "frame has no \"op\"")
 
-let handle_connection t fd =
+(* A client hung up: detach it everywhere; a job whose every watcher is
+   gone (and that was not resumed from the journal, which starts with
+   none) is orphaned — cancelled if queued, stop-hooked if running. *)
+let drop_client t cl =
+  Mutex.lock t.m;
+  let orphaned = ref [] in
+  List.iter
+    (fun r ->
+      if List.memq cl r.watchers then begin
+        r.watchers <- List.filter (fun c -> c != cl) r.watchers;
+        if
+          r.watchers = [] && r.ever_watched && (not r.resumed)
+          && not (is_terminal r.rstate)
+        then orphaned := r :: !orphaned
+      end)
+    t.history;
+  let outbox =
+    List.concat_map
+      (fun r ->
+        match r.rstate with
+        | Queued -> cancel_queued t r
+        | Running ->
+            r.cancel_req <- true;
+            []
+        | _ -> [])
+      !orphaned
+  in
+  Mutex.unlock t.m;
+  List.iter (fun (cl, frame) -> send_client cl frame) outbox
+
+(* One reader domain per connection: decode frames as they arrive and
+   handle ops promptly — cancel and subscription toggles work mid-run
+   without waiting for a job boundary. *)
+let reader t fd =
   let cl =
     {
       cl_fd = fd;
@@ -369,29 +881,40 @@ let handle_connection t fd =
       cl_dec = Json.Stream.decoder ();
       cl_wmutex = Mutex.create ();
       subscribed = false;
+      cl_last_submit = 0;
     }
   in
   let buf = Bytes.create 4096 in
+  let rec drain () =
+    match Json.Stream.next cl.cl_dec with
+    | `Value v ->
+        handle_frame t cl v;
+        drain ()
+    | `Error e ->
+        send_client cl (error_frame (Json.error_to_string e));
+        drain ()
+    | `Await -> ()
+  in
   let rec loop () =
     if t.shutdown then ()
     else
-      match Json.Stream.next cl.cl_dec with
-      | `Value v ->
-          handle_frame t cl v;
-          loop ()
-      | `Error e ->
-          send_client cl (error_frame (Json.error_to_string e));
-          loop ()
-      | `Await -> (
+      match Unix.select [ fd ] [] [] 0.25 with
+      | [], _, _ -> loop ()
+      | _ -> (
           match Unix.read fd buf 0 (Bytes.length buf) with
           | 0 -> ()
           | len ->
               Json.Stream.feed cl.cl_dec (Bytes.sub_string buf 0 len);
+              drain ();
               loop ()
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> loop ()
           | exception Unix.Unix_error _ -> ())
   in
   (try loop () with Sys_error _ -> ());
+  drop_client t cl;
   try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ---- startup: recovery, stale socket, bind ---- *)
 
 let rec mkdir_p dir =
   if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
@@ -399,9 +922,27 @@ let rec mkdir_p dir =
     try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
   end
 
+(* A socket file can outlive a crashed daemon (kill -9 never unlinks).
+   Probe it: a live daemon answers the connect — refuse to double-bind;
+   a dead one leaves ECONNREFUSED — unlink and take over. *)
+let probe_stale_socket path log =
+  if Sys.file_exists path then begin
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if live then
+      failwith
+        (Printf.sprintf "fdkit serve: %s is in use by a live daemon" path);
+    log (Printf.sprintf "removing stale socket %s" path);
+    try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ()
+  end
+
 let bind_socket path =
   mkdir_p (Filename.dirname path);
-  if Sys.file_exists path then Unix.unlink path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind sock (Unix.ADDR_UNIX path);
   Unix.listen sock 8;
@@ -414,27 +955,130 @@ let serve ?(config = default_config) () =
     try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
     with Invalid_argument _ | Sys_error _ -> None
   in
+  mkdir_p config.out_dir;
   let cache = Option.map (fun dir -> Runner.Cache.create ~dir ()) config.cache_dir in
-  let t = { cfg = config; cache; history = []; next_id = 1; shutdown = false } in
+  let jpath = journal_path config.out_dir in
+  let recovered = Recovery.load jpath in
+  (* Compact before reopening: replayed history is rewritten as one
+     accepted + one terminal entry per job (pending jobs keep just their
+     accepted entry), so the journal stays proportional to the history
+     rather than to the daemon's lifetime. *)
+  (try
+     Journal.rewrite jpath
+       (List.concat_map
+          (fun (f : Recovery.completed) ->
+            [
+              Recovery.accepted_entry ~id:f.f_id f.f_spec;
+              Recovery.state_entry ~id:f.f_id
+                ~extra:
+                  [
+                    ("exit", Json.Int f.f_exit);
+                    ("signature", Json.String f.f_signature);
+                  ]
+                (state_to_string f.f_state);
+            ])
+          recovered.completed
+       @ List.concat_map
+           (fun (p : Recovery.pending) ->
+             Recovery.accepted_entry ~id:p.p_id ~deadline_s:p.p_deadline_s
+               p.p_spec
+             ::
+             (if config.resume then []
+              else
+                [
+                  Recovery.state_entry ~id:p.p_id
+                    ~extra:[ ("exit", Json.Int 4) ]
+                    "cancelled";
+                ]))
+           recovered.pending)
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  let journal = Journal.append_open jpath in
+  let t =
+    {
+      cfg = config;
+      cache;
+      m = Mutex.create ();
+      journal;
+      history = [];
+      queue = [];
+      running = None;
+      next_id = recovered.next_id;
+      shutdown = false;
+      jobs_retried = 0;
+      jobs_poisoned = 0;
+    }
+  in
+  (* Replay: completed jobs come back as history; interrupted ones are
+     re-enqueued (resume) or closed out as cancelled (--no-resume). *)
+  List.iter
+    (fun (f : Recovery.completed) ->
+      let r =
+        {
+          (fresh_record t (Some f.f_spec)) with
+          id = f.f_id;
+          rstate = f.f_state;
+          phase = "finished";
+          exit_code = f.f_exit;
+          signature = f.f_signature;
+        }
+      in
+      t.history <- r :: List.tl t.history)
+    recovered.completed;
+  List.iter
+    (fun (p : Recovery.pending) ->
+      let r = fresh_record ~deadline_s:p.p_deadline_s ~resumed:true t (Some p.p_spec) in
+      let r = { r with id = p.p_id } in
+      t.history <- r :: List.tl t.history;
+      if config.resume then begin
+        r.phase <- "requeued after restart";
+        t.queue <- t.queue @ [ r ];
+        config.log
+          (Printf.sprintf "recovered job %d: %s" r.id (Job.summary p.p_spec))
+      end
+      else begin
+        r.rstate <- Cancelled;
+        r.phase <- "interrupted (restart without resume)";
+        r.exit_code <- 4;
+        r.errors <- [ "interrupted by daemon restart; resume disabled" ]
+      end)
+    recovered.pending;
+  t.next_id <- recovered.next_id;
+  if recovered.dropped_lines > 0 || recovered.dropped_bytes > 0 then
+    config.log
+      (Printf.sprintf "journal: dropped %d garbage line(s), %d tail byte(s)"
+         recovered.dropped_lines recovered.dropped_bytes);
+  if recovered.completed <> [] || recovered.pending <> [] then
+    config.log
+      (Printf.sprintf "journal: replayed %d completed, %d pending job(s)"
+         (List.length recovered.completed)
+         (List.length recovered.pending));
+  probe_stale_socket config.socket_path config.log;
   let sock = bind_socket config.socket_path in
   config.log (Printf.sprintf "listening on %s" config.socket_path);
+  let executor = Domain.spawn (fun () -> executor_loop t) in
+  let readers = ref [] in
   (* Accept with a timeout so an idle daemon notices [shutdown] set by
-     the previous connection without requiring another client. *)
+     a connection without requiring another client. *)
   let rec accept_loop () =
     if t.shutdown then ()
     else
-      match Unix.select [ sock ] [] [] 0.5 with
+      match Unix.select [ sock ] [] [] 0.25 with
       | [], _, _ -> accept_loop ()
       | _ ->
           let fd, _ = Unix.accept sock in
-          handle_connection t fd;
+          readers := Domain.spawn (fun () -> reader t fd) :: !readers;
           accept_loop ()
   in
   accept_loop ();
   (try Unix.close sock with Unix.Unix_error _ -> ());
+  Domain.join executor;
+  List.iter Domain.join !readers;
+  Journal.close journal;
   (try Unix.unlink config.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
   (match previous_sigpipe with
-  | Some behavior -> ( try Sys.set_signal Sys.sigpipe behavior with Invalid_argument _ | Sys_error _ -> ())
+  | Some behavior -> (
+      try Sys.set_signal Sys.sigpipe behavior
+      with Invalid_argument _ | Sys_error _ -> ())
   | None -> ());
   config.log "shut down"
 
@@ -458,6 +1102,22 @@ module Client = struct
     | exception Unix.Unix_error (e, _, _) ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
         Error (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+
+  (* Reconnect with the same capped-exponential shape the daemon uses
+     for job retries: a daemon mid-restart (recovery replay, socket not
+     yet bound) looks like a refused connect for well under a second. *)
+  let connect_retry ?(attempts = 5) ?(backoff_s = 0.2) path =
+    let rec go n =
+      match connect path with
+      | Ok c -> Ok c
+      | Error e ->
+          if n >= attempts then Error e
+          else begin
+            Unix.sleepf (Float.min 10. (backoff_s *. (2. ** float_of_int (n - 1))));
+            go (n + 1)
+          end
+    in
+    go 1
 
   let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
 
@@ -499,24 +1159,45 @@ module Client = struct
   let subscribe c = try send_frame c (op "subscribe") with Sys_error _ -> ()
   let unsubscribe c = try send_frame c (op "unsubscribe") with Sys_error _ -> ()
 
-  let submit ?(on_event = ignore) c spec =
+  let submit ?deadline_s ?(on_event = ignore) c spec =
     match
       send_frame c
-        (Json.Obj [ ("op", Json.String "submit"); ("spec", Job.to_json spec) ])
+        (Json.Obj
+           ([ ("op", Json.String "submit"); ("spec", Job.to_json spec) ]
+           @
+           match deadline_s with
+           | Some d -> [ ("deadline_s", Json.Float d) ]
+           | None -> []))
     with
     | exception Sys_error e -> Error e
     | () ->
-    let rec wait () =
-      match next_frame c with
-      | Error _ as e -> e
-      | Ok v -> (
-          on_event v;
-          match Json.member "type" v with
-          | Some (Json.String ("done" | "error")) -> Ok v
-          | Some (Json.String "ack")
-            when Json.member "accepted" v = Some (Json.Bool false) ->
-              Ok v
-          | _ -> wait ())
-    in
-    wait ()
+        (* With a shared daemon this connection may watch several jobs
+           (dedup attach): latch the acked id and only treat that job's
+           done frame as terminal. *)
+        let job_id = ref None in
+        let id_of v =
+          match Json.member "id" v with Some (Json.Int i) -> Some i | _ -> None
+        in
+        let rec wait () =
+          match next_frame c with
+          | Error _ as e -> e
+          | Ok v -> (
+              on_event v;
+              match Json.member "type" v with
+              | Some (Json.String "error") -> Ok v
+              | Some (Json.String "ack")
+                when Json.member "accepted" v = Some (Json.Bool false) ->
+                  Ok v
+              | Some (Json.String "ack") ->
+                  (if !job_id = None then
+                     match id_of v with Some i -> job_id := Some i | None -> ());
+                  wait ()
+              | Some (Json.String "done")
+                when (match (!job_id, id_of v) with
+                     | Some a, Some b -> a = b
+                     | _ -> true) ->
+                  Ok v
+              | _ -> wait ())
+        in
+        wait ()
 end

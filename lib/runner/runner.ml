@@ -49,6 +49,8 @@ type campaign = {
   c_cache_hits : int;
   c_executed : int;
   c_cache_skipped : int;
+  c_cache_corrupt : int;
+  c_cache_write_failed : int;
   c_cancelled : bool;
 }
 
@@ -307,6 +309,8 @@ module Cache = struct
     mutable hits : int;
     mutable misses : int;
     mutable stores : int;
+    mutable corrupt : int;
+    mutable write_failed : int;
     m : Mutex.t;
   }
 
@@ -320,18 +324,30 @@ module Cache = struct
 
   let create ?(dir = default_dir) () =
     mkdir_p dir;
-    { dir; hits = 0; misses = 0; stores = 0; m = Mutex.create () }
+    {
+      dir;
+      hits = 0;
+      misses = 0;
+      stores = 0;
+      corrupt = 0;
+      write_failed = 0;
+      m = Mutex.create ();
+    }
 
   let dir t = t.dir
   let hits t = t.hits
   let misses t = t.misses
   let stores t = t.stores
+  let corrupt t = t.corrupt
+  let write_failed t = t.write_failed
 
   let reset_stats t =
     Mutex.lock t.m;
     t.hits <- 0;
     t.misses <- 0;
     t.stores <- 0;
+    t.corrupt <- 0;
+    t.write_failed <- 0;
     Mutex.unlock t.m
 
   let bump t field =
@@ -339,7 +355,9 @@ module Cache = struct
     (match field with
     | `Hit -> t.hits <- t.hits + 1
     | `Miss -> t.misses <- t.misses + 1
-    | `Store -> t.stores <- t.stores + 1);
+    | `Store -> t.stores <- t.stores + 1
+    | `Corrupt -> t.corrupt <- t.corrupt + 1
+    | `WriteFailed -> t.write_failed <- t.write_failed + 1);
     Mutex.unlock t.m
 
   (* MD5 over the NUL-joined parts: stable, dependency-free, and not
@@ -350,14 +368,42 @@ module Cache = struct
     let shard = if String.length k >= 2 then String.sub k 0 2 else "xx" in
     Filename.concat (Filename.concat t.dir shard) (k ^ ".json")
 
+  (* Entries carry a content checksum so a truncated, bit-flipped, or
+     otherwise mangled file is detected on read instead of being half
+     trusted: the checksum is MD5 over the minified payload rendered
+     WITHOUT the checksum field, and it is recomputed on every [find]. *)
+  let payload_checksum fields =
+    Digest.to_hex (Digest.string (Json.to_string ~minify:true (Json.Obj fields)))
+
   let entry_json k r =
-    Json.Obj
-      ([ ("cache_key", Json.String k); ("exp", Json.String r.r_exp) ]
+    let payload =
+      [ ("cache_key", Json.String k); ("exp", Json.String r.r_exp) ]
       @ Stamp.fields ()
       @
       match result_json ~timing:false r with
       | Json.Obj fields -> fields
-      | j -> [ ("result", j) ])
+      | j -> [ ("result", j) ]
+    in
+    Json.Obj (("checksum", Json.String (payload_checksum payload)) :: payload)
+
+  (* A corrupt entry is a counted miss, never an exception: bump both
+     counters, unlink the bad file so the slot heals on the next store,
+     and let the caller re-execute the job. *)
+  let corrupt_entry t path =
+    bump t `Corrupt;
+    bump t `Miss;
+    (try Sys.remove path with Sys_error _ -> ());
+    None
+
+  let verify_checksum j =
+    match j with
+    | Json.Obj fields -> (
+        match List.assoc_opt "checksum" fields with
+        | Some (Json.String sum) ->
+            let payload = List.filter (fun (k, _) -> k <> "checksum") fields in
+            String.equal sum (payload_checksum payload)
+        | _ -> false (* missing or non-string checksum: pre-checksum or mangled *))
+    | _ -> false
 
   let find t k =
     let path = path_of t k in
@@ -367,17 +413,15 @@ module Cache = struct
         None
     | contents -> (
         match Json.of_string contents with
-        | Error _ ->
-            bump t `Miss;
-            None
+        | Error _ -> corrupt_entry t path
         | Ok j -> (
-            match result_of_json j with
-            | Some r ->
-                bump t `Hit;
-                Some r
-            | None ->
-                bump t `Miss;
-                None))
+            if not (verify_checksum j) then corrupt_entry t path
+            else
+              match result_of_json j with
+              | Some r ->
+                  bump t `Hit;
+                  Some r
+              | None -> corrupt_entry t path))
 
   let store t k r =
     let path = path_of t k in
@@ -388,9 +432,11 @@ module Cache = struct
     in
     (try
        Json.write_file tmp (entry_json k r);
-       Sys.rename tmp path
-     with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ()));
-    bump t `Store
+       Sys.rename tmp path;
+       bump t `Store
+     with Sys_error _ ->
+       bump t `WriteFailed;
+       (try Sys.remove tmp with Sys_error _ -> ()))
 end
 
 let sink : campaign list ref = ref []
@@ -423,6 +469,13 @@ let run ?jobs ?cache ?on_progress ?on_telemetry ?(telemetry_every_s = 0.25)
   let done_count = ref 0 in
   let emit_mutex = Mutex.create () in
   let t0 = Unix.gettimeofday () in
+  (* Robustness counters are reported per campaign as deltas over the
+     (possibly shared) cache, so a long-lived daemon attributes corrupt
+     reads / failed writes to the run that observed them. *)
+  let corrupt0 = match cache with Some c -> Cache.corrupt c | None -> 0 in
+  let write_failed0 =
+    match cache with Some c -> Cache.write_failed c | None -> 0
+  in
   (* Telemetry accumulators, all guarded by [emit_mutex].  The board
      collects counter-shaped r_metrics of completed jobs; snapshots go
      out as cumulative registry + since-last delta (Metrics.snapshot /
@@ -617,6 +670,12 @@ let run ?jobs ?cache ?on_progress ?on_telemetry ?(telemetry_every_s = 0.25)
       c_cache_hits = hits;
       c_executed = !executed;
       c_cache_skipped = !skipped;
+      c_cache_corrupt =
+        (match cache with Some c -> Cache.corrupt c - corrupt0 | None -> 0);
+      c_cache_write_failed =
+        (match cache with
+        | Some c -> Cache.write_failed c - write_failed0
+        | None -> 0);
       c_cancelled = !cancelled;
     }
   in
@@ -685,6 +744,8 @@ let campaign_json c =
       ("cache_hits", Json.Int c.c_cache_hits);
       ("executed", Json.Int c.c_executed);
       ("cache_skipped", Json.Int c.c_cache_skipped);
+      ("cache_corrupt", Json.Int c.c_cache_corrupt);
+      ("cache_write_failed", Json.Int c.c_cache_write_failed);
       ("cancelled", Json.Bool c.c_cancelled);
       ("wall_s", Json.Float c.c_wall_s);
       ("throughput_jobs_per_s", Json.Float c.c_throughput);

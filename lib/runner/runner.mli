@@ -104,6 +104,12 @@ type campaign = {
       (** jobs that bypassed the cache while one was in use: keyless
           jobs (rt-backend outcomes are wall-clock-dependent) plus jobs
           that raised (never stored); 0 when no cache was configured *)
+  c_cache_corrupt : int;
+      (** corrupt cache entries (truncated / garbage / bad checksum)
+          detected during this run — each was unlinked and re-executed *)
+  c_cache_write_failed : int;
+      (** cache stores that failed (disk full, permissions, …) during
+          this run; the campaign result itself is unaffected *)
   c_cancelled : bool;  (** [stop] fired before every job was scheduled *)
 }
 
@@ -195,14 +201,30 @@ module Cache : sig
 
   val find : t -> string -> result option
   (** [None] on absent, unreadable, or malformed entries (all counted
-      as misses); loaded results have [r_wall_s = 0.]. *)
+      as misses).  Entries carry a content checksum; a truncated,
+      garbage, or checksum-mismatched entry is additionally counted via
+      {!corrupt} and unlinked so the slot heals on the next store —
+      corruption is never an exception.  Loaded results have
+      [r_wall_s = 0.]. *)
 
   val store : t -> string -> result -> unit
-  (** Atomic (tmp + rename); safe from concurrent worker domains. *)
+  (** Atomic (tmp + rename); safe from concurrent worker domains.
+      Entries are written with a content checksum over the minified
+      payload.  A failed write is counted via {!write_failed} (and the
+      temp file removed) rather than raised — the job's result is
+      already in hand, only reuse is lost. *)
 
   val hits : t -> int
   val misses : t -> int
   val stores : t -> int
+
+  val corrupt : t -> int
+  (** Corrupt entries detected (and unlinked) by {!find}; each is also
+      counted as a miss. *)
+
+  val write_failed : t -> int
+  (** Stores that failed with a filesystem error. *)
+
   val reset_stats : t -> unit
 end
 

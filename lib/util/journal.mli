@@ -1,0 +1,44 @@
+(** Append-only JSONL journal with fsync'd writes and a
+    corruption-tolerant loader — the write-ahead log behind the campaign
+    daemon's crash recovery (DESIGN.md §13).
+
+    Durability contract: {!append} writes one complete minified line
+    with a single [write(2)] and then [fsync]s, so after a crash the
+    file is a sequence of complete lines followed by at most one partial
+    line.  {!load} drops that partial tail — and skips any mid-file
+    garbage line — without failing, so recovery always sees a
+    prefix-consistent subset of what was appended (qcheck-pinned in
+    [test/test_util.ml] and [test/test_job.ml]). *)
+
+type t
+
+val append_open : ?fsync:bool -> string -> t
+(** Open for appending (creating the file and parent directories if
+    needed).  A fresh journal starts with a schema-stamped meta line
+    [{"type":"meta","schema_version":..,"code_fingerprint":..}].
+    [fsync] (default [true]) syncs after every append — turn it off only
+    in tests that fabricate journals in bulk. *)
+
+val append : t -> Json.t -> unit
+(** Write one value as a minified line and fsync. *)
+
+val path : t -> string
+val close : t -> unit
+
+type loaded = {
+  entries : Json.t list;  (** complete, parseable lines, meta included *)
+  dropped_lines : int;  (** complete lines that failed to parse (garbage) *)
+  dropped_bytes : int;  (** trailing bytes of a partial last line *)
+}
+
+val load : string -> loaded
+(** Read a journal back; a missing file loads as empty.  Never raises on
+    truncated or corrupt content. *)
+
+val rewrite : string -> Json.t list -> unit
+(** Atomically replace the journal (tmp + fsync + rename) with a fresh
+    meta line followed by [entries] — startup compaction, so replayed
+    history does not grow the file across restarts. *)
+
+val meta_entry : unit -> Json.t
+(** The stamped meta line (exposed for tests). *)

@@ -260,6 +260,7 @@ let test_rt_jobs_never_cached () =
 
 let daemon_config dir ~cache =
   {
+    Serve.default_config with
     Serve.socket_path = Filename.concat dir "fdkit.sock";
     cache_dir = (if cache then Some (Filename.concat dir "cache") else None);
     jobs = Some 2;
@@ -606,6 +607,355 @@ let test_stream_decoder_mid_telemetry_cut () =
   | _ -> Alcotest.fail "expected recovery after the bad line");
   check "decoder drained" true (Json.Stream.next dec = `Await)
 
+(* ------------------------------------------------------------------ *)
+(* Crash safety: journal replay, queueing, restart, watchdog           *)
+(* ------------------------------------------------------------------ *)
+
+let pool_specs =
+  [|
+    Job.of_flags ~kind:`Campaign ~seeds:2 ~protocol:"kset" Protocol.default;
+    Job.of_flags ~kind:`Campaign ~seeds:3 ~protocol:"wheels" Protocol.default;
+    Job.of_flags ~kind:`Run ~protocol:"psi" Protocol.default;
+  |]
+
+type jevent =
+  | Accept of int * int  (* id, pool spec index *)
+  | Term of int * string  (* id, terminal state *)
+  | Noise of int  (* non-terminal transitions and unknown entry types *)
+
+let jevent_entry = function
+  | Accept (id, s) -> Serve.Recovery.accepted_entry ~id pool_specs.(s)
+  | Term (id, st) ->
+      Serve.Recovery.state_entry ~id
+        ~extra:
+          [
+            ("exit", Json.Int 0);
+            ("signature", Json.String (Printf.sprintf "sig%d" id));
+          ]
+        st
+  | Noise 0 -> Serve.Recovery.state_entry ~id:1 "running"
+  | Noise 1 -> Serve.Recovery.state_entry ~id:1 "retrying"
+  | Noise _ -> Json.Obj [ ("type", Json.String "wat") ]
+
+(* Reference replay semantics, folded independently of the production
+   loader: first accept per id wins, first terminal entry per accepted
+   id wins, pending keeps acceptance order. *)
+let expected_replay events =
+  let accepted = Hashtbl.create 8 and order = ref [] in
+  let finished = Hashtbl.create 8 and forder = ref [] in
+  let next = ref 1 in
+  List.iter
+    (function
+      | Accept (id, s) when not (Hashtbl.mem accepted id) ->
+          Hashtbl.replace accepted id s;
+          order := id :: !order;
+          if id >= !next then next := id + 1
+      | Term (id, st) when Hashtbl.mem accepted id && not (Hashtbl.mem finished id)
+        ->
+          Hashtbl.replace finished id st;
+          forder := id :: !forder
+      | _ -> ())
+    events;
+  let completed = List.rev_map (fun id -> (id, Hashtbl.find finished id)) !forder in
+  let pending =
+    List.rev !order
+    |> List.filter (fun id -> not (Hashtbl.mem finished id))
+    |> List.map (fun id -> (id, Job.canonical pool_specs.(Hashtbl.find accepted id)))
+  in
+  (completed, pending, !next)
+
+let gen_jevent =
+  QCheck.Gen.(
+    let* id = int_range 1 6 in
+    oneof
+      [
+        map (fun s -> Accept (id, s)) (int_range 0 2);
+        map
+          (fun st -> Term (id, st))
+          (oneofl [ "done"; "cancelled"; "poisoned"; "rejected" ]);
+        oneofl [ Noise 0; Noise 1; Noise 2 ];
+      ])
+
+(* The recovery invariant the restart path rests on: however the journal
+   is cut (a crash can stop a write at any byte), the replayed view is
+   exactly the reference fold over the surviving complete lines — no
+   duplicated terminal records, no resurrected jobs, no exception. *)
+let qcheck_recovery_replay =
+  QCheck.Test.make ~count:60
+    ~name:"Recovery: truncated journal replays a consistent prefix"
+    (QCheck.make
+       QCheck.Gen.(
+         pair (list_size (int_range 0 30) gen_jevent) (int_range 0 max_int)))
+    (fun (events, cutraw) ->
+      let dir = tmpdir "recovery_qc" in
+      let jpath = Serve.journal_path dir in
+      let t = Journal.append_open ~fsync:false jpath in
+      List.iter (fun e -> Journal.append t (jevent_entry e)) events;
+      Journal.close t;
+      let contents = In_channel.with_open_bin jpath In_channel.input_all in
+      let size = String.length contents in
+      let cut = cutraw mod (size + 1) in
+      let lines = ref 0 in
+      String.iteri (fun i c -> if i < cut && c = '\n' then incr lines) contents;
+      let surviving = max 0 (!lines - 1) in
+      let fd = Unix.openfile jpath [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd cut;
+      Unix.close fd;
+      let r = Serve.Recovery.load jpath in
+      let ecompleted, epending, enext =
+        expected_replay (List.filteri (fun i _ -> i < surviving) events)
+      in
+      let got_completed =
+        List.map
+          (fun (f : Serve.Recovery.completed) ->
+            (f.Serve.Recovery.f_id, Serve.state_to_string f.f_state))
+          r.Serve.Recovery.completed
+      in
+      let got_pending =
+        List.map
+          (fun (p : Serve.Recovery.pending) ->
+            (p.Serve.Recovery.p_id, Job.canonical p.p_spec))
+          r.Serve.Recovery.pending
+      in
+      let ok =
+        got_completed = ecompleted && got_pending = epending
+        && r.Serve.Recovery.next_id = enext
+      in
+      rm_rf dir;
+      ok)
+
+(* The bounded FIFO: a second spec queues behind the running job, the
+   same spec attaches instead of duplicating, a third spec is shed with
+   an explicit queue-full rejection, and a queued job cancels
+   immediately. *)
+let test_daemon_queue_full_dedup_cancel () =
+  let dir = tmpdir "queue" in
+  let config =
+    { (daemon_config dir ~cache:false) with Serve.queue_depth = 1; jobs = Some 1 }
+  in
+  let d = start_daemon config in
+  let conn1 = connect config in
+  let spec_a =
+    Job.of_flags ~kind:`Campaign ~seeds:40 ~protocol:"kset" Protocol.default
+  in
+  let spec_b =
+    Job.of_flags ~kind:`Campaign ~seeds:41 ~protocol:"kset" Protocol.default
+  in
+  let spec_c =
+    Job.of_flags ~kind:`Campaign ~seeds:42 ~protocol:"kset" Protocol.default
+  in
+  let submit_raw conn spec =
+    expect
+      (Serve.Client.request conn
+         (Json.Obj [ ("op", Json.String "submit"); ("spec", Job.to_json spec) ]))
+  in
+  let ack_a = submit_raw conn1 spec_a in
+  check "A accepted" true (Json.member "accepted" ack_a = Some (Json.Bool true));
+  (* Wait until A occupies the executor so B lands in the queue. *)
+  let conn2 = connect config in
+  let rec wait_running n =
+    if n = 0 then Alcotest.fail "job A never started running";
+    match Json.member "running" (expect (Serve.Client.status conn2)) with
+    | Some (Json.Int _) -> ()
+    | _ ->
+        Unix.sleepf 0.02;
+        wait_running (n - 1)
+  in
+  wait_running 200;
+  let ack_b = submit_raw conn2 spec_b in
+  check "B accepted" true (Json.member "accepted" ack_b = Some (Json.Bool true));
+  check "B queued at position 1" true
+    (Json.member "position" ack_b = Some (Json.Int 1));
+  let b_id = match Json.member "id" ack_b with Some (Json.Int i) -> i | _ -> -1 in
+  let conn3 = connect config in
+  (* Same canonical spec: attach to B's record, no duplicate execution. *)
+  let ack_b2 = submit_raw conn3 spec_b in
+  check "resubmit attached" true
+    (Json.member "attached" ack_b2 = Some (Json.Bool true));
+  check "attached to the same id" true
+    (Json.member "id" ack_b2 = Some (Json.Int b_id));
+  (* Queue full (depth 1, B holds the slot): explicit shed, no record. *)
+  let ack_c = submit_raw conn3 spec_c in
+  check "C rejected" true
+    (Json.member "accepted" ack_c = Some (Json.Bool false));
+  check "C rejection names the queue" true
+    (Json.member "rejected" ack_c = Some (Json.String "queue full"));
+  (match Json.member "jobs" (expect (Serve.Client.status conn3)) with
+  | Some (Json.List records) ->
+      check_int "shed submission left no record" 2 (List.length records)
+  | _ -> Alcotest.fail "status has no jobs list");
+  (* Cancel B while queued: immediate done frame, state cancelled. *)
+  Serve.Client.cancel conn2;
+  let rec drain_done conn =
+    let v = expect (Serve.Client.next_frame conn) in
+    if frame_type v = "done" then v else drain_done conn
+  in
+  let v = drain_done conn2 in
+  check "cancelled B" true (Json.member "id" v = Some (Json.Int b_id));
+  check "queued cancel is immediate" true
+    (Json.member "state" v = Some (Json.String "cancelled"));
+  check "cancelled exit code" true (Json.member "exit" v = Some (Json.Int 4));
+  (* A still runs to completion on conn1. *)
+  let v = drain_done conn1 in
+  check "A finished" true (Json.member "state" v = Some (Json.String "done"));
+  ignore (expect (Serve.Client.shutdown conn3));
+  Serve.Client.close conn1;
+  Serve.Client.close conn2;
+  Serve.Client.close conn3;
+  Domain.join d;
+  rm_rf dir
+
+(* Restart resumes: a finished job is replayed into [status] from the
+   journal; an interrupted (accepted+running, no terminal entry) job is
+   re-enqueued and — with the cache intact — re-resolves to the same
+   signature without executing anything; a stale socket file left by a
+   crash is swept; a second daemon on a live socket is refused. *)
+let test_daemon_restart_resume () =
+  let dir = tmpdir "restart" in
+  let config = daemon_config dir ~cache:true in
+  let d = start_daemon config in
+  let conn = connect config in
+  let v = expect (Serve.Client.submit conn small_spec) in
+  check "cold run done" true (frame_type v = "done");
+  let sig_cold = Json.member "signature" v in
+  (* A second daemon pointed at the live socket must refuse, not steal. *)
+  (try
+     Serve.serve
+       ~config:{ config with Serve.out_dir = Filename.concat dir "other" }
+       ();
+     Alcotest.fail "second daemon bound a live socket"
+   with Failure e -> check "live socket refused" true (e <> ""));
+  ignore (expect (Serve.Client.shutdown conn));
+  Serve.Client.close conn;
+  Domain.join d;
+  (* Restart on the same journal: the finished job is replayed. *)
+  let d = start_daemon config in
+  let conn = connect config in
+  let v = expect (Serve.Client.status conn) in
+  (match Json.member "jobs" v with
+  | Some (Json.List [ r ]) ->
+      check "replayed record is done" true
+        (Json.member "state" r = Some (Json.String "done"));
+      check "replayed record keeps its signature" true
+        (Json.member "signature" r = sig_cold)
+  | _ -> Alcotest.fail "restart did not replay exactly one record");
+  ignore (expect (Serve.Client.shutdown conn));
+  Serve.Client.close conn;
+  Domain.join d;
+  (* Crash scenario: fabricate the journal a kill -9 would leave —
+     accepted + running, no terminal entry — plus a stale socket file,
+     against the warm cache.  The restart must sweep the socket, requeue
+     the job and resolve it entirely from the cache. *)
+  let dir2 = Filename.concat dir "after_crash" in
+  let config2 =
+    {
+      config with
+      Serve.out_dir = dir2;
+      socket_path = Filename.concat dir "fdkit2.sock";
+    }
+  in
+  let t = Journal.append_open (Serve.journal_path dir2) in
+  Journal.append t (Serve.Recovery.accepted_entry ~id:7 small_spec);
+  Journal.append t (Serve.Recovery.state_entry ~id:7 "running");
+  Journal.close t;
+  let stale = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind stale (Unix.ADDR_UNIX config2.Serve.socket_path);
+  Unix.close stale;
+  check "stale socket file present" true
+    (Sys.file_exists config2.Serve.socket_path);
+  let d = Domain.spawn (fun () -> Serve.serve ~config:config2 ()) in
+  let conn =
+    match
+      Serve.Client.connect_retry ~attempts:8 ~backoff_s:0.05
+        config2.Serve.socket_path
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  let rec wait_done n =
+    if n = 0 then Alcotest.fail "resumed job never finished";
+    match Json.member "jobs" (expect (Serve.Client.status conn)) with
+    | Some (Json.List [ r ]) when Json.member "state" r = Some (Json.String "done")
+      ->
+        r
+    | _ ->
+        Unix.sleepf 0.05;
+        wait_done (n - 1)
+  in
+  let r = wait_done 200 in
+  check "resumed job kept its id" true (Json.member "id" r = Some (Json.Int 7));
+  check "resumed flag set" true
+    (Json.member "resumed" r = Some (Json.Bool true));
+  check "resumed entirely from cache" true
+    (Json.member "executed" r = Some (Json.Int 0));
+  check "every seed was a cache hit" true
+    (Json.member "cache_hits" r = Some (Json.Int seeds));
+  check "resumed signature = cold signature" true
+    (Json.member "signature" r = sig_cold);
+  ignore (expect (Serve.Client.shutdown conn));
+  Serve.Client.close conn;
+  Domain.join d;
+  rm_rf dir
+
+(* The watchdog: a job that blows its per-attempt deadline is retried
+   with backoff (announced with a retry frame) and, once the budget is
+   spent, poisoned — exit 6, counted, and quarantined with a
+   ready-to-paste resubmission spec on disk. *)
+let test_daemon_deadline_retry_poison () =
+  let dir = tmpdir "poison" in
+  let config =
+    {
+      (daemon_config dir ~cache:false) with
+      Serve.default_deadline_s = 0.05;
+      retry_budget = 1;
+      retry_backoff_s = 0.01;
+    }
+  in
+  let d = start_daemon config in
+  let conn = connect config in
+  let spec =
+    Job.of_flags ~kind:`Campaign ~seeds:200 ~protocol:"kset" Protocol.default
+  in
+  let retries = ref 0 in
+  let on_event v = if frame_type v = "retry" then incr retries in
+  let v = expect (Serve.Client.submit ~on_event conn spec) in
+  check "terminal frame is done" true (frame_type v = "done");
+  check "poisoned" true (Json.member "state" v = Some (Json.String "poisoned"));
+  check "poison exit code" true (Json.member "exit" v = Some (Json.Int 6));
+  check_int "one retry before poisoning" 1 !retries;
+  check "deadline named as the reason" true
+    (match Json.member "reason" v with
+    | Some (Json.String r) -> String.length r > 0
+    | _ -> false);
+  (match Json.member "replay" v with
+  | Some (Json.String cmd) ->
+      check "replay command present" true
+        (String.length cmd > 0
+        && String.length cmd > 13
+        && String.sub cmd 0 13 = "fdkit submit ");
+      (* the quarantined spec on disk round-trips to the original *)
+      let path = String.sub cmd 20 (String.length cmd - 20) in
+      check "poison spec round-trips" true
+        (match Json.of_string (In_channel.with_open_bin path In_channel.input_all) with
+        | Ok j -> (
+            match Job.of_json j with
+            | Ok s -> Job.equal s spec
+            | Error _ -> false)
+        | Error _ -> false)
+  | _ -> Alcotest.fail "done frame has no replay command");
+  let v = expect (Serve.Client.status conn) in
+  (match Json.member "counters" v with
+  | Some counters ->
+      check "retry counted" true
+        (Json.member "jobs_retried" counters = Some (Json.Int 1));
+      check "poison counted" true
+        (Json.member "jobs_poisoned" counters = Some (Json.Int 1))
+  | None -> Alcotest.fail "status has no counters");
+  ignore (expect (Serve.Client.shutdown conn));
+  Serve.Client.close conn;
+  Domain.join d;
+  rm_rf dir
+
 let () =
   let qc =
     List.map
@@ -648,5 +998,17 @@ let () =
             test_daemon_disconnect_mid_stream;
           Alcotest.test_case "decoder survives mid-frame cut" `Quick
             test_stream_decoder_mid_telemetry_cut;
+        ] );
+      ( "recovery",
+        [
+          QCheck_alcotest.to_alcotest
+            ~rand:(Random.State.make [| 42 |])
+            qcheck_recovery_replay;
+          Alcotest.test_case "queue full / dedup attach / cancel queued" `Quick
+            test_daemon_queue_full_dedup_cancel;
+          Alcotest.test_case "restart replay + crash resume" `Quick
+            test_daemon_restart_resume;
+          Alcotest.test_case "deadline retry then poison" `Quick
+            test_daemon_deadline_retry_poison;
         ] );
     ]

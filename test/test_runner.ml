@@ -160,6 +160,118 @@ let test_default_label () =
   let j = Runner.job ~exp:"e99" ~seed:5 (fun () -> Runner.body true) in
   check_str "default label" "e99/seed=5" j.Runner.label
 
+(* --- cache robustness -------------------------------------------------- *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let scratch name =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "setagree_cache_%s_%d" name (Unix.getpid ()))
+  in
+  rm_rf dir;
+  dir
+
+(* The kset job again, but keyed so [Runner.run] routes it through the
+   cache. *)
+let cached_job seed =
+  let j = kset_job seed in
+  Runner.job ~exp:j.Runner.exp ~seed ~label:j.Runner.label
+    ~key:(Runner.Cache.key ~parts:[ "cachefuzz"; string_of_int seed ])
+    j.Runner.run
+
+let cache_entry_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.concat_map (fun shard ->
+         let sd = Filename.concat dir shard in
+         if Sys.is_directory sd then
+           Sys.readdir sd |> Array.to_list
+           |> List.filter (fun f -> Filename.check_suffix f ".json")
+           |> List.map (Filename.concat sd)
+         else [])
+  |> List.sort compare
+
+(* Fuzzed corruption: every entry on disk is mangled a different way —
+   emptied, truncated at two depths, one byte flipped, overwritten with
+   garbage, header flipped.  Every mangled entry must be detected as a
+   counted miss (never an exception, never a false hit), unlinked, and
+   healed by the re-execution's store; the campaign output must be
+   byte-identical throughout. *)
+let test_cache_corruption_fuzz () =
+  let dir = scratch "fuzz" in
+  let seeds = List.init 6 (fun i -> i + 1) in
+  let cache = Runner.Cache.create ~dir () in
+  let cold = Runner.run ~jobs:2 ~cache ~exp:"testcamp" (List.map cached_job seeds) in
+  let signature = Runner.signature cold in
+  check_int "every job stored" 6 (Runner.Cache.stores cache);
+  let entries = cache_entry_files dir in
+  check_int "six entries on disk" 6 (List.length entries);
+  List.iteri
+    (fun i path ->
+      let contents = In_channel.with_open_bin path In_channel.input_all in
+      let n = String.length contents in
+      let flip s pos =
+        let b = Bytes.of_string s in
+        Bytes.set b pos (if Bytes.get b pos = 'x' then 'y' else 'x');
+        Bytes.to_string b
+      in
+      let mangled =
+        match i mod 6 with
+        | 0 -> "" (* emptied *)
+        | 1 -> String.sub contents 0 (n / 2) (* truncated mid-payload *)
+        | 2 -> String.sub contents 0 (n - 2) (* closing brace lost *)
+        | 3 -> flip contents (n / 2) (* bit rot mid-payload *)
+        | 4 -> "not json at all"
+        | _ -> flip contents 1 (* mangled header *)
+      in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc mangled))
+    entries;
+  Runner.Cache.reset_stats cache;
+  let warm = Runner.run ~jobs:2 ~cache ~exp:"testcamp" (List.map cached_job seeds) in
+  check_str "corruption never changes the output" signature
+    (Runner.signature warm);
+  check_int "every mangled entry detected" 6 (Runner.Cache.corrupt cache);
+  check_int "each corrupt entry is a counted miss" 6 (Runner.Cache.misses cache);
+  check_int "no false hits" 0 (Runner.Cache.hits cache);
+  check_int "slots healed by re-store" 6 (Runner.Cache.stores cache);
+  check_int "campaign attributes the corruption" 6 warm.Runner.c_cache_corrupt;
+  check_int "no write failures" 0 warm.Runner.c_cache_write_failed;
+  (* The healed entries are trusted again: a third pass is all hits. *)
+  Runner.Cache.reset_stats cache;
+  let healed =
+    Runner.run ~jobs:2 ~cache ~exp:"testcamp" (List.map cached_job seeds)
+  in
+  check_str "healed signature identical" signature (Runner.signature healed);
+  check_int "healed entries all hit" 6 (Runner.Cache.hits cache);
+  check_int "nothing corrupt after healing" 0 (Runner.Cache.corrupt cache);
+  rm_rf dir
+
+(* A store that cannot reach the disk (here: the shard directory is
+   blocked by a regular file) is a counted degradation, not a failure —
+   the result is already in hand, only reuse is lost. *)
+let test_cache_write_failure_counted () =
+  let dir = scratch "wfail" in
+  let cache = Runner.Cache.create ~dir () in
+  let k = Runner.Cache.key ~parts:[ "wfail"; "1" ] in
+  let shard = Filename.concat dir (String.sub k 0 2) in
+  Out_channel.with_open_bin shard (fun oc ->
+      Out_channel.output_string oc "in the way");
+  let job = Runner.job ~exp:"testcamp" ~seed:1 ~key:k (fun () -> Runner.body true) in
+  let c = Runner.run ~jobs:1 ~cache ~exp:"testcamp" [ job ] in
+  check "job still succeeded" true c.Runner.c_results.(0).Runner.r_ok;
+  check_int "write failure counted" 1 (Runner.Cache.write_failed cache);
+  check_int "nothing stored" 0 (Runner.Cache.stores cache);
+  check_int "campaign attributes the write failure" 1 c.Runner.c_cache_write_failed;
+  rm_rf dir
+
 let () =
   (* Keep the triage sink clean: these tests run inside dune's test
      runner, and campaigns recorded here must not leak between cases. *)
@@ -184,5 +296,12 @@ let () =
           Alcotest.test_case "empty metrics" `Quick test_metric_summaries_skip_empty;
           Alcotest.test_case "workers clamp" `Quick test_workers_clamped_to_jobs;
           Alcotest.test_case "default label" `Quick test_default_label;
+        ] );
+      ( "cache-robustness",
+        [
+          Alcotest.test_case "fuzzed corruption = counted miss" `Quick
+            test_cache_corruption_fuzz;
+          Alcotest.test_case "write failure counted" `Quick
+            test_cache_write_failure_counted;
         ] );
     ]

@@ -1005,6 +1005,118 @@ let strutil_qcheck =
             not (earlier 0));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Journal: the crash-recovery write-ahead log                         *)
+(* ------------------------------------------------------------------ *)
+
+let journal_scratch name =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "setagree_journal_%s_%d.jsonl" name (Unix.getpid ()))
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  path
+
+let jentry i = Json.Obj [ ("type", Json.String "entry"); ("i", Json.Int i) ]
+let is_meta e = Json.member "type" e = Some (Json.String "meta")
+
+let test_journal_roundtrip () =
+  let path = journal_scratch "roundtrip" in
+  let t = Journal.append_open path in
+  for i = 0 to 9 do
+    Journal.append t (jentry i)
+  done;
+  Journal.close t;
+  let { Journal.entries; dropped_lines; dropped_bytes } = Journal.load path in
+  check_int "no garbage" 0 dropped_lines;
+  check_int "no partial tail" 0 dropped_bytes;
+  (match entries with
+  | meta :: rest ->
+      check "meta line first" true (is_meta meta);
+      check_int "all entries back" 10 (List.length rest);
+      List.iteri (fun i e -> check "entry intact" true (e = jentry i)) rest
+  | [] -> Alcotest.fail "journal loaded empty");
+  (* Reopening appends after the existing content — no second meta. *)
+  let t = Journal.append_open path in
+  Journal.append t (jentry 10);
+  Journal.close t;
+  let { Journal.entries; _ } = Journal.load path in
+  check_int "append after reopen" 12 (List.length entries);
+  check_int "single meta line" 1 (List.length (List.filter is_meta entries));
+  Sys.remove path
+
+let test_journal_missing_and_garbage () =
+  let path = journal_scratch "garbage" in
+  let l = Journal.load path in
+  check_int "missing file loads empty" 0 (List.length l.Journal.entries);
+  (* Mid-file garbage is skipped and counted; valid lines around it —
+     including the suffix after the garbage — still load. *)
+  let oc = open_out path in
+  output_string oc (Json.to_string ~minify:true (jentry 0) ^ "\n");
+  output_string oc "{\"broken\": \n";
+  output_string oc "not json at all\n";
+  output_string oc (Json.to_string ~minify:true (jentry 1) ^ "\n");
+  close_out oc;
+  let l = Journal.load path in
+  check_int "two valid lines" 2 (List.length l.Journal.entries);
+  check_int "two garbage lines dropped" 2 l.Journal.dropped_lines;
+  check_int "no partial tail" 0 l.Journal.dropped_bytes;
+  Sys.remove path
+
+let test_journal_rewrite () =
+  let path = journal_scratch "rewrite" in
+  let t = Journal.append_open path in
+  for i = 0 to 19 do
+    Journal.append t (jentry i)
+  done;
+  Journal.close t;
+  Journal.rewrite path [ jentry 100; jentry 101 ];
+  let { Journal.entries; dropped_lines; dropped_bytes } = Journal.load path in
+  check_int "no garbage" 0 dropped_lines;
+  check_int "no partial tail" 0 dropped_bytes;
+  (match entries with
+  | [ meta; a; b ] ->
+      check "meta line first" true (is_meta meta);
+      check "compacted entries kept" true (a = jentry 100 && b = jentry 101)
+  | _ -> Alcotest.fail "rewrite did not produce meta + 2 entries");
+  Sys.remove path
+
+(* The durability contract: truncating the file at ANY byte (what a
+   crash mid-append leaves behind) yields a clean prefix of what was
+   appended — no garbage lines, no exceptions, no reordering. *)
+let journal_truncation_qcheck =
+  QCheck.Test.make ~count:60 ~name:"Journal: any truncation loads as a prefix"
+    QCheck.(
+      make
+        Gen.(pair (list_size (int_range 0 25) (int_range 0 999)) (int_range 0 max_int)))
+    (fun (values, cutraw) ->
+      let path = journal_scratch "qcheck" in
+      let t = Journal.append_open ~fsync:false path in
+      List.iter (fun i -> Journal.append t (jentry i)) values;
+      Journal.close t;
+      let size = (Unix.stat path).Unix.st_size in
+      let cut = cutraw mod (size + 1) in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd cut;
+      Unix.close fd;
+      let l = Journal.load path in
+      let expected = Journal.meta_entry () :: List.map jentry values in
+      let rec is_prefix xs ys =
+        match (xs, ys) with
+        | [], _ -> true
+        | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+        | _ :: _, [] -> false
+      in
+      let ok =
+        is_prefix l.Journal.entries expected
+        && l.Journal.dropped_lines = 0
+        && (cut < size || l.Journal.entries = expected)
+        && l.Journal.dropped_bytes <= cut
+      in
+      Sys.remove path;
+      ok)
+
 let () =
   let qc = List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |])) pidset_qcheck in
   Alcotest.run "util"
@@ -1133,4 +1245,14 @@ let () =
       ( "greedy-consumption",
         Alcotest.test_case "basics" `Quick test_greedy_consume_basics
         :: List.map (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 42 |])) [ ring_confluence_qcheck ] );
+      ( "journal",
+        [
+          Alcotest.test_case "append/load roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "missing file + garbage lines" `Quick
+            test_journal_missing_and_garbage;
+          Alcotest.test_case "compacting rewrite" `Quick test_journal_rewrite;
+          QCheck_alcotest.to_alcotest
+            ~rand:(Random.State.make [| 42 |])
+            journal_truncation_qcheck;
+        ] );
     ]
