@@ -1767,9 +1767,22 @@ let top_cmd =
 let cancel_cmd =
   let run socket =
     with_daemon socket (fun conn ->
-        Serve.Client.cancel conn;
-        print_endline "cancel sent";
-        0)
+        (* A fresh connection has no submission of its own and is no
+           watcher, so a bare cancel frame would be refused — resolve
+           the running job's id via status and cancel it by name. *)
+        match Serve.Client.status conn with
+        | Error e ->
+            Printf.eprintf "fdkit cancel: %s\n%!" e;
+            1
+        | Ok v -> (
+            match Json.member "running" v with
+            | Some (Json.Int id) ->
+                Serve.Client.cancel ~id conn;
+                Printf.printf "cancel sent (job %d)\n" id;
+                0
+            | _ ->
+                print_endline "no job is running";
+                1))
   in
   Cmd.v
     (Cmd.info "cancel"
@@ -1777,7 +1790,7 @@ let cancel_cmd =
          "Ask the daemon to cancel the running job (queued jobs are \
           cancelled immediately; a running campaign stops at the next job \
           boundary — in-flight jobs finish; completed work is kept and \
-          cached).")
+          cached).  Exits 1 when nothing is running.")
     Term.(const run $ socket_arg)
 
 let shutdown_cmd =

@@ -10,14 +10,20 @@
 
    Concurrency model: one reader domain per connection (ops — submit,
    cancel, status, subscription toggles — are handled promptly, even
-   while a job runs), plus one executor domain that drains the FIFO.
-   One job runs at a time: parallelism lives inside the campaign engine
-   (worker domains), not across jobs, so two submissions never fight
-   over domains or artifact files.  All shared state sits behind one
-   mutex [t.m]; socket writes go through a per-client mutex so frames
-   never interleave.  Submit acks are sent while [t.m] is held — the
-   executor needs [t.m] to dequeue, so a job's ack always precedes its
-   progress/done frames on the wire.
+   while a job runs), capped at [max_reader_domains] — OCaml 5 bounds
+   live domains and the campaign engine's workers share that budget,
+   so a connection burst sheds instead of crashing — plus one executor
+   domain that drains the FIFO.  One job runs at a time: parallelism
+   lives inside the campaign engine (worker domains), not across jobs,
+   so two submissions never fight over domains or artifact files.  All
+   shared state sits behind one mutex [t.m].  Outbound frames never
+   block: each client has a FIFO of pending frames drained by
+   non-blocking writes (at enqueue time and whenever the reader's
+   select reports the socket writable), so a client that stops reading
+   stalls only itself — once [max_outbound_bytes] pile up it is shed.
+   Submit acks are enqueued while [t.m] is held and the executor needs
+   [t.m] to dequeue, so a job's ack always precedes its progress/done
+   frames in the client's outbound FIFO.
 
    Crash safety (DESIGN.md §13): every accepted spec and every state
    transition is appended (fsync'd) to <out_dir>/serve_journal.jsonl
@@ -89,12 +95,22 @@ let is_terminal = function
 (* One connected client.  [subscribed] gates telemetry frames only —
    progress/ack/done always flow.  [cl_last_submit] remembers the most
    recent job this client submitted (or attached to), so a bare
-   {"op":"cancel"} can be routed without an id. *)
+   {"op":"cancel"} can be routed without an id.
+
+   Outbound frames go through [cl_outq], written with non-blocking
+   writes only — a send never blocks, so a client whose socket buffer
+   is full (stopped reading) can never wedge the executor or the other
+   connections' ops.  A backlog past [max_outbound_bytes] marks the
+   client dead ([cl_dead]); its reader turns that into a normal
+   disconnect. *)
 type client = {
-  cl_fd : Unix.file_descr;
-  cl_oc : out_channel;
+  cl_fd : Unix.file_descr;  (* set non-blocking by the reader *)
   cl_dec : Json.Stream.decoder;
-  cl_wmutex : Mutex.t;
+  cl_wmutex : Mutex.t;  (* guards the outbound fields below *)
+  cl_outq : string Queue.t;  (* whole frames (line included), oldest first *)
+  mutable cl_out_pos : int;  (* bytes of the queue head already written *)
+  mutable cl_out_bytes : int;  (* unwritten bytes across the whole queue *)
+  mutable cl_dead : bool;  (* write error or slow-consumer shed *)
   mutable subscribed : bool;
   mutable cl_last_submit : int;  (* 0 = none *)
 }
@@ -123,18 +139,51 @@ type record = {
 
 (* ---- framing ---- *)
 
-let send mutex oc j =
-  Mutex.lock mutex;
-  (* A hung-up client turns the write into EPIPE (SIGPIPE is ignored
-     while serving): swallow it — the read side sees EOF and cancels. *)
-  (try
-     output_string oc (Json.to_string ~minify:true j);
-     output_char oc '\n';
-     flush oc
-   with Sys_error _ -> ());
-  Mutex.unlock mutex
+let max_outbound_bytes = 8 * 1024 * 1024
+let max_reader_domains = 32
 
-let send_client cl j = send cl.cl_wmutex cl.cl_oc j
+(* Call with [cl.cl_wmutex] held. *)
+let clear_outbound cl =
+  cl.cl_dead <- true;
+  Queue.clear cl.cl_outq;
+  cl.cl_out_pos <- 0;
+  cl.cl_out_bytes <- 0
+
+(* Write as much queued outbound as the socket accepts right now.
+   Call with [cl.cl_wmutex] held; never blocks (the fd is
+   non-blocking). *)
+let rec flush_outbound cl =
+  match Queue.peek_opt cl.cl_outq with
+  | None -> ()
+  | Some s -> (
+      let remaining = String.length s - cl.cl_out_pos in
+      match Unix.write_substring cl.cl_fd s cl.cl_out_pos remaining with
+      | n ->
+          cl.cl_out_bytes <- cl.cl_out_bytes - n;
+          if n = remaining then begin
+            ignore (Queue.pop cl.cl_outq);
+            cl.cl_out_pos <- 0;
+            flush_outbound cl
+          end
+          else cl.cl_out_pos <- cl.cl_out_pos + n
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+      | exception (Unix.Unix_error _ | Sys_error _) ->
+          (* Hung-up client (EPIPE et al., SIGPIPE is ignored while
+             serving): the reader sees [cl_dead] and disconnects. *)
+          clear_outbound cl)
+
+let send_client cl j =
+  Mutex.lock cl.cl_wmutex;
+  if not cl.cl_dead then begin
+    let s = Json.to_string ~minify:true j ^ "\n" in
+    Queue.push s cl.cl_outq;
+    cl.cl_out_bytes <- cl.cl_out_bytes + String.length s;
+    flush_outbound cl;
+    (* A reader that stopped draining its socket: shed it rather than
+       buffer without bound. *)
+    if cl.cl_out_bytes > max_outbound_bytes then clear_outbound cl
+  end;
+  Mutex.unlock cl.cl_wmutex
 
 let error_frame ?id msg =
   Json.Obj
@@ -718,8 +767,9 @@ let handle_submit t cl v =
                     r.watchers <- r.watchers @ [ cl ];
                   r.ever_watched <- true;
                   cl.cl_last_submit <- r.id;
-                  (* Ack under [t.m]: the executor dequeues under the
-                     same lock, so the ack precedes any done frame. *)
+                  (* Ack enqueued under [t.m] (never blocks): the
+                     executor dequeues under the same lock, so the ack
+                     precedes any done frame in this client's FIFO. *)
                   send_client cl
                     (Json.Obj
                        [
@@ -799,12 +849,18 @@ let handle_cancel t cl v =
             t.history
         with
         | Some r -> Some r
-        | None -> t.running)
+        | None -> (
+            (* Fall back to the running job only when this connection
+               watches it: a bare cancel from an unrelated client must
+               not kill someone else's job. *)
+            match t.running with
+            | Some r when List.memq cl r.watchers -> Some r
+            | _ -> None))
   in
   match target with
   | None ->
       Mutex.unlock t.m;
-      send_client cl (error_frame "cancel: no job is running")
+      send_client cl (error_frame "cancel: no cancellable job for this connection")
   | Some r when r.rstate = Queued ->
       let outbox = cancel_queued t r in
       Mutex.unlock t.m;
@@ -874,12 +930,16 @@ let drop_client t cl =
    handle ops promptly — cancel and subscription toggles work mid-run
    without waiting for a job boundary. *)
 let reader t fd =
+  (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
   let cl =
     {
       cl_fd = fd;
-      cl_oc = Unix.out_channel_of_descr fd;
       cl_dec = Json.Stream.decoder ();
       cl_wmutex = Mutex.create ();
+      cl_outq = Queue.create ();
+      cl_out_pos = 0;
+      cl_out_bytes = 0;
+      cl_dead = false;
       subscribed = false;
       cl_last_submit = 0;
     }
@@ -895,22 +955,49 @@ let reader t fd =
         drain ()
     | `Await -> ()
   in
+  let outbound_state () =
+    Mutex.lock cl.cl_wmutex;
+    let st = if cl.cl_dead then `Dead else if cl.cl_out_bytes > 0 then `Pending else `Idle in
+    Mutex.unlock cl.cl_wmutex;
+    st
+  in
+  let flush_now () =
+    Mutex.lock cl.cl_wmutex;
+    flush_outbound cl;
+    Mutex.unlock cl.cl_wmutex
+  in
   let rec loop () =
-    if t.shutdown then ()
-    else
-      match Unix.select [ fd ] [] [] 0.25 with
-      | [], _, _ -> loop ()
-      | _ -> (
-          match Unix.read fd buf 0 (Bytes.length buf) with
-          | 0 -> ()
-          | len ->
-              Json.Stream.feed cl.cl_dec (Bytes.sub_string buf 0 len);
-              drain ();
-              loop ()
-          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> loop ()
-          | exception Unix.Unix_error _ -> ())
+    match outbound_state () with
+    | `Dead -> ()
+    | (`Pending | `Idle) as st ->
+        if t.shutdown then ()
+        else begin
+          (* Select for read always, for write only while frames are
+             pending — the executor enqueues from its own domain and
+             this loop drains whatever the socket will take. *)
+          match
+            Unix.select [ fd ] (if st = `Pending then [ fd ] else []) [] 0.25
+          with
+          | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+          | rd, wr, _ -> (
+              if wr <> [] then flush_now ();
+              if rd = [] then loop ()
+              else
+                match Unix.read fd buf 0 (Bytes.length buf) with
+                | 0 -> ()
+                | len ->
+                    Json.Stream.feed cl.cl_dec (Bytes.sub_string buf 0 len);
+                    drain ();
+                    loop ()
+                | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+                    loop ()
+                | exception Unix.Unix_error _ -> ())
+        end
   in
   (try loop () with Sys_error _ -> ());
+  (* Best-effort final drain: the [bye] frame a shutdown op just
+     enqueued, or whatever the socket still accepts. *)
+  flush_now ();
   drop_client t cl;
   try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -921,6 +1008,23 @@ let rec mkdir_p dir =
     mkdir_p (Filename.dirname dir);
     try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
   end
+
+(* The daemon's exclusive per-out_dir lock, held for the whole run.
+   Taken (with the socket probe) BEFORE the journal is loaded,
+   compacted, or reopened: a second [fdkit serve] on the same out_dir
+   must fail here — compacting first would rename-replace the live
+   daemon's journal, leaving the incumbent fsync-appending to an
+   unlinked inode and every subsequent entry silently lost.  An fcntl
+   lock dies with the process, so kill -9 never leaves a stale one. *)
+let acquire_daemon_lock out_dir =
+  let path = Filename.concat out_dir "serve.lock" in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  match Unix.lockf fd Unix.F_TLOCK 0 with
+  | () -> fd
+  | exception Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      failwith
+        (Printf.sprintf "fdkit serve: another daemon holds %s" path)
 
 (* A socket file can outlive a crashed daemon (kill -9 never unlinks).
    Probe it: a live daemon answers the connect — refuse to double-bind;
@@ -949,13 +1053,22 @@ let bind_socket path =
   sock
 
 let serve ?(config = default_config) () =
+  mkdir_p config.out_dir;
+  (* Refuse a double start before anything under out_dir is touched:
+     the lock catches a second daemon on the same out_dir, the probe a
+     live daemon on the same socket.  Only then may the journal be
+     loaded, compacted, and reopened. *)
+  let lock_fd = acquire_daemon_lock config.out_dir in
+  (try probe_stale_socket config.socket_path config.log
+   with e ->
+     (try Unix.close lock_fd with Unix.Unix_error _ -> ());
+     raise e);
   (* Clients may hang up while the daemon streams progress; without
      this the first write to a dead socket kills the whole process. *)
   let previous_sigpipe =
     try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
     with Invalid_argument _ | Sys_error _ -> None
   in
-  mkdir_p config.out_dir;
   let cache = Option.map (fun dir -> Runner.Cache.create ~dir ()) config.cache_dir in
   let jpath = journal_path config.out_dir in
   let recovered = Recovery.load jpath in
@@ -1052,29 +1165,74 @@ let serve ?(config = default_config) () =
       (Printf.sprintf "journal: replayed %d completed, %d pending job(s)"
          (List.length recovered.completed)
          (List.length recovered.pending));
-  probe_stale_socket config.socket_path config.log;
   let sock = bind_socket config.socket_path in
   config.log (Printf.sprintf "listening on %s" config.socket_path);
   let executor = Domain.spawn (fun () -> executor_loop t) in
+  (* Reader domains are capped (OCaml 5 bounds live domains at ~128,
+     shared with the engine's worker domains) and reaped as they
+     finish, so neither a connection burst nor a long-lived daemon can
+     exhaust the domain budget or grow the handle list without bound. *)
   let readers = ref [] in
+  let reap () =
+    readers :=
+      List.filter
+        (fun (dom, finished) ->
+          if Atomic.get finished then begin
+            Domain.join dom;
+            false
+          end
+          else true)
+        !readers
+  in
+  (* Over the cap, or Domain.spawn itself failed: shed this one
+     connection with a best-effort error line and keep serving. *)
+  let shed fd msg =
+    let line = Json.to_string ~minify:true (error_frame msg) ^ "\n" in
+    (try ignore (Unix.write_substring fd line 0 (String.length line))
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
   (* Accept with a timeout so an idle daemon notices [shutdown] set by
      a connection without requiring another client. *)
   let rec accept_loop () =
     if t.shutdown then ()
-    else
-      match Unix.select [ sock ] [] [] 0.25 with
-      | [], _, _ -> accept_loop ()
-      | _ ->
-          let fd, _ = Unix.accept sock in
-          readers := Domain.spawn (fun () -> reader t fd) :: !readers;
-          accept_loop ()
+    else begin
+      (match Unix.select [ sock ] [] [] 0.25 with
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept sock with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _ ->
+              reap ();
+              if List.length !readers >= max_reader_domains then
+                shed fd
+                  (Printf.sprintf "server busy: %d connections already open"
+                     max_reader_domains)
+              else begin
+                let finished = Atomic.make false in
+                match
+                  Domain.spawn (fun () ->
+                      Fun.protect
+                        ~finally:(fun () -> Atomic.set finished true)
+                        (fun () ->
+                          try reader t fd
+                          with _ -> (
+                            try Unix.close fd with Unix.Unix_error _ -> ())))
+                with
+                | dom -> readers := (dom, finished) :: !readers
+                | exception _ -> shed fd "server busy: cannot spawn handler"
+              end));
+      accept_loop ()
+    end
   in
   accept_loop ();
   (try Unix.close sock with Unix.Unix_error _ -> ());
   Domain.join executor;
-  List.iter Domain.join !readers;
+  List.iter (fun (dom, _) -> Domain.join dom) !readers;
   Journal.close journal;
   (try Unix.unlink config.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+  (try Unix.close lock_fd with Unix.Unix_error _ -> ());
   (match previous_sigpipe with
   | Some behavior -> (
       try Sys.set_signal Sys.sigpipe behavior
@@ -1149,7 +1307,14 @@ module Client = struct
   let ping c = request c (op "ping")
   let status c = request c (op "status")
   let shutdown c = request c (op "shutdown")
-  let cancel c = try send_frame c (op "cancel") with Sys_error _ -> ()
+
+  let cancel ?id c =
+    let frame =
+      match id with
+      | None -> op "cancel"
+      | Some i -> Json.Obj [ ("op", Json.String "cancel"); ("id", Json.Int i) ]
+    in
+    try send_frame c frame with Sys_error _ -> ()
 
   (* Fire-and-forget like [cancel]: mid-run the next inbound frame may
      be a progress or telemetry frame, not the acknowledgement, so a
@@ -1173,7 +1338,10 @@ module Client = struct
     | () ->
         (* With a shared daemon this connection may watch several jobs
            (dedup attach): latch the acked id and only treat that job's
-           done frame as terminal. *)
+           done frame as terminal.  Done frames arriving before the ack
+           latches the id — an earlier watched job finishing — are
+           handed to [on_event] and skipped, never mistaken for this
+           submission's result. *)
         let job_id = ref None in
         let id_of v =
           match Json.member "id" v with Some (Json.Int i) -> Some i | _ -> None
@@ -1195,7 +1363,7 @@ module Client = struct
               | Some (Json.String "done")
                 when (match (!job_id, id_of v) with
                      | Some a, Some b -> a = b
-                     | _ -> true) ->
+                     | _ -> false) ->
                   Ok v
               | _ -> wait ())
         in

@@ -28,7 +28,9 @@
       while idle and mid-run; telemetry is read-only, so campaign
       signatures are byte-identical subscribed or not;
     - [{"op":"cancel","id":3?}] → cancels job [id], defaulting to the
-      client's most recent submission, else the running job.  A queued
+      client's most recent submission, else the running job when this
+      connection is one of its watchers (a bare cancel from an
+      unrelated connection cannot kill someone else's job).  A queued
       job is cancelled immediately ([done] with [state = "cancelled"]);
       a running one stops at the next job boundary — in-flight jobs
       finish, completed work is kept (and cached);
@@ -68,9 +70,15 @@
     subscription toggles work mid-run); one executor domain drains the
     FIFO, so one job runs at a time — parallelism lives inside the
     campaign engine (worker domains) and submissions never fight over
-    domains or artifact files.  A client hanging up orphans its jobs:
-    a queued one is cancelled, a running one stops at the next job
-    boundary (journal-resumed jobs have no watchers and are exempt). *)
+    domains or artifact files.  Reader domains are capped (OCaml 5
+    bounds live domains; connections past the cap are refused with an
+    [error] frame instead of crashing the daemon), and outbound frames
+    are queued per client and written non-blocking — a client that
+    stops reading stalls only itself and is dropped once its backlog
+    tops out, never wedging the executor or other connections.  A
+    client hanging up orphans its jobs: a queued one is cancelled, a
+    running one stops at the next job boundary (journal-resumed jobs
+    have no watchers and are exempt). *)
 
 open Setagree_util
 
@@ -108,12 +116,15 @@ type state = Queued | Running | Done | Cancelled | Rejected | Poisoned
 val state_to_string : state -> string
 
 val serve : ?config:config -> unit -> unit
-(** Replay the journal, probe-and-unlink a stale socket, bind, and
-    serve until a [shutdown] op; removes the socket file on exit.
-    Campaign-shaped jobs also write their usual artifacts
-    ([BENCH_<exp>.json], [chaos_failures.json],
-    [counterexamples.json]) into [out_dir].  Raises [Failure] if a live
-    daemon already answers on [socket_path]. *)
+(** Take the exclusive [out_dir/serve.lock], probe-and-unlink a stale
+    socket, then replay the journal, bind, and serve until a
+    [shutdown] op; removes the socket file on exit.  Both refusals —
+    the lock held by another daemon on the same [out_dir], or a live
+    daemon answering on [socket_path] — raise [Failure] {e before} the
+    journal is read, compacted, or reopened, so a mistaken second
+    start can never clobber the incumbent's journal.  Campaign-shaped
+    jobs also write their usual artifacts ([BENCH_<exp>.json],
+    [chaos_failures.json], [counterexamples.json]) into [out_dir]. *)
 
 (** The journal schema and its replay — exposed so tests and the bench
     harness can fabricate crash scenarios and assert the recovery
@@ -185,11 +196,14 @@ module Client : sig
   val status : conn -> (Json.t, string) result
   val ping : conn -> (Json.t, string) result
 
-  val cancel : conn -> unit
-  (** Fire-and-forget: cancels this client's most recent submission
-      (else the running job).  Queued jobs are cancelled immediately;
-      running ones at the next job boundary — the eventual [done] frame
-      reports [state = "cancelled"]. *)
+  val cancel : ?id:int -> conn -> unit
+  (** Fire-and-forget: cancels job [id] when given, else this client's
+      most recent submission, else the running job when this
+      connection watches it (an unrelated connection must name the id
+      explicitly — see the [fdkit cancel] CLI, which resolves it via
+      {!status}).  Queued jobs are cancelled immediately; running ones
+      at the next job boundary — the eventual [done] frame reports
+      [state = "cancelled"]. *)
 
   val subscribe : conn -> unit
   val unsubscribe : conn -> unit
